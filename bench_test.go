@@ -1,0 +1,263 @@
+package dssddi_test
+
+// The benchmarks in this file regenerate every table and figure of the
+// paper's evaluation (see DESIGN.md's experiment index and
+// EXPERIMENTS.md for paper-vs-measured numbers). Each benchmark prints
+// its table/figure once, then times repeated regeneration. They run on
+// the quick profile; `go run ./cmd/benchtab -full` reproduces the
+// paper-scale run.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"dssddi/internal/baselines"
+	"dssddi/internal/ddi"
+	"dssddi/internal/eval"
+	"dssddi/internal/md"
+	"dssddi/internal/metrics"
+	"dssddi/internal/ms"
+)
+
+// benchOpts is the shared quick profile: large enough for the paper's
+// orderings to emerge, small enough for a bench iteration in seconds.
+func benchOpts() eval.Options {
+	o := eval.Quick()
+	o.Males, o.Females = 260, 240
+	o.MIMICPatients = 300
+	o.DDIEpochs = 80
+	o.MDEpochs = 160
+	o.BaselineEpochs = 80
+	o.Hidden = 48
+	return o
+}
+
+var (
+	suiteOnce sync.Once
+	suite     *eval.Suite
+)
+
+func sharedSuite() *eval.Suite {
+	suiteOnce.Do(func() { suite = eval.NewSuite(benchOpts()) })
+	return suite
+}
+
+// BenchmarkTableI regenerates Table I: medication-suggestion metrics of
+// all baselines and DSSDDI backbones on the chronic data.
+func BenchmarkTableI(b *testing.B) {
+	s := sharedSuite()
+	for i := 0; i < b.N; i++ {
+		t := s.TableI()
+		if i == 0 {
+			b.Log("\n" + t.Format())
+		}
+	}
+}
+
+// BenchmarkTableII regenerates the drug-embedding ablation (Table II).
+func BenchmarkTableII(b *testing.B) {
+	s := sharedSuite()
+	for i := 0; i < b.N; i++ {
+		t := s.TableII()
+		if i == 0 {
+			b.Log("\n" + t.Format())
+		}
+	}
+}
+
+// BenchmarkTableIII regenerates the Suggestion Satisfaction comparison
+// (Table III).
+func BenchmarkTableIII(b *testing.B) {
+	s := sharedSuite()
+	for i := 0; i < b.N; i++ {
+		title, rows := s.TableIII()
+		if i == 0 {
+			b.Log("\n" + eval.FormatSS(title, rows))
+		}
+	}
+}
+
+// BenchmarkTableIV regenerates the MIMIC-III comparison (Table IV).
+func BenchmarkTableIV(b *testing.B) {
+	s := sharedSuite()
+	for i := 0; i < b.N; i++ {
+		t := s.TableIV()
+		if i == 0 {
+			b.Log("\n" + t.Format())
+		}
+	}
+}
+
+// BenchmarkFig2Fig3 regenerates the data-set distribution figures.
+func BenchmarkFig2Fig3(b *testing.B) {
+	s := sharedSuite()
+	for i := 0; i < b.N; i++ {
+		f2, f3 := s.Figure2(), s.Figure3()
+		if i == 0 {
+			b.Log("\n" + f2 + "\n" + f3)
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates the representation-similarity analysis
+// (Fig. 7, the over-smoothing argument).
+func BenchmarkFig7(b *testing.B) {
+	s := sharedSuite()
+	for i := 0; i < b.N; i++ {
+		_, txt := s.Figure7()
+		if i == 0 {
+			b.Log("\n" + txt)
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates the cardiovascular explanation case study
+// (Fig. 8).
+func BenchmarkFig8(b *testing.B) {
+	s := sharedSuite()
+	for i := 0; i < b.N; i++ {
+		txt := s.Figure8()
+		if i == 0 {
+			b.Log("\n" + txt)
+		}
+	}
+}
+
+// BenchmarkFig9 regenerates the four DDI case studies (Fig. 9).
+func BenchmarkFig9(b *testing.B) {
+	s := sharedSuite()
+	for i := 0; i < b.N; i++ {
+		_, txt := s.Figure9()
+		if i == 0 {
+			b.Log("\n" + txt)
+		}
+	}
+}
+
+// BenchmarkAblationDelta sweeps the counterfactual loss weight δ
+// (DESIGN.md ablation 1; δ=0 disables the causal loss).
+func BenchmarkAblationDelta(b *testing.B) {
+	s := sharedSuite()
+	for i := 0; i < b.N; i++ {
+		var out string
+		for _, delta := range []float64{0, 0.5, 1} {
+			cfg := md.DefaultConfig()
+			cfg.Hidden = s.Opts.Hidden
+			cfg.Epochs = s.Opts.MDEpochs
+			cfg.Delta = delta
+			cfg.UseCounterfactual = delta > 0
+			m := md.NewModel(s.Chronic, nil, cfg)
+			m.Train()
+			r := reportAt4(m, s)
+			out += fmt.Sprintf("delta=%.1f P@4=%.4f NDCG@4=%.4f\n", delta, r.Precision, r.NDCG)
+		}
+		if i == 0 {
+			b.Log("\n" + out)
+		}
+	}
+}
+
+// BenchmarkAblationLayers sweeps the MDGCN propagation depth T'
+// (DESIGN.md ablation 2).
+func BenchmarkAblationLayers(b *testing.B) {
+	s := sharedSuite()
+	for i := 0; i < b.N; i++ {
+		var out string
+		for _, layers := range []int{1, 2, 3} {
+			cfg := md.DefaultConfig()
+			cfg.Hidden = s.Opts.Hidden
+			cfg.Epochs = s.Opts.MDEpochs
+			cfg.PropLayers = layers
+			m := md.NewModel(s.Chronic, nil, cfg)
+			m.Train()
+			r := reportAt4(m, s)
+			out += fmt.Sprintf("T'=%d P@4=%.4f NDCG@4=%.4f\n", layers, r.Precision, r.NDCG)
+		}
+		if i == 0 {
+			b.Log("\n" + out)
+		}
+	}
+}
+
+// BenchmarkAblationZeroEdges sweeps the zero-edge sampling ratio of the
+// DDI training graph (DESIGN.md ablation 4).
+func BenchmarkAblationZeroEdges(b *testing.B) {
+	s := sharedSuite()
+	for i := 0; i < b.N; i++ {
+		var out string
+		for _, ratio := range []float64{0, 0.5, 1, 2} {
+			cfg := ddi.DefaultConfig()
+			cfg.Hidden = s.Opts.Hidden
+			cfg.Epochs = s.Opts.DDIEpochs
+			cfg.ZeroRatio = ratio
+			dm := ddi.NewModel(s.Chronic.DDI, cfg)
+			losses := dm.Train()
+			out += fmt.Sprintf("zeroRatio=%.1f finalMSE=%.4f edges=%d\n",
+				ratio, losses[len(losses)-1], len(dm.Graph.EdgeU))
+		}
+		if i == 0 {
+			b.Log("\n" + out)
+		}
+	}
+}
+
+// BenchmarkDDIGCNTraining times one DDI-module training run per
+// backbone (the component benchmark behind Tables I/II).
+func BenchmarkDDIGCNTraining(b *testing.B) {
+	s := sharedSuite()
+	for _, backbone := range []ddi.Backbone{ddi.GIN, ddi.SGCN, ddi.SiGAT, ddi.SNEA} {
+		backbone := backbone
+		b.Run(backbone.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := ddi.DefaultConfig()
+				cfg.Backbone = backbone
+				cfg.Hidden = s.Opts.Hidden
+				cfg.Epochs = 50
+				m := ddi.NewModel(s.Chronic.DDI, cfg)
+				m.Train()
+			}
+		})
+	}
+}
+
+// BenchmarkMDGCNTraining times one MD-module training run.
+func BenchmarkMDGCNTraining(b *testing.B) {
+	s := sharedSuite()
+	for i := 0; i < b.N; i++ {
+		cfg := md.DefaultConfig()
+		cfg.Hidden = s.Opts.Hidden
+		cfg.Epochs = 50
+		m := md.NewModel(s.Chronic, nil, cfg)
+		m.Train()
+	}
+}
+
+// BenchmarkSubgraphQuery times the MS module's community search over
+// the DDI graph (per suggestion).
+func BenchmarkSubgraphQuery(b *testing.B) {
+	s := sharedSuite()
+	lg := baselines.NewUserSim()
+	lg.Fit(s.Chronic)
+	scores := lg.Scores(s.Chronic.Test[:1])
+	top := metrics.TopK(scores.Row(0), 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchExplain(s, top)
+	}
+}
+
+func benchExplain(s *eval.Suite, drugs []int) {
+	ms.Explain(s.Chronic.DDI, drugs, ms.DefaultOptions())
+}
+
+func reportAt4(m *md.Model, s *eval.Suite) metrics.Report {
+	scores := m.Scores(s.Chronic.Test)
+	rows := make([][]float64, len(s.Chronic.Test))
+	truth := make([][]int, len(s.Chronic.Test))
+	for i, p := range s.Chronic.Test {
+		rows[i] = scores.Row(i)
+		truth[i] = s.Chronic.TruePositives(p)
+	}
+	return metrics.Evaluate(rows, truth, []int{4})[0]
+}

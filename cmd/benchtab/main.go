@@ -1,0 +1,71 @@
+// Command benchtab regenerates the paper's tables and figures from the
+// synthetic data sets.
+//
+// Usage:
+//
+//	benchtab                    # everything, quick profile
+//	benchtab -table 1           # only Table I
+//	benchtab -figure 7          # only Figure 7
+//	benchtab -full              # paper-scale sizes (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dssddi/internal/eval"
+)
+
+func main() {
+	var (
+		table  = flag.Int("table", 0, "regenerate one table (1-4); 0 = all")
+		figure = flag.Int("figure", 0, "regenerate one figure (2, 3, 7, 8, 9); 0 = all")
+		full   = flag.Bool("full", false, "paper-scale data and epochs (slow)")
+		seed   = flag.Int64("seed", 1, "run seed")
+	)
+	flag.Parse()
+
+	opts := eval.Quick()
+	if *full {
+		opts = eval.Full()
+	}
+	opts.Seed = *seed
+	fmt.Fprintf(os.Stderr, "generating data (%d+%d chronic, %d MIMIC)...\n",
+		opts.Males, opts.Females, opts.MIMICPatients)
+	suite := eval.NewSuite(opts)
+
+	wantTable := func(n int) bool { return *figure == 0 && (*table == 0 || *table == n) }
+	wantFigure := func(n int) bool { return *table == 0 && (*figure == 0 || *figure == n) }
+
+	if wantFigure(2) {
+		fmt.Println(suite.Figure2())
+	}
+	if wantFigure(3) {
+		fmt.Println(suite.Figure3())
+	}
+	if wantTable(1) {
+		fmt.Println(suite.TableI().Format())
+	}
+	if wantTable(2) {
+		fmt.Println(suite.TableII().Format())
+	}
+	if wantTable(3) {
+		title, rows := suite.TableIII()
+		fmt.Println(eval.FormatSS(title, rows))
+	}
+	if wantTable(4) {
+		fmt.Println(suite.TableIV().Format())
+	}
+	if wantFigure(7) {
+		_, txt := suite.Figure7()
+		fmt.Println(txt)
+	}
+	if wantFigure(8) {
+		fmt.Println(suite.Figure8())
+	}
+	if wantFigure(9) {
+		_, txt := suite.Figure9()
+		fmt.Println(txt)
+	}
+}

@@ -1,0 +1,106 @@
+// Command dssddi is the command-line front end of the decision support
+// system: it generates a synthetic cohort, trains the system, and
+// either evaluates it, suggests medications for a patient, or explains
+// a drug combination.
+//
+// Usage:
+//
+//	dssddi -mode eval    [-patients 800] [-backbone SGCN]
+//	dssddi -mode suggest -patient 12 [-k 3]
+//	dssddi -mode explain -drugs 46,47
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"dssddi"
+)
+
+func main() {
+	var (
+		mode      = flag.String("mode", "eval", "eval | suggest | explain")
+		backbone  = flag.String("backbone", "SGCN", "DDIGCN backbone: GIN, SGCN, SiGAT, SNEA")
+		patients  = flag.Int("patients", 800, "synthetic cohort size")
+		seed      = flag.Int64("seed", 1, "generation and training seed")
+		patient   = flag.Int("patient", -1, "patient index for -mode suggest")
+		k         = flag.Int("k", 3, "suggestion list length")
+		drugs     = flag.String("drugs", "", "comma-separated drug IDs for -mode explain")
+		ddiEpochs = flag.Int("ddi-epochs", 150, "DDI module training epochs (paper: 400)")
+		mdEpochs  = flag.Int("md-epochs", 250, "MD module training epochs (paper: 1000)")
+		mimic     = flag.Bool("mimic", false, "use the MIMIC-like data set instead of the chronic cohort")
+	)
+	flag.Parse()
+
+	var data *dssddi.Data
+	if *mimic {
+		data = dssddi.GenerateMIMIC(*seed, *patients)
+	} else {
+		males := *patients / 2
+		data = dssddi.GenerateChronic(*seed, *patients-males, males)
+	}
+	cfg := dssddi.DefaultConfig()
+	cfg.Backbone = *backbone
+	cfg.DDIEpochs = *ddiEpochs
+	cfg.MDEpochs = *mdEpochs
+	cfg.Seed = *seed
+	sys := dssddi.New(cfg)
+	fmt.Fprintf(os.Stderr, "training DSSDDI(%s) on %d patients...\n", *backbone, data.NumPatients())
+	if err := sys.Train(data); err != nil {
+		log.Fatal(err)
+	}
+
+	switch *mode {
+	case "eval":
+		reports, err := sys.Evaluate(data.TestPatients(), []int{1, 2, 3, 4, 5, 6})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-4s %-10s %-10s %-10s %-10s\n", "k", "Precision", "Recall", "NDCG", "SS")
+		for _, r := range reports {
+			fmt.Printf("%-4d %-10.4f %-10.4f %-10.4f %-10.4f\n", r.K, r.Precision, r.Recall, r.NDCG, r.SS)
+		}
+	case "suggest":
+		p := *patient
+		if p < 0 {
+			p = data.TestPatients()[0]
+		}
+		suggs, err := sys.Suggest(p, *k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("patient %d takes:", p)
+		for _, d := range data.Medications(p) {
+			fmt.Printf(" %s", data.DrugName(d))
+		}
+		fmt.Println()
+		for i, s := range suggs {
+			fmt.Printf("%d. %-24s %.4f\n", i+1, s.DrugName, s.Score)
+		}
+		fmt.Println()
+		fmt.Println(sys.ExplainSuggestions(suggs).Text)
+	case "explain":
+		if *drugs == "" {
+			log.Fatal("-mode explain needs -drugs, e.g. -drugs 46,47")
+		}
+		var ids []int
+		for _, part := range strings.Split(*drugs, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				log.Fatalf("bad drug ID %q: %v", part, err)
+			}
+			ids = append(ids, id)
+		}
+		ex, err := sys.Explain(ids)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(ex.Text)
+	default:
+		log.Fatalf("unknown mode %q (want eval, suggest or explain)", *mode)
+	}
+}

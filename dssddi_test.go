@@ -1,0 +1,161 @@
+package dssddi
+
+import (
+	"strings"
+	"testing"
+)
+
+// trainedSystem builds a small trained system shared across tests.
+func trainedSystem(t *testing.T) (*System, *Data) {
+	t.Helper()
+	data := GenerateChronic(1, 150, 120)
+	cfg := DefaultConfig()
+	cfg.DDIEpochs = 60
+	cfg.MDEpochs = 120
+	cfg.Hidden = 32
+	sys := New(cfg)
+	if err := sys.Train(data); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	return sys, data
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Backbone != "SGCN" || cfg.DDIEpochs != 400 || cfg.MDEpochs != 1000 ||
+		cfg.Hidden != 64 || cfg.Delta != 1 {
+		t.Fatalf("defaults drifted from the paper: %+v", cfg)
+	}
+}
+
+func TestGenerateChronicShape(t *testing.T) {
+	data := GenerateChronic(2, 60, 40)
+	if data.NumPatients() != 100 {
+		t.Fatalf("patients %d", data.NumPatients())
+	}
+	if data.NumDrugs() != 86 {
+		t.Fatalf("drugs %d, want 86", data.NumDrugs())
+	}
+	if data.DrugName(1) != "Doxazosin" {
+		t.Fatalf("drug name: %s", data.DrugName(1))
+	}
+	total := len(data.TrainPatients()) + len(data.ValPatients()) + len(data.TestPatients())
+	if total != 100 {
+		t.Fatalf("split covers %d", total)
+	}
+	if len(data.Features(0)) != 71 {
+		t.Fatal("feature dim wrong")
+	}
+}
+
+func TestUntrainedSystemErrors(t *testing.T) {
+	sys := New(DefaultConfig())
+	if _, err := sys.Suggest(0, 3); err == nil {
+		t.Fatal("Suggest before Train must error")
+	}
+	if _, err := sys.Scores([]int{0}); err == nil {
+		t.Fatal("Scores before Train must error")
+	}
+	if _, err := sys.Explain([]int{1}); err == nil {
+		t.Fatal("Explain before Train must error")
+	}
+}
+
+func TestUnknownBackboneErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Backbone = "GPT"
+	sys := New(cfg)
+	if err := sys.Train(GenerateChronic(3, 40, 30)); err == nil ||
+		!strings.Contains(err.Error(), "unknown backbone") {
+		t.Fatalf("expected backbone error, got %v", err)
+	}
+}
+
+func TestSignedBackboneRejectedOnUnsignedData(t *testing.T) {
+	data := GenerateMIMIC(4, 80)
+	cfg := DefaultConfig()
+	cfg.Backbone = "SGCN"
+	cfg.DDIEpochs = 10
+	cfg.MDEpochs = 10
+	sys := New(cfg)
+	if err := sys.Train(data); err == nil {
+		t.Fatal("SGCN on unsigned MIMIC DDI must be rejected (paper Table IV note)")
+	}
+	cfg.Backbone = "GIN"
+	sys = New(cfg)
+	if err := sys.Train(data); err != nil {
+		t.Fatalf("GIN must work on unsigned data: %v", err)
+	}
+}
+
+func TestTrainSuggestExplainRoundTrip(t *testing.T) {
+	sys, data := trainedSystem(t)
+	p := data.TestPatients()[0]
+	suggs, err := sys.Suggest(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suggs) != 3 {
+		t.Fatalf("got %d suggestions", len(suggs))
+	}
+	for i := 1; i < len(suggs); i++ {
+		if suggs[i].Score > suggs[i-1].Score {
+			t.Fatal("suggestions not sorted by score")
+		}
+	}
+	if suggs[0].DrugName == "" {
+		t.Fatal("names must be resolved")
+	}
+	ex := sys.ExplainSuggestions(suggs)
+	if ex.Text == "" || !strings.Contains(ex.Text, "Suggestion Satisfaction") {
+		t.Fatalf("explanation text: %q", ex.Text)
+	}
+	if ex.SS < 0 {
+		t.Fatal("SS must be non-negative")
+	}
+}
+
+func TestEvaluateReports(t *testing.T) {
+	sys, data := trainedSystem(t)
+	ms, err := sys.Evaluate(data.TestPatients(), []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 || ms[0].K != 2 || ms[1].K != 4 {
+		t.Fatalf("reports %+v", ms)
+	}
+	for _, m := range ms {
+		if m.Precision < 0 || m.Precision > 1 || m.NDCG < 0 || m.NDCG > 1 {
+			t.Fatalf("metric out of range: %+v", m)
+		}
+	}
+	// The trained system must beat random ranking (P@4 random ~0.025).
+	if ms[1].Precision < 0.05 {
+		t.Fatalf("P@4 = %v; system did not learn", ms[1].Precision)
+	}
+}
+
+func TestScoresAndEmbeddingsShapes(t *testing.T) {
+	sys, data := trainedSystem(t)
+	rows, err := sys.Scores(data.TestPatients()[:5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 || len(rows[0]) != data.NumDrugs() {
+		t.Fatal("score shape wrong")
+	}
+	emb, err := sys.DrugRelationEmbeddings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emb) != data.NumDrugs() {
+		t.Fatal("embedding rows wrong")
+	}
+}
+
+func TestSuggestOutOfRange(t *testing.T) {
+	sys, data := trainedSystem(t)
+	if _, err := sys.Suggest(data.NumPatients()+5, 3); err == nil {
+		t.Fatal("out-of-range patient must error")
+	}
+}

@@ -1,0 +1,49 @@
+package dssddi_test
+
+import (
+	"fmt"
+
+	"dssddi"
+)
+
+// ExampleNew shows the complete train → suggest → explain workflow on a
+// small synthetic cohort.
+func ExampleNew() {
+	data := dssddi.GenerateChronic(1, 60, 50)
+	cfg := dssddi.DefaultConfig()
+	cfg.DDIEpochs = 20
+	cfg.MDEpochs = 30
+	sys := dssddi.New(cfg)
+	if err := sys.Train(data); err != nil {
+		fmt.Println("train failed:", err)
+		return
+	}
+	suggs, err := sys.Suggest(data.TestPatients()[0], 2)
+	if err != nil {
+		fmt.Println("suggest failed:", err)
+		return
+	}
+	fmt.Println(len(suggs), "suggestions")
+	// Output: 2 suggestions
+}
+
+// ExampleSystem_Explain explains a known-synergistic drug pair from the
+// paper's Fig. 8 case study (Simvastatin DID 46 + Atorvastatin DID 47).
+func ExampleSystem_Explain() {
+	data := dssddi.GenerateChronic(1, 60, 50)
+	cfg := dssddi.DefaultConfig()
+	cfg.DDIEpochs = 20
+	cfg.MDEpochs = 30
+	sys := dssddi.New(cfg)
+	if err := sys.Train(data); err != nil {
+		fmt.Println("train failed:", err)
+		return
+	}
+	ex, err := sys.Explain([]int{46, 47})
+	if err != nil {
+		fmt.Println("explain failed:", err)
+		return
+	}
+	fmt.Println(len(ex.Synergistic) > 0)
+	// Output: true
+}

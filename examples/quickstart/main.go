@@ -1,0 +1,56 @@
+// Command quickstart shows the minimal DSSDDI workflow: generate a
+// chronic-disease cohort, train the system, suggest medications for a
+// test patient and print the DDI explanation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dssddi"
+)
+
+func main() {
+	// A small cohort keeps the demo under half a minute; use
+	// dssddi.GenerateChronicDefault for the paper-scale 4157 records.
+	data := dssddi.GenerateChronic(1, 300, 250)
+	fmt.Printf("cohort: %d patients, %d drug candidates\n",
+		data.NumPatients(), data.NumDrugs())
+
+	cfg := dssddi.DefaultConfig()
+	cfg.DDIEpochs = 150 // paper default: 400
+	cfg.MDEpochs = 250  // paper default: 1000
+	sys := dssddi.New(cfg)
+	if err := sys.Train(data); err != nil {
+		log.Fatal(err)
+	}
+
+	patient := data.TestPatients()[0]
+	fmt.Printf("\npatient %d currently takes:", patient)
+	for _, d := range data.Medications(patient) {
+		fmt.Printf(" %s", data.DrugName(d))
+	}
+	fmt.Println()
+
+	suggestions, err := sys.Suggest(patient, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntop-3 suggestions:")
+	for i, s := range suggestions {
+		fmt.Printf("  %d. %-24s score %.3f\n", i+1, s.DrugName, s.Score)
+	}
+
+	fmt.Println()
+	fmt.Println(sys.ExplainSuggestions(suggestions).Text)
+
+	reports, err := sys.Evaluate(data.TestPatients(), []int{1, 3, 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("test-set performance:")
+	for _, r := range reports {
+		fmt.Printf("  P@%d=%.4f R@%d=%.4f NDCG@%d=%.4f SS@%d=%.4f\n",
+			r.K, r.Precision, r.K, r.Recall, r.K, r.NDCG, r.K, r.SS)
+	}
+}

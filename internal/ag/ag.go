@@ -1,0 +1,462 @@
+// Package ag implements a small reverse-mode automatic-differentiation
+// engine over dense matrices. Every neural model in the repository
+// (DDIGCN, MDGCN and the graph-learning baselines) is trained through
+// this tape.
+//
+// Usage: create a Tape per forward pass, wrap parameters and inputs as
+// nodes, compose ops, then call Backward on a scalar loss node. Gradients
+// accumulate in Node.Grad.
+package ag
+
+import (
+	"fmt"
+	"math"
+
+	"dssddi/internal/mat"
+	"dssddi/internal/sparse"
+)
+
+// Node is a value in the computation graph together with its gradient.
+type Node struct {
+	Value *mat.Dense
+	Grad  *mat.Dense
+
+	tape     *Tape
+	backward func() // accumulates into the inputs' Grad; nil for leaves
+	requires bool   // whether gradient flows into/through this node
+}
+
+// Rows returns the node value's row count.
+func (n *Node) Rows() int { return n.Value.Rows() }
+
+// Cols returns the node value's column count.
+func (n *Node) Cols() int { return n.Value.Cols() }
+
+// Tape records operations during a forward pass so they can be replayed
+// in reverse for gradient computation. A Tape must not be shared across
+// goroutines.
+type Tape struct {
+	nodes  []*Node
+	params map[*mat.Dense]*Node
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{params: make(map[*mat.Dense]*Node)} }
+
+// Param registers v as a differentiable leaf (a model parameter or an
+// input that requires gradient). Calling Param twice with the same
+// matrix returns the same node, so gradients from all uses accumulate
+// in one place. The node's Grad is allocated lazily on first
+// accumulation.
+func (t *Tape) Param(v *mat.Dense) *Node {
+	if n, ok := t.params[v]; ok {
+		return n
+	}
+	n := &Node{Value: v, tape: t, requires: true}
+	t.nodes = append(t.nodes, n)
+	t.params[v] = n
+	return n
+}
+
+// Grad returns the accumulated gradient for a parameter matrix
+// registered via Param, or nil if the parameter received no gradient.
+// Call after Backward.
+func (t *Tape) Grad(v *mat.Dense) *mat.Dense {
+	if n, ok := t.params[v]; ok {
+		return n.Grad
+	}
+	return nil
+}
+
+// Const registers v as a non-differentiable leaf.
+func (t *Tape) Const(v *mat.Dense) *Node {
+	n := &Node{Value: v, tape: t, requires: false}
+	t.nodes = append(t.nodes, n)
+	return n
+}
+
+func (t *Tape) newNode(v *mat.Dense, requires bool, back func()) *Node {
+	n := &Node{Value: v, tape: t, requires: requires, backward: back}
+	t.nodes = append(t.nodes, n)
+	return n
+}
+
+func (n *Node) ensureGrad() *mat.Dense {
+	if n.Grad == nil {
+		n.Grad = mat.New(n.Value.Rows(), n.Value.Cols())
+	}
+	return n.Grad
+}
+
+// accumGrad adds g into n's gradient if n participates in
+// differentiation.
+func (n *Node) accumGrad(g *mat.Dense) {
+	if !n.requires {
+		return
+	}
+	n.ensureGrad().AddScaled(g, 1)
+}
+
+// Backward runs reverse-mode differentiation from the scalar node loss.
+// The loss value must be 1x1.
+func (t *Tape) Backward(loss *Node) {
+	if loss.Value.Rows() != 1 || loss.Value.Cols() != 1 {
+		panic(fmt.Sprintf("ag: Backward requires a scalar loss, got %dx%d", loss.Value.Rows(), loss.Value.Cols()))
+	}
+	loss.ensureGrad().Set(0, 0, 1)
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		n := t.nodes[i]
+		if n.backward != nil && n.requires && n.Grad != nil {
+			n.backward()
+		}
+	}
+}
+
+// MatMul returns a*b.
+func (t *Tape) MatMul(a, b *Node) *Node {
+	v := mat.MatMul(a.Value, b.Value)
+	req := a.requires || b.requires
+	out := t.newNode(v, req, nil)
+	out.backward = func() {
+		if a.requires {
+			a.accumGrad(mat.MatMulTransB(out.Grad, b.Value)) // dA = dOut * Bᵀ
+		}
+		if b.requires {
+			b.accumGrad(mat.MatMulTransA(a.Value, out.Grad)) // dB = Aᵀ * dOut
+		}
+	}
+	return out
+}
+
+// SpMM returns s*x where s is a constant sparse operator (adjacency).
+// Gradient flows into x only: dX = sᵀ * dOut.
+func (t *Tape) SpMM(s *sparse.CSR, x *Node) *Node {
+	v := s.MulDense(x.Value)
+	out := t.newNode(v, x.requires, nil)
+	st := s.T() // computed once per op; graphs are static per epoch
+	out.backward = func() {
+		if x.requires {
+			x.accumGrad(st.MulDense(out.Grad))
+		}
+	}
+	return out
+}
+
+// Add returns a+b (same shape).
+func (t *Tape) Add(a, b *Node) *Node {
+	v := mat.AddMat(a.Value, b.Value)
+	out := t.newNode(v, a.requires || b.requires, nil)
+	out.backward = func() {
+		a.accumGrad(out.Grad)
+		b.accumGrad(out.Grad)
+	}
+	return out
+}
+
+// Sub returns a-b.
+func (t *Tape) Sub(a, b *Node) *Node {
+	v := mat.SubMat(a.Value, b.Value)
+	out := t.newNode(v, a.requires || b.requires, nil)
+	out.backward = func() {
+		a.accumGrad(out.Grad)
+		if b.requires {
+			g := out.Grad.Clone()
+			g.Scale(-1)
+			b.accumGrad(g)
+		}
+	}
+	return out
+}
+
+// AddBias broadcasts the 1 x d bias row onto every row of a (n x d).
+func (t *Tape) AddBias(a, bias *Node) *Node {
+	if bias.Value.Rows() != 1 || bias.Value.Cols() != a.Value.Cols() {
+		panic(fmt.Sprintf("ag: AddBias wants 1x%d bias, got %dx%d", a.Value.Cols(), bias.Value.Rows(), bias.Value.Cols()))
+	}
+	v := mat.New(a.Rows(), a.Cols())
+	brow := bias.Value.Row(0)
+	for i := 0; i < a.Rows(); i++ {
+		arow := a.Value.Row(i)
+		vrow := v.Row(i)
+		for j, av := range arow {
+			vrow[j] = av + brow[j]
+		}
+	}
+	out := t.newNode(v, a.requires || bias.requires, nil)
+	out.backward = func() {
+		a.accumGrad(out.Grad)
+		if bias.requires {
+			g := mat.New(1, a.Cols())
+			grow := g.Row(0)
+			for i := 0; i < out.Grad.Rows(); i++ {
+				orow := out.Grad.Row(i)
+				for j, ov := range orow {
+					grow[j] += ov
+				}
+			}
+			bias.accumGrad(g)
+		}
+	}
+	return out
+}
+
+// Hadamard returns the element-wise product a⊙b.
+func (t *Tape) Hadamard(a, b *Node) *Node {
+	v := mat.Hadamard(a.Value, b.Value)
+	out := t.newNode(v, a.requires || b.requires, nil)
+	out.backward = func() {
+		if a.requires {
+			a.accumGrad(mat.Hadamard(out.Grad, b.Value))
+		}
+		if b.requires {
+			b.accumGrad(mat.Hadamard(out.Grad, a.Value))
+		}
+	}
+	return out
+}
+
+// Scale returns s*a for a constant scalar s.
+func (t *Tape) Scale(a *Node, s float64) *Node {
+	v := a.Value.Clone()
+	v.Scale(s)
+	out := t.newNode(v, a.requires, nil)
+	out.backward = func() {
+		if a.requires {
+			g := out.Grad.Clone()
+			g.Scale(s)
+			a.accumGrad(g)
+		}
+	}
+	return out
+}
+
+// AddScalar returns a + s element-wise for a constant scalar s.
+func (t *Tape) AddScalar(a *Node, s float64) *Node {
+	v := a.Value.Apply(func(x float64) float64 { return x + s })
+	out := t.newNode(v, a.requires, nil)
+	out.backward = func() { a.accumGrad(out.Grad) }
+	return out
+}
+
+func (t *Tape) elementwise(a *Node, f, df func(float64) float64) *Node {
+	v := a.Value.Apply(f)
+	out := t.newNode(v, a.requires, nil)
+	out.backward = func() {
+		if !a.requires {
+			return
+		}
+		g := mat.New(a.Rows(), a.Cols())
+		ad, gd, od := a.Value.Data(), g.Data(), out.Grad.Data()
+		for i, x := range ad {
+			gd[i] = od[i] * df(x)
+		}
+		a.accumGrad(g)
+	}
+	return out
+}
+
+// ReLU applies max(0, x) element-wise.
+func (t *Tape) ReLU(a *Node) *Node {
+	return t.elementwise(a,
+		func(x float64) float64 {
+			if x > 0 {
+				return x
+			}
+			return 0
+		},
+		func(x float64) float64 {
+			if x > 0 {
+				return 1
+			}
+			return 0
+		})
+}
+
+// LeakyReLU applies x (x>0) or slope*x (x<=0) element-wise.
+func (t *Tape) LeakyReLU(a *Node, slope float64) *Node {
+	return t.elementwise(a,
+		func(x float64) float64 {
+			if x > 0 {
+				return x
+			}
+			return slope * x
+		},
+		func(x float64) float64 {
+			if x > 0 {
+				return 1
+			}
+			return slope
+		})
+}
+
+// Tanh applies tanh element-wise.
+func (t *Tape) Tanh(a *Node) *Node {
+	return t.elementwise(a, math.Tanh, func(x float64) float64 {
+		y := math.Tanh(x)
+		return 1 - y*y
+	})
+}
+
+// Sigmoid applies the logistic function element-wise.
+func (t *Tape) Sigmoid(a *Node) *Node {
+	return t.elementwise(a, mat.Sigmoid, func(x float64) float64 {
+		y := mat.Sigmoid(x)
+		return y * (1 - y)
+	})
+}
+
+// ConcatCols returns [a | b].
+func (t *Tape) ConcatCols(a, b *Node) *Node {
+	v := mat.ConcatCols(a.Value, b.Value)
+	out := t.newNode(v, a.requires || b.requires, nil)
+	out.backward = func() {
+		if a.requires {
+			g := mat.New(a.Rows(), a.Cols())
+			for i := 0; i < a.Rows(); i++ {
+				copy(g.Row(i), out.Grad.Row(i)[:a.Cols()])
+			}
+			a.accumGrad(g)
+		}
+		if b.requires {
+			g := mat.New(b.Rows(), b.Cols())
+			for i := 0; i < b.Rows(); i++ {
+				copy(g.Row(i), out.Grad.Row(i)[a.Cols():])
+			}
+			b.accumGrad(g)
+		}
+	}
+	return out
+}
+
+// GatherRows selects rows idx from a: out[i] = a[idx[i]]. Gradient
+// scatters (with accumulation for repeated indices) back into a.
+func (t *Tape) GatherRows(a *Node, idx []int) *Node {
+	v := a.Value.GatherRows(idx)
+	out := t.newNode(v, a.requires, nil)
+	out.backward = func() {
+		if !a.requires {
+			return
+		}
+		g := mat.New(a.Rows(), a.Cols())
+		for i, id := range idx {
+			grow := g.Row(id)
+			orow := out.Grad.Row(i)
+			for j, ov := range orow {
+				grow[j] += ov
+			}
+		}
+		a.accumGrad(g)
+	}
+	return out
+}
+
+// ScaleRows multiplies each row i of a (n x d) by the scalar c[i, 0]
+// (c is n x 1). Used to apply per-edge attention weights to message
+// matrices.
+func (t *Tape) ScaleRows(a, c *Node) *Node {
+	if c.Cols() != 1 || c.Rows() != a.Rows() {
+		panic(fmt.Sprintf("ag: ScaleRows wants %dx1 scale, got %dx%d", a.Rows(), c.Rows(), c.Cols()))
+	}
+	v := mat.New(a.Rows(), a.Cols())
+	for i := 0; i < a.Rows(); i++ {
+		s := c.Value.At(i, 0)
+		arow := a.Value.Row(i)
+		vrow := v.Row(i)
+		for j, av := range arow {
+			vrow[j] = s * av
+		}
+	}
+	out := t.newNode(v, a.requires || c.requires, nil)
+	out.backward = func() {
+		if a.requires {
+			g := mat.New(a.Rows(), a.Cols())
+			for i := 0; i < a.Rows(); i++ {
+				s := c.Value.At(i, 0)
+				orow := out.Grad.Row(i)
+				grow := g.Row(i)
+				for j, ov := range orow {
+					grow[j] = s * ov
+				}
+			}
+			a.accumGrad(g)
+		}
+		if c.requires {
+			g := mat.New(c.Rows(), 1)
+			for i := 0; i < a.Rows(); i++ {
+				g.Set(i, 0, mat.Dot(out.Grad.Row(i), a.Value.Row(i)))
+			}
+			c.accumGrad(g)
+		}
+	}
+	return out
+}
+
+// RowSum reduces each row to its sum, producing an n x 1 column.
+func (t *Tape) RowSum(a *Node) *Node {
+	v := mat.New(a.Rows(), 1)
+	for i := 0; i < a.Rows(); i++ {
+		var s float64
+		for _, x := range a.Value.Row(i) {
+			s += x
+		}
+		v.Set(i, 0, s)
+	}
+	out := t.newNode(v, a.requires, nil)
+	out.backward = func() {
+		if !a.requires {
+			return
+		}
+		g := mat.New(a.Rows(), a.Cols())
+		for i := 0; i < a.Rows(); i++ {
+			gv := out.Grad.At(i, 0)
+			grow := g.Row(i)
+			for j := range grow {
+				grow[j] = gv
+			}
+		}
+		a.accumGrad(g)
+	}
+	return out
+}
+
+// RowDot computes the per-row inner product of a and b (both n x d),
+// producing an n x 1 column: out[i] = a[i]·b[i].
+func (t *Tape) RowDot(a, b *Node) *Node {
+	if a.Rows() != b.Rows() || a.Cols() != b.Cols() {
+		panic("ag: RowDot shape mismatch")
+	}
+	return t.RowSum(t.Hadamard(a, b))
+}
+
+// Mean reduces the whole matrix to its scalar mean (1x1).
+func (t *Tape) Mean(a *Node) *Node {
+	n := float64(a.Rows() * a.Cols())
+	v := mat.New(1, 1)
+	v.Set(0, 0, a.Value.SumAll()/n)
+	out := t.newNode(v, a.requires, nil)
+	out.backward = func() {
+		if !a.requires {
+			return
+		}
+		g := mat.New(a.Rows(), a.Cols())
+		g.Fill(out.Grad.At(0, 0) / n)
+		a.accumGrad(g)
+	}
+	return out
+}
+
+// Sum reduces the whole matrix to its scalar sum (1x1).
+func (t *Tape) Sum(a *Node) *Node {
+	v := mat.New(1, 1)
+	v.Set(0, 0, a.Value.SumAll())
+	out := t.newNode(v, a.requires, nil)
+	out.backward = func() {
+		if !a.requires {
+			return
+		}
+		g := mat.New(a.Rows(), a.Cols())
+		g.Fill(out.Grad.At(0, 0))
+		a.accumGrad(g)
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package ag
+
+import (
+	"fmt"
+	"math"
+
+	"dssddi/internal/mat"
+)
+
+// MSELoss returns the scalar mean-squared error between pred and the
+// constant target (Eq. 6 of the paper, used by DDIGCN edge regression).
+func (t *Tape) MSELoss(pred *Node, target *mat.Dense) *Node {
+	if pred.Rows() != target.Rows() || pred.Cols() != target.Cols() {
+		panic(fmt.Sprintf("ag: MSELoss shape mismatch %dx%d vs %dx%d",
+			pred.Rows(), pred.Cols(), target.Rows(), target.Cols()))
+	}
+	n := float64(pred.Rows() * pred.Cols())
+	var sum float64
+	pd, td := pred.Value.Data(), target.Data()
+	for i, p := range pd {
+		d := p - td[i]
+		sum += d * d
+	}
+	v := mat.New(1, 1)
+	v.Set(0, 0, sum/n)
+	out := t.newNode(v, pred.requires, nil)
+	out.backward = func() {
+		if !pred.requires {
+			return
+		}
+		g := mat.New(pred.Rows(), pred.Cols())
+		gd := g.Data()
+		scale := 2 * out.Grad.At(0, 0) / n
+		for i, p := range pd {
+			gd[i] = scale * (p - td[i])
+		}
+		pred.accumGrad(g)
+	}
+	return out
+}
+
+// BCEWithLogits returns the scalar mean binary cross-entropy between
+// logits and binary targets, computed in a numerically stable fused
+// form: max(x,0) - x*y + log(1+exp(-|x|)). This is the loss of
+// Eq. 16-17 with the sigmoid folded in.
+func (t *Tape) BCEWithLogits(logits *Node, target *mat.Dense) *Node {
+	if logits.Rows() != target.Rows() || logits.Cols() != target.Cols() {
+		panic(fmt.Sprintf("ag: BCEWithLogits shape mismatch %dx%d vs %dx%d",
+			logits.Rows(), logits.Cols(), target.Rows(), target.Cols()))
+	}
+	n := float64(logits.Rows() * logits.Cols())
+	var sum float64
+	xd, yd := logits.Value.Data(), target.Data()
+	for i, x := range xd {
+		y := yd[i]
+		sum += math.Max(x, 0) - x*y + math.Log1p(math.Exp(-math.Abs(x)))
+	}
+	v := mat.New(1, 1)
+	v.Set(0, 0, sum/n)
+	out := t.newNode(v, logits.requires, nil)
+	out.backward = func() {
+		if !logits.requires {
+			return
+		}
+		g := mat.New(logits.Rows(), logits.Cols())
+		gd := g.Data()
+		scale := out.Grad.At(0, 0) / n
+		for i, x := range xd {
+			gd[i] = scale * (mat.Sigmoid(x) - yd[i])
+		}
+		logits.accumGrad(g)
+	}
+	return out
+}
+
+// WeightedBCEWithLogits is BCEWithLogits with a per-element weight
+// matrix; elements with weight 0 do not contribute. The normaliser is
+// the sum of weights (so it is a weighted mean).
+func (t *Tape) WeightedBCEWithLogits(logits *Node, target, weight *mat.Dense) *Node {
+	if logits.Rows() != target.Rows() || logits.Cols() != target.Cols() ||
+		logits.Rows() != weight.Rows() || logits.Cols() != weight.Cols() {
+		panic("ag: WeightedBCEWithLogits shape mismatch")
+	}
+	wsum := weight.SumAll()
+	if wsum <= 0 {
+		wsum = 1
+	}
+	var sum float64
+	xd, yd, wd := logits.Value.Data(), target.Data(), weight.Data()
+	for i, x := range xd {
+		w := wd[i]
+		if w == 0 {
+			continue
+		}
+		y := yd[i]
+		sum += w * (math.Max(x, 0) - x*y + math.Log1p(math.Exp(-math.Abs(x))))
+	}
+	v := mat.New(1, 1)
+	v.Set(0, 0, sum/wsum)
+	out := t.newNode(v, logits.requires, nil)
+	out.backward = func() {
+		if !logits.requires {
+			return
+		}
+		g := mat.New(logits.Rows(), logits.Cols())
+		gd := g.Data()
+		scale := out.Grad.At(0, 0) / wsum
+		for i, x := range xd {
+			if wd[i] == 0 {
+				continue
+			}
+			gd[i] = scale * wd[i] * (mat.Sigmoid(x) - yd[i])
+		}
+		logits.accumGrad(g)
+	}
+	return out
+}
+
+// L2Penalty returns 0.5*λ*‖a‖² as a scalar node, for weight decay folded
+// into the loss.
+func (t *Tape) L2Penalty(a *Node, lambda float64) *Node {
+	var sum float64
+	for _, x := range a.Value.Data() {
+		sum += x * x
+	}
+	v := mat.New(1, 1)
+	v.Set(0, 0, 0.5*lambda*sum)
+	out := t.newNode(v, a.requires, nil)
+	out.backward = func() {
+		if !a.requires {
+			return
+		}
+		g := a.Value.Clone()
+		g.Scale(lambda * out.Grad.At(0, 0))
+		a.accumGrad(g)
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+// Package baselines implements the eight comparison methods of the
+// paper's evaluation (Section V-A1): the traditional models UserSim,
+// ECC and SVM, the graph-learning models GCMC, LightGCN and Bipar-GCN,
+// and the sequence/safety models SafeDrug and CauseRec. Each model
+// implements the Suggester interface used by the experiment harness.
+//
+// SafeDrug and CauseRec are faithful simplifications: SafeDrug's MPNN
+// molecule encoder is replaced by fixed random molecular fingerprints
+// (no molecule structures exist for the synthetic drugs) and CauseRec's
+// counterfactual sequence synthesis operates on feature tokens; both
+// retain the training signal that distinguishes the originals (a DDI
+// safety penalty and counterfactual augmentation respectively). See
+// DESIGN.md.
+package baselines
+
+import (
+	"dssddi/internal/dataset"
+	"dssddi/internal/mat"
+)
+
+// Suggester is a medication-suggestion model: fit on a dataset's
+// training split, then score every drug for arbitrary patients.
+type Suggester interface {
+	// Name is the display name used in the result tables.
+	Name() string
+	// Fit trains on d.Train.
+	Fit(d *dataset.Dataset)
+	// Scores returns a (len(patients) x drugs) score matrix for the
+	// given global patient indices.
+	Scores(patients []int) *mat.Dense
+}
+
+// scoresToRows converts a score matrix into per-patient slices, the
+// shape the metrics package consumes.
+func scoresToRows(s *mat.Dense) [][]float64 {
+	rows := make([][]float64, s.Rows())
+	for i := range rows {
+		rows[i] = s.Row(i)
+	}
+	return rows
+}

@@ -1,0 +1,163 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"dssddi/internal/dataset"
+	"dssddi/internal/metrics"
+	"dssddi/internal/synth"
+)
+
+func testDataset(seed int64, n int) *dataset.Dataset {
+	opts := synth.DefaultCohortOptions()
+	opts.Males, opts.Females = n/2+n%2, n/2
+	c := synth.GenerateCohort(rand.New(rand.NewSource(seed)), opts)
+	return dataset.FromCohort(rand.New(rand.NewSource(seed+1)), c, nil)
+}
+
+// evalP4 fits the model and returns test-set P@4 and R@4.
+func evalP4(t *testing.T, m Suggester, d *dataset.Dataset) (float64, float64) {
+	t.Helper()
+	m.Fit(d)
+	scores := m.Scores(d.Test)
+	if scores.Rows() != len(d.Test) || scores.Cols() != d.NumDrugs() {
+		t.Fatalf("%s: scores shape %dx%d", m.Name(), scores.Rows(), scores.Cols())
+	}
+	truth := make([][]int, len(d.Test))
+	for i, p := range d.Test {
+		truth[i] = d.TruePositives(p)
+	}
+	r := metrics.Evaluate(scoresToRows(scores), truth, []int{4})
+	return r[0].Precision, r[0].Recall
+}
+
+const randomP4 = 0.03 // ~ mean medications / drugs
+
+func TestUserSimBeatsRandom(t *testing.T) {
+	d := testDataset(1, 240)
+	p, _ := evalP4(t, NewUserSim(), d)
+	if p <= randomP4 {
+		t.Fatalf("UserSim P@4 = %v, want > random %v", p, randomP4)
+	}
+}
+
+func TestECCBeatsRandom(t *testing.T) {
+	d := testDataset(2, 240)
+	m := NewECC()
+	m.Chains = 2
+	m.Epochs = 30
+	p, _ := evalP4(t, m, d)
+	if p <= randomP4 {
+		t.Fatalf("ECC P@4 = %v, want > random", p)
+	}
+}
+
+func TestSVMBeatsRandom(t *testing.T) {
+	d := testDataset(3, 240)
+	m := NewSVM()
+	m.Epochs = 15
+	p, _ := evalP4(t, m, d)
+	if p <= randomP4 {
+		t.Fatalf("SVM P@4 = %v, want > random", p)
+	}
+}
+
+func TestGCMCBeatsRandom(t *testing.T) {
+	d := testDataset(4, 240)
+	m := NewGCMC()
+	m.Epochs = 100
+	p, _ := evalP4(t, m, d)
+	if p <= randomP4 {
+		t.Fatalf("GCMC P@4 = %v, want > random", p)
+	}
+}
+
+func TestLightGCNBeatsRandom(t *testing.T) {
+	d := testDataset(5, 240)
+	m := NewLightGCN()
+	m.Epochs = 100
+	p, _ := evalP4(t, m, d)
+	if p <= randomP4 {
+		t.Fatalf("LightGCN P@4 = %v, want > random", p)
+	}
+}
+
+func TestBiparGCNBeatsRandom(t *testing.T) {
+	d := testDataset(6, 240)
+	m := NewBiparGCN()
+	m.Epochs = 100
+	p, _ := evalP4(t, m, d)
+	if p <= randomP4 {
+		t.Fatalf("Bipar-GCN P@4 = %v, want > random", p)
+	}
+}
+
+func TestSafeDrugBeatsRandom(t *testing.T) {
+	d := testDataset(7, 240)
+	m := NewSafeDrug()
+	m.Epochs = 100
+	p, _ := evalP4(t, m, d)
+	if p <= randomP4 {
+		t.Fatalf("SafeDrug P@4 = %v, want > random", p)
+	}
+}
+
+func TestCauseRecBeatsRandom(t *testing.T) {
+	d := testDataset(8, 240)
+	m := NewCauseRec()
+	m.Epochs = 100
+	p, _ := evalP4(t, m, d)
+	if p <= randomP4 {
+		t.Fatalf("CauseRec P@4 = %v, want > random", p)
+	}
+}
+
+func TestSafeDrugWithVisitHistory(t *testing.T) {
+	opts := synth.DefaultMIMICOptions()
+	opts.Patients = 160
+	mm := synth.GenerateMIMIC(rand.New(rand.NewSource(9)), opts)
+	d := dataset.FromMIMIC(rand.New(rand.NewSource(10)), mm)
+	m := NewSafeDrug()
+	m.Epochs = 60
+	m.VisitHistory = mm.VisitMedicineHistory()
+	p, r := evalP4(t, m, d)
+	// On MIMIC-like data history medicines strongly predict the label.
+	if p < 0.2 || r < 0.1 {
+		t.Fatalf("SafeDrug(GRU) P@4 = %v R@4 = %v; visit history signal lost", p, r)
+	}
+}
+
+func TestLightGCNOverSmoothingProbe(t *testing.T) {
+	// Fig. 7 phenomenon: post-propagation patient representations
+	// should be substantially more mutually similar than raw features.
+	d := testDataset(11, 240)
+	m := NewLightGCN()
+	m.Epochs = 80
+	m.Fit(d)
+	positions := make([]int, 40)
+	for i := range positions {
+		positions[i] = i
+	}
+	reps := m.PatientRepresentations(positions)
+	if reps.Rows() != 40 {
+		t.Fatalf("reps shape %dx%d", reps.Rows(), reps.Cols())
+	}
+	if m.DrugRepresentations().Rows() != d.NumDrugs() {
+		t.Fatal("drug reps shape wrong")
+	}
+}
+
+func TestAllNamesDistinct(t *testing.T) {
+	models := []Suggester{
+		NewUserSim(), NewECC(), NewSVM(), NewGCMC(),
+		NewLightGCN(), NewBiparGCN(), NewSafeDrug(), NewCauseRec(),
+	}
+	seen := map[string]bool{}
+	for _, m := range models {
+		if m.Name() == "" || seen[m.Name()] {
+			t.Fatalf("duplicate or empty name %q", m.Name())
+		}
+		seen[m.Name()] = true
+	}
+}

@@ -1,0 +1,248 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+
+	"dssddi/internal/dataset"
+	"dssddi/internal/mat"
+)
+
+// UserSim is the paper's naive similarity baseline (Eq. 20): the score
+// of drug v for an unobserved patient is the cosine-similarity-weighted
+// average of observed patients' medication use.
+type UserSim struct {
+	d *dataset.Dataset
+}
+
+// NewUserSim returns the baseline.
+func NewUserSim() *UserSim { return &UserSim{} }
+
+// Name implements Suggester.
+func (u *UserSim) Name() string { return "UserSim" }
+
+// Fit implements Suggester (UserSim is non-parametric; it just keeps
+// the dataset).
+func (u *UserSim) Fit(d *dataset.Dataset) { u.d = d }
+
+// Scores implements Suggester: YU = cosine(XU, XO) · YO.
+func (u *UserSim) Scores(patients []int) *mat.Dense {
+	d := u.d
+	out := mat.New(len(patients), d.NumDrugs())
+	for i, p := range patients {
+		xi := d.X.Row(p)
+		srow := out.Row(i)
+		for _, o := range d.Train {
+			sim := mat.CosineSimilarity(xi, d.X.Row(o))
+			if sim <= 0 {
+				continue
+			}
+			for v := 0; v < d.NumDrugs(); v++ {
+				if d.Y.At(o, v) == 1 {
+					srow[v] += sim
+				}
+			}
+		}
+	}
+	return out
+}
+
+// logistic is a binary logistic-regression classifier trained by
+// full-batch gradient descent with L2 regularisation; the building
+// block of ECC.
+type logistic struct {
+	w []float64
+	b float64
+}
+
+// fitLogistic trains on rows x with binary targets y.
+func fitLogistic(x [][]float64, y []float64, epochs int, lr, l2 float64) *logistic {
+	if len(x) == 0 {
+		return &logistic{w: nil}
+	}
+	d := len(x[0])
+	m := &logistic{w: make([]float64, d)}
+	n := float64(len(x))
+	gw := make([]float64, d)
+	for e := 0; e < epochs; e++ {
+		for j := range gw {
+			gw[j] = l2 * m.w[j]
+		}
+		var gb float64
+		for i, xi := range x {
+			p := mat.Sigmoid(m.score(xi))
+			diff := (p - y[i]) / n
+			for j, xv := range xi {
+				gw[j] += diff * xv
+			}
+			gb += diff
+		}
+		for j := range m.w {
+			m.w[j] -= lr * gw[j]
+		}
+		m.b -= lr * gb
+	}
+	return m
+}
+
+func (m *logistic) score(x []float64) float64 {
+	if m.w == nil {
+		return 0
+	}
+	return mat.Dot(m.w, x) + m.b
+}
+
+// ECC is the Ensemble of Classifier Chains baseline (Read et al.,
+// 2009) with logistic-regression base classifiers: each chain orders
+// the labels randomly and feeds earlier predictions as extra features
+// to later classifiers; the ensemble averages chain scores.
+type ECC struct {
+	Chains int
+	Epochs int
+	LR     float64
+	Seed   int64
+
+	d      *dataset.Dataset
+	orders [][]int
+	models [][]*logistic // [chain][position]
+}
+
+// NewECC returns the baseline with the configuration used in the
+// experiments.
+func NewECC() *ECC { return &ECC{Chains: 3, Epochs: 60, LR: 0.5, Seed: 1} }
+
+// Name implements Suggester.
+func (e *ECC) Name() string { return "ECC" }
+
+// Fit implements Suggester.
+func (e *ECC) Fit(d *dataset.Dataset) {
+	e.d = d
+	rng := rand.New(rand.NewSource(e.Seed))
+	nD := d.NumDrugs()
+	xBase := make([][]float64, len(d.Train))
+	for i, p := range d.Train {
+		xBase[i] = d.X.Row(p)
+	}
+	e.orders = make([][]int, e.Chains)
+	e.models = make([][]*logistic, e.Chains)
+	for c := 0; c < e.Chains; c++ {
+		e.orders[c] = rng.Perm(nD)
+		e.models[c] = make([]*logistic, nD)
+		// Chain features grow with each position: [x, y_prev...].
+		feats := make([][]float64, len(xBase))
+		for i := range feats {
+			feats[i] = append([]float64(nil), xBase[i]...)
+		}
+		for pos, label := range e.orders[c] {
+			y := make([]float64, len(d.Train))
+			for i, p := range d.Train {
+				y[i] = e.d.Y.At(p, label)
+			}
+			e.models[c][pos] = fitLogistic(feats, y, e.Epochs, e.LR, 1e-3)
+			// Append TRUE labels during training (teacher forcing, as
+			// in the original CC formulation).
+			for i := range feats {
+				feats[i] = append(feats[i], y[i])
+			}
+		}
+	}
+}
+
+// Scores implements Suggester: chains are rolled out with predicted
+// probabilities as the chained features.
+func (e *ECC) Scores(patients []int) *mat.Dense {
+	d := e.d
+	out := mat.New(len(patients), d.NumDrugs())
+	for i, p := range patients {
+		for c := 0; c < e.Chains; c++ {
+			feats := append([]float64(nil), d.X.Row(p)...)
+			for pos, label := range e.orders[c] {
+				prob := mat.Sigmoid(e.models[c][pos].score(feats))
+				out.Add(i, label, prob/float64(e.Chains))
+				feats = append(feats, prob)
+			}
+		}
+	}
+	return out
+}
+
+// SVM is the linear one-vs-rest support-vector baseline: one hinge-loss
+// classifier per drug trained with Pegasos-style SGD; ranking scores
+// are the raw margins.
+type SVM struct {
+	Epochs int
+	Lambda float64
+	Seed   int64
+
+	d *dataset.Dataset
+	w [][]float64
+	b []float64
+}
+
+// NewSVM returns the baseline with the configuration used in the
+// experiments.
+func NewSVM() *SVM { return &SVM{Epochs: 40, Lambda: 1e-3, Seed: 1} }
+
+// Name implements Suggester.
+func (s *SVM) Name() string { return "SVM" }
+
+// Fit implements Suggester.
+func (s *SVM) Fit(d *dataset.Dataset) {
+	s.d = d
+	rng := rand.New(rand.NewSource(s.Seed))
+	nD := d.NumDrugs()
+	dim := d.X.Cols()
+	s.w = make([][]float64, nD)
+	s.b = make([]float64, nD)
+	for v := 0; v < nD; v++ {
+		w := make([]float64, dim)
+		var b float64
+		step := 0
+		for e := 0; e < s.Epochs; e++ {
+			perm := rng.Perm(len(d.Train))
+			for _, pi := range perm {
+				p := d.Train[pi]
+				step++
+				eta := 1 / (s.Lambda * float64(step))
+				yi := -1.0
+				if d.Y.At(p, v) == 1 {
+					yi = 1
+				}
+				xi := d.X.Row(p)
+				margin := yi * (mat.Dot(w, xi) + b)
+				for j := range w {
+					w[j] *= 1 - eta*s.Lambda
+				}
+				if margin < 1 {
+					for j, xv := range xi {
+						w[j] += eta * yi * xv
+					}
+					b += eta * yi * 0.1
+				}
+			}
+		}
+		s.w[v] = w
+		s.b[v] = b
+	}
+}
+
+// Scores implements Suggester.
+func (s *SVM) Scores(patients []int) *mat.Dense {
+	d := s.d
+	out := mat.New(len(patients), d.NumDrugs())
+	for i, p := range patients {
+		xi := d.X.Row(p)
+		for v := 0; v < d.NumDrugs(); v++ {
+			out.Set(i, v, mat.Dot(s.w[v], xi)+s.b[v])
+		}
+	}
+	return out
+}
+
+// sigmoidSafe keeps scores finite for ranking.
+func sigmoidSafe(x float64) float64 {
+	if math.IsNaN(x) {
+		return 0
+	}
+	return mat.Sigmoid(x)
+}

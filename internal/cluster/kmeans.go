@@ -1,0 +1,148 @@
+// Package cluster implements k-means clustering (Hartigan & Wong style
+// Lloyd iterations with k-means++ seeding). The Medical Decision module
+// clusters patients by their features to build the treatment matrix;
+// the paper sets k to the number of chronic diseases in the cohort.
+package cluster
+
+import (
+	"math"
+	"math/rand"
+
+	"dssddi/internal/mat"
+)
+
+// Result holds a clustering.
+type Result struct {
+	// Assign[i] is the cluster index of row i.
+	Assign []int
+	// Centroids is a k x d matrix of cluster centres.
+	Centroids *mat.Dense
+	// Inertia is the summed squared distance of points to their
+	// centroids.
+	Inertia float64
+	// Iterations actually run.
+	Iterations int
+}
+
+// KMeans clusters the rows of x into k clusters. maxIter bounds the
+// Lloyd iterations (20 is plenty for the cohort sizes here). The rng
+// drives k-means++ seeding, making runs reproducible.
+func KMeans(rng *rand.Rand, x *mat.Dense, k, maxIter int) Result {
+	n, d := x.Rows(), x.Cols()
+	if k <= 0 {
+		panic("cluster: k must be positive")
+	}
+	if k > n {
+		k = n
+	}
+	if maxIter <= 0 {
+		maxIter = 20
+	}
+	centroids := seedPlusPlus(rng, x, k)
+	assign := make([]int, n)
+	var inertia float64
+	iters := 0
+	for iter := 0; iter < maxIter; iter++ {
+		iters = iter + 1
+		changed := false
+		inertia = 0
+		for i := 0; i < n; i++ {
+			row := x.Row(i)
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				dist := sqDist(row, centroids.Row(c))
+				if dist < bestD {
+					best, bestD = c, dist
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+			inertia += bestD
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids.
+		counts := make([]int, k)
+		next := mat.New(k, d)
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			counts[c]++
+			crow := next.Row(c)
+			for j, v := range x.Row(i) {
+				crow[j] += v
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at the point furthest from
+				// its centroid.
+				far, farD := 0, -1.0
+				for i := 0; i < n; i++ {
+					dist := sqDist(x.Row(i), centroids.Row(assign[i]))
+					if dist > farD {
+						far, farD = i, dist
+					}
+				}
+				copy(next.Row(c), x.Row(far))
+				continue
+			}
+			crow := next.Row(c)
+			for j := range crow {
+				crow[j] /= float64(counts[c])
+			}
+		}
+		centroids = next
+	}
+	return Result{Assign: assign, Centroids: centroids, Inertia: inertia, Iterations: iters}
+}
+
+// seedPlusPlus picks k initial centroids with k-means++ (distance-
+// squared weighted sampling).
+func seedPlusPlus(rng *rand.Rand, x *mat.Dense, k int) *mat.Dense {
+	n, d := x.Rows(), x.Cols()
+	centroids := mat.New(k, d)
+	first := rng.Intn(n)
+	copy(centroids.Row(0), x.Row(first))
+	minD := make([]float64, n)
+	for i := range minD {
+		minD[i] = sqDist(x.Row(i), centroids.Row(0))
+	}
+	for c := 1; c < k; c++ {
+		var total float64
+		for _, v := range minD {
+			total += v
+		}
+		var pick int
+		if total == 0 {
+			pick = rng.Intn(n)
+		} else {
+			r := rng.Float64() * total
+			for i, v := range minD {
+				r -= v
+				if r <= 0 {
+					pick = i
+					break
+				}
+			}
+		}
+		copy(centroids.Row(c), x.Row(pick))
+		for i := range minD {
+			if dist := sqDist(x.Row(i), centroids.Row(c)); dist < minD[i] {
+				minD[i] = dist
+			}
+		}
+	}
+	return centroids
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		diff := v - b[i]
+		s += diff * diff
+	}
+	return s
+}

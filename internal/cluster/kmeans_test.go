@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"dssddi/internal/mat"
+)
+
+// blobs generates three well-separated Gaussian blobs.
+func blobs(rng *rand.Rand, perBlob int) (*mat.Dense, []int) {
+	centers := [][]float64{{0, 0}, {10, 10}, {-10, 10}}
+	x := mat.New(3*perBlob, 2)
+	truth := make([]int, 3*perBlob)
+	for b, c := range centers {
+		for i := 0; i < perBlob; i++ {
+			r := b*perBlob + i
+			x.Set(r, 0, c[0]+rng.NormFloat64()*0.5)
+			x.Set(r, 1, c[1]+rng.NormFloat64()*0.5)
+			truth[r] = b
+		}
+	}
+	return x, truth
+}
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, truth := blobs(rng, 30)
+	res := KMeans(rng, x, 3, 50)
+	// Every pair in the same true blob must share a cluster, and pairs
+	// in different blobs must differ.
+	for i := 0; i < x.Rows(); i++ {
+		for j := i + 1; j < x.Rows(); j++ {
+			same := truth[i] == truth[j]
+			got := res.Assign[i] == res.Assign[j]
+			if same != got {
+				t.Fatalf("points %d,%d: same-blob=%v but same-cluster=%v", i, j, same, got)
+			}
+		}
+	}
+}
+
+func TestKMeansInertiaDecreasesWithK(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, _ := blobs(rng, 20)
+	r1 := KMeans(rand.New(rand.NewSource(3)), x, 1, 50)
+	r3 := KMeans(rand.New(rand.NewSource(3)), x, 3, 50)
+	if r3.Inertia >= r1.Inertia {
+		t.Fatalf("inertia should drop with more clusters: k1=%v k3=%v", r1.Inertia, r3.Inertia)
+	}
+}
+
+func TestKMeansKLargerThanN(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := mat.FromRows([][]float64{{0, 0}, {1, 1}})
+	res := KMeans(rng, x, 5, 10)
+	if len(res.Assign) != 2 {
+		t.Fatal("assignment length wrong")
+	}
+	if res.Centroids.Rows() != 2 {
+		t.Fatalf("k should clamp to n, got %d centroids", res.Centroids.Rows())
+	}
+}
+
+func TestKMeansDeterministicWithSeed(t *testing.T) {
+	x, _ := blobs(rand.New(rand.NewSource(5)), 15)
+	a := KMeans(rand.New(rand.NewSource(7)), x, 3, 50)
+	b := KMeans(rand.New(rand.NewSource(7)), x, 3, 50)
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same seed should give identical clustering")
+		}
+	}
+}
+
+func TestKMeansIdenticalPoints(t *testing.T) {
+	x := mat.New(6, 2) // all-zero points
+	res := KMeans(rand.New(rand.NewSource(8)), x, 2, 10)
+	if res.Inertia != 0 {
+		t.Fatalf("identical points should have 0 inertia, got %v", res.Inertia)
+	}
+}
+
+func TestKMeansPanicsOnNonPositiveK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	KMeans(rand.New(rand.NewSource(9)), mat.New(3, 2), 0, 10)
+}

@@ -1,0 +1,320 @@
+// Package community implements the Closest Truss Community (CTC) search
+// of Huang et al. (VLDB J. 2015), which the paper's Medical Support
+// module uses (its Algorithm 1) to extract the dense DDI subgraph
+// around a set of suggested drugs:
+//
+//  1. truss-decompose the DDI graph,
+//  2. connect the query drugs with an approximate Steiner tree under
+//     the truss distance,
+//  3. expand the tree into a dense subgraph G'0 whose edges have truss
+//     number >= the tree's minimum truss,
+//  4. iteratively delete the nodes furthest from the query while
+//     maintaining the truss property,
+//  5. return the iterate with the smallest query distance.
+package community
+
+import (
+	"sort"
+
+	"dssddi/internal/graph"
+	"dssddi/internal/steiner"
+	"dssddi/internal/truss"
+)
+
+// Options tunes the search.
+type Options struct {
+	// MaxExpand caps the size (in nodes) of the expanded subgraph G'0
+	// before shrinking. The paper's n0. Defaults to 20.
+	MaxExpand int
+}
+
+// Result is the closest dense subgraph found for a query.
+type Result struct {
+	// Nodes of the final community, sorted.
+	Nodes []int
+	// Edges of the final community (u < v), sorted.
+	Edges [][2]int
+	// Trussness is the minimum edge truss number of the community.
+	Trussness int
+	// Found reports whether the query nodes were connected at all; if
+	// false, Nodes contains just the query.
+	Found bool
+}
+
+// Search runs the CTC algorithm on g for the query node set. The graph
+// is typically the interacting skeleton of the DDI graph.
+func Search(g *graph.Undirected, query []int, opts Options) Result {
+	if opts.MaxExpand <= 0 {
+		opts.MaxExpand = 20
+	}
+	if len(query) == 0 {
+		return Result{Found: false}
+	}
+	uniq := dedup(query)
+	if len(uniq) == 1 && g.Degree(uniq[0]) == 0 {
+		return Result{Nodes: uniq, Found: false}
+	}
+
+	// Step 1: truss decomposition on the whole graph.
+	tn := truss.Decompose(g)
+
+	// Step 2: Steiner tree under truss distance. Edges with higher
+	// truss are "closer": weight = 1 + 1/(truss-1) keeps weights
+	// positive and prefers dense edges (the truss distance of the
+	// paper's reference).
+	w := func(u, v int) float64 {
+		t := tn[truss.MakeEdge(u, v)]
+		if t < 2 {
+			t = 2
+		}
+		return 1 + 1/float64(t-1)
+	}
+	tree := steiner.Approximate(g, uniq, w)
+	if tree == nil {
+		return Result{Nodes: uniq, Found: false}
+	}
+
+	// p' = min truss number over tree edges.
+	var treeEdges []truss.Edge
+	for _, e := range tree.Edges {
+		treeEdges = append(treeEdges, truss.MakeEdge(e[0], e[1]))
+	}
+	pPrime := truss.MinTrussOn(tn, treeEdges)
+	if pPrime < 2 {
+		pPrime = 2
+	}
+
+	// Step 3: expand the tree into G'0 by BFS over adjacent edges with
+	// truss(e) >= p', capped at MaxExpand nodes.
+	inSub := make(map[int]bool)
+	for n := range tree.Nodes {
+		inSub[n] = true
+	}
+	frontier := keys(inSub)
+	for len(inSub) < opts.MaxExpand && len(frontier) > 0 {
+		var next []int
+		for _, u := range frontier {
+			for _, v := range g.Neighbors(u) {
+				if inSub[v] {
+					continue
+				}
+				if tn[truss.MakeEdge(u, v)] >= pPrime {
+					inSub[v] = true
+					next = append(next, v)
+					if len(inSub) >= opts.MaxExpand {
+						break
+					}
+				}
+			}
+			if len(inSub) >= opts.MaxExpand {
+				break
+			}
+		}
+		frontier = next
+	}
+	g0 := g.Subgraph(inSub)
+
+	// Step 4: find the maximum connected p-truss containing the query
+	// inside G'0; p stays fixed for the rest of the search.
+	g0, p := maxConnectedTruss(g0, uniq)
+	if g0 == nil {
+		// Fall back to the Steiner tree itself.
+		return treeResult(tree, tn, uniq)
+	}
+
+	// Step 5: iterative shrink — delete the furthest node while
+	// maintaining the p-truss property and query connectivity, keeping
+	// the iterate with the smallest query distance (Alg. 1, lines
+	// 10-15).
+	best := g0.Clone()
+	bestDist := maxQueryDistance(best, uniq)
+	cur := g0.Clone()
+	queryMask := make(map[int]bool, len(uniq))
+	for _, q := range uniq {
+		queryMask[q] = true
+	}
+	for {
+		qd := cur.QueryDistance(uniq)
+		var nodes []int
+		for v := 0; v < cur.N(); v++ {
+			if cur.Degree(v) > 0 {
+				nodes = append(nodes, v)
+			}
+		}
+		if len(nodes) <= len(uniq) {
+			break
+		}
+		// Find the furthest deletable (non-query) node.
+		far, farD := -1, -1
+		for _, v := range nodes {
+			if queryMask[v] {
+				continue
+			}
+			if qd[v] > farD {
+				far, farD = v, qd[v]
+			}
+		}
+		if far == -1 {
+			break
+		}
+		next := cur.Clone()
+		for _, nb := range next.Neighbors(far) {
+			next.RemoveEdge(far, nb)
+		}
+		next = maintainTruss(next, uniq, p)
+		if next == nil {
+			break
+		}
+		cur = next
+		if d := maxQueryDistance(cur, uniq); d <= bestDist {
+			bestDist = d
+			best = cur.Clone()
+		}
+	}
+
+	return finish(best, tn, uniq)
+}
+
+// maintainTruss restores the p-truss property after node deletions by
+// keeping only edges with truss >= p in the current subgraph, then
+// returns the component containing the query; nil if the query is
+// disconnected or any query node lost all its edges.
+func maintainTruss(g *graph.Undirected, query []int, p int) *graph.Undirected {
+	tn := truss.Decompose(g)
+	sub := truss.MaxTruss(g, tn, p)
+	if !sub.Connected(query) || !allInOneComponent(sub, query) {
+		return nil
+	}
+	for _, q := range query {
+		if sub.Degree(q) == 0 {
+			return nil
+		}
+	}
+	return componentOf(sub, query[0])
+}
+
+func treeResult(tree *steiner.Tree, tn map[truss.Edge]int, query []int) Result {
+	res := Result{Found: true}
+	for n := range tree.Nodes {
+		res.Nodes = append(res.Nodes, n)
+	}
+	sort.Ints(res.Nodes)
+	res.Edges = append(res.Edges, tree.Edges...)
+	var edges []truss.Edge
+	for _, e := range tree.Edges {
+		edges = append(edges, truss.MakeEdge(e[0], e[1]))
+	}
+	res.Trussness = truss.MinTrussOn(tn, edges)
+	return res
+}
+
+func finish(g *graph.Undirected, tn map[truss.Edge]int, query []int) Result {
+	res := Result{Found: true}
+	present := make(map[int]bool)
+	for _, e := range g.Edges() {
+		res.Edges = append(res.Edges, e)
+		present[e[0]] = true
+		present[e[1]] = true
+	}
+	for _, q := range query {
+		present[q] = true
+	}
+	res.Nodes = keys(present)
+	sort.Ints(res.Nodes)
+	var edges []truss.Edge
+	for _, e := range res.Edges {
+		edges = append(edges, truss.MakeEdge(e[0], e[1]))
+	}
+	res.Trussness = truss.MinTrussOn(tn, edges)
+	return res
+}
+
+// maxConnectedTruss returns the maximal connected k-truss of g
+// containing all query nodes, for the largest k that admits one, along
+// with that k; (nil, 0) when the query is not connected in g at all.
+// Query nodes must retain at least one incident edge in the result.
+func maxConnectedTruss(g *graph.Undirected, query []int) (*graph.Undirected, int) {
+	if !g.Connected(query) {
+		return nil, 0
+	}
+	tn := truss.Decompose(g)
+	maxK := 2
+	for _, k := range tn {
+		if k > maxK {
+			maxK = k
+		}
+	}
+	for k := maxK; k >= 2; k-- {
+		sub := truss.MaxTruss(g, tn, k)
+		if !sub.Connected(query) || !allInOneComponent(sub, query) {
+			continue
+		}
+		ok := true
+		for _, q := range query {
+			if sub.Degree(q) == 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return componentOf(sub, query[0]), k
+		}
+	}
+	return nil, 0
+}
+
+func allInOneComponent(g *graph.Undirected, query []int) bool {
+	if len(query) == 0 {
+		return true
+	}
+	comp := g.ConnectedComponent(query[0])
+	for _, q := range query {
+		if !comp[q] {
+			return false
+		}
+	}
+	return true
+}
+
+func componentOf(g *graph.Undirected, src int) *graph.Undirected {
+	return g.Subgraph(g.ConnectedComponent(src))
+}
+
+// maxQueryDistance is the community's distance to the query: the
+// maximum over community nodes of the max hop distance to any query
+// node (proxy for diameter-based closeness in the reference).
+func maxQueryDistance(g *graph.Undirected, query []int) int {
+	qd := g.QueryDistance(query)
+	var worst int
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) == 0 {
+			continue
+		}
+		if qd[v] > worst {
+			worst = qd[v]
+		}
+	}
+	return worst
+}
+
+func dedup(xs []int) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func keys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,160 @@
+package community
+
+import (
+	"math/rand"
+	"testing"
+
+	"dssddi/internal/graph"
+)
+
+func clique(g *graph.Undirected, nodes ...int) {
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			g.AddEdge(nodes[i], nodes[j])
+		}
+	}
+}
+
+func TestEmptyQuery(t *testing.T) {
+	g := graph.NewUndirected(3)
+	res := Search(g, nil, Options{})
+	if res.Found {
+		t.Fatal("empty query should not be found")
+	}
+}
+
+func TestIsolatedSingleQuery(t *testing.T) {
+	g := graph.NewUndirected(3)
+	g.AddEdge(0, 1)
+	res := Search(g, []int{2}, Options{})
+	if res.Found {
+		t.Fatal("isolated node has no community")
+	}
+	if len(res.Nodes) != 1 || res.Nodes[0] != 2 {
+		t.Fatalf("nodes = %v", res.Nodes)
+	}
+}
+
+func TestSingleQueryInClique(t *testing.T) {
+	g := graph.NewUndirected(6)
+	clique(g, 0, 1, 2, 3)
+	res := Search(g, []int{0}, Options{})
+	if !res.Found {
+		t.Fatal("expected community")
+	}
+	if res.Trussness < 3 {
+		t.Fatalf("clique member should sit in a >=3-truss, got %d", res.Trussness)
+	}
+}
+
+func TestQueryInsideDenseCluster(t *testing.T) {
+	// Two K4s joined by a path; query inside the first K4 must return
+	// (a subgraph of) that K4, not drag in the other.
+	g := graph.NewUndirected(12)
+	clique(g, 0, 1, 2, 3)
+	clique(g, 8, 9, 10, 11)
+	g.AddEdge(3, 5)
+	g.AddEdge(5, 6)
+	g.AddEdge(6, 8)
+	res := Search(g, []int{0, 1}, Options{})
+	if !res.Found {
+		t.Fatal("expected community")
+	}
+	for _, n := range res.Nodes {
+		if n >= 8 {
+			t.Fatalf("community leaked into distant cluster: %v", res.Nodes)
+		}
+	}
+	if res.Trussness != 4 {
+		t.Fatalf("K4 trussness = %d, want 4", res.Trussness)
+	}
+}
+
+func TestQueryAcrossTwoClusters(t *testing.T) {
+	// Query nodes in both K4s: the community must contain both query
+	// nodes and connect them.
+	g := graph.NewUndirected(10)
+	clique(g, 0, 1, 2, 3)
+	clique(g, 6, 7, 8, 9)
+	g.AddEdge(3, 5)
+	g.AddEdge(5, 6)
+	res := Search(g, []int{0, 9}, Options{})
+	if !res.Found {
+		t.Fatal("expected community")
+	}
+	has := map[int]bool{}
+	for _, n := range res.Nodes {
+		has[n] = true
+	}
+	if !has[0] || !has[9] {
+		t.Fatalf("community must include query nodes, got %v", res.Nodes)
+	}
+	// Query must be connected within the returned edge set.
+	sub := graph.NewUndirected(10)
+	for _, e := range res.Edges {
+		sub.AddEdge(e[0], e[1])
+	}
+	if !sub.Connected([]int{0, 9}) {
+		t.Fatal("query nodes not connected in community")
+	}
+}
+
+func TestDisconnectedQueryNotFound(t *testing.T) {
+	g := graph.NewUndirected(6)
+	clique(g, 0, 1, 2)
+	clique(g, 3, 4, 5)
+	res := Search(g, []int{0, 5}, Options{})
+	if res.Found {
+		t.Fatal("disconnected query should not be found")
+	}
+}
+
+func TestCommunityAlwaysContainsQuery(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 15
+		g := graph.NewUndirected(n)
+		for i := 0; i < n; i++ {
+			g.AddEdge(i, (i+1)%n)
+		}
+		for e := 0; e < 25; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		q := []int{rng.Intn(n), rng.Intn(n), rng.Intn(n)}
+		res := Search(g, q, Options{MaxExpand: 12})
+		if !res.Found {
+			t.Fatalf("seed %d: connected graph query should be found", seed)
+		}
+		has := map[int]bool{}
+		for _, x := range res.Nodes {
+			has[x] = true
+		}
+		for _, x := range q {
+			if !has[x] {
+				t.Fatalf("seed %d: community %v missing query node %d", seed, res.Nodes, x)
+			}
+		}
+	}
+}
+
+func TestShrinkPrefersTighterCommunity(t *testing.T) {
+	// Dense core K4 {0..3} with a long pendant path 3-4-5-6 that the
+	// expansion may include; shrinking must drop the path tail.
+	g := graph.NewUndirected(8)
+	clique(g, 0, 1, 2, 3)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 5)
+	g.AddEdge(5, 6)
+	res := Search(g, []int{0, 1}, Options{})
+	if !res.Found {
+		t.Fatal("expected community")
+	}
+	for _, n := range res.Nodes {
+		if n >= 5 {
+			t.Fatalf("tail node %d should be shrunk away, got %v", n, res.Nodes)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package dataset packages a medication-suggestion problem instance —
+// patient features X, binary medication-use labels Y, the signed DDI
+// graph and the observed/unobserved patient split — in the form every
+// model in the repository consumes.
+//
+// Terminology follows the paper: "observed" patients (train) have both
+// features and medication use available to the model; "unobserved"
+// patients (validation/test) expose only features at inference time.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dssddi/internal/graph"
+	"dssddi/internal/mat"
+	"dssddi/internal/synth"
+)
+
+// Dataset is one fully materialised problem instance.
+type Dataset struct {
+	// X is the n x d patient feature matrix (standardised).
+	X *mat.Dense
+	// Y is the n x m binary medication-use matrix.
+	Y *mat.Dense
+	// DDI is the signed drug-drug interaction graph on m drugs.
+	DDI *graph.Signed
+	// DrugFeatures is the m x f pretrained drug feature matrix (e.g.
+	// TransE embeddings); may be nil, in which case models fall back to
+	// one-hot IDs.
+	DrugFeatures *mat.Dense
+	// Train/Val/Test are disjoint patient index sets (5:3:2 split).
+	Train, Val, Test []int
+	// DrugNames, if present, maps drug IDs to names for explanations.
+	DrugNames []string
+	// NumClusters is the k used for patient clustering (the number of
+	// distinct diseases in the cohort, per the paper).
+	NumClusters int
+}
+
+// NumPatients returns n.
+func (d *Dataset) NumPatients() int { return d.X.Rows() }
+
+// NumDrugs returns m.
+func (d *Dataset) NumDrugs() int { return d.Y.Cols() }
+
+// Split partitions indices 0..n-1 into train/val/test with the given
+// ratios (they are normalised), shuffled by rng.
+func Split(rng *rand.Rand, n int, trainR, valR, testR float64) (train, val, test []int) {
+	total := trainR + valR + testR
+	if total <= 0 {
+		panic("dataset: non-positive split ratios")
+	}
+	perm := rng.Perm(n)
+	nTrain := int(math.Round(float64(n) * trainR / total))
+	nVal := int(math.Round(float64(n) * valR / total))
+	if nTrain+nVal > n {
+		nVal = n - nTrain
+	}
+	train = append(train, perm[:nTrain]...)
+	val = append(val, perm[nTrain:nTrain+nVal]...)
+	test = append(test, perm[nTrain+nVal:]...)
+	return
+}
+
+// Standardize rescales every column of x to zero mean, unit variance
+// (in place), using only the rows in fit to compute the statistics —
+// preventing information leaking from validation/test patients.
+// Constant columns are left centred.
+func Standardize(x *mat.Dense, fit []int) {
+	if len(fit) == 0 {
+		panic("dataset: Standardize needs at least one fitting row")
+	}
+	d := x.Cols()
+	mean := make([]float64, d)
+	std := make([]float64, d)
+	for _, i := range fit {
+		for j, v := range x.Row(i) {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(len(fit))
+	}
+	for _, i := range fit {
+		for j, v := range x.Row(i) {
+			dv := v - mean[j]
+			std[j] += dv * dv
+		}
+	}
+	for j := range std {
+		std[j] = math.Sqrt(std[j] / float64(len(fit)))
+		if std[j] < 1e-9 {
+			std[j] = 1
+		}
+	}
+	for i := 0; i < x.Rows(); i++ {
+		row := x.Row(i)
+		for j := range row {
+			row[j] = (row[j] - mean[j]) / std[j]
+		}
+	}
+}
+
+// FromCohort converts a synthetic chronic cohort into a Dataset with
+// the paper's 5:3:2 split and standardised features.
+func FromCohort(rng *rand.Rand, c *synth.Cohort, drugFeatures *mat.Dense) *Dataset {
+	x := c.FeatureMatrix()
+	y := c.LabelMatrix()
+	train, val, test := Split(rng, x.Rows(), 5, 3, 2)
+	Standardize(x, train)
+	names := make([]string, len(c.Catalog))
+	for i, d := range c.Catalog {
+		names[i] = d.Name
+	}
+	return &Dataset{
+		X: x, Y: y, DDI: c.DDI, DrugFeatures: drugFeatures,
+		Train: train, Val: val, Test: test,
+		DrugNames:   names,
+		NumClusters: c.DiseaseCount(),
+	}
+}
+
+// FromMIMIC converts a synthetic MIMIC instance into a Dataset.
+func FromMIMIC(rng *rand.Rand, m *synth.MIMIC) *Dataset {
+	x := m.FeatureMatrix()
+	y := m.LabelMatrix()
+	train, val, test := Split(rng, x.Rows(), 5, 3, 2)
+	Standardize(x, train)
+	names := make([]string, m.Opts.Medicines)
+	for i := range names {
+		names[i] = fmt.Sprintf("MED_%04d", i)
+	}
+	return &Dataset{
+		X: x, Y: y, DDI: m.DDI,
+		Train: train, Val: val, Test: test,
+		DrugNames:   names,
+		NumClusters: m.Opts.Conditions,
+	}
+}
+
+// ObservedBipartite builds the patient-drug bipartite graph over the
+// TRAIN patients only, reindexed so row i corresponds to Train[i].
+func (d *Dataset) ObservedBipartite() *graph.Bipartite {
+	b := graph.NewBipartite(len(d.Train), d.NumDrugs())
+	for i, p := range d.Train {
+		for v := 0; v < d.NumDrugs(); v++ {
+			if d.Y.At(p, v) == 1 {
+				b.AddLink(i, v)
+			}
+		}
+	}
+	return b
+}
+
+// Rows gathers the feature rows for the given patient indices.
+func (d *Dataset) Rows(idx []int) *mat.Dense { return d.X.GatherRows(idx) }
+
+// Labels gathers the label rows for the given patient indices.
+func (d *Dataset) Labels(idx []int) *mat.Dense { return d.Y.GatherRows(idx) }
+
+// TruePositives returns the drug IDs patient p takes.
+func (d *Dataset) TruePositives(p int) []int {
+	var out []int
+	for v := 0; v < d.NumDrugs(); v++ {
+		if d.Y.At(p, v) == 1 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// NegativeSample draws, for each (patient, positive-drug) pair in rows,
+// one uniformly random drug the patient does NOT take (the paper's 1:1
+// negative sampling). It returns parallel slices of patient indices,
+// drug IDs and 0/1 targets covering both positives and negatives.
+func (d *Dataset) NegativeSample(rng *rand.Rand, patients []int) (ps, vs []int, ys []float64) {
+	m := d.NumDrugs()
+	for _, p := range patients {
+		for v := 0; v < m; v++ {
+			if d.Y.At(p, v) != 1 {
+				continue
+			}
+			ps = append(ps, p)
+			vs = append(vs, v)
+			ys = append(ys, 1)
+			// Matched negative.
+			for {
+				neg := rng.Intn(m)
+				if d.Y.At(p, neg) != 1 {
+					ps = append(ps, p)
+					vs = append(vs, neg)
+					ys = append(ys, 0)
+					break
+				}
+			}
+		}
+	}
+	return
+}

@@ -1,0 +1,146 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dssddi/internal/mat"
+	"dssddi/internal/synth"
+)
+
+func TestSplitRatiosAndDisjointness(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	train, val, test := Split(rng, 100, 5, 3, 2)
+	if len(train) != 50 || len(val) != 30 || len(test) != 20 {
+		t.Fatalf("split sizes %d/%d/%d", len(train), len(val), len(test))
+	}
+	seen := map[int]bool{}
+	for _, xs := range [][]int{train, val, test} {
+		for _, i := range xs {
+			if seen[i] {
+				t.Fatalf("index %d appears twice", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != 100 {
+		t.Fatalf("split covers %d of 100", len(seen))
+	}
+}
+
+func TestSplitSmallN(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	train, val, test := Split(rng, 3, 5, 3, 2)
+	if len(train)+len(val)+len(test) != 3 {
+		t.Fatal("small split must cover all")
+	}
+}
+
+func TestStandardizeUsesFitRowsOnly(t *testing.T) {
+	x := mat.FromRows([][]float64{{0}, {2}, {100}})
+	Standardize(x, []int{0, 1}) // fit stats: mean 1, std 1
+	if math.Abs(x.At(0, 0)+1) > 1e-9 || math.Abs(x.At(1, 0)-1) > 1e-9 {
+		t.Fatalf("standardised fit rows wrong: %v %v", x.At(0, 0), x.At(1, 0))
+	}
+	if math.Abs(x.At(2, 0)-99) > 1e-9 {
+		t.Fatalf("held-out row should use fit stats: %v", x.At(2, 0))
+	}
+}
+
+func TestStandardizeConstantColumn(t *testing.T) {
+	x := mat.FromRows([][]float64{{5, 1}, {5, 3}})
+	Standardize(x, []int{0, 1})
+	if math.IsNaN(x.At(0, 0)) || math.IsInf(x.At(0, 0), 0) {
+		t.Fatal("constant column must not produce NaN/Inf")
+	}
+	if x.At(0, 0) != 0 {
+		t.Fatalf("constant column should be centred to 0, got %v", x.At(0, 0))
+	}
+}
+
+func testDataset(t *testing.T) *Dataset {
+	t.Helper()
+	opts := synth.DefaultCohortOptions()
+	opts.Males, opts.Females = 60, 40
+	c := synth.GenerateCohort(rand.New(rand.NewSource(3)), opts)
+	return FromCohort(rand.New(rand.NewSource(4)), c, nil)
+}
+
+func TestFromCohort(t *testing.T) {
+	d := testDataset(t)
+	if d.NumPatients() != 100 || d.NumDrugs() != synth.NumDrugs {
+		t.Fatalf("shape %d %d", d.NumPatients(), d.NumDrugs())
+	}
+	if len(d.Train) != 50 || len(d.Val) != 30 || len(d.Test) != 20 {
+		t.Fatalf("split %d/%d/%d", len(d.Train), len(d.Val), len(d.Test))
+	}
+	if len(d.DrugNames) != synth.NumDrugs || d.DrugNames[1] != "Doxazosin" {
+		t.Fatal("drug names missing")
+	}
+	if d.NumClusters < 5 {
+		t.Fatalf("NumClusters %d", d.NumClusters)
+	}
+}
+
+func TestObservedBipartite(t *testing.T) {
+	d := testDataset(t)
+	b := d.ObservedBipartite()
+	if b.Patients != len(d.Train) {
+		t.Fatal("bipartite patient count wrong")
+	}
+	// Row i of the bipartite graph must match Y[Train[i]].
+	for i, p := range d.Train {
+		for _, v := range b.DrugsOf(i) {
+			if d.Y.At(p, v) != 1 {
+				t.Fatalf("bipartite link (%d,%d) not in Y", i, v)
+			}
+		}
+		if len(b.DrugsOf(i)) != len(d.TruePositives(p)) {
+			t.Fatal("bipartite degree mismatch")
+		}
+	}
+}
+
+func TestNegativeSampleBalanced(t *testing.T) {
+	d := testDataset(t)
+	rng := rand.New(rand.NewSource(5))
+	ps, vs, ys := d.NegativeSample(rng, d.Train)
+	if len(ps) != len(vs) || len(vs) != len(ys) {
+		t.Fatal("parallel slices length mismatch")
+	}
+	var pos, neg int
+	for i, y := range ys {
+		if y == 1 {
+			pos++
+			if d.Y.At(ps[i], vs[i]) != 1 {
+				t.Fatal("positive sample not in Y")
+			}
+		} else {
+			neg++
+			if d.Y.At(ps[i], vs[i]) == 1 {
+				t.Fatal("negative sample is actually positive")
+			}
+		}
+	}
+	if pos != neg {
+		t.Fatalf("1:1 sampling violated: %d pos, %d neg", pos, neg)
+	}
+}
+
+func TestFromMIMIC(t *testing.T) {
+	opts := synth.DefaultMIMICOptions()
+	opts.Patients = 60
+	m := synth.GenerateMIMIC(rand.New(rand.NewSource(6)), opts)
+	d := FromMIMIC(rand.New(rand.NewSource(7)), m)
+	if d.NumPatients() != 60 || d.NumDrugs() != opts.Medicines {
+		t.Fatalf("shape %d %d", d.NumPatients(), d.NumDrugs())
+	}
+	if d.DrugNames[3] != "MED_0003" {
+		t.Fatalf("anonymous names wrong: %s", d.DrugNames[3])
+	}
+	syn, _, _ := d.DDI.CountBySign()
+	if syn != 0 {
+		t.Fatal("MIMIC DDI must be unsigned")
+	}
+}

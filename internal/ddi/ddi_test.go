@@ -1,0 +1,170 @@
+package ddi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dssddi/internal/graph"
+	"dssddi/internal/synth"
+)
+
+// toyGraph builds a tiny signed graph: synergy triangle {0,1,2},
+// antagonism path 3-4, plus isolated node 5.
+func toyGraph() *graph.Signed {
+	g := graph.NewSigned(6)
+	g.SetEdge(0, 1, graph.Synergy)
+	g.SetEdge(1, 2, graph.Synergy)
+	g.SetEdge(0, 2, graph.Synergy)
+	g.SetEdge(3, 4, graph.Antagonism)
+	return g
+}
+
+func TestBuildTrainingGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tg := BuildTrainingGraph(rng, toyGraph(), 1.0)
+	var pos, neg, zero int
+	for _, v := range tg.Targets {
+		switch {
+		case v > 0:
+			pos++
+		case v < 0:
+			neg++
+		default:
+			zero++
+		}
+	}
+	if pos != 3 || neg != 1 {
+		t.Fatalf("pos=%d neg=%d, want 3,1", pos, neg)
+	}
+	if zero != 4 {
+		t.Fatalf("zero=%d, want 4 (ratio 1.0)", zero)
+	}
+	// Zero edges must not duplicate recorded interactions.
+	for i := range tg.EdgeU {
+		if tg.Targets[i] != 0 {
+			continue
+		}
+		if _, ok := tg.Signed.Edge(tg.EdgeU[i], tg.EdgeV[i]); ok {
+			t.Fatal("sampled zero edge collides with recorded edge")
+		}
+	}
+}
+
+func TestBuildTrainingGraphZeroRatioZero(t *testing.T) {
+	tg := BuildTrainingGraph(rand.New(rand.NewSource(2)), toyGraph(), 0)
+	for _, v := range tg.Targets {
+		if v == 0 {
+			t.Fatal("no zero edges expected at ratio 0")
+		}
+	}
+}
+
+func smallConfig(b Backbone) Config {
+	return Config{
+		Backbone: b, Hidden: 16, Layers: 2, Epochs: 400, LR: 1e-2,
+		ZeroRatio: 1.0, Seed: 3,
+	}
+}
+
+func TestAllBackbonesTrainAndSeparateSigns(t *testing.T) {
+	for _, b := range []Backbone{GIN, SGCN, SiGAT, SNEA} {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			m := NewModel(toyGraph(), smallConfig(b))
+			losses := m.Train()
+			first, last := losses[0], losses[len(losses)-1]
+			if !(last < first) {
+				t.Fatalf("%v loss did not decrease: %v -> %v", b, first, last)
+			}
+			z := m.Embeddings()
+			// Synergistic pair must score above the antagonistic pair.
+			synScore := m.EdgeScore(z, 0, 1)
+			antScore := m.EdgeScore(z, 3, 4)
+			if synScore <= antScore {
+				t.Fatalf("%v: synergy score %v not above antagonism %v", b, synScore, antScore)
+			}
+		})
+	}
+}
+
+func TestSGCNFitsEdgeRegression(t *testing.T) {
+	m := NewModel(toyGraph(), smallConfig(SGCN))
+	m.Train()
+	z := m.Embeddings()
+	if s := m.EdgeScore(z, 0, 1); math.Abs(s-1) > 0.5 {
+		t.Fatalf("synergy edge score %v, want near +1", s)
+	}
+	if s := m.EdgeScore(z, 3, 4); math.Abs(s+1) > 0.5 {
+		t.Fatalf("antagonism edge score %v, want near -1", s)
+	}
+}
+
+func TestEmbeddingsShapeAndDeterminism(t *testing.T) {
+	cfg := smallConfig(GIN)
+	cfg.Epochs = 10
+	m1 := NewModel(toyGraph(), cfg)
+	m1.Train()
+	z1 := m1.Embeddings()
+	if z1.Rows() != 6 || z1.Cols() != 16 {
+		t.Fatalf("embedding shape %dx%d", z1.Rows(), z1.Cols())
+	}
+	m2 := NewModel(toyGraph(), cfg)
+	m2.Train()
+	z2 := m2.Embeddings()
+	for i, v := range z1.Data() {
+		if v != z2.Data()[i] {
+			t.Fatal("same seed must give identical embeddings")
+		}
+	}
+}
+
+func TestOnFullCatalogGraph(t *testing.T) {
+	// Integration: the real 86-drug DDI graph with paper edge counts.
+	rng := rand.New(rand.NewSource(5))
+	g := synth.GenerateDDI(rng, synth.Catalog(), synth.DefaultDDIOptions())
+	cfg := smallConfig(SGCN)
+	cfg.Epochs = 60
+	m := NewModel(g, cfg)
+	losses := m.Train()
+	if losses[len(losses)-1] >= losses[0] {
+		t.Fatal("loss did not decrease on catalogue graph")
+	}
+	// Aggregate check: mean score over synergy edges must exceed mean
+	// over antagonism edges.
+	z := m.Embeddings()
+	el := g.Edges()
+	var synSum, antSum float64
+	var synN, antN int
+	for i := range el.U {
+		s := m.EdgeScore(z, el.U[i], el.V[i])
+		switch el.S[i] {
+		case graph.Synergy:
+			synSum += s
+			synN++
+		case graph.Antagonism:
+			antSum += s
+			antN++
+		}
+	}
+	if synSum/float64(synN) <= antSum/float64(antN) {
+		t.Fatalf("mean synergy score %.3f not above antagonism %.3f",
+			synSum/float64(synN), antSum/float64(antN))
+	}
+}
+
+func TestBackboneString(t *testing.T) {
+	if GIN.String() != "GIN" || SGCN.String() != "SGCN" ||
+		SiGAT.String() != "SiGAT" || SNEA.String() != "SNEA" {
+		t.Fatal("backbone names wrong")
+	}
+}
+
+func TestNumParamsPositive(t *testing.T) {
+	for _, b := range []Backbone{GIN, SGCN, SiGAT, SNEA} {
+		m := NewModel(toyGraph(), smallConfig(b))
+		if m.NumParams() == 0 {
+			t.Fatalf("%v has no parameters", b)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package ddi
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dssddi/internal/ag"
+	"dssddi/internal/graph"
+	"dssddi/internal/mat"
+	"dssddi/internal/nn"
+	"dssddi/internal/optim"
+)
+
+// Model is a trained (or trainable) DDIGCN.
+type Model struct {
+	Config Config
+	Graph  *TrainingGraph
+
+	params  nn.Params
+	enc     encoder
+	targets *mat.Dense
+}
+
+// NewModel builds a DDIGCN over the given signed DDI graph, sampling
+// the zero edges for its edge-regression training set.
+func NewModel(g *graph.Signed, cfg Config) *Model {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Model{Config: cfg}
+	m.Graph = BuildTrainingGraph(rng, g, cfg.ZeroRatio)
+	m.targets = m.Graph.TargetMatrix()
+	switch cfg.Backbone {
+	case GIN:
+		m.enc = newGIN(rng, &m.params, g, cfg.Hidden, cfg.Layers)
+	case SGCN:
+		m.enc = newSGCN(rng, &m.params, g, cfg.Hidden, cfg.Layers)
+	case SiGAT:
+		m.enc = newAttn(rng, &m.params, g, cfg.Hidden, cfg.Layers, kindSiGAT)
+	case SNEA:
+		m.enc = newAttn(rng, &m.params, g, cfg.Hidden, cfg.Layers, kindSNEA)
+	default:
+		panic(fmt.Sprintf("ddi: unknown backbone %v", cfg.Backbone))
+	}
+	return m
+}
+
+// forward builds the full forward pass: embeddings, per-edge inner
+// product scores (Eq. 5) and MSE loss (Eq. 6).
+func (m *Model) forward() (*ag.Tape, *ag.Node, *ag.Node) {
+	t := ag.NewTape()
+	z := m.enc.embed(t)
+	zu := t.GatherRows(z, m.Graph.EdgeU)
+	zv := t.GatherRows(z, m.Graph.EdgeV)
+	scores := t.RowDot(zu, zv)
+	loss := t.MSELoss(scores, m.targets)
+	return t, z, loss
+}
+
+// Train fits the model for Config.Epochs, returning the loss history.
+func (m *Model) Train() []float64 {
+	opt := optim.NewAdam(m.Config.LR)
+	losses := make([]float64, 0, m.Config.Epochs)
+	for epoch := 0; epoch < m.Config.Epochs; epoch++ {
+		t, _, loss := m.forward()
+		t.Backward(loss)
+		grads := nn.CollectGrads(t, &m.params)
+		optim.ClipGlobalNorm(grads, 5)
+		opt.Step(m.params.All(), grads)
+		losses = append(losses, loss.Value.At(0, 0))
+	}
+	return losses
+}
+
+// Embeddings runs a forward pass and returns the drug relation
+// embedding matrix (N x Hidden), detached from any tape.
+func (m *Model) Embeddings() *mat.Dense {
+	_, z, _ := m.forward()
+	return z.Value.Clone()
+}
+
+// EdgeScore predicts the interaction score between two drugs from the
+// current embeddings (ẑ ≈ +1 synergy, -1 antagonism, 0 none).
+func (m *Model) EdgeScore(z *mat.Dense, u, v int) float64 {
+	return mat.Dot(z.Row(u), z.Row(v))
+}
+
+// Loss returns the current training loss (without stepping).
+func (m *Model) Loss() float64 {
+	_, _, loss := m.forward()
+	return loss.Value.At(0, 0)
+}
+
+// NumParams reports the trainable parameter count.
+func (m *Model) NumParams() int { return m.params.Count() }

@@ -1,0 +1,134 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"dssddi/internal/ddi"
+)
+
+// tinyOptions keeps harness tests fast.
+func tinyOptions() Options {
+	return Options{
+		Seed: 1, Males: 130, Females: 110, MIMICPatients: 150,
+		DDIEpochs: 40, MDEpochs: 60, BaselineEpochs: 40, Hidden: 24,
+	}
+}
+
+func TestSuiteConstruction(t *testing.T) {
+	s := NewSuite(tinyOptions())
+	if s.Chronic.NumPatients() != 240 || s.Chronic.NumDrugs() != 86 {
+		t.Fatalf("chronic shape %d %d", s.Chronic.NumPatients(), s.Chronic.NumDrugs())
+	}
+	if s.MIMIC.NumPatients() != 150 {
+		t.Fatalf("mimic patients %d", s.MIMIC.NumPatients())
+	}
+	if s.KGEmb.Rows() != 86 {
+		t.Fatal("KG embeddings missing")
+	}
+}
+
+func TestDSSDDISuggesterFitsAndScores(t *testing.T) {
+	s := NewSuite(tinyOptions())
+	m := NewDSSDDI(ddi.SGCN, s.Opts)
+	if m.Name() != "DSSDDI(SGCN)" {
+		t.Fatalf("name %q", m.Name())
+	}
+	m.Fit(s.Chronic)
+	scores := m.Scores(s.Chronic.Test[:3])
+	if scores.Rows() != 3 || scores.Cols() != 86 {
+		t.Fatalf("scores shape %dx%d", scores.Rows(), scores.Cols())
+	}
+}
+
+func TestTableIIAblationRuns(t *testing.T) {
+	s := NewSuite(tinyOptions())
+	table := s.TableII()
+	if len(table.Rows) != 4 {
+		t.Fatalf("ablation rows %d, want 4", len(table.Rows))
+	}
+	wantRows := []string{"w/o DDI", "One-hot", "KG", "DDIGCN"}
+	for i, w := range wantRows {
+		if table.Rows[i].Method != w {
+			t.Fatalf("row %d = %q, want %q", i, table.Rows[i].Method, w)
+		}
+		if len(table.Rows[i].Reports) != 6 {
+			t.Fatalf("row %q has %d reports", w, len(table.Rows[i].Reports))
+		}
+	}
+	out := table.Format()
+	if !strings.Contains(out, "DDIGCN") || !strings.Contains(out, "P@6") {
+		t.Fatalf("format output wrong:\n%s", out)
+	}
+}
+
+func TestFigure2And3(t *testing.T) {
+	s := NewSuite(tinyOptions())
+	f2 := s.Figure2()
+	if !strings.Contains(f2, "Hypertension") {
+		t.Fatalf("figure 2 missing hypertension:\n%s", f2)
+	}
+	f3 := s.Figure3()
+	if !strings.Contains(f3, "Hypertension") || !strings.Contains(f3, "#") {
+		t.Fatalf("figure 3 malformed:\n%s", f3)
+	}
+}
+
+func TestFigure7OverSmoothingShape(t *testing.T) {
+	// Over-smoothing needs enough patients and training for the
+	// propagation to concentrate representations; use a mid profile.
+	opts := tinyOptions()
+	opts.Males, opts.Females = 260, 220
+	opts.BaselineEpochs = 150
+	s := NewSuite(opts)
+	res, txt := s.Figure7()
+	if !strings.Contains(txt, "LightGCN patients") {
+		t.Fatalf("figure 7 text malformed:\n%s", txt)
+	}
+	// The paper's core claim: DSSDDI patient representations are less
+	// mutually similar than LightGCN's propagated ones.
+	if res.DSSDDIPatients.Mean >= res.LightGCNPatients.Mean {
+		t.Fatalf("over-smoothing shape violated: DSSDDI %.3f vs LightGCN %.3f",
+			res.DSSDDIPatients.Mean, res.LightGCNPatients.Mean)
+	}
+}
+
+func TestFigure9FindsCases(t *testing.T) {
+	s := NewSuite(tinyOptions())
+	cases, txt := s.Figure9()
+	if len(cases) == 0 {
+		t.Fatal("no case studies found")
+	}
+	if !strings.Contains(txt, "rank") && !strings.Contains(txt, "similar") {
+		t.Fatalf("figure 9 text malformed:\n%s", txt)
+	}
+	kinds := map[string]bool{}
+	for _, c := range cases {
+		kinds[c.Kind] = true
+	}
+	if len(kinds) < 2 {
+		t.Fatalf("expected at least two distinct case kinds, got %v", kinds)
+	}
+}
+
+func TestFormatSS(t *testing.T) {
+	rows := []SSRow{{Method: "X", SS: map[int]float64{2: 0.5, 3: 0.25, 4: 0.1, 5: 0.05, 6: 0.02}}}
+	out := FormatSS("Table III", rows)
+	if !strings.Contains(out, "SS@2") || !strings.Contains(out, "0.5000") {
+		t.Fatalf("SS format wrong:\n%s", out)
+	}
+}
+
+func TestTableHelpers(t *testing.T) {
+	s := NewSuite(tinyOptions())
+	table := s.TableII()
+	if table.BestByNDCG() == "" {
+		t.Fatal("BestByNDCG empty")
+	}
+	if table.Row("DDIGCN") == nil {
+		t.Fatal("Row lookup failed")
+	}
+	if table.Row("nope") != nil {
+		t.Fatal("missing row should be nil")
+	}
+}

@@ -1,0 +1,317 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dssddi/internal/baselines"
+	"dssddi/internal/ddi"
+	"dssddi/internal/graph"
+	"dssddi/internal/mat"
+	"dssddi/internal/metrics"
+	"dssddi/internal/ms"
+	"dssddi/internal/synth"
+)
+
+// Figure2 reproduces the disease-prevalence pie of Fig. 2 as a text
+// distribution over the generated cohort.
+func (s *Suite) Figure2() string {
+	counts := make(map[synth.Disease]int)
+	for _, p := range s.Cohort.Patients {
+		for _, d := range p.Diseases {
+			counts[d]++
+		}
+	}
+	type entry struct {
+		d synth.Disease
+		n int
+	}
+	var es []entry
+	for d, n := range counts {
+		es = append(es, entry{d, n})
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].n != es[j].n {
+			return es[i].n > es[j].n
+		}
+		return es[i].d < es[j].d
+	})
+	var b strings.Builder
+	b.WriteString("Figure 2: proportion of patients with various diseases\n")
+	total := len(s.Cohort.Patients)
+	for _, e := range es {
+		pct := 100 * float64(e.n) / float64(total)
+		bar := strings.Repeat("#", int(pct/2))
+		fmt.Fprintf(&b, "%-28s %5.1f%% %s\n", e.d.String(), pct, bar)
+	}
+	return b.String()
+}
+
+// Figure3 reproduces the medications-per-disease bars of Fig. 3 from
+// the drug catalogue.
+func (s *Suite) Figure3() string {
+	byDisease := synth.DrugsByDisease(s.Cohort.Catalog)
+	type entry struct {
+		d synth.Disease
+		n int
+	}
+	var es []entry
+	for d, drugs := range byDisease {
+		es = append(es, entry{d, len(drugs)})
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].n != es[j].n {
+			return es[i].n > es[j].n
+		}
+		return es[i].d < es[j].d
+	})
+	var b strings.Builder
+	b.WriteString("Figure 3: number of medications for common chronic diseases\n")
+	for _, e := range es {
+		fmt.Fprintf(&b, "%-28s %2d %s\n", e.d.String(), e.n, strings.Repeat("#", e.n))
+	}
+	return b.String()
+}
+
+// SimilarityStats summarises a cosine-similarity heat map.
+type SimilarityStats struct {
+	Mean, Min, Max float64
+}
+
+func offDiagonalCosine(m *mat.Dense) SimilarityStats {
+	st := SimilarityStats{Min: 1, Max: -1}
+	var sum float64
+	var count int
+	for i := 0; i < m.Rows(); i++ {
+		for j := i + 1; j < m.Rows(); j++ {
+			c := mat.CosineSimilarity(m.Row(i), m.Row(j))
+			sum += c
+			count++
+			if c < st.Min {
+				st.Min = c
+			}
+			if c > st.Max {
+				st.Max = c
+			}
+		}
+	}
+	if count > 0 {
+		st.Mean = sum / float64(count)
+	}
+	return st
+}
+
+// Figure7Result carries the representation-similarity comparison.
+type Figure7Result struct {
+	DSSDDIPatients   SimilarityStats
+	LightGCNPatients SimilarityStats
+	DSSDDIDrugs      SimilarityStats
+	LightGCNDrugs    SimilarityStats
+}
+
+// Figure7 reproduces the over-smoothing analysis of Fig. 7: cosine
+// similarity between 100 patient representations and between the 86
+// drug representations, for DSSDDI vs LightGCN. The paper's finding is
+// that LightGCN's patient representations are nearly identical (mean
+// cosine close to 1) while DSSDDI's stay distinguishable, and DSSDDI's
+// drug representations show same-indication structure.
+func (s *Suite) Figure7() (Figure7Result, string) {
+	var res Figure7Result
+
+	dss := NewDSSDDI(ddi.SGCN, s.Opts)
+	dss.Fit(s.Chronic)
+	lg := quickLightGCN(s.Opts)
+	lg.Fit(s.Chronic)
+
+	n := 100
+	if n > len(s.Chronic.Test) {
+		n = len(s.Chronic.Test)
+	}
+	sample := s.Chronic.Test[:n]
+	res.DSSDDIPatients = offDiagonalCosine(dss.MD.PatientRepresentations(sample))
+	res.LightGCNPatients = offDiagonalCosine(lg.PatientRepresentations(sample))
+
+	res.DSSDDIDrugs = offDiagonalCosine(dss.MD.DrugRepresentations())
+	res.LightGCNDrugs = offDiagonalCosine(lg.DrugRepresentations())
+
+	var b strings.Builder
+	b.WriteString("Figure 7: cosine similarity of learned representations\n")
+	fmt.Fprintf(&b, "%-24s %8s %8s %8s\n", "", "mean", "min", "max")
+	row := func(name string, st SimilarityStats) {
+		fmt.Fprintf(&b, "%-24s %8.4f %8.4f %8.4f\n", name, st.Mean, st.Min, st.Max)
+	}
+	row("DSSDDI patients", res.DSSDDIPatients)
+	row("LightGCN patients", res.LightGCNPatients)
+	row("DSSDDI drugs", res.DSSDDIDrugs)
+	row("LightGCN drugs", res.LightGCNDrugs)
+	b.WriteString("(paper: LightGCN patient similarities ~1 = over-smoothed;\n")
+	b.WriteString(" DSSDDI patients stay distinguishable)\n")
+	return res, b.String()
+}
+
+// Figure8 reproduces the cardiovascular case study of Fig. 8: the
+// top-3 suggestions of DSSDDI and four baselines for one test patient
+// with cardiovascular disease, each explained through the MS module.
+func (s *Suite) Figure8() string {
+	patient := s.findCardioPatient()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8: explanation subgraphs for test patient %d\n\n", patient)
+
+	names := s.Chronic.DrugNames
+	explain := func(m baselines.Suggester) {
+		m.Fit(s.Chronic)
+		scores := m.Scores([]int{patient})
+		top := metrics.TopK(scores.Row(0), 3)
+		ex := ms.Explain(s.Chronic.DDI, top, ms.DefaultOptions())
+		fmt.Fprintf(&b, "--- %s ---\n%s\n", m.Name(), ex.Render(names))
+	}
+	explain(NewDSSDDI(ddi.SGCN, s.Opts))
+	explain(quickLightGCN(s.Opts))
+	explain(quickGCMC(s.Opts))
+	explain(baselines.NewSVM())
+	explain(baselines.NewECC())
+	return b.String()
+}
+
+// findCardioPatient picks a test patient with cardiovascular disease
+// (falling back to the first test patient).
+func (s *Suite) findCardioPatient() int {
+	for _, p := range s.Chronic.Test {
+		for _, d := range s.Cohort.Patients[p].Diseases {
+			if d == synth.CardiovascularEvents {
+				return p
+			}
+		}
+	}
+	return s.Chronic.Test[0]
+}
+
+// CaseStudy is one Fig. 9-style rank comparison.
+type CaseStudy struct {
+	Kind      string
+	Patient   int
+	DrugA     int // the interacting pair (A taken, B affected)
+	DrugB     int
+	Sign      graph.Sign
+	RankNoDDI int // rank of DrugB without DDI
+	RankDDI   int // rank of DrugB with DDI
+}
+
+// Figure9 reproduces the four case studies of Fig. 9: how DDI
+// information moves drugs up (synergy), down (antagonism), groups
+// indirectly-related drugs, and deviates from ground truth for safety.
+// It searches the test split for patients exhibiting each pattern and
+// reports the rank shifts between the full system and the w/o-DDI
+// ablation.
+func (s *Suite) Figure9() ([]CaseStudy, string) {
+	withDDI := NewDSSDDI(ddi.SGCN, s.Opts)
+	withDDI.Fit(s.Chronic)
+	noDDI := NewDSSDDI(ddi.SGCN, s.Opts)
+	noDDI.UseDDI = false
+	noDDI.DisplayName = "w/o DDI"
+	noDDI.Fit(s.Chronic)
+
+	scoresDDI := withDDI.Scores(s.Chronic.Test)
+	scoresNo := noDDI.Scores(s.Chronic.Test)
+
+	var cases []CaseStudy
+	// Case 1: synergy promotion — patient takes A, A-s-B synergy, B
+	// taken too, and DDI ranks B higher than w/o DDI.
+	// Case 2: antagonism demotion — patient takes A, A-a-B, B NOT
+	// taken, and DDI ranks B lower.
+	// Case 4: ground-truth deviation — patient takes BOTH ends of an
+	// antagonistic pair; DDI ranks one of them lower.
+	for ti, p := range s.Chronic.Test {
+		taken := s.Chronic.TruePositives(p)
+		isTaken := make(map[int]bool, len(taken))
+		for _, v := range taken {
+			isTaken[v] = true
+		}
+		for _, a := range taken {
+			for _, bDrug := range s.Chronic.DDI.Neighbors(a, nil) {
+				sign, _ := s.Chronic.DDI.Edge(a, bDrug)
+				rDDI := metrics.Rank(scoresDDI.Row(ti), bDrug)
+				rNo := metrics.Rank(scoresNo.Row(ti), bDrug)
+				switch {
+				case sign == graph.Synergy && isTaken[bDrug] && rDDI < rNo && !hasCase(cases, "synergy promotion"):
+					cases = append(cases, CaseStudy{"synergy promotion", p, a, bDrug, sign, rNo, rDDI})
+				case sign == graph.Antagonism && !isTaken[bDrug] && rDDI > rNo && !hasCase(cases, "antagonism demotion"):
+					cases = append(cases, CaseStudy{"antagonism demotion", p, a, bDrug, sign, rNo, rDDI})
+				case sign == graph.Antagonism && isTaken[bDrug] && rDDI > rNo && !hasCase(cases, "ground-truth deviation"):
+					cases = append(cases, CaseStudy{"ground-truth deviation", p, a, bDrug, sign, rNo, rDDI})
+				}
+			}
+		}
+		if len(cases) >= 3 {
+			break
+		}
+	}
+	// Case 3: indirect DDI — two drugs with no direct edge but many
+	// common antagonistic partners should have similar DDI relation
+	// embeddings.
+	if c, ok := s.indirectCase(withDDI); ok {
+		cases = append(cases, c)
+	}
+
+	var b strings.Builder
+	b.WriteString("Figure 9: case studies (rank shifts from DDI)\n")
+	names := s.Chronic.DrugNames
+	for _, c := range cases {
+		if c.Kind == "indirect DDI" {
+			fmt.Fprintf(&b, "%-24s %s ~ %s: similar relation embeddings via shared antagonists (cos %d%%)\n",
+				c.Kind, names[c.DrugA], names[c.DrugB], c.RankDDI)
+			continue
+		}
+		fmt.Fprintf(&b, "%-24s patient %d: %s (%v with %s) rank %d -> %d\n",
+			c.Kind, c.Patient, names[c.DrugB], c.Sign, names[c.DrugA], c.RankNoDDI, c.RankDDI)
+	}
+	return cases, b.String()
+}
+
+func hasCase(cs []CaseStudy, kind string) bool {
+	for _, c := range cs {
+		if c.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// indirectCase finds two drugs without a direct interaction that share
+// >= 2 antagonistic partners (like Amlodipine and Felodipine in the
+// paper's Case 3) and reports their relation-embedding similarity.
+func (s *Suite) indirectCase(dss *DSSDDISuggester) (CaseStudy, bool) {
+	ddiGraph := s.Chronic.DDI
+	n := ddiGraph.N()
+	isAnt := func(s graph.Sign) bool { return s == graph.Antagonism }
+	rel := dss.MD.DrugRepresentations()
+	best := CaseStudy{Kind: "indirect DDI"}
+	bestShared := 0
+	for u := 0; u < n; u++ {
+		nu := ddiGraph.Neighbors(u, isAnt)
+		for v := u + 1; v < n; v++ {
+			if _, ok := ddiGraph.Edge(u, v); ok {
+				continue
+			}
+			shared := 0
+			nv := ddiGraph.Neighbors(v, isAnt)
+			set := make(map[int]bool, len(nu))
+			for _, x := range nu {
+				set[x] = true
+			}
+			for _, x := range nv {
+				if set[x] {
+					shared++
+				}
+			}
+			if shared > bestShared {
+				bestShared = shared
+				cos := mat.CosineSimilarity(rel.Row(u), rel.Row(v))
+				best.DrugA, best.DrugB = u, v
+				best.RankDDI = int(cos * 100) // store similarity (%) for display
+			}
+		}
+	}
+	return best, bestShared >= 2
+}

@@ -1,0 +1,113 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"dssddi/internal/ddi"
+	"dssddi/internal/graph"
+)
+
+func ddiBackboneSGCN() ddi.Backbone { return ddi.SGCN }
+
+func TestFigure8CaseStudy(t *testing.T) {
+	opts := tinyOptions()
+	opts.BaselineEpochs = 30
+	opts.MDEpochs = 40
+	s := NewSuite(opts)
+	out := s.Figure8()
+	if !strings.Contains(out, "DSSDDI(SGCN)") || !strings.Contains(out, "LightGCN") {
+		t.Fatalf("figure 8 must compare methods:\n%s", out)
+	}
+	if !strings.Contains(out, "Suggestion Satisfaction") {
+		t.Fatalf("figure 8 must carry SS scores:\n%s", out)
+	}
+	// Every section explains exactly the top-3 suggestions.
+	if strings.Count(out, "Suggestion:") != 5 {
+		t.Fatalf("expected 5 method sections, got %d", strings.Count(out, "Suggestion:"))
+	}
+}
+
+func TestTableIVSmoke(t *testing.T) {
+	opts := tinyOptions()
+	opts.MIMICPatients = 120
+	opts.BaselineEpochs = 30
+	opts.MDEpochs = 40
+	s := NewSuite(opts)
+	table := s.TableIV()
+	if len(table.Rows) != 9 {
+		t.Fatalf("Table IV should have 8 baselines + DSSDDI(GIN), got %d", len(table.Rows))
+	}
+	last := table.Rows[len(table.Rows)-1]
+	if last.Method != "DSSDDI(GIN)" {
+		t.Fatalf("last row %q, want DSSDDI(GIN)", last.Method)
+	}
+	for _, row := range table.Rows {
+		for _, r := range row.Reports {
+			if r.Precision < 0 || r.Precision > 1 {
+				t.Fatalf("%s has precision %v out of range", row.Method, r.Precision)
+			}
+		}
+	}
+	// The MIMIC task is highly predictable from history: the best
+	// method must clear a meaningful bar even at smoke scale.
+	if best := table.BestByNDCG(); table.Row(best)[0].NDCG < 0.3 {
+		t.Fatalf("best NDCG@8 %.3f implausibly low for MIMIC-like data", table.Row(best)[0].NDCG)
+	}
+}
+
+func TestTableIIIOrderingSmoke(t *testing.T) {
+	opts := tinyOptions()
+	opts.BaselineEpochs = 30
+	opts.MDEpochs = 40
+	s := NewSuite(opts)
+	title, rows := s.TableIII()
+	if len(rows) != 12 {
+		t.Fatalf("Table III should have 12 methods, got %d", len(rows))
+	}
+	if !strings.Contains(title, "Suggestion Satisfaction") {
+		t.Fatalf("title %q", title)
+	}
+	// SS@2 compresses towards ~0.5 for every method (Eq. 19's
+	// k(k-1)+2 = 4 denominator); verify the paper's compression effect.
+	for _, row := range rows {
+		if row.SS[2] < 0.2 || row.SS[2] > 0.8 {
+			t.Fatalf("%s SS@2 = %v outside the compression band", row.Method, row.SS[2])
+		}
+		if row.SS[6] >= row.SS[2] {
+			t.Fatalf("%s SS should shrink from k=2 to k=6 (%v vs %v)",
+				row.Method, row.SS[2], row.SS[6])
+		}
+	}
+}
+
+func TestIndirectCaseFindsSharedAntagonists(t *testing.T) {
+	opts := tinyOptions()
+	opts.MDEpochs = 30
+	s := NewSuite(opts)
+	dss := NewDSSDDI(ddiBackboneSGCN(), opts)
+	dss.Fit(s.Chronic)
+	c, ok := s.indirectCase(dss)
+	if !ok {
+		t.Skip("no indirect pair in this generation")
+	}
+	if _, direct := s.Chronic.DDI.Edge(c.DrugA, c.DrugB); direct {
+		t.Fatal("indirect case must have no direct edge")
+	}
+	// Both drugs must share at least two antagonistic partners.
+	isAnt := func(sg graph.Sign) bool { return sg == graph.Antagonism }
+	na := s.Chronic.DDI.Neighbors(c.DrugA, isAnt)
+	set := map[int]bool{}
+	for _, x := range na {
+		set[x] = true
+	}
+	shared := 0
+	for _, x := range s.Chronic.DDI.Neighbors(c.DrugB, isAnt) {
+		if set[x] {
+			shared++
+		}
+	}
+	if shared < 2 {
+		t.Fatalf("indirect case has only %d shared antagonists", shared)
+	}
+}

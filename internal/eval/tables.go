@@ -1,0 +1,221 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"dssddi/internal/baselines"
+	"dssddi/internal/ddi"
+	"dssddi/internal/mat"
+	"dssddi/internal/metrics"
+	"dssddi/internal/ms"
+)
+
+// MethodResult is one row of a results table.
+type MethodResult struct {
+	Method  string
+	Reports []metrics.Report
+}
+
+// Table is a formatted experiment result.
+type Table struct {
+	Title string
+	Ks    []int
+	Rows  []MethodResult
+}
+
+// TableI reproduces the paper's Table I: medication-suggestion
+// performance of every baseline and all four DSSDDI backbones on the
+// chronic data set, at k = 1..6.
+func (s *Suite) TableI() Table {
+	ks := []int{6, 5, 4, 3, 2, 1}
+	t := Table{Title: "Table I: medication suggestion on chronic data", Ks: ks}
+	for _, m := range chronicBaselines(s.Opts) {
+		t.Rows = append(t.Rows, MethodResult{m.Name(), evaluateOn(m, s.Chronic, ks)})
+	}
+	for _, b := range []ddi.Backbone{ddi.SiGAT, ddi.SNEA, ddi.GIN, ddi.SGCN} {
+		m := NewDSSDDI(b, s.Opts)
+		t.Rows = append(t.Rows, MethodResult{m.Name(), evaluateOn(m, s.Chronic, ks)})
+	}
+	return t
+}
+
+// TableII reproduces the ablation study of drug embeddings (Table II):
+// the MD module with no DDI embeddings, one-hot embeddings, pretrained
+// KG embeddings and the learned DDIGCN embeddings (SGCN backbone).
+func (s *Suite) TableII() Table {
+	ks := []int{6, 5, 4, 3, 2, 1}
+	t := Table{Title: "Table II: drug-embedding ablation (SGCN backbone)", Ks: ks}
+
+	withoutDDI := NewDSSDDI(ddi.SGCN, s.Opts)
+	withoutDDI.UseDDI = false
+	withoutDDI.DisplayName = "w/o DDI"
+
+	oneHot := NewDSSDDI(ddi.SGCN, s.Opts)
+	oneHot.RelEmbOverride = mat.OneHot(s.Chronic.NumDrugs())
+	oneHot.DisplayName = "One-hot"
+
+	kgEmb := NewDSSDDI(ddi.SGCN, s.Opts)
+	kgEmb.RelEmbOverride = s.KGEmb
+	kgEmb.DisplayName = "KG"
+
+	full := NewDSSDDI(ddi.SGCN, s.Opts)
+	full.DisplayName = "DDIGCN"
+
+	for _, m := range []*DSSDDISuggester{withoutDDI, oneHot, kgEmb, full} {
+		t.Rows = append(t.Rows, MethodResult{m.Name(), evaluateOn(m, s.Chronic, ks)})
+	}
+	return t
+}
+
+// SSRow is one row of the Suggestion Satisfaction table.
+type SSRow struct {
+	Method string
+	SS     map[int]float64
+}
+
+// TableIII reproduces Table III: mean Suggestion Satisfaction of the
+// top-k suggestions (k = 2..6) of every method on the chronic data.
+func (s *Suite) TableIII() (string, []SSRow) {
+	ks := []int{2, 3, 4, 5, 6}
+	var rows []SSRow
+	eval := func(m baselines.Suggester) {
+		m.Fit(s.Chronic)
+		scores := m.Scores(s.Chronic.Test)
+		row := SSRow{Method: m.Name(), SS: make(map[int]float64)}
+		for _, k := range ks {
+			sugg := make([][]int, scores.Rows())
+			for i := 0; i < scores.Rows(); i++ {
+				sugg[i] = metrics.TopK(scores.Row(i), k)
+			}
+			row.SS[k] = ms.MeanSS(s.Chronic.DDI, sugg, ms.DefaultOptions())
+		}
+		rows = append(rows, row)
+	}
+	for _, m := range chronicBaselines(s.Opts) {
+		eval(m)
+	}
+	for _, b := range []ddi.Backbone{ddi.SiGAT, ddi.SNEA, ddi.GIN, ddi.SGCN} {
+		eval(NewDSSDDI(b, s.Opts))
+	}
+	return "Table III: Suggestion Satisfaction (SS@k)", rows
+}
+
+// TableIV reproduces Table IV: performance on the MIMIC-like data set
+// at k = 8, 6, 4. Only the GIN backbone applies (the public DDI extract
+// is unsigned), as the paper notes.
+func (s *Suite) TableIV() Table {
+	ks := []int{8, 6, 4}
+	t := Table{Title: "Table IV: medication suggestion on MIMIC-like data", Ks: ks}
+
+	// SafeDrug and CauseRec receive the visit histories on MIMIC.
+	sd := baselines.NewSafeDrug()
+	sd.Epochs = s.Opts.BaselineEpochs
+	sd.VisitHistory = s.MIMICGen.VisitMedicineHistory()
+
+	models := []baselines.Suggester{
+		baselines.NewUserSim(),
+		baselines.NewECC(),
+		baselines.NewSVM(),
+		quickGCMC(s.Opts), quickLightGCN(s.Opts), sd,
+		quickBiparGCN(s.Opts), quickCauseRec(s.Opts),
+	}
+	for _, m := range models {
+		t.Rows = append(t.Rows, MethodResult{m.Name(), evaluateOn(m, s.MIMIC, ks)})
+	}
+	g := NewDSSDDI(ddi.GIN, s.Opts)
+	t.Rows = append(t.Rows, MethodResult{g.Name(), evaluateOn(g, s.MIMIC, ks)})
+	return t
+}
+
+func quickGCMC(o Options) *baselines.GCMC {
+	m := baselines.NewGCMC()
+	m.Epochs = o.BaselineEpochs
+	return m
+}
+
+func quickLightGCN(o Options) *baselines.LightGCN {
+	m := baselines.NewLightGCN()
+	m.Epochs = o.BaselineEpochs
+	return m
+}
+
+func quickBiparGCN(o Options) *baselines.BiparGCN {
+	m := baselines.NewBiparGCN()
+	m.Epochs = o.BaselineEpochs
+	return m
+}
+
+func quickCauseRec(o Options) *baselines.CauseRec {
+	m := baselines.NewCauseRec()
+	m.Epochs = o.BaselineEpochs
+	return m
+}
+
+// Format renders a Table as aligned text with P/R/NDCG blocks per k,
+// matching the layout of the paper's tables.
+func (t Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	fmt.Fprintf(&b, "%-16s", "Method")
+	for _, k := range t.Ks {
+		fmt.Fprintf(&b, " | P@%-2d   R@%-2d   NDCG@%-2d", k, k, k)
+	}
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat("-", 16+len(t.Ks)*25))
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "%-16s", row.Method)
+		for _, r := range row.Reports {
+			fmt.Fprintf(&b, " | %.4f %.4f %.4f ", r.Precision, r.Recall, r.NDCG)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// FormatSS renders the Suggestion Satisfaction rows.
+func FormatSS(title string, rows []SSRow) string {
+	ks := []int{2, 3, 4, 5, 6}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%-16s", title, "Method")
+	for _, k := range ks {
+		fmt.Fprintf(&b, " SS@%-4d", k)
+	}
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat("-", 16+8*len(ks)))
+	b.WriteString("\n")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-16s", row.Method)
+		for _, k := range ks {
+			fmt.Fprintf(&b, " %.4f", row.SS[k])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// BestByNDCG returns the method with the highest NDCG at the first k
+// of the table (used by tests to assert the paper's ordering).
+func (t Table) BestByNDCG() string {
+	best, bestV := "", -1.0
+	for _, row := range t.Rows {
+		if len(row.Reports) == 0 {
+			continue
+		}
+		if v := row.Reports[0].NDCG; v > bestV {
+			best, bestV = row.Method, v
+		}
+	}
+	return best
+}
+
+// Row returns the reports for a method, or nil.
+func (t Table) Row(method string) []metrics.Report {
+	for _, row := range t.Rows {
+		if row.Method == method {
+			return row.Reports
+		}
+	}
+	return nil
+}

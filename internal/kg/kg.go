@@ -1,0 +1,223 @@
+// Package kg provides a small drug-centric knowledge graph and a
+// from-scratch TransE trainer. It stands in for the paper's DRKG
+// pretrained drug embeddings: the 86 catalogue drugs are embedded
+// jointly with synthetic gene and disease entities through
+// treats/targets/interacts relations, so the resulting vectors carry
+// the "mixed external semantics" the paper's KG ablation row probes
+// (Table II).
+package kg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dssddi/internal/mat"
+	"dssddi/internal/synth"
+)
+
+// Relation labels a KG triple.
+type Relation int
+
+// KG relation vocabulary.
+const (
+	Treats    Relation = iota // drug -> disease
+	Targets                   // drug -> gene
+	Interacts                 // drug -> drug
+	AssocWith                 // gene -> disease
+	NumRelations
+)
+
+// Triple is one (head, relation, tail) fact.
+type Triple struct {
+	Head, Tail int
+	Rel        Relation
+}
+
+// Graph is the synthetic knowledge graph: entity IDs are laid out as
+// [0, NumDrugs) drugs, then genes, then diseases.
+type Graph struct {
+	NumDrugs    int
+	NumGenes    int
+	NumDiseases int
+	Triples     []Triple
+}
+
+// NumEntities returns the total entity count.
+func (g *Graph) NumEntities() int { return g.NumDrugs + g.NumGenes + g.NumDiseases }
+
+// GeneID converts a gene index to its entity ID.
+func (g *Graph) GeneID(i int) int { return g.NumDrugs + i }
+
+// DiseaseID converts a disease index to its entity ID.
+func (g *Graph) DiseaseID(i int) int { return g.NumDrugs + g.NumGenes + i }
+
+// Generate builds a DRKG-like graph around the drug catalogue: treats
+// edges from the catalogue's indications, synthetic drug-gene targets
+// (drugs of one class share targets), gene-disease associations and
+// drug-drug interaction triples.
+func Generate(rng *rand.Rand, catalog []synth.Drug, numGenes int) *Graph {
+	g := &Graph{NumDrugs: len(catalog), NumGenes: numGenes, NumDiseases: int(synth.NumDiseases)}
+	// treats: straight from the catalogue.
+	for _, d := range catalog {
+		for _, dis := range d.Treats {
+			g.Triples = append(g.Triples, Triple{Head: d.ID, Tail: g.DiseaseID(int(dis)), Rel: Treats})
+		}
+	}
+	// targets: each drug class is assigned 2-4 genes; members hit a
+	// subset of them, so same-class drugs cluster in embedding space.
+	classGenes := make(map[synth.DrugClass][]int)
+	for cls := synth.DrugClass(0); cls < synth.NumDrugClasses; cls++ {
+		n := 2 + rng.Intn(3)
+		perm := rng.Perm(numGenes)[:n]
+		classGenes[cls] = perm
+	}
+	for _, d := range catalog {
+		for _, gene := range classGenes[d.Class] {
+			if rng.Float64() < 0.8 {
+				g.Triples = append(g.Triples, Triple{Head: d.ID, Tail: g.GeneID(gene), Rel: Targets})
+			}
+		}
+	}
+	// gene-disease associations.
+	for gene := 0; gene < numGenes; gene++ {
+		n := 1 + rng.Intn(2)
+		for i := 0; i < n; i++ {
+			g.Triples = append(g.Triples, Triple{
+				Head: g.GeneID(gene),
+				Tail: g.DiseaseID(rng.Intn(g.NumDiseases)),
+				Rel:  AssocWith,
+			})
+		}
+	}
+	// a sprinkle of drug-drug interaction facts.
+	for i := 0; i < len(catalog); i++ {
+		if rng.Float64() < 0.4 {
+			j := rng.Intn(len(catalog))
+			if j != i {
+				g.Triples = append(g.Triples, Triple{Head: i, Tail: j, Rel: Interacts})
+			}
+		}
+	}
+	return g
+}
+
+// TransEConfig tunes training.
+type TransEConfig struct {
+	Dim    int // embedding dimension; the paper uses 400
+	Epochs int
+	LR     float64
+	Margin float64
+	Seed   int64
+}
+
+// DefaultTransEConfig returns a configuration that converges on the
+// synthetic graph in a few seconds. Dim follows the paper's 400.
+func DefaultTransEConfig() TransEConfig {
+	return TransEConfig{Dim: 400, Epochs: 60, LR: 0.05, Margin: 1.0, Seed: 1}
+}
+
+// TransE holds trained entity and relation embeddings.
+type TransE struct {
+	Entities  *mat.Dense // numEntities x dim
+	Relations *mat.Dense // NumRelations x dim
+	Dim       int
+}
+
+// Train learns TransE embeddings with margin-based ranking loss and
+// negative sampling (Bordes et al., 2013): for a triple (h, r, t) it
+// enforces ‖h+r−t‖ + margin ≤ ‖h'+r−t'‖ for corrupted (h', t').
+func Train(g *Graph, cfg TransEConfig) *TransE {
+	if cfg.Dim <= 0 || cfg.Epochs < 0 {
+		panic(fmt.Sprintf("kg: invalid TransE config %+v", cfg))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := g.NumEntities()
+	bound := 6 / math.Sqrt(float64(cfg.Dim))
+	ent := mat.RandUniform(rng, n, cfg.Dim, bound)
+	rel := mat.RandUniform(rng, int(NumRelations), cfg.Dim, bound)
+	normalizeRows(rel)
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		normalizeRows(ent)
+		perm := rng.Perm(len(g.Triples))
+		for _, ti := range perm {
+			tr := g.Triples[ti]
+			// Corrupt head or tail uniformly.
+			neg := tr
+			if rng.Float64() < 0.5 {
+				neg.Head = rng.Intn(n)
+			} else {
+				neg.Tail = rng.Intn(n)
+			}
+			posD := tripleDiff(ent, rel, tr, cfg.Dim)
+			negD := tripleDiff(ent, rel, neg, cfg.Dim)
+			posS := mat.Norm2(posD)
+			negS := mat.Norm2(negD)
+			if posS+cfg.Margin <= negS {
+				continue // already satisfied
+			}
+			// Gradient of ‖h+r−t‖₂ w.r.t. h is (h+r−t)/‖·‖; SGD step.
+			applyGrad(ent, rel, tr, posD, posS, -cfg.LR, cfg.Dim)
+			applyGrad(ent, rel, neg, negD, negS, +cfg.LR, cfg.Dim)
+		}
+	}
+	normalizeRows(ent)
+	return &TransE{Entities: ent, Relations: rel, Dim: cfg.Dim}
+}
+
+// tripleDiff computes h + r - t.
+func tripleDiff(ent, rel *mat.Dense, tr Triple, dim int) []float64 {
+	h := ent.Row(tr.Head)
+	r := rel.Row(int(tr.Rel))
+	t := ent.Row(tr.Tail)
+	d := make([]float64, dim)
+	for i := range d {
+		d[i] = h[i] + r[i] - t[i]
+	}
+	return d
+}
+
+// applyGrad steps h, r, t along ±(h+r−t)/‖·‖.
+func applyGrad(ent, rel *mat.Dense, tr Triple, diff []float64, norm, lr float64, dim int) {
+	if norm < 1e-9 {
+		return
+	}
+	h := ent.Row(tr.Head)
+	r := rel.Row(int(tr.Rel))
+	t := ent.Row(tr.Tail)
+	for i := 0; i < dim; i++ {
+		g := lr * diff[i] / norm
+		h[i] += g
+		r[i] += g
+		t[i] -= g
+	}
+}
+
+func normalizeRows(m *mat.Dense) {
+	for i := 0; i < m.Rows(); i++ {
+		row := m.Row(i)
+		n := mat.Norm2(row)
+		if n > 0 {
+			for j := range row {
+				row[j] /= n
+			}
+		}
+	}
+}
+
+// Score returns ‖h+r−t‖₂ for a triple (smaller = more plausible).
+func (t *TransE) Score(tr Triple) float64 {
+	return mat.Norm2(tripleDiff(t.Entities, t.Relations, tr, t.Dim))
+}
+
+// DrugEmbeddings returns the numDrugs x dim block of entity embeddings,
+// the "pretrained DRKG features" handed to the MD module and the KG
+// ablation.
+func (t *TransE) DrugEmbeddings(numDrugs int) *mat.Dense {
+	out := mat.New(numDrugs, t.Dim)
+	for i := 0; i < numDrugs; i++ {
+		copy(out.Row(i), t.Entities.Row(i))
+	}
+	return out
+}

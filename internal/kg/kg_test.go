@@ -1,0 +1,141 @@
+package kg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dssddi/internal/mat"
+	"dssddi/internal/synth"
+)
+
+func testGraph(seed int64) *Graph {
+	return Generate(rand.New(rand.NewSource(seed)), synth.Catalog(), 40)
+}
+
+func TestGenerateLayout(t *testing.T) {
+	g := testGraph(1)
+	if g.NumDrugs != synth.NumDrugs {
+		t.Fatalf("drugs %d", g.NumDrugs)
+	}
+	if g.NumEntities() != synth.NumDrugs+40+int(synth.NumDiseases) {
+		t.Fatalf("entities %d", g.NumEntities())
+	}
+	if g.GeneID(0) != synth.NumDrugs || g.DiseaseID(0) != synth.NumDrugs+40 {
+		t.Fatal("entity ID layout wrong")
+	}
+	if len(g.Triples) == 0 {
+		t.Fatal("no triples generated")
+	}
+	for _, tr := range g.Triples {
+		if tr.Head < 0 || tr.Head >= g.NumEntities() || tr.Tail < 0 || tr.Tail >= g.NumEntities() {
+			t.Fatalf("triple out of range: %+v", tr)
+		}
+	}
+}
+
+func TestGenerateContainsCatalogTreats(t *testing.T) {
+	g := testGraph(2)
+	// Doxazosin (DID 1) treats hypertension.
+	want := Triple{Head: 1, Tail: g.DiseaseID(int(synth.Hypertension)), Rel: Treats}
+	found := false
+	for _, tr := range g.Triples {
+		if tr == want {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("catalogue treats relation missing from KG")
+	}
+}
+
+func smallConfig() TransEConfig {
+	return TransEConfig{Dim: 24, Epochs: 40, LR: 0.05, Margin: 1.0, Seed: 7}
+}
+
+func TestTransEEmbeddingsNormalised(t *testing.T) {
+	g := testGraph(3)
+	m := Train(g, smallConfig())
+	for i := 0; i < m.Entities.Rows(); i++ {
+		n := mat.Norm2(m.Entities.Row(i))
+		if math.Abs(n-1) > 1e-6 {
+			t.Fatalf("entity %d norm %v, want 1", i, n)
+		}
+	}
+}
+
+func TestTransERanksTrueTriplesAboveCorrupted(t *testing.T) {
+	g := testGraph(4)
+	m := Train(g, smallConfig())
+	rng := rand.New(rand.NewSource(11))
+	wins, total := 0, 0
+	for i := 0; i < 200; i++ {
+		tr := g.Triples[rng.Intn(len(g.Triples))]
+		neg := tr
+		neg.Tail = rng.Intn(g.NumEntities())
+		if neg == tr {
+			continue
+		}
+		total++
+		if m.Score(tr) < m.Score(neg) {
+			wins++
+		}
+	}
+	rate := float64(wins) / float64(total)
+	if rate < 0.75 {
+		t.Fatalf("TransE ranks true triples above corrupted only %.2f of the time", rate)
+	}
+}
+
+func TestTransESameClassDrugsCloser(t *testing.T) {
+	// Drugs of the same class share gene targets, so their embeddings
+	// should be more similar on average than cross-class pairs.
+	g := testGraph(5)
+	m := Train(g, smallConfig())
+	catalog := synth.Catalog()
+	var same, cross float64
+	var nSame, nCross int
+	for i := 0; i < len(catalog); i++ {
+		for j := i + 1; j < len(catalog); j++ {
+			sim := mat.CosineSimilarity(m.Entities.Row(i), m.Entities.Row(j))
+			if catalog[i].Class == catalog[j].Class {
+				same += sim
+				nSame++
+			} else {
+				cross += sim
+				nCross++
+			}
+		}
+	}
+	if nSame == 0 || nCross == 0 {
+		t.Fatal("degenerate catalogue")
+	}
+	if same/float64(nSame) <= cross/float64(nCross) {
+		t.Fatalf("same-class sim %.3f not above cross-class %.3f",
+			same/float64(nSame), cross/float64(nCross))
+	}
+}
+
+func TestDrugEmbeddingsBlock(t *testing.T) {
+	g := testGraph(6)
+	m := Train(g, smallConfig())
+	d := m.DrugEmbeddings(synth.NumDrugs)
+	if d.Rows() != synth.NumDrugs || d.Cols() != 24 {
+		t.Fatalf("drug embedding shape %dx%d", d.Rows(), d.Cols())
+	}
+	for j := 0; j < d.Cols(); j++ {
+		if d.At(0, j) != m.Entities.At(0, j) {
+			t.Fatal("drug block must copy entity rows")
+		}
+	}
+}
+
+func TestTrainPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Train(testGraph(7), TransEConfig{Dim: 0})
+}

@@ -1,0 +1,338 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New(2, 3)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("got %dx%d, want 2x3", m.Rows(), m.Cols())
+	}
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 {
+		t.Fatalf("At(1,2) = %v, want 5", m.At(1, 2))
+	}
+	m.Add(1, 2, 2.5)
+	if m.At(1, 2) != 7.5 {
+		t.Fatalf("Add: got %v, want 7.5", m.At(1, 2))
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows() != 3 || m.Cols() != 2 {
+		t.Fatalf("shape %dx%d", m.Rows(), m.Cols())
+	}
+	if m.At(2, 1) != 6 {
+		t.Fatalf("At(2,1)=%v", m.At(2, 1))
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range access")
+		}
+	}()
+	m.At(2, 0)
+}
+
+func TestMatMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := MatMul(a, b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want.At(i, j) {
+				t.Fatalf("c[%d][%d]=%v want %v", i, j, c.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}
+
+func TestMatMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+func TestMatMulTransA(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := RandNormal(rng, 4, 3, 1)
+	b := RandNormal(rng, 4, 5, 1)
+	got := MatMulTransA(a, b)
+	want := MatMul(a.T(), b)
+	if !matsClose(got, want, 1e-12) {
+		t.Fatal("MatMulTransA disagrees with explicit transpose")
+	}
+}
+
+func TestMatMulTransB(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := RandNormal(rng, 4, 3, 1)
+	b := RandNormal(rng, 5, 3, 1)
+	got := MatMulTransB(a, b)
+	want := MatMul(a, b.T())
+	if !matsClose(got, want, 1e-12) {
+		t.Fatal("MatMulTransB disagrees with explicit transpose")
+	}
+}
+
+func matsClose(a, b *Dense, eps float64) bool {
+	if a.Rows() != b.Rows() || a.Cols() != b.Cols() {
+		return false
+	}
+	for i, v := range a.Data() {
+		if !almostEqual(v, b.Data()[i], eps) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tt := m.T()
+	if tt.Rows() != 3 || tt.Cols() != 2 {
+		t.Fatalf("shape %dx%d", tt.Rows(), tt.Cols())
+	}
+	if tt.At(2, 1) != 6 || tt.At(0, 1) != 4 {
+		t.Fatalf("transpose values wrong: %v", tt)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 1 + rng.Intn(8)
+		c := 1 + rng.Intn(8)
+		m := RandNormal(rng, r, c, 1)
+		return matsClose(m, m.T().T(), 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulAssociativityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		a := RandNormal(rng, n, n, 1)
+		b := RandNormal(rng, n, n, 1)
+		c := RandNormal(rng, n, n, 1)
+		left := MatMul(MatMul(a, b), c)
+		right := MatMul(a, MatMul(b, c))
+		return matsClose(left, right, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSubHadamard(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	if got := AddMat(a, b).At(1, 1); got != 12 {
+		t.Fatalf("Add: %v", got)
+	}
+	if got := SubMat(b, a).At(0, 0); got != 4 {
+		t.Fatalf("Sub: %v", got)
+	}
+	if got := Hadamard(a, b).At(1, 0); got != 21 {
+		t.Fatalf("Hadamard: %v", got)
+	}
+}
+
+func TestConcatCols(t *testing.T) {
+	a := FromRows([][]float64{{1}, {2}})
+	b := FromRows([][]float64{{3, 4}, {5, 6}})
+	c := ConcatCols(a, b)
+	if c.Cols() != 3 || c.At(1, 2) != 6 || c.At(0, 0) != 1 {
+		t.Fatalf("concat wrong: %v", c)
+	}
+}
+
+func TestGatherRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	g := m.GatherRows([]int{2, 0, 2})
+	if g.Rows() != 3 || g.At(0, 0) != 3 || g.At(1, 1) != 1 || g.At(2, 0) != 3 {
+		t.Fatalf("gather wrong: %v", g)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := a.Clone()
+	b.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestScaleFillZero(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	m.Scale(2)
+	if m.At(1, 1) != 8 {
+		t.Fatalf("Scale: %v", m.At(1, 1))
+	}
+	m.Fill(7)
+	if m.At(0, 0) != 7 {
+		t.Fatal("Fill failed")
+	}
+	m.Zero()
+	if m.SumAll() != 0 {
+		t.Fatal("Zero failed")
+	}
+}
+
+func TestDotAndNorms(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if Dot(a, b) != 32 {
+		t.Fatalf("Dot: %v", Dot(a, b))
+	}
+	if !almostEqual(Norm2([]float64{3, 4}), 5, 1e-12) {
+		t.Fatal("Norm2 failed")
+	}
+	if !almostEqual(EuclideanDistance(a, a), 0, 1e-12) {
+		t.Fatal("distance to self nonzero")
+	}
+	if !almostEqual(EuclideanDistance([]float64{0, 0}, []float64{3, 4}), 5, 1e-12) {
+		t.Fatal("distance wrong")
+	}
+}
+
+func TestCosineSimilarity(t *testing.T) {
+	if !almostEqual(CosineSimilarity([]float64{1, 0}, []float64{1, 0}), 1, 1e-12) {
+		t.Fatal("parallel vectors should have sim 1")
+	}
+	if !almostEqual(CosineSimilarity([]float64{1, 0}, []float64{0, 1}), 0, 1e-12) {
+		t.Fatal("orthogonal vectors should have sim 0")
+	}
+	if !almostEqual(CosineSimilarity([]float64{1, 0}, []float64{-1, 0}), -1, 1e-12) {
+		t.Fatal("antiparallel vectors should have sim -1")
+	}
+	if CosineSimilarity([]float64{0, 0}, []float64{1, 2}) != 0 {
+		t.Fatal("zero vector should yield 0")
+	}
+}
+
+func TestCosineSimilarityBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		s := CosineSimilarity(a, b)
+		return s >= -1-1e-9 && s <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if !almostEqual(Sigmoid(0), 0.5, 1e-12) {
+		t.Fatal("Sigmoid(0) != 0.5")
+	}
+	if Sigmoid(100) <= 0.999 || Sigmoid(-100) >= 0.001 {
+		t.Fatal("Sigmoid saturation wrong")
+	}
+	// Stability at extreme values: must not be NaN.
+	for _, x := range []float64{-1e9, 1e9} {
+		if math.IsNaN(Sigmoid(x)) {
+			t.Fatalf("Sigmoid(%v) is NaN", x)
+		}
+	}
+}
+
+func TestSigmoidSymmetry(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		return almostEqual(Sigmoid(x)+Sigmoid(-x), 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlorotUniformBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := GlorotUniform(rng, 10, 20)
+	limit := math.Sqrt(6.0 / 30.0)
+	for _, v := range m.Data() {
+		if v < -limit || v > limit {
+			t.Fatalf("value %v outside glorot bound %v", v, limit)
+		}
+	}
+}
+
+func TestOneHot(t *testing.T) {
+	m := OneHot(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if m.At(i, j) != want {
+				t.Fatalf("OneHot[%d][%d]=%v", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	m := FromRows([][]float64{{-3, 2}, {1, -0.5}})
+	if m.MaxAbs() != 3 {
+		t.Fatalf("MaxAbs=%v", m.MaxAbs())
+	}
+	if New(0, 0).MaxAbs() != 0 {
+		t.Fatal("empty MaxAbs should be 0")
+	}
+}
+
+func TestApply(t *testing.T) {
+	m := FromRows([][]float64{{1, -2}})
+	a := m.Apply(math.Abs)
+	if a.At(0, 1) != 2 || m.At(0, 1) != -2 {
+		t.Fatal("Apply should not mutate the receiver")
+	}
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := RandNormal(rng, 128, 128, 1)
+	y := RandNormal(rng, 128, 128, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}

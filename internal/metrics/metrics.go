@@ -1,0 +1,132 @@
+// Package metrics implements the ranking metrics of the paper's
+// evaluation: Precision@k, Recall@k and NDCG@k (Eqs. 21-24), plus
+// helpers for turning score vectors into top-k suggestion lists.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// TopK returns the indices of the k largest scores, ties broken by
+// lower index for determinism. k is clamped to len(scores).
+func TopK(scores []float64, k int) []int {
+	if k > len(scores) {
+		k = len(scores)
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	return idx[:k]
+}
+
+// Rank returns the 1-based rank of item in the descending score order
+// (ties broken by lower index); 0 if item is out of range.
+func Rank(scores []float64, item int) int {
+	if item < 0 || item >= len(scores) {
+		return 0
+	}
+	order := TopK(scores, len(scores))
+	for r, v := range order {
+		if v == item {
+			return r + 1
+		}
+	}
+	return 0
+}
+
+// PrecisionRecallAtK computes the micro-averaged Precision@k and
+// Recall@k over all patients (Eqs. 21-22): sums of per-patient hit
+// counts divided by the sums of suggestion-list and truth-set sizes.
+// suggestions[j] is the top-k list for patient j; truth[j] the drugs
+// the patient takes.
+func PrecisionRecallAtK(suggestions [][]int, truth [][]int) (precision, recall float64) {
+	var hits, sugg, rel float64
+	for j := range suggestions {
+		truthSet := make(map[int]bool, len(truth[j]))
+		for _, v := range truth[j] {
+			truthSet[v] = true
+		}
+		for _, v := range suggestions[j] {
+			if truthSet[v] {
+				hits++
+			}
+		}
+		sugg += float64(len(suggestions[j]))
+		rel += float64(len(truth[j]))
+	}
+	if sugg > 0 {
+		precision = hits / sugg
+	}
+	if rel > 0 {
+		recall = hits / rel
+	}
+	return
+}
+
+// NDCGAtK computes the mean NDCG@k over patients (Eqs. 23-24) with
+// binary relevance: DCG = Σ (2^rel − 1)/log2(s+1); IDCG assumes all
+// relevant items are ranked first.
+func NDCGAtK(suggestions [][]int, truth [][]int, k int) float64 {
+	var total float64
+	var count int
+	for j := range suggestions {
+		truthSet := make(map[int]bool, len(truth[j]))
+		for _, v := range truth[j] {
+			truthSet[v] = true
+		}
+		if len(truthSet) == 0 {
+			continue
+		}
+		var dcg float64
+		for s, v := range suggestions[j] {
+			if s >= k {
+				break
+			}
+			if truthSet[v] {
+				dcg += 1 / math.Log2(float64(s)+2)
+			}
+		}
+		ideal := len(truthSet)
+		if ideal > k {
+			ideal = k
+		}
+		var idcg float64
+		for s := 0; s < ideal; s++ {
+			idcg += 1 / math.Log2(float64(s)+2)
+		}
+		total += dcg / idcg
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
+// Report bundles the three ranking metrics at one k.
+type Report struct {
+	K         int
+	Precision float64
+	Recall    float64
+	NDCG      float64
+}
+
+// Evaluate scores every patient row of scores (patients x drugs) and
+// reports metrics at each requested k. truth[j] lists patient j's
+// drugs.
+func Evaluate(scores [][]float64, truth [][]int, ks []int) []Report {
+	reports := make([]Report, 0, len(ks))
+	for _, k := range ks {
+		sugg := make([][]int, len(scores))
+		for j := range scores {
+			sugg[j] = TopK(scores[j], k)
+		}
+		p, r := PrecisionRecallAtK(sugg, truth)
+		n := NDCGAtK(sugg, truth, k)
+		reports = append(reports, Report{K: k, Precision: p, Recall: r, NDCG: n})
+	}
+	return reports
+}

@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTopK(t *testing.T) {
+	scores := []float64{0.1, 0.9, 0.5, 0.9}
+	top := TopK(scores, 2)
+	if top[0] != 1 || top[1] != 3 {
+		t.Fatalf("TopK = %v, want [1 3] (stable ties)", top)
+	}
+	if len(TopK(scores, 10)) != 4 {
+		t.Fatal("k must clamp to len")
+	}
+}
+
+func TestRank(t *testing.T) {
+	scores := []float64{0.3, 0.9, 0.5}
+	if Rank(scores, 1) != 1 || Rank(scores, 2) != 2 || Rank(scores, 0) != 3 {
+		t.Fatal("ranks wrong")
+	}
+	if Rank(scores, 9) != 0 {
+		t.Fatal("out of range should be 0")
+	}
+}
+
+func TestPrecisionRecallPerfect(t *testing.T) {
+	sugg := [][]int{{0, 1}, {2}}
+	truth := [][]int{{0, 1}, {2}}
+	p, r := PrecisionRecallAtK(sugg, truth)
+	if p != 1 || r != 1 {
+		t.Fatalf("p=%v r=%v, want 1,1", p, r)
+	}
+}
+
+func TestPrecisionRecallPartial(t *testing.T) {
+	// Patient 0: 1 hit of 2 suggested, 1 of 2 relevant.
+	// Patient 1: 0 hits of 1 suggested, 0 of 1 relevant.
+	sugg := [][]int{{0, 5}, {7}}
+	truth := [][]int{{0, 1}, {2}}
+	p, r := PrecisionRecallAtK(sugg, truth)
+	if math.Abs(p-1.0/3.0) > 1e-12 {
+		t.Fatalf("precision %v, want 1/3", p)
+	}
+	if math.Abs(r-1.0/3.0) > 1e-12 {
+		t.Fatalf("recall %v, want 1/3", r)
+	}
+}
+
+func TestPrecisionRecallEmpty(t *testing.T) {
+	p, r := PrecisionRecallAtK(nil, nil)
+	if p != 0 || r != 0 {
+		t.Fatal("empty input should give zeros")
+	}
+}
+
+func TestNDCGPerfectIsOne(t *testing.T) {
+	sugg := [][]int{{3, 1, 4}}
+	truth := [][]int{{3, 1, 4}}
+	if n := NDCGAtK(sugg, truth, 3); math.Abs(n-1) > 1e-12 {
+		t.Fatalf("perfect NDCG %v, want 1", n)
+	}
+}
+
+func TestNDCGOrderMatters(t *testing.T) {
+	truth := [][]int{{7}}
+	first := NDCGAtK([][]int{{7, 1, 2}}, truth, 3)
+	last := NDCGAtK([][]int{{1, 2, 7}}, truth, 3)
+	if first <= last {
+		t.Fatalf("hit at rank 1 (%v) must beat rank 3 (%v)", first, last)
+	}
+	if math.Abs(first-1) > 1e-12 {
+		t.Fatalf("single relevant at rank 1 should be NDCG 1, got %v", first)
+	}
+	want := 1 / math.Log2(4) // rel at position 3: 1/log2(3+1); IDCG=1
+	if math.Abs(last-want) > 1e-12 {
+		t.Fatalf("NDCG %v, want %v", last, want)
+	}
+}
+
+func TestNDCGIgnoresPatientsWithoutTruth(t *testing.T) {
+	sugg := [][]int{{1}, {2}}
+	truth := [][]int{{}, {2}}
+	if n := NDCGAtK(sugg, truth, 1); math.Abs(n-1) > 1e-12 {
+		t.Fatalf("NDCG %v; patients without truth must be skipped", n)
+	}
+}
+
+func TestNDCGBounds(t *testing.T) {
+	sugg := [][]int{{0, 1, 2, 3}, {4, 5, 6}, {9, 8}}
+	truth := [][]int{{2, 9}, {5}, {0}}
+	for _, k := range []int{1, 2, 3, 4} {
+		n := NDCGAtK(sugg, truth, k)
+		if n < 0 || n > 1 {
+			t.Fatalf("NDCG@%d = %v outside [0,1]", k, n)
+		}
+	}
+}
+
+func TestEvaluateMultipleKs(t *testing.T) {
+	scores := [][]float64{{0.9, 0.1, 0.8}, {0.2, 0.7, 0.3}}
+	truth := [][]int{{0}, {1, 2}}
+	reports := Evaluate(scores, truth, []int{1, 2})
+	if len(reports) != 2 {
+		t.Fatal("wrong report count")
+	}
+	// @1: patient0 suggests {0}: hit. patient1 suggests {1}: hit.
+	if reports[0].Precision != 1 {
+		t.Fatalf("P@1 = %v, want 1", reports[0].Precision)
+	}
+	// R@1 = (1 + 1) / (1 + 2) = 2/3.
+	if math.Abs(reports[0].Recall-2.0/3.0) > 1e-12 {
+		t.Fatalf("R@1 = %v, want 2/3", reports[0].Recall)
+	}
+	if reports[1].K != 2 {
+		t.Fatal("K order wrong")
+	}
+}

@@ -1,0 +1,199 @@
+// Package ms implements the paper's Medical Support module
+// (Section IV-C): given the drugs suggested by the Medical Decision
+// module, it extracts the closest dense subgraph of the DDI graph
+// around them (via the closest-truss-community search), computes the
+// Suggestion Satisfaction measure (Eq. 19) and renders a human-readable
+// explanation for doctors.
+package ms
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dssddi/internal/community"
+	"dssddi/internal/graph"
+)
+
+// Explanation is the MS module's output for one suggestion.
+type Explanation struct {
+	// Suggested drugs (the query set Q).
+	Suggested []int
+	// Subgraph nodes/edges of the closest dense DDI subgraph G_sub.
+	Nodes []int
+	Edges []ExplainedEdge
+	// SS is the Suggestion Satisfaction of Eq. 19.
+	SS float64
+	// SynergyIn / AntagonismIn count interactions among the suggested
+	// drugs; AntagonismOut counts antagonistic edges from suggested to
+	// non-suggested subgraph drugs.
+	SynergyIn, AntagonismIn, AntagonismOut int
+	// Found reports whether any dense subgraph containing the query
+	// was found.
+	Found bool
+}
+
+// ExplainedEdge is one DDI edge of the explanation subgraph.
+type ExplainedEdge struct {
+	U, V      int
+	Sign      graph.Sign
+	Suggested bool // both endpoints are suggested drugs
+}
+
+// Options tunes the MS module.
+type Options struct {
+	// Alpha balances the two terms of Eq. 19. The experiments use 0.5.
+	Alpha float64
+	// MaxExpand caps the community size explored by the subgraph query.
+	MaxExpand int
+}
+
+// DefaultOptions mirrors the experimental setup.
+func DefaultOptions() Options { return Options{Alpha: 0.5, MaxExpand: 20} }
+
+// Explain runs the full MS pipeline for a set of suggested drugs
+// against the DDI graph.
+func Explain(ddi *graph.Signed, suggested []int, opts Options) Explanation {
+	if opts.Alpha <= 0 || opts.Alpha >= 1 {
+		opts.Alpha = 0.5
+	}
+	ex := Explanation{Suggested: dedupSorted(suggested)}
+
+	skeleton := ddi.Interacting()
+	res := community.Search(skeleton, ex.Suggested, community.Options{MaxExpand: opts.MaxExpand})
+	ex.Found = res.Found
+	ex.Nodes = res.Nodes
+
+	inQuery := make(map[int]bool, len(ex.Suggested))
+	for _, q := range ex.Suggested {
+		inQuery[q] = true
+	}
+	for _, e := range res.Edges {
+		s, ok := ddi.Edge(e[0], e[1])
+		if !ok || s == graph.NoInteraction {
+			continue
+		}
+		ee := ExplainedEdge{U: e[0], V: e[1], Sign: s, Suggested: inQuery[e[0]] && inQuery[e[1]]}
+		ex.Edges = append(ex.Edges, ee)
+	}
+	// Interactions among suggested drugs are counted from the full DDI
+	// graph (they may be absent from the community when sparse).
+	for i := 0; i < len(ex.Suggested); i++ {
+		for j := i + 1; j < len(ex.Suggested); j++ {
+			s, ok := ddi.Edge(ex.Suggested[i], ex.Suggested[j])
+			if !ok {
+				continue
+			}
+			switch s {
+			case graph.Synergy:
+				ex.SynergyIn++
+			case graph.Antagonism:
+				ex.AntagonismIn++
+			}
+		}
+	}
+	// Antagonistic edges from suggested to non-suggested subgraph
+	// drugs.
+	for _, e := range ex.Edges {
+		if e.Sign != graph.Antagonism {
+			continue
+		}
+		if inQuery[e.U] != inQuery[e.V] { // exactly one endpoint suggested
+			ex.AntagonismOut++
+		}
+	}
+	ex.SS = SuggestionSatisfaction(len(ex.Suggested), len(ex.Nodes),
+		ex.SynergyIn, ex.AntagonismIn, ex.AntagonismOut, opts.Alpha)
+	return ex
+}
+
+// SuggestionSatisfaction computes Eq. 19:
+//
+//	SS = α·2(r_in_pos+1) / ((r_in_neg+1)(k(k-1)+2)) +
+//	     (1-α)·r_out_neg / (k(n'-k))
+//
+// where k is the number of suggested drugs and n' the community size.
+// The second term is 0 when the community adds no extra drugs.
+func SuggestionSatisfaction(k, nPrime, rInPos, rInNeg, rOutNeg int, alpha float64) float64 {
+	if k <= 0 {
+		return 0
+	}
+	first := alpha * 2 * float64(rInPos+1) /
+		(float64(rInNeg+1) * float64(k*(k-1)+2))
+	var second float64
+	if nPrime > k {
+		second = (1 - alpha) * float64(rOutNeg) / float64(k*(nPrime-k))
+	}
+	return first + second
+}
+
+// Render writes a textual explanation, naming drugs when names are
+// provided (pass nil to use numeric IDs).
+func (ex Explanation) Render(names []string) string {
+	nameOf := func(id int) string {
+		if names != nil && id < len(names) {
+			return fmt.Sprintf("%s (DID %d)", names[id], id)
+		}
+		return fmt.Sprintf("DID %d", id)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Suggestion:")
+	for _, d := range ex.Suggested {
+		fmt.Fprintf(&b, " %s", nameOf(d))
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "Suggestion Satisfaction: %.4f\n", ex.SS)
+	if !ex.Found {
+		b.WriteString("No dense DDI subgraph connects the suggested drugs.\n")
+		return b.String()
+	}
+	var syn, ant []string
+	for _, e := range ex.Edges {
+		line := fmt.Sprintf("%s and %s", nameOf(e.U), nameOf(e.V))
+		if e.Sign == graph.Synergy {
+			syn = append(syn, line)
+		} else {
+			ant = append(ant, line)
+		}
+	}
+	if len(syn) > 0 {
+		b.WriteString("Synergism:\n")
+		for _, s := range syn {
+			fmt.Fprintf(&b, "  %s\n", s)
+		}
+	}
+	if len(ant) > 0 {
+		b.WriteString("Antagonism:\n")
+		for _, s := range ant {
+			fmt.Fprintf(&b, "  %s\n", s)
+		}
+	}
+	return b.String()
+}
+
+func dedupSorted(xs []int) []int {
+	seen := make(map[int]bool, len(xs))
+	var out []int
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MeanSS evaluates the mean Suggestion Satisfaction of top-k
+// suggestions across many patients (the SS@k rows of Table III).
+// suggestions[j] is the suggestion list for patient j.
+func MeanSS(ddi *graph.Signed, suggestions [][]int, opts Options) float64 {
+	if len(suggestions) == 0 {
+		return 0
+	}
+	var total float64
+	for _, sugg := range suggestions {
+		total += Explain(ddi, sugg, opts).SS
+	}
+	return total / float64(len(suggestions))
+}

@@ -1,0 +1,150 @@
+package ms
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dssddi/internal/graph"
+	"dssddi/internal/synth"
+)
+
+// demoGraph wires a small signed DDI graph:
+//
+//	0 -s- 1   (synergy)
+//	0 -a- 2   (antagonism)
+//	1 -s- 3, 3 -s- 0 (make {0,1,3} dense-ish)
+//	4 isolated
+func demoGraph() *graph.Signed {
+	g := graph.NewSigned(5)
+	g.SetEdge(0, 1, graph.Synergy)
+	g.SetEdge(0, 2, graph.Antagonism)
+	g.SetEdge(1, 3, graph.Synergy)
+	g.SetEdge(0, 3, graph.Synergy)
+	return g
+}
+
+func TestSuggestionSatisfactionFormula(t *testing.T) {
+	// k=2, n'=4, rInPos=1, rInNeg=0, rOutNeg=2, alpha=0.5:
+	// first = 0.5 * 2*2 / (1 * (2*1+2)) = 0.5
+	// second = 0.5 * 2 / (2*(4-2)) = 0.25
+	got := SuggestionSatisfaction(2, 4, 1, 0, 2, 0.5)
+	if math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("SS = %v, want 0.75", got)
+	}
+}
+
+func TestSuggestionSatisfactionEdgeCases(t *testing.T) {
+	if SuggestionSatisfaction(0, 4, 1, 0, 1, 0.5) != 0 {
+		t.Fatal("k=0 should give 0")
+	}
+	// No extra community nodes: second term must vanish, not divide by
+	// zero.
+	got := SuggestionSatisfaction(3, 3, 0, 0, 0, 0.5)
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatal("NaN/Inf for n'=k")
+	}
+	// Antagonism inside the suggestion lowers SS.
+	clean := SuggestionSatisfaction(2, 5, 1, 0, 0, 0.5)
+	dirty := SuggestionSatisfaction(2, 5, 1, 1, 0, 0.5)
+	if dirty >= clean {
+		t.Fatal("internal antagonism must lower SS")
+	}
+	// Synergy inside the suggestion raises SS.
+	if SuggestionSatisfaction(2, 5, 2, 0, 0, 0.5) <= clean {
+		t.Fatal("internal synergy must raise SS")
+	}
+	// Antagonism towards non-suggested drugs raises SS.
+	if SuggestionSatisfaction(2, 5, 1, 0, 3, 0.5) <= clean {
+		t.Fatal("external antagonism must raise SS")
+	}
+}
+
+func TestExplainCountsInteractions(t *testing.T) {
+	ex := Explain(demoGraph(), []int{0, 1}, DefaultOptions())
+	if !ex.Found {
+		t.Fatal("expected a subgraph")
+	}
+	if ex.SynergyIn != 1 {
+		t.Fatalf("SynergyIn = %d, want 1 (0-1)", ex.SynergyIn)
+	}
+	if ex.AntagonismIn != 0 {
+		t.Fatalf("AntagonismIn = %d, want 0", ex.AntagonismIn)
+	}
+	if ex.SS <= 0 {
+		t.Fatal("SS should be positive")
+	}
+}
+
+func TestExplainAntagonisticPair(t *testing.T) {
+	good := Explain(demoGraph(), []int{0, 1}, DefaultOptions())
+	bad := Explain(demoGraph(), []int{0, 2}, DefaultOptions())
+	if bad.AntagonismIn != 1 {
+		t.Fatalf("AntagonismIn = %d, want 1", bad.AntagonismIn)
+	}
+	if bad.SS >= good.SS {
+		t.Fatalf("antagonistic pair SS %v should be below synergistic %v", bad.SS, good.SS)
+	}
+}
+
+func TestExplainIsolatedDrug(t *testing.T) {
+	ex := Explain(demoGraph(), []int{4}, DefaultOptions())
+	if ex.Found {
+		t.Fatal("isolated drug has no dense subgraph")
+	}
+	if ex.SS < 0 {
+		t.Fatal("SS must still be well-defined")
+	}
+}
+
+func TestExplainDeduplicatesQuery(t *testing.T) {
+	ex := Explain(demoGraph(), []int{1, 0, 1, 0}, DefaultOptions())
+	if len(ex.Suggested) != 2 || ex.Suggested[0] != 0 || ex.Suggested[1] != 1 {
+		t.Fatalf("suggested = %v", ex.Suggested)
+	}
+}
+
+func TestRenderNamesDrugs(t *testing.T) {
+	names := []string{"A", "B", "C", "D", "E"}
+	out := Explain(demoGraph(), []int{0, 1}, DefaultOptions()).Render(names)
+	if !strings.Contains(out, "A (DID 0)") || !strings.Contains(out, "Suggestion Satisfaction") {
+		t.Fatalf("render output missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "Synergism") {
+		t.Fatalf("render should list the synergy edge:\n%s", out)
+	}
+}
+
+func TestMeanSS(t *testing.T) {
+	g := demoGraph()
+	mean := MeanSS(g, [][]int{{0, 1}, {0, 2}}, DefaultOptions())
+	a := Explain(g, []int{0, 1}, DefaultOptions()).SS
+	b := Explain(g, []int{0, 2}, DefaultOptions()).SS
+	if math.Abs(mean-(a+b)/2) > 1e-12 {
+		t.Fatalf("mean SS %v, want %v", mean, (a+b)/2)
+	}
+	if MeanSS(g, nil, DefaultOptions()) != 0 {
+		t.Fatal("empty suggestion set should give 0")
+	}
+}
+
+func TestExplainOnCatalogueGraph(t *testing.T) {
+	// Integration with the paper-shaped DDI graph: the
+	// Simvastatin+Atorvastatin suggestion (Fig. 8a) must produce a
+	// subgraph containing the synergy edge between them.
+	rng := rand.New(rand.NewSource(1))
+	g := synth.GenerateDDI(rng, synth.Catalog(), synth.DefaultDDIOptions())
+	ex := Explain(g, []int{46, 47}, DefaultOptions())
+	if !ex.Found {
+		t.Fatal("statin pair should sit in a dense subgraph")
+	}
+	if ex.SynergyIn != 1 {
+		t.Fatalf("SynergyIn = %d, want 1", ex.SynergyIn)
+	}
+	// An antagonistic pair from Case 3 scores lower.
+	bad := Explain(g, []int{8, 62}, DefaultOptions())
+	if bad.SS >= ex.SS {
+		t.Fatalf("antagonistic suggestion SS %v >= synergistic %v", bad.SS, ex.SS)
+	}
+}

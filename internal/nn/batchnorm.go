@@ -1,0 +1,88 @@
+package nn
+
+import (
+	"math"
+
+	"dssddi/internal/ag"
+	"dssddi/internal/mat"
+)
+
+// BatchNorm normalises each feature column to zero mean and unit
+// variance over the batch, then applies a learnable affine transform
+// (gamma, beta). Statistics are always computed from the current batch
+// — the models here do full-batch training, so train and eval see the
+// same statistics.
+//
+// The backward pass treats the batch statistics as constants, i.e. this
+// is the "frozen statistics" approximation. For full-batch graph
+// training this is a standard and stable simplification; gradient flow
+// through mean/variance mainly matters for small minibatches.
+type BatchNorm struct {
+	Gamma *mat.Dense
+	Beta  *mat.Dense
+	Eps   float64
+}
+
+// NewBatchNorm creates a BatchNorm over d features.
+func NewBatchNorm(ps *Params, d int) *BatchNorm {
+	g := mat.New(1, d)
+	g.Fill(1)
+	return &BatchNorm{
+		Gamma: ps.Register(g),
+		Beta:  ps.Register(mat.New(1, d)),
+		Eps:   1e-5,
+	}
+}
+
+// Apply normalises x (n x d) column-wise and applies the affine
+// transform on the tape.
+func (bn *BatchNorm) Apply(t *ag.Tape, x *ag.Node) *ag.Node {
+	n, d := x.Rows(), x.Cols()
+	if n == 0 {
+		return x
+	}
+	mean := make([]float64, d)
+	for i := 0; i < n; i++ {
+		row := x.Value.Row(i)
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	invStd := make([]float64, d)
+	for i := 0; i < n; i++ {
+		row := x.Value.Row(i)
+		for j, v := range row {
+			dv := v - mean[j]
+			invStd[j] += dv * dv
+		}
+	}
+	for j := range invStd {
+		invStd[j] = 1 / math.Sqrt(invStd[j]/float64(n)+bn.Eps)
+	}
+
+	// Normalisation as constant shift+scale: xhat = (x - mean) * invStd.
+	shift := mat.New(1, d)
+	scale := mat.New(n, d)
+	for j := 0; j < d; j++ {
+		shift.Set(0, j, -mean[j])
+	}
+	for i := 0; i < n; i++ {
+		copy(scale.Row(i), invStd)
+	}
+	xhat := t.Hadamard(t.AddBias(x, t.Const(shift)), t.Const(scale))
+
+	// Affine: gamma broadcast-multiplied per column, then + beta.
+	gammaFull := mat.New(n, d)
+	for i := 0; i < n; i++ {
+		copy(gammaFull.Row(i), bn.Gamma.Row(0))
+	}
+	// To keep gamma trainable we multiply via a broadcasted parameter:
+	// out = xhat .* rowrep(gamma) + beta. Implemented with GatherRows so
+	// the gradient flows back into the single gamma row.
+	idx := make([]int, n)
+	gammaNode := t.GatherRows(t.Param(bn.Gamma), idx) // all rows = row 0
+	return t.AddBias(t.Hadamard(xhat, gammaNode), t.Param(bn.Beta))
+}

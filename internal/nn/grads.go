@@ -1,0 +1,18 @@
+package nn
+
+import (
+	"dssddi/internal/ag"
+	"dssddi/internal/mat"
+)
+
+// CollectGrads returns, for every registered parameter in ps, the
+// gradient accumulated on the given tape (nil where a parameter was not
+// touched). The result aligns index-for-index with ps.All(), ready to
+// hand to an optimizer Step.
+func CollectGrads(tape *ag.Tape, ps *Params) []*mat.Dense {
+	grads := make([]*mat.Dense, len(ps.All()))
+	for i, p := range ps.All() {
+		grads[i] = tape.Grad(p)
+	}
+	return grads
+}

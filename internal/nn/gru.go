@@ -1,0 +1,63 @@
+package nn
+
+import (
+	"math/rand"
+
+	"dssddi/internal/ag"
+	"dssddi/internal/mat"
+)
+
+// GRUCell is a gated recurrent unit used by the SafeDrug baseline to
+// encode a patient's visit sequence:
+//
+//	z = σ(x Wz + h Uz + bz)
+//	r = σ(x Wr + h Ur + br)
+//	ĥ = tanh(x Wh + (r⊙h) Uh + bh)
+//	h' = (1-z)⊙h + z⊙ĥ
+type GRUCell struct {
+	Wz, Uz, Bz *mat.Dense
+	Wr, Ur, Br *mat.Dense
+	Wh, Uh, Bh *mat.Dense
+	Hidden     int
+}
+
+// NewGRUCell creates a GRU cell mapping in-dim inputs to hidden-dim
+// states.
+func NewGRUCell(rng *rand.Rand, ps *Params, in, hidden int) *GRUCell {
+	return &GRUCell{
+		Wz:     ps.Register(mat.GlorotUniform(rng, in, hidden)),
+		Uz:     ps.Register(mat.GlorotUniform(rng, hidden, hidden)),
+		Bz:     ps.Register(mat.New(1, hidden)),
+		Wr:     ps.Register(mat.GlorotUniform(rng, in, hidden)),
+		Ur:     ps.Register(mat.GlorotUniform(rng, hidden, hidden)),
+		Br:     ps.Register(mat.New(1, hidden)),
+		Wh:     ps.Register(mat.GlorotUniform(rng, in, hidden)),
+		Uh:     ps.Register(mat.GlorotUniform(rng, hidden, hidden)),
+		Bh:     ps.Register(mat.New(1, hidden)),
+		Hidden: hidden,
+	}
+}
+
+// Step advances the cell one time step: given input x (n x in) and
+// previous state h (n x hidden), it returns the next state.
+func (g *GRUCell) Step(t *ag.Tape, x, h *ag.Node) *ag.Node {
+	z := t.Sigmoid(t.AddBias(t.Add(t.MatMul(x, t.Param(g.Wz)), t.MatMul(h, t.Param(g.Uz))), t.Param(g.Bz)))
+	r := t.Sigmoid(t.AddBias(t.Add(t.MatMul(x, t.Param(g.Wr)), t.MatMul(h, t.Param(g.Ur))), t.Param(g.Br)))
+	rh := t.Hadamard(r, h)
+	hhat := t.Tanh(t.AddBias(t.Add(t.MatMul(x, t.Param(g.Wh)), t.MatMul(rh, t.Param(g.Uh))), t.Param(g.Bh)))
+	// h' = h - z⊙h + z⊙ĥ
+	return t.Add(t.Sub(h, t.Hadamard(z, h)), t.Hadamard(z, hhat))
+}
+
+// Run unrolls the cell over a sequence of inputs (each n x in), starting
+// from a zero state, and returns the final state.
+func (g *GRUCell) Run(t *ag.Tape, xs []*ag.Node) *ag.Node {
+	if len(xs) == 0 {
+		panic("nn: GRU Run needs at least one step")
+	}
+	h := t.Const(mat.New(xs[0].Rows(), g.Hidden))
+	for _, x := range xs {
+		h = g.Step(t, x, h)
+	}
+	return h
+}

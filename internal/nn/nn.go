@@ -1,0 +1,148 @@
+// Package nn provides neural-network layers built on the ag autodiff
+// tape: linear layers, multi-layer perceptrons, batch normalisation,
+// embeddings and a GRU cell. Layers own their parameters; a Params
+// registry collects them for the optimizer.
+package nn
+
+import (
+	"math/rand"
+
+	"dssddi/internal/ag"
+	"dssddi/internal/mat"
+)
+
+// Params is an ordered registry of trainable parameter matrices.
+// Layers register their weights here so the optimizer can step them.
+type Params struct {
+	list []*mat.Dense
+}
+
+// Register adds p to the registry and returns it.
+func (ps *Params) Register(p *mat.Dense) *mat.Dense {
+	ps.list = append(ps.list, p)
+	return p
+}
+
+// All returns the registered parameters in registration order.
+func (ps *Params) All() []*mat.Dense { return ps.list }
+
+// Count returns the total number of scalar parameters.
+func (ps *Params) Count() int {
+	var n int
+	for _, p := range ps.list {
+		n += p.Rows() * p.Cols()
+	}
+	return n
+}
+
+// Activation selects the nonlinearity applied by MLP hidden layers.
+type Activation int
+
+// Supported activations.
+const (
+	ActReLU Activation = iota
+	ActLeakyReLU
+	ActTanh
+	ActSigmoid
+	ActNone
+)
+
+func applyActivation(t *ag.Tape, x *ag.Node, a Activation) *ag.Node {
+	switch a {
+	case ActReLU:
+		return t.ReLU(x)
+	case ActLeakyReLU:
+		return t.LeakyReLU(x, 0.01)
+	case ActTanh:
+		return t.Tanh(x)
+	case ActSigmoid:
+		return t.Sigmoid(x)
+	default:
+		return x
+	}
+}
+
+// Linear is a fully connected layer y = x*W + b.
+type Linear struct {
+	W *mat.Dense
+	B *mat.Dense
+}
+
+// NewLinear creates a Glorot-initialised linear layer and registers its
+// parameters.
+func NewLinear(rng *rand.Rand, ps *Params, in, out int) *Linear {
+	return &Linear{
+		W: ps.Register(mat.GlorotUniform(rng, in, out)),
+		B: ps.Register(mat.New(1, out)),
+	}
+}
+
+// Apply runs the layer on the tape.
+func (l *Linear) Apply(t *ag.Tape, x *ag.Node) *ag.Node {
+	return t.AddBias(t.MatMul(x, t.Param(l.W)), t.Param(l.B))
+}
+
+// MLP is a stack of linear layers with a shared hidden activation. The
+// output layer is linear (no activation) unless OutAct is set.
+type MLP struct {
+	Layers []*Linear
+	Act    Activation
+	OutAct Activation
+	Norms  []*BatchNorm // optional, one per hidden layer when UseNorm
+}
+
+// NewMLP builds an MLP with the given layer sizes, e.g. sizes =
+// [in, hidden, out]. When useNorm is true a BatchNorm follows every
+// hidden linear layer (the paper's DDIGCN applies BatchNorm+ReLU after
+// each graph convolution).
+func NewMLP(rng *rand.Rand, ps *Params, sizes []int, act Activation, useNorm bool) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: MLP needs at least [in, out] sizes")
+	}
+	m := &MLP{Act: act, OutAct: ActNone}
+	for i := 0; i+1 < len(sizes); i++ {
+		m.Layers = append(m.Layers, NewLinear(rng, ps, sizes[i], sizes[i+1]))
+		if useNorm && i+2 < len(sizes) {
+			m.Norms = append(m.Norms, NewBatchNorm(ps, sizes[i+1]))
+		} else {
+			m.Norms = append(m.Norms, nil)
+		}
+	}
+	return m
+}
+
+// Apply runs the MLP on the tape.
+func (m *MLP) Apply(t *ag.Tape, x *ag.Node) *ag.Node {
+	h := x
+	for i, l := range m.Layers {
+		h = l.Apply(t, h)
+		last := i == len(m.Layers)-1
+		if !last {
+			if m.Norms[i] != nil {
+				h = m.Norms[i].Apply(t, h)
+			}
+			h = applyActivation(t, h, m.Act)
+		} else {
+			h = applyActivation(t, h, m.OutAct)
+		}
+	}
+	return h
+}
+
+// Embedding is a lookup table of n vectors of dimension d.
+type Embedding struct {
+	Table *mat.Dense
+}
+
+// NewEmbedding creates an n x d embedding table with N(0, 0.1²) init.
+func NewEmbedding(rng *rand.Rand, ps *Params, n, d int) *Embedding {
+	return &Embedding{Table: ps.Register(mat.RandNormal(rng, n, d, 0.1))}
+}
+
+// Lookup gathers the rows for ids.
+func (e *Embedding) Lookup(t *ag.Tape, ids []int) *ag.Node {
+	return t.GatherRows(t.Param(e.Table), ids)
+}
+
+// Full returns the whole table as a node.
+func (e *Embedding) Full(t *ag.Tape) *ag.Node { return t.Param(e.Table) }

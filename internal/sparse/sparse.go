@@ -1,0 +1,158 @@
+// Package sparse provides CSR (compressed sparse row) matrices used to
+// express graph aggregation (adjacency times feature matrix) in the GNN
+// stack. Matrices are immutable after construction; build them with a
+// Builder or one of the adjacency constructors.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"dssddi/internal/mat"
+)
+
+// CSR is an immutable sparse matrix in compressed sparse row format.
+type CSR struct {
+	rows, cols int
+	rowPtr     []int
+	colIdx     []int
+	vals       []float64
+}
+
+// Rows returns the number of rows.
+func (c *CSR) Rows() int { return c.rows }
+
+// Cols returns the number of columns.
+func (c *CSR) Cols() int { return c.cols }
+
+// NNZ returns the number of stored (structurally non-zero) entries.
+func (c *CSR) NNZ() int { return len(c.vals) }
+
+// Builder accumulates COO triplets and finalises them into a CSR matrix.
+// Duplicate (row, col) entries are summed.
+type Builder struct {
+	rows, cols int
+	entries    []entry
+}
+
+type entry struct {
+	r, c int
+	v    float64
+}
+
+// NewBuilder returns a builder for a rows x cols sparse matrix.
+func NewBuilder(rows, cols int) *Builder {
+	return &Builder{rows: rows, cols: cols}
+}
+
+// Add records a value at (r, c). Duplicates are summed at Build time.
+func (b *Builder) Add(r, c int, v float64) {
+	if r < 0 || r >= b.rows || c < 0 || c >= b.cols {
+		panic(fmt.Sprintf("sparse: entry (%d,%d) out of range %dx%d", r, c, b.rows, b.cols))
+	}
+	b.entries = append(b.entries, entry{r, c, v})
+}
+
+// Build finalises the accumulated entries into a CSR matrix.
+func (b *Builder) Build() *CSR {
+	sort.Slice(b.entries, func(i, j int) bool {
+		if b.entries[i].r != b.entries[j].r {
+			return b.entries[i].r < b.entries[j].r
+		}
+		return b.entries[i].c < b.entries[j].c
+	})
+	// Merge duplicates.
+	merged := b.entries[:0]
+	for _, e := range b.entries {
+		if n := len(merged); n > 0 && merged[n-1].r == e.r && merged[n-1].c == e.c {
+			merged[n-1].v += e.v
+			continue
+		}
+		merged = append(merged, e)
+	}
+	c := &CSR{
+		rows:   b.rows,
+		cols:   b.cols,
+		rowPtr: make([]int, b.rows+1),
+		colIdx: make([]int, len(merged)),
+		vals:   make([]float64, len(merged)),
+	}
+	for i, e := range merged {
+		c.rowPtr[e.r+1]++
+		c.colIdx[i] = e.c
+		c.vals[i] = e.v
+	}
+	for i := 1; i <= b.rows; i++ {
+		c.rowPtr[i] += c.rowPtr[i-1]
+	}
+	return c
+}
+
+// RowNNZ returns the number of stored entries in row r.
+func (c *CSR) RowNNZ(r int) int { return c.rowPtr[r+1] - c.rowPtr[r] }
+
+// Row iterates over the stored entries of row r, calling f(col, val).
+func (c *CSR) Row(r int, f func(col int, val float64)) {
+	for i := c.rowPtr[r]; i < c.rowPtr[r+1]; i++ {
+		f(c.colIdx[i], c.vals[i])
+	}
+}
+
+// At returns the value at (r, col); zero for entries not stored.
+func (c *CSR) At(r, col int) float64 {
+	lo, hi := c.rowPtr[r], c.rowPtr[r+1]
+	i := sort.SearchInts(c.colIdx[lo:hi], col)
+	if lo+i < hi && c.colIdx[lo+i] == col {
+		return c.vals[lo+i]
+	}
+	return 0
+}
+
+// MulDense computes c * x where x is dense, returning a new dense matrix.
+func (c *CSR) MulDense(x *mat.Dense) *mat.Dense {
+	if c.cols != x.Rows() {
+		panic(fmt.Sprintf("sparse: MulDense inner mismatch %dx%d * %dx%d", c.rows, c.cols, x.Rows(), x.Cols()))
+	}
+	out := mat.New(c.rows, x.Cols())
+	c.MulDenseInto(out, x)
+	return out
+}
+
+// MulDenseInto computes dst = c * x. dst must be c.rows x x.Cols().
+func (c *CSR) MulDenseInto(dst, x *mat.Dense) {
+	if c.cols != x.Rows() || dst.Rows() != c.rows || dst.Cols() != x.Cols() {
+		panic("sparse: MulDenseInto shape mismatch")
+	}
+	dst.Zero()
+	for r := 0; r < c.rows; r++ {
+		drow := dst.Row(r)
+		for i := c.rowPtr[r]; i < c.rowPtr[r+1]; i++ {
+			v := c.vals[i]
+			xrow := x.Row(c.colIdx[i])
+			for j, xv := range xrow {
+				drow[j] += v * xv
+			}
+		}
+	}
+}
+
+// T returns the transpose of c as a new CSR matrix.
+func (c *CSR) T() *CSR {
+	b := NewBuilder(c.cols, c.rows)
+	for r := 0; r < c.rows; r++ {
+		for i := c.rowPtr[r]; i < c.rowPtr[r+1]; i++ {
+			b.Add(c.colIdx[i], r, c.vals[i])
+		}
+	}
+	return b.Build()
+}
+
+// ToDense expands c into a dense matrix (intended for tests and small
+// graphs only).
+func (c *CSR) ToDense() *mat.Dense {
+	d := mat.New(c.rows, c.cols)
+	for r := 0; r < c.rows; r++ {
+		c.Row(r, func(col int, v float64) { d.Set(r, col, v) })
+	}
+	return d
+}

@@ -1,0 +1,240 @@
+// Package steiner implements Mehlhorn's 2-approximation for the Steiner
+// tree problem on weighted undirected graphs (Information Processing
+// Letters, 1988). The Medical Support module uses it to connect the
+// suggested drugs inside the DDI graph before growing the dense
+// community around them.
+package steiner
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"dssddi/internal/graph"
+)
+
+// WeightFunc returns the positive weight of the edge {u, v}. The
+// community-search caller supplies the "truss distance" here.
+type WeightFunc func(u, v int) float64
+
+// Tree is a set of edges forming an (approximate) Steiner tree.
+type Tree struct {
+	Edges [][2]int
+	Nodes map[int]bool
+	Cost  float64
+}
+
+// item is a priority-queue entry for Dijkstra.
+type item struct {
+	node int
+	dist float64
+}
+
+type pq []item
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].dist < p[j].dist }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(item)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	x := old[n-1]
+	*p = old[:n-1]
+	return x
+}
+
+// Approximate computes an approximate minimum Steiner tree of g
+// spanning the terminal set. It runs a multi-source Dijkstra to build
+// the Voronoi partition around terminals, forms the induced terminal
+// distance graph, takes its MST, and expands MST edges back into
+// shortest paths (Mehlhorn's construction). Returns nil when the
+// terminals are not all connected in g.
+func Approximate(g *graph.Undirected, terminals []int, w WeightFunc) *Tree {
+	if len(terminals) == 0 {
+		return &Tree{Nodes: map[int]bool{}}
+	}
+	if len(terminals) == 1 {
+		return &Tree{Nodes: map[int]bool{terminals[0]: true}}
+	}
+	n := g.N()
+	dist := make([]float64, n)
+	owner := make([]int, n) // terminal index owning each node's Voronoi cell
+	parent := make([]int, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		owner[i] = -1
+		parent[i] = -1
+	}
+	h := &pq{}
+	for ti, t := range terminals {
+		dist[t] = 0
+		owner[t] = ti
+		heap.Push(h, item{t, 0})
+	}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(item)
+		u := it.node
+		if it.dist > dist[u] {
+			continue
+		}
+		for _, v := range g.Neighbors(u) {
+			d := dist[u] + w(u, v)
+			if d < dist[v] {
+				dist[v] = d
+				owner[v] = owner[u]
+				parent[v] = u
+				heap.Push(h, item{v, d})
+			}
+		}
+	}
+
+	// Terminal distance graph: for each edge crossing Voronoi cells,
+	// candidate terminal-terminal distance = dist[u] + w + dist[v].
+	best := make(map[[2]int]cross)
+	for _, e := range g.Edges() {
+		u, v := e[0], e[1]
+		a, b := owner[u], owner[v]
+		if a == -1 || b == -1 || a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		d := dist[u] + w(u, v) + dist[v]
+		k := [2]int{a, b}
+		if c, ok := best[k]; !ok || d < c.d {
+			best[k] = cross{a, b, u, v, d}
+		}
+	}
+
+	// Kruskal MST over the terminal distance graph.
+	crosses := make([]cross, 0, len(best))
+	for _, c := range best {
+		crosses = append(crosses, c)
+	}
+	sortCrosses(crosses)
+	uf := newUnionFind(len(terminals))
+	treeEdges := make(map[[2]int]bool)
+	nodes := make(map[int]bool)
+	var cost float64
+	for _, t := range terminals {
+		nodes[t] = true
+	}
+	joined := 1
+	for _, c := range crosses {
+		if !uf.union(c.a, c.b) {
+			continue
+		}
+		joined++
+		// Expand: path from u back to its terminal, edge (u,v), path
+		// from v back to its terminal.
+		cost += addPath(g, parent, c.u, treeEdges, nodes, w)
+		cost += addPath(g, parent, c.v, treeEdges, nodes, w)
+		treeEdges[ekey(c.u, c.v)] = true
+		nodes[c.u] = true
+		nodes[c.v] = true
+		cost += w(c.u, c.v)
+	}
+	if joined != len(terminals) {
+		return nil // terminals not mutually reachable
+	}
+	tr := &Tree{Nodes: nodes, Cost: cost}
+	for e := range treeEdges {
+		tr.Edges = append(tr.Edges, e)
+	}
+	sortEdges(tr.Edges)
+	return tr
+}
+
+// addPath walks the Dijkstra parent pointers from x to its Voronoi
+// terminal, adding edges to the tree; returns the added weight.
+func addPath(g *graph.Undirected, parent []int, x int, edges map[[2]int]bool, nodes map[int]bool, w WeightFunc) float64 {
+	var added float64
+	for parent[x] != -1 {
+		p := parent[x]
+		k := ekey(x, p)
+		if !edges[k] {
+			edges[k] = true
+			added += w(x, p)
+		}
+		nodes[x] = true
+		nodes[p] = true
+		x = p
+	}
+	return added
+}
+
+func ekey(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+// cross is a candidate connection between two terminal Voronoi cells.
+type cross struct {
+	a, b int // terminal indices, a < b
+	u, v int // the crossing edge
+	d    float64
+}
+
+func sortCrosses(cs []cross) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].d != cs[j].d {
+			return cs[i].d < cs[j].d
+		}
+		if cs[i].a != cs[j].a {
+			return cs[i].a < cs[j].a
+		}
+		return cs[i].b < cs[j].b
+	})
+}
+
+func sortEdges(es [][2]int) {
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && lessEdge(es[j], es[j-1]); j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+}
+
+func lessEdge(a, b [2]int) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+type unionFind struct{ parent, rank []int }
+
+func newUnionFind(n int) *unionFind {
+	u := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range u.parent {
+		u.parent[i] = i
+	}
+	return u
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) bool {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return false
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	return true
+}

@@ -1,0 +1,142 @@
+package steiner
+
+import (
+	"math/rand"
+	"testing"
+
+	"dssddi/internal/graph"
+)
+
+func unitWeight(u, v int) float64 { return 1 }
+
+func TestSingleTerminal(t *testing.T) {
+	g := graph.NewUndirected(3)
+	g.AddEdge(0, 1)
+	tr := Approximate(g, []int{2}, unitWeight)
+	if tr == nil || len(tr.Edges) != 0 || !tr.Nodes[2] {
+		t.Fatalf("single terminal tree wrong: %+v", tr)
+	}
+}
+
+func TestTwoTerminalsShortestPath(t *testing.T) {
+	// Path 0-1-2-3 plus shortcut 0-4-3 of same hop count but we weight
+	// the shortcut cheaper.
+	g := graph.NewUndirected(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(0, 4)
+	g.AddEdge(4, 3)
+	w := func(u, v int) float64 {
+		if (u == 0 && v == 4) || (u == 4 && v == 0) || (u == 4 && v == 3) || (u == 3 && v == 4) {
+			return 0.5
+		}
+		return 1
+	}
+	tr := Approximate(g, []int{0, 3}, w)
+	if tr == nil {
+		t.Fatal("no tree found")
+	}
+	if !tr.Nodes[4] || tr.Nodes[1] || tr.Nodes[2] {
+		t.Fatalf("should route through 4, got nodes %v", tr.Nodes)
+	}
+	if tr.Cost != 1.0 {
+		t.Fatalf("cost %v, want 1.0", tr.Cost)
+	}
+}
+
+func TestStarSteiner(t *testing.T) {
+	// Terminals 1,2,3 all attached to hub 0: the optimum Steiner tree
+	// must include the non-terminal hub.
+	g := graph.NewUndirected(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	tr := Approximate(g, []int{1, 2, 3}, unitWeight)
+	if tr == nil {
+		t.Fatal("no tree")
+	}
+	if !tr.Nodes[0] {
+		t.Fatal("hub must be a Steiner node")
+	}
+	if len(tr.Edges) != 3 || tr.Cost != 3 {
+		t.Fatalf("expected 3 unit edges, got %d cost %v", len(tr.Edges), tr.Cost)
+	}
+}
+
+func TestDisconnectedTerminals(t *testing.T) {
+	g := graph.NewUndirected(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	if tr := Approximate(g, []int{0, 2}, unitWeight); tr != nil {
+		t.Fatalf("expected nil for disconnected terminals, got %+v", tr)
+	}
+}
+
+func TestTreeIsConnectedAndSpansTerminals(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(10)
+		g := graph.NewUndirected(n)
+		// Ring to guarantee connectivity, plus random chords.
+		for i := 0; i < n; i++ {
+			g.AddEdge(i, (i+1)%n)
+		}
+		for e := 0; e < n; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		var terms []int
+		seen := map[int]bool{}
+		for len(terms) < 4 {
+			x := rng.Intn(n)
+			if !seen[x] {
+				seen[x] = true
+				terms = append(terms, x)
+			}
+		}
+		tr := Approximate(g, terms, unitWeight)
+		if tr == nil {
+			t.Fatalf("seed %d: expected a tree", seed)
+		}
+		// Build subgraph of tree edges and check terminals connected.
+		sub := graph.NewUndirected(n)
+		for _, e := range tr.Edges {
+			sub.AddEdge(e[0], e[1])
+		}
+		if !sub.Connected(terms) {
+			t.Fatalf("seed %d: terminals not connected in tree", seed)
+		}
+		// A tree on k nodes has exactly k-1 edges (acyclicity check).
+		if len(tr.Edges) > len(tr.Nodes)-1 {
+			t.Fatalf("seed %d: %d edges on %d nodes — contains a cycle",
+				seed, len(tr.Edges), len(tr.Nodes))
+		}
+	}
+}
+
+func Test2ApproximationOnKnownInstance(t *testing.T) {
+	// Classic instance: square 0-1-2-3 with center 4 connected to all
+	// corners with weight 1; corner-corner edges weight 2. Terminals =
+	// corners. OPT = 4 (star through center). Mehlhorn must return <= 8.
+	g := graph.NewUndirected(5)
+	for c := 0; c < 4; c++ {
+		g.AddEdge(c, 4)
+		g.AddEdge(c, (c+1)%4)
+	}
+	w := func(u, v int) float64 {
+		if u == 4 || v == 4 {
+			return 1
+		}
+		return 2
+	}
+	tr := Approximate(g, []int{0, 1, 2, 3}, w)
+	if tr == nil {
+		t.Fatal("no tree")
+	}
+	if tr.Cost > 8 {
+		t.Fatalf("cost %v exceeds 2-approximation bound 8", tr.Cost)
+	}
+}

@@ -1,0 +1,306 @@
+// Package synth generates the synthetic datasets that stand in for the
+// paper's non-redistributable sources: the Hong Kong Chronic Disease
+// Study cohort, the DrugCombDB drug-drug interactions and the MIMIC-III
+// visit records. See DESIGN.md ("Data substitutions") for how each
+// generator preserves the statistical structure the models exercise.
+package synth
+
+// Disease enumerates the chronic conditions of the study cohort
+// (Fig. 2 and Fig. 3 of the paper).
+type Disease int
+
+// The 14 named chronic diseases plus the catch-all bucket.
+const (
+	Hypertension Disease = iota
+	CardiovascularEvents
+	Type2Diabetes
+	GastricUlcer
+	Arthritis
+	ProstaticHyperplasia
+	DiabeticNephropathy
+	MyocardialInfarction
+	Asthma
+	ErosiveEsophagitis
+	Seizures
+	EyeDiseases
+	AnxietyDisorder
+	Edema
+	Thromboembolism
+	OtherDiseases
+	NumDiseases // sentinel
+)
+
+var diseaseNames = [NumDiseases]string{
+	"Hypertension", "Cardiovascular Events", "Type 2 Diabetes Mellitus",
+	"Gastric or Duodenal Ulcer", "Arthritis", "Prostatic Hyperplasia",
+	"Diabetic Nephropathy", "Myocardial Infarction", "Asthma",
+	"Erosive Esophagitis", "Seizures", "Eye Diseases", "Anxiety Disorder",
+	"Edema", "Thromboembolism", "Other Diseases",
+}
+
+// String returns the disease's display name.
+func (d Disease) String() string {
+	if d < 0 || d >= NumDiseases {
+		return "Unknown"
+	}
+	return diseaseNames[d]
+}
+
+// Prevalence is the marginal probability that a cohort member suffers
+// from each disease, shaped after Fig. 2 (hypertension dominates,
+// followed by cardiovascular events and diabetes). Patients may carry
+// several diseases, so the values need not sum to 1.
+var Prevalence = map[Disease]float64{
+	Hypertension:         0.49,
+	CardiovascularEvents: 0.22,
+	Type2Diabetes:        0.11,
+	GastricUlcer:         0.06,
+	Arthritis:            0.05,
+	ProstaticHyperplasia: 0.04,
+	DiabeticNephropathy:  0.03,
+	MyocardialInfarction: 0.03,
+	Asthma:               0.03,
+	ErosiveEsophagitis:   0.03,
+	Seizures:             0.02,
+	EyeDiseases:          0.03,
+	AnxietyDisorder:      0.03,
+	Edema:                0.02,
+	Thromboembolism:      0.02,
+	OtherDiseases:        0.03,
+}
+
+// DrugClass groups drugs by pharmacological family; classes drive both
+// the clinical-history features and the DDI generator.
+type DrugClass int
+
+// Pharmacological families used in the catalogue.
+const (
+	AlphaBlocker DrugClass = iota
+	ACEInhibitor
+	ARB
+	BetaBlocker
+	CalciumChannelBlocker
+	Diuretic
+	Statin
+	Nitrate
+	Antiplatelet
+	Anticoagulant
+	Biguanide
+	Sulfonylurea
+	DPP4Inhibitor
+	Insulin
+	PPI
+	H2Blocker
+	Antacid
+	NSAID
+	DMARD
+	Corticosteroid
+	Anticonvulsant
+	Bronchodilator
+	InhaledSteroid
+	Benzodiazepine
+	SSRI
+	AlphaReductase
+	Antimuscarinic
+	EyeAgent
+	Vasodilator
+	Antiarrhythmic
+	NumDrugClasses // sentinel
+)
+
+var drugClassNames = [NumDrugClasses]string{
+	"alpha-blocker", "ACE inhibitor", "ARB", "beta-blocker",
+	"calcium-channel blocker", "diuretic", "statin", "nitrate",
+	"antiplatelet", "anticoagulant", "biguanide", "sulfonylurea",
+	"DPP-4 inhibitor", "insulin", "PPI", "H2 blocker", "antacid",
+	"NSAID", "DMARD", "corticosteroid", "anticonvulsant",
+	"bronchodilator", "inhaled steroid", "benzodiazepine", "SSRI",
+	"5-alpha-reductase inhibitor", "antimuscarinic", "eye agent",
+	"vasodilator", "antiarrhythmic",
+}
+
+// String returns the class's display name.
+func (c DrugClass) String() string {
+	if c < 0 || c >= NumDrugClasses {
+		return "unknown"
+	}
+	return drugClassNames[c]
+}
+
+// Drug describes one entry of the 86-drug catalogue.
+type Drug struct {
+	ID     int
+	Name   string
+	Class  DrugClass
+	Treats []Disease
+}
+
+// Catalog returns the 86-drug catalogue. Drugs named in the paper's
+// case studies keep their paper drug IDs (e.g. Doxazosin=1,
+// Perindopril=5, Amlodipine=8, Indapamide=10, Felodipine=32,
+// Simvastatin=46, Atorvastatin=47, Metformin=48, Isosorbide=58/59,
+// Gabapentin=61, Theophylline=83).
+func Catalog() []Drug {
+	ds := []Drug{
+		{0, "Prazosin", AlphaBlocker, []Disease{Hypertension, ProstaticHyperplasia}},
+		{1, "Doxazosin", AlphaBlocker, []Disease{Hypertension, ProstaticHyperplasia}},
+		{2, "Lisinopril", ACEInhibitor, []Disease{Hypertension, CardiovascularEvents}},
+		{3, "Enalapril", ACEInhibitor, []Disease{Hypertension, CardiovascularEvents}},
+		{4, "Ramipril", ACEInhibitor, []Disease{Hypertension, MyocardialInfarction}},
+		{5, "Perindopril", ACEInhibitor, []Disease{Hypertension, CardiovascularEvents}},
+		{6, "Losartan", ARB, []Disease{Hypertension, DiabeticNephropathy}},
+		{7, "Valsartan", ARB, []Disease{Hypertension, CardiovascularEvents}},
+		{8, "Amlodipine", CalciumChannelBlocker, []Disease{Hypertension, CardiovascularEvents}},
+		{9, "Nifedipine", CalciumChannelBlocker, []Disease{Hypertension}},
+		{10, "Indapamide", Diuretic, []Disease{Hypertension, Edema}},
+		{11, "Hydrochlorothiazide", Diuretic, []Disease{Hypertension, Edema}},
+		{12, "Furosemide", Diuretic, []Disease{Edema, CardiovascularEvents}},
+		{13, "Spironolactone", Diuretic, []Disease{Hypertension, Edema}},
+		{14, "Atenolol", BetaBlocker, []Disease{Hypertension, CardiovascularEvents}},
+		{15, "Metoprolol", BetaBlocker, []Disease{Hypertension, MyocardialInfarction}},
+		{16, "Propranolol", BetaBlocker, []Disease{Hypertension, AnxietyDisorder}},
+		{17, "Bisoprolol", BetaBlocker, []Disease{CardiovascularEvents, Hypertension}},
+		{18, "Carvedilol", BetaBlocker, []Disease{CardiovascularEvents, MyocardialInfarction}},
+		{19, "Terazosin", AlphaBlocker, []Disease{Hypertension, ProstaticHyperplasia}},
+		{20, "Diltiazem", CalciumChannelBlocker, []Disease{Hypertension, CardiovascularEvents}},
+		{21, "Verapamil", CalciumChannelBlocker, []Disease{Hypertension, Antiarrhythmia}},
+		{22, "Methyldopa", Vasodilator, []Disease{Hypertension}},
+		{23, "Hydralazine", Vasodilator, []Disease{Hypertension, CardiovascularEvents}},
+		{24, "Aspirin", Antiplatelet, []Disease{CardiovascularEvents, MyocardialInfarction, Thromboembolism}},
+		{25, "Clopidogrel", Antiplatelet, []Disease{CardiovascularEvents, MyocardialInfarction}},
+		{26, "Warfarin", Anticoagulant, []Disease{Thromboembolism, CardiovascularEvents}},
+		{27, "Dipyridamole", Antiplatelet, []Disease{Thromboembolism, CardiovascularEvents}},
+		{28, "Digoxin", Antiarrhythmic, []Disease{CardiovascularEvents}},
+		{29, "Amiodarone", Antiarrhythmic, []Disease{CardiovascularEvents}},
+		{30, "Ticlopidine", Antiplatelet, []Disease{Thromboembolism}},
+		{31, "Nimodipine", CalciumChannelBlocker, []Disease{CardiovascularEvents}},
+		{32, "Felodipine", CalciumChannelBlocker, []Disease{Hypertension}},
+		{33, "Captopril", ACEInhibitor, []Disease{Hypertension, DiabeticNephropathy}},
+		{34, "Irbesartan", ARB, []Disease{Hypertension, DiabeticNephropathy}},
+		{35, "Telmisartan", ARB, []Disease{Hypertension}},
+		{36, "Glibenclamide", Sulfonylurea, []Disease{Type2Diabetes}},
+		{37, "Gliclazide", Sulfonylurea, []Disease{Type2Diabetes}},
+		{38, "Glipizide", Sulfonylurea, []Disease{Type2Diabetes}},
+		{39, "Tolbutamide", Sulfonylurea, []Disease{Type2Diabetes}},
+		{40, "Sitagliptin", DPP4Inhibitor, []Disease{Type2Diabetes}},
+		{41, "Insulin Glargine", Insulin, []Disease{Type2Diabetes, DiabeticNephropathy}},
+		{42, "Insulin Aspart", Insulin, []Disease{Type2Diabetes}},
+		{43, "Acarbose", Biguanide, []Disease{Type2Diabetes}},
+		{44, "Pioglitazone", Biguanide, []Disease{Type2Diabetes}},
+		{45, "Rosuvastatin", Statin, []Disease{CardiovascularEvents, MyocardialInfarction}},
+		{46, "Simvastatin", Statin, []Disease{CardiovascularEvents, MyocardialInfarction}},
+		{47, "Atorvastatin", Statin, []Disease{CardiovascularEvents, MyocardialInfarction}},
+		{48, "Metformin", Biguanide, []Disease{Type2Diabetes, DiabeticNephropathy}},
+		{49, "Omeprazole", PPI, []Disease{GastricUlcer, ErosiveEsophagitis}},
+		{50, "Lansoprazole", PPI, []Disease{GastricUlcer, ErosiveEsophagitis}},
+		{51, "Esomeprazole", PPI, []Disease{ErosiveEsophagitis, GastricUlcer}},
+		{52, "Ranitidine", H2Blocker, []Disease{GastricUlcer, ErosiveEsophagitis}},
+		{53, "Famotidine", H2Blocker, []Disease{GastricUlcer}},
+		{54, "Cimetidine", H2Blocker, []Disease{GastricUlcer}},
+		{55, "Sucralfate", Antacid, []Disease{GastricUlcer}},
+		{56, "Misoprostol", Antacid, []Disease{GastricUlcer}},
+		{57, "Aluminium Hydroxide", Antacid, []Disease{GastricUlcer, ErosiveEsophagitis}},
+		{58, "Isosorbide Dinitrate", Nitrate, []Disease{CardiovascularEvents, MyocardialInfarction}},
+		{59, "Isosorbide Mononitrate", Nitrate, []Disease{CardiovascularEvents, MyocardialInfarction}},
+		{60, "Nitroglycerin", Nitrate, []Disease{MyocardialInfarction, CardiovascularEvents}},
+		{61, "Gabapentin", Anticonvulsant, []Disease{Seizures, AnxietyDisorder}},
+		{62, "Phenytoin", Anticonvulsant, []Disease{Seizures}},
+		{63, "Carbamazepine", Anticonvulsant, []Disease{Seizures}},
+		{64, "Valproate", Anticonvulsant, []Disease{Seizures}},
+		{65, "Ibuprofen", NSAID, []Disease{Arthritis}},
+		{66, "Naproxen", NSAID, []Disease{Arthritis}},
+		{67, "Diclofenac", NSAID, []Disease{Arthritis}},
+		{68, "Celecoxib", NSAID, []Disease{Arthritis}},
+		{69, "Methotrexate", DMARD, []Disease{Arthritis}},
+		{70, "Sulfasalazine", DMARD, []Disease{Arthritis}},
+		{71, "Prednisolone", Corticosteroid, []Disease{Arthritis, Asthma}},
+		{72, "Allopurinol", DMARD, []Disease{Arthritis}},
+		{73, "Finasteride", AlphaReductase, []Disease{ProstaticHyperplasia}},
+		{74, "Dutasteride", AlphaReductase, []Disease{ProstaticHyperplasia}},
+		{75, "Tolterodine", Antimuscarinic, []Disease{ProstaticHyperplasia}},
+		{76, "Oxybutynin", Antimuscarinic, []Disease{ProstaticHyperplasia}},
+		{77, "Salbutamol", Bronchodilator, []Disease{Asthma}},
+		{78, "Ipratropium", Bronchodilator, []Disease{Asthma}},
+		{79, "Budesonide", InhaledSteroid, []Disease{Asthma}},
+		{80, "Beclometasone", InhaledSteroid, []Disease{Asthma}},
+		{81, "Diazepam", Benzodiazepine, []Disease{AnxietyDisorder, Seizures}},
+		{82, "Lorazepam", Benzodiazepine, []Disease{AnxietyDisorder}},
+		{83, "Theophylline", Bronchodilator, []Disease{Asthma}},
+		{84, "Timolol Eye Drops", EyeAgent, []Disease{EyeDiseases}},
+		{85, "Latanoprost", EyeAgent, []Disease{EyeDiseases}},
+	}
+	return ds
+}
+
+// Antiarrhythmia is an alias kept for catalogue readability; verapamil
+// treats rate-control indications grouped under cardiovascular events.
+const Antiarrhythmia = CardiovascularEvents
+
+// NumDrugs is the size of the drug catalogue, matching the paper.
+const NumDrugs = 86
+
+// DrugsByDisease inverts the catalogue: for each disease the sorted
+// list of drug IDs treating it.
+func DrugsByDisease(catalog []Drug) map[Disease][]int {
+	m := make(map[Disease][]int)
+	for _, d := range catalog {
+		for _, dis := range d.Treats {
+			m[dis] = append(m[dis], d.ID)
+		}
+	}
+	return m
+}
+
+// conflictingClasses lists pharmacological family pairs that tend to
+// produce antagonistic interactions; the DDI generator draws
+// antagonistic edges preferentially between them.
+var conflictingClasses = [][2]DrugClass{
+	{Anticonvulsant, Nitrate},               // e.g. gabapentin vs isosorbide (Fig. 8)
+	{Anticonvulsant, AlphaBlocker},          // gabapentin vs doxazosin (Fig. 8e)
+	{Anticonvulsant, CalciumChannelBlocker}, // phenytoin vs amlodipine/felodipine (Case 3)
+	{Bronchodilator, ACEInhibitor},          // theophylline vs enalapril (Case 2)
+	{Bronchodilator, BetaBlocker},           // beta agonists vs beta blockers
+	{NSAID, ACEInhibitor},                   // blunts antihypertensive effect
+	{NSAID, Diuretic},                       // nephrotoxic combination
+	{NSAID, Anticoagulant},                  // bleeding risk
+	{NSAID, Antiplatelet},                   // bleeding risk
+	{Nitrate, Biguanide},                    // isosorbide vs metformin (Case 4)
+	{Anticoagulant, Antiplatelet},           // bleeding risk
+	{Benzodiazepine, Bronchodilator},        // respiratory depression vs stimulation
+	{Sulfonylurea, BetaBlocker},             // masks hypoglycaemia
+	{Corticosteroid, Biguanide},             // steroid-induced hyperglycaemia
+	{Corticosteroid, Sulfonylurea},          // steroid-induced hyperglycaemia
+	{H2Blocker, Anticonvulsant},             // cimetidine raises phenytoin levels
+	{Antacid, Statin},                       // absorption interference
+	{Antacid, EyeAgent},                     // absorption interference
+	{Antimuscarinic, EyeAgent},              // raised intraocular pressure
+	{Vasodilator, AlphaBlocker},             // additive hypotension
+	{Antiarrhythmic, Statin},                // amiodarone raises statin levels
+	{Antiarrhythmic, Anticoagulant},         // amiodarone potentiates warfarin
+	{DPP4Inhibitor, ACEInhibitor},           // angioedema risk
+	{PPI, Antiplatelet},                     // omeprazole blunts clopidogrel
+}
+
+// synergisticClasses lists family pairs whose members are commonly
+// co-prescribed to complement each other; synergistic edges are drawn
+// preferentially between them (and within same-indication statins, per
+// Fig. 8a).
+var synergisticClasses = [][2]DrugClass{
+	{ACEInhibitor, Diuretic}, // perindopril + indapamide (Case 1)
+	{ACEInhibitor, CalciumChannelBlocker},
+	{Statin, Statin}, // simvastatin + atorvastatin (Fig. 8a)
+	{Statin, Antiplatelet},
+	{BetaBlocker, Diuretic},
+	{ARB, Diuretic},
+	{ARB, CalciumChannelBlocker},
+	{Biguanide, Sulfonylurea},
+	{Biguanide, DPP4Inhibitor},
+	{Insulin, Biguanide},
+	{AlphaBlocker, AlphaReductase},   // combination BPH therapy
+	{Bronchodilator, InhaledSteroid}, // combination asthma therapy
+	{PPI, Antacid},
+	{DMARD, Corticosteroid},
+	{Nitrate, BetaBlocker},
+	{Nitrate, Statin},
+	{Antiplatelet, Antiplatelet}, // dual antiplatelet therapy
+}

@@ -1,0 +1,463 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"dssddi/internal/graph"
+	"dssddi/internal/mat"
+)
+
+// NumFeatures is the questionnaire feature dimension of the chronic
+// cohort, matching the paper's 71 collected features.
+const NumFeatures = 71
+
+// Feature layout (documented for the feature-engineering code and the
+// examples):
+//
+//	0      age (years)
+//	1      gender (0 female, 1 male)
+//	2      BMI
+//	3..4   systolic / diastolic blood pressure
+//	5      heart rate
+//	6..7   fasting glucose / HbA1c
+//	8..11  total cholesterol / LDL / HDL / triglycerides
+//	12..13 creatinine / eGFR
+//	14     uric acid
+//	15     GDS depression score (0-15)
+//	16..23 eight emotional questionnaire items (0/1)
+//	24..39 sixteen disease-history flags (0/1, noisy)
+//	40..59 twenty drug-family history flags (0/1, noisy)
+//	60..70 physical performance & lifestyle (grip strength, walk speed,
+//	       chair stands, smoking, drinking, exercise, education, ...)
+const (
+	featAge = iota
+	featGender
+	featBMI
+	featSys
+	featDia
+	featHR
+	featGlucose
+	featHbA1c
+	featChol
+	featLDL
+	featHDL
+	featTG
+	featCreatinine
+	featEGFR
+	featUricAcid
+	featGDS
+	featEmotion0     = 16
+	featDiseaseHist0 = 24
+	featDrugHist0    = 40
+	featPhysical0    = 60
+)
+
+// Patient is one questionnaire interview record.
+type Patient struct {
+	ID       int
+	Male     bool
+	Age      float64
+	Diseases []Disease
+	// Features is the 71-dim questionnaire vector.
+	Features []float64
+	// Medications holds the drug IDs the patient takes (the label).
+	Medications []int
+}
+
+// Cohort is the synthetic Hong Kong Chronic Disease Study data set.
+type Cohort struct {
+	Patients []Patient
+	Catalog  []Drug
+	DDI      *graph.Signed
+	// ByDisease maps each disease to the drugs that treat it.
+	ByDisease map[Disease][]int
+}
+
+// CohortOptions controls cohort generation; the defaults match the
+// paper's cohort statistics (2254 male + 1903 female records).
+type CohortOptions struct {
+	Males   int
+	Females int
+	// AntagonismTolerance is the probability that a patient keeps a
+	// drug despite an antagonistic interaction with one they already
+	// take (Case 4 of the paper observes such patients exist).
+	AntagonismTolerance float64
+	DDI                 DDIOptions
+}
+
+// DefaultCohortOptions mirrors Section II of the paper.
+func DefaultCohortOptions() CohortOptions {
+	return CohortOptions{
+		Males:               2254,
+		Females:             1903,
+		AntagonismTolerance: 0.08,
+		DDI:                 DefaultDDIOptions(),
+	}
+}
+
+// GenerateCohort builds the full synthetic chronic data set: DDI graph,
+// patients with correlated features, and medication-use labels.
+func GenerateCohort(rng *rand.Rand, opts CohortOptions) *Cohort {
+	catalog := Catalog()
+	ddi := GenerateDDI(rng, catalog, opts.DDI)
+	byDisease := DrugsByDisease(catalog)
+
+	c := &Cohort{Catalog: catalog, DDI: ddi, ByDisease: byDisease}
+	total := opts.Males + opts.Females
+	c.Patients = make([]Patient, 0, total)
+	for i := 0; i < total; i++ {
+		male := i < opts.Males
+		p := generatePatient(rng, i, male, catalog, byDisease, ddi, opts.AntagonismTolerance)
+		c.Patients = append(c.Patients, p)
+	}
+	// Shuffle so gender is not ordered by index.
+	rng.Shuffle(len(c.Patients), func(i, j int) {
+		c.Patients[i], c.Patients[j] = c.Patients[j], c.Patients[i]
+		c.Patients[i].ID, c.Patients[j].ID = i, j
+	})
+	return c
+}
+
+// sampleDiseases draws a patient's disease set: every patient carries at
+// least one chronic disease; comorbidities follow the marginal
+// prevalences with a mild positive correlation between the
+// cardio-metabolic conditions.
+func sampleDiseases(rng *rand.Rand, male bool) []Disease {
+	var ds []Disease
+	has := make(map[Disease]bool)
+	addIf := func(d Disease, p float64) {
+		if !has[d] && rng.Float64() < p {
+			has[d] = true
+			ds = append(ds, d)
+		}
+	}
+	for d := Disease(0); d < NumDiseases; d++ {
+		p := Prevalence[d]
+		if d == ProstaticHyperplasia && !male {
+			continue
+		}
+		addIf(d, p)
+	}
+	// Comorbidity boosts: hypertension begets cardiovascular disease;
+	// diabetes begets nephropathy.
+	if has[Hypertension] {
+		addIf(CardiovascularEvents, 0.18)
+		addIf(Type2Diabetes, 0.10)
+	}
+	if has[Type2Diabetes] {
+		addIf(DiabeticNephropathy, 0.22)
+		addIf(EyeDiseases, 0.12)
+	}
+	if has[CardiovascularEvents] {
+		addIf(MyocardialInfarction, 0.10)
+		addIf(Thromboembolism, 0.08)
+	}
+	if len(ds) == 0 {
+		// Guarantee at least one condition, biased to the common ones.
+		r := rng.Float64()
+		switch {
+		case r < 0.55:
+			ds = append(ds, Hypertension)
+		case r < 0.80:
+			ds = append(ds, CardiovascularEvents)
+		default:
+			ds = append(ds, Type2Diabetes)
+		}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds
+}
+
+func generatePatient(rng *rand.Rand, id int, male bool, catalog []Drug,
+	byDisease map[Disease][]int, ddi *graph.Signed, tolerance float64) Patient {
+
+	p := Patient{ID: id, Male: male}
+	p.Age = 65 + rng.Float64()*30
+	p.Diseases = sampleDiseases(rng, male)
+	has := make(map[Disease]bool, len(p.Diseases))
+	for _, d := range p.Diseases {
+		has[d] = true
+	}
+	// Physiological features first: the prescribing model conditions
+	// the within-class drug choice on them (doctors weigh age, renal
+	// function, BMI, ... when picking a family member).
+	p.Features = buildPhysiology(rng, &p, has)
+	p.Medications = sampleMedications(rng, p.Features, p.Diseases, byDisease, ddi, tolerance)
+	fillDrugHistory(rng, &p, catalog)
+	return p
+}
+
+// drugPreference scores how well drug d suits a patient's physiology.
+// Each drug carries a fixed pseudo-random preference vector over six
+// physiological axes and their pairwise interactions (derived from the
+// drug ID, not the cohort RNG, so the feature→drug mapping is stable).
+// The interaction terms make the mapping deliberately non-linear:
+// prescribing decisions like "this drug for the old AND renally
+// impaired" cannot be captured by a linear model over the raw features,
+// which is what separates the representation-learning methods from the
+// linear baselines in the paper's Table I.
+func drugPreference(d int, f []float64) float64 {
+	axes := [6]float64{
+		(f[featAge] - 80) / 10,
+		(f[featBMI] - 23) / 3,
+		(f[featSys] - 130) / 15,
+		(f[featGlucose] - 6) / 2,
+		(f[featCreatinine] - 90) / 30,
+		(f[featGDS] - 3) / 3,
+	}
+	terms := [12]float64{
+		axes[0], axes[1], axes[2], axes[3], axes[4], axes[5],
+		axes[0] * axes[4], // age x renal function
+		axes[1] * axes[3], // BMI x glucose
+		axes[2] * axes[0], // blood pressure x age
+		axes[3] * axes[4], // glucose x renal function
+		axes[5] * axes[0], // mood x age
+		axes[1] * axes[2], // BMI x blood pressure
+	}
+	var s float64
+	seed := uint64(d)*0x9E3779B97F4A7C15 + 0x85EBCA6B
+	for i, a := range terms {
+		seed ^= seed >> 33
+		seed *= 0xFF51AFD7ED558CCD
+		// Map the hashed drug/term pair to a weight in [-1, 1);
+		// interaction terms get 1.5x weight so the non-linear part of
+		// the signal dominates the within-class choice.
+		w := float64(int64(seed>>(8+i%32)))/float64(int64(1)<<55) - 1
+		if i >= 6 {
+			w *= 1.5
+		}
+		s += w * a
+	}
+	return s
+}
+
+// sampleMedications assigns drugs per disease from its repertoire:
+// usually one, sometimes two. Within a repertoire the choice follows a
+// softmax over the patient's physiological preference scores, so which
+// family member a patient receives is learnable from their features.
+// Synergistic partners are favoured; antagonistic additions are
+// usually rejected.
+func sampleMedications(rng *rand.Rand, feats []float64, diseases []Disease,
+	byDisease map[Disease][]int, ddi *graph.Signed, tolerance float64) []int {
+
+	chosen := make(map[int]bool)
+	for _, dis := range diseases {
+		repertoire := byDisease[dis]
+		if len(repertoire) == 0 {
+			continue
+		}
+		want := 1
+		if len(repertoire) > 3 && rng.Float64() < 0.30 {
+			want = 2
+		}
+		// Softmax weights over the repertoire (sharpness 2 keeps the
+		// choice predictable but not deterministic).
+		weights := make([]float64, len(repertoire))
+		var wsum float64
+		for i, d := range repertoire {
+			weights[i] = math.Exp(2 * drugPreference(d, feats))
+			wsum += weights[i]
+		}
+		for picks, attempts := 0, 0; picks < want && attempts < 25; attempts++ {
+			cand := sampleWeighted(rng, repertoire, weights, wsum)
+			if chosen[cand] {
+				continue
+			}
+			boost := 1.0
+			conflict := false
+			for d := range chosen {
+				if s, ok := ddi.Edge(cand, d); ok {
+					switch s {
+					case graph.Synergy:
+						boost += 2.0
+					case graph.Antagonism:
+						conflict = true
+					}
+				}
+			}
+			if conflict && rng.Float64() > tolerance {
+				continue
+			}
+			if rng.Float64() < boost/(boost+0.3) {
+				chosen[cand] = true
+				picks++
+			}
+		}
+	}
+	out := make([]int, 0, len(chosen))
+	for d := range chosen {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func sampleWeighted(rng *rand.Rand, items []int, weights []float64, wsum float64) int {
+	r := rng.Float64() * wsum
+	for i, w := range weights {
+		r -= w
+		if r <= 0 {
+			return items[i]
+		}
+	}
+	return items[len(items)-1]
+}
+
+// buildPhysiology produces the 71-dim questionnaire vector except the
+// drug-family history flags (filled after medication sampling),
+// conditioned on the patient's diseases so the features carry
+// predictive signal.
+func buildPhysiology(rng *rand.Rand, p *Patient, has map[Disease]bool) []float64 {
+	f := make([]float64, NumFeatures)
+	noise := func(s float64) float64 { return rng.NormFloat64() * s }
+
+	f[featAge] = p.Age
+	if p.Male {
+		f[featGender] = 1
+	}
+	f[featBMI] = 23 + noise(3)
+	if has[Type2Diabetes] {
+		f[featBMI] += 2.5
+	}
+	f[featSys], f[featDia] = 125+noise(10), 75+noise(7)
+	if has[Hypertension] {
+		f[featSys] += 25 + noise(8)
+		f[featDia] += 12 + noise(5)
+	}
+	f[featHR] = 72 + noise(8)
+	f[featGlucose], f[featHbA1c] = 5.2+noise(0.5), 5.5+noise(0.3)
+	if has[Type2Diabetes] {
+		f[featGlucose] += 3.0 + noise(1.0)
+		f[featHbA1c] += 2.0 + noise(0.6)
+	}
+	f[featChol], f[featLDL] = 5.0+noise(0.8), 3.0+noise(0.6)
+	f[featHDL], f[featTG] = 1.3+noise(0.3), 1.5+noise(0.5)
+	if has[CardiovascularEvents] || has[MyocardialInfarction] {
+		f[featChol] += 1.2
+		f[featLDL] += 1.0
+		f[featHDL] -= 0.2
+	}
+	f[featCreatinine], f[featEGFR] = 80+noise(12), 80+noise(12)
+	if has[DiabeticNephropathy] {
+		f[featCreatinine] += 60 + noise(20)
+		f[featEGFR] -= 35 + noise(10)
+	}
+	f[featUricAcid] = 0.32 + noise(0.06)
+	gds := 2 + noise(1.5)
+	if has[AnxietyDisorder] {
+		gds += 5 + noise(2)
+	}
+	if gds < 0 {
+		gds = 0
+	}
+	if gds > 15 {
+		gds = 15
+	}
+	f[featGDS] = gds
+	// Emotional items correlate with the GDS score.
+	for i := 0; i < 8; i++ {
+		pYes := 0.1 + 0.05*gds
+		if pYes > 0.95 {
+			pYes = 0.95
+		}
+		if rng.Float64() < pYes {
+			f[featEmotion0+i] = 1
+		}
+	}
+	// Disease-history flags: the questionnaire is noisy — 75% recall,
+	// 5% false positives.
+	for d := Disease(0); d < NumDiseases; d++ {
+		idx := featDiseaseHist0 + int(d)
+		if idx >= featDrugHist0 {
+			break
+		}
+		if has[d] {
+			if rng.Float64() < 0.75 {
+				f[idx] = 1
+			}
+		} else if rng.Float64() < 0.05 {
+			f[idx] = 1
+		}
+	}
+	// Physical performance & lifestyle: grip strength, walk speed,
+	// chair-stand time decline with age; smoking/drinking/exercise and
+	// education are categorical-ish.
+	ageFactor := (p.Age - 65) / 30
+	f[featPhysical0+0] = 30 - 12*ageFactor + noise(4) // grip strength (kg)
+	f[featPhysical0+1] = 1.2 - 0.5*ageFactor + noise(0.15)
+	f[featPhysical0+2] = 12 + 8*ageFactor + noise(2)
+	f[featPhysical0+3] = boolTo(rng.Float64() < 0.18) // smoker
+	f[featPhysical0+4] = boolTo(rng.Float64() < 0.25) // drinks
+	f[featPhysical0+5] = boolTo(rng.Float64() < 0.5)  // exercises
+	f[featPhysical0+6] = float64(rng.Intn(4))         // education level
+	f[featPhysical0+7] = boolTo(rng.Float64() < 0.35) // lives alone
+	f[featPhysical0+8] = float64(rng.Intn(5))         // # hospitalisations
+	f[featPhysical0+9] = 7 + noise(1.2)               // sleep hours
+	f[featPhysical0+10] = boolTo(rng.Float64() < 0.6) // has caregiver
+	return f
+}
+
+// fillDrugHistory sets the drug-family history flags: whether the
+// patient reports having taken a drug of each family (first 20
+// classes), derived from current medications. Elderly questionnaire
+// recall of drug families is poor, so the flags are heavily noised
+// (45% recall, 8% false positives) — they hint at the drug family
+// without determining it.
+func fillDrugHistory(rng *rand.Rand, p *Patient, catalog []Drug) {
+	classTaken := make(map[DrugClass]bool)
+	for _, med := range p.Medications {
+		classTaken[catalog[med].Class] = true
+	}
+	for cls := DrugClass(0); cls < 20; cls++ {
+		idx := featDrugHist0 + int(cls)
+		if classTaken[cls] {
+			if rng.Float64() < 0.45 {
+				p.Features[idx] = 1
+			}
+		} else if rng.Float64() < 0.08 {
+			p.Features[idx] = 1
+		}
+	}
+}
+
+func boolTo(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// FeatureMatrix stacks all patient feature vectors into an n x 71
+// matrix.
+func (c *Cohort) FeatureMatrix() *mat.Dense {
+	x := mat.New(len(c.Patients), NumFeatures)
+	for i, p := range c.Patients {
+		copy(x.Row(i), p.Features)
+	}
+	return x
+}
+
+// LabelMatrix builds the n x 86 binary medication-use matrix Y.
+func (c *Cohort) LabelMatrix() *mat.Dense {
+	y := mat.New(len(c.Patients), NumDrugs)
+	for i, p := range c.Patients {
+		for _, d := range p.Medications {
+			y.Set(i, d, 1)
+		}
+	}
+	return y
+}
+
+// DiseaseCount returns the number of distinct diseases present in the
+// cohort (the paper sets the k of K-means to this).
+func (c *Cohort) DiseaseCount() int {
+	seen := make(map[Disease]bool)
+	for _, p := range c.Patients {
+		for _, d := range p.Diseases {
+			seen[d] = true
+		}
+	}
+	return len(seen)
+}

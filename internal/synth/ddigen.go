@@ -1,0 +1,179 @@
+package synth
+
+import (
+	"math/rand"
+	"sort"
+
+	"dssddi/internal/graph"
+)
+
+// DDIOptions controls DDI graph generation. The defaults reproduce the
+// paper's DrugCombDB extraction: 97 synergistic and 243 antagonistic
+// pairs among the 86 catalogue drugs.
+type DDIOptions struct {
+	Synergistic  int
+	Antagonistic int
+}
+
+// DefaultDDIOptions mirrors Section II-C of the paper.
+func DefaultDDIOptions() DDIOptions {
+	return DDIOptions{Synergistic: 97, Antagonistic: 243}
+}
+
+// pairKey normalises an unordered drug pair.
+func pairKey(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+// mandatorySynergy are interactions named in the paper's case studies.
+var mandatorySynergy = [][2]int{
+	{46, 47}, // Simvastatin + Atorvastatin (Fig. 8a)
+	{5, 10},  // Perindopril + Indapamide (Case 1)
+}
+
+// mandatoryAntagonism are interactions named in the paper's case
+// studies.
+var mandatoryAntagonism = [][2]int{
+	{59, 61}, // Isosorbide Mononitrate vs Gabapentin (Fig. 8a)
+	{1, 61},  // Doxazosin vs Gabapentin (Fig. 8e)
+	{3, 83},  // Enalapril vs Theophylline (Case 2)
+	{8, 62},  // Amlodipine vs Phenytoin (Case 3)
+	{1, 8},   // Amlodipine vs Doxazosin (Case 3)
+	{8, 19},  // Amlodipine vs Terazosin (Case 3)
+	{0, 8},   // Amlodipine vs Prazosin (Case 3)
+	{32, 62}, // Felodipine vs Phenytoin (Case 3)
+	{1, 32},  // Felodipine vs Doxazosin (Case 3)
+	{19, 32}, // Felodipine vs Terazosin (Case 3)
+	{0, 32},  // Felodipine vs Prazosin (Case 3)
+	{48, 58}, // Metformin vs Isosorbide Dinitrate (Case 4)
+}
+
+// GenerateDDI builds the signed drug-drug interaction graph. Synergy
+// edges are drawn preferentially between complementary drug classes
+// that share an indication; antagonistic edges between
+// pharmacologically conflicting classes. The paper's case-study pairs
+// are always present.
+func GenerateDDI(rng *rand.Rand, catalog []Drug, opts DDIOptions) *graph.Signed {
+	n := len(catalog)
+	g := graph.NewSigned(n)
+	used := make(map[[2]int]bool)
+
+	place := func(u, v int, s graph.Sign) bool {
+		k := pairKey(u, v)
+		if u == v || used[k] {
+			return false
+		}
+		used[k] = true
+		g.SetEdge(u, v, s)
+		return true
+	}
+
+	nSyn, nAnt := 0, 0
+	for _, p := range mandatorySynergy {
+		if place(p[0], p[1], graph.Synergy) {
+			nSyn++
+		}
+	}
+	for _, p := range mandatoryAntagonism {
+		if place(p[0], p[1], graph.Antagonism) {
+			nAnt++
+		}
+	}
+
+	synCand := candidatePairs(catalog, synergisticClasses, true)
+	antCand := candidatePairs(catalog, conflictingClasses, false)
+	shuffle(rng, synCand)
+	shuffle(rng, antCand)
+
+	for _, p := range synCand {
+		if nSyn >= opts.Synergistic {
+			break
+		}
+		if place(p[0], p[1], graph.Synergy) {
+			nSyn++
+		}
+	}
+	for _, p := range antCand {
+		if nAnt >= opts.Antagonistic {
+			break
+		}
+		if place(p[0], p[1], graph.Antagonism) {
+			nAnt++
+		}
+	}
+
+	// Top up with cross-class random pairs if the rule pools ran dry.
+	for nSyn < opts.Synergistic || nAnt < opts.Antagonistic {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || used[pairKey(u, v)] {
+			continue
+		}
+		if nAnt < opts.Antagonistic && catalog[u].Class != catalog[v].Class {
+			if place(u, v, graph.Antagonism) {
+				nAnt++
+			}
+			continue
+		}
+		if nSyn < opts.Synergistic && shareDisease(catalog[u], catalog[v]) {
+			if place(u, v, graph.Synergy) {
+				nSyn++
+			}
+		}
+	}
+	return g
+}
+
+// candidatePairs enumerates drug pairs whose classes match one of the
+// given class pairs. For synergy candidates the drugs must also share a
+// treated disease unless the rule is a same-class pair.
+func candidatePairs(catalog []Drug, rules [][2]DrugClass, requireShared bool) [][2]int {
+	ruleSet := make(map[[2]DrugClass]bool)
+	for _, r := range rules {
+		a, b := r[0], r[1]
+		if a > b {
+			a, b = b, a
+		}
+		ruleSet[[2]DrugClass{a, b}] = true
+	}
+	var out [][2]int
+	for i := 0; i < len(catalog); i++ {
+		for j := i + 1; j < len(catalog); j++ {
+			a, b := catalog[i].Class, catalog[j].Class
+			if a > b {
+				a, b = b, a
+			}
+			if !ruleSet[[2]DrugClass{a, b}] {
+				continue
+			}
+			if requireShared && a != b && !shareDisease(catalog[i], catalog[j]) {
+				continue
+			}
+			out = append(out, [2]int{catalog[i].ID, catalog[j].ID})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+func shareDisease(a, b Drug) bool {
+	for _, x := range a.Treats {
+		for _, y := range b.Treats {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func shuffle(rng *rand.Rand, pairs [][2]int) {
+	rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+}

@@ -1,0 +1,222 @@
+package synth
+
+import (
+	"math/rand"
+	"sort"
+
+	"dssddi/internal/graph"
+	"dssddi/internal/mat"
+)
+
+// MIMICOptions controls the synthetic critical-care data set standing
+// in for MIMIC-III (Section V-E of the paper). The defaults mirror the
+// paper's extraction: 6350 patients, each with at least two visits,
+// and an unsigned (antagonism-only) DDI graph over anonymous drugs.
+type MIMICOptions struct {
+	Patients   int
+	Conditions int // latent ICU condition codes
+	Diagnoses  int // diagnosis code vocabulary
+	Procedures int // procedure code vocabulary
+	Medicines  int // anonymous medicine vocabulary
+	MaxVisits  int
+	// AntagonisticEdges is the number of (anonymous) antagonistic DDI
+	// pairs; the MIMIC extract used by the paper has no synergy labels.
+	AntagonisticEdges int
+}
+
+// DefaultMIMICOptions mirrors the paper's MIMIC-III extraction.
+func DefaultMIMICOptions() MIMICOptions {
+	return MIMICOptions{
+		Patients:          6350,
+		Conditions:        24,
+		Diagnoses:         96,
+		Procedures:        64,
+		Medicines:         112,
+		MaxVisits:         4,
+		AntagonisticEdges: 280,
+	}
+}
+
+// Visit is one hospital admission.
+type Visit struct {
+	Diagnoses  []int
+	Procedures []int
+	Medicines  []int
+}
+
+// MIMICPatient is one de-identified patient with >= 2 visits.
+type MIMICPatient struct {
+	ID     int
+	Visits []Visit
+}
+
+// MIMIC is the synthetic critical-care data set. Per the paper's
+// protocol, the medicines of the LAST visit are the prediction label
+// and the diagnosis/procedure codes of all PREVIOUS visits are the
+// patient features.
+type MIMIC struct {
+	Patients []MIMICPatient
+	Opts     MIMICOptions
+	DDI      *graph.Signed
+	// condDiag / condProc / condMed are the latent condition ->
+	// code emission tables used by the generator (exported for tests).
+	condDiag, condProc, condMed [][]int
+}
+
+// GenerateMIMIC builds the synthetic visit data set.
+func GenerateMIMIC(rng *rand.Rand, opts MIMICOptions) *MIMIC {
+	m := &MIMIC{Opts: opts}
+	// Each latent condition emits a handful of diagnosis, procedure and
+	// medicine codes.
+	emit := func(vocab, per int) [][]int {
+		tables := make([][]int, opts.Conditions)
+		for c := range tables {
+			seen := map[int]bool{}
+			for len(tables[c]) < per {
+				code := rng.Intn(vocab)
+				if !seen[code] {
+					seen[code] = true
+					tables[c] = append(tables[c], code)
+				}
+			}
+			sort.Ints(tables[c])
+		}
+		return tables
+	}
+	m.condDiag = emit(opts.Diagnoses, 5)
+	m.condProc = emit(opts.Procedures, 3)
+	m.condMed = emit(opts.Medicines, 4)
+
+	m.DDI = generateUnsignedDDI(rng, opts.Medicines, opts.AntagonisticEdges)
+
+	m.Patients = make([]MIMICPatient, opts.Patients)
+	for i := range m.Patients {
+		m.Patients[i] = m.generatePatient(rng, i)
+	}
+	return m
+}
+
+func (m *MIMIC) generatePatient(rng *rand.Rand, id int) MIMICPatient {
+	p := MIMICPatient{ID: id}
+	// 1-3 persistent latent conditions.
+	nCond := 1 + rng.Intn(3)
+	conds := rng.Perm(m.Opts.Conditions)[:nCond]
+	nVisits := 2 + rng.Intn(m.Opts.MaxVisits-1)
+	for v := 0; v < nVisits; v++ {
+		p.Visits = append(p.Visits, m.generateVisit(rng, conds))
+	}
+	return p
+}
+
+func (m *MIMIC) generateVisit(rng *rand.Rand, conds []int) Visit {
+	var vis Visit
+	diag := map[int]bool{}
+	proc := map[int]bool{}
+	med := map[int]bool{}
+	for _, c := range conds {
+		for _, code := range m.condDiag[c] {
+			if rng.Float64() < 0.7 {
+				diag[code] = true
+			}
+		}
+		for _, code := range m.condProc[c] {
+			if rng.Float64() < 0.5 {
+				proc[code] = true
+			}
+		}
+		for _, code := range m.condMed[c] {
+			if rng.Float64() < 0.75 {
+				med[code] = true
+			}
+		}
+	}
+	// Noise codes.
+	if rng.Float64() < 0.3 {
+		diag[rng.Intn(m.Opts.Diagnoses)] = true
+	}
+	if rng.Float64() < 0.2 {
+		med[rng.Intn(m.Opts.Medicines)] = true
+	}
+	vis.Diagnoses = sortedKeys(diag)
+	vis.Procedures = sortedKeys(proc)
+	vis.Medicines = sortedKeys(med)
+	if len(vis.Medicines) == 0 {
+		vis.Medicines = []int{rng.Intn(m.Opts.Medicines)}
+	}
+	return vis
+}
+
+// generateUnsignedDDI draws antagonism-only edges between anonymous
+// medicines (the paper notes the public extract has no synergy labels,
+// which is why only the GIN backbone applies on MIMIC).
+func generateUnsignedDDI(rng *rand.Rand, n, edges int) *graph.Signed {
+	g := graph.NewSigned(n)
+	placed := 0
+	for placed < edges {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if _, ok := g.Edge(u, v); ok {
+			continue
+		}
+		g.SetEdge(u, v, graph.Antagonism)
+		placed++
+	}
+	return g
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FeatureMatrix builds the patient feature matrix: multi-hot diagnosis
+// and procedure codes over all visits EXCEPT the last (the label
+// visit), per the paper's protocol.
+func (m *MIMIC) FeatureMatrix() *mat.Dense {
+	d := m.Opts.Diagnoses + m.Opts.Procedures
+	x := mat.New(len(m.Patients), d)
+	for i, p := range m.Patients {
+		row := x.Row(i)
+		for _, v := range p.Visits[:len(p.Visits)-1] {
+			for _, c := range v.Diagnoses {
+				row[c] = 1
+			}
+			for _, c := range v.Procedures {
+				row[m.Opts.Diagnoses+c] = 1
+			}
+		}
+	}
+	return x
+}
+
+// LabelMatrix builds the n x medicines binary matrix of last-visit
+// medicine use.
+func (m *MIMIC) LabelMatrix() *mat.Dense {
+	y := mat.New(len(m.Patients), m.Opts.Medicines)
+	for i, p := range m.Patients {
+		last := p.Visits[len(p.Visits)-1]
+		for _, med := range last.Medicines {
+			y.Set(i, med, 1)
+		}
+	}
+	return y
+}
+
+// VisitMedicineHistory returns, per patient, the medicine multi-hot of
+// each non-label visit (used by the sequence baselines SafeDrug and
+// CauseRec).
+func (m *MIMIC) VisitMedicineHistory() [][][]int {
+	out := make([][][]int, len(m.Patients))
+	for i, p := range m.Patients {
+		for _, v := range p.Visits[:len(p.Visits)-1] {
+			out[i] = append(out[i], v.Medicines)
+		}
+	}
+	return out
+}

@@ -1,0 +1,374 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"dssddi/internal/graph"
+)
+
+func TestCatalogSize(t *testing.T) {
+	c := Catalog()
+	if len(c) != NumDrugs {
+		t.Fatalf("catalogue has %d drugs, want %d", len(c), NumDrugs)
+	}
+	for i, d := range c {
+		if d.ID != i {
+			t.Fatalf("drug %d has ID %d; IDs must be dense", i, d.ID)
+		}
+		if d.Name == "" || len(d.Treats) == 0 {
+			t.Fatalf("drug %d incomplete: %+v", i, d)
+		}
+	}
+}
+
+func TestCatalogPaperDrugIDs(t *testing.T) {
+	c := Catalog()
+	want := map[int]string{
+		1:  "Doxazosin",
+		3:  "Enalapril",
+		5:  "Perindopril",
+		8:  "Amlodipine",
+		10: "Indapamide",
+		32: "Felodipine",
+		46: "Simvastatin",
+		47: "Atorvastatin",
+		48: "Metformin",
+		61: "Gabapentin",
+		62: "Phenytoin",
+		83: "Theophylline",
+	}
+	for id, name := range want {
+		if c[id].Name != name {
+			t.Errorf("DID %d = %q, want %q (paper case-study ID)", id, c[id].Name, name)
+		}
+	}
+}
+
+func TestDrugsByDisease(t *testing.T) {
+	m := DrugsByDisease(Catalog())
+	if len(m[Hypertension]) < 10 {
+		t.Fatalf("hypertension should have many drugs, got %d", len(m[Hypertension]))
+	}
+	for dis, drugs := range m {
+		for _, d := range drugs {
+			if d < 0 || d >= NumDrugs {
+				t.Fatalf("disease %v has out-of-range drug %d", dis, d)
+			}
+		}
+	}
+}
+
+func TestGenerateDDICounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := GenerateDDI(rng, Catalog(), DefaultDDIOptions())
+	syn, ant, zero := g.CountBySign()
+	if syn != 97 {
+		t.Fatalf("synergy edges %d, want 97", syn)
+	}
+	if ant != 243 {
+		t.Fatalf("antagonism edges %d, want 243", ant)
+	}
+	if zero != 0 {
+		t.Fatalf("generator should not emit zero edges, got %d", zero)
+	}
+}
+
+func TestGenerateDDIMandatoryPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := GenerateDDI(rng, Catalog(), DefaultDDIOptions())
+	if s, ok := g.Edge(46, 47); !ok || s != graph.Synergy {
+		t.Error("Simvastatin-Atorvastatin must be synergistic (Fig. 8a)")
+	}
+	if s, ok := g.Edge(5, 10); !ok || s != graph.Synergy {
+		t.Error("Perindopril-Indapamide must be synergistic (Case 1)")
+	}
+	if s, ok := g.Edge(59, 61); !ok || s != graph.Antagonism {
+		t.Error("Isosorbide-Gabapentin must be antagonistic (Fig. 8a)")
+	}
+	if s, ok := g.Edge(3, 83); !ok || s != graph.Antagonism {
+		t.Error("Enalapril-Theophylline must be antagonistic (Case 2)")
+	}
+	if s, ok := g.Edge(48, 58); !ok || s != graph.Antagonism {
+		t.Error("Metformin-Isosorbide must be antagonistic (Case 4)")
+	}
+	for _, ccb := range []int{8, 32} {
+		for _, other := range []int{0, 1, 19, 62} {
+			if s, ok := g.Edge(ccb, other); !ok || s != graph.Antagonism {
+				t.Errorf("drug %d vs %d must be antagonistic (Case 3)", ccb, other)
+			}
+		}
+	}
+}
+
+func TestGenerateDDIDeterministic(t *testing.T) {
+	a := GenerateDDI(rand.New(rand.NewSource(7)), Catalog(), DefaultDDIOptions())
+	b := GenerateDDI(rand.New(rand.NewSource(7)), Catalog(), DefaultDDIOptions())
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea.U) != len(eb.U) {
+		t.Fatal("edge counts differ for same seed")
+	}
+	for i := range ea.U {
+		if ea.U[i] != eb.U[i] || ea.V[i] != eb.V[i] || ea.S[i] != eb.S[i] {
+			t.Fatal("edge lists differ for same seed")
+		}
+	}
+}
+
+func smallCohort(seed int64) *Cohort {
+	opts := DefaultCohortOptions()
+	opts.Males, opts.Females = 120, 100
+	return GenerateCohort(rand.New(rand.NewSource(seed)), opts)
+}
+
+func TestCohortShape(t *testing.T) {
+	c := smallCohort(1)
+	if len(c.Patients) != 220 {
+		t.Fatalf("patients %d, want 220", len(c.Patients))
+	}
+	males := 0
+	for _, p := range c.Patients {
+		if p.Male {
+			males++
+		}
+		if len(p.Features) != NumFeatures {
+			t.Fatalf("patient %d has %d features", p.ID, len(p.Features))
+		}
+		if len(p.Diseases) == 0 {
+			t.Fatalf("patient %d has no diseases", p.ID)
+		}
+		if p.Age < 65 || p.Age > 95 {
+			t.Fatalf("age %v outside cohort range", p.Age)
+		}
+	}
+	if males != 120 {
+		t.Fatalf("males %d, want 120", males)
+	}
+}
+
+func TestCohortIDsMatchIndex(t *testing.T) {
+	c := smallCohort(2)
+	for i, p := range c.Patients {
+		if p.ID != i {
+			t.Fatalf("patient at index %d has ID %d", i, p.ID)
+		}
+	}
+}
+
+func TestCohortMedicationsTreatDiseases(t *testing.T) {
+	c := smallCohort(3)
+	byDisease := c.ByDisease
+	for _, p := range c.Patients {
+		treatable := map[int]bool{}
+		for _, d := range p.Diseases {
+			for _, drug := range byDisease[d] {
+				treatable[drug] = true
+			}
+		}
+		for _, m := range p.Medications {
+			if !treatable[m] {
+				t.Fatalf("patient %d takes drug %d (%s) treating none of their diseases %v",
+					p.ID, m, c.Catalog[m].Name, p.Diseases)
+			}
+		}
+	}
+}
+
+func TestCohortMostlyAvoidsAntagonism(t *testing.T) {
+	c := smallCohort(4)
+	pairs, conflicts := 0, 0
+	for _, p := range c.Patients {
+		for i := 0; i < len(p.Medications); i++ {
+			for j := i + 1; j < len(p.Medications); j++ {
+				pairs++
+				if s, ok := c.DDI.Edge(p.Medications[i], p.Medications[j]); ok && s == graph.Antagonism {
+					conflicts++
+				}
+			}
+		}
+	}
+	if pairs == 0 {
+		t.Fatal("no medication pairs at all")
+	}
+	rate := float64(conflicts) / float64(pairs)
+	if rate > 0.10 {
+		t.Fatalf("antagonistic co-prescription rate %.3f too high", rate)
+	}
+}
+
+func TestCohortProstateDrugsOnlyForMales(t *testing.T) {
+	c := smallCohort(5)
+	for _, p := range c.Patients {
+		if p.Male {
+			continue
+		}
+		for _, d := range p.Diseases {
+			if d == ProstaticHyperplasia {
+				t.Fatalf("female patient %d has prostatic hyperplasia", p.ID)
+			}
+		}
+	}
+}
+
+func TestFeatureSignal(t *testing.T) {
+	// Feature conditioning: hypertensive patients should have higher
+	// systolic BP on average, diabetics higher glucose.
+	c := smallCohort(6)
+	var bpH, bpN, nH, nN float64
+	var glD, glN, nD, nND float64
+	for _, p := range c.Patients {
+		has := map[Disease]bool{}
+		for _, d := range p.Diseases {
+			has[d] = true
+		}
+		if has[Hypertension] {
+			bpH += p.Features[featSys]
+			nH++
+		} else {
+			bpN += p.Features[featSys]
+			nN++
+		}
+		if has[Type2Diabetes] {
+			glD += p.Features[featGlucose]
+			nD++
+		} else {
+			glN += p.Features[featGlucose]
+			nND++
+		}
+	}
+	if nH == 0 || nN == 0 || nD == 0 || nND == 0 {
+		t.Skip("cohort too small for both groups")
+	}
+	if bpH/nH <= bpN/nN+10 {
+		t.Fatalf("hypertensive BP %.1f not clearly above normal %.1f", bpH/nH, bpN/nN)
+	}
+	if glD/nD <= glN/nND+1 {
+		t.Fatalf("diabetic glucose %.1f not clearly above normal %.1f", glD/nD, glN/nND)
+	}
+}
+
+func TestFeatureLabelMatrices(t *testing.T) {
+	c := smallCohort(7)
+	x := c.FeatureMatrix()
+	y := c.LabelMatrix()
+	if x.Rows() != 220 || x.Cols() != NumFeatures {
+		t.Fatalf("X shape %dx%d", x.Rows(), x.Cols())
+	}
+	if y.Rows() != 220 || y.Cols() != NumDrugs {
+		t.Fatalf("Y shape %dx%d", y.Rows(), y.Cols())
+	}
+	for i, p := range c.Patients {
+		var count float64
+		for _, v := range y.Row(i) {
+			count += v
+		}
+		if int(count) != len(p.Medications) {
+			t.Fatalf("patient %d label row sums to %v, want %d", i, count, len(p.Medications))
+		}
+	}
+}
+
+func TestDiseaseCount(t *testing.T) {
+	c := smallCohort(8)
+	k := c.DiseaseCount()
+	if k < 5 || k > int(NumDiseases) {
+		t.Fatalf("disease count %d implausible", k)
+	}
+}
+
+func TestMIMICShape(t *testing.T) {
+	opts := DefaultMIMICOptions()
+	opts.Patients = 150
+	m := GenerateMIMIC(rand.New(rand.NewSource(1)), opts)
+	if len(m.Patients) != 150 {
+		t.Fatalf("patients %d", len(m.Patients))
+	}
+	for _, p := range m.Patients {
+		if len(p.Visits) < 2 {
+			t.Fatalf("patient %d has %d visits, want >= 2", p.ID, len(p.Visits))
+		}
+		for _, v := range p.Visits {
+			if len(v.Medicines) == 0 {
+				t.Fatalf("patient %d has a visit with no medicines", p.ID)
+			}
+		}
+	}
+}
+
+func TestMIMICDDIUnsignedOnly(t *testing.T) {
+	opts := DefaultMIMICOptions()
+	opts.Patients = 50
+	m := GenerateMIMIC(rand.New(rand.NewSource(2)), opts)
+	syn, ant, zero := m.DDI.CountBySign()
+	if syn != 0 || zero != 0 {
+		t.Fatalf("MIMIC DDI must be antagonism-only, got syn=%d zero=%d", syn, zero)
+	}
+	if ant != opts.AntagonisticEdges {
+		t.Fatalf("antagonistic edges %d, want %d", ant, opts.AntagonisticEdges)
+	}
+}
+
+func TestMIMICFeatureLabelSplit(t *testing.T) {
+	opts := DefaultMIMICOptions()
+	opts.Patients = 80
+	m := GenerateMIMIC(rand.New(rand.NewSource(3)), opts)
+	x := m.FeatureMatrix()
+	y := m.LabelMatrix()
+	if x.Rows() != 80 || x.Cols() != opts.Diagnoses+opts.Procedures {
+		t.Fatalf("X shape %dx%d", x.Rows(), x.Cols())
+	}
+	if y.Rows() != 80 || y.Cols() != opts.Medicines {
+		t.Fatalf("Y shape %dx%d", y.Rows(), y.Cols())
+	}
+	// Label must reflect ONLY the last visit.
+	for i, p := range m.Patients {
+		last := p.Visits[len(p.Visits)-1]
+		want := map[int]bool{}
+		for _, med := range last.Medicines {
+			want[med] = true
+		}
+		for j := 0; j < y.Cols(); j++ {
+			if (y.At(i, j) == 1) != want[j] {
+				t.Fatalf("patient %d label mismatch at med %d", i, j)
+			}
+		}
+	}
+}
+
+func TestMIMICHistoryExcludesLabelVisit(t *testing.T) {
+	opts := DefaultMIMICOptions()
+	opts.Patients = 40
+	m := GenerateMIMIC(rand.New(rand.NewSource(4)), opts)
+	hist := m.VisitMedicineHistory()
+	for i, p := range m.Patients {
+		if len(hist[i]) != len(p.Visits)-1 {
+			t.Fatalf("patient %d history has %d visits, want %d", i, len(hist[i]), len(p.Visits)-1)
+		}
+	}
+}
+
+func TestMIMICLabelPredictableFromHistory(t *testing.T) {
+	// Because conditions persist across visits, earlier-visit medicines
+	// should overlap heavily with the label medicines.
+	opts := DefaultMIMICOptions()
+	opts.Patients = 100
+	m := GenerateMIMIC(rand.New(rand.NewSource(5)), opts)
+	var overlap, total float64
+	for _, p := range m.Patients {
+		prior := map[int]bool{}
+		for _, v := range p.Visits[:len(p.Visits)-1] {
+			for _, med := range v.Medicines {
+				prior[med] = true
+			}
+		}
+		for _, med := range p.Visits[len(p.Visits)-1].Medicines {
+			total++
+			if prior[med] {
+				overlap++
+			}
+		}
+	}
+	if overlap/total < 0.5 {
+		t.Fatalf("label medicines share only %.2f with history; generator lost signal", overlap/total)
+	}
+}

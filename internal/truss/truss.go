@@ -1,0 +1,119 @@
+// Package truss implements triangle-support counting and k-truss
+// decomposition (Wang & Cheng, PVLDB 2012), the structural primitive of
+// the paper's Medical Support module: an edge's truss number is the
+// largest k such that the edge survives in the k-truss, where a k-truss
+// is a subgraph in which every edge is contained in at least k-2
+// triangles.
+package truss
+
+import (
+	"dssddi/internal/graph"
+)
+
+// Edge identifies an undirected edge with U < V.
+type Edge struct{ U, V int }
+
+// MakeEdge normalises an edge so U < V.
+func MakeEdge(u, v int) Edge {
+	if u > v {
+		u, v = v, u
+	}
+	return Edge{u, v}
+}
+
+// Support returns the number of triangles containing each edge of g.
+func Support(g *graph.Undirected) map[Edge]int {
+	sup := make(map[Edge]int)
+	for _, e := range g.Edges() {
+		u, v := e[0], e[1]
+		count := 0
+		// Iterate over the smaller adjacency for efficiency.
+		a, b := u, v
+		if g.Degree(a) > g.Degree(b) {
+			a, b = b, a
+		}
+		for _, w := range g.Neighbors(a) {
+			if w != b && g.HasEdge(w, b) {
+				count++
+			}
+		}
+		sup[Edge{u, v}] = count
+	}
+	return sup
+}
+
+// Decompose computes the truss number of every edge of g via the
+// peeling algorithm: repeatedly delete the edge with the smallest
+// support; its truss number is support+2 at deletion time (clamped to
+// be non-decreasing over the peel).
+func Decompose(g *graph.Undirected) map[Edge]int {
+	work := g.Clone()
+	sup := Support(work)
+	trussNum := make(map[Edge]int, len(sup))
+
+	k := 2
+	for len(sup) > 0 {
+		// Find the minimum-support edge.
+		var minE Edge
+		minS := -1
+		for e, s := range sup {
+			if minS < 0 || s < minS || (s == minS && less(e, minE)) {
+				minE, minS = e, s
+			}
+		}
+		if minS+2 > k {
+			k = minS + 2
+		}
+		trussNum[minE] = k
+		// Remove the edge and decrement support of edges in shared
+		// triangles.
+		u, v := minE.U, minE.V
+		for _, w := range work.Neighbors(u) {
+			if w != v && work.HasEdge(w, v) {
+				dec(sup, MakeEdge(u, w))
+				dec(sup, MakeEdge(v, w))
+			}
+		}
+		work.RemoveEdge(u, v)
+		delete(sup, minE)
+	}
+	return trussNum
+}
+
+func less(a, b Edge) bool {
+	if a.U != b.U {
+		return a.U < b.U
+	}
+	return a.V < b.V
+}
+
+func dec(sup map[Edge]int, e Edge) {
+	if s, ok := sup[e]; ok && s > 0 {
+		sup[e] = s - 1
+	}
+}
+
+// MaxTruss returns the subgraph of g formed by edges with truss number
+// >= k, as a new graph on the same node IDs.
+func MaxTruss(g *graph.Undirected, trussNum map[Edge]int, k int) *graph.Undirected {
+	out := graph.NewUndirected(g.N())
+	for e, t := range trussNum {
+		if t >= k {
+			out.AddEdge(e.U, e.V)
+		}
+	}
+	return out
+}
+
+// MinTrussOn returns the smallest truss number among the given edges
+// (0 when the list is empty or an edge is unknown).
+func MinTrussOn(trussNum map[Edge]int, edges []Edge) int {
+	min := 0
+	for i, e := range edges {
+		t := trussNum[e]
+		if i == 0 || t < min {
+			min = t
+		}
+	}
+	return min
+}

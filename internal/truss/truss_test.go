@@ -1,0 +1,166 @@
+package truss
+
+import (
+	"math/rand"
+	"testing"
+
+	"dssddi/internal/graph"
+)
+
+// k4 returns the complete graph on 4 nodes.
+func k4() *graph.Undirected {
+	g := graph.NewUndirected(4)
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+func TestSupportTriangle(t *testing.T) {
+	g := graph.NewUndirected(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	sup := Support(g)
+	for e, s := range sup {
+		if s != 1 {
+			t.Fatalf("edge %v support %d, want 1", e, s)
+		}
+	}
+}
+
+func TestSupportK4(t *testing.T) {
+	sup := Support(k4())
+	if len(sup) != 6 {
+		t.Fatalf("K4 has 6 edges, got %d", len(sup))
+	}
+	for e, s := range sup {
+		if s != 2 {
+			t.Fatalf("K4 edge %v support %d, want 2", e, s)
+		}
+	}
+}
+
+func TestSupportPathNoTriangles(t *testing.T) {
+	g := graph.NewUndirected(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	for e, s := range Support(g) {
+		if s != 0 {
+			t.Fatalf("path edge %v support %d, want 0", e, s)
+		}
+	}
+}
+
+func TestDecomposeK4(t *testing.T) {
+	tn := Decompose(k4())
+	for e, k := range tn {
+		if k != 4 {
+			t.Fatalf("K4 edge %v truss %d, want 4", e, k)
+		}
+	}
+}
+
+func TestDecomposeTrianglePlusTail(t *testing.T) {
+	// Triangle {0,1,2} plus pendant edge {2,3}: triangle edges are
+	// 3-truss, the tail edge is 2-truss.
+	g := graph.NewUndirected(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	tn := Decompose(g)
+	if tn[MakeEdge(2, 3)] != 2 {
+		t.Fatalf("tail edge truss %d, want 2", tn[MakeEdge(2, 3)])
+	}
+	for _, e := range []Edge{MakeEdge(0, 1), MakeEdge(1, 2), MakeEdge(0, 2)} {
+		if tn[e] != 3 {
+			t.Fatalf("triangle edge %v truss %d, want 3", e, tn[e])
+		}
+	}
+}
+
+func TestDecomposeTwoK4sJoinedByBridge(t *testing.T) {
+	// Two K4s {0..3} and {4..7} joined by bridge {3,4}.
+	g := graph.NewUndirected(8)
+	for base := 0; base <= 4; base += 4 {
+		for u := base; u < base+4; u++ {
+			for v := u + 1; v < base+4; v++ {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	g.AddEdge(3, 4)
+	tn := Decompose(g)
+	if tn[MakeEdge(3, 4)] != 2 {
+		t.Fatalf("bridge truss %d, want 2", tn[MakeEdge(3, 4)])
+	}
+	if tn[MakeEdge(0, 1)] != 4 || tn[MakeEdge(5, 6)] != 4 {
+		t.Fatal("K4 edges should remain 4-truss")
+	}
+}
+
+func TestMaxTruss(t *testing.T) {
+	g := graph.NewUndirected(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	tn := Decompose(g)
+	sub := MaxTruss(g, tn, 3)
+	if sub.HasEdge(2, 3) {
+		t.Fatal("3-truss must drop the tail edge")
+	}
+	if !sub.HasEdge(0, 1) || !sub.HasEdge(1, 2) || !sub.HasEdge(0, 2) {
+		t.Fatal("3-truss must keep the triangle")
+	}
+}
+
+func TestMinTrussOn(t *testing.T) {
+	tn := map[Edge]int{MakeEdge(0, 1): 4, MakeEdge(1, 2): 2}
+	if MinTrussOn(tn, []Edge{MakeEdge(0, 1), MakeEdge(1, 2)}) != 2 {
+		t.Fatal("min truss wrong")
+	}
+	if MinTrussOn(tn, nil) != 0 {
+		t.Fatal("empty edge list should give 0")
+	}
+}
+
+// Property: truss number is between 2 and maxSupport+2, and the k-truss
+// subgraph property holds — within MaxTruss(g, tn, k), every edge has
+// support >= k-2.
+func TestTrussInvariantOnRandomGraphs(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(8)
+		g := graph.NewUndirected(n)
+		for e := 0; e < n*2; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		tn := Decompose(g)
+		maxK := 2
+		for _, k := range tn {
+			if k < 2 {
+				t.Fatalf("truss number %d below 2", k)
+			}
+			if k > maxK {
+				maxK = k
+			}
+		}
+		for k := 3; k <= maxK; k++ {
+			sub := MaxTruss(g, tn, k)
+			for e, s := range Support(sub) {
+				if sub.HasEdge(e.U, e.V) && s < k-2 {
+					t.Fatalf("seed %d: edge %v in %d-truss has support %d < %d",
+						seed, e, k, s, k-2)
+				}
+			}
+		}
+	}
+}
