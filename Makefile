@@ -1,0 +1,27 @@
+# Targets mirror .github/workflows/ci.yml so local runs match the
+# pipeline exactly.
+
+GO ?= go
+
+.PHONY: all build test bench lint fmt
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# The short benchmark smoke CI runs, plus a perf record from benchtab.
+bench:
+	$(GO) test -run '^$$' -bench 'MatMulInto128|MulDenseInto' -benchtime 1x ./internal/mat/ ./internal/sparse/
+	$(GO) test -run '^$$' -bench DDIGCNTraining -benchtime 1x -timeout 30m .
+	$(GO) run ./cmd/benchtab -table 1 -json BENCH_local.json
+
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .

@@ -7,65 +7,131 @@
 //	benchtab -table 1           # only Table I
 //	benchtab -figure 7          # only Figure 7
 //	benchtab -full              # paper-scale sizes (slow)
+//	benchtab -workers 1         # exact-serial kernels
+//	benchtab -json out.json     # also write per-section timings
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"dssddi/internal/eval"
+	"dssddi/internal/mat"
 )
+
+// section is one timed unit of work in the -json report.
+type section struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// report is the machine-readable benchmark record CI archives per run
+// (BENCH_*.json artifacts) so the perf trajectory of the kernels is
+// tracked commit over commit.
+type report struct {
+	Schema       string    `json:"schema"`
+	Profile      string    `json:"profile"`
+	Workers      int       `json:"workers"`
+	GoMaxProcs   int       `json:"go_max_procs"`
+	Seed         int64     `json:"seed"`
+	Sections     []section `json:"sections"`
+	TotalSeconds float64   `json:"total_seconds"`
+}
 
 func main() {
 	var (
-		table  = flag.Int("table", 0, "regenerate one table (1-4); 0 = all")
-		figure = flag.Int("figure", 0, "regenerate one figure (2, 3, 7, 8, 9); 0 = all")
-		full   = flag.Bool("full", false, "paper-scale data and epochs (slow)")
-		seed   = flag.Int64("seed", 1, "run seed")
+		table    = flag.Int("table", 0, "regenerate one table (1-4); 0 = all")
+		figure   = flag.Int("figure", 0, "regenerate one figure (2, 3, 7, 8, 9); 0 = all")
+		full     = flag.Bool("full", false, "paper-scale data and epochs (slow)")
+		seed     = flag.Int64("seed", 1, "run seed")
+		workers  = flag.Int("workers", 0, "kernel worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+		jsonPath = flag.String("json", "", "write per-section timings to this JSON file")
 	)
 	flag.Parse()
 
+	mat.SetWorkers(*workers)
 	opts := eval.Quick()
+	profile := "quick"
 	if *full {
 		opts = eval.Full()
+		profile = "full"
 	}
 	opts.Seed = *seed
-	fmt.Fprintf(os.Stderr, "generating data (%d+%d chronic, %d MIMIC)...\n",
-		opts.Males, opts.Females, opts.MIMICPatients)
+	rep := report{
+		Schema:     "dssddi-bench/v1",
+		Profile:    profile,
+		Workers:    mat.Workers(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Seed:       *seed,
+	}
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "generating data (%d+%d chronic, %d MIMIC, %d workers)...\n",
+		opts.Males, opts.Females, opts.MIMICPatients, mat.Workers())
 	suite := eval.NewSuite(opts)
+	rep.Sections = append(rep.Sections, section{"GenerateData", time.Since(start).Seconds()})
+
+	timed := func(name string, f func()) {
+		t0 := time.Now()
+		f()
+		rep.Sections = append(rep.Sections, section{name, time.Since(t0).Seconds()})
+	}
 
 	wantTable := func(n int) bool { return *figure == 0 && (*table == 0 || *table == n) }
 	wantFigure := func(n int) bool { return *table == 0 && (*figure == 0 || *figure == n) }
 
 	if wantFigure(2) {
-		fmt.Println(suite.Figure2())
+		timed("Figure2", func() { fmt.Println(suite.Figure2()) })
 	}
 	if wantFigure(3) {
-		fmt.Println(suite.Figure3())
+		timed("Figure3", func() { fmt.Println(suite.Figure3()) })
 	}
 	if wantTable(1) {
-		fmt.Println(suite.TableI().Format())
+		timed("TableI", func() { fmt.Println(suite.TableI().Format()) })
 	}
 	if wantTable(2) {
-		fmt.Println(suite.TableII().Format())
+		timed("TableII", func() { fmt.Println(suite.TableII().Format()) })
 	}
 	if wantTable(3) {
-		title, rows := suite.TableIII()
-		fmt.Println(eval.FormatSS(title, rows))
+		timed("TableIII", func() {
+			title, rows := suite.TableIII()
+			fmt.Println(eval.FormatSS(title, rows))
+		})
 	}
 	if wantTable(4) {
-		fmt.Println(suite.TableIV().Format())
+		timed("TableIV", func() { fmt.Println(suite.TableIV().Format()) })
 	}
 	if wantFigure(7) {
-		_, txt := suite.Figure7()
-		fmt.Println(txt)
+		timed("Figure7", func() {
+			_, txt := suite.Figure7()
+			fmt.Println(txt)
+		})
 	}
 	if wantFigure(8) {
-		fmt.Println(suite.Figure8())
+		timed("Figure8", func() { fmt.Println(suite.Figure8()) })
 	}
 	if wantFigure(9) {
-		_, txt := suite.Figure9()
-		fmt.Println(txt)
+		timed("Figure9", func() {
+			_, txt := suite.Figure9()
+			fmt.Println(txt)
+		})
+	}
+	rep.TotalSeconds = time.Since(start).Seconds()
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: marshal report: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchtab: wrote %s\n", *jsonPath)
 	}
 }

@@ -33,6 +33,7 @@ func main() {
 		ddiEpochs = flag.Int("ddi-epochs", 150, "DDI module training epochs (paper: 400)")
 		mdEpochs  = flag.Int("md-epochs", 250, "MD module training epochs (paper: 1000)")
 		mimic     = flag.Bool("mimic", false, "use the MIMIC-like data set instead of the chronic cohort")
+		workers   = flag.Int("workers", 0, "kernel worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -48,6 +49,7 @@ func main() {
 	cfg.DDIEpochs = *ddiEpochs
 	cfg.MDEpochs = *mdEpochs
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	sys := dssddi.New(cfg)
 	fmt.Fprintf(os.Stderr, "training DSSDDI(%s) on %d patients...\n", *backbone, data.NumPatients())
 	if err := sys.Train(data); err != nil {

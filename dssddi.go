@@ -30,6 +30,7 @@ import (
 	"dssddi/internal/dataset"
 	"dssddi/internal/ddi"
 	"dssddi/internal/kg"
+	"dssddi/internal/mat"
 	"dssddi/internal/md"
 	"dssddi/internal/metrics"
 	"dssddi/internal/ms"
@@ -55,6 +56,13 @@ type Config struct {
 	Alpha float64
 	// Seed drives all randomness.
 	Seed int64
+	// Workers bounds the goroutines used by the dense/sparse compute
+	// kernels (a process-wide knob shared by all systems). 0 keeps
+	// the current process-wide setting (which defaults to
+	// runtime.GOMAXPROCS(0)); 1 restores exact-serial execution. Any
+	// setting produces bitwise-identical results — kernels partition
+	// rows, never reductions.
+	Workers int
 }
 
 // DefaultConfig mirrors the paper's experimental setup.
@@ -213,9 +221,15 @@ type System struct {
 }
 
 // New creates an untrained system. Invalid configurations surface at
-// Train time.
+// Train time. A non-zero Workers setting takes effect immediately
+// (process-wide); zero leaves the current setting untouched, so
+// constructing a default-config system never clobbers an explicit
+// earlier choice.
 func New(cfg Config) *System {
 	cfg.fill()
+	if cfg.Workers != 0 {
+		mat.SetWorkers(cfg.Workers)
+	}
 	return &System{cfg: cfg}
 }
 

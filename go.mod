@@ -1,0 +1,3 @@
+module dssddi
+
+go 1.24

@@ -13,8 +13,13 @@ import (
 	"math"
 
 	"dssddi/internal/mat"
+	"dssddi/internal/par"
 	"dssddi/internal/sparse"
 )
+
+// rowGrain sizes parallel row chunks; the policy lives in mat so all
+// kernels share one threshold.
+func rowGrain(cols int) int { return mat.RowGrain(cols) }
 
 // Node is a value in the computation graph together with its gradient.
 type Node struct {
@@ -112,31 +117,33 @@ func (t *Tape) Backward(loss *Node) {
 	}
 }
 
-// MatMul returns a*b.
+// MatMul returns a*b. The backward pass accumulates straight into the
+// input gradients with the fused MatMulTrans*AddInto kernels — no
+// temporary gradient matrices.
 func (t *Tape) MatMul(a, b *Node) *Node {
 	v := mat.MatMul(a.Value, b.Value)
 	req := a.requires || b.requires
 	out := t.newNode(v, req, nil)
 	out.backward = func() {
 		if a.requires {
-			a.accumGrad(mat.MatMulTransB(out.Grad, b.Value)) // dA = dOut * Bᵀ
+			mat.MatMulTransBAddInto(a.ensureGrad(), out.Grad, b.Value) // dA += dOut * Bᵀ
 		}
 		if b.requires {
-			b.accumGrad(mat.MatMulTransA(a.Value, out.Grad)) // dB = Aᵀ * dOut
+			mat.MatMulTransAAddInto(b.ensureGrad(), a.Value, out.Grad) // dB += Aᵀ * dOut
 		}
 	}
 	return out
 }
 
 // SpMM returns s*x where s is a constant sparse operator (adjacency).
-// Gradient flows into x only: dX = sᵀ * dOut.
+// Gradient flows into x only: dX += sᵀ * dOut (fused accumulation).
 func (t *Tape) SpMM(s *sparse.CSR, x *Node) *Node {
 	v := s.MulDense(x.Value)
 	out := t.newNode(v, x.requires, nil)
 	st := s.T() // computed once per op; graphs are static per epoch
 	out.backward = func() {
 		if x.requires {
-			x.accumGrad(st.MulDense(out.Grad))
+			st.MulDenseAddInto(x.ensureGrad(), out.Grad)
 		}
 	}
 	return out
@@ -160,9 +167,7 @@ func (t *Tape) Sub(a, b *Node) *Node {
 	out.backward = func() {
 		a.accumGrad(out.Grad)
 		if b.requires {
-			g := out.Grad.Clone()
-			g.Scale(-1)
-			b.accumGrad(g)
+			b.ensureGrad().AddScaled(out.Grad, -1)
 		}
 	}
 	return out
@@ -175,13 +180,15 @@ func (t *Tape) AddBias(a, bias *Node) *Node {
 	}
 	v := mat.New(a.Rows(), a.Cols())
 	brow := bias.Value.Row(0)
-	for i := 0; i < a.Rows(); i++ {
-		arow := a.Value.Row(i)
-		vrow := v.Row(i)
-		for j, av := range arow {
-			vrow[j] = av + brow[j]
+	par.For(a.Rows(), rowGrain(a.Cols()), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Value.Row(i)
+			vrow := v.Row(i)
+			for j, av := range arow {
+				vrow[j] = av + brow[j]
+			}
 		}
-	}
+	})
 	out := t.newNode(v, a.requires || bias.requires, nil)
 	out.backward = func() {
 		a.accumGrad(out.Grad)
@@ -200,16 +207,17 @@ func (t *Tape) AddBias(a, bias *Node) *Node {
 	return out
 }
 
-// Hadamard returns the element-wise product a⊙b.
+// Hadamard returns the element-wise product a⊙b. Gradients accumulate
+// with the fused AddHadamard kernel.
 func (t *Tape) Hadamard(a, b *Node) *Node {
 	v := mat.Hadamard(a.Value, b.Value)
 	out := t.newNode(v, a.requires || b.requires, nil)
 	out.backward = func() {
 		if a.requires {
-			a.accumGrad(mat.Hadamard(out.Grad, b.Value))
+			a.ensureGrad().AddHadamard(out.Grad, b.Value)
 		}
 		if b.requires {
-			b.accumGrad(mat.Hadamard(out.Grad, a.Value))
+			b.ensureGrad().AddHadamard(out.Grad, a.Value)
 		}
 	}
 	return out
@@ -222,9 +230,7 @@ func (t *Tape) Scale(a *Node, s float64) *Node {
 	out := t.newNode(v, a.requires, nil)
 	out.backward = func() {
 		if a.requires {
-			g := out.Grad.Clone()
-			g.Scale(s)
-			a.accumGrad(g)
+			a.ensureGrad().AddScaled(out.Grad, s)
 		}
 	}
 	return out
@@ -245,12 +251,10 @@ func (t *Tape) elementwise(a *Node, f, df func(float64) float64) *Node {
 		if !a.requires {
 			return
 		}
-		g := mat.New(a.Rows(), a.Cols())
-		ad, gd, od := a.Value.Data(), g.Data(), out.Grad.Data()
-		for i, x := range ad {
-			gd[i] = od[i] * df(x)
-		}
-		a.accumGrad(g)
+		// grad += dOut · f'(x), fused and parallel.
+		mat.ZipAddInto(a.ensureGrad(), a.Value, out.Grad, func(x, od float64) float64 {
+			return od * df(x)
+		})
 	}
 	return out
 }
@@ -358,34 +362,38 @@ func (t *Tape) ScaleRows(a, c *Node) *Node {
 		panic(fmt.Sprintf("ag: ScaleRows wants %dx1 scale, got %dx%d", a.Rows(), c.Rows(), c.Cols()))
 	}
 	v := mat.New(a.Rows(), a.Cols())
-	for i := 0; i < a.Rows(); i++ {
-		s := c.Value.At(i, 0)
-		arow := a.Value.Row(i)
-		vrow := v.Row(i)
-		for j, av := range arow {
-			vrow[j] = s * av
+	par.For(a.Rows(), rowGrain(a.Cols()), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := c.Value.At(i, 0)
+			arow := a.Value.Row(i)
+			vrow := v.Row(i)
+			for j, av := range arow {
+				vrow[j] = s * av
+			}
 		}
-	}
+	})
 	out := t.newNode(v, a.requires || c.requires, nil)
 	out.backward = func() {
 		if a.requires {
-			g := mat.New(a.Rows(), a.Cols())
-			for i := 0; i < a.Rows(); i++ {
-				s := c.Value.At(i, 0)
-				orow := out.Grad.Row(i)
-				grow := g.Row(i)
-				for j, ov := range orow {
-					grow[j] = s * ov
+			g := a.ensureGrad()
+			par.For(a.Rows(), rowGrain(a.Cols()), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					s := c.Value.At(i, 0)
+					orow := out.Grad.Row(i)
+					grow := g.Row(i)
+					for j, ov := range orow {
+						grow[j] += s * ov
+					}
 				}
-			}
-			a.accumGrad(g)
+			})
 		}
 		if c.requires {
-			g := mat.New(c.Rows(), 1)
-			for i := 0; i < a.Rows(); i++ {
-				g.Set(i, 0, mat.Dot(out.Grad.Row(i), a.Value.Row(i)))
-			}
-			c.accumGrad(g)
+			g := c.ensureGrad()
+			par.For(a.Rows(), rowGrain(a.Cols()), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					g.Add(i, 0, mat.Dot(out.Grad.Row(i), a.Value.Row(i)))
+				}
+			})
 		}
 	}
 	return out
@@ -394,27 +402,30 @@ func (t *Tape) ScaleRows(a, c *Node) *Node {
 // RowSum reduces each row to its sum, producing an n x 1 column.
 func (t *Tape) RowSum(a *Node) *Node {
 	v := mat.New(a.Rows(), 1)
-	for i := 0; i < a.Rows(); i++ {
-		var s float64
-		for _, x := range a.Value.Row(i) {
-			s += x
+	par.For(a.Rows(), rowGrain(a.Cols()), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var s float64
+			for _, x := range a.Value.Row(i) {
+				s += x
+			}
+			v.Set(i, 0, s)
 		}
-		v.Set(i, 0, s)
-	}
+	})
 	out := t.newNode(v, a.requires, nil)
 	out.backward = func() {
 		if !a.requires {
 			return
 		}
-		g := mat.New(a.Rows(), a.Cols())
-		for i := 0; i < a.Rows(); i++ {
-			gv := out.Grad.At(i, 0)
-			grow := g.Row(i)
-			for j := range grow {
-				grow[j] = gv
+		g := a.ensureGrad()
+		par.For(a.Rows(), rowGrain(a.Cols()), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				gv := out.Grad.At(i, 0)
+				grow := g.Row(i)
+				for j := range grow {
+					grow[j] += gv
+				}
 			}
-		}
-		a.accumGrad(g)
+		})
 	}
 	return out
 }

@@ -8,6 +8,7 @@ import (
 	"dssddi/internal/mat"
 	"dssddi/internal/nn"
 	"dssddi/internal/optim"
+	"dssddi/internal/par"
 	"dssddi/internal/sparse"
 )
 
@@ -159,32 +160,37 @@ func (l *LightGCN) repsFor(hpTrain *mat.Dense, patients []int) *mat.Dense {
 	for ti, p := range d.Train {
 		trainPos[p] = ti
 	}
+	// Each patient's representation is independent, so the similarity
+	// search fans out across the shared worker pool.
 	hp := mat.New(len(patients), l.Hidden)
-	for i, p := range patients {
-		if ti, ok := trainPos[p]; ok {
-			copy(hp.Row(i), hpTrain.Row(ti))
-			continue
-		}
-		xi := d.X.Row(p)
-		row := hp.Row(i)
-		var wsum float64
-		for ti, o := range d.Train {
-			sim := mat.CosineSimilarity(xi, d.X.Row(o))
-			if sim <= 0 {
+	par.For(len(patients), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := patients[i]
+			if ti, ok := trainPos[p]; ok {
+				copy(hp.Row(i), hpTrain.Row(ti))
 				continue
 			}
-			wsum += sim
-			orow := hpTrain.Row(ti)
-			for j, v := range orow {
-				row[j] += sim * v
+			xi := d.X.Row(p)
+			row := hp.Row(i)
+			var wsum float64
+			for ti, o := range d.Train {
+				sim := mat.CosineSimilarity(xi, d.X.Row(o))
+				if sim <= 0 {
+					continue
+				}
+				wsum += sim
+				orow := hpTrain.Row(ti)
+				for j, v := range orow {
+					row[j] += sim * v
+				}
+			}
+			if wsum > 0 {
+				for j := range row {
+					row[j] /= wsum
+				}
 			}
 		}
-		if wsum > 0 {
-			for j := range row {
-				row[j] /= wsum
-			}
-		}
-	}
+	})
 	return hp
 }
 
@@ -215,10 +221,7 @@ func (l *LightGCN) DrugRepresentations() *mat.Dense {
 }
 
 func applySigmoid(m *mat.Dense) {
-	data := m.Data()
-	for i, v := range data {
-		data[i] = sigmoidSafe(v)
-	}
+	m.ApplyInPlace(sigmoidSafe)
 }
 
 // GCMC is Berg et al.'s graph convolutional matrix completion adapted

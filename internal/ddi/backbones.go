@@ -19,6 +19,8 @@ type encoder interface {
 // undirected edge) of one sign.
 func signEdges(g *graph.Signed, want graph.Sign) (src, dst []int) {
 	el := g.Edges()
+	src = make([]int, 0, 2*len(el.U))
+	dst = make([]int, 0, 2*len(el.U))
 	for i := range el.U {
 		if el.S[i] != want {
 			continue
@@ -254,9 +256,11 @@ func (e *attnEncoder) attend(t *ag.Tape, h *ag.Node, l int, src, dst []int,
 
 func (e *attnEncoder) embed(t *ag.Tape) *ag.Node {
 	h := e.input.Apply(t, t.Const(e.oneHot))
+	// Zero aggregate placeholder for a missing sign, allocated at most
+	// once per layer (the common both-signs case allocates none).
 	zero := func() *ag.Node { return t.Const(mat.New(h.Rows(), e.hidden)) }
 	for l := range e.combine {
-		aggSyn, aggAnt := zero(), zero()
+		var aggSyn, aggAnt *ag.Node
 		var attnS, attnA, projS, projA *nn.Linear
 		if e.kind == kindSiGAT {
 			attnS, attnA = e.attnSyn[l], e.attnAnt[l]
@@ -265,9 +269,13 @@ func (e *attnEncoder) embed(t *ag.Tape) *ag.Node {
 		}
 		if e.haveSyn {
 			aggSyn = e.attend(t, h, l, e.srcSyn, e.dstSyn, e.incSyn, attnS, projS)
+		} else {
+			aggSyn = zero()
 		}
 		if e.haveAnt {
 			aggAnt = e.attend(t, h, l, e.srcAnt, e.dstAnt, e.incAnt, attnA, projA)
+		} else {
+			aggAnt = zero()
 		}
 		h = e.combine[l].Apply(t, t.ConcatCols(t.ConcatCols(aggSyn, aggAnt), h))
 		// Keep the final layer linear for the signed decoder.

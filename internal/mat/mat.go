@@ -5,11 +5,17 @@
 // views/strides, explicit dimension checks that panic on programmer
 // error. All neural-network code (internal/ag, internal/nn) and all
 // classical models (internal/baselines) sit on top of it.
+//
+// Kernels are cache-blocked and row-parallel over the shared pool in
+// internal/par (see parallel.go); SetWorkers tunes the worker count
+// and results are bitwise identical for any setting.
 package mat
 
 import (
 	"fmt"
 	"math"
+
+	"dssddi/internal/par"
 )
 
 // Dense is a row-major dense matrix of float64.
@@ -148,9 +154,12 @@ func (m *Dense) AddScaled(other *Dense, s float64) {
 	if m.rows != other.rows || m.cols != other.cols {
 		panic(fmt.Sprintf("mat: AddScaled shape mismatch %dx%d vs %dx%d", m.rows, m.cols, other.rows, other.cols))
 	}
-	for i, v := range other.data {
-		m.data[i] += s * v
-	}
+	md, od := m.data, other.data
+	forEachElem(len(md), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			md[i] += s * od[i]
+		}
+	})
 }
 
 // T returns the transpose of m as a new matrix.
@@ -177,27 +186,17 @@ func MatMul(a, b *Dense) *Dense {
 }
 
 // MatMulInto computes dst = a*b, reusing dst's storage. dst must be
-// a.rows x b.cols and must not alias a or b.
+// a.rows x b.cols and must not alias a or b. The kernel is k-blocked
+// and row-parallel (see parallel.go); output is bitwise identical for
+// any worker count.
 func MatMulInto(dst, a, b *Dense) {
 	if a.cols != b.rows || dst.rows != a.rows || dst.cols != b.cols {
 		panic(fmt.Sprintf("mat: MatMulInto shape mismatch dst %dx%d = %dx%d * %dx%d",
 			dst.rows, dst.cols, a.rows, a.cols, b.rows, b.cols))
 	}
-	dst.Zero()
-	// ikj loop order: stream through b's rows for cache friendliness.
-	for i := 0; i < a.rows; i++ {
-		arow := a.Row(i)
-		drow := dst.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
-		}
-	}
+	par.For(a.rows, rowGrain(a.cols*b.cols), func(lo, hi int) {
+		matMulRange(dst, a, b, lo, hi)
+	})
 }
 
 // MatMulTransA computes aᵀ*b into a new matrix (a is m x n, result n x p).
@@ -206,19 +205,7 @@ func MatMulTransA(a, b *Dense) *Dense {
 		panic(fmt.Sprintf("mat: MatMulTransA mismatch %dx%d ᵀ* %dx%d", a.rows, a.cols, b.rows, b.cols))
 	}
 	out := New(a.cols, b.cols)
-	for k := 0; k < a.rows; k++ {
-		arow := a.Row(k)
-		brow := b.Row(k)
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out.Row(i)
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
+	MatMulTransAInto(out, a, b)
 	return out
 }
 
@@ -229,13 +216,7 @@ func MatMulTransB(a, b *Dense) *Dense {
 		panic(fmt.Sprintf("mat: MatMulTransB mismatch %dx%d * %dx%dᵀ", a.rows, a.cols, b.rows, b.cols))
 	}
 	out := New(a.rows, b.rows)
-	for i := 0; i < a.rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for j := 0; j < b.rows; j++ {
-			orow[j] = Dot(arow, b.Row(j))
-		}
-	}
+	MatMulTransBInto(out, a, b)
 	return out
 }
 
@@ -259,18 +240,14 @@ func SubMat(a, b *Dense) *Dense {
 func Hadamard(a, b *Dense) *Dense {
 	sameShape("Hadamard", a, b)
 	out := New(a.rows, a.cols)
-	for i, v := range a.data {
-		out.data[i] = v * b.data[i]
-	}
+	HadamardInto(out, a, b)
 	return out
 }
 
 // Apply returns a new matrix with f applied element-wise.
 func (m *Dense) Apply(f func(float64) float64) *Dense {
 	out := New(m.rows, m.cols)
-	for i, v := range m.data {
-		out.data[i] = f(v)
-	}
+	ApplyInto(out, m, f)
 	return out
 }
 
@@ -290,9 +267,11 @@ func ConcatCols(a, b *Dense) *Dense {
 // GatherRows returns a new matrix whose i-th row is m's idx[i]-th row.
 func (m *Dense) GatherRows(idx []int) *Dense {
 	out := New(len(idx), m.cols)
-	for i, id := range idx {
-		copy(out.Row(i), m.Row(id))
-	}
+	par.For(len(idx), rowGrain(m.cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			copy(out.Row(i), m.Row(idx[i]))
+		}
+	})
 	return out
 }
 

@@ -1,0 +1,264 @@
+package mat
+
+import (
+	"dssddi/internal/par"
+)
+
+// The kernels in this file are the parallel, cache-blocked backend for
+// the public API in mat.go. Parallelism is row-partitioned through the
+// shared pool in internal/par: each goroutine owns a disjoint,
+// contiguous range of output rows (or of the flat element slice for
+// element-wise ops) and accumulates in the same per-element order as
+// the serial loop, so results are bitwise identical for any worker
+// count. SetWorkers(1) runs everything on the calling goroutine.
+
+// SetWorkers sets the process-wide worker count used by all mat and
+// sparse kernels. n <= 0 resets to runtime.GOMAXPROCS(0); 1 restores
+// exact-serial execution.
+func SetWorkers(n int) { par.SetWorkers(n) }
+
+// Workers returns the effective kernel worker count.
+func Workers() int { return par.Workers() }
+
+const (
+	// blockK is the k-tile height of the blocked matmul kernels: a
+	// blockK x cols panel of the streamed operand stays hot in cache
+	// while being applied to the rows a goroutine owns.
+	blockK = 128
+	// minFlopsPerTask is the smallest amount of matmul work worth
+	// shipping to another goroutine.
+	minFlopsPerTask = 32768
+	// ewGrain is the per-chunk element count for element-wise kernels.
+	ewGrain = 1 << 15
+)
+
+// RowGrain returns the minimum rows per parallel task given the
+// work (flops or elements moved) of a single row, so each task
+// carries enough to amortise dispatch. Shared by the consumers that
+// row-partition their own loops (internal/ag and friends).
+func RowGrain(workPerRow int) int {
+	if workPerRow <= 0 {
+		return 1 << 30 // no per-row work: stay serial
+	}
+	g := minFlopsPerTask / workPerRow
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// rowGrain is the package-internal spelling.
+func rowGrain(workPerRow int) int { return RowGrain(workPerRow) }
+
+// matMulRange computes dst[lo:hi] = a[lo:hi] * b with a k-blocked ikj
+// loop. Each output row is accumulated in ascending-k order, matching
+// the serial kernel exactly.
+func matMulRange(dst, a, b *Dense, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		drow := dst.Row(i)
+		for j := range drow {
+			drow[j] = 0
+		}
+	}
+	K := a.cols
+	for kb := 0; kb < K; kb += blockK {
+		ke := kb + blockK
+		if ke > K {
+			ke = K
+		}
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)[kb:ke]
+			drow := dst.Row(i)
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(kb + k)
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
+			}
+		}
+	}
+}
+
+// matMulTransARange computes dst[lo:hi] = (or +=) (aᵀ*b)[lo:hi].
+// Output rows index a's columns; terms accumulate in ascending-k
+// order. Overwrite mode zeroes the owned dst rows and accumulates in
+// place; accumulate mode builds the product in a scratch block and
+// lands it on dst with one add per element (matching the
+// temp-matrix-then-AddScaled numerics of the serial gradient path).
+func matMulTransARange(dst, a, b *Dense, lo, hi int, overwrite bool) {
+	out, base := dst, 0
+	if overwrite {
+		for i := lo; i < hi; i++ {
+			drow := dst.Row(i)
+			for j := range drow {
+				drow[j] = 0
+			}
+		}
+	} else {
+		out, base = New(hi-lo, dst.cols), lo
+	}
+	for k := 0; k < a.rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i := lo; i < hi; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			drow := out.Row(i - base)
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+	if overwrite {
+		return
+	}
+	for i := lo; i < hi; i++ {
+		drow := dst.Row(i)
+		brow := out.Row(i - lo)
+		for j, bv := range brow {
+			drow[j] += bv
+		}
+	}
+}
+
+// matMulTransBRange computes dst[lo:hi] = (or +=) (a*bᵀ)[lo:hi] as a
+// row of dot products per output row.
+func matMulTransBRange(dst, a, b *Dense, lo, hi int, overwrite bool) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.rows; j++ {
+			v := Dot(arow, b.Row(j))
+			if overwrite {
+				drow[j] = v
+			} else {
+				drow[j] += v
+			}
+		}
+	}
+}
+
+// MatMulTransAInto computes dst = aᵀ*b. dst must be a.cols x b.cols.
+func MatMulTransAInto(dst, a, b *Dense) {
+	checkTransA(dst, a, b)
+	par.For(a.cols, rowGrain(a.rows*b.cols), func(lo, hi int) {
+		matMulTransARange(dst, a, b, lo, hi, true)
+	})
+}
+
+// MatMulTransAAddInto accumulates dst += aᵀ*b, the fused form of the
+// dB = Aᵀ*dOut gradient update (no temporary gradient matrix).
+func MatMulTransAAddInto(dst, a, b *Dense) {
+	checkTransA(dst, a, b)
+	par.For(a.cols, rowGrain(a.rows*b.cols), func(lo, hi int) {
+		matMulTransARange(dst, a, b, lo, hi, false)
+	})
+}
+
+// MatMulTransBInto computes dst = a*bᵀ. dst must be a.rows x b.rows.
+func MatMulTransBInto(dst, a, b *Dense) {
+	checkTransB(dst, a, b)
+	par.For(a.rows, rowGrain(a.cols*b.rows), func(lo, hi int) {
+		matMulTransBRange(dst, a, b, lo, hi, true)
+	})
+}
+
+// MatMulTransBAddInto accumulates dst += a*bᵀ, the fused form of the
+// dA = dOut*Bᵀ gradient update.
+func MatMulTransBAddInto(dst, a, b *Dense) {
+	checkTransB(dst, a, b)
+	par.For(a.rows, rowGrain(a.cols*b.rows), func(lo, hi int) {
+		matMulTransBRange(dst, a, b, lo, hi, false)
+	})
+}
+
+func checkTransA(dst, a, b *Dense) {
+	if a.rows != b.rows || dst.rows != a.cols || dst.cols != b.cols {
+		panic("mat: MatMulTransA shape mismatch")
+	}
+}
+
+func checkTransB(dst, a, b *Dense) {
+	if a.cols != b.cols || dst.rows != a.rows || dst.cols != b.rows {
+		panic("mat: MatMulTransB shape mismatch")
+	}
+}
+
+// forEachElem partitions the flat element range [0, n) across workers.
+func forEachElem(n int, fn func(lo, hi int)) { par.For(n, ewGrain, fn) }
+
+// HadamardInto computes dst = a⊙b element-wise.
+func HadamardInto(dst, a, b *Dense) {
+	sameShape("HadamardInto", dst, a)
+	sameShape("HadamardInto", a, b)
+	dd, ad, bd := dst.data, a.data, b.data
+	forEachElem(len(dd), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dd[i] = ad[i] * bd[i]
+		}
+	})
+}
+
+// AddHadamard accumulates m += a⊙b element-wise — the fused form of
+// the Hadamard gradient updates (dA += dOut⊙B, dB += dOut⊙A).
+func (m *Dense) AddHadamard(a, b *Dense) {
+	sameShape("AddHadamard", m, a)
+	sameShape("AddHadamard", a, b)
+	md, ad, bd := m.data, a.data, b.data
+	forEachElem(len(md), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			md[i] += ad[i] * bd[i]
+		}
+	})
+}
+
+// ApplyInto computes dst = f(src) element-wise.
+func ApplyInto(dst, src *Dense, f func(float64) float64) {
+	sameShape("ApplyInto", dst, src)
+	dd, sd := dst.data, src.data
+	forEachElem(len(dd), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dd[i] = f(sd[i])
+		}
+	})
+}
+
+// ApplyInPlace overwrites every element with f(element).
+func (m *Dense) ApplyInPlace(f func(float64) float64) {
+	d := m.data
+	forEachElem(len(d), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d[i] = f(d[i])
+		}
+	})
+}
+
+// ZipAddInto accumulates dst += f(a, b) element-wise. The autodiff
+// tape uses it to fuse activation backward passes (grad += dOut·f'(x))
+// without a temporary matrix.
+func ZipAddInto(dst, a, b *Dense, f func(av, bv float64) float64) {
+	sameShape("ZipAddInto", dst, a)
+	sameShape("ZipAddInto", a, b)
+	dd, ad, bd := dst.data, a.data, b.data
+	forEachElem(len(dd), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dd[i] += f(ad[i], bd[i])
+		}
+	})
+}
+
+// RepRow returns an n-row matrix whose every row is a copy of row.
+func RepRow(row []float64, n int) *Dense {
+	out := New(n, len(row))
+	par.For(n, rowGrain(len(row)), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			copy(out.Row(i), row)
+		}
+	})
+	return out
+}

@@ -10,6 +10,7 @@ import (
 	"dssddi/internal/mat"
 	"dssddi/internal/nn"
 	"dssddi/internal/optim"
+	"dssddi/internal/par"
 	"dssddi/internal/sparse"
 )
 
@@ -97,14 +98,16 @@ func NewModel(d *dataset.Dataset, relEmb *mat.Dense, cfg Config) *Model {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	if relEmb != nil {
 		relEmb = relEmb.Clone()
-		for i := 0; i < relEmb.Rows(); i++ {
-			row := relEmb.Row(i)
-			if n := mat.Norm2(row); n > 0 {
-				for j := range row {
-					row[j] /= n
+		par.For(relEmb.Rows(), 16, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				row := relEmb.Row(i)
+				if n := mat.Norm2(row); n > 0 {
+					for j := range row {
+						row[j] /= n
+					}
 				}
 			}
-		}
+		})
 	}
 	m := &Model{Config: cfg, Data: d, relEmb: relEmb}
 
@@ -362,22 +365,32 @@ func (m *Model) Scores(patients []int) *mat.Dense {
 
 	nD := m.Data.NumDrugs()
 	out := mat.New(len(patients), nD)
-	// Score all drugs for all query patients in one batch.
-	pIdx := make([]int, 0, len(patients)*nD)
-	vIdx := make([]int, 0, len(patients)*nD)
-	tvals := make([]float64, 0, len(patients)*nD)
-	for i := range patients {
-		trow := m.Treatment.InferRow(x.Row(i))
-		for v := 0; v < nD; v++ {
-			pIdx = append(pIdx, i)
-			vIdx = append(vIdx, v)
-			tvals = append(tvals, trow[v])
+	// Score all drugs for all query patients in one batch. Treatment
+	// inference is independent per patient, so it fans out across the
+	// worker pool, filling the flat pair slices directly.
+	pIdx := make([]int, len(patients)*nD)
+	vIdx := make([]int, len(patients)*nD)
+	tvals := make([]float64, len(patients)*nD)
+	par.For(len(patients), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			trow := m.Treatment.InferRow(x.Row(i))
+			base := i * nD
+			for v := 0; v < nD; v++ {
+				pIdx[base+v] = i
+				vIdx[base+v] = v
+				tvals[base+v] = trow[v]
+			}
 		}
-	}
+	})
 	logits := m.decode(t, hP, hDrug, pIdx, vIdx, column(tvals))
-	for r := 0; r < logits.Rows(); r++ {
-		out.Set(pIdx[r], vIdx[r], mat.Sigmoid(logits.Value.At(r, 0)))
-	}
+	// Each logit row targets a distinct (patient, drug) cell, so the
+	// sigmoid fill partitions cleanly across workers.
+	lv := logits.Value
+	par.For(lv.Rows(), 4096, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			out.Set(pIdx[r], vIdx[r], mat.Sigmoid(lv.At(r, 0)))
+		}
+	})
 	return out
 }
 

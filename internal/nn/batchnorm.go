@@ -64,21 +64,16 @@ func (bn *BatchNorm) Apply(t *ag.Tape, x *ag.Node) *ag.Node {
 	}
 
 	// Normalisation as constant shift+scale: xhat = (x - mean) * invStd.
+	// The scale matrix is a row replication, built with the parallel
+	// RepRow kernel.
 	shift := mat.New(1, d)
-	scale := mat.New(n, d)
 	for j := 0; j < d; j++ {
 		shift.Set(0, j, -mean[j])
 	}
-	for i := 0; i < n; i++ {
-		copy(scale.Row(i), invStd)
-	}
+	scale := mat.RepRow(invStd, n)
 	xhat := t.Hadamard(t.AddBias(x, t.Const(shift)), t.Const(scale))
 
 	// Affine: gamma broadcast-multiplied per column, then + beta.
-	gammaFull := mat.New(n, d)
-	for i := 0; i < n; i++ {
-		copy(gammaFull.Row(i), bn.Gamma.Row(0))
-	}
 	// To keep gamma trainable we multiply via a broadcasted parameter:
 	// out = xhat .* rowrep(gamma) + beta. Implemented with GatherRows so
 	// the gradient flows back into the single gamma row.

@@ -1,0 +1,121 @@
+// Package par is the shared worker pool behind every parallel kernel
+// in internal/mat and internal/sparse. It row-partitions index ranges
+// across a fixed set of long-lived goroutines.
+//
+// Design constraints, in priority order:
+//
+//  1. Determinism: For hands each goroutine a disjoint contiguous
+//     range, so kernels that only write inside their range produce
+//     bitwise-identical output for any worker count.
+//  2. No deadlocks under nesting or saturation: submission to the pool
+//     never blocks — when every pool worker is busy the caller runs the
+//     chunk inline, so a kernel invoked from inside another parallel
+//     region still completes.
+//  3. Zero overhead for small inputs: work below the grain threshold
+//     runs serially on the calling goroutine.
+//
+// The worker count is a process-wide knob (SetWorkers); 1 restores
+// exact-serial execution on the calling goroutine.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers holds the configured worker count; 0 means "use
+// runtime.GOMAXPROCS(0)" resolved at call time.
+var workers atomic.Int64
+
+// SetWorkers sets the process-wide worker count used by For. n <= 0
+// resets to the default, runtime.GOMAXPROCS(0). SetWorkers(1) restores
+// exact-serial execution.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workers.Store(int64(n))
+}
+
+// Workers returns the effective worker count (always >= 1).
+func Workers() int {
+	if n := int(workers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// The pool: long-lived goroutines draining an unbuffered channel.
+// Sized generously so oversubscribed worker settings (useful in tests
+// on small machines) still get real goroutines; idle workers cost only
+// a parked goroutine each.
+var (
+	poolOnce sync.Once
+	poolCh   chan func()
+)
+
+func poolSize() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	return n
+}
+
+func ensurePool() {
+	poolOnce.Do(func() {
+		poolCh = make(chan func())
+		for i := 0; i < poolSize(); i++ {
+			go func() {
+				for f := range poolCh {
+					f()
+				}
+			}()
+		}
+	})
+}
+
+// For splits [0, n) into at most Workers() contiguous chunks of at
+// least grain indices each and runs fn on every chunk, returning when
+// all chunks are done. fn must only touch state owned by its [lo, hi)
+// range; chunks run concurrently.
+//
+// With one worker, a sub-grain n, or n == 0, fn runs (at most once)
+// on the calling goroutine — the exact serial path.
+func For(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	if w := Workers(); chunks > w {
+		chunks = w
+	}
+	if chunks <= 1 {
+		fn(0, n)
+		return
+	}
+	ensurePool()
+	var wg sync.WaitGroup
+	wg.Add(chunks - 1)
+	for c := 1; c < chunks; c++ {
+		lo, hi := c*n/chunks, (c+1)*n/chunks
+		job := func() {
+			defer wg.Done()
+			fn(lo, hi)
+		}
+		select {
+		case poolCh <- job:
+		default:
+			// Every pool worker is busy (saturation or nesting):
+			// run inline rather than block, so progress is always
+			// made by the submitting goroutine itself.
+			job()
+		}
+	}
+	fn(0, n/chunks)
+	wg.Wait()
+}

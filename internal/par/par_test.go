@@ -1,0 +1,129 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// withWorkers runs f with the global worker count set to n, restoring
+// the default afterwards.
+func withWorkers(n int, f func()) {
+	SetWorkers(n)
+	defer SetWorkers(0)
+	f()
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 8} {
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			for _, grain := range []int{1, 3, 100} {
+				withWorkers(w, func() {
+					hits := make([]int32, n)
+					For(n, grain, func(lo, hi int) {
+						if lo < 0 || hi > n || lo > hi {
+							t.Fatalf("w=%d n=%d grain=%d: bad range [%d,%d)", w, n, grain, lo, hi)
+						}
+						for i := lo; i < hi; i++ {
+							atomic.AddInt32(&hits[i], 1)
+						}
+					})
+					for i, h := range hits {
+						if h != 1 {
+							t.Fatalf("w=%d n=%d grain=%d: index %d visited %d times", w, n, grain, i, h)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestForSerialWhenOneWorker(t *testing.T) {
+	withWorkers(1, func() {
+		var calls int
+		For(100, 1, func(lo, hi int) {
+			calls++
+			if lo != 0 || hi != 100 {
+				t.Fatalf("want single [0,100) range, got [%d,%d)", lo, hi)
+			}
+		})
+		if calls != 1 {
+			t.Fatalf("want 1 call, got %d", calls)
+		}
+	})
+}
+
+func TestForRespectsGrain(t *testing.T) {
+	withWorkers(8, func() {
+		var calls int32
+		For(10, 100, func(lo, hi int) { atomic.AddInt32(&calls, 1) })
+		if calls != 1 {
+			t.Fatalf("n below grain must run serially, got %d chunks", calls)
+		}
+	})
+}
+
+// TestForNested exercises a parallel region spawned from inside another
+// parallel region: the non-blocking submit path must keep this
+// deadlock-free even when the pool is saturated.
+func TestForNested(t *testing.T) {
+	withWorkers(4, func() {
+		n := 32
+		var total int64
+		For(n, 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				For(n, 1, func(ilo, ihi int) {
+					atomic.AddInt64(&total, int64(ihi-ilo))
+				})
+			}
+		})
+		if total != int64(n*n) {
+			t.Fatalf("nested For: want %d units, got %d", n*n, total)
+		}
+	})
+}
+
+// TestForConcurrent hammers For from many goroutines at once; run with
+// -race in CI.
+func TestForConcurrent(t *testing.T) {
+	withWorkers(4, func() {
+		var wg sync.WaitGroup
+		for g := 0; g < 16; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				out := make([]int, 4096)
+				For(len(out), 64, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						out[i] = i
+					}
+				})
+				for i, v := range out {
+					if v != i {
+						t.Errorf("out[%d] = %d", i, v)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	})
+}
+
+func TestSetWorkers(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(3)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", Workers())
+	}
+	SetWorkers(0)
+	if Workers() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers() = %d, want GOMAXPROCS %d", Workers(), runtime.GOMAXPROCS(0))
+	}
+	SetWorkers(-5)
+	if Workers() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("negative SetWorkers must reset to default")
+	}
+}

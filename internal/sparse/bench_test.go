@@ -1,0 +1,51 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+
+	"dssddi/internal/mat"
+)
+
+// BenchmarkMulDenseInto times the SpMM hot path (adjacency times
+// feature matrix) at a GCN-layer-like shape, serial vs pooled.
+func BenchmarkMulDenseInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	c := randCSR(rng, 4096, 4096, 0.002) // ~8 nnz per row
+	x := randMat(rng, 4096, 64)
+	dst := mat.New(c.Rows(), x.Cols())
+	for _, w := range []struct {
+		name string
+		n    int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(w.name, func(b *testing.B) {
+			mat.SetWorkers(w.n)
+			defer mat.SetWorkers(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.MulDenseInto(dst, x)
+			}
+		})
+	}
+}
+
+// BenchmarkMulDenseAddInto times the fused gradient-side SpMM.
+func BenchmarkMulDenseAddInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	c := randCSR(rng, 4096, 4096, 0.002)
+	x := randMat(rng, 4096, 64)
+	dst := mat.New(c.Rows(), x.Cols())
+	for _, w := range []struct {
+		name string
+		n    int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(w.name, func(b *testing.B) {
+			mat.SetWorkers(w.n)
+			defer mat.SetWorkers(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.MulDenseAddInto(dst, x)
+			}
+		})
+	}
+}

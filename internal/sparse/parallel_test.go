@@ -1,0 +1,140 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dssddi/internal/mat"
+)
+
+func randCSR(rng *rand.Rand, rows, cols int, density float64) *CSR {
+	b := NewBuilder(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if rng.Float64() < density {
+				b.Add(r, c, rng.NormFloat64())
+			}
+		}
+	}
+	return b.Build()
+}
+
+func randMat(rng *rand.Rand, r, c int) *mat.Dense {
+	m := mat.New(r, c)
+	d := m.Data()
+	for i := range d {
+		d[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func denseMaxDiff(t *testing.T, a, b *mat.Dense) float64 {
+	t.Helper()
+	if a.Rows() != b.Rows() || a.Cols() != b.Cols() {
+		t.Fatalf("shape mismatch %dx%d vs %dx%d", a.Rows(), a.Cols(), b.Rows(), b.Cols())
+	}
+	var mx float64
+	ad, bd := a.Data(), b.Data()
+	for i := range ad {
+		if d := math.Abs(ad[i] - bd[i]); d > mx {
+			mx = d
+		}
+	}
+	return mx
+}
+
+// TestMulDenseParallelMatchesSerial checks the row-partitioned SpMM is
+// bitwise identical to the serial path across shapes, including empty
+// and single-row operators.
+func TestMulDenseParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cases := []struct {
+		name       string
+		rows, cols int
+		dense      int
+		density    float64
+	}{
+		{"empty", 0, 0, 0, 0},
+		{"singleRow", 1, 40, 16, 0.3},
+		{"tall", 400, 30, 8, 0.1},
+		{"wide", 30, 400, 64, 0.05},
+		{"dense", 120, 120, 48, 0.5},
+		{"allZeroRows", 50, 50, 8, 0},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			c := randCSR(rng, tc.rows, tc.cols, tc.density)
+			x := randMat(rng, tc.cols, tc.dense)
+			acc := randMat(rng, tc.rows, tc.dense)
+
+			run := func(f func() *mat.Dense) (s, p *mat.Dense) {
+				mat.SetWorkers(1)
+				s = f()
+				mat.SetWorkers(4)
+				p = f()
+				mat.SetWorkers(0)
+				return
+			}
+
+			s, p := run(func() *mat.Dense { return c.MulDense(x) })
+			if d := denseMaxDiff(t, s, p); d != 0 {
+				t.Errorf("MulDense: serial vs parallel diff %g", d)
+			}
+			s, p = run(func() *mat.Dense {
+				dst := acc.Clone()
+				c.MulDenseAddInto(dst, x)
+				return dst
+			})
+			if d := denseMaxDiff(t, s, p); d != 0 {
+				t.Errorf("MulDenseAddInto: serial vs parallel diff %g", d)
+			}
+		})
+	}
+}
+
+// TestMulDenseAddIntoAccumulates checks the fused add actually adds.
+func TestMulDenseAddIntoAccumulates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := randCSR(rng, 60, 40, 0.2)
+	x := randMat(rng, 40, 16)
+	base := randMat(rng, 60, 16)
+
+	want := base.Clone()
+	want.AddScaled(c.MulDense(x), 1)
+
+	got := base.Clone()
+	c.MulDenseAddInto(got, x)
+	if d := denseMaxDiff(t, want, got); d > 1e-12 {
+		t.Fatalf("MulDenseAddInto differs from MulDense+Add by %g", d)
+	}
+}
+
+// TestConcurrentMulDenseInto hammers SpMM from many goroutines sharing
+// the operator and input (distinct outputs). Run with -race in CI.
+func TestConcurrentMulDenseInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	c := randCSR(rng, 200, 150, 0.1)
+	x := randMat(rng, 150, 48)
+	want := c.MulDense(x)
+
+	mat.SetWorkers(4)
+	defer mat.SetWorkers(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := mat.New(c.Rows(), x.Cols())
+			for iter := 0; iter < 20; iter++ {
+				c.MulDenseInto(dst, x)
+			}
+			if d := denseMaxDiff(t, want, dst); d != 0 {
+				t.Errorf("concurrent MulDenseInto diverged by %g", d)
+			}
+		}()
+	}
+	wg.Wait()
+}

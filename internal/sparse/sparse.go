@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"dssddi/internal/mat"
+	"dssddi/internal/par"
 )
 
 // CSR is an immutable sparse matrix in compressed sparse row format.
@@ -118,22 +119,74 @@ func (c *CSR) MulDense(x *mat.Dense) *mat.Dense {
 	return out
 }
 
+// rowChunk returns the minimum rows per parallel task so each task
+// carries a useful amount of SpMM work (average nnz per row times the
+// dense width).
+func (c *CSR) rowChunk(xCols int) int {
+	if c.rows == 0 {
+		return 1
+	}
+	perRow := (len(c.vals)*xCols)/c.rows + 1
+	g := 32768 / perRow
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
 // MulDenseInto computes dst = c * x. dst must be c.rows x x.Cols().
+// Rows are partitioned across the shared worker pool; each goroutine
+// writes only its own row range (no locks), so the output is
+// deterministic and bitwise identical for any worker count.
 func (c *CSR) MulDenseInto(dst, x *mat.Dense) {
 	if c.cols != x.Rows() || dst.Rows() != c.rows || dst.Cols() != x.Cols() {
 		panic("sparse: MulDenseInto shape mismatch")
 	}
-	dst.Zero()
-	for r := 0; r < c.rows; r++ {
-		drow := dst.Row(r)
-		for i := c.rowPtr[r]; i < c.rowPtr[r+1]; i++ {
-			v := c.vals[i]
-			xrow := x.Row(c.colIdx[i])
-			for j, xv := range xrow {
-				drow[j] += v * xv
+	par.For(c.rows, c.rowChunk(x.Cols()), func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			drow := dst.Row(r)
+			for j := range drow {
+				drow[j] = 0
+			}
+			for i := c.rowPtr[r]; i < c.rowPtr[r+1]; i++ {
+				v := c.vals[i]
+				xrow := x.Row(c.colIdx[i])
+				for j, xv := range xrow {
+					drow[j] += v * xv
+				}
 			}
 		}
+	})
+}
+
+// MulDenseAddInto accumulates dst += c * x — the fused form of the
+// SpMM gradient update (dX += sᵀ·dOut) that skips the temporary
+// product matrix. Each row's product is built in a scratch row and
+// added to dst with one add per element, matching the
+// MulDense-then-AddScaled numerics bitwise.
+func (c *CSR) MulDenseAddInto(dst, x *mat.Dense) {
+	if c.cols != x.Rows() || dst.Rows() != c.rows || dst.Cols() != x.Cols() {
+		panic("sparse: MulDenseAddInto shape mismatch")
 	}
+	par.For(c.rows, c.rowChunk(x.Cols()), func(lo, hi int) {
+		scratch := make([]float64, x.Cols())
+		for r := lo; r < hi; r++ {
+			for j := range scratch {
+				scratch[j] = 0
+			}
+			for i := c.rowPtr[r]; i < c.rowPtr[r+1]; i++ {
+				v := c.vals[i]
+				xrow := x.Row(c.colIdx[i])
+				for j, xv := range xrow {
+					scratch[j] += v * xv
+				}
+			}
+			drow := dst.Row(r)
+			for j, sv := range scratch {
+				drow[j] += sv
+			}
+		}
+	})
 }
 
 // T returns the transpose of c as a new CSR matrix.
