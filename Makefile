@@ -13,11 +13,14 @@ build:
 test:
 	$(GO) test -race ./...
 
-# The short benchmark smoke CI runs, plus a perf record from benchtab.
+# The short benchmark smoke CI runs, plus a perf record from benchtab
+# and the alloc-regression diff against the committed seed baseline.
 bench:
 	$(GO) test -run '^$$' -bench 'MatMulInto128|MulDenseInto' -benchtime 1x ./internal/mat/ ./internal/sparse/
 	$(GO) test -run '^$$' -bench DDIGCNTraining -benchtime 1x -timeout 30m .
-	$(GO) run ./cmd/benchtab -table 1 -json BENCH_local.json
+	$(GO) run ./cmd/benchtab -table 1 -trainbench -json BENCH_local.json
+	$(GO) run ./cmd/benchdiff BENCH_seed.json BENCH_local.json
+	$(GO) run ./cmd/benchdiff BENCH_baseline.json BENCH_local.json
 
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi

@@ -1,0 +1,78 @@
+package dssddi
+
+import (
+	"sync"
+	"testing"
+
+	"dssddi/internal/mat"
+)
+
+var (
+	allocSysOnce sync.Once
+	allocSys     *System
+	allocData    *Data
+)
+
+// allocSystem trains one small system shared by the serving-path
+// allocation gates.
+func allocSystem(t *testing.T) (*System, *Data) {
+	t.Helper()
+	allocSysOnce.Do(func() {
+		data := GenerateChronic(1, 60, 50)
+		cfg := DefaultConfig()
+		cfg.DDIEpochs = 20
+		cfg.MDEpochs = 30
+		cfg.Hidden = 16
+		sys := New(cfg)
+		if err := sys.Train(data); err != nil {
+			panic(err)
+		}
+		allocSys, allocData = sys, data
+	})
+	if allocSys == nil {
+		t.Fatal("shared alloc-gate system failed to train")
+	}
+	return allocSys, allocData
+}
+
+// TestSuggestAllocBudget is the serving half of the ISSUE 2 allocation
+// gate: with the MDGCN drug representations cached after training, a
+// Suggest call is a patient-encoder forward plus one decoder pass and
+// must stay within a fixed small allocation budget (serial kernels for
+// a deterministic count).
+func TestSuggestAllocBudget(t *testing.T) {
+	const budget = 100
+	sys, data := allocSystem(t)
+	mat.SetWorkers(1)
+	defer mat.SetWorkers(0)
+
+	patient := data.TestPatients()[0]
+	got := testing.AllocsPerRun(20, func() {
+		if _, err := sys.Suggest(patient, 3); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got > budget {
+		t.Fatalf("Suggest allocates %.1f objects per call, budget %d", got, budget)
+	}
+}
+
+// TestScoresAllocBudget pins the System.Scores fast path (the double
+// copy this PR removed): scoring one patient must stay within the same
+// budget as Suggest.
+func TestScoresAllocBudget(t *testing.T) {
+	const budget = 100
+	sys, data := allocSystem(t)
+	mat.SetWorkers(1)
+	defer mat.SetWorkers(0)
+
+	patients := data.TestPatients()[:1]
+	got := testing.AllocsPerRun(20, func() {
+		if _, err := sys.Scores(patients); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got > budget {
+		t.Fatalf("Scores allocates %.1f objects per call, budget %d", got, budget)
+	}
+}

@@ -47,6 +47,7 @@ func sharedSuite() *eval.Suite {
 // all baselines and DSSDDI backbones on the chronic data.
 func BenchmarkTableI(b *testing.B) {
 	s := sharedSuite()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t := s.TableI()
 		if i == 0 {
@@ -58,6 +59,7 @@ func BenchmarkTableI(b *testing.B) {
 // BenchmarkTableII regenerates the drug-embedding ablation (Table II).
 func BenchmarkTableII(b *testing.B) {
 	s := sharedSuite()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t := s.TableII()
 		if i == 0 {
@@ -70,6 +72,7 @@ func BenchmarkTableII(b *testing.B) {
 // (Table III).
 func BenchmarkTableIII(b *testing.B) {
 	s := sharedSuite()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		title, rows := s.TableIII()
 		if i == 0 {
@@ -81,6 +84,7 @@ func BenchmarkTableIII(b *testing.B) {
 // BenchmarkTableIV regenerates the MIMIC-III comparison (Table IV).
 func BenchmarkTableIV(b *testing.B) {
 	s := sharedSuite()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t := s.TableIV()
 		if i == 0 {
@@ -92,6 +96,7 @@ func BenchmarkTableIV(b *testing.B) {
 // BenchmarkFig2Fig3 regenerates the data-set distribution figures.
 func BenchmarkFig2Fig3(b *testing.B) {
 	s := sharedSuite()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		f2, f3 := s.Figure2(), s.Figure3()
 		if i == 0 {
@@ -104,6 +109,7 @@ func BenchmarkFig2Fig3(b *testing.B) {
 // (Fig. 7, the over-smoothing argument).
 func BenchmarkFig7(b *testing.B) {
 	s := sharedSuite()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, txt := s.Figure7()
 		if i == 0 {
@@ -116,6 +122,7 @@ func BenchmarkFig7(b *testing.B) {
 // (Fig. 8).
 func BenchmarkFig8(b *testing.B) {
 	s := sharedSuite()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		txt := s.Figure8()
 		if i == 0 {
@@ -127,6 +134,7 @@ func BenchmarkFig8(b *testing.B) {
 // BenchmarkFig9 regenerates the four DDI case studies (Fig. 9).
 func BenchmarkFig9(b *testing.B) {
 	s := sharedSuite()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, txt := s.Figure9()
 		if i == 0 {
@@ -139,6 +147,7 @@ func BenchmarkFig9(b *testing.B) {
 // (DESIGN.md ablation 1; δ=0 disables the causal loss).
 func BenchmarkAblationDelta(b *testing.B) {
 	s := sharedSuite()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		var out string
 		for _, delta := range []float64{0, 0.5, 1} {
@@ -162,6 +171,7 @@ func BenchmarkAblationDelta(b *testing.B) {
 // (DESIGN.md ablation 2).
 func BenchmarkAblationLayers(b *testing.B) {
 	s := sharedSuite()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		var out string
 		for _, layers := range []int{1, 2, 3} {
@@ -184,6 +194,7 @@ func BenchmarkAblationLayers(b *testing.B) {
 // DDI training graph (DESIGN.md ablation 4).
 func BenchmarkAblationZeroEdges(b *testing.B) {
 	s := sharedSuite()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		var out string
 		for _, ratio := range []float64{0, 0.5, 1, 2} {
@@ -206,9 +217,11 @@ func BenchmarkAblationZeroEdges(b *testing.B) {
 // backbone (the component benchmark behind Tables I/II).
 func BenchmarkDDIGCNTraining(b *testing.B) {
 	s := sharedSuite()
+	b.ReportAllocs()
 	for _, backbone := range []ddi.Backbone{ddi.GIN, ddi.SGCN, ddi.SiGAT, ddi.SNEA} {
 		backbone := backbone
 		b.Run(backbone.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				cfg := ddi.DefaultConfig()
 				cfg.Backbone = backbone
@@ -224,6 +237,7 @@ func BenchmarkDDIGCNTraining(b *testing.B) {
 // BenchmarkMDGCNTraining times one MD-module training run.
 func BenchmarkMDGCNTraining(b *testing.B) {
 	s := sharedSuite()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg := md.DefaultConfig()
 		cfg.Hidden = s.Opts.Hidden
@@ -236,6 +250,7 @@ func BenchmarkMDGCNTraining(b *testing.B) {
 // BenchmarkSubgraphQuery times the MS module's community search over
 // the DDI graph (per suggestion).
 func BenchmarkSubgraphQuery(b *testing.B) {
+	b.ReportAllocs()
 	s := sharedSuite()
 	lg := baselines.NewUserSim()
 	lg.Fit(s.Chronic)

@@ -1,0 +1,95 @@
+// Command benchdiff compares two benchtab -json reports (typically the
+// committed BENCH_seed.json baseline against a fresh run) and enforces
+// the allocation-regression gate: any training entry whose allocs/op
+// exceeds the baseline by more than the threshold fails the run.
+// ns/op ratios are reported for context but never gate (wall-clock is
+// machine-dependent; allocation counts are not).
+//
+// Usage:
+//
+//	benchdiff [-max-alloc-ratio 2.0] baseline.json current.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"dssddi/internal/benchfmt"
+)
+
+func load(path string) (benchfmt.Report, error) {
+	var r benchfmt.Report
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+func main() {
+	maxAllocRatio := flag.Float64("max-alloc-ratio", 2.0, "fail when current allocs/op exceeds baseline by this factor")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-alloc-ratio N] baseline.json current.json")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	baseline := make(map[string]benchfmt.TrainBench, len(base.Training))
+	for _, tb := range base.Training {
+		baseline[tb.Name] = tb
+	}
+
+	fmt.Printf("%-28s %14s %14s %9s %14s %14s %9s\n",
+		"benchmark", "base ns/op", "cur ns/op", "speedup", "base allocs", "cur allocs", "ratio")
+	failed := false
+	matched := 0
+	for _, tb := range cur.Training {
+		b, ok := baseline[tb.Name]
+		if !ok {
+			fmt.Printf("%-28s %14s (no baseline entry, skipped)\n", tb.Name, "-")
+			continue
+		}
+		matched++
+		speedup := 0.0
+		if tb.NsPerOp > 0 {
+			speedup = b.NsPerOp / tb.NsPerOp
+		}
+		// A zero-alloc baseline must not disable the gate: treat it as
+		// one alloc/op so any real regression still trips the ratio.
+		denom := b.AllocsPerOp
+		if denom < 1 {
+			denom = 1
+		}
+		ratio := tb.AllocsPerOp / denom
+		status := ""
+		if ratio > *maxAllocRatio {
+			status = "  <-- ALLOC REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-28s %14.0f %14.0f %8.2fx %14.1f %14.1f %8.2fx%s\n",
+			tb.Name, b.NsPerOp, tb.NsPerOp, speedup, b.AllocsPerOp, tb.AllocsPerOp, ratio, status)
+	}
+	if matched == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no overlapping training entries between reports")
+		os.Exit(2)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: allocs/op regressed beyond %.1fx baseline\n", *maxAllocRatio)
+		os.Exit(1)
+	}
+}

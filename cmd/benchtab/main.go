@@ -8,7 +8,10 @@
 //	benchtab -figure 7          # only Figure 7
 //	benchtab -full              # paper-scale sizes (slow)
 //	benchtab -workers 1         # exact-serial kernels
-//	benchtab -json out.json     # also write per-section timings
+//	benchtab -trainbench        # also measure training/serving throughput
+//	benchtab -json out.json     # also write per-section timings + allocs
+//	benchtab -cpuprofile cpu.pb # write a pprof CPU profile
+//	benchtab -memprofile mem.pb # write a pprof heap profile at exit
 package main
 
 import (
@@ -17,41 +20,106 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
+	"dssddi/internal/benchfmt"
+	"dssddi/internal/ddi"
 	"dssddi/internal/eval"
 	"dssddi/internal/mat"
+	"dssddi/internal/md"
 )
 
-// section is one timed unit of work in the -json report.
-type section struct {
-	Name    string  `json:"name"`
-	Seconds float64 `json:"seconds"`
+func mallocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
 }
 
-// report is the machine-readable benchmark record CI archives per run
-// (BENCH_*.json artifacts) so the perf trajectory of the kernels is
-// tracked commit over commit.
-type report struct {
-	Schema       string    `json:"schema"`
-	Profile      string    `json:"profile"`
-	Workers      int       `json:"workers"`
-	GoMaxProcs   int       `json:"go_max_procs"`
-	Seed         int64     `json:"seed"`
-	Sections     []section `json:"sections"`
-	TotalSeconds float64   `json:"total_seconds"`
+// measure times iters operations of f and reads the allocator deltas
+// around it.
+func measure(name string, iters int, f func()) benchfmt.TrainBench {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	f()
+	el := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	n := float64(iters)
+	return benchfmt.TrainBench{
+		Name:        name,
+		Iters:       iters,
+		Seconds:     el.Seconds(),
+		NsPerOp:     float64(el.Nanoseconds()) / n,
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / n,
+		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / n,
+	}
+}
+
+// runTrainBench measures DDIGCN and MDGCN training throughput and the
+// per-patient scoring path on the chronic data, serial kernels (see
+// trainBench). The workload shapes match the committed BENCH_seed.json
+// recording of the seed implementation, so ratios against it are
+// meaningful.
+func runTrainBench(suite *eval.Suite, opts eval.Options) []benchfmt.TrainBench {
+	prev := mat.Workers()
+	mat.SetWorkers(1)
+	defer mat.SetWorkers(prev)
+
+	var out []benchfmt.TrainBench
+	const epochs = 50
+	dcfg := ddi.DefaultConfig()
+	dcfg.Hidden = opts.Hidden
+	dcfg.Epochs = epochs
+	dcfg.Seed = opts.Seed
+	dm := ddi.NewModel(suite.Chronic.DDI, dcfg)
+	out = append(out, measure("DDIGCN-SGCN/train-epoch", epochs, func() { dm.Train() }))
+
+	mcfg := md.DefaultConfig()
+	mcfg.Hidden = opts.Hidden
+	mcfg.Epochs = epochs
+	mcfg.Seed = opts.Seed
+	mm := md.NewModel(suite.Chronic, nil, mcfg)
+	out = append(out, measure("MDGCN/train-epoch", epochs, func() { mm.Train() }))
+
+	const scoreIters = 100
+	patient := suite.Chronic.Test[0]
+	out = append(out, measure("MDGCN/score-patient", scoreIters, func() {
+		for i := 0; i < scoreIters; i++ {
+			mm.Scores([]int{patient})
+		}
+	}))
+	return out
 }
 
 func main() {
 	var (
-		table    = flag.Int("table", 0, "regenerate one table (1-4); 0 = all")
-		figure   = flag.Int("figure", 0, "regenerate one figure (2, 3, 7, 8, 9); 0 = all")
-		full     = flag.Bool("full", false, "paper-scale data and epochs (slow)")
-		seed     = flag.Int64("seed", 1, "run seed")
-		workers  = flag.Int("workers", 0, "kernel worker goroutines (0 = GOMAXPROCS, 1 = serial)")
-		jsonPath = flag.String("json", "", "write per-section timings to this JSON file")
+		table      = flag.Int("table", 0, "regenerate one table (1-4); 0 = all")
+		figure     = flag.Int("figure", 0, "regenerate one figure (2, 3, 7, 8, 9); 0 = all")
+		full       = flag.Bool("full", false, "paper-scale data and epochs (slow)")
+		seed       = flag.Int64("seed", 1, "run seed")
+		workers    = flag.Int("workers", 0, "kernel worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+		jsonPath   = flag.String("json", "", "write per-section timings to this JSON file")
+		trainbench = flag.Bool("trainbench", false, "measure training/serving throughput (serial workers)")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	mat.SetWorkers(*workers)
 	opts := eval.Quick()
@@ -61,23 +129,25 @@ func main() {
 		profile = "full"
 	}
 	opts.Seed = *seed
-	rep := report{
-		Schema:     "dssddi-bench/v1",
+	rep := benchfmt.Report{
+		Schema:     benchfmt.Schema,
 		Profile:    profile,
 		Workers:    mat.Workers(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Seed:       *seed,
 	}
 	start := time.Now()
+	startAllocs := mallocs()
 	fmt.Fprintf(os.Stderr, "generating data (%d+%d chronic, %d MIMIC, %d workers)...\n",
 		opts.Males, opts.Females, opts.MIMICPatients, mat.Workers())
 	suite := eval.NewSuite(opts)
-	rep.Sections = append(rep.Sections, section{"GenerateData", time.Since(start).Seconds()})
+	rep.Sections = append(rep.Sections, benchfmt.Section{Name: "GenerateData", Seconds: time.Since(start).Seconds(), Allocs: mallocs() - startAllocs})
 
 	timed := func(name string, f func()) {
 		t0 := time.Now()
+		a0 := mallocs()
 		f()
-		rep.Sections = append(rep.Sections, section{name, time.Since(t0).Seconds()})
+		rep.Sections = append(rep.Sections, benchfmt.Section{Name: name, Seconds: time.Since(t0).Seconds(), Allocs: mallocs() - a0})
 	}
 
 	wantTable := func(n int) bool { return *figure == 0 && (*table == 0 || *table == n) }
@@ -119,6 +189,14 @@ func main() {
 			fmt.Println(txt)
 		})
 	}
+	if *trainbench {
+		fmt.Fprintln(os.Stderr, "running training benchmark (serial workers)...")
+		rep.Training = runTrainBench(suite, opts)
+		for _, tb := range rep.Training {
+			fmt.Printf("%-28s %10.0f ns/op %12.1f allocs/op %14.0f B/op\n",
+				tb.Name, tb.NsPerOp, tb.AllocsPerOp, tb.BytesPerOp)
+		}
+	}
 	rep.TotalSeconds = time.Since(start).Seconds()
 
 	if *jsonPath != "" {
@@ -133,5 +211,19 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "benchtab: wrote %s\n", *jsonPath)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: memprofile: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -23,19 +25,46 @@ import (
 
 func main() {
 	var (
-		mode      = flag.String("mode", "eval", "eval | suggest | explain")
-		backbone  = flag.String("backbone", "SGCN", "DDIGCN backbone: GIN, SGCN, SiGAT, SNEA")
-		patients  = flag.Int("patients", 800, "synthetic cohort size")
-		seed      = flag.Int64("seed", 1, "generation and training seed")
-		patient   = flag.Int("patient", -1, "patient index for -mode suggest")
-		k         = flag.Int("k", 3, "suggestion list length")
-		drugs     = flag.String("drugs", "", "comma-separated drug IDs for -mode explain")
-		ddiEpochs = flag.Int("ddi-epochs", 150, "DDI module training epochs (paper: 400)")
-		mdEpochs  = flag.Int("md-epochs", 250, "MD module training epochs (paper: 1000)")
-		mimic     = flag.Bool("mimic", false, "use the MIMIC-like data set instead of the chronic cohort")
-		workers   = flag.Int("workers", 0, "kernel worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+		mode       = flag.String("mode", "eval", "eval | suggest | explain")
+		backbone   = flag.String("backbone", "SGCN", "DDIGCN backbone: GIN, SGCN, SiGAT, SNEA")
+		patients   = flag.Int("patients", 800, "synthetic cohort size")
+		seed       = flag.Int64("seed", 1, "generation and training seed")
+		patient    = flag.Int("patient", -1, "patient index for -mode suggest")
+		k          = flag.Int("k", 3, "suggestion list length")
+		drugs      = flag.String("drugs", "", "comma-separated drug IDs for -mode explain")
+		ddiEpochs  = flag.Int("ddi-epochs", 150, "DDI module training epochs (paper: 400)")
+		mdEpochs   = flag.Int("md-epochs", 250, "MD module training epochs (paper: 1000)")
+		mimic      = flag.Bool("mimic", false, "use the MIMIC-like data set instead of the chronic cohort")
+		workers    = flag.Int("workers", 0, "kernel worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatalf("memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatalf("memprofile: %v", err)
+			}
+		}()
+	}
 
 	var data *dssddi.Data
 	if *mimic {

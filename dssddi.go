@@ -297,10 +297,14 @@ func (s *System) Scores(patients []int) ([][]float64, error) {
 	if err := s.ensureTrained(); err != nil {
 		return nil, err
 	}
+	// Scores materialises a fresh matrix owned by this call, so the
+	// rows can be handed out directly — no second copy. Capacities are
+	// clipped so appending to one row can never bleed into the next.
 	m := s.mdModel.Scores(patients)
+	n := m.Cols()
 	rows := make([][]float64, m.Rows())
 	for i := range rows {
-		rows[i] = append([]float64(nil), m.Row(i)...)
+		rows[i] = m.Row(i)[:n:n]
 	}
 	return rows, nil
 }
@@ -395,10 +399,13 @@ func (s *System) DrugRelationEmbeddings() ([][]float64, error) {
 	if err := s.ensureTrained(); err != nil {
 		return nil, err
 	}
+	// Embeddings returns a private copy, so its rows are ours to share
+	// (capacity-clipped so appends cannot cross row boundaries).
 	z := s.ddiModel.Embeddings()
+	n := z.Cols()
 	rows := make([][]float64, z.Rows())
 	for i := range rows {
-		rows[i] = append([]float64(nil), z.Row(i)...)
+		rows[i] = z.Row(i)[:n:n]
 	}
 	return rows, nil
 }

@@ -9,33 +9,37 @@ import (
 
 // MSELoss returns the scalar mean-squared error between pred and the
 // constant target (Eq. 6 of the paper, used by DDIGCN edge regression).
+// The target may change between epochs; the retained node reads the
+// current one.
 func (t *Tape) MSELoss(pred *Node, target *mat.Dense) *Node {
 	if pred.Rows() != target.Rows() || pred.Cols() != target.Cols() {
 		panic(fmt.Sprintf("ag: MSELoss shape mismatch %dx%d vs %dx%d",
 			pred.Rows(), pred.Cols(), target.Rows(), target.Cols()))
 	}
-	n := float64(pred.Rows() * pred.Cols())
+	out, reused := t.next(opMSE, pred, nil, 1, 1, pred.requires)
+	out.ref = target
+	if !reused {
+		out.backward = func() {
+			if !pred.requires {
+				return
+			}
+			g := out.scratchMat(0, pred.Rows(), pred.Cols())
+			gd := g.Data()
+			pd, td := pred.Value.Data(), out.ref.Data()
+			scale := 2 * out.Grad.At(0, 0) / float64(len(pd))
+			for i, p := range pd {
+				gd[i] = scale * (p - td[i])
+			}
+			pred.accumGrad(g)
+		}
+	}
 	var sum float64
 	pd, td := pred.Value.Data(), target.Data()
 	for i, p := range pd {
 		d := p - td[i]
 		sum += d * d
 	}
-	v := mat.New(1, 1)
-	v.Set(0, 0, sum/n)
-	out := t.newNode(v, pred.requires, nil)
-	out.backward = func() {
-		if !pred.requires {
-			return
-		}
-		g := mat.New(pred.Rows(), pred.Cols())
-		gd := g.Data()
-		scale := 2 * out.Grad.At(0, 0) / n
-		for i, p := range pd {
-			gd[i] = scale * (p - td[i])
-		}
-		pred.accumGrad(g)
-	}
+	out.Value.Set(0, 0, sum/float64(len(pd)))
 	return out
 }
 
@@ -48,28 +52,30 @@ func (t *Tape) BCEWithLogits(logits *Node, target *mat.Dense) *Node {
 		panic(fmt.Sprintf("ag: BCEWithLogits shape mismatch %dx%d vs %dx%d",
 			logits.Rows(), logits.Cols(), target.Rows(), target.Cols()))
 	}
-	n := float64(logits.Rows() * logits.Cols())
+	out, reused := t.next(opBCE, logits, nil, 1, 1, logits.requires)
+	out.ref = target
+	if !reused {
+		out.backward = func() {
+			if !logits.requires {
+				return
+			}
+			g := out.scratchMat(0, logits.Rows(), logits.Cols())
+			gd := g.Data()
+			xd, yd := logits.Value.Data(), out.ref.Data()
+			scale := out.Grad.At(0, 0) / float64(len(xd))
+			for i, x := range xd {
+				gd[i] = scale * (mat.Sigmoid(x) - yd[i])
+			}
+			logits.accumGrad(g)
+		}
+	}
 	var sum float64
 	xd, yd := logits.Value.Data(), target.Data()
 	for i, x := range xd {
 		y := yd[i]
 		sum += math.Max(x, 0) - x*y + math.Log1p(math.Exp(-math.Abs(x)))
 	}
-	v := mat.New(1, 1)
-	v.Set(0, 0, sum/n)
-	out := t.newNode(v, logits.requires, nil)
-	out.backward = func() {
-		if !logits.requires {
-			return
-		}
-		g := mat.New(logits.Rows(), logits.Cols())
-		gd := g.Data()
-		scale := out.Grad.At(0, 0) / n
-		for i, x := range xd {
-			gd[i] = scale * (mat.Sigmoid(x) - yd[i])
-		}
-		logits.accumGrad(g)
-	}
+	out.Value.Set(0, 0, sum/float64(len(xd)))
 	return out
 }
 
@@ -80,6 +86,31 @@ func (t *Tape) WeightedBCEWithLogits(logits *Node, target, weight *mat.Dense) *N
 	if logits.Rows() != target.Rows() || logits.Cols() != target.Cols() ||
 		logits.Rows() != weight.Rows() || logits.Cols() != weight.Cols() {
 		panic("ag: WeightedBCEWithLogits shape mismatch")
+	}
+	out, reused := t.next(opWBCE, logits, nil, 1, 1, logits.requires)
+	out.ref, out.ref2 = target, weight
+	if !reused {
+		out.backward = func() {
+			if !logits.requires {
+				return
+			}
+			g := out.scratchMat(0, logits.Rows(), logits.Cols())
+			gd := g.Data()
+			xd, yd, wd := logits.Value.Data(), out.ref.Data(), out.ref2.Data()
+			wsum := out.ref2.SumAll()
+			if wsum <= 0 {
+				wsum = 1
+			}
+			scale := out.Grad.At(0, 0) / wsum
+			for i, x := range xd {
+				if wd[i] == 0 {
+					gd[i] = 0
+					continue
+				}
+				gd[i] = scale * wd[i] * (mat.Sigmoid(x) - yd[i])
+			}
+			logits.accumGrad(g)
+		}
 	}
 	wsum := weight.SumAll()
 	if wsum <= 0 {
@@ -95,44 +126,30 @@ func (t *Tape) WeightedBCEWithLogits(logits *Node, target, weight *mat.Dense) *N
 		y := yd[i]
 		sum += w * (math.Max(x, 0) - x*y + math.Log1p(math.Exp(-math.Abs(x))))
 	}
-	v := mat.New(1, 1)
-	v.Set(0, 0, sum/wsum)
-	out := t.newNode(v, logits.requires, nil)
-	out.backward = func() {
-		if !logits.requires {
-			return
-		}
-		g := mat.New(logits.Rows(), logits.Cols())
-		gd := g.Data()
-		scale := out.Grad.At(0, 0) / wsum
-		for i, x := range xd {
-			if wd[i] == 0 {
-				continue
-			}
-			gd[i] = scale * wd[i] * (mat.Sigmoid(x) - yd[i])
-		}
-		logits.accumGrad(g)
-	}
+	out.Value.Set(0, 0, sum/wsum)
 	return out
 }
 
 // L2Penalty returns 0.5*λ*‖a‖² as a scalar node, for weight decay folded
 // into the loss.
 func (t *Tape) L2Penalty(a *Node, lambda float64) *Node {
+	out, reused := t.next(opL2, a, nil, 1, 1, a.requires)
+	out.scalar = lambda
+	if !reused {
+		out.backward = func() {
+			if !a.requires {
+				return
+			}
+			g := out.scratchMat(0, a.Rows(), a.Cols())
+			g.CopyFrom(a.Value)
+			g.Scale(out.scalar * out.Grad.At(0, 0))
+			a.accumGrad(g)
+		}
+	}
 	var sum float64
 	for _, x := range a.Value.Data() {
 		sum += x * x
 	}
-	v := mat.New(1, 1)
-	v.Set(0, 0, 0.5*lambda*sum)
-	out := t.newNode(v, a.requires, nil)
-	out.backward = func() {
-		if !a.requires {
-			return
-		}
-		g := a.Value.Clone()
-		g.Scale(lambda * out.Grad.At(0, 0))
-		a.accumGrad(g)
-	}
+	out.Value.Set(0, 0, 0.5*lambda*sum)
 	return out
 }

@@ -1,0 +1,225 @@
+package ag
+
+import (
+	"math/rand"
+	"testing"
+
+	"dssddi/internal/mat"
+)
+
+// trainStep runs one MLP-ish forward/backward on tp and applies a plain
+// SGD update, returning the loss. idx and target vary per step to
+// exercise the per-epoch operand refresh of retained nodes.
+func trainStep(tp *Tape, x, w1, b1, w2 *mat.Dense, idx []int, target *mat.Dense) float64 {
+	h := tp.ReLU(tp.AddBias(tp.MatMul(tp.Const(x), tp.Param(w1)), tp.Param(b1)))
+	g := tp.GatherRows(h, idx)
+	logits := tp.MatMul(g, tp.Param(w2))
+	loss := tp.BCEWithLogits(logits, target)
+	tp.Backward(loss)
+	for _, p := range []*mat.Dense{w1, b1, w2} {
+		if gr := tp.Grad(p); gr != nil {
+			p.AddScaled(gr, -0.05)
+		}
+	}
+	return loss.Value.At(0, 0)
+}
+
+func cloneAll(ms ...*mat.Dense) []*mat.Dense {
+	out := make([]*mat.Dense, len(ms))
+	for i, m := range ms {
+		out[i] = m.Clone()
+	}
+	return out
+}
+
+// TestReplayMatchesFreshTapes is the core retained-tape equivalence
+// gate: training with one tape reset per step must be bitwise identical
+// to training with a fresh tape every step, including per-step index
+// and target changes (negative-sampling style).
+func TestReplayMatchesFreshTapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	x := mat.RandNormal(rng, 9, 5, 1)
+	mkParams := func() (w1, b1, w2 *mat.Dense) {
+		r := rand.New(rand.NewSource(7))
+		return mat.RandNormal(r, 5, 6, 0.5), mat.RandNormal(r, 1, 6, 0.1), mat.RandNormal(r, 6, 1, 0.5)
+	}
+	w1a, b1a, w2a := mkParams()
+	w1b, b1b, w2b := mkParams()
+
+	steps := 30
+	idxs := make([][]int, steps)
+	targets := make([]*mat.Dense, steps)
+	for s := range idxs {
+		idxs[s] = []int{rng.Intn(9), rng.Intn(9), rng.Intn(9), rng.Intn(9)}
+		tg := mat.New(4, 1)
+		for i := 0; i < 4; i++ {
+			if rng.Float64() < 0.5 {
+				tg.Set(i, 0, 1)
+			}
+		}
+		targets[s] = tg
+	}
+
+	retained := NewTape()
+	nodesAfterFirst := -1
+	for s := 0; s < steps; s++ {
+		retained.Reset()
+		lossA := trainStep(retained, x, w1a, b1a, w2a, idxs[s], targets[s])
+		if s == 0 {
+			nodesAfterFirst = retained.NumNodes()
+		} else if retained.NumNodes() != nodesAfterFirst {
+			t.Fatalf("step %d: retained graph grew from %d to %d nodes", s, nodesAfterFirst, retained.NumNodes())
+		}
+
+		fresh := NewTape()
+		lossB := trainStep(fresh, x, w1b, b1b, w2b, idxs[s], targets[s])
+		if lossA != lossB {
+			t.Fatalf("step %d: retained loss %v != fresh-tape loss %v", s, lossA, lossB)
+		}
+	}
+	for i, pair := range [][2]*mat.Dense{{w1a, w1b}, {b1a, b1b}, {w2a, w2b}} {
+		for k, v := range pair[0].Data() {
+			if v != pair[1].Data()[k] {
+				t.Fatalf("param %d diverged at element %d: %v vs %v", i, k, v, pair[1].Data()[k])
+			}
+		}
+	}
+}
+
+// TestReplayDivergenceRecovers checks that changing the op sequence
+// mid-training recycles the stale tail and keeps producing correct
+// results (structure may change; only the allocation win is lost).
+func TestReplayDivergenceRecovers(t *testing.T) {
+	w := mat.FromRows([][]float64{{1, 2}, {3, 4}})
+	x := mat.FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	tp := NewTape()
+
+	build := func(extraScale bool) float64 {
+		tp.Reset()
+		h := tp.MatMul(tp.Const(x), tp.Param(w))
+		if extraScale {
+			h = tp.Scale(h, 2)
+		}
+		loss := tp.Mean(h)
+		tp.Backward(loss)
+		return loss.Value.At(0, 0)
+	}
+
+	plain := build(false)
+	scaled := build(true) // diverges at the Scale op
+	again := build(false) // diverges back
+	if scaled != 2*plain {
+		t.Fatalf("diverged graph: got %v, want %v", scaled, 2*plain)
+	}
+	if again != plain {
+		t.Fatalf("re-diverged graph: got %v, want %v", again, plain)
+	}
+	// Gradient of mean over 6 elements: d/dw_kj = sum_i x_ik / 6.
+	g := tp.Grad(w)
+	if g == nil {
+		t.Fatal("no gradient after divergence")
+	}
+	want := mat.FromRows([][]float64{{2.0 / 6, 2.0 / 6}, {2.0 / 6, 2.0 / 6}})
+	for i, v := range g.Data() {
+		if v != want.Data()[i] {
+			t.Fatalf("grad[%d] = %v, want %v", i, v, want.Data()[i])
+		}
+	}
+}
+
+// TestDetachSurvivesReset ensures a detached value is not clobbered by
+// later epochs reusing the graph slot.
+func TestDetachSurvivesReset(t *testing.T) {
+	w := mat.FromRows([][]float64{{1, 2}, {3, 4}})
+	x := mat.FromRows([][]float64{{1, 1}})
+	tp := NewTape()
+
+	tp.Reset()
+	h := tp.MatMul(tp.Const(x), tp.Param(w))
+	kept := tp.Detach(h)
+	want := []float64{4, 6}
+	for i, v := range kept.Data() {
+		if v != want[i] {
+			t.Fatalf("detached[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+
+	w.Set(0, 0, 100)
+	tp.Reset()
+	h2 := tp.MatMul(tp.Const(x), tp.Param(w))
+	if h2.Value == kept {
+		t.Fatal("reset reused the detached matrix")
+	}
+	for i, v := range kept.Data() {
+		if v != want[i] {
+			t.Fatalf("detached value clobbered: [%d] = %v, want %v", i, v, want[i])
+		}
+	}
+	if got := h2.Value.At(0, 0); got != 103 {
+		t.Fatalf("recomputed value = %v, want 103", got)
+	}
+}
+
+// TestArenaOnOffBitwiseIdentical trains the same loop with the tape
+// arena enabled and disabled; every step's loss and the final
+// parameters must match bit for bit.
+func TestArenaOnOffBitwiseIdentical(t *testing.T) {
+	run := func(arena bool) (losses []float64, params []*mat.Dense) {
+		SetArenaEnabled(arena)
+		defer SetArenaEnabled(true)
+		rng := rand.New(rand.NewSource(3))
+		x := mat.RandNormal(rng, 8, 4, 1)
+		r := rand.New(rand.NewSource(11))
+		w1 := mat.RandNormal(r, 4, 5, 0.5)
+		b1 := mat.RandNormal(r, 1, 5, 0.1)
+		w2 := mat.RandNormal(r, 5, 1, 0.5)
+		tp := NewTape()
+		idxRng := rand.New(rand.NewSource(5))
+		for s := 0; s < 20; s++ {
+			idx := []int{idxRng.Intn(8), idxRng.Intn(8), idxRng.Intn(8)}
+			tg := mat.New(3, 1)
+			tg.Set(idxRng.Intn(3), 0, 1)
+			tp.Reset()
+			losses = append(losses, trainStep(tp, x, w1, b1, w2, idx, tg))
+		}
+		return losses, cloneAll(w1, b1, w2)
+	}
+	lossOn, paramsOn := run(true)
+	lossOff, paramsOff := run(false)
+	for i := range lossOn {
+		if lossOn[i] != lossOff[i] {
+			t.Fatalf("step %d: arena-on loss %v != arena-off loss %v", i, lossOn[i], lossOff[i])
+		}
+	}
+	for i := range paramsOn {
+		for k, v := range paramsOn[i].Data() {
+			if v != paramsOff[i].Data()[k] {
+				t.Fatalf("param %d element %d: arena-on %v != arena-off %v", i, k, v, paramsOff[i].Data()[k])
+			}
+		}
+	}
+}
+
+// TestReplayReusesArenaBuffers asserts the arena actually serves
+// recycled buffers once the graph has diverged and been rebuilt.
+func TestReplayReusesArenaBuffers(t *testing.T) {
+	w := mat.FromRows([][]float64{{1, 2}, {3, 4}})
+	x := mat.FromRows([][]float64{{1, 0}, {0, 1}})
+	tp := NewTape()
+	for s := 0; s < 4; s++ {
+		tp.Reset()
+		// Alternate structures so every other epoch recycles the tail
+		// into the arena and records afresh from it.
+		h := tp.MatMul(tp.Const(x), tp.Param(w))
+		if s%2 == 0 {
+			h = tp.Scale(h, 2)
+		} else {
+			h = tp.Add(h, h)
+		}
+		tp.Backward(tp.Mean(h))
+	}
+	_, hits, puts := tp.ArenaStats()
+	if puts == 0 || hits == 0 {
+		t.Fatalf("arena unused: hits=%d puts=%d", hits, puts)
+	}
+}

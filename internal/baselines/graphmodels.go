@@ -25,6 +25,10 @@ type gnnBase struct {
 	posV     []int
 	rng      *rand.Rand
 	params   nn.Params
+
+	// Reused per-epoch pair buffers (samplePairs refills in place).
+	pairP, pairV []int
+	pairY        *mat.Dense
 }
 
 func (g *gnnBase) prepare(d *dataset.Dataset, seed int64) {
@@ -47,41 +51,50 @@ func (g *gnnBase) prepare(d *dataset.Dataset, seed int64) {
 	}
 }
 
-// samplePairs draws this epoch's 1:1 positive/negative pairs.
+// samplePairs draws this epoch's 1:1 positive/negative pairs into the
+// reused pair buffers (no per-epoch allocation).
 func (g *gnnBase) samplePairs() (ps, vs []int, y *mat.Dense) {
 	nD := g.trainY.Cols()
-	yv := make([]float64, 0, 2*len(g.posP))
+	total := 2 * len(g.posP)
+	if cap(g.pairP) < total {
+		g.pairP = make([]int, 0, total)
+		g.pairV = make([]int, 0, total)
+		g.pairY = mat.New(total, 1)
+	}
+	ps, vs = g.pairP[:0], g.pairV[:0]
+	yd := g.pairY.Data()
 	for i := range g.posP {
 		p := g.posP[i]
 		ps = append(ps, p)
 		vs = append(vs, g.posV[i])
-		yv = append(yv, 1)
+		yd[len(ps)-1] = 1
 		for {
 			neg := g.rng.Intn(nD)
 			if g.trainY.At(p, neg) != 1 {
 				ps = append(ps, p)
 				vs = append(vs, neg)
-				yv = append(yv, 0)
+				yd[len(ps)-1] = 0
 				break
 			}
 		}
 	}
-	y = mat.New(len(yv), 1)
-	for i, v := range yv {
-		y.Set(i, 0, v)
-	}
-	return
+	g.pairP, g.pairV = ps, vs
+	return ps, vs, g.pairY
 }
 
-// trainLoop runs Adam over a forward closure producing the loss.
+// trainLoop runs Adam over a forward closure producing the loss. One
+// retained tape is reset and replayed per epoch, so steady-state
+// epochs reuse the previous epoch's graph and buffers.
 func (g *gnnBase) trainLoop(epochs int, lr, weightDecay float64, forward func(t *ag.Tape) *ag.Node) {
 	opt := optim.NewAdam(lr)
 	opt.WeightDecay = weightDecay
+	tape := ag.NewTape()
+	grads := make([]*mat.Dense, len(g.params.All()))
 	for e := 0; e < epochs; e++ {
-		t := ag.NewTape()
-		loss := forward(t)
-		t.Backward(loss)
-		grads := nn.CollectGrads(t, &g.params)
+		tape.Reset()
+		loss := forward(tape)
+		tape.Backward(loss)
+		nn.CollectGradsInto(grads, tape, &g.params)
 		optim.ClipGlobalNorm(grads, 5)
 		opt.Step(g.params.All(), grads)
 	}
@@ -217,7 +230,7 @@ func (l *LightGCN) PatientRepresentations(patients []int) *mat.Dense {
 func (l *LightGCN) DrugRepresentations() *mat.Dense {
 	t := ag.NewTape()
 	_, hd := l.encode(t)
-	return hd.Value.Clone()
+	return t.Detach(hd) // single-use tape: hand the value over, no copy
 }
 
 func applySigmoid(m *mat.Dense) {

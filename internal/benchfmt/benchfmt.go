@@ -1,0 +1,39 @@
+// Package benchfmt defines the machine-readable benchmark record
+// shared by cmd/benchtab (writer) and cmd/benchdiff (reader). Keeping
+// one definition prevents the two ends of the CI alloc-regression gate
+// from silently drifting apart.
+package benchfmt
+
+// Schema identifies the current report format.
+const Schema = "dssddi-bench/v2"
+
+// Section is one timed unit of table/figure work in the report.
+type Section struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	Allocs  uint64  `json:"allocs"`
+}
+
+// TrainBench is one training/serving throughput measurement, taken
+// with kernel workers pinned to 1 so allocs/op is deterministic and
+// comparable across machines.
+type TrainBench struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	Seconds     float64 `json:"seconds"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// Report is the full benchmark record CI archives per run.
+type Report struct {
+	Schema       string       `json:"schema"`
+	Profile      string       `json:"profile"`
+	Workers      int          `json:"workers"`
+	GoMaxProcs   int          `json:"go_max_procs"`
+	Seed         int64        `json:"seed"`
+	Training     []TrainBench `json:"training,omitempty"`
+	Sections     []Section    `json:"sections,omitempty"`
+	TotalSeconds float64      `json:"total_seconds"`
+}

@@ -1,0 +1,51 @@
+package ddi
+
+import (
+	"testing"
+
+	"dssddi/internal/mat"
+	"dssddi/internal/nn"
+	"dssddi/internal/optim"
+)
+
+// steadyEpochAllocs measures the allocations of one steady-state
+// training epoch (tape already recorded, optimizer warm) with serial
+// kernels, which makes the count deterministic and machine-independent.
+func steadyEpochAllocs(t *testing.T, backbone Backbone) float64 {
+	t.Helper()
+	mat.SetWorkers(1)
+	defer mat.SetWorkers(0)
+
+	cfg := DefaultConfig()
+	cfg.Backbone = backbone
+	cfg.Hidden = 16
+	cfg.Epochs = 3
+	m := NewModel(toyGraph(), cfg)
+	m.Train() // records the tape, caches transposes, sizes all buffers
+
+	opt := optim.NewAdam(cfg.LR)
+	step := func() {
+		m.tape.Reset()
+		_, loss := m.forward(m.tape)
+		m.tape.Backward(loss)
+		nn.CollectGradsInto(m.grads, m.tape, &m.params)
+		optim.ClipGlobalNorm(m.grads, 5)
+		opt.Step(m.params.All(), m.grads)
+	}
+	step() // warm the fresh optimizer's moment buffers
+	return testing.AllocsPerRun(10, step)
+}
+
+// TestSteadyStateEpochAllocBudget is the allocation-regression gate of
+// ISSUE 2: a steady-state DDIGCN training epoch must stay within a
+// fixed small allocation budget for every backbone.
+func TestSteadyStateEpochAllocBudget(t *testing.T) {
+	const budget = 100
+	for _, backbone := range []Backbone{GIN, SGCN, SiGAT, SNEA} {
+		t.Run(backbone.String(), func(t *testing.T) {
+			if got := steadyEpochAllocs(t, backbone); got > budget {
+				t.Fatalf("steady-state epoch allocates %.1f objects, budget %d", got, budget)
+			}
+		})
+	}
+}

@@ -10,9 +10,13 @@ import (
 	"dssddi/internal/sparse"
 )
 
-// encoder produces drug relation embeddings on a tape.
+// encoder produces drug relation embeddings: embed records the forward
+// pass on a tape for training; inferEmbed is the tape-free inference
+// path (plain Dense evaluation, no nodes or backward closures) and
+// must produce bitwise-identical values.
 type encoder interface {
 	embed(t *ag.Tape) *ag.Node // N x Hidden
+	inferEmbed() *mat.Dense    // N x Hidden, tape-free
 }
 
 // signEdges extracts the directed edge lists (both directions of every
@@ -64,10 +68,20 @@ func incidence(n int, dst []int) *sparse.CSR {
 }
 
 // broadcastScalar expands a 1x1 parameter to an n x 1 column on the
-// tape (used for GIN's learnable epsilon).
-func broadcastScalar(t *ag.Tape, p *mat.Dense, n int) *ag.Node {
-	idx := make([]int, n)
+// tape (used for GIN's learnable epsilon). idx is a caller-retained
+// all-zero index slice so replay epochs allocate nothing.
+func broadcastScalar(t *ag.Tape, p *mat.Dense, idx []int) *ag.Node {
 	return t.GatherRows(t.Param(p), idx)
+}
+
+// rowDot computes out[i] = a[i]·b[i] on plain matrices — the inference
+// counterpart of Tape.RowDot (same per-element order).
+func rowDot(a, b *mat.Dense) *mat.Dense {
+	out := mat.New(a.Rows(), 1)
+	for i := 0; i < a.Rows(); i++ {
+		out.Set(i, 0, mat.Dot(a.Row(i), b.Row(i)))
+	}
+	return out
 }
 
 // --- GIN -------------------------------------------------------------
@@ -82,6 +96,7 @@ type ginEncoder struct {
 	eps    []*mat.Dense // learnable 1x1 per layer
 	adj    *sparse.CSR
 	oneHot *mat.Dense
+	bidx   []int // retained all-zero index for the eps broadcast
 	hidden int
 }
 
@@ -90,6 +105,7 @@ func newGIN(rng *rand.Rand, ps *nn.Params, g *graph.Signed, hidden, layers int) 
 		input:  nn.NewLinear(rng, ps, g.N(), hidden),
 		adj:    meanAdj(g, graph.Synergy, graph.Antagonism),
 		oneHot: mat.OneHot(g.N()),
+		bidx:   make([]int, g.N()),
 		hidden: hidden,
 	}
 	for l := 0; l < layers; l++ {
@@ -104,13 +120,32 @@ func (e *ginEncoder) embed(t *ag.Tape) *ag.Node {
 	h := e.input.Apply(t, t.Const(e.oneHot))
 	for l, lin := range e.layers {
 		agg := t.SpMM(e.adj, h)
-		epsCol := broadcastScalar(t, e.eps[l], h.Rows())
+		epsCol := broadcastScalar(t, e.eps[l], e.bidx)
 		pre := t.Add(t.Add(h, t.ScaleRows(h, epsCol)), agg)
 		h = e.norms[l].Apply(t, lin.Apply(t, pre))
 		// The final layer stays linear so the inner-product decoder
 		// (Eq. 5) can reach the -1 antagonism target.
 		if l < len(e.layers)-1 {
 			h = t.ReLU(h)
+		}
+	}
+	return h
+}
+
+func (e *ginEncoder) inferEmbed() *mat.Dense {
+	h := e.input.Forward(e.oneHot)
+	for l, lin := range e.layers {
+		agg := e.adj.MulDense(h)
+		// pre = (h + eps*h) + agg, matching the tape's
+		// Add(Add(h, ScaleRows(h, eps)), agg) element order.
+		scaled := h.Clone()
+		scaled.Scale(e.eps[l].At(0, 0))
+		pre := h.Clone()
+		pre.AddScaled(scaled, 1)
+		pre.AddScaled(agg, 1)
+		h = e.norms[l].Forward(lin.Forward(pre))
+		if l < len(e.layers)-1 {
+			h = nn.ForwardActivation(h, nn.ActReLU)
 		}
 	}
 	return h
@@ -163,6 +198,18 @@ func (e *sgcnEncoder) embed(t *ag.Tape) *ag.Node {
 	return t.ConcatCols(hB, hU) // Eq. 4
 }
 
+func (e *sgcnEncoder) inferEmbed() *mat.Dense {
+	hB := e.inputB.Forward(e.oneHot)
+	hU := e.inputU.Forward(e.oneHot)
+	for l := range e.wB {
+		bIn := mat.ConcatCols(mat.ConcatCols(e.adjSyn.MulDense(hB), e.adjAnt.MulDense(hU)), hB)
+		uIn := mat.ConcatCols(mat.ConcatCols(e.adjSyn.MulDense(hU), e.adjAnt.MulDense(hB)), hU)
+		hB = nn.ForwardActivation(e.wB[l].Forward(bIn), nn.ActTanh)
+		hU = nn.ForwardActivation(e.wU[l].Forward(uIn), nn.ActTanh)
+	}
+	return mat.ConcatCols(hB, hU)
+}
+
 // --- Signed attention backbones ---------------------------------------
 
 // attnKind distinguishes the two attention backbones.
@@ -200,6 +247,7 @@ type attnEncoder struct {
 	incSyn  *sparse.CSR
 	incAnt  *sparse.CSR
 	oneHot  *mat.Dense
+	zeroAgg *mat.Dense // retained placeholder for a missing sign
 	hidden  int
 	haveSyn bool
 	haveAnt bool
@@ -221,6 +269,9 @@ func newAttn(rng *rand.Rand, ps *nn.Params, g *graph.Signed, hidden, layers int,
 	}
 	if e.haveAnt {
 		e.incAnt = incidence(g.N(), e.dstAnt)
+	}
+	if !e.haveSyn || !e.haveAnt {
+		e.zeroAgg = mat.New(g.N(), hidden)
 	}
 	for l := 0; l < layers; l++ {
 		e.combine = append(e.combine, nn.NewLinear(rng, ps, 3*hidden, hidden))
@@ -256,9 +307,9 @@ func (e *attnEncoder) attend(t *ag.Tape, h *ag.Node, l int, src, dst []int,
 
 func (e *attnEncoder) embed(t *ag.Tape) *ag.Node {
 	h := e.input.Apply(t, t.Const(e.oneHot))
-	// Zero aggregate placeholder for a missing sign, allocated at most
-	// once per layer (the common both-signs case allocates none).
-	zero := func() *ag.Node { return t.Const(mat.New(h.Rows(), e.hidden)) }
+	// Retained zero aggregate placeholder for a missing sign (the
+	// common both-signs case never touches it).
+	zero := func() *ag.Node { return t.Const(e.zeroAgg) }
 	for l := range e.combine {
 		var aggSyn, aggAnt *ag.Node
 		var attnS, attnA, projS, projA *nn.Linear
@@ -281,6 +332,66 @@ func (e *attnEncoder) embed(t *ag.Tape) *ag.Node {
 		// Keep the final layer linear for the signed decoder.
 		if l < len(e.combine)-1 {
 			h = t.ReLU(h)
+		}
+	}
+	return h
+}
+
+// attendInferSigned is the tape-free counterpart of attend: same
+// kernels and element formulas, so values match the tape bitwise.
+func (e *attnEncoder) attendInferSigned(h *mat.Dense, src, dst []int,
+	inc *sparse.CSR, attn, proj *nn.Linear) *mat.Dense {
+
+	hu := h.GatherRows(src)
+	hv := h.GatherRows(dst)
+	var logits *mat.Dense
+	if e.kind == kindSiGAT {
+		logits = attn.Forward(mat.ConcatCols(hu, hv))
+	} else {
+		logits = rowDot(proj.Forward(hu), proj.Forward(hv))
+	}
+	logits.ApplyInPlace(func(x float64) float64 { // LeakyReLU, slope 0.2
+		if x > 0 {
+			return x
+		}
+		return 0.2 * x
+	})
+	logits.ApplyInPlace(mat.Sigmoid)
+	msg := mat.New(hu.Rows(), hu.Cols())
+	for i := 0; i < hu.Rows(); i++ {
+		s := logits.At(i, 0)
+		hrow := hu.Row(i)
+		mrow := msg.Row(i)
+		for j, v := range hrow {
+			mrow[j] = s * v
+		}
+	}
+	return inc.MulDense(msg)
+}
+
+func (e *attnEncoder) inferEmbed() *mat.Dense {
+	h := e.input.Forward(e.oneHot)
+	for l := range e.combine {
+		var aggSyn, aggAnt *mat.Dense
+		var attnS, attnA, projS, projA *nn.Linear
+		if e.kind == kindSiGAT {
+			attnS, attnA = e.attnSyn[l], e.attnAnt[l]
+		} else {
+			projS, projA = e.projSyn[l], e.projAnt[l]
+		}
+		if e.haveSyn {
+			aggSyn = e.attendInferSigned(h, e.srcSyn, e.dstSyn, e.incSyn, attnS, projS)
+		} else {
+			aggSyn = e.zeroAgg
+		}
+		if e.haveAnt {
+			aggAnt = e.attendInferSigned(h, e.srcAnt, e.dstAnt, e.incAnt, attnA, projA)
+		} else {
+			aggAnt = e.zeroAgg
+		}
+		h = e.combine[l].Forward(mat.ConcatCols(mat.ConcatCols(aggSyn, aggAnt), h))
+		if l < len(e.combine)-1 {
+			h = nn.ForwardActivation(h, nn.ActReLU)
 		}
 	}
 	return h

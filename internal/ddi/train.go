@@ -19,6 +19,15 @@ type Model struct {
 	params  nn.Params
 	enc     encoder
 	targets *mat.Dense
+
+	// tape is retained across epochs: Reset + replay reuses the whole
+	// graph and its buffers, so epoch 2..N allocate ~nothing.
+	tape  *ag.Tape
+	grads []*mat.Dense
+
+	// emb caches the relation embeddings once training finishes, so
+	// read paths never rebuild the encoder forward pass.
+	emb *mat.Dense
 }
 
 // NewModel builds a DDIGCN over the given signed DDI graph, sampling
@@ -43,38 +52,51 @@ func NewModel(g *graph.Signed, cfg Config) *Model {
 	return m
 }
 
-// forward builds the full forward pass: embeddings, per-edge inner
-// product scores (Eq. 5) and MSE loss (Eq. 6).
-func (m *Model) forward() (*ag.Tape, *ag.Node, *ag.Node) {
-	t := ag.NewTape()
+// forward builds the full forward pass on the tape: embeddings,
+// per-edge inner product scores (Eq. 5) and MSE loss (Eq. 6).
+func (m *Model) forward(t *ag.Tape) (*ag.Node, *ag.Node) {
 	z := m.enc.embed(t)
 	zu := t.GatherRows(z, m.Graph.EdgeU)
 	zv := t.GatherRows(z, m.Graph.EdgeV)
 	scores := t.RowDot(zu, zv)
 	loss := t.MSELoss(scores, m.targets)
-	return t, z, loss
+	return z, loss
 }
 
 // Train fits the model for Config.Epochs, returning the loss history.
+// One tape serves the whole run: each epoch resets and replays it, so
+// steady-state epochs reuse every node, value, gradient and scratch
+// buffer of the previous one.
 func (m *Model) Train() []float64 {
 	opt := optim.NewAdam(m.Config.LR)
+	if m.tape == nil {
+		m.tape = ag.NewTape()
+	}
+	if len(m.grads) != len(m.params.All()) {
+		m.grads = make([]*mat.Dense, len(m.params.All()))
+	}
 	losses := make([]float64, 0, m.Config.Epochs)
 	for epoch := 0; epoch < m.Config.Epochs; epoch++ {
-		t, _, loss := m.forward()
-		t.Backward(loss)
-		grads := nn.CollectGrads(t, &m.params)
-		optim.ClipGlobalNorm(grads, 5)
-		opt.Step(m.params.All(), grads)
+		m.tape.Reset()
+		_, loss := m.forward(m.tape)
+		m.tape.Backward(loss)
+		nn.CollectGradsInto(m.grads, m.tape, &m.params)
+		optim.ClipGlobalNorm(m.grads, 5)
+		opt.Step(m.params.All(), m.grads)
 		losses = append(losses, loss.Value.At(0, 0))
 	}
+	m.emb = m.enc.inferEmbed()
 	return losses
 }
 
-// Embeddings runs a forward pass and returns the drug relation
-// embedding matrix (N x Hidden), detached from any tape.
+// Embeddings returns the drug relation embedding matrix (N x Hidden)
+// through the tape-free inference path. After Train it is served from
+// the post-training cache; the result is always a private copy.
 func (m *Model) Embeddings() *mat.Dense {
-	_, z, _ := m.forward()
-	return z.Value.Clone()
+	if m.emb != nil {
+		return m.emb.Clone()
+	}
+	return m.enc.inferEmbed()
 }
 
 // EdgeScore predicts the interaction score between two drugs from the
@@ -83,10 +105,18 @@ func (m *Model) EdgeScore(z *mat.Dense, u, v int) float64 {
 	return mat.Dot(z.Row(u), z.Row(v))
 }
 
-// Loss returns the current training loss (without stepping).
+// Loss returns the current training loss (without stepping), computed
+// on the tape-free inference path — no nodes, no gradients.
 func (m *Model) Loss() float64 {
-	_, _, loss := m.forward()
-	return loss.Value.At(0, 0)
+	z := m.enc.inferEmbed()
+	n := float64(len(m.Graph.Targets))
+	var sum float64
+	for i := range m.Graph.EdgeU {
+		s := mat.Dot(z.Row(m.Graph.EdgeU[i]), z.Row(m.Graph.EdgeV[i]))
+		d := s - m.Graph.Targets[i]
+		sum += d * d
+	}
+	return sum / n
 }
 
 // NumParams reports the trainable parameter count.

@@ -1,0 +1,128 @@
+package mat
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Arena is a size-bucketed recycler for the float64 buffers backing
+// Dense matrices. Get hands out a zeroed buffer (recycled when one of
+// the right size class is free, freshly allocated otherwise) and Put
+// returns a buffer for reuse. The autodiff tape in internal/ag parks
+// every node value and gradient here between epochs, which is what
+// makes steady-state training allocation-free.
+//
+// Buffers are grouped in power-of-two capacity classes, so a buffer
+// recycled at one shape can back any equal-or-smaller shape later.
+// Recycled buffers are re-zeroed before they are handed out, so a
+// matrix built from an Arena is bitwise identical to one built with
+// make — arena on/off never changes numerics.
+//
+// An Arena is NOT goroutine-safe: it is meant to be owned by one tape
+// (one training loop) at a time. A nil *Arena is valid everywhere and
+// behaves like plain allocation.
+type Arena struct {
+	free [maxClass + 1][][]float64
+
+	gets, hits, puts uint64
+}
+
+// maxClass bounds the bucket table: 1<<maxClass floats (32 GiB) is far
+// beyond any matrix in this repository.
+const maxClass = 32
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// class returns the smallest power-of-two exponent k with 1<<k >= n.
+func class(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Get returns a zeroed buffer of length n, recycling a free one when
+// available. A nil arena always allocates fresh.
+func (a *Arena) Get(n int) []float64 {
+	if n < 0 {
+		panic(fmt.Sprintf("mat: Arena.Get negative size %d", n))
+	}
+	if a == nil || n == 0 {
+		return make([]float64, n)
+	}
+	a.gets++
+	k := class(n)
+	if k > maxClass {
+		return make([]float64, n)
+	}
+	if l := len(a.free[k]); l > 0 {
+		buf := a.free[k][l-1]
+		a.free[k][l-1] = nil
+		a.free[k] = a.free[k][:l-1]
+		a.hits++
+		s := buf[:n]
+		for i := range s {
+			s[i] = 0
+		}
+		return s
+	}
+	return make([]float64, n, 1<<k)
+}
+
+// Put returns a buffer to the arena for reuse. Callers must not touch
+// the buffer afterwards. Buffers whose capacity is not a power of two
+// are filed under the largest class they can fully serve. A nil arena
+// drops the buffer.
+func (a *Arena) Put(s []float64) {
+	if a == nil || cap(s) == 0 {
+		return
+	}
+	a.puts++
+	k := bits.Len(uint(cap(s))) - 1 // largest k with 1<<k <= cap
+	if k > maxClass {
+		k = maxClass
+	}
+	a.free[k] = append(a.free[k], s[:cap(s)])
+}
+
+// Reset drops every free buffer, releasing the arena's memory to the
+// garbage collector. Buffers currently handed out are unaffected.
+func (a *Arena) Reset() {
+	if a == nil {
+		return
+	}
+	for k := range a.free {
+		a.free[k] = nil
+	}
+}
+
+// Stats reports lifetime counters: buffer requests, how many were
+// served from the free lists, and how many buffers were recycled in.
+func (a *Arena) Stats() (gets, hits, puts uint64) {
+	if a == nil {
+		return 0, 0, 0
+	}
+	return a.gets, a.hits, a.puts
+}
+
+// NewIn returns a zeroed rows x cols matrix whose backing buffer comes
+// from the arena (plain allocation when a is nil).
+func NewIn(a *Arena, rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, data: a.Get(rows * cols)}
+}
+
+// ReleaseTo returns m's backing buffer to the arena and clears m so any
+// later use fails fast. Only matrices built with NewIn on the same
+// arena (or buffers the arena may own) should be released.
+func (m *Dense) ReleaseTo(a *Arena) {
+	if m == nil {
+		return
+	}
+	a.Put(m.data)
+	m.data = nil
+	m.rows, m.cols = 0, 0
+}

@@ -1,0 +1,67 @@
+package mat
+
+import "testing"
+
+func TestArenaRecyclesBuffers(t *testing.T) {
+	a := NewArena()
+	b1 := a.Get(100)
+	if len(b1) != 100 {
+		t.Fatalf("Get(100) len %d", len(b1))
+	}
+	b1[0] = 42
+	a.Put(b1)
+	b2 := a.Get(90) // same power-of-two class: must reuse and re-zero
+	if cap(b2) != cap(b1[:cap(b1)]) {
+		t.Fatalf("expected recycled buffer, got cap %d want %d", cap(b2), cap(b1))
+	}
+	for i, v := range b2 {
+		if v != 0 {
+			t.Fatalf("recycled buffer not zeroed at %d: %v", i, v)
+		}
+	}
+	gets, hits, puts := a.Stats()
+	if gets != 2 || hits != 1 || puts != 1 {
+		t.Fatalf("stats gets=%d hits=%d puts=%d, want 2/1/1", gets, hits, puts)
+	}
+}
+
+func TestArenaResetDropsFreeLists(t *testing.T) {
+	a := NewArena()
+	a.Put(make([]float64, 64))
+	a.Reset()
+	_ = a.Get(64)
+	if _, hits, _ := a.Stats(); hits != 0 {
+		t.Fatalf("Get after Reset hit a free list (%d hits), want fresh allocation", hits)
+	}
+}
+
+func TestNilArenaFallsBackToHeap(t *testing.T) {
+	var a *Arena
+	s := a.Get(8)
+	if len(s) != 8 {
+		t.Fatalf("nil arena Get len %d", len(s))
+	}
+	a.Put(s)  // must not panic
+	a.Reset() // must not panic
+	m := NewIn(nil, 3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("NewIn(nil) shape %dx%d", m.Rows(), m.Cols())
+	}
+}
+
+func TestReleaseToClearsMatrix(t *testing.T) {
+	a := NewArena()
+	m := NewIn(a, 4, 4)
+	m.Set(0, 0, 7)
+	m.ReleaseTo(a)
+	if m.Rows() != 0 || m.Cols() != 0 {
+		t.Fatal("released matrix still reports a shape")
+	}
+	n := NewIn(a, 4, 4) // reuses the released buffer, zeroed
+	if n.At(0, 0) != 0 {
+		t.Fatal("recycled matrix not zeroed")
+	}
+	if _, hits, _ := a.Stats(); hits != 1 {
+		t.Fatal("NewIn after ReleaseTo should hit the free list")
+	}
+}

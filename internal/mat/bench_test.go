@@ -24,6 +24,7 @@ func benchMatMulInto(b *testing.B, m, k, n int) {
 		b.Run(w.name, func(b *testing.B) {
 			SetWorkers(w.n)
 			defer SetWorkers(0)
+			b.ReportAllocs()
 			b.SetBytes(int64(8 * m * n))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -47,6 +48,7 @@ func benchTrans(b *testing.B, f func(a, c *Dense) *Dense) {
 		b.Run(w.name, func(b *testing.B) {
 			SetWorkers(w.n)
 			defer SetWorkers(0)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				f(a, c)
@@ -64,6 +66,7 @@ func BenchmarkHadamardInto(b *testing.B) {
 		b.Run(w.name, func(b *testing.B) {
 			SetWorkers(w.n)
 			defer SetWorkers(0)
+			b.ReportAllocs()
 			b.SetBytes(int64(8 * 1024 * 512))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -81,6 +84,7 @@ func BenchmarkAddScaled(b *testing.B) {
 		b.Run(w.name, func(b *testing.B) {
 			SetWorkers(w.n)
 			defer SetWorkers(0)
+			b.ReportAllocs()
 			b.SetBytes(int64(8 * 1024 * 512))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

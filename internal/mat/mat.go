@@ -14,8 +14,6 @@ package mat
 import (
 	"fmt"
 	"math"
-
-	"dssddi/internal/par"
 )
 
 // Dense is a row-major dense matrix of float64.
@@ -94,11 +92,17 @@ func (m *Dense) check(i, j int) {
 }
 
 // Row returns row i as a slice sharing the matrix's backing store.
+// The panic lives in a separate function so Row inlines into kernels.
 func (m *Dense) Row(i int) []float64 {
 	if i < 0 || i >= m.rows {
-		panic(fmt.Sprintf("mat: row %d out of range %d", i, m.rows))
+		m.rowPanic(i)
 	}
 	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+//go:noinline
+func (m *Dense) rowPanic(i int) {
+	panic(fmt.Sprintf("mat: row %d out of range %d", i, m.rows))
 }
 
 // Col copies column j into a new slice.
@@ -154,12 +158,9 @@ func (m *Dense) AddScaled(other *Dense, s float64) {
 	if m.rows != other.rows || m.cols != other.cols {
 		panic(fmt.Sprintf("mat: AddScaled shape mismatch %dx%d vs %dx%d", m.rows, m.cols, other.rows, other.cols))
 	}
-	md, od := m.data, other.data
-	forEachElem(len(md), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			md[i] += s * od[i]
-		}
-	})
+	t := getKern(kAddScaled)
+	t.dst, t.a, t.s = m, other, s
+	t.run(len(m.data), ewGrain)
 }
 
 // T returns the transpose of m as a new matrix.
@@ -194,9 +195,7 @@ func MatMulInto(dst, a, b *Dense) {
 		panic(fmt.Sprintf("mat: MatMulInto shape mismatch dst %dx%d = %dx%d * %dx%d",
 			dst.rows, dst.cols, a.rows, a.cols, b.rows, b.cols))
 	}
-	par.For(a.rows, rowGrain(a.cols*b.cols), func(lo, hi int) {
-		matMulRange(dst, a, b, lo, hi)
-	})
+	getKern(kMatMul).runMM(dst, a, b, a.rows, rowGrain(a.cols*b.cols))
 }
 
 // MatMulTransA computes aᵀ*b into a new matrix (a is m x n, result n x p).
@@ -253,26 +252,71 @@ func (m *Dense) Apply(f func(float64) float64) *Dense {
 
 // ConcatCols returns [a | b] (horizontal concatenation).
 func ConcatCols(a, b *Dense) *Dense {
+	out := New(a.rows, a.cols+b.cols)
+	ConcatColsInto(out, a, b)
+	return out
+}
+
+// ConcatColsInto computes dst = [a | b], reusing dst's storage.
+func ConcatColsInto(dst, a, b *Dense) {
 	if a.rows != b.rows {
 		panic(fmt.Sprintf("mat: ConcatCols row mismatch %d vs %d", a.rows, b.rows))
 	}
-	out := New(a.rows, a.cols+b.cols)
-	for i := 0; i < a.rows; i++ {
-		copy(out.Row(i)[:a.cols], a.Row(i))
-		copy(out.Row(i)[a.cols:], b.Row(i))
+	if dst.rows != a.rows || dst.cols != a.cols+b.cols {
+		panic(fmt.Sprintf("mat: ConcatColsInto shape mismatch dst %dx%d = [%dx%d | %dx%d]",
+			dst.rows, dst.cols, a.rows, a.cols, b.rows, b.cols))
 	}
-	return out
+	for i := 0; i < a.rows; i++ {
+		copy(dst.Row(i)[:a.cols], a.Row(i))
+		copy(dst.Row(i)[a.cols:], b.Row(i))
+	}
 }
 
 // GatherRows returns a new matrix whose i-th row is m's idx[i]-th row.
 func (m *Dense) GatherRows(idx []int) *Dense {
 	out := New(len(idx), m.cols)
-	par.For(len(idx), rowGrain(m.cols), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			copy(out.Row(i), m.Row(idx[i]))
-		}
-	})
+	GatherRowsInto(out, m, idx)
 	return out
+}
+
+// GatherRowsInto computes dst[i] = src[idx[i]], reusing dst's storage.
+func GatherRowsInto(dst, src *Dense, idx []int) {
+	if dst.rows != len(idx) || dst.cols != src.cols {
+		panic(fmt.Sprintf("mat: GatherRowsInto shape mismatch dst %dx%d, src %dx%d, %d indices",
+			dst.rows, dst.cols, src.rows, src.cols, len(idx)))
+	}
+	t := getKern(kGather)
+	t.dst, t.a, t.idx = dst, src, idx
+	t.run(len(idx), rowGrain(src.cols))
+}
+
+// AddInto computes dst = a+b in one fused pass, reusing dst's storage
+// (dst may alias a or b).
+func AddInto(dst, a, b *Dense) {
+	sameShape("AddInto", dst, a)
+	sameShape("AddInto", a, b)
+	t := getKern(kAddEl)
+	t.dst, t.a, t.b = dst, a, b
+	t.run(len(dst.data), ewGrain)
+}
+
+// SubInto computes dst = a-b in one fused pass, reusing dst's storage
+// (dst may alias a or b).
+func SubInto(dst, a, b *Dense) {
+	sameShape("SubInto", dst, a)
+	sameShape("SubInto", a, b)
+	t := getKern(kSubEl)
+	t.dst, t.a, t.b = dst, a, b
+	t.run(len(dst.data), ewGrain)
+}
+
+// ScaleInto computes dst = s*a in one fused pass, reusing dst's
+// storage (dst may alias a).
+func ScaleInto(dst, a *Dense, s float64) {
+	sameShape("ScaleInto", dst, a)
+	t := getKern(kScaleEl)
+	t.dst, t.a, t.s = dst, a, s
+	t.run(len(dst.data), ewGrain)
 }
 
 func sameShape(op string, a, b *Dense) {

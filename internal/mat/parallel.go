@@ -1,6 +1,8 @@
 package mat
 
 import (
+	"sync"
+
 	"dssddi/internal/par"
 )
 
@@ -11,6 +13,10 @@ import (
 // element-wise ops) and accumulates in the same per-element order as
 // the serial loop, so results are bitwise identical for any worker
 // count. SetWorkers(1) runs everything on the calling goroutine.
+//
+// Every kernel dispatches through a pooled kernTask worker rather than
+// a func literal, so a kernel invocation performs no heap allocation —
+// the hot training loop calls these hundreds of times per epoch.
 
 // SetWorkers sets the process-wide worker count used by all mat and
 // sparse kernels. n <= 0 resets to runtime.GOMAXPROCS(0); 1 restores
@@ -50,9 +56,166 @@ func RowGrain(workPerRow int) int {
 // rowGrain is the package-internal spelling.
 func rowGrain(workPerRow int) int { return RowGrain(workPerRow) }
 
+// Kernel kinds dispatched by kernTask.Chunk.
+const (
+	kMatMul uint8 = iota
+	kTransAOver
+	kTransAAdd
+	kTransBOver
+	kTransBAdd
+	kHadamard
+	kAddHadamard
+	kAddScaled
+	kApply
+	kApplyInPlace
+	kZipAdd
+	kZipSet
+	kGather
+	kRepRow
+	kAddRow
+	kAddEl
+	kSubEl
+	kScaleEl
+)
+
+// kernTask carries one kernel invocation's operands through the worker
+// pool. Instances are recycled via kernPool so kernels allocate
+// nothing per call.
+type kernTask struct {
+	kind      uint8
+	dst, a, b *Dense
+	f         func(float64) float64
+	zf        func(av, bv float64) float64
+	s         float64
+	idx       []int
+	row       []float64
+}
+
+var kernPool = sync.Pool{New: func() any { return new(kernTask) }}
+
+func getKern(kind uint8) *kernTask {
+	t := kernPool.Get().(*kernTask)
+	t.kind = kind
+	return t
+}
+
+// run dispatches the task over [0, n) and recycles it.
+func (t *kernTask) run(n, grain int) {
+	par.Run(n, grain, t)
+	*t = kernTask{}
+	kernPool.Put(t)
+}
+
+// Chunk implements par.Worker.
+func (t *kernTask) Chunk(lo, hi int) {
+	switch t.kind {
+	case kMatMul:
+		matMulRange(t.dst, t.a, t.b, lo, hi)
+	case kTransAOver:
+		matMulTransARange(t.dst, t.a, t.b, lo, hi, true)
+	case kTransAAdd:
+		matMulTransARange(t.dst, t.a, t.b, lo, hi, false)
+	case kTransBOver:
+		matMulTransBRange(t.dst, t.a, t.b, lo, hi, true)
+	case kTransBAdd:
+		matMulTransBRange(t.dst, t.a, t.b, lo, hi, false)
+	case kHadamard:
+		dd, ad, bd := t.dst.data, t.a.data, t.b.data
+		for i := lo; i < hi; i++ {
+			dd[i] = ad[i] * bd[i]
+		}
+	case kAddHadamard:
+		dd, ad, bd := t.dst.data, t.a.data, t.b.data
+		for i := lo; i < hi; i++ {
+			dd[i] += ad[i] * bd[i]
+		}
+	case kAddScaled:
+		dd, ad, s := t.dst.data, t.a.data, t.s
+		for i := lo; i < hi; i++ {
+			dd[i] += s * ad[i]
+		}
+	case kApply:
+		dd, ad, f := t.dst.data, t.a.data, t.f
+		for i := lo; i < hi; i++ {
+			dd[i] = f(ad[i])
+		}
+	case kApplyInPlace:
+		dd, f := t.dst.data, t.f
+		for i := lo; i < hi; i++ {
+			dd[i] = f(dd[i])
+		}
+	case kZipAdd:
+		dd, ad, bd, zf := t.dst.data, t.a.data, t.b.data, t.zf
+		for i := lo; i < hi; i++ {
+			dd[i] += zf(ad[i], bd[i])
+		}
+	case kZipSet:
+		dd, ad, bd, zf := t.dst.data, t.a.data, t.b.data, t.zf
+		for i := lo; i < hi; i++ {
+			dd[i] = zf(ad[i], bd[i])
+		}
+	case kGather:
+		for i := lo; i < hi; i++ {
+			copy(t.dst.Row(i), t.a.Row(t.idx[i]))
+		}
+	case kRepRow:
+		for i := lo; i < hi; i++ {
+			copy(t.dst.Row(i), t.row)
+		}
+	case kAddRow:
+		for i := lo; i < hi; i++ {
+			arow := t.a.Row(i)
+			drow := t.dst.Row(i)
+			for j, av := range arow {
+				drow[j] = av + t.row[j]
+			}
+		}
+	case kAddEl:
+		dd, ad, bd := t.dst.data, t.a.data, t.b.data
+		for i := lo; i < hi; i++ {
+			dd[i] = ad[i] + bd[i]
+		}
+	case kSubEl:
+		dd, ad, bd := t.dst.data, t.a.data, t.b.data
+		for i := lo; i < hi; i++ {
+			dd[i] = ad[i] - bd[i]
+		}
+	case kScaleEl:
+		dd, ad, s := t.dst.data, t.a.data, t.s
+		for i := lo; i < hi; i++ {
+			dd[i] = s * ad[i]
+		}
+	}
+}
+
+// scratchPool recycles the per-chunk accumulation buffers of the fused
+// gradient kernels (mat's transposed matmuls and sparse's SpMM — see
+// GetScratch). Stored as *[]float64 so Put doesn't allocate a box.
+var scratchPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// GetScratch returns a zeroed scratch buffer of length n from a
+// process-wide pool. Pair with PutScratch. Safe for concurrent use
+// (pool workers grab chunk scratch through it).
+func GetScratch(n int) *[]float64 {
+	p := scratchPool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+		return p
+	}
+	*p = (*p)[:n]
+	for i := range *p {
+		(*p)[i] = 0
+	}
+	return p
+}
+
+// PutScratch returns a buffer obtained from GetScratch to the pool.
+func PutScratch(p *[]float64) { scratchPool.Put(p) }
+
 // matMulRange computes dst[lo:hi] = a[lo:hi] * b with a k-blocked ikj
-// loop. Each output row is accumulated in ascending-k order, matching
-// the serial kernel exactly.
+// loop. Four k-panels are fused per pass over the output row, cutting
+// the dst loads/stores to a quarter; rows are independent, so results
+// stay bitwise identical for any worker count or chunking.
 func matMulRange(dst, a, b *Dense, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		drow := dst.Row(i)
@@ -69,7 +232,22 @@ func matMulRange(dst, a, b *Dense, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			arow := a.Row(i)[kb:ke]
 			drow := dst.Row(i)
-			for k, av := range arow {
+			k := 0
+			for ; k+3 < len(arow); k += 4 {
+				a0, a1, a2, a3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+				if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+					continue // one-hot and sparse-ish inputs skip whole panels
+				}
+				b0 := b.Row(kb + k)
+				b1 := b.Row(kb + k + 1)[:len(b0)]
+				b2 := b.Row(kb + k + 2)[:len(b0)]
+				b3 := b.Row(kb + k + 3)[:len(b0)]
+				for j, bv := range b0 {
+					drow[j] += (a0*bv + a1*b1[j]) + (a2*b2[j] + a3*b3[j])
+				}
+			}
+			for ; k < len(arow); k++ {
+				av := arow[k]
 				if av == 0 {
 					continue
 				}
@@ -85,11 +263,13 @@ func matMulRange(dst, a, b *Dense, lo, hi int) {
 // matMulTransARange computes dst[lo:hi] = (or +=) (aᵀ*b)[lo:hi].
 // Output rows index a's columns; terms accumulate in ascending-k
 // order. Overwrite mode zeroes the owned dst rows and accumulates in
-// place; accumulate mode builds the product in a scratch block and
-// lands it on dst with one add per element (matching the
+// place; accumulate mode builds the product in a pooled scratch block
+// and lands it on dst with one add per element (matching the
 // temp-matrix-then-AddScaled numerics of the serial gradient path).
 func matMulTransARange(dst, a, b *Dense, lo, hi int, overwrite bool) {
-	out, base := dst, 0
+	cols := dst.cols
+	var out []float64
+	var scratch *[]float64
 	if overwrite {
 		for i := lo; i < hi; i++ {
 			drow := dst.Row(i)
@@ -97,10 +277,30 @@ func matMulTransARange(dst, a, b *Dense, lo, hi int, overwrite bool) {
 				drow[j] = 0
 			}
 		}
+		out = dst.data[lo*cols : hi*cols]
 	} else {
-		out, base = New(hi-lo, dst.cols), lo
+		scratch = GetScratch((hi - lo) * cols)
+		out = *scratch
 	}
-	for k := 0; k < a.rows; k++ {
+	k := 0
+	for ; k+3 < a.rows; k += 4 { // four k-panels per pass over the output
+		ar0, ar1, ar2, ar3 := a.Row(k), a.Row(k+1), a.Row(k+2), a.Row(k+3)
+		br0 := b.Row(k)
+		br1 := b.Row(k + 1)[:len(br0)]
+		br2 := b.Row(k + 2)[:len(br0)]
+		br3 := b.Row(k + 3)[:len(br0)]
+		for i := lo; i < hi; i++ {
+			a0, a1, a2, a3 := ar0[i], ar1[i], ar2[i], ar3[i]
+			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+				continue
+			}
+			drow := out[(i-lo)*cols : (i-lo+1)*cols]
+			for j, bv := range br0 {
+				drow[j] += (a0*bv + a1*br1[j]) + (a2*br2[j] + a3*br3[j])
+			}
+		}
+	}
+	for ; k < a.rows; k++ {
 		arow := a.Row(k)
 		brow := b.Row(k)
 		for i := lo; i < hi; i++ {
@@ -108,7 +308,7 @@ func matMulTransARange(dst, a, b *Dense, lo, hi int, overwrite bool) {
 			if av == 0 {
 				continue
 			}
-			drow := out.Row(i - base)
+			drow := out[(i-lo)*cols : (i-lo+1)*cols]
 			for j, bv := range brow {
 				drow[j] += av * bv
 			}
@@ -119,11 +319,32 @@ func matMulTransARange(dst, a, b *Dense, lo, hi int, overwrite bool) {
 	}
 	for i := lo; i < hi; i++ {
 		drow := dst.Row(i)
-		brow := out.Row(i - lo)
-		for j, bv := range brow {
-			drow[j] += bv
+		srow := out[(i-lo)*cols : (i-lo+1)*cols]
+		for j, sv := range srow {
+			drow[j] += sv
 		}
 	}
+	PutScratch(scratch)
+}
+
+// dot4 is the transposed-matmul inner product: four interleaved
+// accumulators break the FP-add dependency chain. It reassociates the
+// sum relative to the plain Dot (which the tape's RowSum must keep
+// matching), so it is private to these kernels.
+func dot4(a, b []float64) float64 {
+	var s0, s1, s2, s3 float64
+	k := 0
+	b = b[:len(a)]
+	for ; k+3 < len(a); k += 4 {
+		s0 += a[k] * b[k]
+		s1 += a[k+1] * b[k+1]
+		s2 += a[k+2] * b[k+2]
+		s3 += a[k+3] * b[k+3]
+	}
+	for ; k < len(a); k++ {
+		s0 += a[k] * b[k]
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
 // matMulTransBRange computes dst[lo:hi] = (or +=) (a*bᵀ)[lo:hi] as a
@@ -133,7 +354,7 @@ func matMulTransBRange(dst, a, b *Dense, lo, hi int, overwrite bool) {
 		arow := a.Row(i)
 		drow := dst.Row(i)
 		for j := 0; j < b.rows; j++ {
-			v := Dot(arow, b.Row(j))
+			v := dot4(arow, b.Row(j))
 			if overwrite {
 				drow[j] = v
 			} else {
@@ -143,38 +364,35 @@ func matMulTransBRange(dst, a, b *Dense, lo, hi int, overwrite bool) {
 	}
 }
 
+func (t *kernTask) runMM(dst, a, b *Dense, n, grain int) {
+	t.dst, t.a, t.b = dst, a, b
+	t.run(n, grain)
+}
+
 // MatMulTransAInto computes dst = aᵀ*b. dst must be a.cols x b.cols.
 func MatMulTransAInto(dst, a, b *Dense) {
 	checkTransA(dst, a, b)
-	par.For(a.cols, rowGrain(a.rows*b.cols), func(lo, hi int) {
-		matMulTransARange(dst, a, b, lo, hi, true)
-	})
+	getKern(kTransAOver).runMM(dst, a, b, a.cols, rowGrain(a.rows*b.cols))
 }
 
 // MatMulTransAAddInto accumulates dst += aᵀ*b, the fused form of the
 // dB = Aᵀ*dOut gradient update (no temporary gradient matrix).
 func MatMulTransAAddInto(dst, a, b *Dense) {
 	checkTransA(dst, a, b)
-	par.For(a.cols, rowGrain(a.rows*b.cols), func(lo, hi int) {
-		matMulTransARange(dst, a, b, lo, hi, false)
-	})
+	getKern(kTransAAdd).runMM(dst, a, b, a.cols, rowGrain(a.rows*b.cols))
 }
 
 // MatMulTransBInto computes dst = a*bᵀ. dst must be a.rows x b.rows.
 func MatMulTransBInto(dst, a, b *Dense) {
 	checkTransB(dst, a, b)
-	par.For(a.rows, rowGrain(a.cols*b.rows), func(lo, hi int) {
-		matMulTransBRange(dst, a, b, lo, hi, true)
-	})
+	getKern(kTransBOver).runMM(dst, a, b, a.rows, rowGrain(a.cols*b.rows))
 }
 
 // MatMulTransBAddInto accumulates dst += a*bᵀ, the fused form of the
 // dA = dOut*Bᵀ gradient update.
 func MatMulTransBAddInto(dst, a, b *Dense) {
 	checkTransB(dst, a, b)
-	par.For(a.rows, rowGrain(a.cols*b.rows), func(lo, hi int) {
-		matMulTransBRange(dst, a, b, lo, hi, false)
-	})
+	getKern(kTransBAdd).runMM(dst, a, b, a.rows, rowGrain(a.cols*b.rows))
 }
 
 func checkTransA(dst, a, b *Dense) {
@@ -189,19 +407,11 @@ func checkTransB(dst, a, b *Dense) {
 	}
 }
 
-// forEachElem partitions the flat element range [0, n) across workers.
-func forEachElem(n int, fn func(lo, hi int)) { par.For(n, ewGrain, fn) }
-
 // HadamardInto computes dst = a⊙b element-wise.
 func HadamardInto(dst, a, b *Dense) {
 	sameShape("HadamardInto", dst, a)
 	sameShape("HadamardInto", a, b)
-	dd, ad, bd := dst.data, a.data, b.data
-	forEachElem(len(dd), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			dd[i] = ad[i] * bd[i]
-		}
-	})
+	getKern(kHadamard).runMM(dst, a, b, len(dst.data), ewGrain)
 }
 
 // AddHadamard accumulates m += a⊙b element-wise — the fused form of
@@ -209,33 +419,22 @@ func HadamardInto(dst, a, b *Dense) {
 func (m *Dense) AddHadamard(a, b *Dense) {
 	sameShape("AddHadamard", m, a)
 	sameShape("AddHadamard", a, b)
-	md, ad, bd := m.data, a.data, b.data
-	forEachElem(len(md), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			md[i] += ad[i] * bd[i]
-		}
-	})
+	getKern(kAddHadamard).runMM(m, a, b, len(m.data), ewGrain)
 }
 
 // ApplyInto computes dst = f(src) element-wise.
 func ApplyInto(dst, src *Dense, f func(float64) float64) {
 	sameShape("ApplyInto", dst, src)
-	dd, sd := dst.data, src.data
-	forEachElem(len(dd), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			dd[i] = f(sd[i])
-		}
-	})
+	t := getKern(kApply)
+	t.dst, t.a, t.f = dst, src, f
+	t.run(len(dst.data), ewGrain)
 }
 
 // ApplyInPlace overwrites every element with f(element).
 func (m *Dense) ApplyInPlace(f func(float64) float64) {
-	d := m.data
-	forEachElem(len(d), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			d[i] = f(d[i])
-		}
-	})
+	t := getKern(kApplyInPlace)
+	t.dst, t.f = m, f
+	t.run(len(m.data), ewGrain)
 }
 
 // ZipAddInto accumulates dst += f(a, b) element-wise. The autodiff
@@ -244,21 +443,48 @@ func (m *Dense) ApplyInPlace(f func(float64) float64) {
 func ZipAddInto(dst, a, b *Dense, f func(av, bv float64) float64) {
 	sameShape("ZipAddInto", dst, a)
 	sameShape("ZipAddInto", a, b)
-	dd, ad, bd := dst.data, a.data, b.data
-	forEachElem(len(dd), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			dd[i] += f(ad[i], bd[i])
-		}
-	})
+	t := getKern(kZipAdd)
+	t.dst, t.a, t.b, t.zf = dst, a, b, f
+	t.run(len(dst.data), ewGrain)
+}
+
+// ZipInto computes dst = f(a, b) element-wise — the overwrite form of
+// ZipAddInto, used when the destination receives its first gradient
+// contribution of the epoch (no zero + add passes).
+func ZipInto(dst, a, b *Dense, f func(av, bv float64) float64) {
+	sameShape("ZipInto", dst, a)
+	sameShape("ZipInto", a, b)
+	t := getKern(kZipSet)
+	t.dst, t.a, t.b, t.zf = dst, a, b, f
+	t.run(len(dst.data), ewGrain)
 }
 
 // RepRow returns an n-row matrix whose every row is a copy of row.
 func RepRow(row []float64, n int) *Dense {
 	out := New(n, len(row))
-	par.For(n, rowGrain(len(row)), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			copy(out.Row(i), row)
-		}
-	})
+	RepRowInto(out, row)
 	return out
+}
+
+// RepRowInto fills every row of dst with a copy of row.
+func RepRowInto(dst *Dense, row []float64) {
+	if dst.cols != len(row) {
+		panic("mat: RepRowInto width mismatch")
+	}
+	t := getKern(kRepRow)
+	t.dst, t.row = dst, row
+	t.run(dst.rows, rowGrain(len(row)))
+}
+
+// AddRowInto computes dst[i][j] = a[i][j] + row[j] — the broadcast bias
+// add of a linear layer, shared by the tape op and the tape-free
+// inference path so both produce bitwise-identical values.
+func AddRowInto(dst, a *Dense, row []float64) {
+	sameShape("AddRowInto", dst, a)
+	if a.cols != len(row) {
+		panic("mat: AddRowInto width mismatch")
+	}
+	t := getKern(kAddRow)
+	t.dst, t.a, t.row = dst, a, row
+	t.run(dst.rows, rowGrain(len(row)))
 }

@@ -1,0 +1,50 @@
+package md
+
+import (
+	"testing"
+
+	"dssddi/internal/mat"
+	"dssddi/internal/nn"
+	"dssddi/internal/optim"
+)
+
+// TestSteadyStateEpochAllocBudget is the MDGCN half of the ISSUE 2
+// allocation gate: once the tape is recorded and the counterfactual
+// cache is warm, a training epoch must stay within a fixed small
+// allocation budget. Serial kernels keep the count deterministic.
+func TestSteadyStateEpochAllocBudget(t *testing.T) {
+	const budget = 100
+	mat.SetWorkers(1)
+	defer mat.SetWorkers(0)
+
+	d := smallDataset(31)
+	cfg := DefaultConfig()
+	cfg.Hidden = 16
+	cfg.Epochs = 40 // enough epochs that the miner cache covers most pairs
+	cfg.SelectOnVal = false
+	m := NewModel(d, nil, cfg)
+	m.Train()
+
+	opt := optim.NewAdam(cfg.LR)
+	opt.WeightDecay = cfg.WeightDecay
+	step := func() {
+		ps, vs, y, tr, cfY, cfT := m.epochPairs()
+		tp := m.tape
+		tp.Reset()
+		hPat, hDrug := m.encode(tp)
+		logits := m.decode(tp, hPat, hDrug, ps, vs, tr)
+		loss := tp.BCEWithLogits(logits, y)
+		if cfY != nil && m.Config.Delta > 0 {
+			cfLogits := m.decode(tp, hPat, hDrug, ps, vs, cfT)
+			loss = tp.Add(loss, tp.Scale(tp.BCEWithLogits(cfLogits, cfY), m.Config.Delta))
+		}
+		tp.Backward(loss)
+		nn.CollectGradsInto(m.grads, tp, &m.params)
+		optim.ClipGlobalNorm(m.grads, 5)
+		opt.Step(m.params.All(), m.grads)
+	}
+	step() // warm the fresh optimizer
+	if got := testing.AllocsPerRun(10, step); got > budget {
+		t.Fatalf("steady-state MDGCN epoch allocates %.1f objects, budget %d", got, budget)
+	}
+}

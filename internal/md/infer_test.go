@@ -1,0 +1,57 @@
+package md
+
+import (
+	"math/rand"
+	"testing"
+
+	"dssddi/internal/ag"
+	"dssddi/internal/mat"
+)
+
+// TestInferMatchesTapeEncode trains a small MDGCN and checks the
+// tape-free inference path (drug representations and scoring logits)
+// is bitwise identical to the autodiff-tape forward pass it replaced.
+func TestInferMatchesTapeEncode(t *testing.T) {
+	d := smallDataset(21)
+	rng := rand.New(rand.NewSource(9))
+	relEmb := mat.RandNormal(rng, d.NumDrugs(), 6, 0.5)
+
+	cfg := DefaultConfig()
+	cfg.Hidden = 8
+	cfg.Epochs = 6
+	cfg.SelectOnVal = false
+	m := NewModel(d, relEmb, cfg)
+	m.Train()
+
+	tape := ag.NewTape()
+	hPatNode, hDrugNode := m.encode(tape)
+
+	hDrug := m.inferDrugReps()
+	wantDrug := hDrugNode.Value
+	if hDrug.Rows() != wantDrug.Rows() || hDrug.Cols() != wantDrug.Cols() {
+		t.Fatalf("drug reps shape %dx%d, want %dx%d", hDrug.Rows(), hDrug.Cols(), wantDrug.Rows(), wantDrug.Cols())
+	}
+	for i, v := range hDrug.Data() {
+		if v != wantDrug.Data()[i] {
+			t.Fatalf("drug rep element %d: infer %v != tape %v", i, v, wantDrug.Data()[i])
+		}
+	}
+	// The cached representations Train stored must match too.
+	for i, v := range m.drugCache.Data() {
+		if v != wantDrug.Data()[i] {
+			t.Fatalf("cached drug rep element %d: %v != tape %v", i, v, wantDrug.Data()[i])
+		}
+	}
+
+	// Decode equivalence on a handful of (patient, drug) pairs.
+	pIdx := []int{0, 0, 1, 2}
+	vIdx := []int{0, 1, 2, 3}
+	tr := column([]float64{0, 1, 0, 1})
+	want := m.decode(tape, hPatNode, hDrugNode, pIdx, vIdx, tr).Value
+	got := m.decodeInfer(m.fcPat.Forward(m.trainX), hDrug, pIdx, vIdx, tr)
+	for i, v := range got.Data() {
+		if v != want.Data()[i] {
+			t.Fatalf("logit %d: infer %v != tape %v", i, v, want.Data()[i])
+		}
+	}
+}

@@ -86,6 +86,19 @@ type Model struct {
 	posP, posV []int
 	miner      *Miner
 	rng        *rand.Rand
+
+	// Retained training state: one tape replayed every epoch, a
+	// reused gradient slice, and per-epoch pair buffers (epochPairs
+	// refills them instead of reallocating).
+	tape                           *ag.Tape
+	grads                          []*mat.Dense
+	pairP, pairV                   []int
+	pairY, pairT, pairCFY, pairCFT *mat.Dense
+
+	// drugCache holds the final drug representations h'_v once training
+	// finishes, so scoring a patient is a cached-embedding lookup plus
+	// decoder call (no propagation).
+	drugCache *mat.Dense
 }
 
 // NewModel assembles an MDGCN over the dataset. relEmb is the drug
@@ -151,41 +164,51 @@ func NewModel(d *dataset.Dataset, relEmb *mat.Dense, cfg Config) *Model {
 // epochPairs builds this epoch's training pairs: every positive plus
 // one fresh negative per positive (the paper's 1:1 negative sampling),
 // together with the treatment column and — when enabled — the
-// counterfactual treatment/outcome columns.
+// counterfactual treatment/outcome columns. The returned slices and
+// matrices are model-retained buffers refilled in place, so an epoch
+// allocates nothing here.
 func (m *Model) epochPairs() (ps, vs []int, y, tr, cfY, cfT *mat.Dense) {
 	nDrugs := m.trainY.Cols()
 	total := 2 * len(m.posP)
-	ps = make([]int, 0, total)
-	vs = make([]int, 0, total)
-	yv := make([]float64, 0, total)
+	if cap(m.pairP) < total {
+		m.pairP = make([]int, 0, total)
+		m.pairV = make([]int, 0, total)
+		m.pairY = mat.New(total, 1)
+		m.pairT = mat.New(total, 1)
+		if m.miner != nil {
+			m.pairCFY = mat.New(total, 1)
+			m.pairCFT = mat.New(total, 1)
+		}
+	}
+	ps, vs = m.pairP[:0], m.pairV[:0]
+	yd := m.pairY.Data()
 	for i := range m.posP {
 		p := m.posP[i]
 		ps = append(ps, p)
 		vs = append(vs, m.posV[i])
-		yv = append(yv, 1)
+		yd[len(ps)-1] = 1
 		for {
 			neg := m.rng.Intn(nDrugs)
 			if m.trainY.At(p, neg) != 1 {
 				ps = append(ps, p)
 				vs = append(vs, neg)
-				yv = append(yv, 0)
+				yd[len(ps)-1] = 0
 				break
 			}
 		}
 	}
-	y = column(yv)
-	tvals := make([]float64, len(ps))
+	m.pairP, m.pairV = ps, vs
+	td := m.pairT.Data()
 	for i := range ps {
-		tvals[i] = m.Treatment.T.At(ps[i], vs[i])
+		td[i] = m.Treatment.T.At(ps[i], vs[i])
 	}
-	tr = column(tvals)
+	y, tr = m.pairY, m.pairT
 	if m.miner != nil {
-		cfYv := make([]float64, len(ps))
-		cfTv := make([]float64, len(ps))
+		cfYd, cfTd := m.pairCFY.Data(), m.pairCFT.Data()
 		for i := range ps {
-			cfTv[i], cfYv[i], _ = m.miner.Mine(ps[i], vs[i])
+			cfTd[i], cfYd[i], _ = m.miner.Mine(ps[i], vs[i])
 		}
-		cfY, cfT = column(cfYv), column(cfTv)
+		cfY, cfT = m.pairCFY, m.pairCFT
 	}
 	return
 }
@@ -231,18 +254,34 @@ func (m *Model) encode(t *ag.Tape) (hPat, hDrugFinal *ag.Node) {
 
 func beta(t int) float64 { return 1 / float64(t+2) }
 
+// decodeInter builds the shared h_i ⊙ h'_v interaction term of the
+// decoder (Eq. 14). The factual and counterfactual losses decode the
+// same (patient, drug) pairs, so Train computes this once and feeds it
+// to both decoder heads.
+func (m *Model) decodeInter(t *ag.Tape, hPat, hDrug *ag.Node, pIdx, vIdx []int) *ag.Node {
+	hi := t.GatherRows(hPat, pIdx)
+	hv := t.GatherRows(hDrug, vIdx)
+	return t.Hadamard(hi, hv)
+}
+
+// decodeWith scores pairs given their interaction term: MLP([inter,
+// T_iv]) (Eqs. 14-15). treatments is an (E x 1) column.
+func (m *Model) decodeWith(t *ag.Tape, inter *ag.Node, treatments *mat.Dense) *ag.Node {
+	return m.decoder.Apply(t, t.ConcatCols(inter, t.Const(treatments)))
+}
+
 // decode scores (patient, drug) pairs: MLP([h_i ⊙ h'_v, T_iv])
 // (Eqs. 14-15). treatments is an (E x 1) column.
 func (m *Model) decode(t *ag.Tape, hPat, hDrug *ag.Node, pIdx, vIdx []int, treatments *mat.Dense) *ag.Node {
-	hi := t.GatherRows(hPat, pIdx)
-	hv := t.GatherRows(hDrug, vIdx)
-	inter := t.Hadamard(hi, hv)
-	return m.decoder.Apply(t, t.ConcatCols(inter, t.Const(treatments)))
+	return m.decodeWith(t, m.decodeInter(t, hPat, hDrug, pIdx, vIdx), treatments)
 }
 
 // Train fits the model, returning the loss history (L = LC + δ·LCF,
 // Eq. 18). With SelectOnVal the parameters giving the best validation
-// NDCG@4 are restored at the end.
+// NDCG@4 are restored at the end. One retained tape serves every
+// epoch: Reset + replay reuses the whole graph and its buffers, so
+// steady-state epochs allocate ~nothing. The final drug
+// representations are cached for the tape-free scoring path.
 func (m *Model) Train() []float64 {
 	opt := optim.NewAdam(m.Config.LR)
 	opt.WeightDecay = m.Config.WeightDecay
@@ -251,23 +290,32 @@ func (m *Model) Train() []float64 {
 	if valEvery <= 0 {
 		valEvery = 25
 	}
+	m.drugCache = nil // params are about to move; never serve stale reps
+	if m.tape == nil {
+		m.tape = ag.NewTape()
+	}
+	if len(m.grads) != len(m.params.All()) {
+		m.grads = make([]*mat.Dense, len(m.params.All()))
+	}
 	bestVal := -1.0
 	var bestSnap []*mat.Dense
 	for epoch := 0; epoch < m.Config.Epochs; epoch++ {
 		ps, vs, y, tr, cfY, cfT := m.epochPairs()
-		t := ag.NewTape()
+		t := m.tape
+		t.Reset()
 		hPat, hDrug := m.encode(t)
-		logits := m.decode(t, hPat, hDrug, ps, vs, tr)
+		inter := m.decodeInter(t, hPat, hDrug, ps, vs)
+		logits := m.decodeWith(t, inter, tr)
 		loss := t.BCEWithLogits(logits, y) // Eq. 16
 		if cfY != nil && m.Config.Delta > 0 {
-			cfLogits := m.decode(t, hPat, hDrug, ps, vs, cfT)
+			cfLogits := m.decodeWith(t, inter, cfT)  // same pairs, cf treatment
 			cfLoss := t.BCEWithLogits(cfLogits, cfY) // Eq. 17
 			loss = t.Add(loss, t.Scale(cfLoss, m.Config.Delta))
 		}
 		t.Backward(loss)
-		grads := nn.CollectGrads(t, &m.params)
-		optim.ClipGlobalNorm(grads, 5)
-		opt.Step(m.params.All(), grads)
+		nn.CollectGradsInto(m.grads, t, &m.params)
+		optim.ClipGlobalNorm(m.grads, 5)
+		opt.Step(m.params.All(), m.grads)
 		losses = append(losses, loss.Value.At(0, 0))
 
 		if m.Config.SelectOnVal && len(m.Data.Val) > 0 &&
@@ -281,6 +329,7 @@ func (m *Model) Train() []float64 {
 	if bestSnap != nil {
 		restore(m.params.All(), bestSnap)
 	}
+	m.drugCache = m.inferDrugReps()
 	return losses
 }
 
@@ -352,16 +401,64 @@ func restore(params, snap []*mat.Dense) {
 	}
 }
 
+// inferDrugReps computes the final drug representations h'_v
+// (Eqs. 10-13 plus the DDI embedding addition) on the tape-free
+// inference path: plain Dense evaluation, bitwise identical to the
+// tape encode.
+func (m *Model) inferDrugReps() *mat.Dense {
+	hPat := m.fcPat.Forward(m.trainX)
+	hDrug := nn.ForwardActivation(m.fcDrug.Forward(m.drugFeat), nn.ActLeakyReLU)
+	pT, dT := hPat, hDrug
+	hFinal := hDrug.Clone()
+	hFinal.Scale(beta(0))
+	for layer := 1; layer <= m.Config.PropLayers; layer++ {
+		pNext := m.l2r.MulDense(dT)
+		dNext := m.r2l.MulDense(pT)
+		pT, dT = pNext, dNext
+		scaled := dT.Clone()
+		scaled.Scale(beta(layer))
+		hFinal.AddScaled(scaled, 1)
+	}
+	if m.Config.UseDDI && m.relEmb != nil {
+		rel := m.relEmb
+		if m.relProj != nil {
+			rel = m.relProj.Forward(m.relEmb)
+		}
+		hFinal.AddScaled(rel, 1)
+	}
+	return hFinal
+}
+
+// drugReps serves the final drug representations: from the
+// post-training cache when available, recomputed otherwise (e.g.
+// validation scoring mid-training).
+func (m *Model) drugReps() *mat.Dense {
+	if m.drugCache != nil {
+		return m.drugCache
+	}
+	return m.inferDrugReps()
+}
+
+// decodeInfer is the tape-free counterpart of decode: same kernels,
+// bitwise-identical logits, no graph nodes.
+func (m *Model) decodeInfer(hPat, hDrug *mat.Dense, pIdx, vIdx []int, treatments *mat.Dense) *mat.Dense {
+	hi := hPat.GatherRows(pIdx)
+	hv := hDrug.GatherRows(vIdx)
+	inter := mat.Hadamard(hi, hv)
+	return m.decoder.Forward(mat.ConcatCols(inter, treatments))
+}
+
 // Scores predicts medication-use probabilities for the given GLOBAL
 // patient indices (typically validation or test patients), returning a
 // (len(patients) x drugs) matrix. Treatments for unobserved patients
-// come from Treatment.InferRow.
+// come from Treatment.InferRow. The whole path is tape-free: after
+// training it is a cached-embedding lookup, a patient-encoder forward
+// and one decoder call — no autodiff machinery at all.
 func (m *Model) Scores(patients []int) *mat.Dense {
-	t := ag.NewTape()
-	_, hDrug := m.encode(t)
+	hDrug := m.drugReps()
 	// Patient reps for the queried patients (Eq. 9 on their features).
 	x := m.Data.Rows(patients)
-	hP := m.fcPat.Apply(t, t.Const(x))
+	hP := m.fcPat.Forward(x)
 
 	nD := m.Data.NumDrugs()
 	out := mat.New(len(patients), nD)
@@ -373,7 +470,7 @@ func (m *Model) Scores(patients []int) *mat.Dense {
 	tvals := make([]float64, len(patients)*nD)
 	par.For(len(patients), 1, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			trow := m.Treatment.InferRow(x.Row(i))
+			trow := m.Treatment.inferRowShared(x.Row(i))
 			base := i * nD
 			for v := 0; v < nD; v++ {
 				pIdx[base+v] = i
@@ -382,13 +479,12 @@ func (m *Model) Scores(patients []int) *mat.Dense {
 			}
 		}
 	})
-	logits := m.decode(t, hP, hDrug, pIdx, vIdx, column(tvals))
+	logits := m.decodeInfer(hP, hDrug, pIdx, vIdx, column(tvals))
 	// Each logit row targets a distinct (patient, drug) cell, so the
 	// sigmoid fill partitions cleanly across workers.
-	lv := logits.Value
-	par.For(lv.Rows(), 4096, func(lo, hi int) {
+	par.For(logits.Rows(), 4096, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
-			out.Set(pIdx[r], vIdx[r], mat.Sigmoid(lv.At(r, 0)))
+			out.Set(pIdx[r], vIdx[r], mat.Sigmoid(logits.At(r, 0)))
 		}
 	})
 	return out
@@ -396,20 +492,15 @@ func (m *Model) Scores(patients []int) *mat.Dense {
 
 // PatientRepresentations returns the pre-propagation patient hidden
 // representations (Eq. 9) for the given global patient indices — the
-// representations the paper analyses in Fig. 7(a).
+// representations the paper analyses in Fig. 7(a). Tape-free.
 func (m *Model) PatientRepresentations(patients []int) *mat.Dense {
-	t := ag.NewTape()
-	x := m.Data.Rows(patients)
-	h := m.fcPat.Apply(t, t.Const(x))
-	return h.Value.Clone()
+	return m.fcPat.Forward(m.Data.Rows(patients))
 }
 
 // DrugRepresentations returns the final drug representations h'_v
-// (Fig. 7(b)).
+// (Fig. 7(b)), served from the post-training cache when available.
 func (m *Model) DrugRepresentations() *mat.Dense {
-	t := ag.NewTape()
-	_, hDrug := m.encode(t)
-	return hDrug.Value.Clone()
+	return m.drugReps().Clone()
 }
 
 // NumParams reports the trainable parameter count.

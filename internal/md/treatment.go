@@ -29,6 +29,11 @@ type Treatment struct {
 	// (the post-step-2 cluster treatment set, pre-DDI expansion).
 	clusterDrugs []map[int]bool
 	ddi          *graph.Signed
+	// clusterRow[c] is the fully expanded (cluster set + synergy
+	// propagation) treatment row for cluster c, precomputed so
+	// inference for an unobserved patient is a centroid scan plus a
+	// cached-row lookup — no per-request graph walk or allocation.
+	clusterRow [][]float64
 }
 
 // BuildTreatment runs the three treatment-construction steps of
@@ -87,28 +92,40 @@ func BuildTreatment(rng *rand.Rand, x, y *mat.Dense, ddi *graph.Signed, k int) *
 			}
 		}
 	}
+	// Precompute the per-cluster inference rows (steps 2-3 for a
+	// hypothetical member with no observed links of its own).
+	t.clusterRow = make([][]float64, k)
+	for c := range t.clusterRow {
+		row := make([]float64, m)
+		for v := range t.clusterDrugs[c] {
+			row[v] = 1
+		}
+		for v := 0; v < m; v++ {
+			if row[v] != 1 {
+				continue
+			}
+			for _, u := range ddi.Neighbors(v, func(s graph.Sign) bool { return s == graph.Synergy }) {
+				row[u] = 1
+			}
+		}
+		t.clusterRow[c] = row
+	}
 	return t
 }
 
 // InferRow derives the treatment row for an unobserved patient from
 // their feature vector: assign to the nearest cluster centroid, adopt
-// the cluster's treatment set, then expand across synergy edges.
+// the cluster's treatment set, then expand across synergy edges. The
+// returned slice is the caller's to keep.
 func (t *Treatment) InferRow(x []float64) []float64 {
-	c := t.NearestCluster(x)
-	m := t.T.Cols()
-	row := make([]float64, m)
-	for v := range t.clusterDrugs[c] {
-		row[v] = 1
-	}
-	for v := 0; v < m; v++ {
-		if row[v] != 1 {
-			continue
-		}
-		for _, u := range t.ddi.Neighbors(v, func(s graph.Sign) bool { return s == graph.Synergy }) {
-			row[u] = 1
-		}
-	}
-	return row
+	return append([]float64(nil), t.inferRowShared(x)...)
+}
+
+// inferRowShared returns the precomputed treatment row of the nearest
+// cluster. The slice is shared and read-only — the hot scoring path
+// copies what it needs without allocating.
+func (t *Treatment) inferRowShared(x []float64) []float64 {
+	return t.clusterRow[t.NearestCluster(x)]
 }
 
 // NearestCluster returns the index of the centroid closest to x.

@@ -21,6 +21,15 @@ type BatchNorm struct {
 	Gamma *mat.Dense
 	Beta  *mat.Dense
 	Eps   float64
+
+	// Retained batch-statistics buffers: the layer recomputes them
+	// every call but reuses the storage, so a steady-state epoch on a
+	// retained tape allocates nothing here. The shift/scale matrices
+	// keep stable identities, which is what lets the tape reuse the
+	// Const nodes wrapping them.
+	mean, invStd []float64
+	shift, scale *mat.Dense
+	idx          []int
 }
 
 // NewBatchNorm creates a BatchNorm over d features.
@@ -34,16 +43,22 @@ func NewBatchNorm(ps *Params, d int) *BatchNorm {
 	}
 }
 
-// Apply normalises x (n x d) column-wise and applies the affine
-// transform on the tape.
-func (bn *BatchNorm) Apply(t *ag.Tape, x *ag.Node) *ag.Node {
+// stats refreshes the retained mean/invStd/shift/scale buffers from the
+// current batch x (n x d).
+func (bn *BatchNorm) stats(x *mat.Dense) {
 	n, d := x.Rows(), x.Cols()
-	if n == 0 {
-		return x
+	if len(bn.mean) != d {
+		bn.mean = make([]float64, d)
+		bn.invStd = make([]float64, d)
+		bn.shift = mat.New(1, d)
 	}
-	mean := make([]float64, d)
+	mean, invStd := bn.mean, bn.invStd
+	for j := range mean {
+		mean[j] = 0
+		invStd[j] = 0
+	}
 	for i := 0; i < n; i++ {
-		row := x.Value.Row(i)
+		row := x.Row(i)
 		for j, v := range row {
 			mean[j] += v
 		}
@@ -51,9 +66,8 @@ func (bn *BatchNorm) Apply(t *ag.Tape, x *ag.Node) *ag.Node {
 	for j := range mean {
 		mean[j] /= float64(n)
 	}
-	invStd := make([]float64, d)
 	for i := 0; i < n; i++ {
-		row := x.Value.Row(i)
+		row := x.Row(i)
 		for j, v := range row {
 			dv := v - mean[j]
 			invStd[j] += dv * dv
@@ -62,22 +76,77 @@ func (bn *BatchNorm) Apply(t *ag.Tape, x *ag.Node) *ag.Node {
 	for j := range invStd {
 		invStd[j] = 1 / math.Sqrt(invStd[j]/float64(n)+bn.Eps)
 	}
+	for j := 0; j < d; j++ {
+		bn.shift.Set(0, j, -mean[j])
+	}
+	if bn.scale == nil || bn.scale.Rows() != n {
+		bn.scale = mat.New(n, d)
+		bn.idx = make([]int, n)
+	}
+	mat.RepRowInto(bn.scale, invStd)
+}
+
+// Apply normalises x (n x d) column-wise and applies the affine
+// transform on the tape.
+func (bn *BatchNorm) Apply(t *ag.Tape, x *ag.Node) *ag.Node {
+	n := x.Rows()
+	if n == 0 {
+		return x
+	}
+	bn.stats(x.Value)
 
 	// Normalisation as constant shift+scale: xhat = (x - mean) * invStd.
-	// The scale matrix is a row replication, built with the parallel
-	// RepRow kernel.
-	shift := mat.New(1, d)
-	for j := 0; j < d; j++ {
-		shift.Set(0, j, -mean[j])
-	}
-	scale := mat.RepRow(invStd, n)
-	xhat := t.Hadamard(t.AddBias(x, t.Const(shift)), t.Const(scale))
+	xhat := t.Hadamard(t.AddBias(x, t.Const(bn.shift)), t.Const(bn.scale))
 
 	// Affine: gamma broadcast-multiplied per column, then + beta.
 	// To keep gamma trainable we multiply via a broadcasted parameter:
 	// out = xhat .* rowrep(gamma) + beta. Implemented with GatherRows so
 	// the gradient flows back into the single gamma row.
-	idx := make([]int, n)
-	gammaNode := t.GatherRows(t.Param(bn.Gamma), idx) // all rows = row 0
+	gammaNode := t.GatherRows(t.Param(bn.Gamma), bn.idx) // all rows = row 0
 	return t.AddBias(t.Hadamard(xhat, gammaNode), t.Param(bn.Beta))
+}
+
+// Forward is the tape-free inference path: it computes exactly the
+// same values as Apply (same operation order, bitwise identical)
+// without building graph nodes. Unlike Apply — which, like the tape
+// it feeds, is single-goroutine by design — Forward keeps its batch
+// statistics on the stack, so concurrent inference calls are safe and
+// the retained training buffers are never touched.
+func (bn *BatchNorm) Forward(x *mat.Dense) *mat.Dense {
+	n, d := x.Rows(), x.Cols()
+	if n == 0 {
+		return x
+	}
+	mean := make([]float64, d)
+	invStd := make([]float64, d)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		for j, v := range row {
+			dv := v - mean[j]
+			invStd[j] += dv * dv
+		}
+	}
+	for j := range invStd {
+		invStd[j] = 1 / math.Sqrt(invStd[j]/float64(n)+bn.Eps)
+	}
+	out := mat.New(n, d)
+	grow := bn.Gamma.Row(0)
+	brow := bn.Beta.Row(0)
+	for i := 0; i < n; i++ {
+		xrow := x.Row(i)
+		orow := out.Row(i)
+		for j, v := range xrow {
+			orow[j] = (v+(-mean[j]))*invStd[j]*grow[j] + brow[j]
+		}
+	}
+	return out
 }

@@ -11,8 +11,18 @@ import (
 // hand to an optimizer Step.
 func CollectGrads(tape *ag.Tape, ps *Params) []*mat.Dense {
 	grads := make([]*mat.Dense, len(ps.All()))
-	for i, p := range ps.All() {
-		grads[i] = tape.Grad(p)
-	}
+	CollectGradsInto(grads, tape, ps)
 	return grads
+}
+
+// CollectGradsInto is CollectGrads into a caller-retained slice, so a
+// steady-state training epoch performs no allocation here. dst must
+// have len(ps.All()) entries.
+func CollectGradsInto(dst []*mat.Dense, tape *ag.Tape, ps *Params) {
+	if len(dst) != len(ps.All()) {
+		panic("nn: CollectGradsInto length mismatch")
+	}
+	for i, p := range ps.All() {
+		dst[i] = tape.Grad(p)
+	}
 }

@@ -5,6 +5,7 @@
 package nn
 
 import (
+	"math"
 	"math/rand"
 
 	"dssddi/internal/ag"
@@ -62,6 +63,33 @@ func applyActivation(t *ag.Tape, x *ag.Node, a Activation) *ag.Node {
 	}
 }
 
+// ForwardActivation applies the activation in place on a plain matrix —
+// the tape-free counterpart of applyActivation, with element formulas
+// identical to the tape ops.
+func ForwardActivation(x *mat.Dense, a Activation) *mat.Dense {
+	switch a {
+	case ActReLU:
+		x.ApplyInPlace(func(v float64) float64 {
+			if v > 0 {
+				return v
+			}
+			return 0
+		})
+	case ActLeakyReLU:
+		x.ApplyInPlace(func(v float64) float64 {
+			if v > 0 {
+				return v
+			}
+			return 0.01 * v
+		})
+	case ActTanh:
+		x.ApplyInPlace(math.Tanh)
+	case ActSigmoid:
+		x.ApplyInPlace(mat.Sigmoid)
+	}
+	return x
+}
+
 // Linear is a fully connected layer y = x*W + b.
 type Linear struct {
 	W *mat.Dense
@@ -80,6 +108,14 @@ func NewLinear(rng *rand.Rand, ps *Params, in, out int) *Linear {
 // Apply runs the layer on the tape.
 func (l *Linear) Apply(t *ag.Tape, x *ag.Node) *ag.Node {
 	return t.AddBias(t.MatMul(x, t.Param(l.W)), t.Param(l.B))
+}
+
+// Forward is the tape-free inference path: same kernels and operation
+// order as Apply (bitwise identical values), no graph nodes.
+func (l *Linear) Forward(x *mat.Dense) *mat.Dense {
+	out := mat.MatMul(x, l.W)
+	mat.AddRowInto(out, out, l.B.Row(0))
+	return out
 }
 
 // MLP is a stack of linear layers with a shared hidden activation. The
@@ -124,6 +160,25 @@ func (m *MLP) Apply(t *ag.Tape, x *ag.Node) *ag.Node {
 			h = applyActivation(t, h, m.Act)
 		} else {
 			h = applyActivation(t, h, m.OutAct)
+		}
+	}
+	return h
+}
+
+// Forward is the tape-free inference path of the MLP: bitwise identical
+// to Apply's values, no graph nodes or backward machinery.
+func (m *MLP) Forward(x *mat.Dense) *mat.Dense {
+	h := x
+	for i, l := range m.Layers {
+		h = l.Forward(h)
+		last := i == len(m.Layers)-1
+		if !last {
+			if m.Norms[i] != nil {
+				h = m.Norms[i].Forward(h)
+			}
+			h = ForwardActivation(h, m.Act)
+		} else {
+			h = ForwardActivation(h, m.OutAct)
 		}
 	}
 	return h

@@ -3,6 +3,7 @@ package nn
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"dssddi/internal/ag"
@@ -200,4 +201,33 @@ func TestGRULearnsSequenceSignal(t *testing.T) {
 	if loss > 0.2 {
 		t.Fatalf("GRU failed to learn first-step signal, loss %v", loss)
 	}
+}
+
+func TestBatchNormForwardConcurrent(t *testing.T) {
+	var ps Params
+	bn := NewBatchNorm(&ps, 6)
+	rng := rand.New(rand.NewSource(17))
+	x := mat.RandNormal(rng, 12, 6, 1)
+	want := bn.Forward(x)
+
+	// Forward keeps its statistics call-local, so concurrent inference
+	// over the same layer must be race-free and deterministic (run
+	// under -race in CI).
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				got := bn.Forward(x)
+				for i, v := range got.Data() {
+					if v != want.Data()[i] {
+						t.Errorf("concurrent Forward diverged at %d: %v != %v", i, v, want.Data()[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

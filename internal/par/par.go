@@ -4,14 +4,18 @@
 //
 // Design constraints, in priority order:
 //
-//  1. Determinism: For hands each goroutine a disjoint contiguous
+//  1. Determinism: Run hands each goroutine a disjoint contiguous
 //     range, so kernels that only write inside their range produce
 //     bitwise-identical output for any worker count.
 //  2. No deadlocks under nesting or saturation: submission to the pool
 //     never blocks — when every pool worker is busy the caller runs the
 //     chunk inline, so a kernel invoked from inside another parallel
 //     region still completes.
-//  3. Zero overhead for small inputs: work below the grain threshold
+//  3. Zero steady-state allocation: the serial path (one worker, or
+//     work below the grain) calls Worker.Chunk directly, and the
+//     parallel path recycles its dispatch records through sync.Pools —
+//     a kernel invocation allocates nothing once the pools are warm.
+//  4. Zero overhead for small inputs: work below the grain threshold
 //     runs serially on the calling goroutine.
 //
 // The worker count is a process-wide knob (SetWorkers); 1 restores
@@ -24,13 +28,30 @@ import (
 	"sync/atomic"
 )
 
+// Worker is one unit of partitionable work: Chunk processes the index
+// range [lo, hi) and must only touch state owned by that range.
+// Implementations are typically small structs holding the kernel
+// operands, so the hot path constructs no closures.
+type Worker interface {
+	Chunk(lo, hi int)
+}
+
+// FuncWorker adapts a plain chunk function to the Worker interface.
+// Func values are pointer-shaped, so the conversion does not allocate;
+// the function itself should be a long-lived closure (e.g. stored on an
+// autodiff node), not a literal built per call.
+type FuncWorker func(lo, hi int)
+
+// Chunk implements Worker.
+func (f FuncWorker) Chunk(lo, hi int) { f(lo, hi) }
+
 // workers holds the configured worker count; 0 means "use
 // runtime.GOMAXPROCS(0)" resolved at call time.
 var workers atomic.Int64
 
-// SetWorkers sets the process-wide worker count used by For. n <= 0
-// resets to the default, runtime.GOMAXPROCS(0). SetWorkers(1) restores
-// exact-serial execution.
+// SetWorkers sets the process-wide worker count used by Run and For.
+// n <= 0 resets to the default, runtime.GOMAXPROCS(0). SetWorkers(1)
+// restores exact-serial execution.
 func SetWorkers(n int) {
 	if n < 0 {
 		n = 0
@@ -46,13 +67,24 @@ func Workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// task is one pooled dispatch record: a Worker plus its range and the
+// completion group it reports to.
+type task struct {
+	w      Worker
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+var taskPool = sync.Pool{New: func() any { return new(task) }}
+var wgPool = sync.Pool{New: func() any { return new(sync.WaitGroup) }}
+
 // The pool: long-lived goroutines draining an unbuffered channel.
 // Sized generously so oversubscribed worker settings (useful in tests
 // on small machines) still get real goroutines; idle workers cost only
 // a parked goroutine each.
 var (
 	poolOnce sync.Once
-	poolCh   chan func()
+	poolCh   chan *task
 )
 
 func poolSize() int {
@@ -65,25 +97,37 @@ func poolSize() int {
 
 func ensurePool() {
 	poolOnce.Do(func() {
-		poolCh = make(chan func())
+		poolCh = make(chan *task)
 		for i := 0; i < poolSize(); i++ {
 			go func() {
-				for f := range poolCh {
-					f()
+				for t := range poolCh {
+					runTask(t)
 				}
 			}()
 		}
 	})
 }
 
-// For splits [0, n) into at most Workers() contiguous chunks of at
-// least grain indices each and runs fn on every chunk, returning when
-// all chunks are done. fn must only touch state owned by its [lo, hi)
-// range; chunks run concurrently.
+// runTask executes a task and recycles its record. The record is
+// returned to the pool before Done so a submitter woken by Done never
+// races with the recycling.
+func runTask(t *task) {
+	t.w.Chunk(t.lo, t.hi)
+	wg := t.wg
+	t.w, t.wg = nil, nil
+	taskPool.Put(t)
+	wg.Done()
+}
+
+// Run splits [0, n) into at most Workers() contiguous chunks of at
+// least grain indices each and calls w.Chunk on every chunk, returning
+// when all chunks are done. Chunks run concurrently; w.Chunk must only
+// touch state owned by its [lo, hi) range.
 //
-// With one worker, a sub-grain n, or n == 0, fn runs (at most once)
-// on the calling goroutine — the exact serial path.
-func For(n, grain int, fn func(lo, hi int)) {
+// With one worker, a sub-grain n, or n == 0, w.Chunk runs (at most
+// once) on the calling goroutine — the exact serial path, which
+// performs no allocation and no synchronisation.
+func Run(n, grain int, w Worker) {
 	if n <= 0 {
 		return
 	}
@@ -91,31 +135,35 @@ func For(n, grain int, fn func(lo, hi int)) {
 		grain = 1
 	}
 	chunks := (n + grain - 1) / grain
-	if w := Workers(); chunks > w {
-		chunks = w
+	if ws := Workers(); chunks > ws {
+		chunks = ws
 	}
 	if chunks <= 1 {
-		fn(0, n)
+		w.Chunk(0, n)
 		return
 	}
 	ensurePool()
-	var wg sync.WaitGroup
+	wg := wgPool.Get().(*sync.WaitGroup)
 	wg.Add(chunks - 1)
 	for c := 1; c < chunks; c++ {
-		lo, hi := c*n/chunks, (c+1)*n/chunks
-		job := func() {
-			defer wg.Done()
-			fn(lo, hi)
-		}
+		t := taskPool.Get().(*task)
+		t.w, t.lo, t.hi, t.wg = w, c*n/chunks, (c+1)*n/chunks, wg
 		select {
-		case poolCh <- job:
+		case poolCh <- t:
 		default:
 			// Every pool worker is busy (saturation or nesting):
 			// run inline rather than block, so progress is always
 			// made by the submitting goroutine itself.
-			job()
+			runTask(t)
 		}
 	}
-	fn(0, n/chunks)
+	w.Chunk(0, n/chunks)
 	wg.Wait()
+	wgPool.Put(wg)
 }
+
+// For is Run with a plain function. Note the closure passed here
+// escapes (it is shipped to pool goroutines), so a func literal at the
+// call site costs one allocation per call — hot kernels use Run with a
+// pooled Worker struct or a retained FuncWorker instead.
+func For(n, grain int, fn func(lo, hi int)) { Run(n, grain, FuncWorker(fn)) }

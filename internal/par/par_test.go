@@ -127,3 +127,15 @@ func TestSetWorkers(t *testing.T) {
 		t.Fatalf("negative SetWorkers must reset to default")
 	}
 }
+
+// TestRunSerialNoAlloc pins the zero-allocation property of the serial
+// dispatch path: the whole steady-state training story rests on it.
+func TestRunSerialNoAlloc(t *testing.T) {
+	withWorkers(1, func() {
+		var sum int
+		fn := FuncWorker(func(lo, hi int) { sum += hi - lo })
+		if n := testing.AllocsPerRun(100, func() { Run(1000, 1, fn) }); n != 0 {
+			t.Fatalf("serial Run allocates %v objects per call, want 0", n)
+		}
+	})
+}

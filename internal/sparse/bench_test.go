@@ -21,6 +21,7 @@ func BenchmarkMulDenseInto(b *testing.B) {
 		b.Run(w.name, func(b *testing.B) {
 			mat.SetWorkers(w.n)
 			defer mat.SetWorkers(0)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				c.MulDenseInto(dst, x)
@@ -42,6 +43,7 @@ func BenchmarkMulDenseAddInto(b *testing.B) {
 		b.Run(w.name, func(b *testing.B) {
 			mat.SetWorkers(w.n)
 			defer mat.SetWorkers(0)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				c.MulDenseAddInto(dst, x)

@@ -7,6 +7,7 @@ package sparse
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"dssddi/internal/mat"
 	"dssddi/internal/par"
@@ -134,15 +135,22 @@ func (c *CSR) rowChunk(xCols int) int {
 	return g
 }
 
-// MulDenseInto computes dst = c * x. dst must be c.rows x x.Cols().
-// Rows are partitioned across the shared worker pool; each goroutine
-// writes only its own row range (no locks), so the output is
-// deterministic and bitwise identical for any worker count.
-func (c *CSR) MulDenseInto(dst, x *mat.Dense) {
-	if c.cols != x.Rows() || dst.Rows() != c.rows || dst.Cols() != x.Cols() {
-		panic("sparse: MulDenseInto shape mismatch")
-	}
-	par.For(c.rows, c.rowChunk(x.Cols()), func(lo, hi int) {
+// spmmTask carries one SpMM invocation through the worker pool.
+// Instances are recycled via spmmPool so the kernels allocate nothing
+// per call; the accumulate variant borrows per-chunk scratch rows from
+// the shared pool in internal/mat.
+type spmmTask struct {
+	c      *CSR
+	dst, x *mat.Dense
+	add    bool
+}
+
+var spmmPool = sync.Pool{New: func() any { return new(spmmTask) }}
+
+// Chunk implements par.Worker.
+func (t *spmmTask) Chunk(lo, hi int) {
+	c, dst, x := t.c, t.dst, t.x
+	if !t.add {
 		for r := lo; r < hi; r++ {
 			drow := dst.Row(r)
 			for j := range drow {
@@ -156,7 +164,46 @@ func (c *CSR) MulDenseInto(dst, x *mat.Dense) {
 				}
 			}
 		}
-	})
+		return
+	}
+	sp := mat.GetScratch(x.Cols())
+	scratch := *sp
+	for r := lo; r < hi; r++ {
+		for j := range scratch {
+			scratch[j] = 0
+		}
+		for i := c.rowPtr[r]; i < c.rowPtr[r+1]; i++ {
+			v := c.vals[i]
+			xrow := x.Row(c.colIdx[i])
+			for j, xv := range xrow {
+				scratch[j] += v * xv
+			}
+		}
+		drow := dst.Row(r)
+		for j, sv := range scratch {
+			drow[j] += sv
+		}
+	}
+	mat.PutScratch(sp)
+}
+
+func (c *CSR) runSpMM(dst, x *mat.Dense, add bool) {
+	t := spmmPool.Get().(*spmmTask)
+	t.c, t.dst, t.x, t.add = c, dst, x, add
+	par.Run(c.rows, c.rowChunk(x.Cols()), t)
+	*t = spmmTask{}
+	spmmPool.Put(t)
+}
+
+// MulDenseInto computes dst = c * x. dst must be c.rows x x.Cols().
+// Rows are partitioned across the shared worker pool; each goroutine
+// writes only its own row range (no locks), so the output is
+// deterministic and bitwise identical for any worker count.
+func (c *CSR) MulDenseInto(dst, x *mat.Dense) {
+	if c.cols != x.Rows() || dst.Rows() != c.rows || dst.Cols() != x.Cols() {
+		panic("sparse: MulDenseInto shape mismatch")
+	}
+	c.runSpMM(dst, x, false)
 }
 
 // MulDenseAddInto accumulates dst += c * x — the fused form of the
@@ -168,25 +215,7 @@ func (c *CSR) MulDenseAddInto(dst, x *mat.Dense) {
 	if c.cols != x.Rows() || dst.Rows() != c.rows || dst.Cols() != x.Cols() {
 		panic("sparse: MulDenseAddInto shape mismatch")
 	}
-	par.For(c.rows, c.rowChunk(x.Cols()), func(lo, hi int) {
-		scratch := make([]float64, x.Cols())
-		for r := lo; r < hi; r++ {
-			for j := range scratch {
-				scratch[j] = 0
-			}
-			for i := c.rowPtr[r]; i < c.rowPtr[r+1]; i++ {
-				v := c.vals[i]
-				xrow := x.Row(c.colIdx[i])
-				for j, xv := range xrow {
-					scratch[j] += v * xv
-				}
-			}
-			drow := dst.Row(r)
-			for j, sv := range scratch {
-				drow[j] += sv
-			}
-		}
-	})
+	c.runSpMM(dst, x, true)
 }
 
 // T returns the transpose of c as a new CSR matrix.
