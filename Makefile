@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench lint fmt
+.PHONY: all build test bench lint fmt serve-smoke
 
 all: build lint test
 
@@ -25,6 +25,12 @@ bench:
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
+
+# Train a tiny model, round-trip it through a snapshot, boot the HTTP
+# server on an ephemeral port, smoke every endpoint and record a
+# servebench JSON — the same script CI runs.
+serve-smoke:
+	./scripts/serve-smoke.sh
 
 fmt:
 	gofmt -w .

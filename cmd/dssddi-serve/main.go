@@ -1,0 +1,105 @@
+// Command dssddi-serve exposes a trained DSSDDI model snapshot as a
+// concurrent HTTP JSON API: medication suggestions with interaction
+// alerts, raw scores, explanations and DDI screening (see
+// internal/serve for the endpoint reference).
+//
+// Usage:
+//
+//	dssddi train -o model.snap               # once
+//	dssddi-serve -m model.snap -addr :8080   # many
+//
+// Use -addr 127.0.0.1:0 to bind an ephemeral port; the bound address
+// is printed to stderr and, with -addr-file, written to a file so
+// scripts (and the CI smoke test) can discover it.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dssddi"
+	"dssddi/internal/mat"
+	"dssddi/internal/serve"
+)
+
+func main() {
+	var (
+		model       = flag.String("m", "", "model snapshot to serve (required; produce with 'dssddi train -o')")
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 = ephemeral)")
+		addrFile    = flag.String("addr-file", "", "write the bound address to this file once listening")
+		workers     = flag.Int("workers", 0, "kernel worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+		maxBatch    = flag.Int("batch-max", 64, "max patients coalesced into one score-matrix call")
+		batchWindow = flag.Duration("batch-window", time.Millisecond, "how long a lone request waits to be batched (0 = never wait)")
+		cacheSize   = flag.Int("cache", 4096, "result cache entries across endpoints (negative disables)")
+		defaultK    = flag.Int("default-k", 4, "suggestion list length when a request omits k")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	if *model == "" {
+		log.Fatal("dssddi-serve: -m model.snap is required (train one with 'dssddi train -o model.snap')")
+	}
+	mat.SetWorkers(*workers)
+
+	f, err := os.Open(*model)
+	if err != nil {
+		log.Fatalf("dssddi-serve: %v", err)
+	}
+	sys, err := dssddi.Load(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("dssddi-serve: %v", err)
+	}
+	info, err := sys.SnapshotInfo()
+	if err != nil {
+		log.Fatalf("dssddi-serve: %v", err)
+	}
+
+	srv, err := serve.New(sys, serve.Config{
+		MaxBatch:    *maxBatch,
+		BatchWindow: *batchWindow,
+		CacheSize:   *cacheSize,
+		DefaultK:    *defaultK,
+	})
+	if err != nil {
+		log.Fatalf("dssddi-serve: %v", err)
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("dssddi-serve: %v", err)
+	}
+	bound := ln.Addr().String()
+	fmt.Fprintf(os.Stderr, "dssddi-serve: %s model (%d patients, %d drugs, dataset %s) listening on %s\n",
+		info.Backbone, info.Patients, info.Drugs, info.DatasetSHA256[:12], bound)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			log.Fatalf("dssddi-serve: writing -addr-file: %v", err)
+		}
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Fprintln(os.Stderr, "dssddi-serve: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+	}()
+	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("dssddi-serve: %v", err)
+	}
+	<-done
+}

@@ -1,16 +1,23 @@
 // Command dssddi is the command-line front end of the decision support
-// system: it generates a synthetic cohort, trains the system, and
-// either evaluates it, suggests medications for a patient, or explains
-// a drug combination.
+// system. It supports a train-once / serve-many lifecycle: train and
+// save a model snapshot, then answer suggestion, evaluation and
+// explanation queries from the snapshot without retraining (pair with
+// cmd/dssddi-serve for the HTTP service).
 //
 // Usage:
 //
-//	dssddi -mode eval    [-patients 800] [-backbone SGCN]
-//	dssddi -mode suggest -patient 12 [-k 3]
-//	dssddi -mode explain -drugs 46,47
+//	dssddi train   [-patients 800] [-backbone SGCN] -o model.snap
+//	dssddi eval    [-m model.snap | training flags]
+//	dssddi suggest [-m model.snap] [-patient 12] [-k 3] [-alerts]
+//	dssddi explain [-m model.snap] -drugs 46,47
+//	dssddi info    -m model.snap
+//
+// The legacy single-command form (dssddi -mode eval|suggest|explain)
+// is retained and trains on every run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -21,24 +28,317 @@ import (
 	"strings"
 
 	"dssddi"
+	"dssddi/internal/alerts"
 )
 
+// options collects the flags shared by the subcommands.
+type options struct {
+	backbone  string
+	patients  int
+	seed      int64
+	ddiEpochs int
+	mdEpochs  int
+	mimic     bool
+	workers   int
+	model     string // -m: load snapshot instead of training
+	out       string // -o: save snapshot after training
+	patient   int
+	k         int
+	drugs     string
+	alerts    bool
+}
+
+func commonFlags(fs *flag.FlagSet, o *options) {
+	fs.StringVar(&o.backbone, "backbone", "SGCN", "DDIGCN backbone: GIN, SGCN, SiGAT, SNEA")
+	fs.IntVar(&o.patients, "patients", 800, "synthetic cohort size")
+	fs.Int64Var(&o.seed, "seed", 1, "generation and training seed")
+	fs.IntVar(&o.ddiEpochs, "ddi-epochs", 150, "DDI module training epochs (paper: 400)")
+	fs.IntVar(&o.mdEpochs, "md-epochs", 250, "MD module training epochs (paper: 1000)")
+	fs.BoolVar(&o.mimic, "mimic", false, "use the MIMIC-like data set instead of the chronic cohort")
+	fs.IntVar(&o.workers, "workers", 0, "kernel worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+}
+
+func modelFlag(fs *flag.FlagSet, o *options) {
+	fs.StringVar(&o.model, "m", "", "load this model snapshot instead of training")
+}
+
+// trainSystem generates data and trains a fresh system.
+func trainSystem(o *options) (*dssddi.System, error) {
+	var data *dssddi.Data
+	if o.mimic {
+		data = dssddi.GenerateMIMIC(o.seed, o.patients)
+	} else {
+		males := o.patients / 2
+		data = dssddi.GenerateChronic(o.seed, o.patients-males, males)
+	}
+	cfg := dssddi.DefaultConfig()
+	cfg.Backbone = o.backbone
+	cfg.DDIEpochs = o.ddiEpochs
+	cfg.MDEpochs = o.mdEpochs
+	cfg.Seed = o.seed
+	cfg.Workers = o.workers
+	sys := dssddi.New(cfg)
+	fmt.Fprintf(os.Stderr, "training DSSDDI(%s) on %d patients...\n", o.backbone, data.NumPatients())
+	if err := sys.Train(data); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// loadSystem restores a snapshot from disk.
+func loadSystem(path string) (*dssddi.System, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sys, err := dssddi.Load(f)
+	if err != nil {
+		return nil, err
+	}
+	info, _ := sys.SnapshotInfo()
+	fmt.Fprintf(os.Stderr, "loaded %s: %s model, %d patients, %d drugs\n",
+		path, info.Backbone, info.Patients, info.Drugs)
+	return sys, nil
+}
+
+// obtainSystem loads the -m snapshot when given, else trains.
+func obtainSystem(o *options) (*dssddi.System, error) {
+	if o.model != "" {
+		return loadSystem(o.model)
+	}
+	return trainSystem(o)
+}
+
+func saveSnapshot(sys *dssddi.System, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sys.Save(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	info, err := sys.SnapshotInfo()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "saved %s (%d bytes, dataset %s)\n", path, st.Size(), info.DatasetSHA256[:12])
+	return nil
+}
+
+func cmdTrain(args []string) error {
+	var o options
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	commonFlags(fs, &o)
+	fs.StringVar(&o.out, "o", "model.snap", "write the trained model snapshot here")
+	fs.Parse(args)
+	sys, err := trainSystem(&o)
+	if err != nil {
+		return err
+	}
+	return saveSnapshot(sys, o.out)
+}
+
+func cmdEval(args []string) error {
+	var o options
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	commonFlags(fs, &o)
+	modelFlag(fs, &o)
+	fs.Parse(args)
+	sys, err := obtainSystem(&o)
+	if err != nil {
+		return err
+	}
+	return runEval(sys)
+}
+
+func runEval(sys *dssddi.System) error {
+	data := sys.Data()
+	reports, err := sys.Evaluate(data.TestPatients(), []int{1, 2, 3, 4, 5, 6})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-4s %-10s %-10s %-10s %-10s\n", "k", "Precision", "Recall", "NDCG", "SS")
+	for _, r := range reports {
+		fmt.Printf("%-4d %-10.4f %-10.4f %-10.4f %-10.4f\n", r.K, r.Precision, r.Recall, r.NDCG, r.SS)
+	}
+	return nil
+}
+
+func cmdSuggest(args []string) error {
+	var o options
+	fs := flag.NewFlagSet("suggest", flag.ExitOnError)
+	commonFlags(fs, &o)
+	modelFlag(fs, &o)
+	fs.IntVar(&o.patient, "patient", -1, "patient index (default: first test patient)")
+	fs.IntVar(&o.k, "k", 3, "suggestion list length")
+	fs.BoolVar(&o.alerts, "alerts", true, "screen suggestions against the patient's regimen")
+	fs.Parse(args)
+	sys, err := obtainSystem(&o)
+	if err != nil {
+		return err
+	}
+	return runSuggest(sys, o.patient, o.k, o.alerts)
+}
+
+func runSuggest(sys *dssddi.System, patient, k int, screen bool) error {
+	data := sys.Data()
+	p := patient
+	if p < 0 {
+		p = data.TestPatients()[0]
+	}
+	suggs, err := sys.Suggest(p, k)
+	if err != nil {
+		return err
+	}
+	regimen := data.Medications(p)
+	fmt.Printf("patient %d takes:", p)
+	for _, d := range regimen {
+		fmt.Printf(" %s", data.DrugName(d))
+	}
+	fmt.Println()
+	var checker *alerts.Checker
+	if screen {
+		emb, err := sys.DrugRelationEmbeddings()
+		if err != nil {
+			return err
+		}
+		names := make([]string, data.NumDrugs())
+		for i := range names {
+			names[i] = data.DrugName(i)
+		}
+		checker = alerts.NewChecker(data.Dataset().DDI, emb, names)
+	}
+	for i, s := range suggs {
+		fmt.Printf("%d. %-24s %.4f\n", i+1, s.DrugName, s.Score)
+		if checker != nil {
+			for _, a := range checker.ScreenAgainst(regimen, []int{s.DrugID}) {
+				fmt.Printf("   [%s] %s\n", a.Severity, a.Message)
+			}
+		}
+	}
+	fmt.Println()
+	ex, err := sys.ExplainSuggestions(suggs)
+	if err != nil {
+		return err
+	}
+	fmt.Println(ex.Text)
+	return nil
+}
+
+func cmdExplain(args []string) error {
+	var o options
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	commonFlags(fs, &o)
+	modelFlag(fs, &o)
+	fs.StringVar(&o.drugs, "drugs", "", "comma-separated drug IDs, e.g. 46,47")
+	fs.Parse(args)
+	if o.drugs == "" {
+		return fmt.Errorf("explain needs -drugs, e.g. -drugs 46,47")
+	}
+	ids, err := parseDrugs(o.drugs)
+	if err != nil {
+		return err
+	}
+	sys, err := obtainSystem(&o)
+	if err != nil {
+		return err
+	}
+	ex, err := sys.Explain(ids)
+	if err != nil {
+		return err
+	}
+	fmt.Println(ex.Text)
+	return nil
+}
+
+func cmdInfo(args []string) error {
+	var o options
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	modelFlag(fs, &o)
+	fs.Parse(args)
+	if o.model == "" {
+		return fmt.Errorf("info needs -m model.snap")
+	}
+	f, err := os.Open(o.model)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	info, err := dssddi.ReadSnapshotInfo(f)
+	if err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(info, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(buf))
+	return nil
+}
+
+func parseDrugs(spec string) ([]int, error) {
+	var ids []int
+	for _, part := range strings.Split(spec, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad drug ID %q: %v", part, err)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
 func main() {
+	log.SetFlags(0)
+	if len(os.Args) > 1 && !strings.HasPrefix(os.Args[1], "-") {
+		var err error
+		switch cmd := os.Args[1]; cmd {
+		case "train":
+			err = cmdTrain(os.Args[2:])
+		case "eval":
+			err = cmdEval(os.Args[2:])
+		case "suggest":
+			err = cmdSuggest(os.Args[2:])
+		case "explain":
+			err = cmdExplain(os.Args[2:])
+		case "info":
+			err = cmdInfo(os.Args[2:])
+		case "help", "usage":
+			fmt.Fprintln(os.Stderr, "subcommands: train, eval, suggest, explain, info (or legacy -mode flags)")
+		default:
+			err = fmt.Errorf("unknown subcommand %q (want train, eval, suggest, explain or info)", cmd)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	legacyMain()
+}
+
+// legacyMain is the original flag-driven interface: it trains on every
+// invocation and keeps the profiling hooks.
+func legacyMain() {
 	var (
+		o          options
 		mode       = flag.String("mode", "eval", "eval | suggest | explain")
-		backbone   = flag.String("backbone", "SGCN", "DDIGCN backbone: GIN, SGCN, SiGAT, SNEA")
-		patients   = flag.Int("patients", 800, "synthetic cohort size")
-		seed       = flag.Int64("seed", 1, "generation and training seed")
-		patient    = flag.Int("patient", -1, "patient index for -mode suggest")
-		k          = flag.Int("k", 3, "suggestion list length")
-		drugs      = flag.String("drugs", "", "comma-separated drug IDs for -mode explain")
-		ddiEpochs  = flag.Int("ddi-epochs", 150, "DDI module training epochs (paper: 400)")
-		mdEpochs   = flag.Int("md-epochs", 250, "MD module training epochs (paper: 1000)")
-		mimic      = flag.Bool("mimic", false, "use the MIMIC-like data set instead of the chronic cohort")
-		workers    = flag.Int("workers", 0, "kernel worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
+	commonFlags(flag.CommandLine, &o)
+	flag.IntVar(&o.patient, "patient", -1, "patient index for -mode suggest")
+	flag.IntVar(&o.k, "k", 3, "suggestion list length")
+	flag.StringVar(&o.drugs, "drugs", "", "comma-separated drug IDs for -mode explain")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -66,72 +366,32 @@ func main() {
 		}()
 	}
 
-	var data *dssddi.Data
-	if *mimic {
-		data = dssddi.GenerateMIMIC(*seed, *patients)
-	} else {
-		males := *patients / 2
-		data = dssddi.GenerateChronic(*seed, *patients-males, males)
-	}
-	cfg := dssddi.DefaultConfig()
-	cfg.Backbone = *backbone
-	cfg.DDIEpochs = *ddiEpochs
-	cfg.MDEpochs = *mdEpochs
-	cfg.Seed = *seed
-	cfg.Workers = *workers
-	sys := dssddi.New(cfg)
-	fmt.Fprintf(os.Stderr, "training DSSDDI(%s) on %d patients...\n", *backbone, data.NumPatients())
-	if err := sys.Train(data); err != nil {
+	sys, err := trainSystem(&o)
+	if err != nil {
 		log.Fatal(err)
 	}
-
 	switch *mode {
 	case "eval":
-		reports, err := sys.Evaluate(data.TestPatients(), []int{1, 2, 3, 4, 5, 6})
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%-4s %-10s %-10s %-10s %-10s\n", "k", "Precision", "Recall", "NDCG", "SS")
-		for _, r := range reports {
-			fmt.Printf("%-4d %-10.4f %-10.4f %-10.4f %-10.4f\n", r.K, r.Precision, r.Recall, r.NDCG, r.SS)
-		}
+		err = runEval(sys)
 	case "suggest":
-		p := *patient
-		if p < 0 {
-			p = data.TestPatients()[0]
-		}
-		suggs, err := sys.Suggest(p, *k)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("patient %d takes:", p)
-		for _, d := range data.Medications(p) {
-			fmt.Printf(" %s", data.DrugName(d))
-		}
-		fmt.Println()
-		for i, s := range suggs {
-			fmt.Printf("%d. %-24s %.4f\n", i+1, s.DrugName, s.Score)
-		}
-		fmt.Println()
-		fmt.Println(sys.ExplainSuggestions(suggs).Text)
+		err = runSuggest(sys, o.patient, o.k, false)
 	case "explain":
-		if *drugs == "" {
+		if o.drugs == "" {
 			log.Fatal("-mode explain needs -drugs, e.g. -drugs 46,47")
 		}
-		var ids []int
-		for _, part := range strings.Split(*drugs, ",") {
-			id, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil {
-				log.Fatalf("bad drug ID %q: %v", part, err)
-			}
-			ids = append(ids, id)
+		ids, perr := parseDrugs(o.drugs)
+		if perr != nil {
+			log.Fatal(perr)
 		}
-		ex, err := sys.Explain(ids)
-		if err != nil {
-			log.Fatal(err)
+		var ex dssddi.Explanation
+		ex, err = sys.Explain(ids)
+		if err == nil {
+			fmt.Println(ex.Text)
 		}
-		fmt.Println(ex.Text)
 	default:
 		log.Fatalf("unknown mode %q (want eval, suggest or explain)", *mode)
+	}
+	if err != nil {
+		log.Fatal(err)
 	}
 }

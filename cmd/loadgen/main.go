@@ -1,0 +1,190 @@
+// Command loadgen drives a running dssddi-serve instance with
+// concurrent /v1/suggest traffic and reports throughput and latency
+// quantiles, optionally recording them in the shared benchfmt JSON
+// schema next to the training benchmarks.
+//
+// Usage:
+//
+//	dssddi-serve -m model.snap -addr 127.0.0.1:8080 &
+//	loadgen -addr 127.0.0.1:8080 -duration 10s -concurrency 32 -json BENCH_serve.json
+//
+// Patients are sampled uniformly from the model's cohort (discovered
+// via /healthz), so cache hit rates reflect the -spread flag: the
+// sampled patient pool size (0 = the whole cohort).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dssddi/internal/benchfmt"
+)
+
+type suggestRequest struct {
+	Patient int `json:"patient"`
+	K       int `json:"k,omitempty"`
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8080", "dssddi-serve address (host:port)")
+		duration    = flag.Duration("duration", 5*time.Second, "how long to drive load")
+		concurrency = flag.Int("concurrency", 16, "concurrent client goroutines")
+		k           = flag.Int("k", 4, "suggestion list length per request")
+		spread      = flag.Int("spread", 0, "distinct patients to sample (0 = whole cohort)")
+		seed        = flag.Int64("seed", 1, "patient sampling seed")
+		jsonPath    = flag.String("json", "", "write a benchfmt report to this JSON file")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	base := "http://" + *addr
+
+	// Discover the cohort size (and prove the server is up).
+	var health struct {
+		Model struct {
+			Patients int `json:"patients"`
+		} `json:"model"`
+	}
+	if err := getJSON(base+"/healthz", &health); err != nil {
+		log.Fatalf("loadgen: %s unreachable: %v", base, err)
+	}
+	patients := health.Model.Patients
+	if patients <= 0 {
+		log.Fatalf("loadgen: server reports %d patients", patients)
+	}
+	pool := patients
+	if *spread > 0 && *spread < pool {
+		pool = *spread
+	}
+
+	fmt.Fprintf(os.Stderr, "loadgen: %d clients, %v, %d-patient pool against %s\n",
+		*concurrency, *duration, pool, base)
+
+	var (
+		wg       sync.WaitGroup
+		requests atomic.Int64
+		errors   atomic.Int64
+		mu       sync.Mutex
+		lats     []int64
+	)
+	deadline := time.Now().Add(*duration)
+	start := time.Now()
+	for c := 0; c < *concurrency; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(c)))
+			client := &http.Client{Timeout: 10 * time.Second}
+			local := make([]int64, 0, 4096)
+			for time.Now().Before(deadline) {
+				body, _ := json.Marshal(suggestRequest{Patient: rng.Intn(pool), K: *k})
+				t0 := time.Now()
+				resp, err := client.Post(base+"/v1/suggest", "application/json", bytes.NewReader(body))
+				lat := time.Since(t0).Nanoseconds()
+				requests.Add(1)
+				if err != nil {
+					errors.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errors.Add(1)
+					continue
+				}
+				local = append(local, lat)
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	n := requests.Load()
+	errs := errors.Load()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	q := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		return float64(lats[int(p*float64(len(lats)-1))]) / 1e6
+	}
+	bench := benchfmt.ServeBench{
+		Name:        "suggest",
+		Concurrency: *concurrency,
+		Requests:    int(n),
+		Errors:      int(errs),
+		Seconds:     elapsed.Seconds(),
+		RPS:         float64(n-errs) / elapsed.Seconds(),
+		P50Ms:       q(0.50),
+		P90Ms:       q(0.90),
+		P99Ms:       q(0.99),
+	}
+
+	// Enrich with the server's own cache/batching counters.
+	var metrics struct {
+		SuggestCache struct {
+			HitRate float64 `json:"hit_rate"`
+		} `json:"suggest_cache"`
+		Batching struct {
+			AvgBatchSize float64 `json:"avg_batch_size"`
+		} `json:"batching"`
+	}
+	if err := getJSON(base+"/metricsz", &metrics); err == nil {
+		bench.CacheHitRate = metrics.SuggestCache.HitRate
+		bench.AvgBatchSize = metrics.Batching.AvgBatchSize
+	}
+
+	fmt.Printf("%-10s %8.0f req/s  %6d reqs  %4d errs  p50 %6.2fms  p90 %6.2fms  p99 %6.2fms  cache %4.1f%%  batch %.2f\n",
+		bench.Name, bench.RPS, bench.Requests, bench.Errors,
+		bench.P50Ms, bench.P90Ms, bench.P99Ms, 100*bench.CacheHitRate, bench.AvgBatchSize)
+	if errs > 0 && errs*10 > n {
+		log.Fatalf("loadgen: %d/%d requests failed", errs, n)
+	}
+
+	if *jsonPath != "" {
+		rep := benchfmt.Report{
+			Schema:       benchfmt.Schema,
+			Profile:      "serve",
+			GoMaxProcs:   runtime.GOMAXPROCS(0),
+			Seed:         *seed,
+			Serving:      []benchfmt.ServeBench{bench},
+			TotalSeconds: elapsed.Seconds(),
+		}
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatalf("loadgen: marshal report: %v", err)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			log.Fatalf("loadgen: write %s: %v", *jsonPath, err)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", *jsonPath)
+	}
+}
+
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

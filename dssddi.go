@@ -20,7 +20,8 @@
 //	sys := dssddi.New(dssddi.DefaultConfig())
 //	sys.Train(data)
 //	suggestions, _ := sys.Suggest(data.TestPatients()[0], 3)
-//	fmt.Println(sys.ExplainSuggestions(suggestions).Text)
+//	explanation, _ := sys.ExplainSuggestions(suggestions)
+//	fmt.Println(explanation.Text)
 package dssddi
 
 import (
@@ -37,6 +38,12 @@ import (
 	"dssddi/internal/synth"
 )
 
+// ExplicitZero is a sentinel for the Config fields whose literal zero
+// value selects a paper default (Alpha, Delta): set a field to
+// ExplicitZero to request an exact zero instead of the default. Any
+// other negative value is rejected at Train time.
+const ExplicitZero float64 = -1
+
 // Config tunes the whole system. Zero values fall back to the paper's
 // hyperparameters (Section V-A3).
 type Config struct {
@@ -49,10 +56,11 @@ type Config struct {
 	MDEpochs  int
 	// Hidden is the representation width (default 64).
 	Hidden int
-	// Delta weights the counterfactual loss (default 1).
+	// Delta weights the counterfactual loss (default 1; ExplicitZero
+	// disables it).
 	Delta float64
 	// Alpha balances the two terms of Suggestion Satisfaction
-	// (default 0.5).
+	// (default 0.5; ExplicitZero weights only the second term).
 	Alpha float64
 	// Seed drives all randomness.
 	Seed int64
@@ -91,9 +99,30 @@ func (c *Config) fill() {
 	if c.Hidden == 0 {
 		c.Hidden = 64
 	}
-	if c.Alpha == 0 {
+	switch c.Alpha {
+	case 0:
 		c.Alpha = 0.5
+	case ExplicitZero:
+		c.Alpha = 0
 	}
+	switch c.Delta {
+	case 0:
+		c.Delta = 1
+	case ExplicitZero:
+		c.Delta = 0
+	}
+}
+
+// validate rejects out-of-range hyperparameters after fill has
+// resolved defaults and sentinels.
+func (c *Config) validate() error {
+	if c.Alpha < 0 || c.Alpha > 1 {
+		return fmt.Errorf("dssddi: Alpha %v out of range [0, 1] (use ExplicitZero for an exact zero)", c.Alpha)
+	}
+	if c.Delta < 0 {
+		return fmt.Errorf("dssddi: Delta %v must be non-negative (use ExplicitZero for an exact zero)", c.Delta)
+	}
+	return nil
 }
 
 func parseBackbone(s string) (ddi.Backbone, error) {
@@ -240,6 +269,9 @@ func (s *System) Train(data *Data) error {
 	if err != nil {
 		return err
 	}
+	if err := s.cfg.validate(); err != nil {
+		return err
+	}
 	s.backbone = b
 	s.data = data
 
@@ -309,6 +341,22 @@ func (s *System) Scores(patients []int) ([][]float64, error) {
 	return rows, nil
 }
 
+// SuggestFromScores ranks a precomputed score row (one element per
+// drug, as returned by Scores) into a suggestion list. It is the
+// batched serving path: a server that coalesced many patients into one
+// Scores call re-ranks each row with exactly the code Suggest uses, so
+// batched and direct suggestions are identical. Returns an error on an
+// untrained system or a row of the wrong width.
+func (s *System) SuggestFromScores(scores []float64, k int) ([]Suggestion, error) {
+	if err := s.ensureTrained(); err != nil {
+		return nil, err
+	}
+	if len(scores) != s.data.NumDrugs() {
+		return nil, fmt.Errorf("dssddi: score row has %d entries for %d drugs", len(scores), s.data.NumDrugs())
+	}
+	return s.rank(scores, k), nil
+}
+
 func (s *System) rank(scores []float64, k int) []Suggestion {
 	top := metrics.TopK(scores, k)
 	out := make([]Suggestion, 0, len(top))
@@ -341,17 +389,15 @@ func (s *System) Explain(drugIDs []int) (Explanation, error) {
 	return out, nil
 }
 
-// ExplainSuggestions is Explain over a suggestion list.
-func (s *System) ExplainSuggestions(suggs []Suggestion) Explanation {
+// ExplainSuggestions is Explain over a suggestion list. It propagates
+// Explain's error (an untrained system) instead of returning an empty
+// Explanation that is indistinguishable from "no subgraph found".
+func (s *System) ExplainSuggestions(suggs []Suggestion) (Explanation, error) {
 	ids := make([]int, len(suggs))
 	for i, sg := range suggs {
 		ids[i] = sg.DrugID
 	}
-	ex, err := s.Explain(ids)
-	if err != nil {
-		return Explanation{}
-	}
-	return ex
+	return s.Explain(ids)
 }
 
 // Metrics bundles the ranking metrics of the paper at one k.

@@ -106,7 +106,10 @@ func TestTrainSuggestExplainRoundTrip(t *testing.T) {
 	if suggs[0].DrugName == "" {
 		t.Fatal("names must be resolved")
 	}
-	ex := sys.ExplainSuggestions(suggs)
+	ex, err := sys.ExplainSuggestions(suggs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if ex.Text == "" || !strings.Contains(ex.Text, "Suggestion Satisfaction") {
 		t.Fatalf("explanation text: %q", ex.Text)
 	}
@@ -150,6 +153,51 @@ func TestScoresAndEmbeddingsShapes(t *testing.T) {
 	}
 	if len(emb) != data.NumDrugs() {
 		t.Fatal("embedding rows wrong")
+	}
+}
+
+func TestExplicitZeroSentinel(t *testing.T) {
+	// Literal zero selects the paper defaults for Alpha AND Delta —
+	// previously Delta silently stayed 0, contradicting the Config doc.
+	cfg := Config{}
+	cfg.fill()
+	if cfg.Alpha != 0.5 || cfg.Delta != 1 {
+		t.Fatalf("zero-value Config filled to Alpha=%v Delta=%v, want 0.5 and 1", cfg.Alpha, cfg.Delta)
+	}
+	// The sentinel makes an exact zero expressible.
+	cfg = Config{Alpha: ExplicitZero, Delta: ExplicitZero}
+	cfg.fill()
+	if cfg.Alpha != 0 || cfg.Delta != 0 {
+		t.Fatalf("ExplicitZero filled to Alpha=%v Delta=%v, want 0 and 0", cfg.Alpha, cfg.Delta)
+	}
+	// Explicit non-zero values pass through untouched.
+	cfg = Config{Alpha: 0.25, Delta: 2}
+	cfg.fill()
+	if cfg.Alpha != 0.25 || cfg.Delta != 2 {
+		t.Fatalf("explicit values clobbered: Alpha=%v Delta=%v", cfg.Alpha, cfg.Delta)
+	}
+}
+
+func TestInvalidAlphaDeltaRejected(t *testing.T) {
+	data := GenerateChronic(3, 40, 30)
+	for _, tc := range []struct{ alpha, delta float64 }{
+		{alpha: 2, delta: 1},
+		{alpha: -0.5, delta: 1},
+		{alpha: 0.5, delta: -3},
+	} {
+		cfg := DefaultConfig()
+		cfg.Alpha, cfg.Delta = tc.alpha, tc.delta
+		if err := New(cfg).Train(data); err == nil ||
+			!strings.Contains(err.Error(), "ExplicitZero") {
+			t.Fatalf("Alpha=%v Delta=%v must be rejected with a sentinel hint, got %v", tc.alpha, tc.delta, err)
+		}
+	}
+}
+
+func TestExplainSuggestionsUntrainedErrors(t *testing.T) {
+	sys := New(DefaultConfig())
+	if _, err := sys.ExplainSuggestions([]Suggestion{{DrugID: 1}}); err == nil {
+		t.Fatal("ExplainSuggestions before Train must propagate the error")
 	}
 }
 

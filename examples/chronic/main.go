@@ -63,7 +63,10 @@ func main() {
 	for _, s := range suggs {
 		fmt.Printf("  %-24s %.3f\n", s.DrugName, s.Score)
 	}
-	ex := sys.ExplainSuggestions(suggs)
+	ex, err := sys.ExplainSuggestions(suggs)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nsuggestion satisfaction: %.4f\n", ex.SS)
 	if len(ex.Antagonistic) > 0 {
 		fmt.Println("antagonistic interactions in the explanation subgraph:")

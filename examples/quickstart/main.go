@@ -41,8 +41,12 @@ func main() {
 		fmt.Printf("  %d. %-24s score %.3f\n", i+1, s.DrugName, s.Score)
 	}
 
+	explanation, err := sys.ExplainSuggestions(suggestions)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println()
-	fmt.Println(sys.ExplainSuggestions(suggestions).Text)
+	fmt.Println(explanation.Text)
 
 	reports, err := sys.Evaluate(data.TestPatients(), []int{1, 3, 6})
 	if err != nil {

@@ -1,0 +1,258 @@
+// Package alerts screens medication lists against the signed
+// drug-drug interaction graph and the DDI module's learned relation
+// embeddings, producing severity-tiered alerts in the style of
+// clinical prescription-critiquing systems: a recorded antagonism is a
+// hard warning, a model-predicted one a soft caution, a synergy an
+// informational note.
+//
+// Severity is derived from the edge sign and the interaction score
+// (the embedding inner product ẑ_uv trained to regress +1 synergy /
+// -1 antagonism / 0 none):
+//
+//	Critical — recorded antagonism the model also scores strongly
+//	           negative (ẑ ≤ CriticalScore)
+//	Major    — any other recorded antagonism
+//	Moderate — no recorded edge, but ẑ ≤ PredictThreshold (a
+//	           model-predicted antagonism)
+//	Minor    — recorded synergy (informational, beneficial)
+package alerts
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"dssddi/internal/graph"
+)
+
+// Severity tiers an alert, ordered so a higher value is more severe.
+type Severity int
+
+// Severity tiers, least to most severe.
+const (
+	Minor Severity = iota
+	Moderate
+	Major
+	Critical
+)
+
+// String returns the lower-case tier name used in JSON payloads.
+func (s Severity) String() string {
+	switch s {
+	case Critical:
+		return "critical"
+	case Major:
+		return "major"
+	case Moderate:
+		return "moderate"
+	default:
+		return "minor"
+	}
+}
+
+// MarshalJSON renders the tier name, not the numeric value.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON parses a tier name written by MarshalJSON.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "critical":
+		*s = Critical
+	case "major":
+		*s = Major
+	case "moderate":
+		*s = Moderate
+	case "minor":
+		*s = Minor
+	default:
+		return fmt.Errorf("alerts: unknown severity %q", name)
+	}
+	return nil
+}
+
+// Alert is one structured interaction finding between two drugs.
+type Alert struct {
+	// Type is "recorded-antagonism", "predicted-antagonism" or
+	// "recorded-synergy".
+	Type      string   `json:"type"`
+	Severity  Severity `json:"severity"`
+	DrugA     int      `json:"drug_a"`
+	DrugB     int      `json:"drug_b"`
+	DrugAName string   `json:"drug_a_name,omitempty"`
+	DrugBName string   `json:"drug_b_name,omitempty"`
+	// Score is the model's interaction score ẑ_uv (0 when embeddings
+	// are unavailable and the alert rests on the recorded edge alone).
+	Score   float64 `json:"score"`
+	Message string  `json:"message"`
+}
+
+// Checker screens drug lists. It is immutable after construction and
+// safe for unbounded concurrent use — every method only reads.
+type Checker struct {
+	ddi   *graph.Signed
+	emb   [][]float64 // drug relation embeddings; nil disables scores
+	names []string
+
+	// CriticalScore is the predicted-score ceiling at or below which a
+	// recorded antagonism escalates from Major to Critical.
+	CriticalScore float64
+	// PredictThreshold is the ceiling at or below which an unrecorded
+	// pair raises a Moderate predicted-antagonism alert.
+	PredictThreshold float64
+}
+
+// NewChecker builds a checker over the interaction graph. emb is the
+// DDI module's relation embedding matrix (one row per drug); pass nil
+// to screen on recorded edges only. names resolves drug IDs in
+// messages and may be nil.
+func NewChecker(ddi *graph.Signed, emb [][]float64, names []string) *Checker {
+	return &Checker{
+		ddi:              ddi,
+		emb:              emb,
+		names:            names,
+		CriticalScore:    -0.75,
+		PredictThreshold: -0.5,
+	}
+}
+
+func (c *Checker) name(id int) string {
+	if c.names != nil && id >= 0 && id < len(c.names) {
+		return c.names[id]
+	}
+	return fmt.Sprintf("DID %d", id)
+}
+
+// score returns the embedding inner product for a drug pair and
+// whether embeddings are available for both.
+func (c *Checker) score(u, v int) (float64, bool) {
+	if c.emb == nil || u >= len(c.emb) || v >= len(c.emb) {
+		return 0, false
+	}
+	var dot float64
+	for i, x := range c.emb[u] {
+		dot += x * c.emb[v][i]
+	}
+	return dot, true
+}
+
+// Pair screens one drug pair, reporting whether it raises an alert.
+func (c *Checker) Pair(u, v int) (Alert, bool) {
+	if u == v || u < 0 || v < 0 || u >= c.ddi.N() || v >= c.ddi.N() {
+		return Alert{}, false
+	}
+	score, scored := c.score(u, v)
+	sign, recorded := c.ddi.Edge(u, v)
+	a := Alert{DrugA: u, DrugB: v, DrugAName: c.name(u), DrugBName: c.name(v), Score: score}
+	switch {
+	case recorded && sign == graph.Antagonism:
+		a.Type = "recorded-antagonism"
+		a.Severity = Major
+		if scored && score <= c.CriticalScore {
+			a.Severity = Critical
+			a.Message = fmt.Sprintf("%s and %s have a recorded antagonistic interaction the model scores strongly negative (%.2f); avoid co-prescription", a.DrugAName, a.DrugBName, score)
+		} else {
+			a.Message = fmt.Sprintf("%s and %s have a recorded antagonistic interaction; review before co-prescription", a.DrugAName, a.DrugBName)
+		}
+	case recorded && sign == graph.Synergy:
+		a.Type = "recorded-synergy"
+		a.Severity = Minor
+		a.Message = fmt.Sprintf("%s and %s have a recorded synergistic interaction (informational)", a.DrugAName, a.DrugBName)
+	case !recorded && scored && score <= c.PredictThreshold:
+		a.Type = "predicted-antagonism"
+		a.Severity = Moderate
+		a.Message = fmt.Sprintf("the model predicts an antagonistic interaction between %s and %s (score %.2f); no recorded edge — monitor", a.DrugAName, a.DrugBName, score)
+	default:
+		return Alert{}, false
+	}
+	return a, true
+}
+
+// dedup returns drugs with repeats removed, first occurrence winning,
+// so a list with duplicate IDs cannot double-report a pair.
+func dedup(drugs []int) []int {
+	seen := make(map[int]bool, len(drugs))
+	out := make([]int, 0, len(drugs))
+	for _, d := range drugs {
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		out = append(out, d)
+	}
+	return out
+}
+
+// ScreenList screens every pair of a proposed medication list
+// (duplicate IDs are ignored), returning alerts ordered most-severe
+// first (ties by drug IDs, so the output is deterministic).
+func (c *Checker) ScreenList(drugs []int) []Alert {
+	drugs = dedup(drugs)
+	var out []Alert
+	for i := 0; i < len(drugs); i++ {
+		for j := i + 1; j < len(drugs); j++ {
+			if a, ok := c.Pair(drugs[i], drugs[j]); ok {
+				out = append(out, a)
+			}
+		}
+	}
+	sortAlerts(out)
+	return out
+}
+
+// ScreenAgainst screens each proposed drug against a patient's current
+// regimen (skipping drugs already in it), the check a suggestion list
+// goes through before it reaches a clinician. Alerts are ordered
+// most-severe first.
+func (c *Checker) ScreenAgainst(regimen, proposed []int) []Alert {
+	current := make(map[int]bool, len(regimen))
+	for _, d := range regimen {
+		current[d] = true
+	}
+	regimen = dedup(regimen)
+	var out []Alert
+	for _, p := range dedup(proposed) {
+		if current[p] {
+			continue
+		}
+		for _, r := range regimen {
+			if a, ok := c.Pair(r, p); ok {
+				out = append(out, a)
+			}
+		}
+	}
+	sortAlerts(out)
+	return out
+}
+
+func sortAlerts(alerts []Alert) {
+	sort.SliceStable(alerts, func(i, j int) bool {
+		if alerts[i].Severity != alerts[j].Severity {
+			return alerts[i].Severity > alerts[j].Severity
+		}
+		if alerts[i].DrugA != alerts[j].DrugA {
+			return alerts[i].DrugA < alerts[j].DrugA
+		}
+		return alerts[i].DrugB < alerts[j].DrugB
+	})
+}
+
+// MaxSeverity returns the highest tier present in alerts and whether
+// any alert exists.
+func MaxSeverity(alerts []Alert) (Severity, bool) {
+	if len(alerts) == 0 {
+		return Minor, false
+	}
+	max := alerts[0].Severity
+	for _, a := range alerts[1:] {
+		if a.Severity > max {
+			max = a.Severity
+		}
+	}
+	return max, true
+}

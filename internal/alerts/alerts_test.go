@@ -1,0 +1,137 @@
+package alerts
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dssddi/internal/graph"
+)
+
+// testChecker builds a 5-drug world:
+//
+//	0-1 recorded antagonism, embedding score -0.9  -> Critical
+//	0-2 recorded antagonism, embedding score -0.1  -> Major
+//	1-2 recorded synergy                           -> Minor
+//	3-4 no recorded edge, embedding score -0.81    -> Moderate
+//	0-4 no recorded edge, embedding score ~0       -> no alert
+func testChecker() *Checker {
+	g := graph.NewSigned(5)
+	g.SetEdge(0, 1, graph.Antagonism)
+	g.SetEdge(0, 2, graph.Antagonism)
+	g.SetEdge(1, 2, graph.Synergy)
+	emb := [][]float64{
+		{1, 0, 0},
+		{-0.9, 0.1, 0},
+		{-0.1, 0.3, 0},
+		{0, 0.9, 0},
+		{0, -0.9, 0.1},
+	}
+	return NewChecker(g, emb, []string{"Aspirin", "Warfarin", "Statin", "DrugD", "DrugE"})
+}
+
+func TestSeverityTiers(t *testing.T) {
+	c := testChecker()
+	cases := []struct {
+		u, v     int
+		wantType string
+		wantSev  Severity
+	}{
+		{0, 1, "recorded-antagonism", Critical},
+		{0, 2, "recorded-antagonism", Major},
+		{1, 2, "recorded-synergy", Minor},
+		{3, 4, "predicted-antagonism", Moderate},
+	}
+	for _, tc := range cases {
+		a, ok := c.Pair(tc.u, tc.v)
+		if !ok {
+			t.Fatalf("pair (%d,%d): no alert", tc.u, tc.v)
+		}
+		if a.Type != tc.wantType || a.Severity != tc.wantSev {
+			t.Fatalf("pair (%d,%d): got %s/%s, want %s/%s", tc.u, tc.v, a.Type, a.Severity, tc.wantType, tc.wantSev)
+		}
+		if a.Message == "" || a.DrugAName == "" {
+			t.Fatalf("pair (%d,%d): message/names not filled: %+v", tc.u, tc.v, a)
+		}
+	}
+	if _, ok := c.Pair(0, 4); ok {
+		t.Fatal("benign pair must not alert")
+	}
+	if _, ok := c.Pair(2, 2); ok {
+		t.Fatal("self pair must not alert")
+	}
+	if _, ok := c.Pair(0, 99); ok {
+		t.Fatal("out-of-range drug must not alert")
+	}
+}
+
+func TestScreenListOrdersBySeverity(t *testing.T) {
+	c := testChecker()
+	alerts := c.ScreenList([]int{0, 1, 2, 3, 4})
+	if len(alerts) != 4 {
+		t.Fatalf("got %d alerts: %+v", len(alerts), alerts)
+	}
+	for i := 1; i < len(alerts); i++ {
+		if alerts[i].Severity > alerts[i-1].Severity {
+			t.Fatalf("alerts not sorted most-severe first: %+v", alerts)
+		}
+	}
+	if alerts[0].Severity != Critical || alerts[len(alerts)-1].Severity != Minor {
+		t.Fatalf("tier range wrong: %+v", alerts)
+	}
+	sev, any := MaxSeverity(alerts)
+	if !any || sev != Critical {
+		t.Fatalf("MaxSeverity = %v,%v", sev, any)
+	}
+}
+
+func TestScreenListDeduplicates(t *testing.T) {
+	c := testChecker()
+	want := c.ScreenList([]int{0, 1})
+	got := c.ScreenList([]int{0, 1, 0, 1, 0})
+	if len(got) != len(want) {
+		t.Fatalf("duplicate IDs double-reported: %d alerts, want %d", len(got), len(want))
+	}
+}
+
+func TestScreenAgainstSkipsCurrentRegimen(t *testing.T) {
+	c := testChecker()
+	// Patient takes 0 and 2; proposing 1 must flag 0-1 (critical) and
+	// the 1-2 synergy note, but proposing 2 (already taken) is skipped.
+	alerts := c.ScreenAgainst([]int{0, 2}, []int{1, 2})
+	if len(alerts) != 2 {
+		t.Fatalf("got %d alerts: %+v", len(alerts), alerts)
+	}
+	if alerts[0].Severity != Critical || alerts[0].DrugA != 0 || alerts[0].DrugB != 1 {
+		t.Fatalf("first alert wrong: %+v", alerts[0])
+	}
+	if alerts[1].Type != "recorded-synergy" {
+		t.Fatalf("second alert wrong: %+v", alerts[1])
+	}
+}
+
+func TestNoEmbeddingsFallsBackToRecordedEdges(t *testing.T) {
+	g := graph.NewSigned(3)
+	g.SetEdge(0, 1, graph.Antagonism)
+	c := NewChecker(g, nil, nil)
+	a, ok := c.Pair(0, 1)
+	if !ok || a.Severity != Major {
+		t.Fatalf("recorded antagonism without embeddings must be Major, got %+v (ok=%v)", a, ok)
+	}
+	if !strings.Contains(a.DrugAName, "DID 0") {
+		t.Fatalf("nameless checker must fall back to IDs: %+v", a)
+	}
+	if _, ok := c.Pair(0, 2); ok {
+		t.Fatal("no edge and no embeddings must not alert")
+	}
+}
+
+func TestSeverityJSON(t *testing.T) {
+	buf, err := json.Marshal(Alert{Severity: Critical, Type: "recorded-antagonism"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(buf), `"severity":"critical"`) {
+		t.Fatalf("severity must marshal as its name: %s", buf)
+	}
+}

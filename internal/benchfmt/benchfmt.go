@@ -26,6 +26,24 @@ type TrainBench struct {
 	BytesPerOp  float64 `json:"bytes_per_op"`
 }
 
+// ServeBench is one HTTP serving throughput measurement, recorded by
+// cmd/loadgen against a running dssddi-serve instance.
+type ServeBench struct {
+	Name        string  `json:"name"` // e.g. "suggest"
+	Concurrency int     `json:"concurrency"`
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	Seconds     float64 `json:"seconds"`
+	RPS         float64 `json:"rps"`
+	P50Ms       float64 `json:"p50_ms"`
+	P90Ms       float64 `json:"p90_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	// CacheHitRate and AvgBatchSize come from the server's /metricsz
+	// after the run (0 when unavailable).
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	AvgBatchSize float64 `json:"avg_batch_size"`
+}
+
 // Report is the full benchmark record CI archives per run.
 type Report struct {
 	Schema       string       `json:"schema"`
@@ -34,6 +52,7 @@ type Report struct {
 	GoMaxProcs   int          `json:"go_max_procs"`
 	Seed         int64        `json:"seed"`
 	Training     []TrainBench `json:"training,omitempty"`
+	Serving      []ServeBench `json:"serving,omitempty"`
 	Sections     []Section    `json:"sections,omitempty"`
 	TotalSeconds float64      `json:"total_seconds"`
 }

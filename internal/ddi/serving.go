@@ -1,0 +1,19 @@
+package ddi
+
+import (
+	"fmt"
+
+	"dssddi/internal/mat"
+)
+
+// FromEmbeddings rebuilds an inference-only Model around a previously
+// trained relation embedding matrix (the snapshot load path). The
+// returned model serves Embeddings and EdgeScore exactly like the
+// model the matrix came from; it has no encoder, so Train panics —
+// retraining starts from NewModel.
+func FromEmbeddings(cfg Config, emb *mat.Dense) (*Model, error) {
+	if emb == nil || emb.Rows() == 0 {
+		return nil, fmt.Errorf("ddi: FromEmbeddings needs a non-empty embedding matrix")
+	}
+	return &Model{Config: cfg, emb: emb}, nil
+}

@@ -8,6 +8,7 @@ package md
 import (
 	"math"
 	"math/rand"
+	"sort"
 
 	"dssddi/internal/cluster"
 	"dssddi/internal/graph"
@@ -94,7 +95,17 @@ func BuildTreatment(rng *rand.Rand, x, y *mat.Dense, ddi *graph.Signed, k int) *
 	}
 	// Precompute the per-cluster inference rows (steps 2-3 for a
 	// hypothetical member with no observed links of its own).
-	t.clusterRow = make([][]float64, k)
+	t.buildClusterRows(m)
+	return t
+}
+
+// buildClusterRows derives the per-cluster inference rows from
+// clusterDrugs: the cluster treatment set expanded across synergistic
+// DDI edges. Both the training constructor and the snapshot restore
+// path go through here, so a restored Treatment infers bitwise
+// identically to the original.
+func (t *Treatment) buildClusterRows(m int) {
+	t.clusterRow = make([][]float64, len(t.clusterDrugs))
 	for c := range t.clusterRow {
 		row := make([]float64, m)
 		for v := range t.clusterDrugs[c] {
@@ -104,12 +115,48 @@ func BuildTreatment(rng *rand.Rand, x, y *mat.Dense, ddi *graph.Signed, k int) *
 			if row[v] != 1 {
 				continue
 			}
-			for _, u := range ddi.Neighbors(v, func(s graph.Sign) bool { return s == graph.Synergy }) {
+			for _, u := range t.ddi.Neighbors(v, func(s graph.Sign) bool { return s == graph.Synergy }) {
 				row[u] = 1
 			}
 		}
 		t.clusterRow[c] = row
 	}
+}
+
+// ClusterSets exports the post-step-2 cluster treatment sets (sorted
+// drug IDs per cluster) — the part of a Treatment that cannot be
+// recomputed from its exported fields. Together with T, Assign,
+// Centroids and the DDI graph it fully determines the inference
+// behaviour (see RestoreTreatment).
+func (t *Treatment) ClusterSets() [][]int {
+	out := make([][]int, len(t.clusterDrugs))
+	for c, set := range t.clusterDrugs {
+		drugs := make([]int, 0, len(set))
+		for v := range set {
+			drugs = append(drugs, v)
+		}
+		sort.Ints(drugs)
+		out[c] = drugs
+	}
+	return out
+}
+
+// RestoreTreatment rebuilds a Treatment from serialized state: the
+// treatment matrix, cluster assignment, centroids and per-cluster
+// treatment sets (as returned by ClusterSets), plus the DDI graph the
+// synergy expansion runs on. The precomputed inference rows are
+// re-derived with the same expansion as BuildTreatment, so InferRow on
+// the restored value is bitwise identical to the original.
+func RestoreTreatment(T *mat.Dense, assign []int, centroids *mat.Dense, clusterSets [][]int, ddi *graph.Signed) *Treatment {
+	t := &Treatment{T: T, Assign: assign, Centroids: centroids, ddi: ddi}
+	t.clusterDrugs = make([]map[int]bool, len(clusterSets))
+	for c, drugs := range clusterSets {
+		t.clusterDrugs[c] = make(map[int]bool, len(drugs))
+		for _, v := range drugs {
+			t.clusterDrugs[c][v] = true
+		}
+	}
+	t.buildClusterRows(ddi.N())
 	return t
 }
 

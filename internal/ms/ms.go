@@ -54,7 +54,10 @@ func DefaultOptions() Options { return Options{Alpha: 0.5, MaxExpand: 20} }
 // Explain runs the full MS pipeline for a set of suggested drugs
 // against the DDI graph.
 func Explain(ddi *graph.Signed, suggested []int, opts Options) Explanation {
-	if opts.Alpha <= 0 || opts.Alpha >= 1 {
+	// The closed interval is valid: alpha 0 or 1 weights a single term
+	// of Eq. 19 (reachable via dssddi.ExplicitZero). Only values
+	// outside [0, 1] fall back to the experiments' default.
+	if opts.Alpha < 0 || opts.Alpha > 1 {
 		opts.Alpha = 0.5
 	}
 	ex := Explanation{Suggested: dedupSorted(suggested)}

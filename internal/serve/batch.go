@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	"dssddi"
+)
+
+// batcher coalesces concurrent per-patient score requests into one
+// System.Scores matrix call. The score kernels partition work by
+// output row, so a row computed in a batch of 64 is bitwise identical
+// to the same row computed alone — batching changes latency and
+// throughput, never results (the equivalence tests enforce this).
+type batcher struct {
+	sys      *dssddi.System
+	reqs     chan batchReq
+	maxBatch int
+	window   time.Duration
+	stop     chan struct{}
+	done     chan struct{}
+
+	batches  atomic.Int64 // Scores calls issued
+	requests atomic.Int64 // patient requests served through them
+}
+
+type batchReq struct {
+	patient int
+	out     chan batchResp
+}
+
+type batchResp struct {
+	row []float64
+	err error
+}
+
+// newBatcher starts the collector goroutine. maxBatch bounds the
+// patients per Scores call; window is how long the collector holds a
+// lone request hoping for company (0 = opportunistic only: batch
+// whatever is already queued, never wait).
+func newBatcher(sys *dssddi.System, maxBatch int, window time.Duration) *batcher {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	b := &batcher{
+		sys:      sys,
+		reqs:     make(chan batchReq, 4*maxBatch),
+		maxBatch: maxBatch,
+		window:   window,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+// Score returns the score row for one patient, transparently batched
+// with whatever concurrent requests are in flight. The returned slice
+// is owned by the caller. The patient index must already be validated.
+func (b *batcher) Score(patient int) ([]float64, error) {
+	out := make(chan batchResp, 1)
+	select {
+	case b.reqs <- batchReq{patient: patient, out: out}:
+	case <-b.stop:
+		return nil, errServerClosed
+	}
+	select {
+	case r := <-out:
+		return r.row, r.err
+	case <-b.done:
+		// The collector exited. Our request may still have been served
+		// by its final drain (out is buffered), so check before giving
+		// up — otherwise it was enqueued after the drain and will never
+		// be serviced.
+		select {
+		case r := <-out:
+			return r.row, r.err
+		default:
+			return nil, errServerClosed
+		}
+	}
+}
+
+// Close stops the collector after it drains in-flight requests.
+func (b *batcher) Close() {
+	close(b.stop)
+	<-b.done
+}
+
+// Stats reports how many Scores calls served how many requests.
+func (b *batcher) Stats() (batches, requests int64) {
+	return b.batches.Load(), b.requests.Load()
+}
+
+func (b *batcher) loop() {
+	defer close(b.done)
+	buf := make([]batchReq, 0, b.maxBatch)
+	for {
+		select {
+		case r := <-b.reqs:
+			buf = append(buf[:0], r)
+			b.collect(&buf)
+			b.flush(buf)
+		case <-b.stop:
+			// Drain whatever was enqueued before Close.
+			for {
+				select {
+				case r := <-b.reqs:
+					buf = append(buf[:0], r)
+					b.collect(&buf)
+					b.flush(buf)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// collect fills buf (which holds one request) up to maxBatch: first a
+// non-blocking drain of everything already queued, then — when the
+// batch is still a singleton and a window is configured — a bounded
+// wait for company.
+func (b *batcher) collect(buf *[]batchReq) {
+	for len(*buf) < b.maxBatch {
+		select {
+		case r := <-b.reqs:
+			*buf = append(*buf, r)
+			continue
+		default:
+		}
+		break
+	}
+	if len(*buf) > 1 || b.window <= 0 {
+		return
+	}
+	timer := time.NewTimer(b.window)
+	defer timer.Stop()
+	for len(*buf) < b.maxBatch {
+		select {
+		case r := <-b.reqs:
+			*buf = append(*buf, r)
+		case <-timer.C:
+			return
+		case <-b.stop:
+			return
+		}
+	}
+}
+
+// flush scores the batch with one matrix call and fans the rows back
+// out to the waiting requests.
+func (b *batcher) flush(batch []batchReq) {
+	if len(batch) == 0 {
+		return
+	}
+	patients := make([]int, len(batch))
+	for i, r := range batch {
+		patients[i] = r.patient
+	}
+	rows, err := b.sys.Scores(patients)
+	b.batches.Add(1)
+	b.requests.Add(int64(len(batch)))
+	for i, r := range batch {
+		if err != nil {
+			r.out <- batchResp{err: err}
+			continue
+		}
+		r.out <- batchResp{row: rows[i]}
+	}
+}

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+)
+
+// lruCache is a sharded LRU over marshaled response bodies. Sharding
+// keeps lock contention off the hot path: a request only takes the
+// mutex of the shard its key hashes to, so concurrent suggests for
+// different patients rarely serialize on the cache.
+type lruCache struct {
+	shards []*lruShard
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type lruShard struct {
+	mu    sync.Mutex
+	max   int
+	items map[string]*list.Element
+	order *list.List // front = most recently used
+}
+
+type lruEntry struct {
+	key   string
+	value []byte
+}
+
+// newLRUCache builds a cache holding at most capacity entries across
+// shards (shard count rounded so every shard gets the same budget).
+// Returns nil when capacity <= 0 — a nil *lruCache is a valid,
+// always-miss cache, which is how caching is disabled.
+func newLRUCache(capacity, shards int) *lruCache {
+	if capacity <= 0 {
+		return nil
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > capacity {
+		shards = capacity
+	}
+	perShard := (capacity + shards - 1) / shards
+	c := &lruCache{shards: make([]*lruShard, shards)}
+	for i := range c.shards {
+		c.shards[i] = &lruShard{
+			max:   perShard,
+			items: make(map[string]*list.Element, perShard),
+			order: list.New(),
+		}
+	}
+	return c
+}
+
+func (c *lruCache) shard(key string) *lruShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return c.shards[h.Sum32()%uint32(len(c.shards))]
+}
+
+// Get returns the cached body for key, if any, promoting it to most
+// recently used. The returned slice is shared — callers only write it
+// to the response, never mutate it.
+func (c *lruCache) Get(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	el, ok := s.items[key]
+	var value []byte
+	if ok {
+		s.order.MoveToFront(el)
+		// Read the slice header under the lock: Put may overwrite an
+		// existing entry's value in place.
+		value = el.Value.(*lruEntry).value
+	}
+	s.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return value, true
+}
+
+// Put stores a body, evicting the least recently used entry of the
+// shard when it is full.
+func (c *lruCache) Put(key string, value []byte) {
+	if c == nil {
+		return
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*lruEntry).value = value
+		s.order.MoveToFront(el)
+		return
+	}
+	if s.order.Len() >= s.max {
+		oldest := s.order.Back()
+		if oldest != nil {
+			s.order.Remove(oldest)
+			delete(s.items, oldest.Value.(*lruEntry).key)
+		}
+	}
+	s.items[key] = s.order.PushFront(&lruEntry{key: key, value: value})
+}
+
+// Len returns the number of live entries.
+func (c *lruCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	var n int
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats reports cumulative hit/miss counters.
+func (c *lruCache) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}

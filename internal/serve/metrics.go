@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyWindow is how many recent samples each endpoint keeps for
+// quantile estimates. A power of two keeps the ring index cheap.
+const latencyWindow = 2048
+
+// endpointStats tracks one endpoint: monotonic request/error counters
+// plus a ring of recent latencies for p50/p90/p99.
+type endpointStats struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+	totalNs  atomic.Int64
+
+	mu      sync.Mutex
+	ring    [latencyWindow]int64
+	ringLen int
+	ringPos int
+}
+
+func (s *endpointStats) observe(d time.Duration, isError bool) {
+	s.requests.Add(1)
+	if isError {
+		s.errors.Add(1)
+	}
+	ns := d.Nanoseconds()
+	s.totalNs.Add(ns)
+	s.mu.Lock()
+	s.ring[s.ringPos] = ns
+	s.ringPos = (s.ringPos + 1) % latencyWindow
+	if s.ringLen < latencyWindow {
+		s.ringLen++
+	}
+	s.mu.Unlock()
+}
+
+// quantiles returns p50/p90/p99 over the retained window, in
+// milliseconds.
+func (s *endpointStats) quantiles() (p50, p90, p99 float64) {
+	s.mu.Lock()
+	n := s.ringLen
+	samples := make([]int64, n)
+	copy(samples, s.ring[:n])
+	s.mu.Unlock()
+	if n == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	at := func(q float64) float64 {
+		idx := int(q * float64(n-1))
+		return float64(samples[idx]) / 1e6
+	}
+	return at(0.50), at(0.90), at(0.99)
+}
+
+// EndpointMetrics is the JSON shape of one endpoint's counters.
+type EndpointMetrics struct {
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	AvgMs    float64 `json:"avg_ms"`
+	P50Ms    float64 `json:"p50_ms"`
+	P90Ms    float64 `json:"p90_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+}
+
+// CacheMetrics is the JSON shape of the result-cache counters.
+type CacheMetrics struct {
+	Enabled bool    `json:"enabled"`
+	Entries int     `json:"entries"`
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// BatchMetrics is the JSON shape of the micro-batching counters.
+type BatchMetrics struct {
+	Batches      int64   `json:"batches"`
+	Requests     int64   `json:"requests"`
+	AvgBatchSize float64 `json:"avg_batch_size"`
+}
+
+// Metrics is the full /metricsz payload.
+type Metrics struct {
+	UptimeSeconds float64                    `json:"uptime_seconds"`
+	Endpoints     map[string]EndpointMetrics `json:"endpoints"`
+	SuggestCache  CacheMetrics               `json:"suggest_cache"`
+	ExplainCache  CacheMetrics               `json:"explain_cache"`
+	Batching      BatchMetrics               `json:"batching"`
+}
+
+// registry maps endpoint names to their stats. Endpoints are
+// registered up front, so lookups are lock-free reads of a fixed map.
+type registry struct {
+	endpoints map[string]*endpointStats
+}
+
+func newRegistry(names ...string) *registry {
+	r := &registry{endpoints: make(map[string]*endpointStats, len(names))}
+	for _, n := range names {
+		r.endpoints[n] = &endpointStats{}
+	}
+	return r
+}
+
+func (r *registry) get(name string) *endpointStats { return r.endpoints[name] }
+
+func (r *registry) snapshot() map[string]EndpointMetrics {
+	out := make(map[string]EndpointMetrics, len(r.endpoints))
+	for name, s := range r.endpoints {
+		reqs := s.requests.Load()
+		m := EndpointMetrics{Requests: reqs, Errors: s.errors.Load()}
+		if reqs > 0 {
+			m.AvgMs = float64(s.totalNs.Load()) / float64(reqs) / 1e6
+		}
+		m.P50Ms, m.P90Ms, m.P99Ms = s.quantiles()
+		out[name] = m
+	}
+	return out
+}
+
+func cacheMetrics(c *lruCache) CacheMetrics {
+	hits, misses := c.Stats()
+	m := CacheMetrics{Enabled: c != nil, Entries: c.Len(), Hits: hits, Misses: misses}
+	if total := hits + misses; total > 0 {
+		m.HitRate = float64(hits) / float64(total)
+	}
+	return m
+}

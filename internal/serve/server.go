@@ -1,0 +1,512 @@
+// Package serve wraps a trained (typically snapshot-loaded)
+// dssddi.System in a concurrent HTTP JSON API — the decision-support
+// service the paper positions DSSDDI as. The system is treated as
+// immutable: every handler only reads, so the server takes no lock
+// around the model and scales with unbounded concurrent clients.
+//
+// Endpoints:
+//
+//	POST /v1/suggest   rank top-k drugs for a patient, with alerts
+//	POST /v1/scores    raw score rows for a set of patients
+//	POST /v1/explain   MS-module explanation for a drug set or patient
+//	POST /v1/alerts    severity-tiered DDI screening of a drug list
+//	GET  /healthz      liveness + model identity
+//	GET  /metricsz     per-endpoint latency, cache and batching counters
+//
+// Concurrent /v1/suggest requests are coalesced by a micro-batching
+// scorer into single score-matrix calls, and per-patient results are
+// cached in a sharded LRU; both are response-invariant (bitwise) and
+// exist purely for throughput.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"dssddi"
+	"dssddi/internal/alerts"
+)
+
+var errServerClosed = errors.New("serve: server is shutting down")
+
+// Config tunes the serving layer. The zero value gets sensible
+// defaults from fill.
+type Config struct {
+	// MaxBatch bounds the patients coalesced into one score-matrix
+	// call (default 64).
+	MaxBatch int
+	// BatchWindow is how long a lone request waits for company before
+	// being scored solo. The zero value batches opportunistically —
+	// coalescing whatever is already queued without ever waiting — so
+	// idle-server latency is never inflated; set a small positive
+	// window (e.g. 1ms) to trade lone-request latency for bigger
+	// batches under bursty load.
+	BatchWindow time.Duration
+	// CacheSize is the total entries across the suggest and explain
+	// result caches (default 4096; negative disables caching).
+	CacheSize int
+	// CacheShards spreads cache locking (default 16).
+	CacheShards int
+	// DefaultK is the suggestion list length when a request omits k
+	// (default 4, the paper's headline cut-off).
+	DefaultK int
+	// MaxK caps requested list lengths (default: number of drugs).
+	MaxK int
+	// MaxScoreBatch caps the patients per /v1/scores request
+	// (default 256).
+	MaxScoreBatch int
+}
+
+func (c *Config) fill(drugs int) {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.BatchWindow < 0 {
+		c.BatchWindow = 0
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = 16
+	}
+	if c.DefaultK <= 0 {
+		c.DefaultK = 4
+	}
+	if c.MaxK <= 0 || c.MaxK > drugs {
+		c.MaxK = drugs
+	}
+	if c.MaxScoreBatch <= 0 {
+		c.MaxScoreBatch = 256
+	}
+}
+
+// Server is the HTTP serving layer over one immutable trained system.
+type Server struct {
+	sys     *dssddi.System
+	data    *dssddi.Data
+	checker *alerts.Checker
+	info    dssddi.SnapshotInfo
+	cfg     Config
+
+	batcher      *batcher
+	suggestCache *lruCache
+	explainCache *lruCache
+	metrics      *registry
+	start        time.Time
+}
+
+// New builds a server over a trained system. It fails on an untrained
+// system (nothing to serve) — load a snapshot or call Train first.
+func New(sys *dssddi.System, cfg Config) (*Server, error) {
+	data := sys.Data()
+	if data == nil {
+		return nil, fmt.Errorf("serve: system is not trained")
+	}
+	info, err := sys.SnapshotInfo()
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	emb, err := sys.DrugRelationEmbeddings()
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	names := make([]string, data.NumDrugs())
+	for i := range names {
+		names[i] = data.DrugName(i)
+	}
+	cfg.fill(data.NumDrugs())
+	s := &Server{
+		sys:     sys,
+		data:    data,
+		checker: alerts.NewChecker(data.Dataset().DDI, emb, names),
+		info:    info,
+		cfg:     cfg,
+		metrics: newRegistry("suggest", "scores", "explain", "alerts", "healthz", "metricsz"),
+		start:   time.Now(),
+	}
+	s.batcher = newBatcher(sys, cfg.MaxBatch, cfg.BatchWindow)
+	half := cfg.CacheSize / 2
+	s.suggestCache = newLRUCache(cfg.CacheSize-half, cfg.CacheShards)
+	s.explainCache = newLRUCache(half, cfg.CacheShards)
+	return s, nil
+}
+
+// Close stops the batching collector.
+func (s *Server) Close() { s.batcher.Close() }
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/suggest", s.instrument("suggest", http.MethodPost, s.handleSuggest))
+	mux.HandleFunc("/v1/scores", s.instrument("scores", http.MethodPost, s.handleScores))
+	mux.HandleFunc("/v1/explain", s.instrument("explain", http.MethodPost, s.handleExplain))
+	mux.HandleFunc("/v1/alerts", s.instrument("alerts", http.MethodPost, s.handleAlerts))
+	mux.HandleFunc("/healthz", s.instrument("healthz", http.MethodGet, s.handleHealthz))
+	mux.HandleFunc("/metricsz", s.instrument("metricsz", http.MethodGet, s.handleMetricsz))
+	return mux
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// instrument wraps a handler with method enforcement, timing and
+// error counting.
+func (s *Server) instrument(name, method string, h func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
+	stats := s.metrics.get(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		status := http.StatusMethodNotAllowed
+		if r.Method == method {
+			status = h(w, r)
+		} else {
+			writeJSON(w, status, apiError{Error: fmt.Sprintf("method %s not allowed; use %s", r.Method, method)})
+		}
+		stats.observe(time.Since(t0), status >= 400)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) int {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return http.StatusInternalServerError
+	}
+	writeBody(w, status, buf)
+	return status
+}
+
+func writeBody(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func badRequest(w http.ResponseWriter, format string, args ...any) int {
+	return writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		badRequest(w, "invalid request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// validPatient bounds-checks a patient index; the score kernels index
+// matrices directly, so this is the only line between a typo'd request
+// and a panic in a worker goroutine.
+func (s *Server) validPatient(p int) error {
+	if p < 0 || p >= s.data.NumPatients() {
+		return fmt.Errorf("patient %d out of range [0, %d)", p, s.data.NumPatients())
+	}
+	return nil
+}
+
+func (s *Server) validDrug(d int) error {
+	if d < 0 || d >= s.data.NumDrugs() {
+		return fmt.Errorf("drug %d out of range [0, %d)", d, s.data.NumDrugs())
+	}
+	return nil
+}
+
+// SuggestRequest is the /v1/suggest body.
+type SuggestRequest struct {
+	Patient int `json:"patient"`
+	K       int `json:"k,omitempty"`
+	// Screen toggles alert screening (default true).
+	Screen *bool `json:"screen,omitempty"`
+}
+
+// SuggestionOut is one ranked suggestion plus its regimen screening.
+type SuggestionOut struct {
+	DrugID   int            `json:"drug_id"`
+	DrugName string         `json:"drug_name"`
+	Score    float64        `json:"score"`
+	Alerts   []alerts.Alert `json:"alerts,omitempty"`
+}
+
+// SuggestResponse is the /v1/suggest payload.
+type SuggestResponse struct {
+	Patient     int             `json:"patient"`
+	K           int             `json:"k"`
+	Regimen     []int           `json:"regimen"`
+	Suggestions []SuggestionOut `json:"suggestions"`
+	// ListAlerts screens the suggested drugs against each other.
+	ListAlerts []alerts.Alert `json:"list_alerts,omitempty"`
+}
+
+func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) int {
+	var req SuggestRequest
+	if !decodeBody(w, r, &req) {
+		return http.StatusBadRequest
+	}
+	if err := s.validPatient(req.Patient); err != nil {
+		return badRequest(w, "%v", err)
+	}
+	k := req.K
+	if k <= 0 {
+		k = s.cfg.DefaultK
+	}
+	if k > s.cfg.MaxK {
+		return badRequest(w, "k %d exceeds maximum %d", k, s.cfg.MaxK)
+	}
+	screen := req.Screen == nil || *req.Screen
+
+	key := "s|" + strconv.Itoa(req.Patient) + "|" + strconv.Itoa(k) + "|" + strconv.FormatBool(screen)
+	if body, ok := s.suggestCache.Get(key); ok {
+		w.Header().Set("X-Cache", "HIT")
+		writeBody(w, http.StatusOK, body)
+		return http.StatusOK
+	}
+
+	row, err := s.batcher.Score(req.Patient)
+	if err != nil {
+		return writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+	}
+	suggs, err := s.sys.SuggestFromScores(row, k)
+	if err != nil {
+		return writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+	}
+
+	resp := SuggestResponse{Patient: req.Patient, K: k, Regimen: s.data.Medications(req.Patient)}
+	ids := make([]int, len(suggs))
+	for i, sg := range suggs {
+		ids[i] = sg.DrugID
+		out := SuggestionOut{DrugID: sg.DrugID, DrugName: sg.DrugName, Score: sg.Score}
+		if screen {
+			out.Alerts = s.checker.ScreenAgainst(resp.Regimen, []int{sg.DrugID})
+		}
+		resp.Suggestions = append(resp.Suggestions, out)
+	}
+	if screen {
+		resp.ListAlerts = s.checker.ScreenList(ids)
+	}
+
+	body, err := json.Marshal(resp)
+	if err != nil {
+		return writeJSON(w, http.StatusInternalServerError, apiError{Error: "encoding response"})
+	}
+	s.suggestCache.Put(key, body)
+	w.Header().Set("X-Cache", "MISS")
+	writeBody(w, http.StatusOK, body)
+	return http.StatusOK
+}
+
+// ScoresRequest is the /v1/scores body.
+type ScoresRequest struct {
+	Patients []int `json:"patients"`
+}
+
+// ScoresResponse is the /v1/scores payload.
+type ScoresResponse struct {
+	Patients []int       `json:"patients"`
+	Drugs    int         `json:"drugs"`
+	Scores   [][]float64 `json:"scores"`
+}
+
+func (s *Server) handleScores(w http.ResponseWriter, r *http.Request) int {
+	var req ScoresRequest
+	if !decodeBody(w, r, &req) {
+		return http.StatusBadRequest
+	}
+	if len(req.Patients) == 0 {
+		return badRequest(w, "patients must be non-empty")
+	}
+	if len(req.Patients) > s.cfg.MaxScoreBatch {
+		return badRequest(w, "at most %d patients per request (got %d)", s.cfg.MaxScoreBatch, len(req.Patients))
+	}
+	for _, p := range req.Patients {
+		if err := s.validPatient(p); err != nil {
+			return badRequest(w, "%v", err)
+		}
+	}
+	rows, err := s.sys.Scores(req.Patients)
+	if err != nil {
+		return writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+	}
+	return writeJSON(w, http.StatusOK, ScoresResponse{Patients: req.Patients, Drugs: s.data.NumDrugs(), Scores: rows})
+}
+
+// ExplainRequest is the /v1/explain body: either an explicit drug set
+// or a patient whose top-k suggestions to explain.
+type ExplainRequest struct {
+	Drugs   []int `json:"drugs,omitempty"`
+	Patient *int  `json:"patient,omitempty"`
+	K       int   `json:"k,omitempty"`
+}
+
+// ExplainResponse is the /v1/explain payload.
+type ExplainResponse struct {
+	Drugs         []int    `json:"drugs"`
+	SS            float64  `json:"ss"`
+	Synergistic   []string `json:"synergistic,omitempty"`
+	Antagonistic  []string `json:"antagonistic,omitempty"`
+	SubgraphDrugs []string `json:"subgraph_drugs,omitempty"`
+	Text          string   `json:"text"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) int {
+	var req ExplainRequest
+	if !decodeBody(w, r, &req) {
+		return http.StatusBadRequest
+	}
+	drugs := req.Drugs
+	switch {
+	case len(drugs) > 0 && req.Patient != nil:
+		return badRequest(w, "pass either drugs or patient, not both")
+	case req.Patient != nil:
+		if err := s.validPatient(*req.Patient); err != nil {
+			return badRequest(w, "%v", err)
+		}
+		k := req.K
+		if k <= 0 {
+			k = s.cfg.DefaultK
+		}
+		if k > s.cfg.MaxK {
+			return badRequest(w, "k %d exceeds maximum %d", k, s.cfg.MaxK)
+		}
+		row, err := s.batcher.Score(*req.Patient)
+		if err != nil {
+			return writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		}
+		suggs, err := s.sys.SuggestFromScores(row, k)
+		if err != nil {
+			return writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		}
+		drugs = make([]int, len(suggs))
+		for i, sg := range suggs {
+			drugs[i] = sg.DrugID
+		}
+	case len(drugs) == 0:
+		return badRequest(w, "pass drugs or patient")
+	}
+	for _, d := range drugs {
+		if err := s.validDrug(d); err != nil {
+			return badRequest(w, "%v", err)
+		}
+	}
+
+	sorted := append([]int(nil), drugs...)
+	sort.Ints(sorted)
+	keyParts := make([]string, len(sorted))
+	for i, d := range sorted {
+		keyParts[i] = strconv.Itoa(d)
+	}
+	key := "e|" + strings.Join(keyParts, ",")
+	if body, ok := s.explainCache.Get(key); ok {
+		w.Header().Set("X-Cache", "HIT")
+		writeBody(w, http.StatusOK, body)
+		return http.StatusOK
+	}
+
+	ex, err := s.sys.Explain(drugs)
+	if err != nil {
+		return writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+	}
+	resp := ExplainResponse{
+		Drugs:         sorted,
+		SS:            ex.SS,
+		Synergistic:   ex.Synergistic,
+		Antagonistic:  ex.Antagonistic,
+		SubgraphDrugs: ex.SubgraphDrugs,
+		Text:          ex.Text,
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		return writeJSON(w, http.StatusInternalServerError, apiError{Error: "encoding response"})
+	}
+	s.explainCache.Put(key, body)
+	w.Header().Set("X-Cache", "MISS")
+	writeBody(w, http.StatusOK, body)
+	return http.StatusOK
+}
+
+// AlertsRequest is the /v1/alerts body: a proposed medication list,
+// optionally screened against a patient's current regimen too.
+type AlertsRequest struct {
+	Drugs   []int `json:"drugs"`
+	Patient *int  `json:"patient,omitempty"`
+}
+
+// AlertsResponse is the /v1/alerts payload.
+type AlertsResponse struct {
+	Drugs         []int          `json:"drugs"`
+	MaxSeverity   string         `json:"max_severity,omitempty"`
+	ListAlerts    []alerts.Alert `json:"list_alerts"`
+	Regimen       []int          `json:"regimen,omitempty"`
+	RegimenAlerts []alerts.Alert `json:"regimen_alerts,omitempty"`
+}
+
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) int {
+	var req AlertsRequest
+	if !decodeBody(w, r, &req) {
+		return http.StatusBadRequest
+	}
+	if len(req.Drugs) == 0 {
+		return badRequest(w, "drugs must be non-empty")
+	}
+	for _, d := range req.Drugs {
+		if err := s.validDrug(d); err != nil {
+			return badRequest(w, "%v", err)
+		}
+	}
+	resp := AlertsResponse{Drugs: req.Drugs, ListAlerts: s.checker.ScreenList(req.Drugs)}
+	if resp.ListAlerts == nil {
+		resp.ListAlerts = []alerts.Alert{}
+	}
+	all := resp.ListAlerts
+	if req.Patient != nil {
+		if err := s.validPatient(*req.Patient); err != nil {
+			return badRequest(w, "%v", err)
+		}
+		resp.Regimen = s.data.Medications(*req.Patient)
+		resp.RegimenAlerts = s.checker.ScreenAgainst(resp.Regimen, req.Drugs)
+		all = append(append([]alerts.Alert{}, all...), resp.RegimenAlerts...)
+	}
+	if sev, any := alerts.MaxSeverity(all); any {
+		resp.MaxSeverity = sev.String()
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+// HealthResponse is the /healthz payload.
+type HealthResponse struct {
+	Status        string              `json:"status"`
+	UptimeSeconds float64             `json:"uptime_seconds"`
+	Model         dssddi.SnapshotInfo `json:"model"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) int {
+	return writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Model:         s.info,
+	})
+}
+
+func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) int {
+	batches, requests := s.batcher.Stats()
+	m := Metrics{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Endpoints:     s.metrics.snapshot(),
+		SuggestCache:  cacheMetrics(s.suggestCache),
+		ExplainCache:  cacheMetrics(s.explainCache),
+		Batching:      BatchMetrics{Batches: batches, Requests: requests},
+	}
+	if batches > 0 {
+		m.Batching.AvgBatchSize = float64(requests) / float64(batches)
+	}
+	return writeJSON(w, http.StatusOK, m)
+}

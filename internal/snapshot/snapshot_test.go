@@ -1,0 +1,200 @@
+package snapshot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"dssddi/internal/mat"
+)
+
+func TestRoundTripPrimitives(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	e.Int(-42)
+	e.Int64(1 << 40)
+	e.Bool(true)
+	e.Bool(false)
+	e.Float(math.Pi)
+	e.Float(math.Copysign(0, -1))
+	e.Float(math.Inf(-1))
+	e.String("hello, snapshot")
+	e.String("")
+	e.Bytes([]byte{1, 2, 3})
+	e.Ints([]int{7, -8, 9})
+	e.Ints(nil)
+	e.Floats([]float64{1.5, -2.25})
+	e.Strings([]string{"a", "", "bc"})
+	m := mat.New(2, 3)
+	for i, v := range []float64{1, 2, 3, 4, 5, 6} {
+		m.Data()[i] = v
+	}
+	e.Matrix(m)
+	e.Matrix(nil)
+	if err := e.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+
+	d, err := NewDecoder(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("NewDecoder: %v", err)
+	}
+	if d.Version() != Version {
+		t.Fatalf("version %d, want %d", d.Version(), Version)
+	}
+	if got := d.Int(); got != -42 {
+		t.Fatalf("Int: %d", got)
+	}
+	if got := d.Int64(); got != 1<<40 {
+		t.Fatalf("Int64: %d", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Fatal("Bool round trip failed")
+	}
+	if got := d.Float(); got != math.Pi {
+		t.Fatalf("Float: %v", got)
+	}
+	if got := d.Float(); !math.Signbit(got) || got != 0 {
+		t.Fatalf("negative zero lost: %v", got)
+	}
+	if got := d.Float(); !math.IsInf(got, -1) {
+		t.Fatalf("-Inf lost: %v", got)
+	}
+	if got := d.String(); got != "hello, snapshot" {
+		t.Fatalf("String: %q", got)
+	}
+	if got := d.String(); got != "" {
+		t.Fatalf("empty String: %q", got)
+	}
+	if got := d.Bytes(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("Bytes: %v", got)
+	}
+	ints := d.Ints()
+	if len(ints) != 3 || ints[0] != 7 || ints[1] != -8 || ints[2] != 9 {
+		t.Fatalf("Ints: %v", ints)
+	}
+	if got := d.Ints(); len(got) != 0 {
+		t.Fatalf("nil Ints: %v", got)
+	}
+	fs := d.Floats()
+	if len(fs) != 2 || fs[0] != 1.5 || fs[1] != -2.25 {
+		t.Fatalf("Floats: %v", fs)
+	}
+	ss := d.Strings()
+	if len(ss) != 3 || ss[0] != "a" || ss[1] != "" || ss[2] != "bc" {
+		t.Fatalf("Strings: %v", ss)
+	}
+	got := d.Matrix()
+	if got.Rows() != 2 || got.Cols() != 3 {
+		t.Fatalf("Matrix shape %dx%d", got.Rows(), got.Cols())
+	}
+	for i, v := range m.Data() {
+		if got.Data()[i] != v {
+			t.Fatalf("Matrix data[%d] = %v, want %v", i, got.Data()[i], v)
+		}
+	}
+	if d.Matrix() != nil {
+		t.Fatal("nil Matrix must round-trip to nil")
+	}
+	if err := d.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestEncodingIsDeterministic(t *testing.T) {
+	encode := func() []byte {
+		var buf bytes.Buffer
+		e := NewEncoder(&buf)
+		e.Ints([]int{1, 2, 3})
+		e.String("x")
+		e.Float(0.1)
+		if err := e.Finish(); err != nil {
+			t.Fatalf("Finish: %v", err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(encode(), encode()) {
+		t.Fatal("identical values must produce identical bytes")
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	if _, err := NewDecoder(strings.NewReader("GIF89a not a snapshot at all")); err == nil {
+		t.Fatal("foreign file must be rejected")
+	}
+}
+
+func TestUnsupportedVersionRejected(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	e.Int(1)
+	if err := e.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(Magic)] = 99 // bump the little-endian version field
+	if _, err := NewDecoder(bytes.NewReader(raw)); err == nil ||
+		!strings.Contains(err.Error(), "unsupported format version") {
+		t.Fatalf("future version must be rejected, got %v", err)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	e.Floats([]float64{1, 2, 3, 4})
+	if err := e.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-10] ^= 0x40 // flip a payload bit
+
+	d, err := NewDecoder(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Floats()
+	if err := d.Verify(); err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("bit flip must fail Verify, got %v", err)
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	e.Matrix(mat.New(4, 4))
+	if err := e.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:buf.Len()/2]
+	d, err := NewDecoder(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Matrix()
+	if d.Err() == nil {
+		if err := d.Verify(); err == nil {
+			t.Fatal("truncated stream must not verify")
+		}
+	}
+}
+
+func TestGiantLengthRejectedBeforeAllocation(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	e.Int(1 << 60) // masquerades as a slice length
+	if err := e.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Floats(); got != nil {
+		t.Fatalf("corrupt length must yield nil, got len %d", len(got))
+	}
+	if d.Err() == nil || !strings.Contains(d.Err().Error(), "corrupt") {
+		t.Fatalf("want corrupt-length error, got %v", d.Err())
+	}
+}

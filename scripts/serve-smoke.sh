@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# serve-smoke: the train -> snapshot -> serve -> query lifecycle, end
+# to end. Trains a tiny model, saves and reloads it, answers a
+# suggestion from the snapshot, boots dssddi-serve on an ephemeral
+# port, smoke-tests every endpoint, and records a servebench JSON
+# (BENCH_serve.json) in the repo root. Used by `make serve-smoke` and
+# the CI "serve" job.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$WORK/dssddi" ./cmd/dssddi
+go build -o "$WORK/dssddi-serve" ./cmd/dssddi-serve
+go build -o "$WORK/loadgen" ./cmd/loadgen
+
+echo "== train a tiny model and snapshot it"
+"$WORK/dssddi" train -patients 70 -ddi-epochs 5 -md-epochs 10 -o "$WORK/model.snap"
+
+echo "== snapshot metadata"
+"$WORK/dssddi" info -m "$WORK/model.snap"
+
+echo "== suggest from the snapshot (no retraining)"
+"$WORK/dssddi" suggest -m "$WORK/model.snap" -k 3 >/dev/null
+
+echo "== boot dssddi-serve on an ephemeral port"
+"$WORK/dssddi-serve" -m "$WORK/model.snap" -addr 127.0.0.1:0 -addr-file "$WORK/addr.txt" &
+SERVER_PID=$!
+for _ in $(seq 1 50); do
+    [ -s "$WORK/addr.txt" ] && break
+    sleep 0.1
+done
+[ -s "$WORK/addr.txt" ] || { echo "server did not come up"; exit 1; }
+ADDR=$(cat "$WORK/addr.txt")
+echo "   listening on $ADDR"
+
+echo "== smoke every endpoint"
+curl -sf "http://$ADDR/healthz" >/dev/null
+curl -sf -X POST "http://$ADDR/v1/suggest" -d '{"patient": 0, "k": 3}' >/dev/null
+curl -sf -X POST "http://$ADDR/v1/scores" -d '{"patients": [0, 1]}' >/dev/null
+curl -sf -X POST "http://$ADDR/v1/explain" -d '{"patient": 0, "k": 3}' >/dev/null
+curl -sf -X POST "http://$ADDR/v1/alerts" -d '{"drugs": [0, 1, 2], "patient": 0}' >/dev/null
+curl -sf "http://$ADDR/metricsz" >/dev/null
+# Invalid input must 400, not 500 or worse.
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$ADDR/v1/suggest" -d '{"patient": 1000000}')
+[ "$code" = "400" ] || { echo "out-of-range patient returned $code, want 400"; exit 1; }
+
+echo "== servebench (loadgen)"
+"$WORK/loadgen" -addr "$ADDR" -duration 2s -concurrency 8 -json BENCH_serve.json
+
+echo "== OK: serve smoke passed"
