@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench lint fmt serve-smoke
+.PHONY: all build test bench lint fmt serve-smoke profile
 
 all: build lint test
 
@@ -31,6 +31,14 @@ lint:
 # servebench JSON — the same script CI runs.
 serve-smoke:
 	./scripts/serve-smoke.sh
+
+# CPU + heap profiles of the serve hot path: one full cold suggest
+# request (handler -> batcher -> fused scoring -> encode) per
+# iteration. Inspect with `go tool pprof cpu.pprof` / `mem.pprof`.
+profile:
+	$(GO) test -run '^$$' -bench ServeSuggestCold -benchtime 3s \
+		-cpuprofile cpu.pprof -memprofile mem.pprof ./internal/serve/
+	@echo "profiles written: cpu.pprof mem.pprof"
 
 fmt:
 	gofmt -w .

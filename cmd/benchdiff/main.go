@@ -1,13 +1,18 @@
 // Command benchdiff compares two benchtab -json reports (typically the
 // committed BENCH_seed.json baseline against a fresh run) and enforces
-// the allocation-regression gate: any training entry whose allocs/op
-// exceeds the baseline by more than the threshold fails the run.
-// ns/op ratios are reported for context but never gate (wall-clock is
-// machine-dependent; allocation counts are not).
+// the regression gates:
+//
+//   - any training entry whose allocs/op exceeds the baseline by more
+//     than -max-alloc-ratio fails the run;
+//   - cold-suggest entries (name containing "suggest-cold") also gate
+//     on ns/op: the interactive cold path is the product metric, so a
+//     >-max-ns-ratio wall-clock regression fails even though other
+//     entries' ns/op stay informational (wall-clock is
+//     machine-dependent; allocation counts are not).
 //
 // Usage:
 //
-//	benchdiff [-max-alloc-ratio 2.0] baseline.json current.json
+//	benchdiff [-max-alloc-ratio 2.0] [-max-ns-ratio 2.0] baseline.json current.json
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"dssddi/internal/benchfmt"
 )
@@ -33,6 +39,7 @@ func load(path string) (benchfmt.Report, error) {
 
 func main() {
 	maxAllocRatio := flag.Float64("max-alloc-ratio", 2.0, "fail when current allocs/op exceeds baseline by this factor")
+	maxNsRatio := flag.Float64("max-ns-ratio", 2.0, "fail when a cold-suggest entry's ns/op exceeds baseline by this factor")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-alloc-ratio N] baseline.json current.json")
@@ -81,6 +88,10 @@ func main() {
 			status = "  <-- ALLOC REGRESSION"
 			failed = true
 		}
+		if strings.Contains(tb.Name, "suggest-cold") && b.NsPerOp > 0 && tb.NsPerOp > *maxNsRatio*b.NsPerOp {
+			status += "  <-- COLD-PATH NS REGRESSION"
+			failed = true
+		}
 		fmt.Printf("%-28s %14.0f %14.0f %8.2fx %14.1f %14.1f %8.2fx%s\n",
 			tb.Name, b.NsPerOp, tb.NsPerOp, speedup, b.AllocsPerOp, tb.AllocsPerOp, ratio, status)
 	}
@@ -89,7 +100,7 @@ func main() {
 		os.Exit(2)
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchdiff: allocs/op regressed beyond %.1fx baseline\n", *maxAllocRatio)
+		fmt.Fprintf(os.Stderr, "benchdiff: regression beyond thresholds (allocs %.1fx, cold ns %.1fx)\n", *maxAllocRatio, *maxNsRatio)
 		os.Exit(1)
 	}
 }

@@ -90,6 +90,13 @@ func runTrainBench(suite *eval.Suite, opts eval.Options) []benchfmt.TrainBench {
 			mm.Scores([]int{patient})
 		}
 	}))
+	// The cold-suggest path: tiled TopKScores, no full row, pooled
+	// scratch — the number the CI cold-path regression gate tracks.
+	out = append(out, measure("MDGCN/suggest-cold", scoreIters, func() {
+		for i := 0; i < scoreIters; i++ {
+			mm.TopKScores(patient, 4)
+		}
+	}))
 	return out
 }
 
@@ -190,7 +197,7 @@ func main() {
 		})
 	}
 	if *trainbench {
-		fmt.Fprintln(os.Stderr, "running training benchmark (serial workers)...")
+		fmt.Fprintf(os.Stderr, "running training benchmark (serial workers, simd=%s)...\n", mat.SIMD())
 		rep.Training = runTrainBench(suite, opts)
 		for _, tb := range rep.Training {
 			fmt.Printf("%-28s %10.0f ns/op %12.1f allocs/op %14.0f B/op\n",

@@ -7,10 +7,15 @@
 //
 //	dssddi-serve -m model.snap -addr 127.0.0.1:8080 &
 //	loadgen -addr 127.0.0.1:8080 -duration 10s -concurrency 32 -json BENCH_serve.json
+//	loadgen -addr 127.0.0.1:8080 -cold -json BENCH_serve.json -append
 //
 // Patients are sampled uniformly from the model's cohort (discovered
 // via /healthz), so cache hit rates reflect the -spread flag: the
-// sampled patient pool size (0 = the whole cohort).
+// sampled patient pool size (0 = the whole cohort). With -cold every
+// request targets a distinct patient and carries Cache-Control:
+// no-cache, measuring the scoring path itself (recorded as
+// "suggest-cold"); -append merges the entry into an existing report
+// so cached and cold numbers live side by side.
 package main
 
 import (
@@ -46,6 +51,8 @@ func main() {
 		spread      = flag.Int("spread", 0, "distinct patients to sample (0 = whole cohort)")
 		seed        = flag.Int64("seed", 1, "patient sampling seed")
 		jsonPath    = flag.String("json", "", "write a benchfmt report to this JSON file")
+		cold        = flag.Bool("cold", false, "cold-path mode: walk distinct patients and send Cache-Control: no-cache, so every request is scored, not served from the result cache")
+		appendJSON  = flag.Bool("append", false, "merge the measurement into an existing -json report instead of overwriting it")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -76,6 +83,7 @@ func main() {
 		wg       sync.WaitGroup
 		requests atomic.Int64
 		errors   atomic.Int64
+		next     atomic.Int64 // cold mode: round-robin patient cursor
 		mu       sync.Mutex
 		lats     []int64
 	)
@@ -89,9 +97,26 @@ func main() {
 			client := &http.Client{Timeout: 10 * time.Second}
 			local := make([]int64, 0, 4096)
 			for time.Now().Before(deadline) {
-				body, _ := json.Marshal(suggestRequest{Patient: rng.Intn(pool), K: *k})
+				patient := rng.Intn(pool)
+				if *cold {
+					// Unique patients per request (until the pool wraps),
+					// and the no-cache header keeps even wrapped patients
+					// on the scoring path.
+					patient = int(next.Add(1)-1) % pool
+				}
+				body, _ := json.Marshal(suggestRequest{Patient: patient, K: *k})
+				req, err := http.NewRequest(http.MethodPost, base+"/v1/suggest", bytes.NewReader(body))
+				if err != nil {
+					errors.Add(1)
+					requests.Add(1)
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				if *cold {
+					req.Header.Set("Cache-Control", "no-cache")
+				}
 				t0 := time.Now()
-				resp, err := client.Post(base+"/v1/suggest", "application/json", bytes.NewReader(body))
+				resp, err := client.Do(req)
 				lat := time.Since(t0).Nanoseconds()
 				requests.Add(1)
 				if err != nil {
@@ -123,8 +148,12 @@ func main() {
 		}
 		return float64(lats[int(p*float64(len(lats)-1))]) / 1e6
 	}
+	name := "suggest"
+	if *cold {
+		name = "suggest-cold"
+	}
 	bench := benchfmt.ServeBench{
-		Name:        "suggest",
+		Name:        name,
 		Concurrency: *concurrency,
 		Requests:    int(n),
 		Errors:      int(errs),
@@ -164,6 +193,35 @@ func main() {
 			Seed:         *seed,
 			Serving:      []benchfmt.ServeBench{bench},
 			TotalSeconds: elapsed.Seconds(),
+		}
+		if *appendJSON {
+			// Merge into an existing report (replacing a same-named
+			// entry), so one BENCH_serve.json can carry the cached and
+			// cold measurements side by side. A missing file starts a
+			// fresh report; an unreadable or foreign one is an error —
+			// silently dropping the earlier entries would corrupt the
+			// committed record.
+			switch prev, err := os.ReadFile(*jsonPath); {
+			case err == nil:
+				var old benchfmt.Report
+				if err := json.Unmarshal(prev, &old); err != nil {
+					log.Fatalf("loadgen: -append: %s is not a benchfmt report: %v", *jsonPath, err)
+				}
+				if old.Schema != rep.Schema {
+					log.Fatalf("loadgen: -append: %s has schema %q, want %q", *jsonPath, old.Schema, rep.Schema)
+				}
+				merged := old.Serving[:0]
+				for _, sb := range old.Serving {
+					if sb.Name != bench.Name {
+						merged = append(merged, sb)
+					}
+				}
+				old.Serving = append(merged, bench)
+				old.TotalSeconds += elapsed.Seconds()
+				rep = old
+			case !os.IsNotExist(err):
+				log.Fatalf("loadgen: -append: %v", err)
+			}
 		}
 		buf, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {

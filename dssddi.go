@@ -311,7 +311,11 @@ func (s *System) ensureTrained() error {
 }
 
 // Suggest returns the top-k drug suggestions for a patient of the
-// training data (typically a test patient).
+// training data (typically a test patient). It is the single-patient
+// cold fast path: scoring streams through the MD module's tiled
+// TopKScores — pooled scratch, a size-k running selection, no full
+// score row — and returns exactly the suggestions ranking a full
+// Scores row would produce.
 func (s *System) Suggest(patient, k int) ([]Suggestion, error) {
 	if err := s.ensureTrained(); err != nil {
 		return nil, err
@@ -319,8 +323,12 @@ func (s *System) Suggest(patient, k int) ([]Suggestion, error) {
 	if patient < 0 || patient >= s.data.NumPatients() {
 		return nil, fmt.Errorf("dssddi: patient %d out of range %d", patient, s.data.NumPatients())
 	}
-	scores := s.mdModel.Scores([]int{patient})
-	return s.rank(scores.Row(0), k), nil
+	ids, scores := s.mdModel.TopKScores(patient, k)
+	out := make([]Suggestion, len(ids))
+	for i, v := range ids {
+		out[i] = Suggestion{DrugID: v, DrugName: s.data.DrugName(v), Score: scores[i]}
+	}
+	return out, nil
 }
 
 // Scores returns the raw suggestion scores (one row per patient, one
@@ -341,6 +349,32 @@ func (s *System) Scores(patients []int) ([][]float64, error) {
 	return rows, nil
 }
 
+// ScoresInto fills rows[i] with the suggestion scores of patients[i]
+// — the buffer-reusing form of Scores. Each rows[i] must have length
+// NumDrugs. The serving batcher feeds pooled row buffers through
+// here, so steady-state batch scoring allocates nothing; the values
+// are bitwise identical to Scores.
+func (s *System) ScoresInto(rows [][]float64, patients []int) error {
+	if err := s.ensureTrained(); err != nil {
+		return err
+	}
+	if len(rows) != len(patients) {
+		return fmt.Errorf("dssddi: ScoresInto got %d rows for %d patients", len(rows), len(patients))
+	}
+	for i, r := range rows {
+		if len(r) != s.data.NumDrugs() {
+			return fmt.Errorf("dssddi: ScoresInto row %d has length %d, want %d", i, len(r), s.data.NumDrugs())
+		}
+	}
+	for _, p := range patients {
+		if p < 0 || p >= s.data.NumPatients() {
+			return fmt.Errorf("dssddi: patient %d out of range %d", p, s.data.NumPatients())
+		}
+	}
+	s.mdModel.ScoresRowsInto(rows, patients)
+	return nil
+}
+
 // SuggestFromScores ranks a precomputed score row (one element per
 // drug, as returned by Scores) into a suggestion list. It is the
 // batched serving path: a server that coalesced many patients into one
@@ -358,10 +392,17 @@ func (s *System) SuggestFromScores(scores []float64, k int) ([]Suggestion, error
 }
 
 func (s *System) rank(scores []float64, k int) []Suggestion {
-	top := metrics.TopK(scores, k)
-	out := make([]Suggestion, 0, len(top))
-	for _, v := range top {
-		out = append(out, Suggestion{DrugID: v, DrugName: s.data.DrugName(v), Score: scores[v]})
+	// Streaming selection with metrics.TopK's exact ordering, without
+	// allocating and sorting an index permutation of the whole row.
+	var sel metrics.Selector
+	sel.Reset(k)
+	for i, v := range scores {
+		sel.Push(i, v)
+	}
+	out := make([]Suggestion, sel.Len())
+	for r := range out {
+		v, sc := sel.At(r)
+		out[r] = Suggestion{DrugID: v, DrugName: s.data.DrugName(v), Score: sc}
 	}
 	return out
 }
@@ -410,7 +451,10 @@ type Metrics struct {
 }
 
 // Evaluate scores the given patients and reports Precision/Recall/NDCG
-// and mean Suggestion Satisfaction at each k.
+// and mean Suggestion Satisfaction at each k. Scoring runs tile by
+// tile through the fused engine, so evaluation peaks at the
+// O(patients·drugs) result matrix plus O(tile) scratch — the old
+// batched path's O(patients·drugs·dim) pair intermediates are gone.
 func (s *System) Evaluate(patients []int, ks []int) ([]Metrics, error) {
 	if err := s.ensureTrained(); err != nil {
 		return nil, err

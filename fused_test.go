@@ -1,0 +1,133 @@
+package dssddi
+
+import (
+	"math"
+	"testing"
+
+	"dssddi/internal/mat"
+)
+
+// TestSuggestFastPathMatchesFullRanking checks the TopKScores-backed
+// Suggest against ranking a full Scores row (the path every previous
+// release used), for several patients and k — same drugs, same order,
+// same score bits.
+func TestSuggestFastPathMatchesFullRanking(t *testing.T) {
+	sys, data := allocSystem(t)
+	for _, workers := range []int{1, 4} {
+		mat.SetWorkers(workers)
+		for _, p := range data.TestPatients()[:5] {
+			rows, err := sys.Scores([]int{p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range []int{1, 3, data.NumDrugs()} {
+				fast, err := sys.Suggest(p, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := sys.SuggestFromScores(rows[0], k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(fast) != len(want) {
+					t.Fatalf("patient %d k=%d: fast path returned %d suggestions, want %d", p, k, len(fast), len(want))
+				}
+				for i := range want {
+					if fast[i].DrugID != want[i].DrugID || fast[i].DrugName != want[i].DrugName {
+						t.Fatalf("workers=%d patient %d k=%d rank %d: fast %+v != full %+v", workers, p, k, i, fast[i], want[i])
+					}
+					if math.Float64bits(fast[i].Score) != math.Float64bits(want[i].Score) {
+						t.Fatalf("patient %d k=%d rank %d: score %v != %v", p, k, i, fast[i].Score, want[i].Score)
+					}
+				}
+			}
+		}
+	}
+	mat.SetWorkers(0)
+}
+
+// TestScoresIntoMatchesScores checks the row-buffer API against the
+// allocating one, and its input validation.
+func TestScoresIntoMatchesScores(t *testing.T) {
+	sys, data := allocSystem(t)
+	patients := data.TestPatients()[:4]
+	want, err := sys.Scores(patients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]float64, len(patients))
+	for i := range rows {
+		rows[i] = make([]float64, data.NumDrugs())
+	}
+	if err := sys.ScoresInto(rows, patients); err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		for j, v := range rows[i] {
+			if math.Float64bits(v) != math.Float64bits(want[i][j]) {
+				t.Fatalf("row %d col %d: ScoresInto %v != Scores %v", i, j, v, want[i][j])
+			}
+		}
+	}
+
+	if err := sys.ScoresInto(rows[:2], patients); err == nil {
+		t.Fatal("row/patient count mismatch must error")
+	}
+	short := [][]float64{make([]float64, 1)}
+	if err := sys.ScoresInto(short, patients[:1]); err == nil {
+		t.Fatal("short row must error")
+	}
+	if err := sys.ScoresInto(rows[:1], []int{-1}); err == nil {
+		t.Fatal("out-of-range patient must error")
+	}
+	var untrained System
+	if err := untrained.ScoresInto(rows[:1], patients[:1]); err == nil {
+		t.Fatal("untrained system must error")
+	}
+}
+
+// TestEvaluateStableAcrossWorkers pins Evaluate's metrics bit for bit
+// across kernel worker counts — the tiled engine partitions work but
+// never reassociates arithmetic.
+func TestEvaluateStableAcrossWorkers(t *testing.T) {
+	sys, data := allocSystem(t)
+	mat.SetWorkers(1)
+	serial, err := sys.Evaluate(data.TestPatients(), []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat.SetWorkers(4)
+	parallel, err := sys.Evaluate(data.TestPatients(), []int{1, 4})
+	mat.SetWorkers(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("metrics at k=%d differ across workers: %+v vs %+v", serial[i].K, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestSuggestColdAllocBudget is the fast-path allocation gate from the
+// fused-engine issue: a cold single-patient Suggest must stay at or
+// under 64 allocations. The engine itself runs on pooled scratch, so
+// the remaining allocations are the returned suggestion list.
+func TestSuggestColdAllocBudget(t *testing.T) {
+	const budget = 64
+	sys, data := allocSystem(t)
+	mat.SetWorkers(1)
+	defer mat.SetWorkers(0)
+
+	patient := data.TestPatients()[0]
+	sys.Suggest(patient, 4) // warm the scratch pools
+	got := testing.AllocsPerRun(20, func() {
+		if _, err := sys.Suggest(patient, 4); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got > budget {
+		t.Fatalf("cold Suggest allocates %.1f objects per call, budget %d", got, budget)
+	}
+	t.Logf("cold Suggest: %.1f allocs/op", got)
+}

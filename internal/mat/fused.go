@@ -1,0 +1,87 @@
+package mat
+
+import "fmt"
+
+// MulRowInto computes dst = arow * b for a single input row: dst[j] =
+// Σ_k arow[k]*b[k][j]. It runs the exact k-blocked, 4-way-unrolled,
+// zero-skipping accumulation of MatMulInto restricted to one output
+// row, so the result is bitwise identical to
+// MatMulInto(dst1x, arow1x, b) for any worker count — the fused
+// scoring engine relies on this to score (patient, drug) pairs
+// without materializing the pair matrix while reproducing the batched
+// path bit for bit.
+//
+// Runs entirely on the calling goroutine (callers partition their own
+// row loops) and allocates nothing.
+func MulRowInto(dst, arow []float64, b *Dense) {
+	if len(arow) != b.rows || len(dst) != b.cols {
+		panic(fmt.Sprintf("mat: MulRowInto shape mismatch dst[%d] = arow[%d] * %dx%d",
+			len(dst), len(arow), b.rows, b.cols))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	K := len(arow)
+	if b.cols == 1 {
+		// Single-column b (e.g. a scalar-output decoder layer): the
+		// j-loop of every panel has one element, so vector dispatch
+		// only costs overhead. Accumulate the identical quad grouping
+		// scalar-side; b's rows are consecutive elements of its data.
+		var s float64
+		for kb := 0; kb < K; kb += blockK {
+			ke := kb + blockK
+			if ke > K {
+				ke = K
+			}
+			panel := arow[kb:ke]
+			bcol := b.data[kb:ke]
+			k := 0
+			for ; k+3 < len(panel); k += 4 {
+				a0, a1, a2, a3 := panel[k], panel[k+1], panel[k+2], panel[k+3]
+				if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+					continue
+				}
+				s += (a0*bcol[k] + a1*bcol[k+1]) + (a2*bcol[k+2] + a3*bcol[k+3])
+			}
+			for ; k < len(panel); k++ {
+				if av := panel[k]; av != 0 {
+					s += av * bcol[k]
+				}
+			}
+		}
+		dst[0] = s
+		return
+	}
+	for kb := 0; kb < K; kb += blockK {
+		ke := kb + blockK
+		if ke > K {
+			ke = K
+		}
+		panel := arow[kb:ke]
+		k := 0
+		for ; k+3 < len(panel); k += 4 {
+			a0, a1, a2, a3 := panel[k], panel[k+1], panel[k+2], panel[k+3]
+			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+				continue
+			}
+			mulAddRows4(dst, b.data[(kb+k)*b.cols:(kb+k+4)*b.cols], a0, a1, a2, a3)
+		}
+		for ; k < len(panel); k++ {
+			av := panel[k]
+			if av == 0 {
+				continue
+			}
+			mulAddRow1(dst, b.Row(kb+k), av)
+		}
+	}
+}
+
+// HadamardRowInto computes dst[i] = a[i]*b[i] for plain slices — the
+// row-level form of HadamardInto, sharing its element formula (and
+// vector kernel) so fused consumers match the batched op bitwise.
+func HadamardRowInto(dst, a, b []float64) {
+	if len(a) != len(dst) || len(b) != len(dst) {
+		panic(fmt.Sprintf("mat: HadamardRowInto length mismatch %d vs %d vs %d", len(dst), len(a), len(b)))
+	}
+	hadamardSlices(dst, a, b)
+}

@@ -1,0 +1,55 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMulRowIntoMatchesMatMul checks the single-row kernel against the
+// full blocked matmul, row by row and bit for bit, across shapes that
+// cover the k-block boundary, the unroll tails and zero panels.
+func TestMulRowIntoMatchesMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, sh := range [][2]int{{1, 1}, {4, 9}, {48, 1}, {49, 48}, {65, 64}, {128, 17}, {130, 1}, {131, 33}, {260, 7}} {
+		k, n := sh[0], sh[1]
+		a := RandNormal(rng, 5, k, 1)
+		// Sprinkle exact zeros so the zero-skip panels are exercised.
+		ad := a.Data()
+		for i := range ad {
+			if rng.Intn(4) == 0 {
+				ad[i] = 0
+			}
+		}
+		b := RandNormal(rng, k, n, 1)
+		want := MatMul(a, b)
+		dst := make([]float64, n)
+		for i := 0; i < a.Rows(); i++ {
+			MulRowInto(dst, a.Row(i), b)
+			wrow := want.Row(i)
+			for j := range dst {
+				if math.Float64bits(dst[j]) != math.Float64bits(wrow[j]) {
+					t.Fatalf("shape %v row %d col %d: MulRowInto %v != MatMul %v", sh, i, j, dst[j], wrow[j])
+				}
+			}
+		}
+	}
+}
+
+// TestHadamardRowIntoMatchesHadamard pins the row-level form to the
+// batched kernel.
+func TestHadamardRowIntoMatchesHadamard(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := RandNormal(rng, 3, 29, 1)
+	b := RandNormal(rng, 3, 29, 1)
+	want := Hadamard(a, b)
+	dst := make([]float64, 29)
+	for i := 0; i < 3; i++ {
+		HadamardRowInto(dst, a.Row(i), b.Row(i))
+		for j, v := range dst {
+			if math.Float64bits(v) != math.Float64bits(want.At(i, j)) {
+				t.Fatalf("row %d col %d: %v != %v", i, j, v, want.At(i, j))
+			}
+		}
+	}
+}

@@ -121,19 +121,15 @@ func (t *kernTask) Chunk(lo, hi int) {
 		matMulTransBRange(t.dst, t.a, t.b, lo, hi, false)
 	case kHadamard:
 		dd, ad, bd := t.dst.data, t.a.data, t.b.data
-		for i := lo; i < hi; i++ {
-			dd[i] = ad[i] * bd[i]
-		}
+		hadamardSlices(dd[lo:hi], ad[lo:hi], bd[lo:hi])
 	case kAddHadamard:
 		dd, ad, bd := t.dst.data, t.a.data, t.b.data
 		for i := lo; i < hi; i++ {
 			dd[i] += ad[i] * bd[i]
 		}
 	case kAddScaled:
-		dd, ad, s := t.dst.data, t.a.data, t.s
-		for i := lo; i < hi; i++ {
-			dd[i] += s * ad[i]
-		}
+		dd, ad := t.dst.data, t.a.data
+		mulAddRow1(dd[lo:hi], ad[lo:hi], t.s)
 	case kApply:
 		dd, ad, f := t.dst.data, t.a.data, t.f
 		for i := lo; i < hi; i++ {
@@ -238,23 +234,14 @@ func matMulRange(dst, a, b *Dense, lo, hi int) {
 				if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
 					continue // one-hot and sparse-ish inputs skip whole panels
 				}
-				b0 := b.Row(kb + k)
-				b1 := b.Row(kb + k + 1)[:len(b0)]
-				b2 := b.Row(kb + k + 2)[:len(b0)]
-				b3 := b.Row(kb + k + 3)[:len(b0)]
-				for j, bv := range b0 {
-					drow[j] += (a0*bv + a1*b1[j]) + (a2*b2[j] + a3*b3[j])
-				}
+				mulAddRows4(drow, b.data[(kb+k)*b.cols:(kb+k+4)*b.cols], a0, a1, a2, a3)
 			}
 			for ; k < len(arow); k++ {
 				av := arow[k]
 				if av == 0 {
 					continue
 				}
-				brow := b.Row(kb + k)
-				for j, bv := range brow {
-					drow[j] += av * bv
-				}
+				mulAddRow1(drow, b.Row(kb+k), av)
 			}
 		}
 	}
@@ -285,19 +272,13 @@ func matMulTransARange(dst, a, b *Dense, lo, hi int, overwrite bool) {
 	k := 0
 	for ; k+3 < a.rows; k += 4 { // four k-panels per pass over the output
 		ar0, ar1, ar2, ar3 := a.Row(k), a.Row(k+1), a.Row(k+2), a.Row(k+3)
-		br0 := b.Row(k)
-		br1 := b.Row(k + 1)[:len(br0)]
-		br2 := b.Row(k + 2)[:len(br0)]
-		br3 := b.Row(k + 3)[:len(br0)]
+		b4 := b.data[k*b.cols : (k+4)*b.cols]
 		for i := lo; i < hi; i++ {
 			a0, a1, a2, a3 := ar0[i], ar1[i], ar2[i], ar3[i]
 			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
 				continue
 			}
-			drow := out[(i-lo)*cols : (i-lo+1)*cols]
-			for j, bv := range br0 {
-				drow[j] += (a0*bv + a1*br1[j]) + (a2*br2[j] + a3*br3[j])
-			}
+			mulAddRows4(out[(i-lo)*cols:(i-lo+1)*cols], b4, a0, a1, a2, a3)
 		}
 	}
 	for ; k < a.rows; k++ {
@@ -308,10 +289,7 @@ func matMulTransARange(dst, a, b *Dense, lo, hi int, overwrite bool) {
 			if av == 0 {
 				continue
 			}
-			drow := out[(i-lo)*cols : (i-lo+1)*cols]
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
+			mulAddRow1(out[(i-lo)*cols:(i-lo+1)*cols], brow, av)
 		}
 	}
 	if overwrite {
@@ -325,26 +303,6 @@ func matMulTransARange(dst, a, b *Dense, lo, hi int, overwrite bool) {
 		}
 	}
 	PutScratch(scratch)
-}
-
-// dot4 is the transposed-matmul inner product: four interleaved
-// accumulators break the FP-add dependency chain. It reassociates the
-// sum relative to the plain Dot (which the tape's RowSum must keep
-// matching), so it is private to these kernels.
-func dot4(a, b []float64) float64 {
-	var s0, s1, s2, s3 float64
-	k := 0
-	b = b[:len(a)]
-	for ; k+3 < len(a); k += 4 {
-		s0 += a[k] * b[k]
-		s1 += a[k+1] * b[k+1]
-		s2 += a[k+2] * b[k+2]
-		s3 += a[k+3] * b[k+3]
-	}
-	for ; k < len(a); k++ {
-		s0 += a[k] * b[k]
-	}
-	return (s0 + s1) + (s2 + s3)
 }
 
 // matMulTransBRange computes dst[lo:hi] = (or +=) (a*bᵀ)[lo:hi] as a

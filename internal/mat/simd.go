@@ -1,0 +1,87 @@
+package mat
+
+// SIMD micro-kernels. The three accumulation patterns below are the
+// inner loops of every dense matmul kernel in this package:
+//
+//	mulAddRows4  dst[j] += (a0*b0[j] + a1*b1[j]) + (a2*b2[j] + a3*b3[j])
+//	mulAddRow1   dst[j] += a*b[j]
+//	dot4         four-accumulator dot product (see dot4 in parallel.go)
+//	hadamardInto dst[i] = a[i]*b[i]
+//
+// On amd64 with AVX2 they dispatch to hand-written vector assembly
+// (simd_amd64.s). The vector forms are bitwise identical to the scalar
+// forms: lanes are independent output elements (mulAddRows4,
+// mulAddRow1, hadamardInto) or exactly the four interleaved
+// accumulators of the scalar code (dot4), and every lane performs the
+// same IEEE-754 operations in the same order as the scalar loop. No
+// FMA is used — fused multiply-add skips the intermediate rounding and
+// would change results. The *Go reference implementations in this file
+// are the fallback for other architectures (and for CPUs without
+// AVX2), and the oracle the assembly is tested against.
+
+// mulAddRows4Go is the scalar reference of the four-row
+// multiply-accumulate. b4 holds four consecutive rows of length
+// len(dst), back to back.
+func mulAddRows4Go(dst, b4 []float64, a0, a1, a2, a3 float64) {
+	n := len(dst)
+	b0 := b4[:n]
+	b1 := b4[n : 2*n]
+	b2 := b4[2*n : 3*n]
+	b3 := b4[3*n : 4*n]
+	for j, bv := range b0 {
+		dst[j] += (a0*bv + a1*b1[j]) + (a2*b2[j] + a3*b3[j])
+	}
+}
+
+// mulAddRow1Go is the scalar reference of the single-row
+// multiply-accumulate.
+func mulAddRow1Go(dst, b []float64, a float64) {
+	b = b[:len(dst)]
+	for j, bv := range b {
+		dst[j] += a * bv
+	}
+}
+
+// dot4Go is the scalar reference of the four-accumulator dot product.
+// It reassociates the sum relative to the plain Dot (which the tape's
+// RowSum must keep matching), so it is private to the matmul kernels.
+func dot4Go(a, b []float64) float64 {
+	var s0, s1, s2, s3 float64
+	k := 0
+	b = b[:len(a)]
+	for ; k+3 < len(a); k += 4 {
+		s0 += a[k] * b[k]
+		s1 += a[k+1] * b[k+1]
+		s2 += a[k+2] * b[k+2]
+		s3 += a[k+3] * b[k+3]
+	}
+	for ; k < len(a); k++ {
+		s0 += a[k] * b[k]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// hadamardIntoGo is the scalar reference of the element-wise product.
+func hadamardIntoGo(dst, a, b []float64) {
+	a = a[:len(dst)]
+	b = b[:len(dst)]
+	for i := range dst {
+		dst[i] = a[i] * b[i]
+	}
+}
+
+// addBiasLeakyGo is the scalar reference of the fused bias-add +
+// LeakyReLU epilogue: dst[i] = leaky(dst[i] + bias[i]) with
+// leaky(v) = v if v > 0 else slope*v — the exact element formulas of
+// AddRowInto followed by the LeakyReLU activation.
+func addBiasLeakyGo(dst, bias []float64, slope float64) {
+	bias = bias[:len(dst)]
+	for i := range dst {
+		v := dst[i] + bias[i]
+		if v > 0 {
+			dst[i] = v
+		} else {
+			dst[i] = slope * v
+		}
+	}
+}

@@ -1,0 +1,136 @@
+//go:build amd64
+
+package mat
+
+import "os"
+
+// useAVX2 and useAVX512 gate the vector kernels. They are detected
+// once at startup (CPUID + XGETBV, see simd_amd64.s) and only ever
+// disabled after that — the equivalence tests flip them to prove the
+// scalar and vector paths produce identical bits. The DSSDDI_SIMD
+// environment variable caps the level ("off", "avx2", or the default
+// "avx512"), for deployments where 512-bit frequency licensing is a
+// concern; every level produces identical bits.
+var useAVX2, useAVX512 = detectSIMD()
+
+func detectSIMD() (avx2, avx512 bool) {
+	avx2 = cpuSupportsAVX2()
+	avx512 = avx2 && cpuSupportsAVX512()
+	switch os.Getenv("DSSDDI_SIMD") {
+	case "off":
+		avx2, avx512 = false, false
+	case "avx2":
+		avx512 = false
+	}
+	return avx2, avx512
+}
+
+// cpuSupportsAVX2 reports AVX2 with OS-enabled YMM state.
+func cpuSupportsAVX2() bool
+
+// cpuSupportsAVX512 reports AVX512F with OS-enabled ZMM state.
+func cpuSupportsAVX512() bool
+
+//go:noescape
+func mulAddRows4AVX512(dst, b4 []float64, a0, a1, a2, a3 float64)
+
+// The assembly kernels require len(dst) >= 1 and the b operands laid
+// out exactly as their Go references document. They are only called
+// through the wrappers below.
+
+//go:noescape
+func mulAddRows4AVX2(dst, b4 []float64, a0, a1, a2, a3 float64)
+
+//go:noescape
+func mulAddRow1AVX2(dst, b []float64, a float64)
+
+//go:noescape
+func dot4AVX2(a, b []float64) float64
+
+//go:noescape
+func hadamardIntoAVX2(dst, a, b []float64)
+
+//go:noescape
+func addBiasLeakyAVX2(dst, bias []float64, slope float64)
+
+// mulAddRows4 computes dst[j] += (a0*b0[j] + a1*b1[j]) + (a2*b2[j] +
+// a3*b3[j]) where b4 holds the four b-rows back to back. Bitwise
+// identical with the vector path on or off.
+func mulAddRows4(dst, b4 []float64, a0, a1, a2, a3 float64) {
+	if len(b4) < 4*len(dst) {
+		panic("mat: mulAddRows4 needs 4*len(dst) b values")
+	}
+	switch {
+	case useAVX512 && len(dst) > 0:
+		mulAddRows4AVX512(dst, b4, a0, a1, a2, a3)
+	case useAVX2 && len(dst) > 0:
+		mulAddRows4AVX2(dst, b4, a0, a1, a2, a3)
+	default:
+		mulAddRows4Go(dst, b4, a0, a1, a2, a3)
+	}
+}
+
+// mulAddRow1 computes dst[j] += a*b[j].
+func mulAddRow1(dst, b []float64, a float64) {
+	if useAVX2 && len(dst) > 0 {
+		mulAddRow1AVX2(dst, b[:len(dst)], a)
+		return
+	}
+	mulAddRow1Go(dst, b, a)
+}
+
+// dot4 is the four-accumulator dot product of the transposed-matmul
+// kernels.
+func dot4(a, b []float64) float64 {
+	if useAVX2 && len(a) >= 4 {
+		return dot4AVX2(a, b[:len(a)])
+	}
+	return dot4Go(a, b)
+}
+
+// AddBiasLeakyInto computes dst[i] = leaky(dst[i] + bias[i]) in one
+// fused, branch-free vector pass — the epilogue of a linear layer
+// followed by LeakyReLU, bitwise identical to the separate bias-add
+// and activation steps.
+func AddBiasLeakyInto(dst, bias []float64, slope float64) {
+	if len(bias) < len(dst) {
+		panic("mat: AddBiasLeakyInto bias shorter than dst")
+	}
+	if useAVX2 && len(dst) > 0 {
+		addBiasLeakyAVX2(dst, bias[:len(dst)], slope)
+		return
+	}
+	addBiasLeakyGo(dst, bias, slope)
+}
+
+// hadamardSlices computes dst[i] = a[i]*b[i].
+func hadamardSlices(dst, a, b []float64) {
+	if useAVX2 && len(dst) > 0 {
+		hadamardIntoAVX2(dst, a[:len(dst)], b[:len(dst)])
+		return
+	}
+	hadamardIntoGo(dst, a, b)
+}
+
+// SIMD names the active vector instruction set ("avx512", "avx2" or
+// "none") so benchmark records can note what backed the kernels.
+func SIMD() string {
+	switch {
+	case useAVX512:
+		return "avx512"
+	case useAVX2:
+		return "avx2"
+	default:
+		return "none"
+	}
+}
+
+// simdEnabled and setSIMD are test hooks: the equivalence tests force
+// the scalar path to prove it produces the same bits. Not safe to
+// flip while kernels are running on other goroutines.
+func simdEnabled() bool { return useAVX2 }
+
+func setSIMD(on bool) {
+	useAVX2 = on && cpuSupportsAVX2()
+	useAVX512 = useAVX2 && cpuSupportsAVX512()
+}

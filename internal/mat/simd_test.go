@@ -1,0 +1,138 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randSlice(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		v := rng.NormFloat64() * math.Pow(10, float64(rng.Intn(7)-3))
+		switch rng.Intn(16) {
+		case 0:
+			v = 0
+		case 1:
+			v = -v
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// TestSIMDKernelsBitwise checks every vector kernel against its scalar
+// reference, bit for bit, across lengths that exercise the quad loops
+// and every tail size.
+func TestSIMDKernelsBitwise(t *testing.T) {
+	if !simdEnabled() {
+		t.Skip("no vector unit on this platform")
+	}
+	rng := rand.New(rand.NewSource(7))
+	for n := 1; n <= 67; n++ {
+		for trial := 0; trial < 4; trial++ {
+			b4 := randSlice(rng, 4*n)
+			a := randSlice(rng, 4)
+			dst := randSlice(rng, n)
+			want := append([]float64(nil), dst...)
+			mulAddRows4Go(want, b4, a[0], a[1], a[2], a[3])
+			dst512 := append([]float64(nil), dst...)
+			mulAddRows4AVX2(dst, b4, a[0], a[1], a[2], a[3])
+			for j := range dst {
+				if math.Float64bits(dst[j]) != math.Float64bits(want[j]) {
+					t.Fatalf("mulAddRows4 n=%d j=%d: avx2 %v != go %v", n, j, dst[j], want[j])
+				}
+			}
+			if cpuSupportsAVX512() {
+				mulAddRows4AVX512(dst512, b4, a[0], a[1], a[2], a[3])
+				for j := range dst512 {
+					if math.Float64bits(dst512[j]) != math.Float64bits(want[j]) {
+						t.Fatalf("mulAddRows4 n=%d j=%d: avx512 %v != go %v", n, j, dst512[j], want[j])
+					}
+				}
+			}
+
+			b := randSlice(rng, n)
+			dst = randSlice(rng, n)
+			want = append(want[:0:0], dst...)
+			mulAddRow1Go(want, b, a[0])
+			mulAddRow1AVX2(dst, b, a[0])
+			for j := range dst {
+				if math.Float64bits(dst[j]) != math.Float64bits(want[j]) {
+					t.Fatalf("mulAddRow1 n=%d j=%d: avx2 %v != go %v", n, j, dst[j], want[j])
+				}
+			}
+
+			x, y := randSlice(rng, n), randSlice(rng, n)
+			if got, ref := dot4AVX2(x, y), dot4Go(x, y); math.Float64bits(got) != math.Float64bits(ref) {
+				t.Fatalf("dot4 n=%d: avx2 %v != go %v", n, got, ref)
+			}
+
+			dst = make([]float64, n)
+			want = make([]float64, n)
+			hadamardIntoGo(want, x, y)
+			hadamardIntoAVX2(dst, x, y)
+			for j := range dst {
+				if math.Float64bits(dst[j]) != math.Float64bits(want[j]) {
+					t.Fatalf("hadamard n=%d j=%d: avx2 %v != go %v", n, j, dst[j], want[j])
+				}
+			}
+
+			dst = randSlice(rng, n)
+			bias := randSlice(rng, n)
+			if n > 4 {
+				dst[0], dst[1], dst[2] = 0, math.Copysign(0, -1), math.NaN()
+				bias[3] = -dst[3]                                            // v = +0 via cancellation
+				dst[4], bias[4] = math.Copysign(0, -1), math.Copysign(0, -1) // v = -0
+			}
+			want = append(want[:0:0], dst...)
+			addBiasLeakyGo(want, bias, 0.01)
+			addBiasLeakyAVX2(dst, bias, 0.01)
+			for j := range dst {
+				if math.Float64bits(dst[j]) != math.Float64bits(want[j]) {
+					t.Fatalf("addBiasLeaky n=%d j=%d: avx2 %v != go %v (in %v bias %v)", n, j, dst[j], want[j], dst, bias)
+				}
+			}
+		}
+	}
+}
+
+func denseBitsEqual(t *testing.T, name string, got, want *Dense) {
+	t.Helper()
+	g, w := got.Data(), want.Data()
+	for i := range g {
+		if math.Float64bits(g[i]) != math.Float64bits(w[i]) {
+			t.Fatalf("%s element %d: simd %v != scalar %v", name, i, g[i], w[i])
+		}
+	}
+}
+
+// TestMatMulSIMDOnOffBitwise proves whole-kernel outputs do not depend
+// on the vector path: MatMul, both transposed matmuls, Hadamard and
+// AddScaled produce identical bits with SIMD forced off.
+func TestMatMulSIMDOnOffBitwise(t *testing.T) {
+	if !simdEnabled() {
+		t.Skip("no vector unit on this platform")
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, sh := range [][3]int{{1, 1, 1}, {3, 5, 7}, {17, 33, 9}, {64, 131, 48}, {10, 4, 4}} {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := RandNormal(rng, m, k, 1)
+		b := RandNormal(rng, k, n, 1)
+		bt := RandNormal(rng, n, k, 1)
+		c := RandNormal(rng, m, n, 1)
+
+		run := func() [5]*Dense {
+			add := c.Clone()
+			add.AddScaled(Hadamard(c, c), -0.7)
+			return [5]*Dense{MatMul(a, b), MatMulTransA(a, c), MatMulTransB(a, bt), Hadamard(c, c), add}
+		}
+		got := run()
+		setSIMD(false)
+		want := run()
+		setSIMD(true)
+		for i, name := range []string{"MatMul", "MatMulTransA", "MatMulTransB", "Hadamard", "AddScaled"} {
+			denseBitsEqual(t, name, got[i], want[i])
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"dssddi/internal/ag"
 	"dssddi/internal/dataset"
@@ -99,6 +100,13 @@ type Model struct {
 	// finishes, so scoring a patient is a cached-embedding lookup plus
 	// decoder call (no propagation).
 	drugCache *mat.Dense
+
+	// pd is the fused pair-decode kernel over the decoder's live
+	// weights (nil when the decoder shape is not fusable, which sends
+	// scoring through the batched reference path). scratch pools the
+	// tiled engine's per-goroutine buffers; see score.go.
+	pd      *nn.PairDecoder
+	scratch sync.Pool
 }
 
 // NewModel assembles an MDGCN over the dataset. relEmb is the drug
@@ -158,6 +166,7 @@ func NewModel(d *dataset.Dataset, relEmb *mat.Dense, cfg Config) *Model {
 		m.miner = NewMiner(m.trainX, m.drugFeat, m.Treatment.T, m.trainY, cfg.CF)
 	}
 	m.rng = rng
+	m.pd, _ = nn.NewPairDecoder(m.decoder)
 	return m
 }
 
@@ -451,10 +460,22 @@ func (m *Model) decodeInfer(hPat, hDrug *mat.Dense, pIdx, vIdx []int, treatments
 // Scores predicts medication-use probabilities for the given GLOBAL
 // patient indices (typically validation or test patients), returning a
 // (len(patients) x drugs) matrix. Treatments for unobserved patients
-// come from Treatment.InferRow. The whole path is tape-free: after
-// training it is a cached-embedding lookup, a patient-encoder forward
-// and one decoder call — no autodiff machinery at all.
+// come from Treatment.InferRow. The whole path is tape-free and runs
+// on the tiled fused engine in score.go — no autodiff machinery, no
+// pair-matrix materialization — and is bitwise identical to the
+// batched reference path below for any worker count.
 func (m *Model) Scores(patients []int) *mat.Dense {
+	out := mat.New(len(patients), m.Data.NumDrugs())
+	m.ScoresInto(out, patients)
+	return out
+}
+
+// scoresReference is the batched scoring path the fused engine
+// replaced: gather, Hadamard and concat matrices over every
+// (patient, drug) pair, then one decoder forward. It remains as the
+// equivalence oracle for the engine (score_test.go) and as the
+// fallback for non-fusable decoder shapes.
+func (m *Model) scoresReference(patients []int) *mat.Dense {
 	hDrug := m.drugReps()
 	// Patient reps for the queried patients (Eq. 9 on their features).
 	x := m.Data.Rows(patients)

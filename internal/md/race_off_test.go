@@ -1,0 +1,5 @@
+//go:build !race
+
+package md
+
+const raceEnabled = false

@@ -1,0 +1,44 @@
+package md
+
+// Benchmarks for the tiled fused scoring engine: the full-row
+// single-patient path and the TopKScores cold-suggest path (the
+// numbers behind the README's cold-path table). Serial workers keep
+// allocs/op deterministic.
+
+import (
+	"testing"
+
+	"dssddi/internal/mat"
+)
+
+func benchModel(b *testing.B) *Model {
+	mat.SetWorkers(1)
+	d := smallDataset(31)
+	cfg := DefaultConfig()
+	cfg.Hidden = 48
+	cfg.Epochs = 10
+	cfg.SelectOnVal = false
+	m := NewModel(d, nil, cfg)
+	m.Train()
+	return m
+}
+
+func BenchmarkScoreOnePatient(b *testing.B) {
+	m := benchModel(b)
+	p := m.Data.Test[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Scores([]int{p})
+	}
+}
+
+func BenchmarkTopKOnePatient(b *testing.B) {
+	m := benchModel(b)
+	p := m.Data.Test[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.TopKScores(p, 4)
+	}
+}

@@ -101,5 +101,9 @@ func NewServing(d *dataset.Dataset, st ServingState) (*Model, error) {
 	m.trainX = d.Rows(d.Train)
 	m.trainY = d.Labels(d.Train)
 	m.l2r, m.r2l = sparse.BipartiteNorm(len(d.Train), d.NumDrugs(), d.ObservedBipartite().Links())
+	// The fused scoring kernel references the decoder's live weight
+	// matrices, so a restored model scores through the same tiled
+	// engine (and with the same bits) as the model it was saved from.
+	m.pd, _ = nn.NewPairDecoder(m.decoder)
 	return m, nil
 }

@@ -22,6 +22,79 @@ func TopK(scores []float64, k int) []int {
 	return idx[:k]
 }
 
+// Selector is a streaming top-k selection with exactly TopK's
+// ordering semantics: descending score, ties broken by lower index.
+// Items must be pushed in ascending index order (as a scan over a
+// score row naturally does); the selection then matches
+// TopK(fullRow, k) without ever holding more than k entries — the
+// tiled scoring engine keeps one of these instead of materializing
+// and sorting a full score row. The zero value is ready after Reset;
+// its buffers are reused across Resets, so steady-state use
+// allocates nothing.
+type Selector struct {
+	k      int
+	idx    []int
+	scores []float64
+	aux    []float64
+}
+
+// Reset empties the selection and sets its capacity to k.
+func (s *Selector) Reset(k int) {
+	if k < 0 {
+		k = 0
+	}
+	s.k = k
+	s.idx = s.idx[:0]
+	s.scores = s.scores[:0]
+	s.aux = s.aux[:0]
+}
+
+// Push offers one (index, score) item. Indices must arrive in
+// ascending order.
+func (s *Selector) Push(i int, v float64) { s.PushAux(i, v, 0) }
+
+// PushAux is Push with an auxiliary value carried alongside the item
+// (the scoring engine stores the pre-sigmoid logit there; see
+// LastAux).
+func (s *Selector) PushAux(i int, v, aux float64) {
+	n := len(s.idx)
+	if n == s.k {
+		if n == 0 || !(v > s.scores[n-1]) {
+			return // not better than the current k-th (ties keep the earlier index)
+		}
+		s.idx[n-1], s.scores[n-1], s.aux[n-1] = i, v, aux
+	} else {
+		s.idx = append(s.idx, i)
+		s.scores = append(s.scores, v)
+		s.aux = append(s.aux, aux)
+	}
+	// Bubble the new entry up past strictly smaller scores only, so an
+	// equal-score earlier index stays ahead — TopK's stable-sort order.
+	for p := len(s.idx) - 1; p > 0 && v > s.scores[p-1]; p-- {
+		s.idx[p], s.scores[p], s.aux[p] = s.idx[p-1], s.scores[p-1], s.aux[p-1]
+		s.idx[p-1], s.scores[p-1], s.aux[p-1] = i, v, aux
+	}
+}
+
+// Full reports whether the selection holds k items.
+func (s *Selector) Full() bool { return len(s.idx) == s.k && s.k > 0 }
+
+// LastAux returns the auxiliary value of the current k-th (worst
+// retained) item. Only meaningful when Full.
+func (s *Selector) LastAux() float64 { return s.aux[len(s.aux)-1] }
+
+// Len returns the current selection size (≤ k).
+func (s *Selector) Len() int { return len(s.idx) }
+
+// At returns the r-th best (index, score), r in [0, Len).
+func (s *Selector) At(r int) (int, float64) { return s.idx[r], s.scores[r] }
+
+// AppendTo appends the selection to ids and scores (either may be
+// nil) and returns them — the allocation point callers control.
+func (s *Selector) AppendTo(ids []int, scores []float64) ([]int, []float64) {
+	return append(ids, s.idx...), append(scores, s.scores...)
+}
+
 // Rank returns the 1-based rank of item in the descending score order
 // (ties broken by lower index); 0 if item is out of range.
 func Rank(scores []float64, item int) int {

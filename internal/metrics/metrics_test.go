@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 )
 
@@ -116,5 +117,47 @@ func TestEvaluateMultipleKs(t *testing.T) {
 	}
 	if reports[1].K != 2 {
 		t.Fatal("K order wrong")
+	}
+}
+
+// TestSelectorMatchesTopK drives the streaming selection and the
+// sort-based TopK over random rows dense with ties and checks they
+// produce identical index lists for every k.
+func TestSelectorMatchesTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var sel Selector
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		scores := make([]float64, n)
+		for i := range scores {
+			// Few distinct values => many ties at every boundary.
+			scores[i] = float64(rng.Intn(5)) / 4
+		}
+		for _, k := range []int{0, 1, 3, n / 2, n, n + 3} {
+			want := TopK(scores, k)
+			sel.Reset(k)
+			for i, v := range scores {
+				sel.Push(i, v)
+			}
+			ids, vals := sel.AppendTo(nil, nil)
+			if len(ids) != len(want) {
+				t.Fatalf("n=%d k=%d: selector returned %d ids, TopK %d", n, k, len(ids), len(want))
+			}
+			for r := range want {
+				if ids[r] != want[r] {
+					t.Fatalf("n=%d k=%d rank %d: selector %v, TopK %v (scores %v)", n, k, r, ids, want, scores)
+				}
+				if vals[r] != scores[want[r]] {
+					t.Fatalf("n=%d k=%d rank %d: score %v, want %v", n, k, r, vals[r], scores[want[r]])
+				}
+				ri, rv := sel.At(r)
+				if ri != want[r] || rv != scores[want[r]] {
+					t.Fatalf("At(%d) = (%d, %v), want (%d, %v)", r, ri, rv, want[r], scores[want[r]])
+				}
+			}
+			if sel.Len() != len(want) {
+				t.Fatalf("Len = %d, want %d", sel.Len(), len(want))
+			}
+		}
 	}
 }

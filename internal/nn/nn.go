@@ -63,31 +63,77 @@ func applyActivation(t *ag.Tape, x *ag.Node, a Activation) *ag.Node {
 	}
 }
 
+// reluScalar and leakyReLUScalar are the shared element formulas of
+// the ReLU activations; the batched and row-level forward paths both
+// use them, so the two stay bitwise identical by construction.
+func reluScalar(v float64) float64 {
+	if v > 0 {
+		return v
+	}
+	return 0
+}
+
+func leakyReLUScalar(v float64) float64 {
+	if v > 0 {
+		return v
+	}
+	return 0.01 * v
+}
+
 // ForwardActivation applies the activation in place on a plain matrix —
 // the tape-free counterpart of applyActivation, with element formulas
 // identical to the tape ops.
 func ForwardActivation(x *mat.Dense, a Activation) *mat.Dense {
 	switch a {
 	case ActReLU:
-		x.ApplyInPlace(func(v float64) float64 {
-			if v > 0 {
-				return v
-			}
-			return 0
-		})
+		x.ApplyInPlace(reluScalar)
 	case ActLeakyReLU:
-		x.ApplyInPlace(func(v float64) float64 {
-			if v > 0 {
-				return v
-			}
-			return 0.01 * v
-		})
+		x.ApplyInPlace(leakyReLUScalar)
 	case ActTanh:
 		x.ApplyInPlace(math.Tanh)
 	case ActSigmoid:
 		x.ApplyInPlace(mat.Sigmoid)
 	}
 	return x
+}
+
+// ActivateScalar applies a's element formula to one value.
+func ActivateScalar(a Activation, v float64) float64 {
+	switch a {
+	case ActReLU:
+		return reluScalar(v)
+	case ActLeakyReLU:
+		return leakyReLUScalar(v)
+	case ActTanh:
+		return math.Tanh(v)
+	case ActSigmoid:
+		return mat.Sigmoid(v)
+	default:
+		return v
+	}
+}
+
+// ActivateRow applies a in place on a plain row — the row-level form
+// of ForwardActivation, same element formulas, no kernel dispatch.
+func ActivateRow(a Activation, xs []float64) {
+	switch a {
+	case ActReLU:
+		for i, v := range xs {
+			xs[i] = reluScalar(v)
+		}
+	case ActLeakyReLU:
+		for i, v := range xs {
+			xs[i] = leakyReLUScalar(v)
+		}
+	case ActTanh:
+		for i, v := range xs {
+			xs[i] = math.Tanh(v)
+		}
+	case ActSigmoid:
+		for i, v := range xs {
+			xs[i] = mat.Sigmoid(v)
+		}
+	}
 }
 
 // Linear is a fully connected layer y = x*W + b.
@@ -182,6 +228,61 @@ func (m *MLP) Forward(x *mat.Dense) *mat.Dense {
 		}
 	}
 	return h
+}
+
+// MaxWidth returns the widest layer output — the scratch size
+// ForwardRow needs.
+func (m *MLP) MaxWidth() int {
+	var w int
+	for _, l := range m.Layers {
+		if c := l.W.Cols(); c > w {
+			w = c
+		}
+	}
+	return w
+}
+
+// OutDim returns the output width of the final layer.
+func (m *MLP) OutDim() int { return m.Layers[len(m.Layers)-1].W.Cols() }
+
+// InDim returns the input width of the first layer.
+func (m *MLP) InDim() int { return m.Layers[0].W.Rows() }
+
+// ForwardRow runs the MLP on a single input row without allocating:
+// dst receives the output (length OutDim), buf1 and buf2 are
+// ping-pong scratch of at least MaxWidth. Values are bitwise
+// identical to the corresponding row of Forward — every step uses the
+// same element formulas and the same per-row accumulation order as
+// the batched kernels. BatchNorm MLPs are not row-decomposable and
+// panic.
+func (m *MLP) ForwardRow(dst, x, buf1, buf2 []float64) {
+	cur := x
+	for i, l := range m.Layers {
+		if m.Norms[i] != nil {
+			panic("nn: ForwardRow does not support BatchNorm layers")
+		}
+		last := i == len(m.Layers)-1
+		var out []float64
+		switch {
+		case last:
+			out = dst[:l.W.Cols()]
+		case i%2 == 0:
+			out = buf1[:l.W.Cols()]
+		default:
+			out = buf2[:l.W.Cols()]
+		}
+		mat.MulRowInto(out, cur, l.W)
+		brow := l.B.Row(0)
+		for j := range out {
+			out[j] += brow[j]
+		}
+		if last {
+			ActivateRow(m.OutAct, out)
+		} else {
+			ActivateRow(m.Act, out)
+		}
+		cur = out
+	}
 }
 
 // Embedding is a lookup table of n vectors of dimension d.

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -8,10 +9,17 @@ import (
 )
 
 // batcher coalesces concurrent per-patient score requests into one
-// System.Scores matrix call. The score kernels partition work by
-// output row, so a row computed in a batch of 64 is bitwise identical
-// to the same row computed alone — batching changes latency and
-// throughput, never results (the equivalence tests enforce this).
+// System.ScoresInto call. The score kernels partition work by output
+// row, so a row computed in a batch of 64 is bitwise identical to the
+// same row computed alone — batching changes latency and throughput,
+// never results (the equivalence tests enforce this).
+//
+// Score rows live in a bounded free list: the collector hands each
+// request a recycled buffer filled in place, and handlers return it
+// through PutRow once the response is encoded, so steady-state
+// scoring allocates nothing per request. The per-batch patients and
+// row-header slices are collector-owned and reused across loop
+// iterations.
 type batcher struct {
 	sys      *dssddi.System
 	reqs     chan batchReq
@@ -19,6 +27,10 @@ type batcher struct {
 	window   time.Duration
 	stop     chan struct{}
 	done     chan struct{}
+
+	patients []int       // reused per batch (collector goroutine only)
+	rows     [][]float64 // reused per batch (collector goroutine only)
+	rowPool  rowPool
 
 	batches  atomic.Int64 // Scores calls issued
 	requests atomic.Int64 // patient requests served through them
@@ -34,11 +46,47 @@ type batchResp struct {
 	err error
 }
 
+// rowPool is a bounded free list of score-row buffers. A plain
+// mutex-guarded stack beats sync.Pool here: the buffers are plain
+// slices (no boxing allocation on Put) and survive GC cycles, so a
+// steady request stream reuses the same few rows indefinitely.
+type rowPool struct {
+	mu    sync.Mutex
+	width int
+	max   int
+	free  [][]float64
+}
+
+func (p *rowPool) get() []float64 {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		row := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return row
+	}
+	p.mu.Unlock()
+	return make([]float64, p.width)
+}
+
+func (p *rowPool) put(row []float64) {
+	if len(row) != p.width {
+		return // foreign or resized buffer; drop it
+	}
+	p.mu.Lock()
+	if len(p.free) < p.max {
+		p.free = append(p.free, row)
+	}
+	p.mu.Unlock()
+}
+
 // newBatcher starts the collector goroutine. maxBatch bounds the
 // patients per Scores call; window is how long the collector holds a
 // lone request hoping for company (0 = opportunistic only: batch
-// whatever is already queued, never wait).
-func newBatcher(sys *dssddi.System, maxBatch int, window time.Duration) *batcher {
+// whatever is already queued, never wait). drugs is the score-row
+// width.
+func newBatcher(sys *dssddi.System, maxBatch int, window time.Duration, drugs int) *batcher {
 	if maxBatch < 1 {
 		maxBatch = 1
 	}
@@ -49,6 +97,9 @@ func newBatcher(sys *dssddi.System, maxBatch int, window time.Duration) *batcher
 		window:   window,
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
+		patients: make([]int, 0, maxBatch),
+		rows:     make([][]float64, 0, maxBatch),
+		rowPool:  rowPool{width: drugs, max: 4 * maxBatch},
 	}
 	go b.loop()
 	return b
@@ -56,7 +107,10 @@ func newBatcher(sys *dssddi.System, maxBatch int, window time.Duration) *batcher
 
 // Score returns the score row for one patient, transparently batched
 // with whatever concurrent requests are in flight. The returned slice
-// is owned by the caller. The patient index must already be validated.
+// is borrowed from the batcher's row pool: the caller must hand it
+// back with PutRow when done (PutRow(nil) is a no-op, so callers may
+// defer it unconditionally). The patient index must already be
+// validated.
 func (b *batcher) Score(patient int) ([]float64, error) {
 	out := make(chan batchResp, 1)
 	select {
@@ -78,6 +132,13 @@ func (b *batcher) Score(patient int) ([]float64, error) {
 		default:
 			return nil, errServerClosed
 		}
+	}
+}
+
+// PutRow recycles a row obtained from Score.
+func (b *batcher) PutRow(row []float64) {
+	if row != nil {
+		b.rowPool.put(row)
 	}
 }
 
@@ -148,24 +209,29 @@ func (b *batcher) collect(buf *[]batchReq) {
 	}
 }
 
-// flush scores the batch with one matrix call and fans the rows back
-// out to the waiting requests.
+// flush scores the batch into pooled row buffers with one ScoresInto
+// call and fans the rows out to the waiting requests, which own them
+// until PutRow.
 func (b *batcher) flush(batch []batchReq) {
 	if len(batch) == 0 {
 		return
 	}
-	patients := make([]int, len(batch))
-	for i, r := range batch {
-		patients[i] = r.patient
+	b.patients = b.patients[:0]
+	b.rows = b.rows[:0]
+	for _, r := range batch {
+		b.patients = append(b.patients, r.patient)
+		b.rows = append(b.rows, b.rowPool.get())
 	}
-	rows, err := b.sys.Scores(patients)
+	err := b.sys.ScoresInto(b.rows, b.patients)
 	b.batches.Add(1)
 	b.requests.Add(int64(len(batch)))
 	for i, r := range batch {
 		if err != nil {
+			b.rowPool.put(b.rows[i])
 			r.out <- batchResp{err: err}
-			continue
+		} else {
+			r.out <- batchResp{row: b.rows[i]}
 		}
-		r.out <- batchResp{row: rows[i]}
+		b.rows[i] = nil // handed off (or recycled); drop the header's reference
 	}
 }

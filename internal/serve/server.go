@@ -20,6 +20,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -27,6 +28,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"dssddi"
@@ -131,7 +133,7 @@ func New(sys *dssddi.System, cfg Config) (*Server, error) {
 		metrics: newRegistry("suggest", "scores", "explain", "alerts", "healthz", "metricsz"),
 		start:   time.Now(),
 	}
-	s.batcher = newBatcher(sys, cfg.MaxBatch, cfg.BatchWindow)
+	s.batcher = newBatcher(sys, cfg.MaxBatch, cfg.BatchWindow, data.NumDrugs())
 	half := cfg.CacheSize / 2
 	s.suggestCache = newLRUCache(cfg.CacheSize-half, cfg.CacheShards)
 	s.explainCache = newLRUCache(half, cfg.CacheShards)
@@ -188,6 +190,37 @@ func writeBody(w http.ResponseWriter, status int, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	w.Write(body)
+}
+
+// encBufPool recycles the JSON encoding buffers of the hot handlers,
+// so a cache-bypassing (cold) request does not allocate a fresh body
+// buffer per response.
+var encBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// encodeBody marshals v into a pooled buffer. The returned bytes
+// belong to the buffer: write/copy them, then release with
+// putEncBuf. (json.Encoder terminates the body with a newline;
+// cached and fresh responses both carry it, so the two are
+// byte-identical.)
+func encodeBody(v any) (*bytes.Buffer, []byte, error) {
+	buf := encBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		encBufPool.Put(buf)
+		return nil, nil, err
+	}
+	return buf, buf.Bytes(), nil
+}
+
+func putEncBuf(buf *bytes.Buffer) { encBufPool.Put(buf) }
+
+// bypassCache honors the standard Cache-Control request header: a
+// no-cache (or no-store) request is answered from the model and
+// neither read from nor stored in the result caches — the cold-path
+// benchmarking hook used by loadgen -cold.
+func bypassCache(r *http.Request) bool {
+	cc := r.Header.Get("Cache-Control")
+	return strings.Contains(cc, "no-cache") || strings.Contains(cc, "no-store")
 }
 
 func badRequest(w http.ResponseWriter, format string, args ...any) int {
@@ -263,12 +296,15 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) int {
 		return badRequest(w, "k %d exceeds maximum %d", k, s.cfg.MaxK)
 	}
 	screen := req.Screen == nil || *req.Screen
+	nocache := bypassCache(r)
 
 	key := "s|" + strconv.Itoa(req.Patient) + "|" + strconv.Itoa(k) + "|" + strconv.FormatBool(screen)
-	if body, ok := s.suggestCache.Get(key); ok {
-		w.Header().Set("X-Cache", "HIT")
-		writeBody(w, http.StatusOK, body)
-		return http.StatusOK
+	if !nocache {
+		if body, ok := s.suggestCache.Get(key); ok {
+			w.Header().Set("X-Cache", "HIT")
+			writeBody(w, http.StatusOK, body)
+			return http.StatusOK
+		}
 	}
 
 	row, err := s.batcher.Score(req.Patient)
@@ -276,6 +312,7 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) int {
 		return writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
 	}
 	suggs, err := s.sys.SuggestFromScores(row, k)
+	s.batcher.PutRow(row) // suggestions hold copies; recycle the row
 	if err != nil {
 		return writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
 	}
@@ -294,13 +331,17 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) int {
 		resp.ListAlerts = s.checker.ScreenList(ids)
 	}
 
-	body, err := json.Marshal(resp)
+	buf, body, err := encodeBody(resp)
 	if err != nil {
 		return writeJSON(w, http.StatusInternalServerError, apiError{Error: "encoding response"})
 	}
-	s.suggestCache.Put(key, body)
+	if !nocache {
+		// The cache needs an owned copy; the pooled buffer goes back.
+		s.suggestCache.Put(key, append([]byte(nil), body...))
+	}
 	w.Header().Set("X-Cache", "MISS")
 	writeBody(w, http.StatusOK, body)
+	putEncBuf(buf)
 	return http.StatusOK
 }
 
@@ -332,11 +373,22 @@ func (s *Server) handleScores(w http.ResponseWriter, r *http.Request) int {
 			return badRequest(w, "%v", err)
 		}
 	}
-	rows, err := s.sys.Scores(req.Patients)
-	if err != nil {
+	rows := make([][]float64, len(req.Patients))
+	for i := range rows {
+		rows[i] = s.batcher.rowPool.get()
+	}
+	recycle := func() {
+		for _, r := range rows {
+			s.batcher.rowPool.put(r)
+		}
+	}
+	if err := s.sys.ScoresInto(rows, req.Patients); err != nil {
+		recycle()
 		return writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
 	}
-	return writeJSON(w, http.StatusOK, ScoresResponse{Patients: req.Patients, Drugs: s.data.NumDrugs(), Scores: rows})
+	status := writeJSON(w, http.StatusOK, ScoresResponse{Patients: req.Patients, Drugs: s.data.NumDrugs(), Scores: rows})
+	recycle() // writeJSON has serialized the rows; safe to reuse
+	return status
 }
 
 // ExplainRequest is the /v1/explain body: either an explicit drug set
@@ -382,6 +434,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) int {
 			return writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
 		}
 		suggs, err := s.sys.SuggestFromScores(row, k)
+		s.batcher.PutRow(row)
 		if err != nil {
 			return writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
 		}
@@ -405,10 +458,13 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) int {
 		keyParts[i] = strconv.Itoa(d)
 	}
 	key := "e|" + strings.Join(keyParts, ",")
-	if body, ok := s.explainCache.Get(key); ok {
-		w.Header().Set("X-Cache", "HIT")
-		writeBody(w, http.StatusOK, body)
-		return http.StatusOK
+	nocache := bypassCache(r)
+	if !nocache {
+		if body, ok := s.explainCache.Get(key); ok {
+			w.Header().Set("X-Cache", "HIT")
+			writeBody(w, http.StatusOK, body)
+			return http.StatusOK
+		}
 	}
 
 	ex, err := s.sys.Explain(drugs)
@@ -423,13 +479,16 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) int {
 		SubgraphDrugs: ex.SubgraphDrugs,
 		Text:          ex.Text,
 	}
-	body, err := json.Marshal(resp)
+	buf, body, err := encodeBody(resp)
 	if err != nil {
 		return writeJSON(w, http.StatusInternalServerError, apiError{Error: "encoding response"})
 	}
-	s.explainCache.Put(key, body)
+	if !nocache {
+		s.explainCache.Put(key, append([]byte(nil), body...))
+	}
 	w.Header().Set("X-Cache", "MISS")
 	writeBody(w, http.StatusOK, body)
+	putEncBuf(buf)
 	return http.StatusOK
 }
 

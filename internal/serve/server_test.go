@@ -20,7 +20,7 @@ var (
 )
 
 // system trains one small shared system for every server test.
-func system(t *testing.T) *dssddi.System {
+func system(t testing.TB) *dssddi.System {
 	t.Helper()
 	sysOnce.Do(func() {
 		data := dssddi.GenerateChronic(11, 50, 40)
@@ -221,7 +221,7 @@ func postQuiet(url string, body any) (*http.Response, []byte) {
 
 func TestBatcherCoalesces(t *testing.T) {
 	sys := system(t)
-	b := newBatcher(sys, 32, 5*time.Millisecond)
+	b := newBatcher(sys, 32, 5*time.Millisecond, sys.Data().NumDrugs())
 	defer b.Close()
 
 	patients := sys.Data().TestPatients()[:8]
@@ -471,7 +471,7 @@ func TestCacheDisabled(t *testing.T) {
 
 func TestZeroBatchWindowNeverWaits(t *testing.T) {
 	sys := system(t)
-	b := newBatcher(sys, 32, 0)
+	b := newBatcher(sys, 32, 0, sys.Data().NumDrugs())
 	defer b.Close()
 	p := sys.Data().TestPatients()[0]
 	start := time.Now()
@@ -487,7 +487,7 @@ func TestZeroBatchWindowNeverWaits(t *testing.T) {
 
 func TestScoreAfterCloseErrors(t *testing.T) {
 	sys := system(t)
-	b := newBatcher(sys, 4, 0)
+	b := newBatcher(sys, 4, 0, sys.Data().NumDrugs())
 	b.Close()
 	if _, err := b.Score(0); err == nil {
 		t.Fatal("Score after Close must error, not hang")
@@ -511,4 +511,115 @@ func TestLRUCacheEviction(t *testing.T) {
 		t.Fatal("nil cache must miss")
 	}
 	nilCache.Put("x", nil) // must not panic
+}
+
+// TestCacheControlNoCacheBypasses pins the cold-path benchmarking
+// hook: a Cache-Control: no-cache request is recomputed every time,
+// never reads the cache and never populates it — but returns the
+// byte-identical body a cached request would.
+func TestCacheControlNoCacheBypasses(t *testing.T) {
+	sys := system(t)
+	_, ts := newTestServer(t, Config{})
+	p := sys.Data().TestPatients()[2]
+
+	cold := func() (*http.Response, []byte) {
+		buf, _ := json.Marshal(SuggestRequest{Patient: p, K: 4})
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/suggest", bytes.NewReader(buf))
+		req.Header.Set("Cache-Control", "no-cache")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		out, _ := io.ReadAll(resp.Body)
+		return resp, out
+	}
+
+	first, firstBody := cold()
+	if first.Header.Get("X-Cache") != "MISS" {
+		t.Fatalf("first no-cache call X-Cache = %q, want MISS", first.Header.Get("X-Cache"))
+	}
+	second, secondBody := cold()
+	if second.Header.Get("X-Cache") != "MISS" {
+		t.Fatalf("second no-cache call X-Cache = %q, want MISS (nothing may be stored)", second.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(firstBody, secondBody) {
+		t.Fatal("cold responses must be identical")
+	}
+
+	// A normal request now misses (no-cache never populated the cache)
+	// and then hits; the bodies all agree.
+	warm1, warmBody := post(t, ts.URL+"/v1/suggest", SuggestRequest{Patient: p, K: 4})
+	if warm1.Header.Get("X-Cache") != "MISS" {
+		t.Fatalf("first cached-path call X-Cache = %q, want MISS", warm1.Header.Get("X-Cache"))
+	}
+	warm2, hitBody := post(t, ts.URL+"/v1/suggest", SuggestRequest{Patient: p, K: 4})
+	if warm2.Header.Get("X-Cache") != "HIT" {
+		t.Fatalf("second cached-path call X-Cache = %q, want HIT", warm2.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(firstBody, warmBody) || !bytes.Equal(warmBody, hitBody) {
+		t.Fatal("cold, computed and cached bodies must be byte-identical")
+	}
+}
+
+// TestServeRequestCycleAllocBudget gates the allocations of one full
+// cold serve request — handler, batcher, fused scoring, response
+// encoding — with caching bypassed and screening off. The budget
+// includes the test's own recorder and request plumbing, so the
+// serving path itself sits well below it.
+func TestServeRequestCycleAllocBudget(t *testing.T) {
+	const budget = 120
+	sys := system(t)
+	s, err := New(sys, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	handler := s.Handler()
+
+	p := sys.Data().TestPatients()[0]
+	screen := false
+	reqBody, _ := json.Marshal(SuggestRequest{Patient: p, K: 4, Screen: &screen})
+	run := func() {
+		req := httptest.NewRequest(http.MethodPost, "/v1/suggest", bytes.NewReader(reqBody))
+		req.Header.Set("Cache-Control", "no-cache")
+		w := httptest.NewRecorder()
+		handler.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+	}
+	run() // warm pools
+	got := testing.AllocsPerRun(20, run)
+	if got > budget {
+		t.Fatalf("cold serve request cycle allocates %.1f objects, budget %d", got, budget)
+	}
+	t.Logf("cold serve request cycle: %.1f allocs/op", got)
+}
+
+// BenchmarkServeSuggestCold drives one full cold suggest request —
+// handler, batcher, fused scoring, encode — per iteration, bypassing
+// the result cache. `make profile` runs this under the CPU and heap
+// profilers; it is the serve hot path minus the network stack.
+func BenchmarkServeSuggestCold(b *testing.B) {
+	sys := system(b)
+	s, err := New(sys, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	handler := s.Handler()
+	screen := false
+	reqBody, _ := json.Marshal(SuggestRequest{Patient: sys.Data().TestPatients()[0], K: 4, Screen: &screen})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/suggest", bytes.NewReader(reqBody))
+		req.Header.Set("Cache-Control", "no-cache")
+		w := httptest.NewRecorder()
+		handler.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+	}
 }

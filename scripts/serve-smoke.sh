@@ -52,7 +52,10 @@ curl -sf "http://$ADDR/metricsz" >/dev/null
 code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$ADDR/v1/suggest" -d '{"patient": 1000000}')
 [ "$code" = "400" ] || { echo "out-of-range patient returned $code, want 400"; exit 1; }
 
-echo "== servebench (loadgen)"
+echo "== servebench (loadgen, cached path)"
 "$WORK/loadgen" -addr "$ADDR" -duration 2s -concurrency 8 -json BENCH_serve.json
+
+echo "== servebench (loadgen, cold path: unique patients, cache bypassed)"
+"$WORK/loadgen" -addr "$ADDR" -cold -duration 2s -concurrency 8 -json BENCH_serve.json -append
 
 echo "== OK: serve smoke passed"
