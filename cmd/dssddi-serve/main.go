@@ -1,7 +1,8 @@
 // Command dssddi-serve exposes a trained DSSDDI model snapshot as a
 // concurrent HTTP JSON API: medication suggestions with interaction
-// alerts, raw scores, explanations and DDI screening (see
-// internal/serve for the endpoint reference).
+// alerts, raw scores, explanations, DDI screening, a live patient
+// registry and zero-downtime model hot-reload (see internal/serve for
+// the endpoint reference).
 //
 // Usage:
 //
@@ -11,6 +12,11 @@
 // Use -addr 127.0.0.1:0 to bind an ephemeral port; the bound address
 // is printed to stderr and, with -addr-file, written to a file so
 // scripts (and the CI smoke test) can discover it.
+//
+// The serving model can be replaced without restarting: POST
+// /v1/admin/reload, send SIGHUP, or run with -watch to reload
+// automatically whenever the snapshot file changes. Requests in
+// flight during a reload finish on the model they started with.
 package main
 
 import (
@@ -40,6 +46,8 @@ func main() {
 		batchWindow = flag.Duration("batch-window", time.Millisecond, "how long a lone request waits to be batched (0 = never wait)")
 		cacheSize   = flag.Int("cache", 4096, "result cache entries across endpoints (negative disables)")
 		defaultK    = flag.Int("default-k", 4, "suggestion list length when a request omits k")
+		watch       = flag.Bool("watch", false, "watch the -m snapshot file and hot-reload it when it changes")
+		watchEvery  = flag.Duration("watch-interval", time.Second, "how often -watch polls the snapshot file")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -63,10 +71,11 @@ func main() {
 	}
 
 	srv, err := serve.New(sys, serve.Config{
-		MaxBatch:    *maxBatch,
-		BatchWindow: *batchWindow,
-		CacheSize:   *cacheSize,
-		DefaultK:    *defaultK,
+		MaxBatch:     *maxBatch,
+		BatchWindow:  *batchWindow,
+		CacheSize:    *cacheSize,
+		DefaultK:     *defaultK,
+		SnapshotPath: *model,
 	})
 	if err != nil {
 		log.Fatalf("dssddi-serve: %v", err)
@@ -84,6 +93,49 @@ func main() {
 		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
 			log.Fatalf("dssddi-serve: writing -addr-file: %v", err)
 		}
+	}
+
+	reload := func(reason string) {
+		epoch, err := srv.ReloadFromPath(*model)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dssddi-serve: %s reload failed (still serving the previous model): %v\n", reason, err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "dssddi-serve: %s reload OK, now serving epoch %d\n", reason, epoch)
+	}
+
+	// SIGHUP: operator-triggered hot reload of the -m snapshot.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			reload("SIGHUP")
+		}
+	}()
+
+	// -watch: poll the snapshot's mtime/size and reload on change. A
+	// half-written file is harmless — the snapshot checksum makes the
+	// load fail and the previous epoch keeps serving until the next
+	// successful poll.
+	if *watch {
+		go func() {
+			var lastMod time.Time
+			var lastSize int64
+			if st, err := os.Stat(*model); err == nil {
+				lastMod, lastSize = st.ModTime(), st.Size()
+			}
+			for range time.Tick(*watchEvery) {
+				st, err := os.Stat(*model)
+				if err != nil {
+					continue
+				}
+				if st.ModTime().Equal(lastMod) && st.Size() == lastSize {
+					continue
+				}
+				lastMod, lastSize = st.ModTime(), st.Size()
+				reload("watch")
+			}
+		}()
 	}
 
 	httpSrv := &http.Server{Handler: srv.Handler()}

@@ -1,21 +1,28 @@
 // Command loadgen drives a running dssddi-serve instance with
-// concurrent /v1/suggest traffic and reports throughput and latency
-// quantiles, optionally recording them in the shared benchfmt JSON
-// schema next to the training benchmarks.
+// concurrent traffic and reports throughput and latency quantiles,
+// optionally recording them in the shared benchfmt JSON schema next to
+// the training benchmarks.
 //
 // Usage:
 //
 //	dssddi-serve -m model.snap -addr 127.0.0.1:8080 &
 //	loadgen -addr 127.0.0.1:8080 -duration 10s -concurrency 32 -json BENCH_serve.json
 //	loadgen -addr 127.0.0.1:8080 -cold -json BENCH_serve.json -append
+//	loadgen -addr 127.0.0.1:8080 -mix -json BENCH_serve.json -append
 //
 // Patients are sampled uniformly from the model's cohort (discovered
 // via /healthz), so cache hit rates reflect the -spread flag: the
 // sampled patient pool size (0 = the whole cohort). With -cold every
 // request targets a distinct patient and carries Cache-Control:
 // no-cache, measuring the scoring path itself (recorded as
-// "suggest-cold"); -append merges the entry into an existing report
-// so cached and cold numbers live side by side.
+// "suggest-cold"). With -mix each client owns a registered patient and
+// interleaves registry writes (PUT /v1/patients/{id}), inductive
+// suggests by registered id, and cached index suggests — the online
+// serving workload — recorded as the "patient-update" and
+// "suggest-inductive" entries. -append merges entries into an existing
+// report so the measurements live side by side; -strict exits non-zero
+// on ANY failed request (used by the hot-reload smoke test to assert
+// zero non-2xx responses under a mid-load model swap).
 package main
 
 import (
@@ -31,15 +38,62 @@ import (
 	"runtime"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"dssddi/internal/benchfmt"
 )
 
 type suggestRequest struct {
-	Patient int `json:"patient"`
-	K       int `json:"k,omitempty"`
+	Patient   int    `json:"patient,omitempty"`
+	PatientID string `json:"patient_id,omitempty"`
+	K         int    `json:"k,omitempty"`
+}
+
+type patientPutRequest struct {
+	Regimen []int `json:"regimen"`
+}
+
+// opStats accumulates one operation class's counters and latencies.
+type opStats struct {
+	mu       sync.Mutex
+	requests int64
+	errors   int64
+	lats     []int64
+}
+
+func (s *opStats) observe(latNs int64, failed bool) {
+	s.mu.Lock()
+	s.requests++
+	if failed {
+		s.errors++
+	} else {
+		s.lats = append(s.lats, latNs)
+	}
+	s.mu.Unlock()
+}
+
+// bench converts the accumulated samples into a ServeBench entry.
+func (s *opStats) bench(name string, concurrency int, elapsed time.Duration) benchfmt.ServeBench {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sort.Slice(s.lats, func(i, j int) bool { return s.lats[i] < s.lats[j] })
+	q := func(p float64) float64 {
+		if len(s.lats) == 0 {
+			return 0
+		}
+		return float64(s.lats[int(p*float64(len(s.lats)-1))]) / 1e6
+	}
+	return benchfmt.ServeBench{
+		Name:        name,
+		Concurrency: concurrency,
+		Requests:    int(s.requests),
+		Errors:      int(s.errors),
+		Seconds:     elapsed.Seconds(),
+		RPS:         float64(s.requests-s.errors) / elapsed.Seconds(),
+		P50Ms:       q(0.50),
+		P90Ms:       q(0.90),
+		P99Ms:       q(0.99),
+	}
 }
 
 func main() {
@@ -52,22 +106,28 @@ func main() {
 		seed        = flag.Int64("seed", 1, "patient sampling seed")
 		jsonPath    = flag.String("json", "", "write a benchfmt report to this JSON file")
 		cold        = flag.Bool("cold", false, "cold-path mode: walk distinct patients and send Cache-Control: no-cache, so every request is scored, not served from the result cache")
-		appendJSON  = flag.Bool("append", false, "merge the measurement into an existing -json report instead of overwriting it")
+		mix         = flag.Bool("mix", false, "online mix mode: interleave registry writes, inductive suggests by registered id, and cached index suggests")
+		strict      = flag.Bool("strict", false, "exit non-zero if ANY request fails (zero non-2xx assertion)")
+		appendJSON  = flag.Bool("append", false, "merge the measurements into an existing -json report instead of overwriting it")
 	)
 	flag.Parse()
 	log.SetFlags(0)
+	if *cold && *mix {
+		log.Fatal("loadgen: -cold and -mix are mutually exclusive")
+	}
 	base := "http://" + *addr
 
 	// Discover the cohort size (and prove the server is up).
 	var health struct {
 		Model struct {
 			Patients int `json:"patients"`
+			Drugs    int `json:"drugs"`
 		} `json:"model"`
 	}
 	if err := getJSON(base+"/healthz", &health); err != nil {
 		log.Fatalf("loadgen: %s unreachable: %v", base, err)
 	}
-	patients := health.Model.Patients
+	patients, drugs := health.Model.Patients, health.Model.Drugs
 	if patients <= 0 {
 		log.Fatalf("loadgen: server reports %d patients", patients)
 	}
@@ -76,17 +136,30 @@ func main() {
 		pool = *spread
 	}
 
-	fmt.Fprintf(os.Stderr, "loadgen: %d clients, %v, %d-patient pool against %s\n",
-		*concurrency, *duration, pool, base)
+	mode := "cached"
+	if *cold {
+		mode = "cold"
+	} else if *mix {
+		mode = "mix"
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: %d clients, %v, %d-patient pool, %s mode against %s\n",
+		*concurrency, *duration, pool, mode, base)
 
 	var (
-		wg       sync.WaitGroup
-		requests atomic.Int64
-		errors   atomic.Int64
-		next     atomic.Int64 // cold mode: round-robin patient cursor
-		mu       sync.Mutex
-		lats     []int64
+		wg        sync.WaitGroup
+		next      int64      // cold mode: round-robin patient cursor
+		nextMu    sync.Mutex // guards next
+		suggest   opStats    // plain / cold suggests
+		inductive opStats    // mix: suggests by registered id
+		update    opStats    // mix: registry PUTs
 	)
+	takeNext := func() int {
+		nextMu.Lock()
+		defer nextMu.Unlock()
+		v := next
+		next++
+		return int(v)
+	}
 	deadline := time.Now().Add(*duration)
 	start := time.Now()
 	for c := 0; c < *concurrency; c++ {
@@ -95,73 +168,73 @@ func main() {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(*seed + int64(c)))
 			client := &http.Client{Timeout: 10 * time.Second}
-			local := make([]int64, 0, 4096)
-			for time.Now().Before(deadline) {
-				patient := rng.Intn(pool)
-				if *cold {
-					// Unique patients per request (until the pool wraps),
-					// and the no-cache header keeps even wrapped patients
-					// on the scoring path.
-					patient = int(next.Add(1)-1) % pool
+			regID := fmt.Sprintf("lg-%d-%d", *seed, c)
+			registered := false
+			for it := 0; time.Now().Before(deadline); it++ {
+				switch {
+				case *mix && (it%4 == 0 || !registered):
+					// Registry write: register or replace this client's
+					// patient with a fresh random regimen.
+					reg := make([]int, 3+rng.Intn(6))
+					for i := range reg {
+						reg[i] = rng.Intn(drugs)
+					}
+					body, _ := json.Marshal(patientPutRequest{Regimen: reg})
+					req, err := http.NewRequest(http.MethodPut, base+"/v1/patients/"+regID, bytes.NewReader(body))
+					if err != nil {
+						update.observe(0, true)
+						continue
+					}
+					req.Header.Set("Content-Type", "application/json")
+					ok := issue(client, req, &update)
+					registered = registered || ok
+				case *mix && it%2 == 1:
+					// Inductive suggest by registered id.
+					body, _ := json.Marshal(suggestRequest{PatientID: regID, K: *k})
+					req, err := http.NewRequest(http.MethodPost, base+"/v1/suggest", bytes.NewReader(body))
+					if err != nil {
+						inductive.observe(0, true)
+						continue
+					}
+					req.Header.Set("Content-Type", "application/json")
+					issue(client, req, &inductive)
+				default:
+					patient := rng.Intn(pool)
+					if *cold {
+						// Unique patients per request (until the pool
+						// wraps), and the no-cache header keeps even
+						// wrapped patients on the scoring path.
+						patient = takeNext() % pool
+					}
+					body, _ := json.Marshal(suggestRequest{Patient: patient, K: *k})
+					req, err := http.NewRequest(http.MethodPost, base+"/v1/suggest", bytes.NewReader(body))
+					if err != nil {
+						suggest.observe(0, true)
+						continue
+					}
+					req.Header.Set("Content-Type", "application/json")
+					if *cold {
+						req.Header.Set("Cache-Control", "no-cache")
+					}
+					issue(client, req, &suggest)
 				}
-				body, _ := json.Marshal(suggestRequest{Patient: patient, K: *k})
-				req, err := http.NewRequest(http.MethodPost, base+"/v1/suggest", bytes.NewReader(body))
-				if err != nil {
-					errors.Add(1)
-					requests.Add(1)
-					continue
-				}
-				req.Header.Set("Content-Type", "application/json")
-				if *cold {
-					req.Header.Set("Cache-Control", "no-cache")
-				}
-				t0 := time.Now()
-				resp, err := client.Do(req)
-				lat := time.Since(t0).Nanoseconds()
-				requests.Add(1)
-				if err != nil {
-					errors.Add(1)
-					continue
-				}
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK {
-					errors.Add(1)
-					continue
-				}
-				local = append(local, lat)
 			}
-			mu.Lock()
-			lats = append(lats, local...)
-			mu.Unlock()
 		}(c)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	n := requests.Load()
-	errs := errors.Load()
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	q := func(p float64) float64 {
-		if len(lats) == 0 {
-			return 0
+	var benches []benchfmt.ServeBench
+	if *mix {
+		benches = append(benches,
+			inductive.bench("suggest-inductive", *concurrency, elapsed),
+			update.bench("patient-update", *concurrency, elapsed))
+	} else {
+		name := "suggest"
+		if *cold {
+			name = "suggest-cold"
 		}
-		return float64(lats[int(p*float64(len(lats)-1))]) / 1e6
-	}
-	name := "suggest"
-	if *cold {
-		name = "suggest-cold"
-	}
-	bench := benchfmt.ServeBench{
-		Name:        name,
-		Concurrency: *concurrency,
-		Requests:    int(n),
-		Errors:      int(errs),
-		Seconds:     elapsed.Seconds(),
-		RPS:         float64(n-errs) / elapsed.Seconds(),
-		P50Ms:       q(0.50),
-		P90Ms:       q(0.90),
-		P99Ms:       q(0.99),
+		benches = append(benches, suggest.bench(name, *concurrency, elapsed))
 	}
 
 	// Enrich with the server's own cache/batching counters.
@@ -174,15 +247,31 @@ func main() {
 		} `json:"batching"`
 	}
 	if err := getJSON(base+"/metricsz", &metrics); err == nil {
-		bench.CacheHitRate = metrics.SuggestCache.HitRate
-		bench.AvgBatchSize = metrics.Batching.AvgBatchSize
+		for i := range benches {
+			benches[i].CacheHitRate = metrics.SuggestCache.HitRate
+			benches[i].AvgBatchSize = metrics.Batching.AvgBatchSize
+		}
 	}
 
-	fmt.Printf("%-10s %8.0f req/s  %6d reqs  %4d errs  p50 %6.2fms  p90 %6.2fms  p99 %6.2fms  cache %4.1f%%  batch %.2f\n",
-		bench.Name, bench.RPS, bench.Requests, bench.Errors,
-		bench.P50Ms, bench.P90Ms, bench.P99Ms, 100*bench.CacheHitRate, bench.AvgBatchSize)
-	if errs > 0 && errs*10 > n {
-		log.Fatalf("loadgen: %d/%d requests failed", errs, n)
+	var totalReqs, totalErrs int64
+	for _, b := range benches {
+		totalReqs += int64(b.Requests)
+		totalErrs += int64(b.Errors)
+		fmt.Printf("%-18s %8.0f req/s  %6d reqs  %4d errs  p50 %6.2fms  p90 %6.2fms  p99 %6.2fms  cache %4.1f%%  batch %.2f\n",
+			b.Name, b.RPS, b.Requests, b.Errors,
+			b.P50Ms, b.P90Ms, b.P99Ms, 100*b.CacheHitRate, b.AvgBatchSize)
+	}
+	if *mix {
+		// The cached index suggests of the mix are warm-up traffic, not
+		// a recorded entry, but their failures still count.
+		totalReqs += suggest.requests
+		totalErrs += suggest.errors
+	}
+	if *strict && totalErrs > 0 {
+		log.Fatalf("loadgen: -strict: %d/%d requests failed", totalErrs, totalReqs)
+	}
+	if totalErrs > 0 && totalErrs*10 > totalReqs {
+		log.Fatalf("loadgen: %d/%d requests failed", totalErrs, totalReqs)
 	}
 
 	if *jsonPath != "" {
@@ -191,13 +280,13 @@ func main() {
 			Profile:      "serve",
 			GoMaxProcs:   runtime.GOMAXPROCS(0),
 			Seed:         *seed,
-			Serving:      []benchfmt.ServeBench{bench},
+			Serving:      benches,
 			TotalSeconds: elapsed.Seconds(),
 		}
 		if *appendJSON {
-			// Merge into an existing report (replacing a same-named
-			// entry), so one BENCH_serve.json can carry the cached and
-			// cold measurements side by side. A missing file starts a
+			// Merge into an existing report (replacing same-named
+			// entries), so one BENCH_serve.json carries the cached, cold
+			// and mix measurements side by side. A missing file starts a
 			// fresh report; an unreadable or foreign one is an error —
 			// silently dropping the earlier entries would corrupt the
 			// committed record.
@@ -210,13 +299,17 @@ func main() {
 				if old.Schema != rep.Schema {
 					log.Fatalf("loadgen: -append: %s has schema %q, want %q", *jsonPath, old.Schema, rep.Schema)
 				}
+				replaced := make(map[string]bool, len(benches))
+				for _, b := range benches {
+					replaced[b.Name] = true
+				}
 				merged := old.Serving[:0]
 				for _, sb := range old.Serving {
-					if sb.Name != bench.Name {
+					if !replaced[sb.Name] {
 						merged = append(merged, sb)
 					}
 				}
-				old.Serving = append(merged, bench)
+				old.Serving = append(merged, benches...)
 				old.TotalSeconds += elapsed.Seconds()
 				rep = old
 			case !os.IsNotExist(err):
@@ -233,6 +326,23 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", *jsonPath)
 	}
+}
+
+// issue sends one request, draining and classifying the response;
+// 2xx is success.
+func issue(client *http.Client, req *http.Request, stats *opStats) bool {
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	lat := time.Since(t0).Nanoseconds()
+	if err != nil {
+		stats.observe(lat, true)
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	ok := resp.StatusCode >= 200 && resp.StatusCode < 300
+	stats.observe(lat, !ok)
+	return ok
 }
 
 func getJSON(url string, v any) error {

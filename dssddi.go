@@ -407,6 +407,126 @@ func (s *System) rank(scores []float64, k int) []Suggestion {
 	return out
 }
 
+// PatientProfile describes a patient by clinical content instead of a
+// dataset index: their current medication regimen (drug IDs) and an
+// optional feature vector of the training data's feature width. It is
+// the online-layer input — profiles for patients the model has never
+// seen, or edited regimens for known ones, score without retraining.
+type PatientProfile struct {
+	Regimen  []int
+	Features []float64
+}
+
+// PatientEmbedding is an opaque scoring-ready representation of one
+// PatientProfile, produced by EmbedPatient and consumed by the
+// *ForEmbedding methods. Embedding once and scoring many times is the
+// serving fast path: the registry caches one embedding per registered
+// patient and recomputes it only on regimen/feature writes. An
+// embedding is bound to the System that produced it.
+type PatientEmbedding struct {
+	sys *System
+	emb *md.PatientEmbedding
+}
+
+// EmbedPatient builds the scoring-ready embedding of a patient
+// profile. For an observed (training) patient embedded with their own
+// recorded regimen and features, scoring the embedding is bitwise
+// identical to the transductive Scores/Suggest path for that index;
+// unseen profiles run the same kernels over the inductive patient
+// representation (see internal/md).
+func (s *System) EmbedPatient(p PatientProfile) (*PatientEmbedding, error) {
+	if err := s.ensureTrained(); err != nil {
+		return nil, err
+	}
+	emb, err := s.mdModel.EmbedPatient(p.Regimen, p.Features)
+	if err != nil {
+		return nil, fmt.Errorf("dssddi: %w", err)
+	}
+	return &PatientEmbedding{sys: s, emb: emb}, nil
+}
+
+// checkEmbedding rejects embeddings that did not come from this
+// system — scoring one against a different model (for example across a
+// serving hot-reload) would silently mix two models' representations.
+func (s *System) checkEmbedding(e *PatientEmbedding) error {
+	if e == nil || e.emb == nil {
+		return fmt.Errorf("dssddi: nil patient embedding")
+	}
+	if e.sys != s {
+		return fmt.Errorf("dssddi: patient embedding belongs to a different System; re-embed the profile")
+	}
+	return nil
+}
+
+// SuggestFor returns the top-k drug suggestions for an arbitrary
+// patient profile — the inductive counterpart of Suggest, riding the
+// same tiled top-k engine.
+func (s *System) SuggestFor(p PatientProfile, k int) ([]Suggestion, error) {
+	e, err := s.EmbedPatient(p)
+	if err != nil {
+		return nil, err
+	}
+	return s.SuggestForEmbedding(e, k)
+}
+
+// SuggestForEmbedding is SuggestFor over a prebuilt embedding.
+func (s *System) SuggestForEmbedding(e *PatientEmbedding, k int) ([]Suggestion, error) {
+	if err := s.checkEmbedding(e); err != nil {
+		return nil, err
+	}
+	ids, scores := s.mdModel.TopKScoresFor(e.emb, k)
+	out := make([]Suggestion, len(ids))
+	for i, v := range ids {
+		out[i] = Suggestion{DrugID: v, DrugName: s.data.DrugName(v), Score: scores[i]}
+	}
+	return out, nil
+}
+
+// ScoresFor returns the raw suggestion scores (one per drug) for an
+// arbitrary patient profile.
+func (s *System) ScoresFor(p PatientProfile) ([]float64, error) {
+	e, err := s.EmbedPatient(p)
+	if err != nil {
+		return nil, err
+	}
+	return s.ScoresForEmbedding(e)
+}
+
+// ScoresForEmbedding is ScoresFor over a prebuilt embedding.
+func (s *System) ScoresForEmbedding(e *PatientEmbedding) ([]float64, error) {
+	if err := s.checkEmbedding(e); err != nil {
+		return nil, err
+	}
+	return s.mdModel.ScoresFor(e.emb), nil
+}
+
+// ScoresForEmbeddingInto fills dst (length NumDrugs) with the scores
+// of a prebuilt embedding — the buffer-reusing serving form.
+func (s *System) ScoresForEmbeddingInto(dst []float64, e *PatientEmbedding) error {
+	if err := s.checkEmbedding(e); err != nil {
+		return err
+	}
+	if len(dst) != s.data.NumDrugs() {
+		return fmt.Errorf("dssddi: ScoresForEmbeddingInto dst has length %d, want %d", len(dst), s.data.NumDrugs())
+	}
+	s.mdModel.ScoresForInto(dst, e.emb)
+	return nil
+}
+
+// ExplainFor suggests top-k drugs for an arbitrary patient profile and
+// explains the suggested set with the MS module, returning both.
+func (s *System) ExplainFor(p PatientProfile, k int) ([]Suggestion, Explanation, error) {
+	suggs, err := s.SuggestFor(p, k)
+	if err != nil {
+		return nil, Explanation{}, err
+	}
+	ex, err := s.ExplainSuggestions(suggs)
+	if err != nil {
+		return nil, Explanation{}, err
+	}
+	return suggs, ex, nil
+}
+
 // Explain runs the MS module on a set of drug IDs.
 func (s *System) Explain(drugIDs []int) (Explanation, error) {
 	if err := s.ensureTrained(); err != nil {

@@ -1,0 +1,254 @@
+package md
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dssddi/internal/mat"
+	"dssddi/internal/metrics"
+	"dssddi/internal/nn"
+)
+
+// This file is the inductive patient layer: scoring for patients that
+// were never part of the training dataset. A PatientEmbedding carries
+// everything the fused tiled engine needs for one patient — the
+// decoder-facing hidden representation and the treatment row — so a
+// regimen edited at serving time reaches the scorer without touching
+// the trained model, and an unseen patient never requires retraining.
+//
+// The transductive path (Scores / TopKScores) derives both quantities
+// from a dataset index; EmbedPatient derives the identical quantities
+// from a (regimen, features) profile. For an observed patient queried
+// with their own recorded profile the two are bitwise identical — the
+// hidden representation goes through the same nn.ForwardRow kernel the
+// engine uses, and the treatment row degenerates to the same cluster
+// row (see Treatment.InferRowFor) — which the equivalence tests in
+// inductive_test.go enforce for every training patient at workers
+// {1, 4}.
+
+// PatientEmbedding is the scoring-ready representation of one patient
+// profile. H is the decoder-facing hidden representation (Eq. 9 when
+// built from features, the propagated bipartite aggregation when built
+// from a bare regimen); T is the treatment row. Both slices are owned
+// by the embedding and must be treated as read-only by the scoring
+// engine.
+type PatientEmbedding struct {
+	H []float64
+	T []float64
+}
+
+// EmbedPatient builds the embedding for an arbitrary patient profile:
+// a current medication regimen (drug IDs) plus an optional feature
+// vector of the dataset's feature width.
+//
+// With features, H is the MDGCN patient representation h_i (Eq. 9)
+// computed by the same row kernel the tiled engine runs, so scores for
+// an observed patient's own profile are bitwise identical to the
+// transductive Scores path. Without features, H is reconstructed from
+// the regimen alone by running the bipartite aggregation inductively:
+// the patient is treated as a fresh node linked to their regimen, and
+// the per-layer propagated representations p_t = Σ_v d_{t-1,v} /
+// √(deg_p·deg_v) (Eq. 11 with the drug-side layer inputs frozen at
+// their training values and the training-time degrees) are combined
+// with the same per-layer β_t = 1/(t+2) weights encode applies.
+// Regimen drugs that never appear in the observed bipartite graph
+// carry no learned propagation signal and contribute only to the
+// treatment row.
+//
+// The regimen may be empty only when features are present. Invalid
+// drug IDs or a wrong feature width are errors.
+func (m *Model) EmbedPatient(regimen []int, features []float64) (*PatientEmbedding, error) {
+	nD := m.Data.NumDrugs()
+	for _, v := range regimen {
+		if v < 0 || v >= nD {
+			return nil, fmt.Errorf("md: EmbedPatient: regimen drug %d out of range [0, %d)", v, nD)
+		}
+	}
+	if features == nil && len(regimen) == 0 {
+		return nil, fmt.Errorf("md: EmbedPatient: need features or a non-empty regimen")
+	}
+	if features != nil && len(features) != m.Data.X.Cols() {
+		return nil, fmt.Errorf("md: EmbedPatient: got %d features, dataset has %d", len(features), m.Data.X.Cols())
+	}
+	// Canonicalise the regimen (sorted, deduplicated copy) so the
+	// embedding is independent of the caller's ordering and the input
+	// slice is never retained or mutated.
+	reg := append([]int(nil), regimen...)
+	sort.Ints(reg)
+	n := 0
+	for i, v := range reg {
+		if i == 0 || v != reg[n-1] {
+			reg[n] = v
+			n++
+		}
+	}
+	reg = reg[:n]
+
+	e := &PatientEmbedding{H: make([]float64, m.fcPat.OutDim())}
+	if features != nil {
+		w := m.fcPat.MaxWidth()
+		buf1, buf2 := make([]float64, w), make([]float64, w)
+		m.fcPat.ForwardRow(e.H, features, buf1, buf2)
+	} else {
+		m.aggregateRegimen(e.H, reg)
+	}
+	e.T = m.Treatment.InferRowFor(reg, features)
+	return e, nil
+}
+
+// inductiveInputs lazily builds (and caches) the inputs of the
+// feature-free inductive aggregation: the per-layer drug
+// representations d_0..d_{L-1} of the training propagation — the same
+// tape-free recurrence as inferDrugReps, retaining each layer instead
+// of only their β-combination — and the drugs' observed bipartite
+// degrees. Everything is derived from state NewServing restores, so a
+// snapshot-loaded model embeds identically to the model it was saved
+// from and the snapshot format needs no extra weights.
+func (m *Model) inductiveInputs() (layers []*mat.Dense, deg []float64) {
+	m.indMu.Lock()
+	defer m.indMu.Unlock()
+	if m.indLayers == nil {
+		hPat := m.fcPat.Forward(m.trainX)
+		hDrug := nn.ForwardActivation(m.fcDrug.Forward(m.drugFeat), nn.ActLeakyReLU)
+		ls := []*mat.Dense{hDrug}
+		pT, dT := hPat, hDrug
+		for layer := 1; layer < m.Config.PropLayers; layer++ {
+			pNext := m.l2r.MulDense(dT)
+			dNext := m.r2l.MulDense(pT)
+			pT, dT = pNext, dNext
+			ls = append(ls, dT)
+		}
+		d := make([]float64, m.Data.NumDrugs())
+		for _, p := range m.Data.Train {
+			row := m.Data.Y.Row(p)
+			for v, y := range row {
+				if y == 1 {
+					d[v]++
+				}
+			}
+		}
+		m.indLayers, m.indDeg = ls, d
+	}
+	return m.indLayers, m.indDeg
+}
+
+// aggregateRegimen accumulates the β-combined inductive patient
+// representation for a canonicalised (sorted, deduplicated) regimen
+// into dst. dst must be zeroed and of width Hidden.
+func (m *Model) aggregateRegimen(dst []float64, regimen []int) {
+	layers, deg := m.inductiveInputs()
+	degP := float64(len(regimen))
+	tmp := make([]float64, len(dst))
+	for t := 1; t <= m.Config.PropLayers; t++ {
+		d := layers[t-1]
+		for j := range tmp {
+			tmp[j] = 0
+		}
+		for _, v := range regimen {
+			if deg[v] == 0 {
+				continue // unobserved drug: no learned propagation signal
+			}
+			w := 1 / math.Sqrt(degP*deg[v])
+			row := d.Row(v)
+			for j := range tmp {
+				tmp[j] += w * row[j]
+			}
+		}
+		b := beta(t)
+		for j := range dst {
+			dst[j] += b * tmp[j]
+		}
+	}
+}
+
+// checkEmbedding validates an embedding's shape against the model; the
+// scoring kernels index matrices directly, so shape errors must stop
+// here rather than surface as panics inside a worker.
+func (m *Model) checkEmbedding(e *PatientEmbedding) {
+	if e == nil {
+		panic("md: nil PatientEmbedding")
+	}
+	if len(e.H) != m.fcPat.OutDim() || len(e.T) != m.Data.NumDrugs() {
+		panic(fmt.Sprintf("md: PatientEmbedding shape %d/%d does not match model %d/%d",
+			len(e.H), len(e.T), m.fcPat.OutDim(), m.Data.NumDrugs()))
+	}
+}
+
+// ScoresForInto fills dst (length NumDrugs) with the suggestion scores
+// of an embedded patient profile, riding the fused tiled engine. For
+// an observed patient's own profile the bits equal the corresponding
+// Scores row for any worker count; every pair's value is independent
+// of how pairs are partitioned, so the sequential tile walk here and
+// the engine's parallel units agree exactly.
+func (m *Model) ScoresForInto(dst []float64, e *PatientEmbedding) {
+	m.checkEmbedding(e)
+	nD := m.Data.NumDrugs()
+	if len(dst) != nD {
+		panic(fmt.Sprintf("md: ScoresForInto dst has length %d, want %d", len(dst), nD))
+	}
+	if m.pd == nil { // non-decomposable decoder: batched reference path
+		copy(dst, m.scoresForReference(e))
+		return
+	}
+	hDrug := m.drugReps()
+	sc := m.getScratch()
+	copy(sc.hp, e.H)
+	for vLo := 0; vLo < nD; vLo += drugTile {
+		vHi := vLo + drugTile
+		if vHi > nD {
+			vHi = nD
+		}
+		m.scoreTile(dst[vLo:vHi], sc, hDrug, e.T, vLo)
+	}
+	m.putScratch(sc)
+}
+
+// ScoresFor is the allocating form of ScoresForInto.
+func (m *Model) ScoresFor(e *PatientEmbedding) []float64 {
+	out := make([]float64, m.Data.NumDrugs())
+	m.ScoresForInto(out, e)
+	return out
+}
+
+// TopKScoresFor is TopKScores over an embedded patient profile: a
+// tile-streamed size-k selection with exactly the ordering and score
+// bits ranking the full ScoresFor row would produce. The returned
+// slices are the caller's to keep.
+func (m *Model) TopKScoresFor(e *PatientEmbedding, k int) (ids []int, scores []float64) {
+	m.checkEmbedding(e)
+	if m.pd == nil {
+		row := m.scoresForReference(e)
+		for _, v := range metrics.TopK(row, k) {
+			ids = append(ids, v)
+			scores = append(scores, row[v])
+		}
+		return ids, scores
+	}
+	hDrug := m.drugReps()
+	sc := m.getScratch()
+	copy(sc.hp, e.H)
+	ids, scores = m.topKSelect(sc, hDrug, e.T, k)
+	m.putScratch(sc)
+	return ids, scores
+}
+
+// scoresForReference scores one embedding through the batched
+// reference path — the fallback for non-fusable decoder shapes and the
+// oracle for the engine equivalence tests.
+func (m *Model) scoresForReference(e *PatientEmbedding) []float64 {
+	hDrug := m.drugReps()
+	hP := mat.NewFrom(1, len(e.H), append([]float64(nil), e.H...))
+	nD := m.Data.NumDrugs()
+	pIdx := make([]int, nD)
+	vIdx := make([]int, nD)
+	for v := range vIdx {
+		vIdx[v] = v
+	}
+	logits := m.decodeInfer(hP, hDrug, pIdx, vIdx, column(e.T))
+	out := make([]float64, nD)
+	for v := range out {
+		out[v] = mat.Sigmoid(logits.At(v, 0))
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package md
+
+import (
+	"math"
+	"testing"
+
+	"dssddi/internal/mat"
+)
+
+// regimenOf reads patient p's recorded medication set from the labels.
+func regimenOf(m *Model, p int) []int {
+	var out []int
+	for v := 0; v < m.Data.NumDrugs(); v++ {
+		if m.Data.Y.At(p, v) == 1 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func bitsEqualSlice(t *testing.T, ctx string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", ctx, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: element %d: inductive %v != transductive %v", ctx, i, got[i], want[i])
+		}
+	}
+}
+
+// TestInductiveMatchesTransductiveForTrainingPatients is the online
+// layer's core guarantee: for EVERY training patient, embedding their
+// own (regimen, features) profile and scoring it inductively yields
+// bitwise the embedding and scores the transductive index path
+// produces — at serial and parallel worker counts.
+func TestInductiveMatchesTransductiveForTrainingPatients(t *testing.T) {
+	m := trainedScoreModel(t)
+	d := m.Data
+	defer mat.SetWorkers(0)
+	for _, workers := range []int{1, 4} {
+		mat.SetWorkers(workers)
+		want := m.Scores(d.Train)
+		for i, p := range d.Train {
+			e, err := m.EmbedPatient(regimenOf(m, p), d.X.Row(p))
+			if err != nil {
+				t.Fatalf("workers %d: EmbedPatient(train %d): %v", workers, p, err)
+			}
+			// The embedding itself: H is Eq. 9's hidden representation,
+			// T the inferred treatment row — same bits as the engine's
+			// internals for this patient.
+			sc := m.getScratch()
+			m.fcPat.ForwardRow(sc.hp, d.X.Row(p), sc.buf1, sc.buf2)
+			bitsEqualSlice(t, "embedding H", e.H, sc.hp)
+			m.putScratch(sc)
+			bitsEqualSlice(t, "embedding T", e.T, m.Treatment.inferRowShared(d.X.Row(p)))
+
+			bitsEqualSlice(t, "ScoresFor", m.ScoresFor(e), want.Row(i))
+
+			dst := make([]float64, d.NumDrugs())
+			m.ScoresForInto(dst, e)
+			bitsEqualSlice(t, "ScoresForInto", dst, want.Row(i))
+
+			wantIDs, wantScores := m.TopKScores(p, 5)
+			gotIDs, gotScores := m.TopKScoresFor(e, 5)
+			if len(gotIDs) != len(wantIDs) {
+				t.Fatalf("TopKScoresFor returned %d ids, want %d", len(gotIDs), len(wantIDs))
+			}
+			for j := range wantIDs {
+				if gotIDs[j] != wantIDs[j] || math.Float64bits(gotScores[j]) != math.Float64bits(wantScores[j]) {
+					t.Fatalf("workers %d patient %d: top-k %d diverged: (%d, %v) vs (%d, %v)",
+						workers, p, j, gotIDs[j], gotScores[j], wantIDs[j], wantScores[j])
+				}
+			}
+		}
+	}
+}
+
+// TestInductiveMatchesReferencePath pins the fused inductive scorer to
+// the batched reference oracle for profiles that are NOT training
+// patients (unseen feature vectors and edited regimens).
+func TestInductiveMatchesReferencePath(t *testing.T) {
+	m := trainedScoreModel(t)
+	d := m.Data
+	p := d.Test[0]
+	profiles := []struct {
+		name     string
+		regimen  []int
+		features []float64
+	}{
+		{"test patient's own profile", regimenOf(m, p), d.X.Row(p)},
+		{"edited regimen", []int{0, 2, 5}, d.X.Row(p)},
+		{"empty regimen", nil, d.X.Row(p)},
+		{"regimen only", []int{1, 3, 4}, nil},
+	}
+	for _, pr := range profiles {
+		e, err := m.EmbedPatient(pr.regimen, pr.features)
+		if err != nil {
+			t.Fatalf("%s: %v", pr.name, err)
+		}
+		bitsEqualSlice(t, pr.name, m.ScoresFor(e), m.scoresForReference(e))
+	}
+}
+
+// TestEmbedPatientRegimenSemantics checks that the embedding is
+// insensitive to regimen order and duplicates, that regimen edits
+// actually move the feature-free embedding, and that the treatment row
+// honours the regimen union rule.
+func TestEmbedPatientRegimenSemantics(t *testing.T) {
+	m := trainedScoreModel(t)
+
+	a, err := m.EmbedPatient([]int{4, 1, 1, 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.EmbedPatient([]int{1, 3, 4, 4, 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitsEqualSlice(t, "order/dup H", a.H, b.H)
+	bitsEqualSlice(t, "order/dup T", a.T, b.T)
+
+	c, err := m.EmbedPatient([]int{2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.H {
+		if a.H[i] != c.H[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different regimens produced identical feature-free embeddings")
+	}
+
+	// Every regimen drug must appear in the treatment row.
+	x := m.Data.X.Row(m.Data.Test[1])
+	e, err := m.EmbedPatient([]int{0, 5}, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.T[0] != 1 || e.T[5] != 1 {
+		t.Fatal("regimen drugs missing from the inferred treatment row")
+	}
+}
+
+// TestEmbedPatientValidation covers the error surface: bad drug IDs,
+// wrong feature width, and the empty profile.
+func TestEmbedPatientValidation(t *testing.T) {
+	m := trainedScoreModel(t)
+	if _, err := m.EmbedPatient([]int{-1}, nil); err == nil {
+		t.Fatal("negative drug id must error")
+	}
+	if _, err := m.EmbedPatient([]int{m.Data.NumDrugs()}, nil); err == nil {
+		t.Fatal("out-of-range drug id must error")
+	}
+	if _, err := m.EmbedPatient(nil, nil); err == nil {
+		t.Fatal("empty profile must error")
+	}
+	if _, err := m.EmbedPatient(nil, make([]float64, m.Data.X.Cols()+1)); err == nil {
+		t.Fatal("wrong feature width must error")
+	}
+	if _, err := m.EmbedPatient(nil, append([]float64(nil), m.Data.X.Row(0)...)); err != nil {
+		t.Fatalf("feature-only profile must embed: %v", err)
+	}
+}

@@ -107,6 +107,14 @@ type Model struct {
 	// tiled engine's per-goroutine buffers; see score.go.
 	pd      *nn.PairDecoder
 	scratch sync.Pool
+
+	// Lazily built inputs of the inductive patient layer (see
+	// inductive.go): the per-layer drug representations d_0..d_{L-1}
+	// and the drugs' observed bipartite degrees. Guarded by indMu;
+	// invalidated when Train moves the parameters.
+	indMu     sync.Mutex
+	indLayers []*mat.Dense
+	indDeg    []float64
 }
 
 // NewModel assembles an MDGCN over the dataset. relEmb is the drug
@@ -300,6 +308,9 @@ func (m *Model) Train() []float64 {
 		valEvery = 25
 	}
 	m.drugCache = nil // params are about to move; never serve stale reps
+	m.indMu.Lock()
+	m.indLayers, m.indDeg = nil, nil // same for the inductive layer inputs
+	m.indMu.Unlock()
 	if m.tape == nil {
 		m.tape = ag.NewTape()
 	}

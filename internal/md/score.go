@@ -206,6 +206,15 @@ func (m *Model) TopKScores(patient, k int) (ids []int, scores []float64) {
 	x := m.Data.X.Row(patient)
 	m.fcPat.ForwardRow(sc.hp, x, sc.buf1, sc.buf2)
 	trow := m.Treatment.inferRowShared(x)
+	ids, scores = m.topKSelect(sc, hDrug, trow, k)
+	m.putScratch(sc)
+	return ids, scores
+}
+
+// topKSelect streams drug tiles for the patient whose hidden
+// representation is in sc.hp, folding logits into a size-k selection —
+// the shared tail of TopKScores and TopKScoresFor.
+func (m *Model) topKSelect(sc *scoreScratch, hDrug *mat.Dense, trow []float64, k int) (ids []int, scores []float64) {
 	sc.sel.Reset(k)
 	nD := m.Data.NumDrugs()
 	for vLo := 0; vLo < nD; vLo += drugTile {
@@ -228,7 +237,5 @@ func (m *Model) TopKScores(patient, k int) (ids []int, scores []float64) {
 			sc.sel.PushAux(vLo+i, mat.Sigmoid(logit), logit)
 		}
 	}
-	ids, scores = sc.sel.AppendTo(nil, nil)
-	m.putScratch(sc)
-	return ids, scores
+	return sc.sel.AppendTo(nil, nil)
 }

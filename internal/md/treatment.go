@@ -51,10 +51,23 @@ func BuildTreatment(rng *rand.Rand, x, y *mat.Dense, ddi *graph.Signed, k int) *
 	res := cluster.KMeans(rng, x, k, 30)
 	t := &Treatment{
 		T:         mat.New(n, m),
-		Assign:    res.Assign,
 		Centroids: res.Centroids,
 		ddi:       ddi,
 	}
+	// The assignment is re-derived from the final centroids with
+	// NearestCluster rather than taken from the k-means result: when
+	// Lloyd iterations stop at the iteration cap, the last centroid
+	// update can leave res.Assign inconsistent with res.Centroids.
+	// Every inference path (InferRow, InferRowFor) assigns by
+	// NearestCluster, so deriving the training assignment the same way
+	// guarantees an observed patient's own drugs are always contained
+	// in the cluster set their inference-time cluster carries — the
+	// invariant the inductive scoring path's bitwise guarantee rests on.
+	t.Assign = make([]int, n)
+	for i := range t.Assign {
+		t.Assign[i] = t.NearestCluster(x.Row(i))
+	}
+	res.Assign = t.Assign
 	// Step 1: observed links.
 	for i := 0; i < n; i++ {
 		for v := 0; v < m; v++ {
@@ -83,15 +96,7 @@ func BuildTreatment(rng *rand.Rand, x, y *mat.Dense, ddi *graph.Signed, k int) *
 	}
 	// Step 3: propagate across synergistic edges.
 	for i := 0; i < n; i++ {
-		row := t.T.Row(i)
-		for v := 0; v < m; v++ {
-			if row[v] != 1 {
-				continue
-			}
-			for _, u := range ddi.Neighbors(v, func(s graph.Sign) bool { return s == graph.Synergy }) {
-				row[u] = 1
-			}
-		}
+		expandSynergy(ddi, t.T.Row(i))
 	}
 	// Precompute the per-cluster inference rows (steps 2-3 for a
 	// hypothetical member with no observed links of its own).
@@ -111,15 +116,25 @@ func (t *Treatment) buildClusterRows(m int) {
 		for v := range t.clusterDrugs[c] {
 			row[v] = 1
 		}
-		for v := 0; v < m; v++ {
-			if row[v] != 1 {
-				continue
-			}
-			for _, u := range t.ddi.Neighbors(v, func(s graph.Sign) bool { return s == graph.Synergy }) {
-				row[u] = 1
-			}
-		}
+		expandSynergy(t.ddi, row)
 		t.clusterRow[c] = row
+	}
+}
+
+// expandSynergy marks the synergistic neighbours of every treated drug
+// in one ascending pass over the row — the shared step-3 expansion of
+// BuildTreatment, buildClusterRows and InferRowFor. A single function
+// (and its exact visit order) keeps every treatment row in the system
+// derived by the same rule, which is what lets the inductive path
+// reproduce a transductive row bit for bit.
+func expandSynergy(ddi *graph.Signed, row []float64) {
+	for v := range row {
+		if row[v] != 1 {
+			continue
+		}
+		for _, u := range ddi.Neighbors(v, func(s graph.Sign) bool { return s == graph.Synergy }) {
+			row[u] = 1
+		}
 	}
 }
 
@@ -173,6 +188,31 @@ func (t *Treatment) InferRow(x []float64) []float64 {
 // copies what it needs without allocating.
 func (t *Treatment) inferRowShared(x []float64) []float64 {
 	return t.clusterRow[t.NearestCluster(x)]
+}
+
+// InferRowFor derives the treatment row for an arbitrary patient
+// profile: the union of their current regimen and — when a feature
+// vector is supplied — the treatment set of their nearest cluster,
+// expanded across synergistic DDI edges exactly like the training-time
+// construction. For an observed patient queried with their own
+// features and recorded regimen this reproduces inferRowShared's row
+// bit for bit: the assignment rule is the same NearestCluster call, so
+// the regimen is already contained in the cluster set and the union
+// (and its synergy expansion) degenerates to the cached cluster row.
+// Regimen entries must be valid drug IDs. The returned slice is the
+// caller's to keep.
+func (t *Treatment) InferRowFor(regimen []int, x []float64) []float64 {
+	row := make([]float64, t.ddi.N())
+	if x != nil {
+		for v := range t.clusterDrugs[t.NearestCluster(x)] {
+			row[v] = 1
+		}
+	}
+	for _, v := range regimen {
+		row[v] = 1
+	}
+	expandSynergy(t.ddi, row)
+	return row
 }
 
 // NearestCluster returns the index of the centroid closest to x.

@@ -85,13 +85,25 @@ type BatchMetrics struct {
 	AvgBatchSize float64 `json:"avg_batch_size"`
 }
 
-// Metrics is the full /metricsz payload.
+// RegistryMetrics is the JSON shape of the patient-registry counters.
+type RegistryMetrics struct {
+	Patients int   `json:"patients"`
+	Writes   int64 `json:"writes"`
+	Reembeds int64 `json:"reembeds"`
+}
+
+// Metrics is the full /metricsz payload. Cache and batching counters
+// belong to the current epoch (a hot reload starts them fresh);
+// endpoint and registry counters span the server's lifetime.
 type Metrics struct {
 	UptimeSeconds float64                    `json:"uptime_seconds"`
+	Epoch         int64                      `json:"epoch"`
+	Reloads       int64                      `json:"reloads"`
 	Endpoints     map[string]EndpointMetrics `json:"endpoints"`
 	SuggestCache  CacheMetrics               `json:"suggest_cache"`
 	ExplainCache  CacheMetrics               `json:"explain_cache"`
 	Batching      BatchMetrics               `json:"batching"`
+	Registry      RegistryMetrics            `json:"registry"`
 }
 
 // registry maps endpoint names to their stats. Endpoints are

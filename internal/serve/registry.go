@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"dssddi"
+)
+
+// patientRegistry is the server's mutable patient store: registered
+// profiles (regimen + optional features) addressable by caller-chosen
+// string ids, sharded with one RWMutex per shard so concurrent writes
+// to different patients never serialize. Each entry caches the
+// scoring-ready embedding of its profile, recomputed on every write
+// and lazily refreshed when the serving epoch moves — registered
+// patients survive hot reloads. The registry itself is epoch-agnostic;
+// embeddings are tagged with the epoch they were built against.
+//
+// Locking discipline: stored slices are replace-only (a write installs
+// fresh copies, never mutates in place), so a reader may hand a slice
+// it extracted under RLock to the response encoder after unlocking.
+type patientRegistry struct {
+	shards [registryShards]registryShard
+
+	count    atomic.Int64 // live entries
+	writes   atomic.Int64 // PUT/PATCH mutations accepted
+	reembeds atomic.Int64 // embeddings recomputed for an epoch move
+}
+
+const registryShards = 16
+
+type registryShard struct {
+	mu    sync.RWMutex
+	items map[string]*registeredPatient
+}
+
+// registeredPatient is one registry entry, guarded by its shard's
+// mutex.
+type registeredPatient struct {
+	regimen  []int
+	features []float64
+	// gen counts writes to this patient; it is baked into the result
+	// cache key, so a regimen update unreaches exactly this patient's
+	// cached responses (O(1) invalidation; stale entries age out of
+	// the LRU) without touching anyone else's.
+	gen uint64
+
+	emb      *dssddi.PatientEmbedding
+	embEpoch int64
+	embErr   error // re-embed failure against embEpoch's model
+}
+
+func newPatientRegistry() *patientRegistry {
+	r := &patientRegistry{}
+	for i := range r.shards {
+		r.shards[i].items = make(map[string]*registeredPatient)
+	}
+	return r
+}
+
+func (r *patientRegistry) shard(id string) *registryShard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return &r.shards[h.Sum32()%registryShards]
+}
+
+// validPatientID bounds registry ids: 1-64 bytes of [A-Za-z0-9._-].
+// Anything else is a malformed request (400), as opposed to a
+// well-formed id that simply is not registered (404).
+func validPatientID(id string) error {
+	if id == "" {
+		return fmt.Errorf("patient id must be non-empty")
+	}
+	if len(id) > 64 {
+		return fmt.Errorf("patient id exceeds 64 bytes")
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("patient id may only contain letters, digits, '.', '_' and '-'")
+		}
+	}
+	return nil
+}
+
+// put creates or replaces a patient's profile, embedding it against
+// the given epoch's model. The profile is validated by the embed: an
+// invalid one is rejected and the previous state (if any) is kept.
+func (r *patientRegistry) put(ep *servingEpoch, id string, regimen []int, features []float64) (created bool, gen uint64, err error) {
+	emb, err := ep.sys.EmbedPatient(dssddi.PatientProfile{Regimen: regimen, Features: features})
+	if err != nil {
+		return false, 0, err
+	}
+	sh := r.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	p := sh.items[id]
+	if p == nil {
+		p = &registeredPatient{}
+		sh.items[id] = p
+		r.count.Add(1)
+		created = true
+	}
+	p.regimen = append([]int(nil), regimen...)
+	p.features = append([]float64(nil), features...)
+	if features == nil {
+		p.features = nil
+	}
+	p.gen++
+	p.emb, p.embEpoch, p.embErr = emb, ep.id, nil
+	r.writes.Add(1)
+	return created, p.gen, nil
+}
+
+// patch partially updates a patient: non-nil fields replace the stored
+// ones, the merged profile is re-embedded against the given epoch and
+// installed atomically. found=false means no such patient. The
+// returned regimen is the one this patch installed (read under the
+// same critical section, so a concurrent writer can never be echoed
+// back as this patch's result).
+func (r *patientRegistry) patch(ep *servingEpoch, id string, regimen *[]int, features *[]float64) (found bool, gen uint64, merged []int, err error) {
+	sh := r.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	p := sh.items[id]
+	if p == nil {
+		return false, 0, nil, nil
+	}
+	newRegimen, newFeatures := p.regimen, p.features
+	if regimen != nil {
+		newRegimen = append([]int(nil), *regimen...)
+	}
+	if features != nil {
+		newFeatures = append([]float64(nil), *features...)
+		if *features == nil {
+			newFeatures = nil
+		}
+	}
+	emb, err := ep.sys.EmbedPatient(dssddi.PatientProfile{Regimen: newRegimen, Features: newFeatures})
+	if err != nil {
+		return true, 0, nil, err
+	}
+	p.regimen, p.features = newRegimen, newFeatures
+	p.gen++
+	p.emb, p.embEpoch, p.embErr = emb, ep.id, nil
+	r.writes.Add(1)
+	return true, p.gen, p.regimen, nil
+}
+
+// delete removes a patient, reporting whether it existed.
+func (r *patientRegistry) delete(id string) bool {
+	sh := r.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.items[id]; !ok {
+		return false
+	}
+	delete(sh.items, id)
+	r.count.Add(-1)
+	return true
+}
+
+// get returns a snapshot of a patient's profile.
+func (r *patientRegistry) get(id string) (regimen []int, features []float64, gen uint64, embEpoch int64, found bool) {
+	sh := r.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	p := sh.items[id]
+	if p == nil {
+		return nil, nil, 0, 0, false
+	}
+	return p.regimen, p.features, p.gen, p.embEpoch, true
+}
+
+// embeddingFor returns the patient's embedding valid for the given
+// epoch, recomputing it if the cached one belongs to an older epoch
+// (the lazy half of hot reload; Swap's eager reembedAll normally makes
+// this a read-lock fast path). Recomputation runs OUTSIDE the shard
+// locks — the stored slices are replace-only, so the profile read
+// under RLock stays valid — and is installed only when it moves the
+// entry forward: a request still pinned to a pre-swap epoch gets a
+// transient embedding for its own epoch without clobbering a newer
+// one (no re-embed ping-pong during the drain window). The returned
+// regimen slice is the stored (replace-only) one and safe to encode
+// after return.
+func (r *patientRegistry) embeddingFor(ep *servingEpoch, id string) (emb *dssddi.PatientEmbedding, gen uint64, regimen []int, found bool, err error) {
+	sh := r.shard(id)
+	sh.mu.RLock()
+	p := sh.items[id]
+	if p == nil {
+		sh.mu.RUnlock()
+		return nil, 0, nil, false, nil
+	}
+	gen, regimen = p.gen, p.regimen
+	features := p.features
+	emb, embEpoch, err := p.emb, p.embEpoch, p.embErr
+	sh.mu.RUnlock()
+	if embEpoch == ep.id {
+		return emb, gen, regimen, true, err
+	}
+
+	fresh, ferr := ep.sys.EmbedPatient(dssddi.PatientProfile{Regimen: regimen, Features: features})
+	r.reembeds.Add(1)
+	if embEpoch < ep.id {
+		sh.mu.Lock()
+		// Install only if the entry still describes the profile we
+		// embedded and nobody moved it to this epoch (or past it)
+		// meanwhile.
+		if q := sh.items[id]; q != nil && q.gen == gen && q.embEpoch < ep.id {
+			q.emb, q.embEpoch, q.embErr = fresh, ep.id, ferr
+		}
+		sh.mu.Unlock()
+	}
+	return fresh, gen, regimen, true, ferr
+}
+
+// reembedAll refreshes every entry against a new epoch — called by
+// Swap before the epoch pointer is published. Profiles are snapshotted
+// under a read lock and embedded lock-free; each install takes the
+// shard lock only briefly, so suggest traffic on the old epoch is
+// never stalled behind a whole shard's worth of embeds.
+func (r *patientRegistry) reembedAll(ep *servingEpoch) {
+	type job struct {
+		id       string
+		regimen  []int
+		features []float64
+		gen      uint64
+	}
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		jobs := make([]job, 0, len(sh.items))
+		for id, p := range sh.items {
+			if p.embEpoch < ep.id {
+				jobs = append(jobs, job{id, p.regimen, p.features, p.gen})
+			}
+		}
+		sh.mu.RUnlock()
+		for _, j := range jobs {
+			emb, err := ep.sys.EmbedPatient(dssddi.PatientProfile{Regimen: j.regimen, Features: j.features})
+			r.reembeds.Add(1)
+			sh.mu.Lock()
+			if p := sh.items[j.id]; p != nil && p.gen == j.gen && p.embEpoch < ep.id {
+				p.emb, p.embEpoch, p.embErr = emb, ep.id, err
+			}
+			sh.mu.Unlock()
+		}
+	}
+}
+
+func (r *patientRegistry) len() int { return int(r.count.Load()) }

@@ -1,0 +1,351 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+
+	"dssddi"
+)
+
+var (
+	sysBOnce sync.Once
+	testSysB *dssddi.System
+)
+
+// systemB trains a second model over the SAME cohort as system(t) but
+// with a different parameter seed — a genuinely different epoch whose
+// scores diverge from system(t)'s, for the hot-reload tests.
+func systemB(t testing.TB) *dssddi.System {
+	t.Helper()
+	sysBOnce.Do(func() {
+		data := dssddi.GenerateChronic(11, 50, 40)
+		cfg := dssddi.DefaultConfig()
+		cfg.DDIEpochs = 15
+		cfg.MDEpochs = 25
+		cfg.Hidden = 16
+		cfg.Seed = 7
+		sys := dssddi.New(cfg)
+		if err := sys.Train(data); err != nil {
+			panic(err)
+		}
+		testSysB = sys
+	})
+	if testSysB == nil {
+		t.Fatal("second test system failed to train")
+	}
+	return testSysB
+}
+
+// TestHotReloadEndpoint drives the snapshot file reload path: save a
+// model, boot a server on it, reload via /v1/admin/reload, and verify
+// the epoch moved, registered patients survived (re-embedded), and
+// responses still match the library bitwise.
+func TestHotReloadEndpoint(t *testing.T) {
+	sys := system(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.snap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	loaded, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysFromSnap, err := dssddi.Load(loaded)
+	loaded.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(sysFromSnap, Config{SnapshotPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() { ts.Close(); s.Close() }()
+
+	// Register a patient pre-reload.
+	if resp, body := do(t, http.MethodPut, ts.URL+"/v1/patients/bob", PatientPutRequest{Regimen: []int{1, 3}}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d %s", resp.StatusCode, body)
+	}
+	if got := s.Epoch(); got != 1 {
+		t.Fatalf("initial epoch %d, want 1", got)
+	}
+
+	// Reload with an empty body — uses the configured SnapshotPath.
+	resp, body := post(t, ts.URL+"/v1/admin/reload", struct{}{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload: %d %s", resp.StatusCode, body)
+	}
+	var rr ReloadResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Epoch != 2 || s.Epoch() != 2 {
+		t.Fatalf("epoch after reload: response %d, server %d, want 2", rr.Epoch, s.Epoch())
+	}
+
+	// The registered patient was re-embedded against the new epoch and
+	// still serves, with the X-Epoch header naming epoch 2.
+	resp, body = post(t, ts.URL+"/v1/suggest", SuggestRequest{PatientID: "bob", K: 3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-reload suggest: %d %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Epoch") != "2" {
+		t.Fatalf("X-Epoch %q, want 2", resp.Header.Get("X-Epoch"))
+	}
+	var got SuggestResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	want, err := sysFromSnap.SuggestFor(dssddi.PatientProfile{Regimen: []int{1, 3}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSuggestions(got.Suggestions, want) {
+		t.Fatalf("post-reload registered suggest diverged: %s", body)
+	}
+
+	// A garbage snapshot path fails loudly and leaves the epoch alone.
+	bad := filepath.Join(dir, "bad.snap")
+	os.WriteFile(bad, []byte("not a snapshot"), 0o644)
+	resp, _ = post(t, ts.URL+"/v1/admin/reload", ReloadRequest{Path: bad})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("bad snapshot reload: %d, want 500", resp.StatusCode)
+	}
+	if s.Epoch() != 2 {
+		t.Fatalf("failed reload moved the epoch to %d", s.Epoch())
+	}
+
+	var health HealthResponse
+	_, body = get(t, ts.URL+"/healthz")
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Epoch != 2 || health.Reloads != 1 || health.Patients != 1 {
+		t.Fatalf("healthz after reload: %s", body)
+	}
+}
+
+// TestReloadHammer is the acceptance-critical zero-downtime test (run
+// with -race): concurrent registry writes, hot reloads and suggests —
+// by dataset index and registered id — where every response must be
+// 2xx and bitwise consistent with exactly the model epoch named in its
+// X-Epoch header; no request is dropped and no response mixes epochs.
+func TestReloadHammer(t *testing.T) {
+	sysA, sysB := system(t), systemB(t)
+	s, err := New(sysA, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() { ts.Close(); s.Close() }()
+
+	// Two regimen versions per registered patient; writers flip
+	// between them while readers suggest.
+	regimens := [][]int{{0, 2, 5}, {1, 4}}
+	const regPatients = 3
+	for i := 0; i < regPatients; i++ {
+		id := fmt.Sprintf("hammer-%d", i)
+		if resp, body := do(t, http.MethodPut, ts.URL+"/v1/patients/"+id, PatientPutRequest{Regimen: regimens[0]}); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("register %s: %d %s", id, resp.StatusCode, body)
+		}
+	}
+
+	// Ground truth per (epoch system, patient/k) and per (epoch
+	// system, regimen version).
+	const k = 4
+	systems := []*dssddi.System{sysA, sysB}
+	indexPatients := sysA.Data().TestPatients()[:4]
+	wantIndex := make([]map[int][]dssddi.Suggestion, 2)
+	wantReg := make([][][]dssddi.Suggestion, 2)
+	for si, sys := range systems {
+		wantIndex[si] = make(map[int][]dssddi.Suggestion, len(indexPatients))
+		for _, p := range indexPatients {
+			sg, err := sys.Suggest(p, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantIndex[si][p] = sg
+		}
+		wantReg[si] = make([][]dssddi.Suggestion, len(regimens))
+		for ri, reg := range regimens {
+			sg, err := sys.SuggestFor(dssddi.PatientProfile{Regimen: reg}, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantReg[si][ri] = sg
+		}
+	}
+
+	// epochSys records which system each published epoch serves; the
+	// reloader fills it before the epoch becomes visible.
+	var epochSys sync.Map // epoch id -> index into systems
+	epochSys.Store(int64(1), 0)
+	sysOf := func(epochHeader string) (int, error) {
+		id, err := strconv.ParseInt(epochHeader, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad X-Epoch %q: %v", epochHeader, err)
+		}
+		v, ok := epochSys.Load(id)
+		if !ok {
+			return 0, fmt.Errorf("response on unknown epoch %d", id)
+		}
+		return v.(int), nil
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	fail := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+
+	// Reloader: swap A->B->A->... Swap publishes the pointer only
+	// after the registry is re-embedded, and epochSys is filled before
+	// Swap returns the id to anyone — store under the same lock-free
+	// discipline: record both candidate ids' systems up front is not
+	// possible (ids are allocated inside Swap), so the reloader stores
+	// the mapping immediately after Swap and readers tolerate a short
+	// unknown window by retrying the lookup once the store lands.
+	// Simpler and airtight: readers only ever see epochs the reloader
+	// has already stored, because Swap is called by the reloader
+	// goroutine and the store happens before the next reader can
+	// observe the new epoch — guaranteed by storing BEFORE unblocking:
+	// we pre-announce the upcoming epoch id (ids are sequential).
+	const reloadCount = 6
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < reloadCount; i++ {
+			next := 1 - (i % 2) // first swap installs sysB (index 1)
+			// Epoch ids are sequential: announce id i+2 before it goes
+			// live so no reader can see an unmapped epoch.
+			epochSys.Store(int64(i+2), next)
+			if _, err := s.Swap(systems[next]); err != nil {
+				fail(fmt.Errorf("swap %d: %v", i, err))
+				return
+			}
+		}
+	}()
+
+	// Registry writers: flip regimens.
+	for wtr := 0; wtr < 2; wtr++ {
+		wg.Add(1)
+		go func(wtr int) {
+			defer wg.Done()
+			for it := 0; it < 20; it++ {
+				id := fmt.Sprintf("hammer-%d", (wtr+it)%regPatients)
+				reg := regimens[it%2]
+				r, b := doQuiet(http.MethodPut, ts.URL+"/v1/patients/"+id, PatientPutRequest{Regimen: reg})
+				if r == nil || r.StatusCode != http.StatusOK && r.StatusCode != http.StatusCreated {
+					fail(fmt.Errorf("writer %d: PUT %s failed: %v %s", wtr, id, r, b))
+					return
+				}
+			}
+		}(wtr)
+	}
+
+	// Index readers.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 25; it++ {
+				p := indexPatients[(g+it)%len(indexPatients)]
+				resp, body := postQuiet(ts.URL+"/v1/suggest", SuggestRequest{Patient: p, K: k})
+				if resp == nil || resp.StatusCode != http.StatusOK {
+					fail(fmt.Errorf("index reader: dropped/failed request for %d: %v %s", p, resp, body))
+					return
+				}
+				si, err := sysOf(resp.Header.Get("X-Epoch"))
+				if err != nil {
+					fail(err)
+					return
+				}
+				var got SuggestResponse
+				if err := json.Unmarshal(body, &got); err != nil {
+					fail(err)
+					return
+				}
+				if !sameSuggestions(got.Suggestions, wantIndex[si][p]) {
+					fail(fmt.Errorf("index response for %d not bitwise consistent with its epoch's model: %s", p, body))
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Registry readers: the response must match one regimen version
+	// under the epoch it was served from.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 25; it++ {
+				id := fmt.Sprintf("hammer-%d", (g+it)%regPatients)
+				resp, body := postQuiet(ts.URL+"/v1/suggest", SuggestRequest{PatientID: id, K: k})
+				if resp == nil || resp.StatusCode != http.StatusOK {
+					fail(fmt.Errorf("registry reader: dropped/failed request for %s: %v %s", id, resp, body))
+					return
+				}
+				si, err := sysOf(resp.Header.Get("X-Epoch"))
+				if err != nil {
+					fail(err)
+					return
+				}
+				var got SuggestResponse
+				if err := json.Unmarshal(body, &got); err != nil {
+					fail(err)
+					return
+				}
+				if !sameSuggestions(got.Suggestions, wantReg[si][0]) && !sameSuggestions(got.Suggestions, wantReg[si][1]) {
+					fail(fmt.Errorf("registry response for %s matches neither regimen under its epoch: %s", id, body))
+					return
+				}
+			}
+		}(g)
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := s.reloads.Load(); got != reloadCount {
+		t.Fatalf("reload count %d, want %d", got, reloadCount)
+	}
+}
+
+// doQuiet is do without *testing.T (for goroutines).
+func doQuiet(method, url string, body any) (*http.Response, []byte) {
+	buf, _ := json.Marshal(body)
+	req, err := http.NewRequest(method, url, bytes.NewReader(buf))
+	if err != nil {
+		return nil, nil
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, nil
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	return resp, out
+}

@@ -1,22 +1,38 @@
 // Package serve wraps a trained (typically snapshot-loaded)
 // dssddi.System in a concurrent HTTP JSON API — the decision-support
-// service the paper positions DSSDDI as. The system is treated as
-// immutable: every handler only reads, so the server takes no lock
-// around the model and scales with unbounded concurrent clients.
+// service the paper positions DSSDDI as. The model is immutable, but
+// the serving state is generational: a hot reload builds a complete
+// new epoch (system, batcher, caches, alerts) in the background and
+// swaps one atomic pointer, so the model can be replaced with zero
+// downtime — in-flight requests finish on the epoch they started
+// with, and no request ever observes a half-loaded model.
 //
 // Endpoints:
 //
-//	POST /v1/suggest   rank top-k drugs for a patient, with alerts
-//	POST /v1/scores    raw score rows for a set of patients
-//	POST /v1/explain   MS-module explanation for a drug set or patient
-//	POST /v1/alerts    severity-tiered DDI screening of a drug list
-//	GET  /healthz      liveness + model identity
-//	GET  /metricsz     per-endpoint latency, cache and batching counters
+//	POST   /v1/suggest          rank top-k drugs for a patient (dataset
+//	                            index or registered id), with alerts
+//	POST   /v1/scores           raw score rows for a set of patients
+//	POST   /v1/explain          MS-module explanation for a drug set or patient
+//	POST   /v1/alerts           severity-tiered DDI screening of a drug list
+//	PUT    /v1/patients/{id}    register or replace a patient profile
+//	PATCH  /v1/patients/{id}    update a registered regimen / features
+//	GET    /v1/patients/{id}    read a registered profile
+//	DELETE /v1/patients/{id}    remove a registered patient
+//	POST   /v1/admin/reload     hot-swap the model from a snapshot file
+//	GET    /healthz             liveness + model identity + epoch
+//	GET    /metricsz            latency, cache, batching, registry counters
+//
+// Registered patients score through the inductive path: their
+// embedding is computed on write, cached, and recomputed against the
+// new model on hot reload, so an edited regimen is live on the next
+// request. Malformed input is 400; a well-formed but unknown patient
+// (index beyond the cohort, unregistered id) is 404.
 //
 // Concurrent /v1/suggest requests are coalesced by a micro-batching
 // scorer into single score-matrix calls, and per-patient results are
 // cached in a sharded LRU; both are response-invariant (bitwise) and
-// exist purely for throughput.
+// exist purely for throughput. Every scoring response carries an
+// X-Epoch header naming the epoch that produced it.
 package serve
 
 import (
@@ -24,11 +40,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dssddi"
@@ -63,6 +81,10 @@ type Config struct {
 	// MaxScoreBatch caps the patients per /v1/scores request
 	// (default 256).
 	MaxScoreBatch int
+	// SnapshotPath is the default snapshot file /v1/admin/reload (and
+	// the SIGHUP / -watch wiring) reloads when a request names no
+	// path. Empty leaves path-less reloads disabled.
+	SnapshotPath string
 }
 
 func (c *Config) fill(drugs int) {
@@ -89,19 +111,19 @@ func (c *Config) fill(drugs int) {
 	}
 }
 
-// Server is the HTTP serving layer over one immutable trained system.
+// Server is the HTTP serving layer: an atomic pointer to the current
+// serving epoch plus the epoch-independent patient registry and
+// metrics.
 type Server struct {
-	sys     *dssddi.System
-	data    *dssddi.Data
-	checker *alerts.Checker
-	info    dssddi.SnapshotInfo
-	cfg     Config
+	cfg      Config
+	metrics  *registry
+	patients *patientRegistry
+	start    time.Time
 
-	batcher      *batcher
-	suggestCache *lruCache
-	explainCache *lruCache
-	metrics      *registry
-	start        time.Time
+	epoch    atomic.Pointer[servingEpoch]
+	epochSeq atomic.Int64
+	reloads  atomic.Int64
+	reloadMu sync.Mutex // serializes Swap / reload
 }
 
 // New builds a server over a trained system. It fails on an untrained
@@ -111,37 +133,32 @@ func New(sys *dssddi.System, cfg Config) (*Server, error) {
 	if data == nil {
 		return nil, fmt.Errorf("serve: system is not trained")
 	}
-	info, err := sys.SnapshotInfo()
-	if err != nil {
-		return nil, fmt.Errorf("serve: %w", err)
-	}
-	emb, err := sys.DrugRelationEmbeddings()
-	if err != nil {
-		return nil, fmt.Errorf("serve: %w", err)
-	}
-	names := make([]string, data.NumDrugs())
-	for i := range names {
-		names[i] = data.DrugName(i)
-	}
 	cfg.fill(data.NumDrugs())
 	s := &Server{
-		sys:     sys,
-		data:    data,
-		checker: alerts.NewChecker(data.Dataset().DDI, emb, names),
-		info:    info,
-		cfg:     cfg,
-		metrics: newRegistry("suggest", "scores", "explain", "alerts", "healthz", "metricsz"),
-		start:   time.Now(),
+		cfg:      cfg,
+		metrics:  newRegistry("suggest", "scores", "explain", "alerts", "patients", "reload", "healthz", "metricsz"),
+		patients: newPatientRegistry(),
+		start:    time.Now(),
 	}
-	s.batcher = newBatcher(sys, cfg.MaxBatch, cfg.BatchWindow, data.NumDrugs())
-	half := cfg.CacheSize / 2
-	s.suggestCache = newLRUCache(cfg.CacheSize-half, cfg.CacheShards)
-	s.explainCache = newLRUCache(half, cfg.CacheShards)
+	ep, err := s.newEpoch(sys)
+	if err != nil {
+		return nil, err
+	}
+	s.epoch.Store(ep)
 	return s, nil
 }
 
-// Close stops the batching collector.
-func (s *Server) Close() { s.batcher.Close() }
+// Close retires the current epoch; its batching collector stops once
+// the last in-flight request completes. Subsequent requests get 503.
+// reloadMu excludes a concurrent Swap from republishing an epoch (and
+// leaking its batcher) after the close.
+func (s *Server) Close() {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	if ep := s.epoch.Swap(nil); ep != nil {
+		ep.unref()
+	}
+}
 
 // Handler returns the routed HTTP handler.
 func (s *Server) Handler() http.Handler {
@@ -150,6 +167,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/scores", s.instrument("scores", http.MethodPost, s.handleScores))
 	mux.HandleFunc("/v1/explain", s.instrument("explain", http.MethodPost, s.handleExplain))
 	mux.HandleFunc("/v1/alerts", s.instrument("alerts", http.MethodPost, s.handleAlerts))
+	mux.HandleFunc("PUT /v1/patients/{id}", s.instrument("patients", http.MethodPut, s.handlePatientPut))
+	mux.HandleFunc("PATCH /v1/patients/{id}", s.instrument("patients", http.MethodPatch, s.handlePatientPatch))
+	mux.HandleFunc("GET /v1/patients/{id}", s.instrument("patients", http.MethodGet, s.handlePatientGet))
+	mux.HandleFunc("DELETE /v1/patients/{id}", s.instrument("patients", http.MethodDelete, s.handlePatientDelete))
+	mux.HandleFunc("/v1/admin/reload", s.instrument("reload", http.MethodPost, s.handleReload))
 	mux.HandleFunc("/healthz", s.instrument("healthz", http.MethodGet, s.handleHealthz))
 	mux.HandleFunc("/metricsz", s.instrument("metricsz", http.MethodGet, s.handleMetricsz))
 	return mux
@@ -160,17 +182,25 @@ type apiError struct {
 	Error string `json:"error"`
 }
 
-// instrument wraps a handler with method enforcement, timing and
-// error counting.
-func (s *Server) instrument(name, method string, h func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
+// instrument wraps a handler with epoch acquisition, method
+// enforcement, timing and error counting. The epoch is pinned for the
+// whole request — model, batcher, caches and alerts all come from it —
+// and named in the X-Epoch response header.
+func (s *Server) instrument(name, method string, h func(http.ResponseWriter, *http.Request, *servingEpoch) int) http.HandlerFunc {
 	stats := s.metrics.get(name)
 	return func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
-		status := http.StatusMethodNotAllowed
-		if r.Method == method {
-			status = h(w, r)
-		} else {
+		var status int
+		if r.Method != method {
+			status = http.StatusMethodNotAllowed
 			writeJSON(w, status, apiError{Error: fmt.Sprintf("method %s not allowed; use %s", r.Method, method)})
+		} else if ep := s.acquireEpoch(); ep == nil {
+			status = http.StatusServiceUnavailable
+			writeJSON(w, status, apiError{Error: errServerClosed.Error()})
+		} else {
+			w.Header().Set("X-Epoch", strconv.FormatInt(ep.id, 10))
+			status = h(w, r, ep)
+			ep.unref()
 		}
 		stats.observe(time.Since(t0), status >= 400)
 	}
@@ -227,6 +257,10 @@ func badRequest(w http.ResponseWriter, format string, args ...any) int {
 	return writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
+func notFound(w http.ResponseWriter, format string, args ...any) int {
+	return writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -237,27 +271,34 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
-// validPatient bounds-checks a patient index; the score kernels index
-// matrices directly, so this is the only line between a typo'd request
-// and a panic in a worker goroutine.
-func (s *Server) validPatient(p int) error {
-	if p < 0 || p >= s.data.NumPatients() {
-		return fmt.Errorf("patient %d out of range [0, %d)", p, s.data.NumPatients())
+// checkPatient classifies a dataset patient index. A negative index is
+// a malformed request (400); an index beyond the cohort is well-formed
+// but names no known patient (404). The score kernels index matrices
+// directly, so this is the only line between a typo'd request and a
+// panic in a worker goroutine.
+func (ep *servingEpoch) checkPatient(w http.ResponseWriter, p int) (int, bool) {
+	if p < 0 {
+		return badRequest(w, "patient index %d is negative", p), false
+	}
+	if p >= ep.data.NumPatients() {
+		return notFound(w, "patient %d not in cohort [0, %d)", p, ep.data.NumPatients()), false
+	}
+	return 0, true
+}
+
+func (ep *servingEpoch) validDrug(d int) error {
+	if d < 0 || d >= ep.data.NumDrugs() {
+		return fmt.Errorf("drug %d out of range [0, %d)", d, ep.data.NumDrugs())
 	}
 	return nil
 }
 
-func (s *Server) validDrug(d int) error {
-	if d < 0 || d >= s.data.NumDrugs() {
-		return fmt.Errorf("drug %d out of range [0, %d)", d, s.data.NumDrugs())
-	}
-	return nil
-}
-
-// SuggestRequest is the /v1/suggest body.
+// SuggestRequest is the /v1/suggest body: a dataset patient index, or
+// the id of a patient registered via PUT /v1/patients/{id}.
 type SuggestRequest struct {
-	Patient int `json:"patient"`
-	K       int `json:"k,omitempty"`
+	Patient   int    `json:"patient"`
+	PatientID string `json:"patient_id,omitempty"`
+	K         int    `json:"k,omitempty"`
 	// Screen toggles alert screening (default true).
 	Screen *bool `json:"screen,omitempty"`
 }
@@ -270,9 +311,11 @@ type SuggestionOut struct {
 	Alerts   []alerts.Alert `json:"alerts,omitempty"`
 }
 
-// SuggestResponse is the /v1/suggest payload.
+// SuggestResponse is the /v1/suggest payload. Patient is -1 (and
+// PatientID set) when the request addressed a registered patient.
 type SuggestResponse struct {
 	Patient     int             `json:"patient"`
+	PatientID   string          `json:"patient_id,omitempty"`
 	K           int             `json:"k"`
 	Regimen     []int           `json:"regimen"`
 	Suggestions []SuggestionOut `json:"suggestions"`
@@ -280,13 +323,10 @@ type SuggestResponse struct {
 	ListAlerts []alerts.Alert `json:"list_alerts,omitempty"`
 }
 
-func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) int {
+func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request, ep *servingEpoch) int {
 	var req SuggestRequest
 	if !decodeBody(w, r, &req) {
 		return http.StatusBadRequest
-	}
-	if err := s.validPatient(req.Patient); err != nil {
-		return badRequest(w, "%v", err)
 	}
 	k := req.K
 	if k <= 0 {
@@ -298,46 +338,98 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) int {
 	screen := req.Screen == nil || *req.Screen
 	nocache := bypassCache(r)
 
+	if req.PatientID != "" {
+		if req.Patient != 0 {
+			return badRequest(w, "pass either patient or patient_id, not both")
+		}
+		return s.suggestRegistered(w, ep, req.PatientID, k, screen, nocache)
+	}
+	if status, ok := ep.checkPatient(w, req.Patient); !ok {
+		return status
+	}
+
 	key := "s|" + strconv.Itoa(req.Patient) + "|" + strconv.Itoa(k) + "|" + strconv.FormatBool(screen)
 	if !nocache {
-		if body, ok := s.suggestCache.Get(key); ok {
+		if body, ok := ep.suggestCache.Get(key); ok {
 			w.Header().Set("X-Cache", "HIT")
 			writeBody(w, http.StatusOK, body)
 			return http.StatusOK
 		}
 	}
 
-	row, err := s.batcher.Score(req.Patient)
+	row, err := ep.batcher.Score(req.Patient)
 	if err != nil {
 		return writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
 	}
-	suggs, err := s.sys.SuggestFromScores(row, k)
-	s.batcher.PutRow(row) // suggestions hold copies; recycle the row
+	suggs, err := ep.sys.SuggestFromScores(row, k)
+	ep.batcher.PutRow(row) // suggestions hold copies; recycle the row
 	if err != nil {
 		return writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+	}
+	resp := SuggestResponse{Patient: req.Patient, K: k, Regimen: ep.data.Medications(req.Patient)}
+	return s.finishSuggest(w, ep, resp, suggs, screen, nocache, key)
+}
+
+// suggestRegistered serves a registered patient through the inductive
+// path: the cached (epoch-tagged) embedding scores through the tiled
+// top-k engine, never the index batcher.
+func (s *Server) suggestRegistered(w http.ResponseWriter, ep *servingEpoch, id string, k int, screen, nocache bool) int {
+	if err := validPatientID(id); err != nil {
+		return badRequest(w, "%v", err)
+	}
+	emb, gen, regimen, found, err := s.patients.embeddingFor(ep, id)
+	if !found {
+		return notFound(w, "patient %q is not registered", id)
+	}
+	if err != nil {
+		// The profile no longer embeds under the current model (e.g. a
+		// hot reload changed the cohort shape). The registration is
+		// kept; the conflict is reported until the profile or model is
+		// fixed.
+		return writeJSON(w, http.StatusConflict, apiError{Error: fmt.Sprintf("patient %q cannot be embedded under the current model: %v", id, err)})
 	}
 
-	resp := SuggestResponse{Patient: req.Patient, K: k, Regimen: s.data.Medications(req.Patient)}
+	key := "r|" + id + "|" + strconv.FormatUint(gen, 10) + "|" + strconv.Itoa(k) + "|" + strconv.FormatBool(screen)
+	if !nocache {
+		if body, ok := ep.suggestCache.Get(key); ok {
+			w.Header().Set("X-Cache", "HIT")
+			writeBody(w, http.StatusOK, body)
+			return http.StatusOK
+		}
+	}
+	suggs, err := ep.sys.SuggestForEmbedding(emb, k)
+	if err != nil {
+		return writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+	}
+	resp := SuggestResponse{Patient: -1, PatientID: id, K: k, Regimen: regimen}
+	return s.finishSuggest(w, ep, resp, suggs, screen, nocache, key)
+}
+
+// finishSuggest screens, encodes, caches and writes a suggest
+// response — the shared tail of the index and registry paths.
+func (s *Server) finishSuggest(w http.ResponseWriter, ep *servingEpoch, resp SuggestResponse, suggs []dssddi.Suggestion, screen, nocache bool, key string) int {
+	if resp.Regimen == nil {
+		resp.Regimen = []int{}
+	}
 	ids := make([]int, len(suggs))
 	for i, sg := range suggs {
 		ids[i] = sg.DrugID
 		out := SuggestionOut{DrugID: sg.DrugID, DrugName: sg.DrugName, Score: sg.Score}
 		if screen {
-			out.Alerts = s.checker.ScreenAgainst(resp.Regimen, []int{sg.DrugID})
+			out.Alerts = ep.checker.ScreenAgainst(resp.Regimen, []int{sg.DrugID})
 		}
 		resp.Suggestions = append(resp.Suggestions, out)
 	}
 	if screen {
-		resp.ListAlerts = s.checker.ScreenList(ids)
+		resp.ListAlerts = ep.checker.ScreenList(ids)
 	}
-
 	buf, body, err := encodeBody(resp)
 	if err != nil {
 		return writeJSON(w, http.StatusInternalServerError, apiError{Error: "encoding response"})
 	}
 	if !nocache {
 		// The cache needs an owned copy; the pooled buffer goes back.
-		s.suggestCache.Put(key, append([]byte(nil), body...))
+		ep.suggestCache.Put(key, append([]byte(nil), body...))
 	}
 	w.Header().Set("X-Cache", "MISS")
 	writeBody(w, http.StatusOK, body)
@@ -357,7 +449,7 @@ type ScoresResponse struct {
 	Scores   [][]float64 `json:"scores"`
 }
 
-func (s *Server) handleScores(w http.ResponseWriter, r *http.Request) int {
+func (s *Server) handleScores(w http.ResponseWriter, r *http.Request, ep *servingEpoch) int {
 	var req ScoresRequest
 	if !decodeBody(w, r, &req) {
 		return http.StatusBadRequest
@@ -369,24 +461,24 @@ func (s *Server) handleScores(w http.ResponseWriter, r *http.Request) int {
 		return badRequest(w, "at most %d patients per request (got %d)", s.cfg.MaxScoreBatch, len(req.Patients))
 	}
 	for _, p := range req.Patients {
-		if err := s.validPatient(p); err != nil {
-			return badRequest(w, "%v", err)
+		if status, ok := ep.checkPatient(w, p); !ok {
+			return status
 		}
 	}
 	rows := make([][]float64, len(req.Patients))
 	for i := range rows {
-		rows[i] = s.batcher.rowPool.get()
+		rows[i] = ep.batcher.rowPool.get()
 	}
 	recycle := func() {
 		for _, r := range rows {
-			s.batcher.rowPool.put(r)
+			ep.batcher.rowPool.put(r)
 		}
 	}
-	if err := s.sys.ScoresInto(rows, req.Patients); err != nil {
+	if err := ep.sys.ScoresInto(rows, req.Patients); err != nil {
 		recycle()
 		return writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
 	}
-	status := writeJSON(w, http.StatusOK, ScoresResponse{Patients: req.Patients, Drugs: s.data.NumDrugs(), Scores: rows})
+	status := writeJSON(w, http.StatusOK, ScoresResponse{Patients: req.Patients, Drugs: ep.data.NumDrugs(), Scores: rows})
 	recycle() // writeJSON has serialized the rows; safe to reuse
 	return status
 }
@@ -409,7 +501,7 @@ type ExplainResponse struct {
 	Text          string   `json:"text"`
 }
 
-func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) int {
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, ep *servingEpoch) int {
 	var req ExplainRequest
 	if !decodeBody(w, r, &req) {
 		return http.StatusBadRequest
@@ -419,8 +511,8 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) int {
 	case len(drugs) > 0 && req.Patient != nil:
 		return badRequest(w, "pass either drugs or patient, not both")
 	case req.Patient != nil:
-		if err := s.validPatient(*req.Patient); err != nil {
-			return badRequest(w, "%v", err)
+		if status, ok := ep.checkPatient(w, *req.Patient); !ok {
+			return status
 		}
 		k := req.K
 		if k <= 0 {
@@ -429,12 +521,12 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) int {
 		if k > s.cfg.MaxK {
 			return badRequest(w, "k %d exceeds maximum %d", k, s.cfg.MaxK)
 		}
-		row, err := s.batcher.Score(*req.Patient)
+		row, err := ep.batcher.Score(*req.Patient)
 		if err != nil {
 			return writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
 		}
-		suggs, err := s.sys.SuggestFromScores(row, k)
-		s.batcher.PutRow(row)
+		suggs, err := ep.sys.SuggestFromScores(row, k)
+		ep.batcher.PutRow(row)
 		if err != nil {
 			return writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
 		}
@@ -446,7 +538,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) int {
 		return badRequest(w, "pass drugs or patient")
 	}
 	for _, d := range drugs {
-		if err := s.validDrug(d); err != nil {
+		if err := ep.validDrug(d); err != nil {
 			return badRequest(w, "%v", err)
 		}
 	}
@@ -460,14 +552,14 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) int {
 	key := "e|" + strings.Join(keyParts, ",")
 	nocache := bypassCache(r)
 	if !nocache {
-		if body, ok := s.explainCache.Get(key); ok {
+		if body, ok := ep.explainCache.Get(key); ok {
 			w.Header().Set("X-Cache", "HIT")
 			writeBody(w, http.StatusOK, body)
 			return http.StatusOK
 		}
 	}
 
-	ex, err := s.sys.Explain(drugs)
+	ex, err := ep.sys.Explain(drugs)
 	if err != nil {
 		return writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
 	}
@@ -484,7 +576,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) int {
 		return writeJSON(w, http.StatusInternalServerError, apiError{Error: "encoding response"})
 	}
 	if !nocache {
-		s.explainCache.Put(key, append([]byte(nil), body...))
+		ep.explainCache.Put(key, append([]byte(nil), body...))
 	}
 	w.Header().Set("X-Cache", "MISS")
 	writeBody(w, http.StatusOK, body)
@@ -508,7 +600,7 @@ type AlertsResponse struct {
 	RegimenAlerts []alerts.Alert `json:"regimen_alerts,omitempty"`
 }
 
-func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) int {
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request, ep *servingEpoch) int {
 	var req AlertsRequest
 	if !decodeBody(w, r, &req) {
 		return http.StatusBadRequest
@@ -517,21 +609,21 @@ func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) int {
 		return badRequest(w, "drugs must be non-empty")
 	}
 	for _, d := range req.Drugs {
-		if err := s.validDrug(d); err != nil {
+		if err := ep.validDrug(d); err != nil {
 			return badRequest(w, "%v", err)
 		}
 	}
-	resp := AlertsResponse{Drugs: req.Drugs, ListAlerts: s.checker.ScreenList(req.Drugs)}
+	resp := AlertsResponse{Drugs: req.Drugs, ListAlerts: ep.checker.ScreenList(req.Drugs)}
 	if resp.ListAlerts == nil {
 		resp.ListAlerts = []alerts.Alert{}
 	}
 	all := resp.ListAlerts
 	if req.Patient != nil {
-		if err := s.validPatient(*req.Patient); err != nil {
-			return badRequest(w, "%v", err)
+		if status, ok := ep.checkPatient(w, *req.Patient); !ok {
+			return status
 		}
-		resp.Regimen = s.data.Medications(*req.Patient)
-		resp.RegimenAlerts = s.checker.ScreenAgainst(resp.Regimen, req.Drugs)
+		resp.Regimen = ep.data.Medications(*req.Patient)
+		resp.RegimenAlerts = ep.checker.ScreenAgainst(resp.Regimen, req.Drugs)
 		all = append(append([]alerts.Alert{}, all...), resp.RegimenAlerts...)
 	}
 	if sev, any := alerts.MaxSeverity(all); any {
@@ -540,29 +632,173 @@ func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) int {
 	return writeJSON(w, http.StatusOK, resp)
 }
 
+// PatientPutRequest is the PUT /v1/patients/{id} body: the full
+// profile to register or replace.
+type PatientPutRequest struct {
+	Regimen  []int     `json:"regimen"`
+	Features []float64 `json:"features,omitempty"`
+}
+
+// PatientPatchRequest is the PATCH /v1/patients/{id} body: present
+// fields replace the stored ones.
+type PatientPatchRequest struct {
+	Regimen  *[]int     `json:"regimen,omitempty"`
+	Features *[]float64 `json:"features,omitempty"`
+}
+
+// PatientResponse is the payload of the registry endpoints.
+type PatientResponse struct {
+	ID      string `json:"id"`
+	Created bool   `json:"created,omitempty"`
+	Deleted bool   `json:"deleted,omitempty"`
+	Gen     uint64 `json:"gen,omitempty"`
+	Regimen []int  `json:"regimen,omitempty"`
+	// HasFeatures reports whether a feature vector is on file (the
+	// vector itself is not echoed back).
+	HasFeatures bool `json:"has_features,omitempty"`
+	// Epoch is the serving epoch the cached embedding was built
+	// against.
+	Epoch int64 `json:"epoch,omitempty"`
+}
+
+func (s *Server) handlePatientPut(w http.ResponseWriter, r *http.Request, ep *servingEpoch) int {
+	id := r.PathValue("id")
+	if err := validPatientID(id); err != nil {
+		return badRequest(w, "%v", err)
+	}
+	var req PatientPutRequest
+	if !decodeBody(w, r, &req) {
+		return http.StatusBadRequest
+	}
+	created, gen, err := s.patients.put(ep, id, req.Regimen, req.Features)
+	if err != nil {
+		return badRequest(w, "invalid profile: %v", err)
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusCreated
+	}
+	return writeJSON(w, status, PatientResponse{
+		ID: id, Created: created, Gen: gen,
+		Regimen: req.Regimen, HasFeatures: req.Features != nil, Epoch: ep.id,
+	})
+}
+
+func (s *Server) handlePatientPatch(w http.ResponseWriter, r *http.Request, ep *servingEpoch) int {
+	id := r.PathValue("id")
+	if err := validPatientID(id); err != nil {
+		return badRequest(w, "%v", err)
+	}
+	var req PatientPatchRequest
+	if !decodeBody(w, r, &req) {
+		return http.StatusBadRequest
+	}
+	if req.Regimen == nil && req.Features == nil {
+		return badRequest(w, "pass regimen and/or features")
+	}
+	found, gen, merged, err := s.patients.patch(ep, id, req.Regimen, req.Features)
+	if !found {
+		return notFound(w, "patient %q is not registered", id)
+	}
+	if err != nil {
+		return badRequest(w, "invalid profile: %v", err)
+	}
+	return writeJSON(w, http.StatusOK, PatientResponse{ID: id, Gen: gen, Regimen: merged, Epoch: ep.id})
+}
+
+func (s *Server) handlePatientGet(w http.ResponseWriter, r *http.Request, _ *servingEpoch) int {
+	id := r.PathValue("id")
+	if err := validPatientID(id); err != nil {
+		return badRequest(w, "%v", err)
+	}
+	regimen, features, gen, embEpoch, found := s.patients.get(id)
+	if !found {
+		return notFound(w, "patient %q is not registered", id)
+	}
+	return writeJSON(w, http.StatusOK, PatientResponse{
+		ID: id, Gen: gen, Regimen: regimen, HasFeatures: features != nil, Epoch: embEpoch,
+	})
+}
+
+func (s *Server) handlePatientDelete(w http.ResponseWriter, r *http.Request, _ *servingEpoch) int {
+	id := r.PathValue("id")
+	if err := validPatientID(id); err != nil {
+		return badRequest(w, "%v", err)
+	}
+	if !s.patients.delete(id) {
+		return notFound(w, "patient %q is not registered", id)
+	}
+	return writeJSON(w, http.StatusOK, PatientResponse{ID: id, Deleted: true})
+}
+
+// ReloadRequest is the /v1/admin/reload body; an empty body (or empty
+// path) reloads Config.SnapshotPath.
+type ReloadRequest struct {
+	Path string `json:"path,omitempty"`
+}
+
+// ReloadResponse reports the epoch the reload produced.
+type ReloadResponse struct {
+	Epoch int64               `json:"epoch"`
+	Model dssddi.SnapshotInfo `json:"model"`
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request, _ *servingEpoch) int {
+	var req ReloadRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil && err != io.EOF {
+		return badRequest(w, "invalid request body: %v", err)
+	}
+	if req.Path == "" && s.cfg.SnapshotPath == "" {
+		return badRequest(w, "no snapshot path: pass {\"path\": ...} or configure one")
+	}
+	// Respond with the swapped-in epoch's own identity — under
+	// concurrent reloads the current pointer may already be a later
+	// epoch, which must not be misattributed to this reload's id.
+	ep, err := s.reloadFromPath(req.Path)
+	if err != nil {
+		return writeJSON(w, http.StatusInternalServerError, apiError{Error: fmt.Sprintf("reload failed: %v", err)})
+	}
+	return writeJSON(w, http.StatusOK, ReloadResponse{Epoch: ep.id, Model: ep.info})
+}
+
 // HealthResponse is the /healthz payload.
 type HealthResponse struct {
 	Status        string              `json:"status"`
 	UptimeSeconds float64             `json:"uptime_seconds"`
+	Epoch         int64               `json:"epoch"`
+	Reloads       int64               `json:"reloads"`
+	Patients      int                 `json:"registered_patients"`
 	Model         dssddi.SnapshotInfo `json:"model"`
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) int {
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request, ep *servingEpoch) int {
 	return writeJSON(w, http.StatusOK, HealthResponse{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.start).Seconds(),
-		Model:         s.info,
+		Epoch:         ep.id,
+		Reloads:       s.reloads.Load(),
+		Patients:      s.patients.len(),
+		Model:         ep.info,
 	})
 }
 
-func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) int {
-	batches, requests := s.batcher.Stats()
+func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request, ep *servingEpoch) int {
+	batches, requests := ep.batcher.Stats()
 	m := Metrics{
 		UptimeSeconds: time.Since(s.start).Seconds(),
+		Epoch:         ep.id,
+		Reloads:       s.reloads.Load(),
 		Endpoints:     s.metrics.snapshot(),
-		SuggestCache:  cacheMetrics(s.suggestCache),
-		ExplainCache:  cacheMetrics(s.explainCache),
+		SuggestCache:  cacheMetrics(ep.suggestCache),
+		ExplainCache:  cacheMetrics(ep.explainCache),
 		Batching:      BatchMetrics{Batches: batches, Requests: requests},
+		Registry: RegistryMetrics{
+			Patients: s.patients.len(),
+			Writes:   s.patients.writes.Load(),
+			Reembeds: s.patients.reembeds.Load(),
+		},
 	}
 	if batches > 0 {
 		m.Batching.AvgBatchSize = float64(requests) / float64(batches)

@@ -201,7 +201,7 @@ func TestConcurrentBatchedSuggestMatchesSerial(t *testing.T) {
 	// The load above must actually have exercised coalescing: far more
 	// requests than Scores calls (cache hits also reduce batch calls,
 	// so just assert the invariant requests >= batches).
-	batches, requests := srv.batcher.Stats()
+	batches, requests := srv.epoch.Load().batcher.Stats()
 	if batches == 0 || requests < batches {
 		t.Fatalf("batching counters implausible: %d batches for %d requests", batches, requests)
 	}
@@ -288,9 +288,13 @@ func TestScoresEndpoint(t *testing.T) {
 		}
 	}
 
-	// Validation must reject out-of-range patients and oversized batches.
-	if resp, body := post(t, ts.URL+"/v1/scores", ScoresRequest{Patients: []int{1 << 30}}); resp.StatusCode != http.StatusBadRequest {
+	// Validation: an out-of-range patient is unknown (404), a negative
+	// one malformed (400), and oversized batches are rejected.
+	if resp, body := post(t, ts.URL+"/v1/scores", ScoresRequest{Patients: []int{1 << 30}}); resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("out-of-range patient: status %d: %s", resp.StatusCode, body)
+	}
+	if resp, _ := post(t, ts.URL+"/v1/scores", ScoresRequest{Patients: []int{-1}}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatal("negative patient must 400")
 	}
 	if resp, _ := post(t, ts.URL+"/v1/scores", ScoresRequest{}); resp.StatusCode != http.StatusBadRequest {
 		t.Fatal("empty patients must 400")

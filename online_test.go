@@ -1,0 +1,103 @@
+package dssddi
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSuggestForMatchesSuggest pins the root online API: for training
+// patients, SuggestFor/ScoresFor over their own recorded profile are
+// bitwise identical to the transductive Suggest/Scores index path, and
+// the embed-once handle behaves like the one-shot calls.
+func TestSuggestForMatchesSuggest(t *testing.T) {
+	sys, data := trainedSystem(t)
+	for _, p := range data.TrainPatients()[:5] {
+		profile := PatientProfile{Regimen: data.Medications(p), Features: data.Features(p)}
+
+		want, err := sys.Suggest(p, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sys.SuggestFor(profile, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("patient %d: %d suggestions, want %d", p, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].DrugID != want[i].DrugID || math.Float64bits(got[i].Score) != math.Float64bits(want[i].Score) {
+				t.Fatalf("patient %d suggestion %d diverged: %+v vs %+v", p, i, got[i], want[i])
+			}
+		}
+
+		wantRows, err := sys.Scores([]int{p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotRow, err := sys.ScoresFor(profile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range wantRows[0] {
+			if math.Float64bits(gotRow[j]) != math.Float64bits(wantRows[0][j]) {
+				t.Fatalf("patient %d score %d diverged", p, j)
+			}
+		}
+
+		// Embed once, score twice: same bits, and the Into form agrees.
+		e, err := sys.EmbedPatient(profile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]float64, data.NumDrugs())
+		if err := sys.ScoresForEmbeddingInto(dst, e); err != nil {
+			t.Fatal(err)
+		}
+		for j := range dst {
+			if math.Float64bits(dst[j]) != math.Float64bits(gotRow[j]) {
+				t.Fatalf("embedding reuse diverged at drug %d", j)
+			}
+		}
+	}
+
+	// An unseen profile (regimen-only) must score and explain.
+	suggs, ex, err := sys.ExplainFor(PatientProfile{Regimen: []int{0, 2, 5}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suggs) != 3 || ex.Text == "" {
+		t.Fatalf("ExplainFor: %d suggestions, text %q", len(suggs), ex.Text)
+	}
+}
+
+func TestOnlineAPIValidation(t *testing.T) {
+	sys := New(DefaultConfig())
+	if _, err := sys.SuggestFor(PatientProfile{Regimen: []int{0}}, 3); err == nil {
+		t.Fatal("SuggestFor before Train must error")
+	}
+
+	trained, data := trainedSystem(t)
+	if _, err := trained.SuggestFor(PatientProfile{Regimen: []int{-1}}, 3); err == nil {
+		t.Fatal("negative drug id must error")
+	}
+	if _, err := trained.ScoresFor(PatientProfile{}); err == nil {
+		t.Fatal("empty profile must error")
+	}
+	if _, err := trained.EmbedPatient(PatientProfile{Features: make([]float64, 3)}); err == nil {
+		t.Fatal("wrong feature width must error")
+	}
+
+	// Embeddings are bound to the system that produced them.
+	e, err := trained.EmbedPatient(PatientProfile{Regimen: data.Medications(data.TrainPatients()[0])})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, _ := trainedSystem(t)
+	if _, err := other.SuggestForEmbedding(e, 3); err == nil {
+		t.Fatal("foreign embedding must be rejected")
+	}
+	if err := trained.ScoresForEmbeddingInto(make([]float64, 1), e); err == nil {
+		t.Fatal("short destination row must error")
+	}
+}

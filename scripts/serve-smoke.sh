@@ -2,9 +2,10 @@
 # serve-smoke: the train -> snapshot -> serve -> query lifecycle, end
 # to end. Trains a tiny model, saves and reloads it, answers a
 # suggestion from the snapshot, boots dssddi-serve on an ephemeral
-# port, smoke-tests every endpoint, and records a servebench JSON
-# (BENCH_serve.json) in the repo root. Used by `make serve-smoke` and
-# the CI "serve" job.
+# port, smoke-tests every endpoint (including the patient registry and
+# a mid-load hot reload with zero non-2xx responses), and records a
+# servebench JSON (BENCH_serve.json) in the repo root. Used by
+# `make serve-smoke` and the CI "serve" job.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,6 +24,9 @@ go build -o "$WORK/loadgen" ./cmd/loadgen
 
 echo "== train a tiny model and snapshot it"
 "$WORK/dssddi" train -patients 70 -ddi-epochs 5 -md-epochs 10 -o "$WORK/model.snap"
+
+echo "== train a second tiny model (same cohort size) for the hot-reload swap"
+"$WORK/dssddi" train -patients 70 -seed 2 -ddi-epochs 5 -md-epochs 10 -o "$WORK/model2.snap"
 
 echo "== snapshot metadata"
 "$WORK/dssddi" info -m "$WORK/model.snap"
@@ -48,14 +52,39 @@ curl -sf -X POST "http://$ADDR/v1/scores" -d '{"patients": [0, 1]}' >/dev/null
 curl -sf -X POST "http://$ADDR/v1/explain" -d '{"patient": 0, "k": 3}' >/dev/null
 curl -sf -X POST "http://$ADDR/v1/alerts" -d '{"drugs": [0, 1, 2], "patient": 0}' >/dev/null
 curl -sf "http://$ADDR/metricsz" >/dev/null
-# Invalid input must 400, not 500 or worse.
+
+echo "== patient registry: register, suggest, mutate, suggest, delete"
+code=$(curl -s -o /dev/null -w '%{http_code}' -X PUT "http://$ADDR/v1/patients/smoke" -d '{"regimen": [0, 1, 2]}')
+[ "$code" = "201" ] || { echo "registering a patient returned $code, want 201"; exit 1; }
+curl -sf -X POST "http://$ADDR/v1/suggest" -d '{"patient_id": "smoke", "k": 3}' >/dev/null
+curl -sf -X PATCH "http://$ADDR/v1/patients/smoke" -d '{"regimen": [0, 3]}' >/dev/null
+curl -sf -X POST "http://$ADDR/v1/suggest" -d '{"patient_id": "smoke", "k": 3}' >/dev/null
+curl -sf -X GET "http://$ADDR/v1/patients/smoke" >/dev/null
+curl -sf -X DELETE "http://$ADDR/v1/patients/smoke" >/dev/null
+
+echo "== status codes: malformed is 400, unknown is 404"
 code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$ADDR/v1/suggest" -d '{"patient": 1000000}')
-[ "$code" = "400" ] || { echo "out-of-range patient returned $code, want 400"; exit 1; }
+[ "$code" = "404" ] || { echo "out-of-range patient returned $code, want 404"; exit 1; }
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$ADDR/v1/suggest" -d '{"patient": -1}')
+[ "$code" = "400" ] || { echo "negative patient returned $code, want 400"; exit 1; }
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$ADDR/v1/suggest" -d '{"patient_id": "smoke"}')
+[ "$code" = "404" ] || { echo "deleted registry patient returned $code, want 404"; exit 1; }
 
 echo "== servebench (loadgen, cached path)"
 "$WORK/loadgen" -addr "$ADDR" -duration 2s -concurrency 8 -json BENCH_serve.json
 
 echo "== servebench (loadgen, cold path: unique patients, cache bypassed)"
 "$WORK/loadgen" -addr "$ADDR" -cold -duration 2s -concurrency 8 -json BENCH_serve.json -append
+
+echo "== servebench (loadgen, online mix) with a hot reload mid-load: zero non-2xx allowed"
+"$WORK/loadgen" -addr "$ADDR" -mix -strict -duration 4s -concurrency 8 -json BENCH_serve.json -append &
+LOADGEN_PID=$!
+sleep 1
+curl -sf -X POST "http://$ADDR/v1/admin/reload" -d "{\"path\": \"$WORK/model2.snap\"}" >/dev/null
+sleep 1
+curl -sf -X POST "http://$ADDR/v1/admin/reload" -d "{\"path\": \"$WORK/model.snap\"}" >/dev/null
+wait "$LOADGEN_PID" || { echo "loadgen saw non-2xx responses during the hot reload"; exit 1; }
+epoch=$(curl -sf "http://$ADDR/healthz" | sed 's/.*"epoch":\([0-9]*\).*/\1/')
+[ "$epoch" = "3" ] || { echo "server epoch is $epoch after two reloads, want 3"; exit 1; }
 
 echo "== OK: serve smoke passed"

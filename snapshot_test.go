@@ -3,6 +3,8 @@ package dssddi
 import (
 	"bytes"
 	"fmt"
+	"io"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -283,5 +285,56 @@ func TestConcurrentServingHammer(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Fatal(err)
+	}
+}
+
+// TestGoldenV1SnapshotLoads is the forward-compatibility gate: a
+// committed format-version-1 snapshot must keep loading (and serving —
+// including the inductive patient layer, which derives all of its
+// state from what v1 already persists) in every future build. If the
+// format ever has to bump, this test must be updated to assert a
+// clear, versioned rejection instead of silent corruption.
+func TestGoldenV1SnapshotLoads(t *testing.T) {
+	f, err := os.Open("testdata/golden-v1.snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	info, err := ReadSnapshotInfo(f)
+	if err != nil {
+		t.Fatalf("reading golden snapshot header: %v", err)
+	}
+	if info.Version != 1 {
+		t.Fatalf("golden fixture declares version %d, want 1", info.Version)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Load(f)
+	if err != nil {
+		t.Fatalf("golden v1 snapshot no longer loads — the format drifted without a version bump: %v", err)
+	}
+
+	// The restored system must serve end to end: transductive suggest,
+	// inductive profile suggest, and the bitwise agreement between the
+	// two for an observed patient.
+	data := sys.Data()
+	p := data.TrainPatients()[0]
+	want, err := sys.Suggest(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sys.SuggestFor(PatientProfile{Regimen: data.Medications(p), Features: data.Features(p)}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i].DrugID != want[i].DrugID || got[i].Score != want[i].Score {
+			t.Fatalf("inductive path diverged on the golden model: %+v vs %+v", got[i], want[i])
+		}
+	}
+	if _, err := sys.SuggestFor(PatientProfile{Regimen: []int{0, 1}}, 3); err != nil {
+		t.Fatalf("regimen-only profile on the golden model: %v", err)
 	}
 }
