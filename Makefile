@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench lint fmt serve-smoke profile
+.PHONY: all build test bench lint fmt serve-smoke cluster-smoke profile
 
 all: build lint test
 
@@ -31,6 +31,13 @@ lint:
 # servebench JSON — the same script CI runs.
 serve-smoke:
 	./scripts/serve-smoke.sh
+
+# Boot 1 dssddi-router + 3 dssddi-serve backends, smoke the fleet
+# (sticky routing, shard-local registry, coordinated rolling reload
+# under -strict load) and record BENCH_cluster.json — the same script
+# the CI "cluster" job runs. The >= 2x scaling gate needs >= 3 cores.
+cluster-smoke:
+	./scripts/cluster-smoke.sh
 
 # CPU + heap profiles of the serve hot path: one full cold suggest
 # request (handler -> batcher -> fused scoring -> encode) per

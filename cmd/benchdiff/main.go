@@ -1,5 +1,5 @@
-// Command benchdiff compares two benchtab -json reports (typically the
-// committed BENCH_seed.json baseline against a fresh run) and enforces
+// Command benchdiff compares two benchtab/loadgen -json reports
+// (typically a committed baseline against a fresh run) and enforces
 // the regression gates:
 //
 //   - any training entry whose allocs/op exceeds the baseline by more
@@ -8,11 +8,24 @@
 //     on ns/op: the interactive cold path is the product metric, so a
 //     >-max-ns-ratio wall-clock regression fails even though other
 //     entries' ns/op stay informational (wall-clock is
-//     machine-dependent; allocation counts are not).
+//     machine-dependent; allocation counts are not);
+//   - serving entries overlapping by name are diffed on req/s. By
+//     default this is informational — serving throughput on shared CI
+//     runners is too noisy to gate hard — but -min-rps-ratio N fails
+//     any suggest entry whose current req/s drops below N x baseline.
+//
+// A second mode asserts replication scaling inside ONE report:
+//
+//	benchdiff -scale cluster-suggest:suggest:2.0 BENCH_cluster.json
+//
+// fails unless entry "cluster-suggest" achieves at least 2.0x the
+// req/s of entry "suggest" — the cluster smoke's proof that fleet
+// throughput actually scales with replica count.
 //
 // Usage:
 //
-//	benchdiff [-max-alloc-ratio 2.0] [-max-ns-ratio 2.0] baseline.json current.json
+//	benchdiff [-max-alloc-ratio 2.0] [-max-ns-ratio 2.0] [-min-rps-ratio 0] baseline.json current.json
+//	benchdiff -scale scaled:base:minratio report.json
 package main
 
 import (
@@ -20,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"dssddi/internal/benchfmt"
@@ -40,9 +54,29 @@ func load(path string) (benchfmt.Report, error) {
 func main() {
 	maxAllocRatio := flag.Float64("max-alloc-ratio", 2.0, "fail when current allocs/op exceeds baseline by this factor")
 	maxNsRatio := flag.Float64("max-ns-ratio", 2.0, "fail when a cold-suggest entry's ns/op exceeds baseline by this factor")
+	minRPSRatio := flag.Float64("min-rps-ratio", 0, "fail when a serving suggest entry's req/s falls below this fraction of baseline (0 = informational only)")
+	scale := flag.String("scale", "", "single-report scaling assertion: scaledEntry:baseEntry:minRatio (e.g. cluster-suggest:suggest:2.0)")
 	flag.Parse()
+
+	if *scale != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: benchdiff -scale scaled:base:minratio report.json")
+			os.Exit(2)
+		}
+		rep, err := load(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		if err := assertScale(rep, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-alloc-ratio N] baseline.json current.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-alloc-ratio N] [-max-ns-ratio N] [-min-rps-ratio N] baseline.json current.json")
 		os.Exit(2)
 	}
 	base, err := load(flag.Arg(0))
@@ -56,15 +90,36 @@ func main() {
 		os.Exit(2)
 	}
 
+	matched := 0
+	failed := false
+	if len(cur.Training) > 0 {
+		m, f := diffTraining(base, cur, *maxAllocRatio, *maxNsRatio)
+		matched += m
+		failed = failed || f
+	}
+	if len(cur.Serving) > 0 {
+		m, f := diffServing(base, cur, *minRPSRatio)
+		matched += m
+		failed = failed || f
+	}
+	if matched == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no overlapping entries between reports")
+		os.Exit(2)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: regression beyond thresholds (allocs %.1fx, cold ns %.1fx, min rps %.2fx)\n",
+			*maxAllocRatio, *maxNsRatio, *minRPSRatio)
+		os.Exit(1)
+	}
+}
+
+func diffTraining(base, cur benchfmt.Report, maxAllocRatio, maxNsRatio float64) (matched int, failed bool) {
 	baseline := make(map[string]benchfmt.TrainBench, len(base.Training))
 	for _, tb := range base.Training {
 		baseline[tb.Name] = tb
 	}
-
 	fmt.Printf("%-28s %14s %14s %9s %14s %14s %9s\n",
 		"benchmark", "base ns/op", "cur ns/op", "speedup", "base allocs", "cur allocs", "ratio")
-	failed := false
-	matched := 0
 	for _, tb := range cur.Training {
 		b, ok := baseline[tb.Name]
 		if !ok {
@@ -84,23 +139,85 @@ func main() {
 		}
 		ratio := tb.AllocsPerOp / denom
 		status := ""
-		if ratio > *maxAllocRatio {
+		if ratio > maxAllocRatio {
 			status = "  <-- ALLOC REGRESSION"
 			failed = true
 		}
-		if strings.Contains(tb.Name, "suggest-cold") && b.NsPerOp > 0 && tb.NsPerOp > *maxNsRatio*b.NsPerOp {
+		if strings.Contains(tb.Name, "suggest-cold") && b.NsPerOp > 0 && tb.NsPerOp > maxNsRatio*b.NsPerOp {
 			status += "  <-- COLD-PATH NS REGRESSION"
 			failed = true
 		}
 		fmt.Printf("%-28s %14.0f %14.0f %8.2fx %14.1f %14.1f %8.2fx%s\n",
 			tb.Name, b.NsPerOp, tb.NsPerOp, speedup, b.AllocsPerOp, tb.AllocsPerOp, ratio, status)
 	}
-	if matched == 0 {
-		fmt.Fprintln(os.Stderr, "benchdiff: no overlapping training entries between reports")
-		os.Exit(2)
+	return matched, failed
+}
+
+// diffServing compares serving throughput entry by entry. Suggest
+// entries (the product metric) gate when minRPSRatio > 0; everything
+// is always printed so CI job summaries carry the trajectory even
+// when the gate is off.
+func diffServing(base, cur benchfmt.Report, minRPSRatio float64) (matched int, failed bool) {
+	baseline := make(map[string]benchfmt.ServeBench, len(base.Serving))
+	for _, sb := range base.Serving {
+		baseline[sb.Name] = sb
 	}
-	if failed {
-		fmt.Fprintf(os.Stderr, "benchdiff: regression beyond thresholds (allocs %.1fx, cold ns %.1fx)\n", *maxAllocRatio, *maxNsRatio)
-		os.Exit(1)
+	fmt.Printf("%-28s %14s %14s %9s %9s %9s\n",
+		"serving entry", "base req/s", "cur req/s", "ratio", "cur p99", "cur errs")
+	for _, sb := range cur.Serving {
+		b, ok := baseline[sb.Name]
+		if !ok {
+			fmt.Printf("%-28s %14s (no baseline entry, skipped)\n", sb.Name, "-")
+			continue
+		}
+		matched++
+		ratio := 0.0
+		if b.RPS > 0 {
+			ratio = sb.RPS / b.RPS
+		}
+		status := ""
+		if minRPSRatio > 0 && strings.Contains(sb.Name, "suggest") && b.RPS > 0 && sb.RPS < minRPSRatio*b.RPS {
+			status = "  <-- THROUGHPUT REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-28s %14.0f %14.0f %8.2fx %7.2fms %9d%s\n",
+			sb.Name, b.RPS, sb.RPS, ratio, sb.P99Ms, sb.Errors, status)
 	}
+	return matched, failed
+}
+
+// assertScale enforces scaledEntry.RPS >= minRatio * baseEntry.RPS
+// within one report.
+func assertScale(rep benchfmt.Report, spec string) error {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return fmt.Errorf("-scale %q: want scaledEntry:baseEntry:minRatio", spec)
+	}
+	minRatio, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil || minRatio <= 0 {
+		return fmt.Errorf("-scale %q: bad ratio %q", spec, parts[2])
+	}
+	entries := make(map[string]benchfmt.ServeBench, len(rep.Serving))
+	for _, sb := range rep.Serving {
+		entries[sb.Name] = sb
+	}
+	scaled, ok := entries[parts[0]]
+	if !ok {
+		return fmt.Errorf("-scale: entry %q not in report", parts[0])
+	}
+	baseEntry, ok := entries[parts[1]]
+	if !ok {
+		return fmt.Errorf("-scale: entry %q not in report", parts[1])
+	}
+	if baseEntry.RPS <= 0 {
+		return fmt.Errorf("-scale: base entry %q has no throughput", parts[1])
+	}
+	ratio := scaled.RPS / baseEntry.RPS
+	fmt.Printf("scale: %s %.0f req/s vs %s %.0f req/s = %.2fx (require >= %.2fx)\n",
+		parts[0], scaled.RPS, parts[1], baseEntry.RPS, ratio, minRatio)
+	if ratio < minRatio {
+		return fmt.Errorf("scaling assertion failed: %s is %.2fx of %s, want >= %.2fx",
+			parts[0], ratio, parts[1], minRatio)
+	}
+	return nil
 }

@@ -1,0 +1,108 @@
+// Command dssddi-router is the fleet front tier: it consistent-hashes
+// patient keys (dataset indices and registered patient ids) onto a
+// health-checked pool of dssddi-serve backends, so per-patient state —
+// registry profiles, cached embeddings, result-cache entries — stays
+// local to one backend and cache hit rates survive replication.
+//
+// Usage:
+//
+//	dssddi-serve -m model.snap -addr 127.0.0.1:9001 &
+//	dssddi-serve -m model.snap -addr 127.0.0.1:9002 &
+//	dssddi-serve -m model.snap -addr 127.0.0.1:9003 &
+//	dssddi-router -backends 127.0.0.1:9001,127.0.0.1:9002,127.0.0.1:9003 -addr :8080
+//
+// Clients talk to the router exactly as they would to a single
+// dssddi-serve: the /v1 API is proxied transparently (responses gain
+// an X-Backend header naming the serving replica). POST
+// /v1/admin/reload on the router performs a coordinated rolling
+// reload: canary first, each backend verified (epoch bump, model
+// identity, smoke suggest) before the next, abort-and-report on any
+// mismatch. GET /healthz and /metricsz aggregate fleet health,
+// per-backend latency quantiles, retry/ejection counters and
+// key-distribution stats.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dssddi/internal/router"
+)
+
+func main() {
+	var (
+		backends      = flag.String("backends", "", "comma-separated dssddi-serve addresses (host:port,host:port,...); required")
+		addr          = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 = ephemeral)")
+		addrFile      = flag.String("addr-file", "", "write the bound address to this file once listening")
+		replicas      = flag.Int("replicas", 128, "virtual nodes per backend on the hash ring")
+		probeInterval = flag.Duration("probe-interval", time.Second, "active health-check cadence")
+		failAfter     = flag.Int("fail-after", 3, "consecutive transport failures before a backend is ejected")
+		cooldown      = flag.Duration("cooldown", 2*time.Second, "how long an ejected backend sits out before a half-open trial")
+		retries       = flag.Int("retries", 2, "max retries for idempotent reads after a transport failure (writes never retry)")
+		retryBackoff  = flag.Duration("retry-backoff", 25*time.Millisecond, "initial retry backoff, doubling per attempt")
+		timeout       = flag.Duration("timeout", 10*time.Second, "per-attempt backend request timeout")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	if *backends == "" {
+		log.Fatal("dssddi-router: -backends host:port[,host:port...] is required")
+	}
+	pool := strings.Split(*backends, ",")
+	for i := range pool {
+		pool[i] = strings.TrimSpace(pool[i])
+	}
+
+	rt, err := router.New(router.Config{
+		Backends:      pool,
+		Replicas:      *replicas,
+		ProbeInterval: *probeInterval,
+		FailAfter:     *failAfter,
+		Cooldown:      *cooldown,
+		MaxRetries:    *retries,
+		RetryBackoff:  *retryBackoff,
+		Timeout:       *timeout,
+	})
+	if err != nil {
+		log.Fatalf("dssddi-router: %v", err)
+	}
+	defer rt.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("dssddi-router: %v", err)
+	}
+	bound := ln.Addr().String()
+	fmt.Fprintf(os.Stderr, "dssddi-router: %d backends (%s) listening on %s\n",
+		len(pool), strings.Join(pool, ", "), bound)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			log.Fatalf("dssddi-router: writing -addr-file: %v", err)
+		}
+	}
+
+	httpSrv := &http.Server{Handler: rt.Handler()}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Fprintln(os.Stderr, "dssddi-router: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+	}()
+	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("dssddi-router: %v", err)
+	}
+	<-done
+}

@@ -21,8 +21,17 @@
 // serving workload — recorded as the "patient-update" and
 // "suggest-inductive" entries. -append merges entries into an existing
 // report so the measurements live side by side; -strict exits non-zero
-// on ANY failed request (used by the hot-reload smoke test to assert
-// zero non-2xx responses under a mid-load model swap).
+// on ANY failed request — non-2xx status or transport error
+// (connection refused/reset, timeout) — which is how the hot-reload
+// and rolling-reload smoke tests assert zero dropped requests under a
+// mid-load model swap.
+//
+// With -cluster the target is a dssddi-router front tier instead of a
+// single dssddi-serve: entries are recorded under cluster-prefixed
+// names ("cluster-suggest", ...) so one report can hold both
+// single-backend and fleet measurements, and the single-backend
+// /metricsz enrichment is skipped (the router aggregates per-backend
+// metrics in its own shape).
 package main
 
 import (
@@ -54,18 +63,28 @@ type patientPutRequest struct {
 }
 
 // opStats accumulates one operation class's counters and latencies.
+// Transport errors (connection refused/reset, timeout — no HTTP
+// response at all) are tracked separately from non-2xx statuses: a
+// dropped connection during a rolling reload is exactly the failure
+// -strict exists to catch, and lumping it into generic errors would
+// let a zero-non-2xx assertion pass while requests were being dropped
+// on the floor.
 type opStats struct {
-	mu       sync.Mutex
-	requests int64
-	errors   int64
-	lats     []int64
+	mu        sync.Mutex
+	requests  int64
+	errors    int64
+	transport int64 // subset of errors that never got a response
+	lats      []int64
 }
 
-func (s *opStats) observe(latNs int64, failed bool) {
+func (s *opStats) observe(latNs int64, failed, transport bool) {
 	s.mu.Lock()
 	s.requests++
 	if failed {
 		s.errors++
+		if transport {
+			s.transport++
+		}
 	} else {
 		s.lats = append(s.lats, latNs)
 	}
@@ -84,15 +103,16 @@ func (s *opStats) bench(name string, concurrency int, elapsed time.Duration) ben
 		return float64(s.lats[int(p*float64(len(s.lats)-1))]) / 1e6
 	}
 	return benchfmt.ServeBench{
-		Name:        name,
-		Concurrency: concurrency,
-		Requests:    int(s.requests),
-		Errors:      int(s.errors),
-		Seconds:     elapsed.Seconds(),
-		RPS:         float64(s.requests-s.errors) / elapsed.Seconds(),
-		P50Ms:       q(0.50),
-		P90Ms:       q(0.90),
-		P99Ms:       q(0.99),
+		Name:            name,
+		Concurrency:     concurrency,
+		Requests:        int(s.requests),
+		Errors:          int(s.errors),
+		TransportErrors: int(s.transport),
+		Seconds:         elapsed.Seconds(),
+		RPS:             float64(s.requests-s.errors) / elapsed.Seconds(),
+		P50Ms:           q(0.50),
+		P90Ms:           q(0.90),
+		P99Ms:           q(0.99),
 	}
 }
 
@@ -107,7 +127,8 @@ func main() {
 		jsonPath    = flag.String("json", "", "write a benchfmt report to this JSON file")
 		cold        = flag.Bool("cold", false, "cold-path mode: walk distinct patients and send Cache-Control: no-cache, so every request is scored, not served from the result cache")
 		mix         = flag.Bool("mix", false, "online mix mode: interleave registry writes, inductive suggests by registered id, and cached index suggests")
-		strict      = flag.Bool("strict", false, "exit non-zero if ANY request fails (zero non-2xx assertion)")
+		strict      = flag.Bool("strict", false, "exit non-zero if ANY request fails — non-2xx status OR transport error (zero-drop assertion)")
+		cluster     = flag.Bool("cluster", false, "cluster mode: the target is a dssddi-router front tier; entries are recorded with a cluster- prefix and backend-shape /metricsz enrichment is skipped")
 		appendJSON  = flag.Bool("append", false, "merge the measurements into an existing -json report instead of overwriting it")
 	)
 	flag.Parse()
@@ -141,6 +162,9 @@ func main() {
 		mode = "cold"
 	} else if *mix {
 		mode = "mix"
+	}
+	if *cluster {
+		mode = "cluster " + mode
 	}
 	fmt.Fprintf(os.Stderr, "loadgen: %d clients, %v, %d-patient pool, %s mode against %s\n",
 		*concurrency, *duration, pool, mode, base)
@@ -182,7 +206,7 @@ func main() {
 					body, _ := json.Marshal(patientPutRequest{Regimen: reg})
 					req, err := http.NewRequest(http.MethodPut, base+"/v1/patients/"+regID, bytes.NewReader(body))
 					if err != nil {
-						update.observe(0, true)
+						update.observe(0, true, true)
 						continue
 					}
 					req.Header.Set("Content-Type", "application/json")
@@ -193,7 +217,7 @@ func main() {
 					body, _ := json.Marshal(suggestRequest{PatientID: regID, K: *k})
 					req, err := http.NewRequest(http.MethodPost, base+"/v1/suggest", bytes.NewReader(body))
 					if err != nil {
-						inductive.observe(0, true)
+						inductive.observe(0, true, true)
 						continue
 					}
 					req.Header.Set("Content-Type", "application/json")
@@ -209,7 +233,7 @@ func main() {
 					body, _ := json.Marshal(suggestRequest{Patient: patient, K: *k})
 					req, err := http.NewRequest(http.MethodPost, base+"/v1/suggest", bytes.NewReader(body))
 					if err != nil {
-						suggest.observe(0, true)
+						suggest.observe(0, true, true)
 						continue
 					}
 					req.Header.Set("Content-Type", "application/json")
@@ -224,41 +248,53 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 
+	// Cluster measurements get their own entry names so a single
+	// report can hold single-backend and fleet numbers side by side
+	// (the cluster smoke's scaling assertion diffs the two).
+	prefix := ""
+	if *cluster {
+		prefix = "cluster-"
+	}
 	var benches []benchfmt.ServeBench
 	if *mix {
 		benches = append(benches,
-			inductive.bench("suggest-inductive", *concurrency, elapsed),
-			update.bench("patient-update", *concurrency, elapsed))
+			inductive.bench(prefix+"suggest-inductive", *concurrency, elapsed),
+			update.bench(prefix+"patient-update", *concurrency, elapsed))
 	} else {
 		name := "suggest"
 		if *cold {
 			name = "suggest-cold"
 		}
-		benches = append(benches, suggest.bench(name, *concurrency, elapsed))
+		benches = append(benches, suggest.bench(prefix+name, *concurrency, elapsed))
 	}
 
-	// Enrich with the server's own cache/batching counters.
-	var metrics struct {
-		SuggestCache struct {
-			HitRate float64 `json:"hit_rate"`
-		} `json:"suggest_cache"`
-		Batching struct {
-			AvgBatchSize float64 `json:"avg_batch_size"`
-		} `json:"batching"`
-	}
-	if err := getJSON(base+"/metricsz", &metrics); err == nil {
-		for i := range benches {
-			benches[i].CacheHitRate = metrics.SuggestCache.HitRate
-			benches[i].AvgBatchSize = metrics.Batching.AvgBatchSize
+	// Enrich with the server's own cache/batching counters. A router's
+	// /metricsz aggregates per-backend stats in a different shape, so
+	// cluster runs skip this rather than record misleading zeros.
+	if !*cluster {
+		var metrics struct {
+			SuggestCache struct {
+				HitRate float64 `json:"hit_rate"`
+			} `json:"suggest_cache"`
+			Batching struct {
+				AvgBatchSize float64 `json:"avg_batch_size"`
+			} `json:"batching"`
+		}
+		if err := getJSON(base+"/metricsz", &metrics); err == nil {
+			for i := range benches {
+				benches[i].CacheHitRate = metrics.SuggestCache.HitRate
+				benches[i].AvgBatchSize = metrics.Batching.AvgBatchSize
+			}
 		}
 	}
 
-	var totalReqs, totalErrs int64
+	var totalReqs, totalErrs, totalTransport int64
 	for _, b := range benches {
 		totalReqs += int64(b.Requests)
 		totalErrs += int64(b.Errors)
-		fmt.Printf("%-18s %8.0f req/s  %6d reqs  %4d errs  p50 %6.2fms  p90 %6.2fms  p99 %6.2fms  cache %4.1f%%  batch %.2f\n",
-			b.Name, b.RPS, b.Requests, b.Errors,
+		totalTransport += int64(b.TransportErrors)
+		fmt.Printf("%-24s %8.0f req/s  %6d reqs  %4d errs  %4d terrs  p50 %6.2fms  p90 %6.2fms  p99 %6.2fms  cache %4.1f%%  batch %.2f\n",
+			b.Name, b.RPS, b.Requests, b.Errors, b.TransportErrors,
 			b.P50Ms, b.P90Ms, b.P99Ms, 100*b.CacheHitRate, b.AvgBatchSize)
 	}
 	if *mix {
@@ -266,9 +302,11 @@ func main() {
 		// a recorded entry, but their failures still count.
 		totalReqs += suggest.requests
 		totalErrs += suggest.errors
+		totalTransport += suggest.transport
 	}
 	if *strict && totalErrs > 0 {
-		log.Fatalf("loadgen: -strict: %d/%d requests failed", totalErrs, totalReqs)
+		log.Fatalf("loadgen: -strict: %d/%d requests failed (%d transport errors, %d non-2xx)",
+			totalErrs, totalReqs, totalTransport, totalErrs-totalTransport)
 	}
 	if totalErrs > 0 && totalErrs*10 > totalReqs {
 		log.Fatalf("loadgen: %d/%d requests failed", totalErrs, totalReqs)
@@ -329,19 +367,20 @@ func main() {
 }
 
 // issue sends one request, draining and classifying the response;
-// 2xx is success.
+// 2xx is success, a client.Do error is a transport error (the request
+// never got an HTTP response).
 func issue(client *http.Client, req *http.Request, stats *opStats) bool {
 	t0 := time.Now()
 	resp, err := client.Do(req)
 	lat := time.Since(t0).Nanoseconds()
 	if err != nil {
-		stats.observe(lat, true)
+		stats.observe(lat, true, true)
 		return false
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	ok := resp.StatusCode >= 200 && resp.StatusCode < 300
-	stats.observe(lat, !ok)
+	stats.observe(lat, !ok, false)
 	return ok
 }
 

@@ -29,15 +29,20 @@ type TrainBench struct {
 // ServeBench is one HTTP serving throughput measurement, recorded by
 // cmd/loadgen against a running dssddi-serve instance.
 type ServeBench struct {
-	Name        string  `json:"name"` // e.g. "suggest"
-	Concurrency int     `json:"concurrency"`
-	Requests    int     `json:"requests"`
-	Errors      int     `json:"errors"`
-	Seconds     float64 `json:"seconds"`
-	RPS         float64 `json:"rps"`
-	P50Ms       float64 `json:"p50_ms"`
-	P90Ms       float64 `json:"p90_ms"`
-	P99Ms       float64 `json:"p99_ms"`
+	Name        string `json:"name"` // e.g. "suggest"
+	Concurrency int    `json:"concurrency"`
+	Requests    int    `json:"requests"`
+	// Errors counts every failed request; TransportErrors is the
+	// subset that never got an HTTP response (connection refused,
+	// reset, timeout) — the dropped-request signal the rolling-reload
+	// smoke tests assert is zero.
+	Errors          int     `json:"errors"`
+	TransportErrors int     `json:"transport_errors,omitempty"`
+	Seconds         float64 `json:"seconds"`
+	RPS             float64 `json:"rps"`
+	P50Ms           float64 `json:"p50_ms"`
+	P90Ms           float64 `json:"p90_ms"`
+	P99Ms           float64 `json:"p99_ms"`
 	// CacheHitRate and AvgBatchSize come from the server's /metricsz
 	// after the run (0 when unavailable).
 	CacheHitRate float64 `json:"cache_hit_rate"`

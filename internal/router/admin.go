@@ -1,0 +1,351 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// ReloadRequest is the router's /v1/admin/reload body. Path names a
+// snapshot file visible to every backend (shared filesystem or
+// per-backend copy at the same path); empty falls through to each
+// backend's configured SnapshotPath.
+type ReloadRequest struct {
+	Path string `json:"path,omitempty"`
+}
+
+// RolloutStep reports one backend's slice of a rollout.
+type RolloutStep struct {
+	Backend  string `json:"backend"`
+	Canary   bool   `json:"canary,omitempty"`
+	OldEpoch int64  `json:"old_epoch,omitempty"`
+	NewEpoch int64  `json:"new_epoch,omitempty"`
+	Status   string `json:"status"` // "reloaded" | "failed" | "skipped"
+	Error    string `json:"error,omitempty"`
+}
+
+// RolloutResponse is the router's /v1/admin/reload payload. On abort,
+// Steps records exactly which backends reloaded before the failure so
+// the operator knows whether the fleet is mixed.
+type RolloutResponse struct {
+	OK    bool          `json:"ok"`
+	Error string        `json:"error,omitempty"`
+	Steps []RolloutStep `json:"steps"`
+}
+
+// handleReload coordinates a fleet-wide model rollout: backends are
+// reloaded one at a time in deterministic (sorted) order, the first
+// acting as canary. Every step is verified — the backend's reload
+// must succeed, bump its epoch, report the same model identity as the
+// canary's, and answer a smoke suggest stamped with the new epoch —
+// before the next backend is touched. Any mismatch aborts the rollout
+// and the response reports exactly how far it got. Each backend's own
+// hot-reload machinery guarantees its clients never see a mixed-model
+// response; the rollout guarantees the fleet converges or the
+// operator hears about it.
+func (rt *Router) handleReload(w http.ResponseWriter, r *http.Request) {
+	var req ReloadRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil && err != io.EOF {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("invalid request body: %v", err)})
+		return
+	}
+
+	rt.reloadMu.Lock()
+	defer rt.reloadMu.Unlock()
+	rt.rollouts.Add(1)
+
+	// A rollout into a partially-healthy fleet would leave the ejected
+	// members on the old model and resurface them mixed; require full
+	// health up front.
+	for _, name := range rt.order {
+		if !rt.backends[name].health.Healthy() {
+			rt.rolloutFailures.Add(1)
+			writeJSON(w, http.StatusServiceUnavailable, apiError{
+				Error: fmt.Sprintf("rollout requires a fully healthy fleet: backend %s is %s", name, rt.stateOf(name)),
+			})
+			return
+		}
+	}
+
+	resp := RolloutResponse{OK: true}
+	var fleetModel json.RawMessage
+	for i, name := range rt.order {
+		step := rt.rolloutOne(rt.backends[name], req.Path, i == 0, &fleetModel)
+		resp.Steps = append(resp.Steps, step)
+		if step.Status != "reloaded" {
+			resp.OK = false
+			resp.Error = fmt.Sprintf("rollout aborted at backend %s: %s", name, step.Error)
+			for _, rest := range rt.order[i+1:] {
+				resp.Steps = append(resp.Steps, RolloutStep{Backend: rest, Status: "skipped"})
+			}
+			rt.rolloutFailures.Add(1)
+			writeJSON(w, http.StatusBadGateway, resp)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (rt *Router) stateOf(name string) string {
+	state, _, _ := rt.backends[name].health.snapshot()
+	return state.String()
+}
+
+// rolloutOne reloads and verifies a single backend. fleetModel pins
+// the model identity the canary converged on; later backends must
+// match it bit for bit (marshaled SnapshotInfo), or the rollout is
+// feeding the fleet from diverging snapshot files.
+func (rt *Router) rolloutOne(b *backend, path string, canary bool, fleetModel *json.RawMessage) RolloutStep {
+	step := RolloutStep{Backend: b.name, Canary: canary, Status: "failed"}
+
+	// 1. Capture the pre-reload epoch.
+	oldEpoch, err := rt.backendEpoch(b)
+	if err != nil {
+		step.Error = fmt.Sprintf("pre-reload healthz: %v", err)
+		return step
+	}
+	step.OldEpoch = oldEpoch
+
+	// 2. Trigger the backend's own zero-downtime reload.
+	body, _ := json.Marshal(ReloadRequest{Path: path})
+	resp, err := b.client.Post(b.base+"/v1/admin/reload", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.health.OnFailure(time.Now())
+		step.Error = fmt.Sprintf("reload request: %v", err)
+		return step
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		step.Error = fmt.Sprintf("reload returned %d: %s", resp.StatusCode, truncate(raw, 200))
+		return step
+	}
+	var reload struct {
+		Epoch int64           `json:"epoch"`
+		Model json.RawMessage `json:"model"`
+	}
+	if err := json.Unmarshal(raw, &reload); err != nil {
+		step.Error = fmt.Sprintf("reload response: %v", err)
+		return step
+	}
+	step.NewEpoch = reload.Epoch
+
+	// 3. Verify the epoch actually moved.
+	if reload.Epoch <= oldEpoch {
+		step.Error = fmt.Sprintf("epoch did not advance (%d -> %d)", oldEpoch, reload.Epoch)
+		return step
+	}
+
+	// 4. Verify the fleet converges on one model identity.
+	if *fleetModel == nil {
+		*fleetModel = reload.Model
+	} else if !bytes.Equal(*fleetModel, reload.Model) {
+		step.Error = fmt.Sprintf("model identity diverges from canary: %s vs %s",
+			truncate(reload.Model, 200), truncate(*fleetModel, 200))
+		return step
+	}
+
+	// 5. Smoke suggest through the scoring path (cache bypassed) and
+	// require it to be stamped with the new epoch.
+	smokeBody := []byte(`{"patient": 0, "k": 1}`)
+	req, err := http.NewRequest(http.MethodPost, b.base+"/v1/suggest", bytes.NewReader(smokeBody))
+	if err != nil {
+		step.Error = fmt.Sprintf("smoke request: %v", err)
+		return step
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Cache-Control", "no-cache")
+	smoke, err := b.client.Do(req)
+	if err != nil {
+		b.health.OnFailure(time.Now())
+		step.Error = fmt.Sprintf("smoke suggest: %v", err)
+		return step
+	}
+	io.Copy(io.Discard, smoke.Body)
+	smoke.Body.Close()
+	if smoke.StatusCode != http.StatusOK {
+		step.Error = fmt.Sprintf("smoke suggest returned %d", smoke.StatusCode)
+		return step
+	}
+	if got := smoke.Header.Get("X-Epoch"); got != fmt.Sprint(reload.Epoch) {
+		step.Error = fmt.Sprintf("smoke suggest served by epoch %s, want %d", got, reload.Epoch)
+		return step
+	}
+
+	b.epoch.Store(reload.Epoch)
+	step.Status = "reloaded"
+	return step
+}
+
+// backendEpoch reads one backend's current epoch from its /healthz.
+func (rt *Router) backendEpoch(b *backend) (int64, error) {
+	resp, err := b.client.Get(b.base + "/healthz")
+	if err != nil {
+		b.health.OnFailure(time.Now())
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("healthz returned %d", resp.StatusCode)
+	}
+	var health struct {
+		Epoch int64 `json:"epoch"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&health); err != nil {
+		return 0, err
+	}
+	return health.Epoch, nil
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) > n {
+		return string(b[:n]) + "..."
+	}
+	return string(b)
+}
+
+// BackendHealth is one pool member's health summary.
+type BackendHealth struct {
+	Name      string `json:"name"`
+	State     string `json:"state"`
+	Epoch     int64  `json:"epoch"`
+	Fails     int    `json:"consecutive_fails,omitempty"`
+	Ejections int64  `json:"ejections,omitempty"`
+}
+
+// HealthResponse is the router's /healthz payload. Model mirrors one
+// healthy backend's model block so cohort-discovering clients
+// (loadgen) work unchanged against the router.
+type HealthResponse struct {
+	Status        string          `json:"status"` // ok | degraded | down
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	Healthy       int             `json:"healthy_backends"`
+	Total         int             `json:"total_backends"`
+	Backends      []BackendHealth `json:"backends"`
+	Model         json.RawMessage `json:"model,omitempty"`
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	resp := HealthResponse{Total: len(rt.order), UptimeSeconds: time.Since(rt.start).Seconds()}
+	var firstHealthy *backend
+	for _, name := range rt.order {
+		b := rt.backends[name]
+		state, fails, ejections := b.health.snapshot()
+		if state == stateHealthy {
+			resp.Healthy++
+			if firstHealthy == nil {
+				firstHealthy = b
+			}
+		}
+		resp.Backends = append(resp.Backends, BackendHealth{
+			Name: name, State: state.String(), Epoch: b.epoch.Load(),
+			Fails: fails, Ejections: ejections,
+		})
+	}
+	status := http.StatusOK
+	switch {
+	case resp.Healthy == len(rt.order):
+		resp.Status = "ok"
+	case resp.Healthy > 0:
+		resp.Status = "degraded"
+	default:
+		resp.Status = "down"
+		status = http.StatusServiceUnavailable
+	}
+	if firstHealthy != nil {
+		if model, err := rt.backendModel(firstHealthy); err == nil {
+			resp.Model = model
+		}
+	}
+	writeJSON(w, status, resp)
+}
+
+// backendModel fetches the model block from one backend's /healthz.
+func (rt *Router) backendModel(b *backend) (json.RawMessage, error) {
+	resp, err := b.client.Get(b.base + "/healthz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("healthz returned %d", resp.StatusCode)
+	}
+	var health struct {
+		Model json.RawMessage `json:"model"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&health); err != nil {
+		return nil, err
+	}
+	return health.Model, nil
+}
+
+// BackendMetrics is one pool member's traffic and health counters.
+type BackendMetrics struct {
+	State     string  `json:"state"`
+	Epoch     int64   `json:"epoch"`
+	Requests  int64   `json:"requests"`
+	Errors    int64   `json:"transport_errors"`
+	Retries   int64   `json:"retries"`
+	Ejections int64   `json:"ejections"`
+	P50Ms     float64 `json:"p50_ms"`
+	P90Ms     float64 `json:"p90_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	// RoutedKeys counts requests whose routing key this backend owned;
+	// KeyShare is its observed fraction, RingShare the fraction of the
+	// hash circle it owns (the expected share). Divergence between the
+	// two is either skew in the workload's patient mix or a bug in the
+	// ring.
+	RoutedKeys int64   `json:"routed_keys"`
+	KeyShare   float64 `json:"key_share"`
+	RingShare  float64 `json:"ring_share"`
+}
+
+// Metrics is the router's /metricsz payload.
+type Metrics struct {
+	UptimeSeconds   float64                   `json:"uptime_seconds"`
+	Requests        int64                     `json:"requests"`
+	ProxyErrors     int64                     `json:"proxy_errors"`
+	Retries         int64                     `json:"retries"`
+	Rollouts        int64                     `json:"rollouts"`
+	RolloutFailures int64                     `json:"rollout_failures"`
+	Backends        map[string]BackendMetrics `json:"backends"`
+}
+
+func (rt *Router) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
+	shares := rt.ring.Shares()
+	total := rt.requests.Load()
+	m := Metrics{
+		UptimeSeconds:   time.Since(rt.start).Seconds(),
+		Requests:        total,
+		ProxyErrors:     rt.proxyErrors.Load(),
+		Retries:         rt.retriesTotal.Load(),
+		Rollouts:        rt.rollouts.Load(),
+		RolloutFailures: rt.rolloutFailures.Load(),
+		Backends:        make(map[string]BackendMetrics, len(rt.order)),
+	}
+	for _, name := range rt.order {
+		b := rt.backends[name]
+		state, _, ejections := b.health.snapshot()
+		bm := BackendMetrics{
+			State:      state.String(),
+			Epoch:      b.epoch.Load(),
+			Requests:   b.requests.Load(),
+			Errors:     b.errors.Load(),
+			Retries:    b.retries.Load(),
+			Ejections:  ejections,
+			RoutedKeys: b.routedKeys.Load(),
+			RingShare:  shares[name],
+		}
+		bm.P50Ms, bm.P90Ms, bm.P99Ms = b.lat.quantiles()
+		if total > 0 {
+			bm.KeyShare = float64(bm.RoutedKeys) / float64(total)
+		}
+		m.Backends[name] = bm
+	}
+	writeJSON(w, http.StatusOK, m)
+}

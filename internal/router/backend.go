@@ -1,0 +1,199 @@
+package router
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// healthState is one backend's position in the ejection/recovery
+// state machine.
+type healthState int32
+
+const (
+	// stateHealthy: taking traffic; consecutive failures accumulate
+	// toward ejection.
+	stateHealthy healthState = iota
+	// stateEjected: out of rotation; after Cooldown the prober moves it
+	// to half-open and sends a single trial probe.
+	stateEjected
+	// stateHalfOpen: one probe in flight decides recovery (-> healthy)
+	// or re-ejection (-> ejected with a fresh cooldown).
+	stateHalfOpen
+)
+
+func (s healthState) String() string {
+	switch s {
+	case stateHealthy:
+		return "healthy"
+	case stateEjected:
+		return "ejected"
+	case stateHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// healthMachine is the per-backend ejection/recovery state machine,
+// kept free of I/O so it is directly unit-testable. Failures are
+// transport-level (connect refused/reset, timeout) or failed health
+// probes — an application-level 4xx/5xx from a live backend is not a
+// health signal.
+type healthMachine struct {
+	failAfter int
+	cooldown  time.Duration
+
+	mu        sync.Mutex
+	state     healthState
+	fails     int // consecutive failures while healthy
+	ejectedAt time.Time
+	ejections int64
+}
+
+func newHealthMachine(failAfter int, cooldown time.Duration) *healthMachine {
+	if failAfter <= 0 {
+		failAfter = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 2 * time.Second
+	}
+	return &healthMachine{failAfter: failAfter, cooldown: cooldown}
+}
+
+// OnSuccess records a successful probe or proxied request. In
+// half-open it completes recovery; it returns true when the backend
+// transitioned back to healthy.
+func (m *healthMachine) OnSuccess() (recovered bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	recovered = m.state == stateHalfOpen
+	m.state = stateHealthy
+	m.fails = 0
+	return recovered
+}
+
+// OnFailure records a transport failure at time now. It returns true
+// when this failure ejected the backend (from healthy after failAfter
+// consecutive failures, or instantly from half-open).
+func (m *healthMachine) OnFailure(now time.Time) (ejected bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch m.state {
+	case stateHealthy:
+		m.fails++
+		if m.fails >= m.failAfter {
+			m.state = stateEjected
+			m.ejectedAt = now
+			m.ejections++
+			return true
+		}
+	case stateHalfOpen:
+		// The trial failed: re-eject with a fresh cooldown.
+		m.state = stateEjected
+		m.ejectedAt = now
+		m.ejections++
+		return true
+	case stateEjected:
+		// Late failures from requests already in flight; the clock is
+		// not reset, or a flapping backend could starve its own trials.
+	}
+	return false
+}
+
+// ProbeDue reports whether the prober should send a half-open trial,
+// transitioning ejected -> half-open when the cooldown has elapsed.
+// At most one caller wins the transition, so the trial is single.
+func (m *healthMachine) ProbeDue(now time.Time) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.state == stateEjected && now.Sub(m.ejectedAt) >= m.cooldown {
+		m.state = stateHalfOpen
+		return true
+	}
+	return false
+}
+
+// Healthy reports whether the backend is in rotation.
+func (m *healthMachine) Healthy() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state == stateHealthy
+}
+
+func (m *healthMachine) snapshot() (state healthState, fails int, ejections int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state, m.fails, m.ejections
+}
+
+// latRing keeps a window of recent latency samples for quantile
+// estimates (same scheme as internal/serve's endpoint metrics).
+const latWindow = 2048
+
+type latRing struct {
+	mu   sync.Mutex
+	ring [latWindow]int64
+	len  int
+	pos  int
+}
+
+func (l *latRing) observe(ns int64) {
+	l.mu.Lock()
+	l.ring[l.pos] = ns
+	l.pos = (l.pos + 1) % latWindow
+	if l.len < latWindow {
+		l.len++
+	}
+	l.mu.Unlock()
+}
+
+func (l *latRing) quantiles() (p50, p90, p99 float64) {
+	l.mu.Lock()
+	n := l.len
+	samples := make([]int64, n)
+	copy(samples, l.ring[:n])
+	l.mu.Unlock()
+	if n == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	at := func(q float64) float64 { return float64(samples[int(q*float64(n-1))]) / 1e6 }
+	return at(0.50), at(0.90), at(0.99)
+}
+
+// backend is one pool member: its HTTP client (own transport, so
+// connection reuse is per-backend and one slow backend cannot starve
+// another's idle pool), health machine and counters.
+type backend struct {
+	name   string // host:port — the ring identity
+	base   string // http://host:port
+	client *http.Client
+	health *healthMachine
+
+	// epoch is the serving epoch the last successful health probe
+	// reported — the router's view of rollout convergence.
+	epoch atomic.Int64
+
+	requests   atomic.Int64 // proxied attempts sent to this backend
+	errors     atomic.Int64 // transport failures of proxied attempts
+	retries    atomic.Int64 // attempts that were retries of a failed one
+	routedKeys atomic.Int64 // requests whose key this backend owned
+	lat        latRing
+}
+
+func newBackend(name string, cfg Config) *backend {
+	transport := &http.Transport{
+		MaxIdleConns:        cfg.MaxIdleConns,
+		MaxIdleConnsPerHost: cfg.MaxIdleConns,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	return &backend{
+		name:   name,
+		base:   "http://" + name,
+		client: &http.Client{Transport: transport, Timeout: cfg.Timeout},
+		health: newHealthMachine(cfg.FailAfter, cfg.Cooldown),
+	}
+}

@@ -1,0 +1,98 @@
+package router
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHealthMachineEjection: failAfter consecutive failures eject;
+// any interleaved success resets the streak.
+func TestHealthMachineEjection(t *testing.T) {
+	m := newHealthMachine(3, time.Second)
+	now := time.Now()
+	if !m.Healthy() {
+		t.Fatal("new machine should start healthy")
+	}
+	m.OnFailure(now)
+	m.OnFailure(now)
+	m.OnSuccess() // streak broken
+	m.OnFailure(now)
+	m.OnFailure(now)
+	if !m.Healthy() {
+		t.Fatal("2 consecutive failures after a success must not eject (failAfter=3)")
+	}
+	if ejected := m.OnFailure(now); !ejected {
+		t.Fatal("3rd consecutive failure should eject")
+	}
+	if m.Healthy() {
+		t.Fatal("ejected machine reports healthy")
+	}
+	if _, _, ejections := m.snapshot(); ejections != 1 {
+		t.Fatalf("ejections = %d, want 1", ejections)
+	}
+}
+
+// TestHealthMachineHalfOpenRecovery: after the cooldown exactly one
+// trial is granted; success recovers, failure re-ejects with a fresh
+// cooldown.
+func TestHealthMachineHalfOpenRecovery(t *testing.T) {
+	m := newHealthMachine(2, 100*time.Millisecond)
+	t0 := time.Now()
+	m.OnFailure(t0)
+	m.OnFailure(t0)
+	if m.Healthy() {
+		t.Fatal("should be ejected")
+	}
+
+	if m.ProbeDue(t0.Add(50 * time.Millisecond)) {
+		t.Fatal("probe granted before cooldown elapsed")
+	}
+	if !m.ProbeDue(t0.Add(150 * time.Millisecond)) {
+		t.Fatal("probe not granted after cooldown")
+	}
+	// Half-open: no second trial until this one resolves.
+	if m.ProbeDue(t0.Add(200 * time.Millisecond)) {
+		t.Fatal("second trial granted while half-open")
+	}
+	if recovered := m.OnSuccess(); !recovered {
+		t.Fatal("half-open success should report recovery")
+	}
+	if !m.Healthy() {
+		t.Fatal("recovered machine should be healthy")
+	}
+
+	// Re-eject and fail the trial: back to ejected with a new clock.
+	t1 := t0.Add(time.Second)
+	m.OnFailure(t1)
+	m.OnFailure(t1)
+	if !m.ProbeDue(t1.Add(150 * time.Millisecond)) {
+		t.Fatal("probe not granted after second cooldown")
+	}
+	trialAt := t1.Add(150 * time.Millisecond)
+	if ejected := m.OnFailure(trialAt); !ejected {
+		t.Fatal("half-open failure should re-eject")
+	}
+	if m.ProbeDue(trialAt.Add(50 * time.Millisecond)) {
+		t.Fatal("cooldown was not reset by the failed trial")
+	}
+	if !m.ProbeDue(trialAt.Add(150 * time.Millisecond)) {
+		t.Fatal("probe not granted after the reset cooldown")
+	}
+	if _, _, ejections := m.snapshot(); ejections != 3 {
+		t.Fatalf("ejections = %d, want 3", ejections)
+	}
+}
+
+// TestHealthMachineLateFailuresWhileEjected: stragglers from requests
+// already in flight must not push the cooldown out indefinitely.
+func TestHealthMachineLateFailuresWhileEjected(t *testing.T) {
+	m := newHealthMachine(1, 100*time.Millisecond)
+	t0 := time.Now()
+	m.OnFailure(t0)
+	for i := 0; i < 10; i++ {
+		m.OnFailure(t0.Add(time.Duration(i*20) * time.Millisecond))
+	}
+	if !m.ProbeDue(t0.Add(150 * time.Millisecond)) {
+		t.Fatal("late failures while ejected delayed the half-open trial")
+	}
+}

@@ -1,0 +1,184 @@
+// Package router is the fleet front tier: an HTTP proxy that
+// consistent-hashes patient keys onto a health-checked pool of
+// dssddi-serve backends. Sharding by patient keeps the things that are
+// per-patient — registry profiles, cached embeddings, suggest-cache
+// generations — local to one backend, so replication multiplies
+// throughput without multiplying cache misses or scattering registry
+// writes. The router also coordinates model rollouts: one admin
+// reload fans out backend-by-backend (canary first, verified with an
+// epoch bump and a smoke suggest) so the fleet converges on a new
+// snapshot with zero downtime and no silently mixed models.
+package router
+
+import (
+	"hash/fnv"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Ring is a consistent-hash ring with virtual nodes. Each node is
+// projected onto Replicas points of the 64-bit hash circle; a key is
+// owned by the node whose point follows the key's hash. The layout is
+// a pure function of the member set — adding a node back after a
+// removal restores exactly the previous ownership, and removing one
+// of N nodes remaps only the keys the departed node owned (~1/N of
+// them), never shuffling keys between survivors.
+//
+// Ring is not safe for concurrent mutation; the router guards it (the
+// member set is fixed after New, and health-based failover walks
+// successors instead of mutating the ring).
+type Ring struct {
+	replicas int
+	points   []ringPoint // sorted by (hash, node)
+	nodes    map[string]bool
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds an empty ring with the given virtual-node count per
+// member (<=0 gets the default 128).
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = 128
+	}
+	return &Ring{replicas: replicas, nodes: make(map[string]bool)}
+}
+
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the murmur3 finalizer. FNV-1a alone distributes similar
+// strings ("host:port#0", "host:port#1", ...) unevenly around the
+// circle — enough to skew per-node shares by >10 points at 128
+// vnodes; the avalanche pass restores a near-uniform layout.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Add inserts a node (idempotent).
+func (r *Ring) Add(node string) {
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, ringPoint{hash: hashKey(node + "#" + strconv.Itoa(i)), node: node})
+	}
+	r.sortPoints()
+}
+
+// Remove deletes a node and all its virtual points (idempotent).
+func (r *Ring) Remove(node string) {
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// sortPoints orders the circle; node name breaks hash ties so the
+// layout is deterministic even under (vanishingly rare) collisions.
+func (r *Ring) sortPoints() {
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+}
+
+// Len reports the member count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Nodes returns the members in sorted order.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the node owning key, or "" on an empty ring.
+func (r *Ring) Lookup(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.search(hashKey(key))].node
+}
+
+// Successors returns up to max distinct nodes in ring order starting
+// at key's owner — the deterministic failover sequence: if the owner
+// is unavailable, its keys spill onto the next node around the circle
+// (and only its keys; every other key's owner is unchanged), and they
+// return home when it recovers.
+func (r *Ring) Successors(key string, max int) []string {
+	if len(r.points) == 0 || max <= 0 {
+		return nil
+	}
+	if max > len(r.nodes) {
+		max = len(r.nodes)
+	}
+	out := make([]string, 0, max)
+	seen := make(map[string]bool, max)
+	i := r.search(hashKey(key))
+	for n := 0; n < len(r.points) && len(out) < max; n++ {
+		node := r.points[(i+n)%len(r.points)].node
+		if !seen[node] {
+			seen[node] = true
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+// search returns the index of the first point at or after h, wrapping
+// to 0 past the end.
+func (r *Ring) search(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// Shares reports each node's fraction of the hash circle (the arc
+// length preceding its points) — the expected key distribution, to
+// compare against the observed routing counts in /metricsz.
+func (r *Ring) Shares() map[string]float64 {
+	out := make(map[string]float64, len(r.nodes))
+	if len(r.points) == 0 {
+		return out
+	}
+	if len(r.points) == 1 {
+		out[r.points[0].node] = 1
+		return out
+	}
+	const circle = float64(math.MaxUint64)
+	prev := r.points[len(r.points)-1].hash // arc wraps from the last point
+	for _, p := range r.points {
+		arc := p.hash - prev // uint64 subtraction wraps correctly
+		out[p.node] += float64(arc) / circle
+		prev = p.hash
+	}
+	return out
+}

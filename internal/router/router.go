@@ -1,0 +1,487 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes the router. Backends is required; everything else has
+// serviceable defaults from fill.
+type Config struct {
+	// Backends is the fixed pool of dssddi-serve addresses
+	// (host:port). The ring is built over exactly this set; health
+	// ejection takes a member out of rotation without changing the
+	// ring, so its keys spill deterministically to ring successors and
+	// return when it recovers.
+	Backends []string
+	// Replicas is the virtual-node count per backend (default 128).
+	Replicas int
+	// ProbeInterval is the active health-check cadence (default 1s).
+	ProbeInterval time.Duration
+	// FailAfter ejects a backend after this many consecutive transport
+	// failures (default 3).
+	FailAfter int
+	// Cooldown is how long an ejected backend sits out before a
+	// half-open trial probe (default 2s).
+	Cooldown time.Duration
+	// MaxRetries bounds additional attempts for idempotent reads after
+	// a transport failure (default 2). Writes never retry.
+	MaxRetries int
+	// RetryBackoff is the initial backoff before a retry, doubling per
+	// attempt (default 25ms).
+	RetryBackoff time.Duration
+	// Timeout is the per-attempt client timeout (default 10s).
+	Timeout time.Duration
+	// MaxIdleConns bounds the kept-alive connections per backend
+	// (default 256).
+	MaxIdleConns int
+	// MaxBodyBytes bounds buffered request bodies (default 1<<20,
+	// matching the backends' own request cap).
+	MaxBodyBytes int64
+}
+
+func (c *Config) fill() error {
+	if len(c.Backends) == 0 {
+		return fmt.Errorf("router: no backends configured")
+	}
+	seen := make(map[string]bool, len(c.Backends))
+	for _, b := range c.Backends {
+		if b == "" {
+			return fmt.Errorf("router: empty backend address")
+		}
+		if seen[b] {
+			return fmt.Errorf("router: duplicate backend %q", b)
+		}
+		seen[b] = true
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 128
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * time.Second
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	} else if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 25 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.MaxIdleConns <= 0 {
+		c.MaxIdleConns = 256
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return nil
+}
+
+// Router consistent-hashes patient keys over a health-checked backend
+// pool and coordinates fleet-wide model rollouts.
+type Router struct {
+	cfg      Config
+	ring     *Ring
+	backends map[string]*backend
+	order    []string // sorted names: deterministic rollout order
+	start    time.Time
+
+	requests        atomic.Int64
+	proxyErrors     atomic.Int64 // requests answered 502/503 by the router itself
+	retriesTotal    atomic.Int64
+	rollouts        atomic.Int64
+	rolloutFailures atomic.Int64
+
+	reloadMu  sync.Mutex // serializes rollouts
+	stopProbe chan struct{}
+	probeWG   sync.WaitGroup
+}
+
+// New builds a router over the configured backend pool and starts the
+// active health prober. Backends start healthy — a down member is
+// detected by the first probe (or proxied request) and ejected.
+func New(cfg Config) (*Router, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	rt := &Router{
+		cfg:       cfg,
+		ring:      NewRing(cfg.Replicas),
+		backends:  make(map[string]*backend, len(cfg.Backends)),
+		start:     time.Now(),
+		stopProbe: make(chan struct{}),
+	}
+	for _, name := range cfg.Backends {
+		rt.ring.Add(name)
+		rt.backends[name] = newBackend(name, cfg)
+		rt.order = append(rt.order, name)
+	}
+	sort.Strings(rt.order)
+	rt.probeWG.Add(1)
+	go rt.probeLoop()
+	return rt, nil
+}
+
+// Close stops the health prober.
+func (rt *Router) Close() {
+	close(rt.stopProbe)
+	rt.probeWG.Wait()
+}
+
+// probeLoop actively probes every backend's /healthz on the
+// configured cadence. Healthy members are verified (keeping their
+// failure streak at zero); ejected members get a half-open trial once
+// their cooldown elapses.
+func (rt *Router) probeLoop() {
+	defer rt.probeWG.Done()
+	ticker := time.NewTicker(rt.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.stopProbe:
+			return
+		case <-ticker.C:
+			for _, name := range rt.order {
+				b := rt.backends[name]
+				if b.health.Healthy() || b.health.ProbeDue(time.Now()) {
+					rt.probe(b)
+				}
+			}
+		}
+	}
+}
+
+// probe hits one backend's /healthz. A 200 with a parsable epoch is
+// success; anything else (transport error or bad status) counts
+// toward ejection.
+func (rt *Router) probe(b *backend) {
+	resp, err := b.client.Get(b.base + "/healthz")
+	if err != nil {
+		b.health.OnFailure(time.Now())
+		return
+	}
+	var health struct {
+		Epoch int64 `json:"epoch"`
+	}
+	decErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&health)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || decErr != nil {
+		b.health.OnFailure(time.Now())
+		return
+	}
+	b.epoch.Store(health.Epoch)
+	b.health.OnSuccess()
+}
+
+// Handler returns the routed HTTP handler.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/suggest", rt.handleSuggest)
+	mux.HandleFunc("POST /v1/scores", rt.handleScores)
+	mux.HandleFunc("POST /v1/explain", rt.handleExplain)
+	mux.HandleFunc("POST /v1/alerts", rt.handleAlerts)
+	mux.HandleFunc("/v1/patients/{id}", rt.handlePatients)
+	mux.HandleFunc("POST /v1/admin/reload", rt.handleReload)
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /metricsz", rt.handleMetricsz)
+	return mux
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(buf)
+}
+
+// routeProbe is the shallow body decode used only to extract the
+// routing key. Full validation stays on the backends — an undecodable
+// body is still forwarded so the backend's 400 is the single source
+// of truth for what a bad request looks like.
+type routeProbe struct {
+	Patient   int    `json:"patient"`
+	PatientID string `json:"patient_id"`
+	Patients  []int  `json:"patients"`
+	Drugs     []int  `json:"drugs"`
+}
+
+// patientKey is the routing key for a dataset-index patient. It is
+// shared by suggest/scores/explain/alerts so one patient's reads all
+// land on (and warm) one backend's caches.
+func patientKey(index int) string { return "i|" + strconv.Itoa(index) }
+
+// registeredKey is the routing key for a registered patient id. It is
+// the one key that carries state: the profile lives only on the
+// owning backend.
+func registeredKey(id string) string { return "p|" + id }
+
+func drugsKey(drugs []int) string {
+	sorted := append([]int(nil), drugs...)
+	sort.Ints(sorted)
+	parts := make([]string, len(sorted))
+	for i, d := range sorted {
+		parts[i] = strconv.Itoa(d)
+	}
+	return "d|" + strings.Join(parts, ",")
+}
+
+// readBody buffers the request body so it can be replayed on retry.
+func (rt *Router) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("reading request body: %v", err)})
+		return nil, false
+	}
+	return body, true
+}
+
+func (rt *Router) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	var probe routeProbe
+	json.Unmarshal(body, &probe) // best-effort: key only
+	key := patientKey(probe.Patient)
+	pinned := false
+	if probe.PatientID != "" {
+		key = registeredKey(probe.PatientID)
+		pinned = true // registry state is shard-local
+	}
+	rt.forward(w, r, body, key, true, pinned)
+}
+
+func (rt *Router) handleScores(w http.ResponseWriter, r *http.Request) {
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	var probe routeProbe
+	json.Unmarshal(body, &probe)
+	key := patientKey(0)
+	if len(probe.Patients) > 0 {
+		key = patientKey(probe.Patients[0])
+	}
+	rt.forward(w, r, body, key, true, false)
+}
+
+func (rt *Router) handleExplain(w http.ResponseWriter, r *http.Request) {
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	// Explain requests name a patient or an explicit drug set; the
+	// patient field is a pointer server-side, so distinguish "absent"
+	// from 0 here too.
+	var probe struct {
+		Patient *int  `json:"patient"`
+		Drugs   []int `json:"drugs"`
+	}
+	json.Unmarshal(body, &probe)
+	var key string
+	switch {
+	case probe.Patient != nil:
+		key = patientKey(*probe.Patient)
+	default:
+		key = drugsKey(probe.Drugs)
+	}
+	rt.forward(w, r, body, key, true, false)
+}
+
+func (rt *Router) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	var probe struct {
+		Patient *int  `json:"patient"`
+		Drugs   []int `json:"drugs"`
+	}
+	json.Unmarshal(body, &probe)
+	var key string
+	switch {
+	case probe.Patient != nil:
+		key = patientKey(*probe.Patient)
+	default:
+		key = drugsKey(probe.Drugs)
+	}
+	rt.forward(w, r, body, key, true, false)
+}
+
+func (rt *Router) handlePatients(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var body []byte
+	if r.Method == http.MethodPut || r.Method == http.MethodPatch {
+		var ok bool
+		if body, ok = rt.readBody(w, r); !ok {
+			return
+		}
+	}
+	// GET is a safe read; PUT/PATCH/DELETE mutate the shard-local
+	// registry and must fail fast rather than blindly replay.
+	idempotent := r.Method == http.MethodGet
+	rt.forward(w, r, body, registeredKey(id), idempotent, true)
+}
+
+// forward proxies one request to the backend owning key. Pinned
+// requests (registry state lives only on the owner) never fail over:
+// idempotent pinned reads retry the owner with backoff, writes get
+// one shot. Un-pinned requests walk the owner's ring successors, so
+// an ejected backend's keys are served by its deterministic neighbor
+// until it recovers.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, key string, idempotent, pinned bool) {
+	rt.requests.Add(1)
+	candidates := rt.ring.Successors(key, rt.ring.Len())
+	if len(candidates) == 0 {
+		rt.proxyErrors.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "router: no backends"})
+		return
+	}
+	rt.backends[candidates[0]].routedKeys.Add(1)
+	if pinned {
+		candidates = candidates[:1]
+	}
+
+	attempts := 1
+	if idempotent {
+		attempts += rt.cfg.MaxRetries
+	}
+	backoff := rt.cfg.RetryBackoff
+	var lastErr error
+	cursor := 0
+	for attempt := 0; attempt < attempts; attempt++ {
+		// Prefer in-rotation members; when every candidate is ejected
+		// (e.g. the whole pool just restarted), try the owner anyway —
+		// passive success flips it back to healthy faster than a probe.
+		var b *backend
+		for n := 0; n < len(candidates); n++ {
+			cand := rt.backends[candidates[(cursor+n)%len(candidates)]]
+			if cand.health.Healthy() {
+				b = cand
+				cursor = (cursor + n) % len(candidates)
+				break
+			}
+		}
+		if b == nil {
+			if !pinned && attempt > 0 {
+				break // every successor tried or ejected
+			}
+			b = rt.backends[candidates[cursor%len(candidates)]]
+		}
+
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			b.retries.Add(1)
+			rt.retriesTotal.Add(1)
+		}
+		if rt.proxyOnce(w, r, b, body) {
+			return
+		}
+		lastErr = fmt.Errorf("backend %s unreachable", b.name)
+		cursor++ // next attempt starts at the following successor
+	}
+	rt.proxyErrors.Add(1)
+	status := http.StatusBadGateway
+	if pinned && !rt.backends[candidates[0]].health.Healthy() {
+		// The only backend that can answer is out of rotation.
+		status = http.StatusServiceUnavailable
+	}
+	msg := "router: request failed"
+	if lastErr != nil {
+		msg = "router: " + lastErr.Error()
+	}
+	writeJSON(w, status, apiError{Error: msg})
+}
+
+// proxyOnce sends one attempt to one backend, streaming the response
+// through on success. A transport failure reports to the backend's
+// health machine and returns false so the caller can retry; any HTTP
+// response — including 4xx/5xx — is a successful proxy and is
+// relayed as-is.
+func (rt *Router) proxyOnce(w http.ResponseWriter, r *http.Request, b *backend, body []byte) bool {
+	b.requests.Add(1)
+	url := b.base + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	var reader io.Reader
+	if body != nil {
+		reader = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, url, reader)
+	if err != nil {
+		b.errors.Add(1)
+		return false
+	}
+	copyProxyHeaders(req.Header, r.Header)
+	t0 := time.Now()
+	resp, err := b.client.Do(req)
+	lat := time.Since(t0)
+	if err != nil {
+		b.errors.Add(1)
+		b.health.OnFailure(time.Now())
+		return false
+	}
+	defer resp.Body.Close()
+	b.lat.observe(lat.Nanoseconds())
+	b.health.OnSuccess()
+
+	h := w.Header()
+	for k, vs := range resp.Header {
+		if isHopByHop(k) {
+			continue
+		}
+		h[k] = vs
+	}
+	h.Set("X-Backend", b.name)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return true
+}
+
+// copyProxyHeaders forwards the request headers the backends care
+// about (content negotiation and the Cache-Control bypass hook).
+func copyProxyHeaders(dst, src http.Header) {
+	for _, k := range []string{"Content-Type", "Accept", "Cache-Control", "Accept-Encoding"} {
+		if v := src.Values(k); len(v) > 0 {
+			dst[k] = v
+		}
+	}
+}
+
+func isHopByHop(k string) bool {
+	switch http.CanonicalHeaderKey(k) {
+	case "Connection", "Keep-Alive", "Proxy-Authenticate", "Proxy-Authorization",
+		"Te", "Trailer", "Transfer-Encoding", "Upgrade":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,158 @@
+#!/usr/bin/env bash
+# cluster-smoke: the fleet tier, end to end. Trains a tiny model,
+# boots 1 dssddi-router + 3 dssddi-serve backends, smokes every
+# endpoint through the router (sticky consistent-hash routing,
+# shard-local registry), benchmarks a single backend vs the fleet,
+# runs the mixed online workload with -strict through a mid-load
+# coordinated rolling reload (zero non-2xx AND zero transport errors
+# allowed), verifies every backend converged on the new epoch, and
+# asserts aggregate cached-suggest throughput scales with replica
+# count. Records everything into BENCH_cluster.json in the repo root.
+# Used by `make cluster-smoke` and the CI "cluster" job.
+#
+# Each backend runs with GOMAXPROCS=1 (and serial kernels), so "one
+# backend" is a fixed-size unit and the single-vs-fleet comparison
+# measures replication, not incidental parallelism inside one process.
+# The >= 2x scaling gate runs on the COLD scoring path: a cold suggest
+# costs a backend ~300us of CPU, so backend capacity is the bottleneck
+# and replication visibly multiplies it. A cached suggest costs ~45us
+# — less than the proxy + load-generator harness sharing the same
+# cores — so the cached fleet/single ratio is recorded but
+# informational (it measures the harness, not replication). The gate
+# is enforced when the machine has at least 3 cores to scale onto (CI
+# runners do); on smaller machines it is reported but not enforced —
+# replicas cannot out-run the physical CPU they share.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK=$(mktemp -d)
+PIDS=()
+cleanup() {
+    for p in "${PIDS[@]:-}"; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$WORK/dssddi" ./cmd/dssddi
+go build -o "$WORK/dssddi-serve" ./cmd/dssddi-serve
+go build -o "$WORK/dssddi-router" ./cmd/dssddi-router
+go build -o "$WORK/loadgen" ./cmd/loadgen
+
+echo "== train two tiny models (same cohort, different seeds) for the rolling reload"
+"$WORK/dssddi" train -patients 70 -ddi-epochs 5 -md-epochs 10 -o "$WORK/model.snap"
+"$WORK/dssddi" train -patients 70 -seed 2 -ddi-epochs 5 -md-epochs 10 -o "$WORK/model2.snap"
+
+# boot_backend <addr-file>: one fixed-size serving unit.
+boot_backend() {
+    GOMAXPROCS=1 "$WORK/dssddi-serve" -m "$WORK/model.snap" -workers 1 \
+        -addr 127.0.0.1:0 -addr-file "$1" &
+    PIDS+=($!)
+}
+
+wait_file() {
+    for _ in $(seq 1 100); do
+        [ -s "$1" ] && return 0
+        sleep 0.1
+    done
+    echo "timed out waiting for $1" >&2
+    return 1
+}
+
+echo "== single-backend baseline (1 unit, cached + cold suggest paths)"
+boot_backend "$WORK/b0.txt"
+wait_file "$WORK/b0.txt"
+B0=$(cat "$WORK/b0.txt")
+echo "   backend 0 on $B0"
+"$WORK/loadgen" -addr "$B0" -duration 3s -concurrency 16 -json BENCH_cluster.json
+"$WORK/loadgen" -addr "$B0" -cold -duration 3s -concurrency 16 -json BENCH_cluster.json -append
+
+echo "== boot 2 more backends and the router"
+boot_backend "$WORK/b1.txt"
+boot_backend "$WORK/b2.txt"
+wait_file "$WORK/b1.txt"
+wait_file "$WORK/b2.txt"
+B1=$(cat "$WORK/b1.txt")
+B2=$(cat "$WORK/b2.txt")
+"$WORK/dssddi-router" -backends "$B0,$B1,$B2" -probe-interval 250ms \
+    -addr 127.0.0.1:0 -addr-file "$WORK/router.txt" &
+PIDS+=($!)
+wait_file "$WORK/router.txt"
+ROUTER=$(cat "$WORK/router.txt")
+echo "   router on $ROUTER over $B0 $B1 $B2"
+
+echo "== router reports a fully healthy fleet"
+ok=""
+for _ in $(seq 1 50); do
+    if curl -sf "http://$ROUTER/healthz" | grep -q '"healthy_backends":3'; then ok=1; break; fi
+    sleep 0.1
+done
+[ -n "$ok" ] || { echo "router never saw 3 healthy backends"; curl -s "http://$ROUTER/healthz"; exit 1; }
+
+echo "== smoke every endpoint through the router"
+curl -sf -X POST "http://$ROUTER/v1/suggest" -d '{"patient": 0, "k": 3}' >/dev/null
+curl -sf -X POST "http://$ROUTER/v1/scores" -d '{"patients": [0, 1]}' >/dev/null
+curl -sf -X POST "http://$ROUTER/v1/explain" -d '{"patient": 0, "k": 3}' >/dev/null
+curl -sf -X POST "http://$ROUTER/v1/alerts" -d '{"drugs": [0, 1, 2], "patient": 0}' >/dev/null
+curl -sf "http://$ROUTER/metricsz" >/dev/null
+
+echo "== sticky routing: one patient, one backend"
+owner=$(curl -sf -o /dev/null -w '%{header_json}' -X POST "http://$ROUTER/v1/suggest" -d '{"patient": 5, "k": 2}' | grep -o '"x-backend":\["[^"]*"\]')
+for _ in 1 2 3; do
+    again=$(curl -sf -o /dev/null -w '%{header_json}' -X POST "http://$ROUTER/v1/suggest" -d '{"patient": 5, "k": 2}' | grep -o '"x-backend":\["[^"]*"\]')
+    [ "$again" = "$owner" ] || { echo "patient 5 moved between backends: $owner vs $again"; exit 1; }
+done
+
+echo "== registry through the router: register, suggest by id, delete"
+code=$(curl -s -o /dev/null -w '%{http_code}' -X PUT "http://$ROUTER/v1/patients/cluster-smoke" -d '{"regimen": [0, 1, 2]}')
+[ "$code" = "201" ] || { echo "registering via router returned $code, want 201"; exit 1; }
+curl -sf -X POST "http://$ROUTER/v1/suggest" -d '{"patient_id": "cluster-smoke", "k": 3}' >/dev/null
+curl -sf -X GET "http://$ROUTER/v1/patients/cluster-smoke" >/dev/null
+curl -sf -X DELETE "http://$ROUTER/v1/patients/cluster-smoke" >/dev/null
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$ROUTER/v1/suggest" -d '{"patient_id": "cluster-smoke"}')
+[ "$code" = "404" ] || { echo "deleted registry patient via router returned $code, want 404"; exit 1; }
+
+echo "== fleet bench (3 units behind the router, cached + cold suggest paths)"
+"$WORK/loadgen" -addr "$ROUTER" -cluster -duration 3s -concurrency 32 -json BENCH_cluster.json -append
+"$WORK/loadgen" -addr "$ROUTER" -cluster -cold -duration 3s -concurrency 32 -json BENCH_cluster.json -append
+
+echo "== mixed online workload through a mid-load coordinated rolling reload: zero drops allowed"
+"$WORK/loadgen" -addr "$ROUTER" -cluster -mix -strict -duration 6s -concurrency 12 -json BENCH_cluster.json -append &
+LOADGEN_PID=$!
+sleep 1.5
+curl -s -X POST "http://$ROUTER/v1/admin/reload" -d "{\"path\": \"$WORK/model2.snap\"}" >"$WORK/rollout1.json"
+grep -q '"ok":true' "$WORK/rollout1.json" || { echo "rollout 1 not clean:"; cat "$WORK/rollout1.json"; exit 1; }
+sleep 1
+curl -s -X POST "http://$ROUTER/v1/admin/reload" -d "{\"path\": \"$WORK/model.snap\"}" >"$WORK/rollout2.json"
+grep -q '"ok":true' "$WORK/rollout2.json" || { echo "rollout 2 not clean:"; cat "$WORK/rollout2.json"; exit 1; }
+wait "$LOADGEN_PID" || { echo "loadgen saw failed requests during the rolling reloads"; exit 1; }
+
+echo "== every backend converged on epoch 3 (1 boot + 2 rollouts)"
+for b in "$B0" "$B1" "$B2"; do
+    epoch=$(curl -sf "http://$b/healthz" | sed 's/.*"epoch":\([0-9]*\).*/\1/')
+    [ "$epoch" = "3" ] || { echo "backend $b is on epoch $epoch, want 3"; exit 1; }
+done
+
+echo "== rollback guard: a rollout from a missing snapshot aborts cleanly"
+code=$(curl -s -o "$WORK/rollout3.json" -w '%{http_code}' -X POST "http://$ROUTER/v1/admin/reload" -d "{\"path\": \"$WORK/nope.snap\"}")
+[ "$code" = "502" ] || { echo "broken rollout returned $code, want 502"; cat "$WORK/rollout3.json"; exit 1; }
+grep -q '"status":"skipped"' "$WORK/rollout3.json" || { echo "broken rollout did not skip the rest of the fleet"; cat "$WORK/rollout3.json"; exit 1; }
+for b in "$B0" "$B1" "$B2"; do
+    epoch=$(curl -sf "http://$b/healthz" | sed 's/.*"epoch":\([0-9]*\).*/\1/')
+    [ "$epoch" = "3" ] || { echo "backend $b moved to epoch $epoch on an aborted rollout"; exit 1; }
+done
+
+echo "== scaling: fleet scoring throughput vs a single unit"
+CORES=$(nproc)
+MIN_SCALE="${CLUSTER_MIN_SCALE:-2.0}"
+echo "   cached-path ratio (informational: the ~45us cached request is cheaper than the proxy hop)"
+go run ./cmd/benchdiff -scale "cluster-suggest:suggest:0.1" BENCH_cluster.json || true
+if [ "$CORES" -ge 3 ]; then
+    go run ./cmd/benchdiff -scale "cluster-suggest-cold:suggest-cold:$MIN_SCALE" BENCH_cluster.json
+else
+    echo "   (only $CORES core(s): 3 replicas share one CPU, so the >= ${MIN_SCALE}x gate is informational here)"
+    go run ./cmd/benchdiff -scale "cluster-suggest-cold:suggest-cold:$MIN_SCALE" BENCH_cluster.json \
+        || echo "   scaling below ${MIN_SCALE}x on this machine — enforced on >=3-core runners (CI)"
+fi
+
+echo "== OK: cluster smoke passed"
