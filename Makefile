@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench lint fmt serve-smoke cluster-smoke profile
+.PHONY: all build test bench lint fmt serve-smoke cluster-smoke chaos-smoke profile
 
 all: build lint test
 
@@ -38,6 +38,14 @@ serve-smoke:
 # the CI "cluster" job runs. The >= 2x scaling gate needs >= 3 cores.
 cluster-smoke:
 	./scripts/cluster-smoke.sh
+
+# Durability + overload under fire: WAL-backed backend behind a
+# fault-injecting TCP proxy, kill -9 + crash recovery mid-workload
+# (zero lost registrations, bitwise-identical answers, bounded error
+# rate), plus an admission-control shed check. Records
+# BENCH_chaos.json — the same script the CI "chaos" job runs.
+chaos-smoke:
+	./scripts/chaos-smoke.sh
 
 # CPU + heap profiles of the serve hot path: one full cold suggest
 # request (handler -> batcher -> fused scoring -> encode) per

@@ -1,0 +1,72 @@
+// Command chaosproxy is a fault-injecting TCP relay for chaos
+// testing: it forwards every connection to a target backend while
+// injecting connection resets, mid-body drops and latency at
+// configurable probabilities. scripts/chaos-smoke.sh places it
+// between the router and one dssddi-serve backend to prove the fleet
+// degrades gracefully on a flaky network.
+//
+// Usage:
+//
+//	chaosproxy -target 127.0.0.1:8080 [-listen 127.0.0.1:0]
+//	    [-latency 5ms] [-jitter 2ms] [-reset-prob 0.2] [-drop-prob 0.1]
+//	    [-error-prob 0] [-seed 1] [-addr-file path]
+//
+// -addr-file writes the actual listen address (useful with :0) so
+// scripts can discover the bound port.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dssddi/internal/chaos"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:0", "address to listen on")
+		target    = flag.String("target", "", "backend address to relay to (host:port, required)")
+		latency   = flag.Duration("latency", 0, "added latency per connection")
+		jitter    = flag.Duration("jitter", 0, "latency jitter (+/-)")
+		errorProb = flag.Float64("error-prob", 0, "probability a connection is failed outright (treated as reset at TCP level)")
+		resetProb = flag.Float64("reset-prob", 0, "probability a connection is RST")
+		dropProb  = flag.Float64("drop-prob", 0, "probability a response is cut mid-body")
+		seed      = flag.Int64("seed", 1, "RNG seed (reproducible fault sequences)")
+		addrFile  = flag.String("addr-file", "", "write the bound address to this file")
+	)
+	flag.Parse()
+	if *target == "" {
+		fmt.Fprintln(os.Stderr, "chaosproxy: -target is required")
+		os.Exit(2)
+	}
+
+	px, err := chaos.NewProxy(*listen, *target, chaos.Faults{
+		Latency:   *latency,
+		Jitter:    *jitter,
+		ErrorProb: *errorProb,
+		ResetProb: *resetProb,
+		DropProb:  *dropProb,
+	}, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaosproxy: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("chaosproxy: %s -> %s (reset %.2f, drop %.2f, error %.2f, latency %s±%s)\n",
+		px.Addr(), *target, *resetProb, *dropProb, *errorProb, *latency, *jitter)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(px.Addr()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "chaosproxy: writing addr file: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	px.Close()
+	fmt.Printf("chaosproxy: stopped (%d connections, %d resets, %d drops)\n",
+		px.Connections.Load(), px.Resets.Load(), px.Drops.Load())
+}

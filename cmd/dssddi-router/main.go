@@ -50,6 +50,7 @@ func main() {
 		retries       = flag.Int("retries", 2, "max retries for idempotent reads after a transport failure (writes never retry)")
 		retryBackoff  = flag.Duration("retry-backoff", 25*time.Millisecond, "initial retry backoff, doubling per attempt")
 		timeout       = flag.Duration("timeout", 10*time.Second, "per-attempt backend request timeout")
+		budget        = flag.Duration("budget", 0, "end-to-end request budget across attempts and backoffs; each attempt stamps the remainder onto the backend as X-Deadline-Ms (0 = 2x -timeout)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -70,6 +71,7 @@ func main() {
 		MaxRetries:    *retries,
 		RetryBackoff:  *retryBackoff,
 		Timeout:       *timeout,
+		RequestBudget: *budget,
 	})
 	if err != nil {
 		log.Fatalf("dssddi-router: %v", err)

@@ -48,6 +48,13 @@ func main() {
 		defaultK    = flag.Int("default-k", 4, "suggestion list length when a request omits k")
 		watch       = flag.Bool("watch", false, "watch the -m snapshot file and hot-reload it when it changes")
 		watchEvery  = flag.Duration("watch-interval", time.Second, "how often -watch polls the snapshot file")
+
+		walPath      = flag.String("registry-wal", "", "write-ahead log for the patient registry; registrations survive crashes and are replayed on boot (empty = volatile registry)")
+		walSync      = flag.String("wal-sync", "interval", "WAL durability: always (fsync per write), interval (background fsync), off (OS decides)")
+		walSyncEvery = flag.Duration("wal-sync-interval", 100*time.Millisecond, "background fsync cadence for -wal-sync interval")
+		ckptEvery    = flag.Int("checkpoint-every", 1024, "compact the WAL into a checkpoint after this many logged mutations (<= 0 disables)")
+		maxInflight  = flag.Int("max-inflight", 256, "admission control: concurrent requests executing per endpoint (negative = unlimited)")
+		maxQueue     = flag.Int("max-queue", 512, "admission control: requests waiting per endpoint beyond -max-inflight; anything more is shed with a fast 503 (negative = no queue)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -71,16 +78,26 @@ func main() {
 	}
 
 	srv, err := serve.New(sys, serve.Config{
-		MaxBatch:     *maxBatch,
-		BatchWindow:  *batchWindow,
-		CacheSize:    *cacheSize,
-		DefaultK:     *defaultK,
-		SnapshotPath: *model,
+		MaxBatch:        *maxBatch,
+		BatchWindow:     *batchWindow,
+		CacheSize:       *cacheSize,
+		DefaultK:        *defaultK,
+		SnapshotPath:    *model,
+		WALPath:         *walPath,
+		WALSync:         *walSync,
+		WALSyncInterval: *walSyncEvery,
+		CheckpointEvery: *ckptEvery,
+		MaxInflight:     *maxInflight,
+		MaxQueue:        *maxQueue,
 	})
 	if err != nil {
 		log.Fatalf("dssddi-serve: %v", err)
 	}
 	defer srv.Close()
+	if *walPath != "" {
+		fmt.Fprintf(os.Stderr, "dssddi-serve: durable registry: WAL %s (sync %s), checkpoint every %d writes\n",
+			*walPath, *walSync, *ckptEvery)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -154,4 +171,12 @@ func main() {
 		log.Fatalf("dssddi-serve: %v", err)
 	}
 	<-done
+	// Graceful close: httpSrv.Shutdown has already drained in-flight
+	// requests (which empties the batcher — every parked request holds
+	// an epoch ref); Close then writes a final registry checkpoint and
+	// fsync-closes the WAL, so the next boot replays nothing.
+	srv.Close()
+	if *walPath != "" {
+		fmt.Fprintln(os.Stderr, "dssddi-serve: final checkpoint written, WAL closed")
+	}
 }

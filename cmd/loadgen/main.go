@@ -36,6 +36,7 @@ package main
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -46,6 +47,8 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -74,13 +77,24 @@ type opStats struct {
 	requests  int64
 	errors    int64
 	transport int64 // subset of errors that never got a response
+	statuses  map[string]int64
 	lats      []int64
 }
 
-func (s *opStats) observe(latNs int64, failed, transport bool) {
+// observe records one request: status is the HTTP status code, or 0
+// with transport=true when no response arrived at all.
+func (s *opStats) observe(latNs int64, status int, transport bool) {
 	s.mu.Lock()
 	s.requests++
-	if failed {
+	key := strconv.Itoa(status)
+	if transport {
+		key = "transport"
+	}
+	if s.statuses == nil {
+		s.statuses = make(map[string]int64)
+	}
+	s.statuses[key]++
+	if transport || status < 200 || status >= 300 {
 		s.errors++
 		if transport {
 			s.transport++
@@ -102,12 +116,20 @@ func (s *opStats) bench(name string, concurrency int, elapsed time.Duration) ben
 		}
 		return float64(s.lats[int(p*float64(len(s.lats)-1))]) / 1e6
 	}
+	var counts map[string]int
+	if len(s.statuses) > 0 {
+		counts = make(map[string]int, len(s.statuses))
+		for k, v := range s.statuses {
+			counts[k] = int(v)
+		}
+	}
 	return benchfmt.ServeBench{
 		Name:            name,
 		Concurrency:     concurrency,
 		Requests:        int(s.requests),
 		Errors:          int(s.errors),
 		TransportErrors: int(s.transport),
+		StatusCounts:    counts,
 		Seconds:         elapsed.Seconds(),
 		RPS:             float64(s.requests-s.errors) / elapsed.Seconds(),
 		P50Ms:           q(0.50),
@@ -130,6 +152,8 @@ func main() {
 		strict      = flag.Bool("strict", false, "exit non-zero if ANY request fails — non-2xx status OR transport error (zero-drop assertion)")
 		cluster     = flag.Bool("cluster", false, "cluster mode: the target is a dssddi-router front tier; entries are recorded with a cluster- prefix and backend-shape /metricsz enrichment is skipped")
 		appendJSON  = flag.Bool("append", false, "merge the measurements into an existing -json report instead of overwriting it")
+		maxErrRate  = flag.Float64("max-error-rate", -1, "exit non-zero if the overall failure rate exceeds this fraction (e.g. 0.05); negative disables — chaos runs use it to assert bounded degradation instead of -strict's zero tolerance")
+		verifyEpoch = flag.Bool("verify-epoch", false, "hash every index-suggest response keyed by (patient, k, X-Epoch) and exit non-zero on any bitwise mismatch — the correctness-under-chaos assertion")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -176,7 +200,11 @@ func main() {
 		suggest   opStats    // plain / cold suggests
 		inductive opStats    // mix: suggests by registered id
 		update    opStats    // mix: registry PUTs
+		verifier  *epochVerifier
 	)
+	if *verifyEpoch {
+		verifier = newEpochVerifier()
+	}
 	takeNext := func() int {
 		nextMu.Lock()
 		defer nextMu.Unlock()
@@ -206,7 +234,7 @@ func main() {
 					body, _ := json.Marshal(patientPutRequest{Regimen: reg})
 					req, err := http.NewRequest(http.MethodPut, base+"/v1/patients/"+regID, bytes.NewReader(body))
 					if err != nil {
-						update.observe(0, true, true)
+						update.observe(0, 0, true)
 						continue
 					}
 					req.Header.Set("Content-Type", "application/json")
@@ -217,7 +245,7 @@ func main() {
 					body, _ := json.Marshal(suggestRequest{PatientID: regID, K: *k})
 					req, err := http.NewRequest(http.MethodPost, base+"/v1/suggest", bytes.NewReader(body))
 					if err != nil {
-						inductive.observe(0, true, true)
+						inductive.observe(0, 0, true)
 						continue
 					}
 					req.Header.Set("Content-Type", "application/json")
@@ -233,14 +261,18 @@ func main() {
 					body, _ := json.Marshal(suggestRequest{Patient: patient, K: *k})
 					req, err := http.NewRequest(http.MethodPost, base+"/v1/suggest", bytes.NewReader(body))
 					if err != nil {
-						suggest.observe(0, true, true)
+						suggest.observe(0, 0, true)
 						continue
 					}
 					req.Header.Set("Content-Type", "application/json")
 					if *cold {
 						req.Header.Set("Cache-Control", "no-cache")
 					}
-					issue(client, req, &suggest)
+					var check responseCheck
+					if verifier != nil {
+						check = verifier.check(patient, *k)
+					}
+					issueVerified(client, req, &suggest, check)
 				}
 			}
 		}(c)
@@ -304,12 +336,23 @@ func main() {
 		totalErrs += suggest.errors
 		totalTransport += suggest.transport
 	}
+	// Failure-mix summary shared by -strict and -max-error-rate: which
+	// codes failed, how often — "1483 errors" is unactionable, "503×1480
+	// transport×3" names the behavior.
+	breakdown := failureBreakdown(&suggest, &inductive, &update)
 	if *strict && totalErrs > 0 {
-		log.Fatalf("loadgen: -strict: %d/%d requests failed (%d transport errors, %d non-2xx)",
-			totalErrs, totalReqs, totalTransport, totalErrs-totalTransport)
+		log.Fatalf("loadgen: -strict: %d/%d requests failed (%d transport errors, %d non-2xx): %s",
+			totalErrs, totalReqs, totalTransport, totalErrs-totalTransport, breakdown)
 	}
-	if totalErrs > 0 && totalErrs*10 > totalReqs {
-		log.Fatalf("loadgen: %d/%d requests failed", totalErrs, totalReqs)
+	if *maxErrRate >= 0 && totalReqs > 0 && float64(totalErrs) > *maxErrRate*float64(totalReqs) {
+		log.Fatalf("loadgen: -max-error-rate: %d/%d requests failed (%.1f%% > %.1f%% allowed): %s",
+			totalErrs, totalReqs, 100*float64(totalErrs)/float64(totalReqs), 100**maxErrRate, breakdown)
+	}
+	if *maxErrRate < 0 && totalErrs > 0 && totalErrs*10 > totalReqs {
+		log.Fatalf("loadgen: %d/%d requests failed: %s", totalErrs, totalReqs, breakdown)
+	}
+	if verifier != nil && !verifier.report() {
+		log.Fatal("loadgen: -verify-epoch: responses diverged within a single epoch")
 	}
 
 	if *jsonPath != "" {
@@ -370,18 +413,123 @@ func main() {
 // 2xx is success, a client.Do error is a transport error (the request
 // never got an HTTP response).
 func issue(client *http.Client, req *http.Request, stats *opStats) bool {
+	return issueVerified(client, req, stats, nil)
+}
+
+// issueVerified is issue plus an optional response check: when check
+// is non-nil the body is read in full (instead of discarded) and
+// handed to it along with the response's X-Epoch stamp.
+func issueVerified(client *http.Client, req *http.Request, stats *opStats, check responseCheck) bool {
 	t0 := time.Now()
 	resp, err := client.Do(req)
 	lat := time.Since(t0).Nanoseconds()
 	if err != nil {
-		stats.observe(lat, true, true)
+		stats.observe(lat, 0, true)
 		return false
 	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
 	ok := resp.StatusCode >= 200 && resp.StatusCode < 300
-	stats.observe(lat, !ok, false)
+	if check != nil && ok {
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			// The body died mid-read (mid-body drop): a transport error,
+			// even though a status line arrived.
+			stats.observe(lat, 0, true)
+			return false
+		}
+		check(resp.Header.Get("X-Epoch"), body)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	stats.observe(lat, resp.StatusCode, false)
 	return ok
+}
+
+// responseCheck consumes one verified response's epoch stamp and body.
+type responseCheck func(epoch string, body []byte)
+
+// failureBreakdown renders the non-2xx status mix across operation
+// classes, sorted by count descending ("503×1480, transport×3").
+func failureBreakdown(all ...*opStats) string {
+	merged := make(map[string]int64)
+	for _, s := range all {
+		s.mu.Lock()
+		for code, n := range s.statuses {
+			if code == "transport" || code[0] != '2' {
+				merged[code] += n
+			}
+		}
+		s.mu.Unlock()
+	}
+	if len(merged) == 0 {
+		return "none"
+	}
+	type kv struct {
+		code string
+		n    int64
+	}
+	codes := make([]kv, 0, len(merged))
+	for c, n := range merged {
+		codes = append(codes, kv{c, n})
+	}
+	sort.Slice(codes, func(i, j int) bool { return codes[i].n > codes[j].n })
+	parts := make([]string, len(codes))
+	for i, c := range codes {
+		parts[i] = fmt.Sprintf("%s×%d", c.code, c.n)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// epochVerifier asserts the bitwise-consistency invariant under load:
+// two 200s for the same (patient, k) carrying the same X-Epoch must
+// be byte-identical, no matter which backend served them or what the
+// network did in between. It stores one SHA-256 per key, so verifying
+// a long chaos run costs a few KB, not the bodies themselves.
+type epochVerifier struct {
+	mu         sync.Mutex
+	seen       map[string][sha256.Size]byte
+	checked    int64
+	mismatches []string // first few offending keys, for the error message
+}
+
+func newEpochVerifier() *epochVerifier {
+	return &epochVerifier{seen: make(map[string][sha256.Size]byte)}
+}
+
+func (v *epochVerifier) check(patient, k int) responseCheck {
+	return func(epoch string, body []byte) {
+		if epoch == "" {
+			return // not an epoch-stamped response; nothing to hold it to
+		}
+		key := fmt.Sprintf("%d|%d|%s", patient, k, epoch)
+		sum := sha256.Sum256(body)
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		v.checked++
+		if prev, ok := v.seen[key]; ok {
+			if prev != sum && len(v.mismatches) < 8 {
+				v.mismatches = append(v.mismatches, key)
+			}
+			return
+		}
+		v.seen[key] = sum
+	}
+}
+
+// report prints the verification summary and returns false when the
+// invariant was violated.
+func (v *epochVerifier) report() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.mismatches) > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: -verify-epoch: %d bitwise mismatches (patient|k|epoch): %s\n",
+			len(v.mismatches), strings.Join(v.mismatches, ", "))
+		return false
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: -verify-epoch: %d responses over %d distinct (patient, k, epoch) keys, all bitwise-consistent\n",
+		v.checked, len(v.seen))
+	return true
 }
 
 func getJSON(url string, v any) error {

@@ -36,13 +36,18 @@ type ServeBench struct {
 	// subset that never got an HTTP response (connection refused,
 	// reset, timeout) — the dropped-request signal the rolling-reload
 	// smoke tests assert is zero.
-	Errors          int     `json:"errors"`
-	TransportErrors int     `json:"transport_errors,omitempty"`
-	Seconds         float64 `json:"seconds"`
-	RPS             float64 `json:"rps"`
-	P50Ms           float64 `json:"p50_ms"`
-	P90Ms           float64 `json:"p90_ms"`
-	P99Ms           float64 `json:"p99_ms"`
+	Errors          int `json:"errors"`
+	TransportErrors int `json:"transport_errors,omitempty"`
+	// StatusCounts breaks the run down by HTTP status code (keyed by
+	// the decimal code, plus "transport" for requests that never got a
+	// response). Chaos runs read it to assert the failure mix — e.g.
+	// "503s are fine, 500s are not".
+	StatusCounts map[string]int `json:"status_counts,omitempty"`
+	Seconds      float64        `json:"seconds"`
+	RPS          float64        `json:"rps"`
+	P50Ms        float64        `json:"p50_ms"`
+	P90Ms        float64        `json:"p90_ms"`
+	P99Ms        float64        `json:"p99_ms"`
 	// CacheHitRate and AvgBatchSize come from the server's /metricsz
 	// after the run (0 when unavailable).
 	CacheHitRate float64 `json:"cache_hit_rate"`

@@ -1,0 +1,176 @@
+// Package chaos injects controlled faults into HTTP traffic so the
+// serving stack's failure handling can be exercised deterministically
+// in tests and smoke scripts instead of waiting for production to do
+// it. Two injection points cover the two classes of failure:
+//
+//   - RoundTripper wraps an http.RoundTripper and misbehaves at the
+//     application layer: added latency, synthetic 5xx responses,
+//     connection-reset errors, and response bodies that die midway.
+//     Use it to harden a single client or test a retry loop.
+//
+//   - Proxy is a TCP-level man-in-the-middle for one backend: real
+//     sockets, real RSTs, real half-written responses. Use it between
+//     the router and a backend to prove the fleet survives a flaky
+//     network, not just a polite error return.
+//
+// All randomness is seeded, so a failing chaos run reproduces.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Faults is one fault profile. Probabilities are per request
+// (RoundTripper) or per connection (Proxy), in [0, 1]; zero values
+// inject nothing.
+type Faults struct {
+	// Latency (± Jitter) is added before the request or connection
+	// proceeds.
+	Latency time.Duration
+	Jitter  time.Duration
+	// ErrorProb returns a synthetic 503 without touching the wire
+	// (RoundTripper only — a TCP proxy has no notion of a response it
+	// didn't receive).
+	ErrorProb float64
+	// ResetProb fails the exchange as a connection reset: an error
+	// from RoundTrip, a real RST from Proxy.
+	ResetProb float64
+	// DropProb lets the response start and then kills it mid-body —
+	// the nastiest failure for clients, who have already seen a
+	// status code and headers.
+	DropProb float64
+}
+
+// roll decides one exchange's fate from the profile. The order is
+// fixed (error, reset, drop) so a profile with several probabilities
+// behaves predictably.
+func (f Faults) roll(rng *rand.Rand) (delay time.Duration, verdict int) {
+	delay = f.Latency
+	if f.Jitter > 0 {
+		delay += time.Duration(rng.Int63n(int64(2*f.Jitter))) - f.Jitter
+		if delay < 0 {
+			delay = 0
+		}
+	}
+	switch p := rng.Float64(); {
+	case f.ErrorProb > 0 && p < f.ErrorProb:
+		verdict = verdictError
+	case f.ResetProb > 0 && p < f.ErrorProb+f.ResetProb:
+		verdict = verdictReset
+	case f.DropProb > 0 && p < f.ErrorProb+f.ResetProb+f.DropProb:
+		verdict = verdictDrop
+	}
+	return delay, verdict
+}
+
+const (
+	verdictNone = iota
+	verdictError
+	verdictReset
+	verdictDrop
+)
+
+// ErrInjectedReset is the error a RoundTripper reset produces. It is
+// a distinct type so tests can tell injected faults from real ones.
+var ErrInjectedReset = fmt.Errorf("chaos: injected connection reset")
+
+// RoundTripper wraps Base with fault injection. Safe for concurrent
+// use; SetFaults may be called while requests are in flight.
+type RoundTripper struct {
+	Base http.RoundTripper
+
+	mu     sync.Mutex
+	faults Faults
+	rng    *rand.Rand
+
+	// Counters record what was actually injected.
+	Errors atomic.Int64
+	Resets atomic.Int64
+	Drops  atomic.Int64
+}
+
+// NewRoundTripper wraps base (nil = http.DefaultTransport) with the
+// given fault profile. The seed makes the injection sequence
+// reproducible.
+func NewRoundTripper(base http.RoundTripper, faults Faults, seed int64) *RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &RoundTripper{Base: base, faults: faults, rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetFaults swaps the fault profile; in-flight requests keep the
+// profile they rolled under.
+func (c *RoundTripper) SetFaults(f Faults) {
+	c.mu.Lock()
+	c.faults = f
+	c.mu.Unlock()
+}
+
+func (c *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	c.mu.Lock()
+	delay, verdict := c.faults.roll(c.rng)
+	c.mu.Unlock()
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	switch verdict {
+	case verdictError:
+		c.Errors.Add(1)
+		return &http.Response{
+			StatusCode: http.StatusServiceUnavailable,
+			Status:     "503 Service Unavailable (chaos)",
+			Proto:      req.Proto, ProtoMajor: req.ProtoMajor, ProtoMinor: req.ProtoMinor,
+			Header:  http.Header{"Retry-After": []string{"1"}},
+			Body:    io.NopCloser(strings.NewReader(`{"error":"chaos: injected 503"}`)),
+			Request: req,
+		}, nil
+	case verdictReset:
+		c.Resets.Add(1)
+		return nil, ErrInjectedReset
+	}
+	resp, err := c.Base.RoundTrip(req)
+	if err != nil || verdict != verdictDrop {
+		return resp, err
+	}
+	c.Drops.Add(1)
+	// Let roughly half the advertised body through, then fail the
+	// read — the client has already committed to the status line.
+	limit := resp.ContentLength / 2
+	if limit <= 0 {
+		limit = 256
+	}
+	resp.Body = &droppedBody{rc: resp.Body, remaining: limit}
+	return resp, nil
+}
+
+// droppedBody reads up to remaining bytes and then fails.
+type droppedBody struct {
+	rc        io.ReadCloser
+	remaining int64
+}
+
+func (d *droppedBody) Read(p []byte) (int, error) {
+	if d.remaining <= 0 {
+		return 0, fmt.Errorf("chaos: injected mid-body drop: %w", io.ErrUnexpectedEOF)
+	}
+	if int64(len(p)) > d.remaining {
+		p = p[:d.remaining]
+	}
+	n, err := d.rc.Read(p)
+	d.remaining -= int64(n)
+	return n, err
+}
+
+func (d *droppedBody) Close() error { return d.rc.Close() }

@@ -1,0 +1,232 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func backend(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestRoundTripperPassThrough(t *testing.T) {
+	ts := backend(t, "hello")
+	client := &http.Client{Transport: NewRoundTripper(nil, Faults{}, 1)}
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || string(got) != "hello" {
+		t.Fatalf("passthrough: %d %q", resp.StatusCode, got)
+	}
+}
+
+func TestRoundTripperInjectsErrors(t *testing.T) {
+	ts := backend(t, "hello")
+	rt := NewRoundTripper(nil, Faults{ErrorProb: 1}, 1)
+	client := &http.Client{Transport: rt}
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want injected 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("injected 503 missing Retry-After")
+	}
+	if rt.Errors.Load() != 1 {
+		t.Fatalf("Errors = %d, want 1", rt.Errors.Load())
+	}
+}
+
+func TestRoundTripperInjectsResets(t *testing.T) {
+	ts := backend(t, "hello")
+	rt := NewRoundTripper(nil, Faults{ResetProb: 1}, 1)
+	client := &http.Client{Transport: rt}
+	_, err := client.Get(ts.URL)
+	if err == nil || !strings.Contains(err.Error(), "injected connection reset") {
+		t.Fatalf("err = %v, want injected reset", err)
+	}
+	if rt.Resets.Load() != 1 {
+		t.Fatalf("Resets = %d, want 1", rt.Resets.Load())
+	}
+}
+
+func TestRoundTripperDropsBody(t *testing.T) {
+	ts := backend(t, strings.Repeat("x", 64<<10))
+	rt := NewRoundTripper(nil, Faults{DropProb: 1}, 1)
+	client := &http.Client{Transport: rt}
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drop fault must deliver the status first, got %d", resp.StatusCode)
+	}
+	got, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatalf("read %d bytes with no error; body should die midway", len(got))
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want ErrUnexpectedEOF", err)
+	}
+	if len(got) >= 64<<10 {
+		t.Fatal("the whole body arrived despite the drop")
+	}
+	if rt.Drops.Load() != 1 {
+		t.Fatalf("Drops = %d, want 1", rt.Drops.Load())
+	}
+}
+
+func TestRoundTripperMixedProbabilities(t *testing.T) {
+	ts := backend(t, "hello")
+	rt := NewRoundTripper(nil, Faults{ErrorProb: 0.3, ResetProb: 0.3}, 42)
+	client := &http.Client{Transport: rt}
+	var ok, injected int
+	for i := 0; i < 200; i++ {
+		resp, err := client.Get(ts.URL)
+		if err != nil {
+			injected++
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			injected++
+		} else {
+			ok++
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	// With 60% total fault probability over 200 trials, both outcomes
+	// must appear (p of all-one-way is astronomically small).
+	if ok == 0 || injected == 0 {
+		t.Fatalf("ok=%d injected=%d; mixed profile produced a constant outcome", ok, injected)
+	}
+	if rt.Errors.Load() == 0 || rt.Resets.Load() == 0 {
+		t.Fatalf("Errors=%d Resets=%d; both fault kinds should fire", rt.Errors.Load(), rt.Resets.Load())
+	}
+}
+
+func proxyClient() *http.Client {
+	// No keep-alive: each request gets its own connection, so
+	// per-connection faults map 1:1 onto requests.
+	return &http.Client{
+		Transport: &http.Transport{DisableKeepAlives: true},
+		Timeout:   5 * time.Second,
+	}
+}
+
+func TestProxyPassThrough(t *testing.T) {
+	ts := backend(t, "hello")
+	p, err := NewProxy("127.0.0.1:0", strings.TrimPrefix(ts.URL, "http://"), Faults{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	resp, err := proxyClient().Get("http://" + p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || string(got) != "hello" {
+		t.Fatalf("through proxy: %d %q", resp.StatusCode, got)
+	}
+	if p.Connections.Load() == 0 {
+		t.Fatal("proxy saw no connections")
+	}
+}
+
+func TestProxyResets(t *testing.T) {
+	ts := backend(t, "hello")
+	p, err := NewProxy("127.0.0.1:0", strings.TrimPrefix(ts.URL, "http://"), Faults{ResetProb: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := proxyClient().Get("http://" + p.Addr()); err == nil {
+		t.Fatal("request through always-reset proxy succeeded")
+	}
+	if p.Resets.Load() == 0 {
+		t.Fatal("no resets recorded")
+	}
+}
+
+func TestProxyDropsMidBody(t *testing.T) {
+	ts := backend(t, strings.Repeat("x", 256<<10))
+	p, err := NewProxy("127.0.0.1:0", strings.TrimPrefix(ts.URL, "http://"), Faults{DropProb: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	resp, err := proxyClient().Get("http://" + p.Addr())
+	if err == nil {
+		// The first bytes made it through; the body must then fail.
+		defer resp.Body.Close()
+		got, rerr := io.ReadAll(resp.Body)
+		if rerr == nil && len(got) >= 256<<10 {
+			t.Fatal("entire body survived a drop fault")
+		}
+	}
+	if p.Drops.Load() == 0 {
+		t.Fatal("no drops recorded")
+	}
+}
+
+func TestProxyLatency(t *testing.T) {
+	ts := backend(t, "hello")
+	p, err := NewProxy("127.0.0.1:0", strings.TrimPrefix(ts.URL, "http://"),
+		Faults{Latency: 80 * time.Millisecond}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	t0 := time.Now()
+	resp, err := proxyClient().Get("http://" + p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if d := time.Since(t0); d < 80*time.Millisecond {
+		t.Fatalf("request took %v, want >= 80ms injected latency", d)
+	}
+}
+
+func TestProxySetFaultsLive(t *testing.T) {
+	ts := backend(t, "hello")
+	p, err := NewProxy("127.0.0.1:0", strings.TrimPrefix(ts.URL, "http://"), Faults{ResetProb: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := proxyClient().Get("http://" + p.Addr()); err == nil {
+		t.Fatal("reset profile let a request through")
+	}
+	p.SetFaults(Faults{})
+	resp, err := proxyClient().Get("http://" + p.Addr())
+	if err != nil {
+		t.Fatalf("after clearing faults: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("after clearing faults: status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,206 @@
+package chaos
+
+import (
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Proxy is a fault-injecting TCP relay in front of one backend. It
+// produces the failures a polite in-process wrapper cannot: real
+// connection resets (RST via SO_LINGER 0), responses cut off after
+// the first bytes are on the wire, and added network latency. Faults
+// are rolled once per accepted connection, so an HTTP client that
+// keeps a connection alive sees bursts of good and bad service — just
+// like a real flaky link.
+type Proxy struct {
+	target string
+	ln     net.Listener
+
+	mu     sync.Mutex
+	faults Faults
+	rng    *rand.Rand
+
+	connsMu sync.Mutex
+	conns   map[net.Conn]struct{}
+
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	// Counters record what was actually injected.
+	Connections atomic.Int64
+	Resets      atomic.Int64
+	Drops       atomic.Int64
+}
+
+// NewProxy listens on listen (e.g. "127.0.0.1:0") and relays every
+// connection to target, applying the fault profile. The seed makes
+// the injection sequence reproducible.
+func NewProxy(listen, target string, faults Faults, seed int64) (*Proxy, error) {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		target: target,
+		ln:     ln,
+		faults: faults,
+		rng:    rand.New(rand.NewSource(seed)),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the proxy's listen address (host:port) — hand this to the
+// router as the backend name.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetFaults swaps the fault profile; established connections keep the
+// verdict they rolled at accept time.
+func (p *Proxy) SetFaults(f Faults) {
+	p.mu.Lock()
+	p.faults = f
+	p.mu.Unlock()
+}
+
+// Close stops accepting and tears down every live connection.
+func (p *Proxy) Close() error {
+	p.closed.Store(true)
+	err := p.ln.Close()
+	p.connsMu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.connsMu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.Connections.Add(1)
+		p.track(c, true)
+		p.wg.Add(1)
+		go p.handle(c)
+	}
+}
+
+func (p *Proxy) track(c net.Conn, add bool) {
+	p.connsMu.Lock()
+	if add {
+		p.conns[c] = struct{}{}
+	} else {
+		delete(p.conns, c)
+	}
+	p.connsMu.Unlock()
+}
+
+// rstClose closes a TCP connection with SO_LINGER 0, so the peer sees
+// a hard RST instead of a graceful FIN — indistinguishable from a
+// crashed backend or a dropped NAT entry.
+func rstClose(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	c.Close()
+}
+
+func (p *Proxy) handle(client net.Conn) {
+	defer p.wg.Done()
+	defer p.track(client, false)
+
+	p.mu.Lock()
+	delay, verdict := p.faults.roll(p.rng)
+	p.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	// A TCP relay has no application layer to fabricate a 503 from;
+	// treat an error verdict as a reset so ErrorProb still means
+	// "this connection fails".
+	if verdict == verdictError || verdict == verdictReset {
+		p.Resets.Add(1)
+		rstClose(client)
+		return
+	}
+
+	upstream, err := net.Dial("tcp", p.target)
+	if err != nil {
+		rstClose(client)
+		return
+	}
+	p.track(upstream, true)
+	defer p.track(upstream, false)
+	defer upstream.Close()
+	defer client.Close()
+
+	// Client -> upstream runs untouched; faults land on the response
+	// path, where they hurt the most.
+	go func() {
+		io.Copy(upstream, client)
+		if tc, ok := upstream.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+	}()
+
+	// Relay upstream -> client, re-rolling the dice per read burst.
+	// HTTP clients keep connections alive, so a once-per-connection
+	// roll would make a lucky connection immune forever; per-burst
+	// rolls (one burst ≈ one response for this workload) keep every
+	// exchange at risk, like a genuinely flaky link.
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := upstream.Read(buf)
+		if n > 0 {
+			switch verdict {
+			case verdictError, verdictReset:
+				// Destroy the response while the client is waiting on it.
+				p.Resets.Add(1)
+				rstClose(client)
+				return
+			case verdictDrop:
+				// Let the status line and headers escape, then cut the wire.
+				limit := 256 + int(p.dropJitter())
+				if limit > n {
+					limit = n
+				}
+				client.Write(buf[:limit])
+				p.Drops.Add(1)
+				rstClose(client)
+				return
+			}
+			if _, werr := client.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+		verdict = p.reroll()
+	}
+}
+
+func (p *Proxy) dropJitter() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rng.Int63n(256)
+}
+
+// reroll draws a fresh verdict (ignoring latency) for the next burst
+// on an established connection.
+func (p *Proxy) reroll() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, verdict := p.faults.roll(p.rng)
+	return verdict
+}

@@ -307,26 +307,34 @@ type BackendMetrics struct {
 
 // Metrics is the router's /metricsz payload.
 type Metrics struct {
-	UptimeSeconds   float64                   `json:"uptime_seconds"`
-	Requests        int64                     `json:"requests"`
-	ProxyErrors     int64                     `json:"proxy_errors"`
-	Retries         int64                     `json:"retries"`
-	Rollouts        int64                     `json:"rollouts"`
-	RolloutFailures int64                     `json:"rollout_failures"`
-	Backends        map[string]BackendMetrics `json:"backends"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Requests      int64   `json:"requests"`
+	ProxyErrors   int64   `json:"proxy_errors"`
+	Retries       int64   `json:"retries"`
+	// PinnedUnavailable counts 503s where a pinned patient's owning
+	// shard was out of rotation (no failover possible); DeadlineExhausted
+	// counts 504s where the request budget ran out before any backend
+	// answered.
+	PinnedUnavailable int64                     `json:"pinned_unavailable"`
+	DeadlineExhausted int64                     `json:"deadline_exhausted"`
+	Rollouts          int64                     `json:"rollouts"`
+	RolloutFailures   int64                     `json:"rollout_failures"`
+	Backends          map[string]BackendMetrics `json:"backends"`
 }
 
 func (rt *Router) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
 	shares := rt.ring.Shares()
 	total := rt.requests.Load()
 	m := Metrics{
-		UptimeSeconds:   time.Since(rt.start).Seconds(),
-		Requests:        total,
-		ProxyErrors:     rt.proxyErrors.Load(),
-		Retries:         rt.retriesTotal.Load(),
-		Rollouts:        rt.rollouts.Load(),
-		RolloutFailures: rt.rolloutFailures.Load(),
-		Backends:        make(map[string]BackendMetrics, len(rt.order)),
+		UptimeSeconds:     time.Since(rt.start).Seconds(),
+		Requests:          total,
+		ProxyErrors:       rt.proxyErrors.Load(),
+		Retries:           rt.retriesTotal.Load(),
+		PinnedUnavailable: rt.pinnedUnavailable.Load(),
+		DeadlineExhausted: rt.deadlineExhausted.Load(),
+		Rollouts:          rt.rollouts.Load(),
+		RolloutFailures:   rt.rolloutFailures.Load(),
+		Backends:          make(map[string]BackendMetrics, len(rt.order)),
 	}
 	for _, name := range rt.order {
 		b := rt.backends[name]

@@ -116,6 +116,22 @@ func (m *healthMachine) ProbeDue(now time.Time) bool {
 	return false
 }
 
+// RetryAfter estimates how long until this backend could plausibly
+// take traffic again: the remainder of the ejection cooldown when
+// ejected, one full cooldown otherwise (a half-open trial or
+// accumulating failures — recovery time is unknowable, so quote the
+// cycle length). Used to stamp Retry-After on pinned-key 503s.
+func (m *healthMachine) RetryAfter(now time.Time) time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.state == stateEjected {
+		if rem := m.cooldown - now.Sub(m.ejectedAt); rem > 0 {
+			return rem
+		}
+	}
+	return m.cooldown
+}
+
 // Healthy reports whether the backend is in rotation.
 func (m *healthMachine) Healthy() bool {
 	m.mu.Lock()

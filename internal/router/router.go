@@ -2,6 +2,7 @@ package router
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -41,6 +42,13 @@ type Config struct {
 	RetryBackoff time.Duration
 	// Timeout is the per-attempt client timeout (default 10s).
 	Timeout time.Duration
+	// RequestBudget bounds one routed request end to end: every
+	// attempt and every backoff sleep spends from it, and each attempt
+	// stamps the remaining budget onto the backend as X-Deadline-Ms so
+	// batch waits are abandoned the moment the router has given up. A
+	// client-supplied X-Deadline-Ms can only shrink the budget, never
+	// extend it (default 2x Timeout).
+	RequestBudget time.Duration
 	// MaxIdleConns bounds the kept-alive connections per backend
 	// (default 256).
 	MaxIdleConns int
@@ -86,6 +94,9 @@ func (c *Config) fill() error {
 	if c.Timeout <= 0 {
 		c.Timeout = 10 * time.Second
 	}
+	if c.RequestBudget <= 0 {
+		c.RequestBudget = 2 * c.Timeout
+	}
 	if c.MaxIdleConns <= 0 {
 		c.MaxIdleConns = 256
 	}
@@ -104,11 +115,13 @@ type Router struct {
 	order    []string // sorted names: deterministic rollout order
 	start    time.Time
 
-	requests        atomic.Int64
-	proxyErrors     atomic.Int64 // requests answered 502/503 by the router itself
-	retriesTotal    atomic.Int64
-	rollouts        atomic.Int64
-	rolloutFailures atomic.Int64
+	requests          atomic.Int64
+	proxyErrors       atomic.Int64 // requests answered 502/503/504 by the router itself
+	retriesTotal      atomic.Int64
+	pinnedUnavailable atomic.Int64 // pinned-key 503s: the owning shard is out of rotation
+	deadlineExhausted atomic.Int64 // 504s: the request budget ran out before any backend answered
+	rollouts          atomic.Int64
+	rolloutFailures   atomic.Int64
 
 	reloadMu  sync.Mutex // serializes rollouts
 	stopProbe chan struct{}
@@ -350,12 +363,19 @@ func (rt *Router) handlePatients(w http.ResponseWriter, r *http.Request) {
 	rt.forward(w, r, body, registeredKey(id), idempotent, true)
 }
 
+// deadlineHeader is the propagated request budget (mirrors the
+// backends' header): the router stamps each attempt's remaining
+// milliseconds so backends abandon work the moment the router has
+// moved on, and honors a client-sent value as an upper bound.
+const deadlineHeader = "X-Deadline-Ms"
+
 // forward proxies one request to the backend owning key. Pinned
 // requests (registry state lives only on the owner) never fail over:
 // idempotent pinned reads retry the owner with backoff, writes get
 // one shot. Un-pinned requests walk the owner's ring successors, so
 // an ejected backend's keys are served by its deterministic neighbor
-// until it recovers.
+// until it recovers. The whole dance — attempts plus backoff sleeps —
+// is bounded by the request budget.
 func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, key string, idempotent, pinned bool) {
 	rt.requests.Add(1)
 	candidates := rt.ring.Successors(key, rt.ring.Len())
@@ -369,6 +389,21 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, k
 		candidates = candidates[:1]
 	}
 
+	deadline := time.Now().Add(rt.cfg.RequestBudget)
+	if h := r.Header.Get(deadlineHeader); h != "" {
+		if ms, err := strconv.ParseInt(h, 10, 64); err == nil {
+			if ms <= 0 {
+				rt.proxyErrors.Add(1)
+				rt.deadlineExhausted.Add(1)
+				writeJSON(w, http.StatusGatewayTimeout, apiError{Error: "router: request deadline already expired"})
+				return
+			}
+			if d := time.Now().Add(time.Duration(ms) * time.Millisecond); d.Before(deadline) {
+				deadline = d
+			}
+		}
+	}
+
 	attempts := 1
 	if idempotent {
 		attempts += rt.cfg.MaxRetries
@@ -377,6 +412,10 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, k
 	var lastErr error
 	cursor := 0
 	for attempt := 0; attempt < attempts; attempt++ {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			break
+		}
 		// Prefer in-rotation members; when every candidate is ejected
 		// (e.g. the whole pool just restarted), try the owner anyway —
 		// passive success flips it back to healthy faster than a probe.
@@ -397,36 +436,65 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, k
 		}
 
 		if attempt > 0 {
+			if backoff >= remaining {
+				break // the budget would be spent sleeping
+			}
 			time.Sleep(backoff)
 			backoff *= 2
 			b.retries.Add(1)
 			rt.retriesTotal.Add(1)
+			if remaining = time.Until(deadline); remaining <= 0 {
+				break
+			}
 		}
-		if rt.proxyOnce(w, r, b, body) {
+		if rt.proxyOnce(w, r, b, body, remaining) {
 			return
 		}
 		lastErr = fmt.Errorf("backend %s unreachable", b.name)
 		cursor++ // next attempt starts at the following successor
 	}
 	rt.proxyErrors.Add(1)
-	status := http.StatusBadGateway
-	if pinned && !rt.backends[candidates[0]].health.Healthy() {
-		// The only backend that can answer is out of rotation.
-		status = http.StatusServiceUnavailable
+	if owner := rt.backends[candidates[0]]; pinned && !owner.health.Healthy() {
+		// The only backend that can answer is out of rotation. Tell the
+		// client when a retry could plausibly succeed: the remainder of
+		// the owner's ejection cooldown.
+		rt.pinnedUnavailable.Add(1)
+		w.Header().Set("Retry-After", retryAfterSeconds(owner.health.RetryAfter(time.Now())))
+		writeJSON(w, http.StatusServiceUnavailable, apiError{
+			Error: fmt.Sprintf("router: backend %s owning this patient is out of rotation", owner.name),
+		})
+		return
+	}
+	if time.Until(deadline) <= 0 {
+		rt.deadlineExhausted.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, apiError{Error: "router: request budget exhausted"})
+		return
 	}
 	msg := "router: request failed"
 	if lastErr != nil {
 		msg = "router: " + lastErr.Error()
 	}
-	writeJSON(w, status, apiError{Error: msg})
+	writeJSON(w, http.StatusBadGateway, apiError{Error: msg})
+}
+
+// retryAfterSeconds renders a duration as a Retry-After value: whole
+// seconds, rounded up, never below 1.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 // proxyOnce sends one attempt to one backend, streaming the response
 // through on success. A transport failure reports to the backend's
 // health machine and returns false so the caller can retry; any HTTP
 // response — including 4xx/5xx — is a successful proxy and is
-// relayed as-is.
-func (rt *Router) proxyOnce(w http.ResponseWriter, r *http.Request, b *backend, body []byte) bool {
+// relayed as-is. remaining is the request budget left: it caps the
+// attempt timeout and is stamped onto the backend as X-Deadline-Ms so
+// the backend stops working the moment this attempt's clock runs out.
+func (rt *Router) proxyOnce(w http.ResponseWriter, r *http.Request, b *backend, body []byte, remaining time.Duration) bool {
 	b.requests.Add(1)
 	url := b.base + r.URL.Path
 	if r.URL.RawQuery != "" {
@@ -436,12 +504,19 @@ func (rt *Router) proxyOnce(w http.ResponseWriter, r *http.Request, b *backend, 
 	if body != nil {
 		reader = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, url, reader)
+	attemptTimeout := rt.cfg.Timeout
+	if remaining < attemptTimeout {
+		attemptTimeout = remaining
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), attemptTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, r.Method, url, reader)
 	if err != nil {
 		b.errors.Add(1)
 		return false
 	}
 	copyProxyHeaders(req.Header, r.Header)
+	req.Header.Set(deadlineHeader, strconv.FormatInt(attemptTimeout.Milliseconds(), 10))
 	t0 := time.Now()
 	resp, err := b.client.Do(req)
 	lat := time.Since(t0)

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -111,16 +112,27 @@ func newBatcher(sys *dssddi.System, maxBatch int, window time.Duration, drugs in
 // back with PutRow when done (PutRow(nil) is a no-op, so callers may
 // defer it unconditionally). The patient index must already be
 // validated.
-func (b *batcher) Score(patient int) ([]float64, error) {
+//
+// An expired ctx abandons the request — both while enqueueing and
+// while waiting for the batch — and returns ctx.Err(), so a caller
+// whose propagated deadline has passed stops consuming batch capacity
+// immediately. An abandoned request's row is still computed and sent
+// into the buffered out channel, where the GC reclaims it; the row
+// pool is bounded, so the leak-back is a missed recycle, not a leak.
+func (b *batcher) Score(ctx context.Context, patient int) ([]float64, error) {
 	out := make(chan batchResp, 1)
 	select {
 	case b.reqs <- batchReq{patient: patient, out: out}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	case <-b.stop:
 		return nil, errServerClosed
 	}
 	select {
 	case r := <-out:
 		return r.row, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	case <-b.done:
 		// The collector exited. Our request may still have been served
 		// by its final drain (out is buffered), so check before giving

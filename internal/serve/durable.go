@@ -1,0 +1,490 @@
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"dssddi/internal/snapshot"
+	"dssddi/internal/wal"
+)
+
+// The durable registry layers a write-ahead log under the in-memory
+// patient registry: every accepted mutation (put / patch / delete) is
+// appended to the WAL before the request is acknowledged, so a
+// crashed backend rebuilds its registered patients on restart instead
+// of silently losing them (the fleet pins registered ids to one owner
+// backend — its RAM used to be the only copy). The log is compacted
+// through periodic checkpoints: the full registry state is written to
+// a sibling checkpoint file (internal/snapshot's checksummed codec)
+// and the log truncated, so recovery replays a bounded suffix.
+//
+// Consistency discipline: a mutation appends its WAL record inside
+// the same shard critical section that installs it, so log order
+// matches install order per patient; a registry-wide RWMutex (gate)
+// lets mutations proceed concurrently (RLock) while a checkpoint
+// takes the write side, making the checkpoint + log truncation
+// atomic with respect to writers. Records are absolute (full profile
+// per set, not deltas), so replaying a checkpoint-covered suffix is
+// idempotent.
+
+// errDurability marks a mutation that failed at the WAL layer: the
+// write was NOT acknowledged durably and must surface as a 500, not a
+// 400 — the client's profile was fine, the disk was not.
+var errDurability = errors.New("serve: durable registry write failed")
+
+// WAL record operations.
+const (
+	walOpSet    = 1 // full profile for one id (put and patch both log this)
+	walOpDelete = 2
+)
+
+// checkpointTag / checkpointVersion head the checkpoint file inside
+// the snapshot container.
+const (
+	checkpointTag     = "registry-checkpoint"
+	checkpointVersion = 1
+)
+
+// storedProfile is one recovered registry entry.
+type storedProfile struct {
+	regimen  []int
+	features []float64
+}
+
+// durableStore owns the WAL and checkpoint machinery for one
+// registry.
+type durableStore struct {
+	log      *wal.Log
+	ckptPath string
+	every    int64 // mutations between automatic checkpoints
+
+	// gate serializes checkpoints against mutations: every mutation
+	// holds the read side across its WAL append + install, a
+	// checkpoint holds the write side across scan + file write + log
+	// truncation. Reads (get / suggest) never touch it.
+	gate sync.RWMutex
+
+	pending      atomic.Int64 // mutations logged since the last checkpoint
+	checkpoints  atomic.Int64
+	ckptFailures atomic.Int64
+
+	recovered int // patients rebuilt at boot (checkpoint + WAL)
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// openDurableStore loads the checkpoint (if any), replays the WAL on
+// top of it and returns the store plus the recovered profiles. A
+// corrupt WAL interior or checkpoint refuses to open: serving guessed
+// clinical state is worse than refusing to start.
+func openDurableStore(cfg Config) (*durableStore, map[string]storedProfile, error) {
+	pol, err := wal.ParseSyncPolicy(cfg.WALSync)
+	if err != nil {
+		return nil, nil, err
+	}
+	ckptPath := cfg.CheckpointPath
+	if ckptPath == "" {
+		ckptPath = cfg.WALPath + ".ckpt"
+	}
+	profiles := make(map[string]storedProfile)
+	if err := loadCheckpoint(ckptPath, profiles); err != nil {
+		return nil, nil, err
+	}
+	log, err := wal.Open(cfg.WALPath, wal.Options{Sync: pol, Interval: cfg.WALSyncInterval}, func(payload []byte) error {
+		return applyRecord(profiles, payload)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	st := &durableStore{
+		log:       log,
+		ckptPath:  ckptPath,
+		every:     int64(cfg.CheckpointEvery),
+		recovered: len(profiles),
+	}
+	// Records already in the log count toward the next compaction,
+	// otherwise a workload of short-lived restarts never checkpoints.
+	st.pending.Store(log.Records())
+	return st, profiles, nil
+}
+
+// logSet appends a full-profile record; called under the owning
+// shard's lock so the log order matches the install order.
+func (st *durableStore) logSet(id string, regimen []int, features []float64) error {
+	if err := st.log.Append(encodeSetRecord(id, regimen, features)); err != nil {
+		return fmt.Errorf("%w: %v", errDurability, err)
+	}
+	st.pending.Add(1)
+	return nil
+}
+
+// logDelete appends a tombstone; called under the owning shard's lock.
+func (st *durableStore) logDelete(id string) error {
+	if err := st.log.Append(encodeDeleteRecord(id)); err != nil {
+		return fmt.Errorf("%w: %v", errDurability, err)
+	}
+	st.pending.Add(1)
+	return nil
+}
+
+// maybeCheckpoint compacts the log once enough mutations accumulated.
+// Called after a mutation has released its locks. A failed checkpoint
+// is counted and logged but never fails the request — the mutations
+// themselves are already durable in the WAL.
+func (st *durableStore) maybeCheckpoint(r *patientRegistry) {
+	if st.every <= 0 || st.pending.Load() < st.every {
+		return
+	}
+	if err := st.checkpoint(r, false); err != nil {
+		st.ckptFailures.Add(1)
+		fmt.Fprintf(os.Stderr, "serve: registry checkpoint failed (mutations remain in the WAL): %v\n", err)
+	}
+}
+
+// checkpoint writes the full registry state to the checkpoint file
+// (atomically, via rename) and truncates the WAL. force skips the
+// threshold re-check used to collapse racing triggers.
+func (st *durableStore) checkpoint(r *patientRegistry, force bool) error {
+	st.gate.Lock()
+	defer st.gate.Unlock()
+	if !force && st.pending.Load() < st.every {
+		return nil // a racing mutation already checkpointed
+	}
+	if err := writeCheckpoint(st.ckptPath, r.snapshotProfiles()); err != nil {
+		return err
+	}
+	if err := st.log.Reset(); err != nil {
+		return err
+	}
+	st.pending.Store(0)
+	st.checkpoints.Add(1)
+	return nil
+}
+
+// shutdown writes a final checkpoint and fsync-closes the WAL — the
+// graceful half of the crash-recovery contract. Idempotent.
+func (st *durableStore) shutdown(r *patientRegistry) error {
+	st.closeOnce.Do(func() {
+		err := st.checkpoint(r, true)
+		if cerr := st.log.Close(); err == nil {
+			err = cerr
+		}
+		st.closeErr = err
+	})
+	return st.closeErr
+}
+
+// --- record codec -----------------------------------------------------
+//
+// One WAL record payload (framing and checksumming live in
+// internal/wal):
+//
+//	op      byte (walOpSet | walOpDelete)
+//	id      uvarint length + bytes
+//	set only:
+//	  regimen   flag byte (0 = nil) + uvarint count + varint each
+//	  features  flag byte (0 = nil) + uvarint count + 8-byte LE IEEE-754 each
+//
+// Profiles are absolute, never deltas, so replay is idempotent and a
+// record re-applied over a checkpoint that already contains it is
+// harmless.
+
+func encodeSetRecord(id string, regimen []int, features []float64) []byte {
+	buf := make([]byte, 0, 1+1+len(id)+2+len(regimen)*2+2+len(features)*8+binary.MaxVarintLen64)
+	buf = append(buf, walOpSet)
+	buf = binary.AppendUvarint(buf, uint64(len(id)))
+	buf = append(buf, id...)
+	buf = appendIntSlice(buf, regimen)
+	buf = appendFloatSlice(buf, features)
+	return buf
+}
+
+func encodeDeleteRecord(id string) []byte {
+	buf := make([]byte, 0, 1+1+len(id))
+	buf = append(buf, walOpDelete)
+	buf = binary.AppendUvarint(buf, uint64(len(id)))
+	buf = append(buf, id...)
+	return buf
+}
+
+func appendIntSlice(buf []byte, v []int) []byte {
+	if v == nil {
+		return append(buf, 0)
+	}
+	buf = append(buf, 1)
+	buf = binary.AppendUvarint(buf, uint64(len(v)))
+	for _, x := range v {
+		buf = binary.AppendVarint(buf, int64(x))
+	}
+	return buf
+}
+
+func appendFloatSlice(buf []byte, v []float64) []byte {
+	if v == nil {
+		return append(buf, 0)
+	}
+	buf = append(buf, 1)
+	buf = binary.AppendUvarint(buf, uint64(len(v)))
+	for _, x := range v {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+	}
+	return buf
+}
+
+// applyRecord applies one replayed WAL record to the recovery map.
+func applyRecord(profiles map[string]storedProfile, payload []byte) error {
+	r := recordReader{buf: payload}
+	op := r.byte()
+	id := r.string()
+	switch op {
+	case walOpSet:
+		regimen := r.intSlice()
+		features := r.floatSlice()
+		if r.err != nil {
+			return fmt.Errorf("malformed set record: %w", r.err)
+		}
+		profiles[id] = storedProfile{regimen: regimen, features: features}
+	case walOpDelete:
+		if r.err != nil {
+			return fmt.Errorf("malformed delete record: %w", r.err)
+		}
+		delete(profiles, id)
+	default:
+		return fmt.Errorf("unknown record op %d", op)
+	}
+	if len(r.buf) != r.pos {
+		return fmt.Errorf("record has %d trailing bytes", len(r.buf)-r.pos)
+	}
+	return nil
+}
+
+// recordReader is a tiny sticky-error cursor over one record payload.
+type recordReader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *recordReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("truncated %s at byte %d", what, r.pos)
+	}
+}
+
+func (r *recordReader) byte() byte {
+	if r.err != nil || r.pos >= len(r.buf) {
+		r.fail("byte")
+		return 0
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *recordReader) uvarint(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		r.fail(what)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *recordReader) string() string {
+	n := r.uvarint("id length")
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.buf)-r.pos) {
+		r.fail("id")
+		return ""
+	}
+	s := string(r.buf[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s
+}
+
+func (r *recordReader) intSlice() []int {
+	if r.byte() == 0 || r.err != nil {
+		return nil
+	}
+	n := r.uvarint("int count")
+	if r.err != nil || n > uint64(len(r.buf)-r.pos) {
+		r.fail("ints")
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		if r.err != nil {
+			return nil
+		}
+		v, w := binary.Varint(r.buf[r.pos:])
+		if w <= 0 {
+			r.fail("int")
+			return nil
+		}
+		r.pos += w
+		out[i] = int(v)
+	}
+	return out
+}
+
+func (r *recordReader) floatSlice() []float64 {
+	if r.byte() == 0 || r.err != nil {
+		return nil
+	}
+	n := r.uvarint("float count")
+	if r.err != nil || n*8 > uint64(len(r.buf)-r.pos) {
+		r.fail("floats")
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.pos:]))
+		r.pos += 8
+	}
+	return out
+}
+
+// --- checkpoint file --------------------------------------------------
+
+type checkpointEntry struct {
+	id       string
+	regimen  []int
+	features []float64
+}
+
+// writeCheckpoint atomically replaces the checkpoint file: encode into
+// a temp sibling, fsync, rename, fsync the directory.
+func writeCheckpoint(path string, entries []checkpointEntry) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	e := snapshot.NewEncoder(f)
+	e.String(checkpointTag)
+	e.Int(checkpointVersion)
+	e.Int(len(entries))
+	for _, ent := range entries {
+		e.String(ent.id)
+		e.Bool(ent.regimen != nil)
+		e.Ints(ent.regimen)
+		e.Bool(ent.features != nil)
+		e.Floats(ent.features)
+	}
+	if err := e.Finish(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// loadCheckpoint reads a checkpoint file into profiles; a missing file
+// is a fresh start, a damaged one refuses to load (the snapshot
+// codec's CRC footer catches torn or flipped bytes).
+func loadCheckpoint(path string, profiles map[string]storedProfile) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	d, err := snapshot.NewDecoder(f)
+	if err != nil {
+		return fmt.Errorf("serve: checkpoint %s: %w", path, err)
+	}
+	if tag := d.String(); tag != checkpointTag && d.Err() == nil {
+		return fmt.Errorf("serve: checkpoint %s: unexpected tag %q", path, tag)
+	}
+	if v := d.Int(); v != checkpointVersion && d.Err() == nil {
+		return fmt.Errorf("serve: checkpoint %s: unsupported version %d", path, v)
+	}
+	n := d.Int()
+	for i := 0; i < n && d.Err() == nil; i++ {
+		id := d.String()
+		hasRegimen := d.Bool()
+		regimen := d.Ints()
+		hasFeatures := d.Bool()
+		features := d.Floats()
+		if !hasRegimen {
+			regimen = nil
+		}
+		if !hasFeatures {
+			features = nil
+		}
+		profiles[id] = storedProfile{regimen: regimen, features: features}
+	}
+	if err := d.Verify(); err != nil {
+		return fmt.Errorf("serve: checkpoint %s: %w", path, err)
+	}
+	return nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// --- registry integration --------------------------------------------
+
+// snapshotProfiles copies every live entry; callers must hold the
+// durable gate exclusively (or otherwise exclude mutations).
+func (r *patientRegistry) snapshotProfiles() []checkpointEntry {
+	entries := make([]checkpointEntry, 0, r.len())
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for id, p := range sh.items {
+			entries = append(entries, checkpointEntry{id: id, regimen: p.regimen, features: p.features})
+		}
+		sh.mu.RUnlock()
+	}
+	return entries
+}
+
+// installRecovered seeds the registry with boot-recovered profiles.
+// Embeddings are left unset (embEpoch 0), so the subsequent
+// reembedAll treats recovery exactly like a hot reload: every
+// recovered patient is re-embedded against the current model before
+// the server takes traffic.
+func (r *patientRegistry) installRecovered(profiles map[string]storedProfile) {
+	for id, p := range profiles {
+		sh := r.shard(id)
+		sh.mu.Lock()
+		sh.items[id] = &registeredPatient{regimen: p.regimen, features: p.features, gen: 1}
+		sh.mu.Unlock()
+		r.count.Add(1)
+	}
+}

@@ -61,12 +61,15 @@ func (s *endpointStats) quantiles() (p50, p90, p99 float64) {
 
 // EndpointMetrics is the JSON shape of one endpoint's counters.
 type EndpointMetrics struct {
-	Requests int64   `json:"requests"`
-	Errors   int64   `json:"errors"`
-	AvgMs    float64 `json:"avg_ms"`
-	P50Ms    float64 `json:"p50_ms"`
-	P90Ms    float64 `json:"p90_ms"`
-	P99Ms    float64 `json:"p99_ms"`
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	// Sheds counts requests fast-failed 503 by admission control
+	// (inflight and wait-queue limits both full).
+	Sheds int64   `json:"sheds,omitempty"`
+	AvgMs float64 `json:"avg_ms"`
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
 }
 
 // CacheMetrics is the JSON shape of the result-cache counters.
@@ -92,6 +95,26 @@ type RegistryMetrics struct {
 	Reembeds int64 `json:"reembeds"`
 }
 
+// WALMetrics is the JSON shape of the durable-registry counters,
+// present only when the server runs with -registry-wal.
+type WALMetrics struct {
+	Path       string `json:"path"`
+	SyncPolicy string `json:"sync_policy"`
+	// Records / Bytes describe the live (un-compacted) log.
+	Records int64 `json:"records"`
+	Bytes   int64 `json:"bytes"`
+	Syncs   int64 `json:"syncs"`
+	// Replayed / RecoveredPatients / TornBytes describe boot recovery.
+	Replayed          int64 `json:"replayed"`
+	RecoveredPatients int   `json:"recovered_patients"`
+	TornBytes         int64 `json:"torn_bytes_truncated"`
+	// Checkpoints counts log compactions; PendingRecords is the
+	// mutations logged since the last one.
+	Checkpoints        int64 `json:"checkpoints"`
+	CheckpointFailures int64 `json:"checkpoint_failures,omitempty"`
+	PendingRecords     int64 `json:"pending_records"`
+}
+
 // Metrics is the full /metricsz payload. Cache and batching counters
 // belong to the current epoch (a hot reload starts them fresh);
 // endpoint and registry counters span the server's lifetime.
@@ -104,6 +127,12 @@ type Metrics struct {
 	ExplainCache  CacheMetrics               `json:"explain_cache"`
 	Batching      BatchMetrics               `json:"batching"`
 	Registry      RegistryMetrics            `json:"registry"`
+	// Sheds totals admission-control rejections across endpoints;
+	// DeadlineTimeouts counts requests answered 504 because their
+	// propagated X-Deadline-Ms budget expired.
+	Sheds            int64       `json:"sheds"`
+	DeadlineTimeouts int64       `json:"deadline_timeouts"`
+	WAL              *WALMetrics `json:"wal,omitempty"`
 }
 
 // registry maps endpoint names to their stats. Endpoints are

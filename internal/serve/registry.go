@@ -24,6 +24,12 @@ import (
 type patientRegistry struct {
 	shards [registryShards]registryShard
 
+	// store, when non-nil, write-ahead-logs every mutation before it
+	// is acknowledged and periodically compacts the log into a
+	// checkpoint file (see durable.go). Set once before the server
+	// takes traffic; nil means a volatile, RAM-only registry.
+	store *durableStore
+
 	count    atomic.Int64 // live entries
 	writes   atomic.Int64 // PUT/PATCH mutations accepted
 	reembeds atomic.Int64 // embeddings recomputed for an epoch move
@@ -95,9 +101,21 @@ func (r *patientRegistry) put(ep *servingEpoch, id string, regimen []int, featur
 	if err != nil {
 		return false, 0, err
 	}
+	if r.store != nil {
+		r.store.gate.RLock()
+	}
 	sh := r.shard(id)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	if r.store != nil {
+		// Log before install, inside the shard critical section: the
+		// WAL order matches the install order, and a failed append
+		// leaves the previous state intact and unacknowledged.
+		if err := r.store.logSet(id, regimen, features); err != nil {
+			sh.mu.Unlock()
+			r.store.gate.RUnlock()
+			return false, 0, err
+		}
+	}
 	p := sh.items[id]
 	if p == nil {
 		p = &registeredPatient{}
@@ -111,9 +129,17 @@ func (r *patientRegistry) put(ep *servingEpoch, id string, regimen []int, featur
 		p.features = nil
 	}
 	p.gen++
+	gen = p.gen
 	p.emb, p.embEpoch, p.embErr = emb, ep.id, nil
 	r.writes.Add(1)
-	return created, p.gen, nil
+	sh.mu.Unlock()
+	if r.store != nil {
+		// The gate must be released before the checkpoint check: a
+		// checkpoint takes its write side.
+		r.store.gate.RUnlock()
+		r.store.maybeCheckpoint(r)
+	}
+	return created, gen, nil
 }
 
 // patch partially updates a patient: non-nil fields replace the stored
@@ -123,11 +149,20 @@ func (r *patientRegistry) put(ep *servingEpoch, id string, regimen []int, featur
 // same critical section, so a concurrent writer can never be echoed
 // back as this patch's result).
 func (r *patientRegistry) patch(ep *servingEpoch, id string, regimen *[]int, features *[]float64) (found bool, gen uint64, merged []int, err error) {
+	if r.store != nil {
+		r.store.gate.RLock()
+	}
 	sh := r.shard(id)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	unlock := func() {
+		sh.mu.Unlock()
+		if r.store != nil {
+			r.store.gate.RUnlock()
+		}
+	}
 	p := sh.items[id]
 	if p == nil {
+		unlock()
 		return false, 0, nil, nil
 	}
 	newRegimen, newFeatures := p.regimen, p.features
@@ -142,26 +177,62 @@ func (r *patientRegistry) patch(ep *servingEpoch, id string, regimen *[]int, fea
 	}
 	emb, err := ep.sys.EmbedPatient(dssddi.PatientProfile{Regimen: newRegimen, Features: newFeatures})
 	if err != nil {
+		unlock()
 		return true, 0, nil, err
+	}
+	if r.store != nil {
+		// The merged profile is logged absolute, so replay never
+		// depends on the pre-patch state.
+		if err := r.store.logSet(id, newRegimen, newFeatures); err != nil {
+			unlock()
+			return true, 0, nil, err
+		}
 	}
 	p.regimen, p.features = newRegimen, newFeatures
 	p.gen++
+	gen = p.gen
+	merged = p.regimen
 	p.emb, p.embEpoch, p.embErr = emb, ep.id, nil
 	r.writes.Add(1)
-	return true, p.gen, p.regimen, nil
+	unlock()
+	if r.store != nil {
+		r.store.maybeCheckpoint(r)
+	}
+	return true, gen, merged, nil
 }
 
-// delete removes a patient, reporting whether it existed.
-func (r *patientRegistry) delete(id string) bool {
+// delete removes a patient, reporting whether it existed. A non-nil
+// error means the tombstone could not be logged durably; the patient
+// is kept.
+func (r *patientRegistry) delete(id string) (bool, error) {
+	if r.store != nil {
+		r.store.gate.RLock()
+	}
 	sh := r.shard(id)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	unlock := func() {
+		sh.mu.Unlock()
+		if r.store != nil {
+			r.store.gate.RUnlock()
+		}
+	}
 	if _, ok := sh.items[id]; !ok {
-		return false
+		unlock()
+		return false, nil
+	}
+	if r.store != nil {
+		if err := r.store.logDelete(id); err != nil {
+			unlock()
+			return true, err
+		}
 	}
 	delete(sh.items, id)
 	r.count.Add(-1)
-	return true
+	unlock()
+	if r.store != nil {
+		r.store.maybeCheckpoint(r)
+	}
+	return true, nil
 }
 
 // get returns a snapshot of a patient's profile.

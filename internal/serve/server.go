@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -85,6 +86,36 @@ type Config struct {
 	// the SIGHUP / -watch wiring) reloads when a request names no
 	// path. Empty leaves path-less reloads disabled.
 	SnapshotPath string
+
+	// WALPath enables the durable patient registry: every mutation is
+	// write-ahead-logged to this file before it is acknowledged, and
+	// the registry is rebuilt from checkpoint + log on boot. Empty
+	// keeps the registry RAM-only.
+	WALPath string
+	// WALSync is the fsync policy: "always" (every acknowledged write
+	// survives power loss), "interval" (default; bounded loss on power
+	// failure, none on process crash) or "off".
+	WALSync string
+	// WALSyncInterval is the flush cadence under "interval"
+	// (default 100ms).
+	WALSyncInterval time.Duration
+	// CheckpointPath is the registry checkpoint file (default
+	// WALPath + ".ckpt").
+	CheckpointPath string
+	// CheckpointEvery is how many logged mutations trigger an
+	// automatic checkpoint + log truncation (default 1024; negative
+	// disables automatic compaction).
+	CheckpointEvery int
+
+	// MaxInflight bounds concurrently executing requests per scoring
+	// endpoint (suggest, scores, explain, alerts, patients); beyond it
+	// requests wait in a bounded queue and past that they are shed
+	// with an immediate 503 + Retry-After. Default 256; negative
+	// disables admission control. healthz/metricsz/reload are never
+	// limited, so probes and operators retain access under overload.
+	MaxInflight int
+	// MaxQueue bounds the per-endpoint wait queue (default 512).
+	MaxQueue int
 }
 
 func (c *Config) fill(drugs int) {
@@ -109,6 +140,18 @@ func (c *Config) fill(drugs int) {
 	if c.MaxScoreBatch <= 0 {
 		c.MaxScoreBatch = 256
 	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 1024
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 256
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 512
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
 }
 
 // Server is the HTTP serving layer: an atomic pointer to the current
@@ -119,6 +162,12 @@ type Server struct {
 	metrics  *registry
 	patients *patientRegistry
 	start    time.Time
+
+	// limits holds the per-endpoint admission limiters (nil entries
+	// mean unlimited); deadlineTimeouts counts requests answered 504
+	// because a propagated deadline expired.
+	limits           map[string]*limiter
+	deadlineTimeouts atomic.Int64
 
 	epoch    atomic.Pointer[servingEpoch]
 	epochSeq atomic.Int64
@@ -140,9 +189,29 @@ func New(sys *dssddi.System, cfg Config) (*Server, error) {
 		patients: newPatientRegistry(),
 		start:    time.Now(),
 	}
+	s.limits = make(map[string]*limiter, 5)
+	for _, name := range []string{"suggest", "scores", "explain", "alerts", "patients"} {
+		s.limits[name] = newLimiter(cfg.MaxInflight, cfg.MaxQueue)
+	}
 	ep, err := s.newEpoch(sys)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.WALPath != "" {
+		store, profiles, derr := openDurableStore(s.cfg)
+		if derr != nil {
+			ep.unref()
+			return nil, derr
+		}
+		s.patients.installRecovered(profiles)
+		s.patients.store = store
+		if len(profiles) > 0 {
+			// Recovered profiles re-embed against the booted model the
+			// same way a hot reload re-embeds the live registry: every
+			// recovered patient is scoring-ready before the first
+			// request.
+			s.patients.reembedAll(ep)
+		}
 	}
 	s.epoch.Store(ep)
 	return s, nil
@@ -151,12 +220,19 @@ func New(sys *dssddi.System, cfg Config) (*Server, error) {
 // Close retires the current epoch; its batching collector stops once
 // the last in-flight request completes. Subsequent requests get 503.
 // reloadMu excludes a concurrent Swap from republishing an epoch (and
-// leaking its batcher) after the close.
+// leaking its batcher) after the close. With a durable registry, Close
+// also writes a final checkpoint and fsync-closes the WAL, so a clean
+// shutdown restarts from the checkpoint alone with an empty log.
 func (s *Server) Close() {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
 	if ep := s.epoch.Swap(nil); ep != nil {
 		ep.unref()
+	}
+	if st := s.patients.store; st != nil {
+		if err := st.shutdown(s.patients); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: closing durable registry: %v\n", err)
+		}
 	}
 }
 
@@ -182,28 +258,56 @@ type apiError struct {
 	Error string `json:"error"`
 }
 
-// instrument wraps a handler with epoch acquisition, method
-// enforcement, timing and error counting. The epoch is pinned for the
-// whole request — model, batcher, caches and alerts all come from it —
-// and named in the X-Epoch response header.
+// instrument wraps a handler with method enforcement, deadline
+// derivation, admission control, epoch acquisition, timing and error
+// counting. Order matters: a request is shed or rejected as expired
+// BEFORE it pins an epoch or touches the batcher, so overload and
+// dead-on-arrival requests cost a few channel operations, not scoring
+// capacity. The epoch is pinned for the whole request — model,
+// batcher, caches and alerts all come from it — and named in the
+// X-Epoch response header.
 func (s *Server) instrument(name, method string, h func(http.ResponseWriter, *http.Request, *servingEpoch) int) http.HandlerFunc {
 	stats := s.metrics.get(name)
+	lim := s.limits[name] // nil for unlimited endpoints
 	return func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		var status int
 		if r.Method != method {
 			status = http.StatusMethodNotAllowed
 			writeJSON(w, status, apiError{Error: fmt.Sprintf("method %s not allowed; use %s", r.Method, method)})
-		} else if ep := s.acquireEpoch(); ep == nil {
-			status = http.StatusServiceUnavailable
-			writeJSON(w, status, apiError{Error: errServerClosed.Error()})
 		} else {
-			w.Header().Set("X-Epoch", strconv.FormatInt(ep.id, 10))
-			status = h(w, r, ep)
-			ep.unref()
+			status = s.serveAdmitted(w, r, lim, h)
 		}
 		stats.observe(time.Since(t0), status >= 400)
 	}
+}
+
+// serveAdmitted runs the deadline + admission + epoch pipeline around
+// one handler invocation.
+func (s *Server) serveAdmitted(w http.ResponseWriter, r *http.Request, lim *limiter, h func(http.ResponseWriter, *http.Request, *servingEpoch) int) int {
+	ctx, cancel, expired := requestContext(r)
+	if expired {
+		return s.writeDeadlineExceeded(w)
+	}
+	if cancel != nil {
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+	release, lstatus := lim.acquire(ctx)
+	switch lstatus {
+	case http.StatusServiceUnavailable:
+		return writeShed(w)
+	case http.StatusGatewayTimeout:
+		return s.writeDeadlineExceeded(w)
+	}
+	defer release()
+	ep := s.acquireEpoch()
+	if ep == nil {
+		return writeJSON(w, http.StatusServiceUnavailable, apiError{Error: errServerClosed.Error()})
+	}
+	defer ep.unref()
+	w.Header().Set("X-Epoch", strconv.FormatInt(ep.id, 10))
+	return h(w, r, ep)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) int {
@@ -357,8 +461,11 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request, ep *servi
 		}
 	}
 
-	row, err := ep.batcher.Score(req.Patient)
+	row, err := ep.batcher.Score(r.Context(), req.Patient)
 	if err != nil {
+		if isDeadlineErr(err) {
+			return s.writeDeadlineExceeded(w)
+		}
 		return writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
 	}
 	suggs, err := ep.sys.SuggestFromScores(row, k)
@@ -465,6 +572,11 @@ func (s *Server) handleScores(w http.ResponseWriter, r *http.Request, ep *servin
 			return status
 		}
 	}
+	// A propagated deadline that expired while the request was being
+	// decoded aborts before the score matrix is touched.
+	if err := r.Context().Err(); err != nil {
+		return s.writeDeadlineExceeded(w)
+	}
 	rows := make([][]float64, len(req.Patients))
 	for i := range rows {
 		rows[i] = ep.batcher.rowPool.get()
@@ -521,8 +633,11 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, ep *servi
 		if k > s.cfg.MaxK {
 			return badRequest(w, "k %d exceeds maximum %d", k, s.cfg.MaxK)
 		}
-		row, err := ep.batcher.Score(*req.Patient)
+		row, err := ep.batcher.Score(r.Context(), *req.Patient)
 		if err != nil {
+			if isDeadlineErr(err) {
+				return s.writeDeadlineExceeded(w)
+			}
 			return writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
 		}
 		suggs, err := ep.sys.SuggestFromScores(row, k)
@@ -672,6 +787,9 @@ func (s *Server) handlePatientPut(w http.ResponseWriter, r *http.Request, ep *se
 	}
 	created, gen, err := s.patients.put(ep, id, req.Regimen, req.Features)
 	if err != nil {
+		if errors.Is(err, errDurability) {
+			return writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		}
 		return badRequest(w, "invalid profile: %v", err)
 	}
 	status := http.StatusOK
@@ -701,6 +819,9 @@ func (s *Server) handlePatientPatch(w http.ResponseWriter, r *http.Request, ep *
 		return notFound(w, "patient %q is not registered", id)
 	}
 	if err != nil {
+		if errors.Is(err, errDurability) {
+			return writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		}
 		return badRequest(w, "invalid profile: %v", err)
 	}
 	return writeJSON(w, http.StatusOK, PatientResponse{ID: id, Gen: gen, Regimen: merged, Epoch: ep.id})
@@ -725,7 +846,11 @@ func (s *Server) handlePatientDelete(w http.ResponseWriter, r *http.Request, _ *
 	if err := validPatientID(id); err != nil {
 		return badRequest(w, "%v", err)
 	}
-	if !s.patients.delete(id) {
+	found, err := s.patients.delete(id)
+	if err != nil {
+		return writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+	}
+	if !found {
 		return notFound(w, "patient %q is not registered", id)
 	}
 	return writeJSON(w, http.StatusOK, PatientResponse{ID: id, Deleted: true})
@@ -799,9 +924,36 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request, ep *serv
 			Writes:   s.patients.writes.Load(),
 			Reembeds: s.patients.reembeds.Load(),
 		},
+		DeadlineTimeouts: s.deadlineTimeouts.Load(),
 	}
 	if batches > 0 {
 		m.Batching.AvgBatchSize = float64(requests) / float64(batches)
+	}
+	for name, lim := range s.limits {
+		sheds := lim.shedCount()
+		m.Sheds += sheds
+		if em, ok := m.Endpoints[name]; ok {
+			em.Sheds = sheds
+			m.Endpoints[name] = em
+		}
+	}
+	if st := s.patients.store; st != nil {
+		m.WAL = &WALMetrics{
+			Path:               st.log.Path(),
+			SyncPolicy:         s.cfg.WALSync,
+			Records:            st.log.Records(),
+			Bytes:              st.log.Bytes(),
+			Syncs:              st.log.Syncs(),
+			Replayed:           st.log.Replayed(),
+			RecoveredPatients:  st.recovered,
+			TornBytes:          st.log.TornBytes(),
+			Checkpoints:        st.checkpoints.Load(),
+			CheckpointFailures: st.ckptFailures.Load(),
+			PendingRecords:     st.pending.Load(),
+		}
+		if m.WAL.SyncPolicy == "" {
+			m.WAL.SyncPolicy = "interval"
+		}
 	}
 	return writeJSON(w, http.StatusOK, m)
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -231,7 +232,7 @@ func TestBatcherCoalesces(t *testing.T) {
 		wg.Add(1)
 		go func(i, p int) {
 			defer wg.Done()
-			row, err := b.Score(p)
+			row, err := b.Score(context.Background(), p)
 			if err != nil {
 				t.Error(err)
 				return
@@ -479,7 +480,7 @@ func TestZeroBatchWindowNeverWaits(t *testing.T) {
 	defer b.Close()
 	p := sys.Data().TestPatients()[0]
 	start := time.Now()
-	if _, err := b.Score(p); err != nil {
+	if _, err := b.Score(context.Background(), p); err != nil {
 		t.Fatal(err)
 	}
 	// A lone request with no window must not sit in the collector; the
@@ -493,7 +494,7 @@ func TestScoreAfterCloseErrors(t *testing.T) {
 	sys := system(t)
 	b := newBatcher(sys, 4, 0, sys.Data().NumDrugs())
 	b.Close()
-	if _, err := b.Score(0); err == nil {
+	if _, err := b.Score(context.Background(), 0); err == nil {
 		t.Fatal("Score after Close must error, not hang")
 	}
 }
