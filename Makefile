@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench lint fmt serve-smoke cluster-smoke chaos-smoke profile
+.PHONY: all build test bench lint fmt serve-smoke cluster-smoke chaos-smoke obs-smoke profile
 
 all: build lint test
 
@@ -38,6 +38,15 @@ serve-smoke:
 # the CI "cluster" job runs. The >= 2x scaling gate needs >= 3 cores.
 cluster-smoke:
 	./scripts/cluster-smoke.sh
+
+# Observability end to end: 1 router + 2 backends at 100% trace
+# sampling under mixed load, every response echoing X-Request-Id, a
+# known request correlated into both tiers' /debug/tracez with stage
+# spans summing to its latency, and both Prometheus expositions
+# round-tripped through the strict in-repo parser — the same script
+# the CI "obs" job runs.
+obs-smoke:
+	./scripts/obs-smoke.sh
 
 # Durability + overload under fire: WAL-backed backend behind a
 # fault-injecting TCP proxy, kill -9 + crash recovery mid-workload

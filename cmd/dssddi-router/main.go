@@ -35,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"dssddi/internal/obs"
 	"dssddi/internal/router"
 )
 
@@ -51,11 +52,22 @@ func main() {
 		retryBackoff  = flag.Duration("retry-backoff", 25*time.Millisecond, "initial retry backoff, doubling per attempt")
 		timeout       = flag.Duration("timeout", 10*time.Second, "per-attempt backend request timeout")
 		budget        = flag.Duration("budget", 0, "end-to-end request budget across attempts and backoffs; each attempt stamps the remainder onto the backend as X-Deadline-Ms (0 = 2x -timeout)")
+
+		traceSample = flag.Float64("trace-sample", 0, "fraction of routed requests traced into /debug/tracez (0 = off, 1 = all)")
+		traceRing   = flag.Int("trace-ring", obs.DefaultTraceRing, "tracez ring capacity for each of recent/slowest/errored traces")
+		slowMs      = flag.Int("slow-ms", 0, "log a warning for every routed request slower than this many milliseconds (0 = off)")
+		pprof       = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		logFormat   = flag.String("log-format", "off", "structured log output: json, text or off")
+		logLevel    = flag.String("log-level", "info", "structured log level: debug (per-request access logs), info, warn or error")
 	)
 	flag.Parse()
 	log.SetFlags(0)
 	if *backends == "" {
 		log.Fatal("dssddi-router: -backends host:port[,host:port...] is required")
+	}
+	logger, err := obs.NewLogger(*logFormat, *logLevel, os.Stderr)
+	if err != nil {
+		log.Fatalf("dssddi-router: %v", err)
 	}
 	pool := strings.Split(*backends, ",")
 	for i := range pool {
@@ -72,6 +84,10 @@ func main() {
 		RetryBackoff:  *retryBackoff,
 		Timeout:       *timeout,
 		RequestBudget: *budget,
+		TraceSample:   *traceSample,
+		TraceRing:     *traceRing,
+		SlowMs:        *slowMs,
+		Logger:        logger,
 	})
 	if err != nil {
 		log.Fatalf("dssddi-router: %v", err)
@@ -83,15 +99,23 @@ func main() {
 		log.Fatalf("dssddi-router: %v", err)
 	}
 	bound := ln.Addr().String()
-	fmt.Fprintf(os.Stderr, "dssddi-router: %d backends (%s) listening on %s\n",
-		len(pool), strings.Join(pool, ", "), bound)
+	fmt.Fprintf(os.Stderr, "dssddi-router: build %s (%s) %d backends (%s) listening on %s\n",
+		obs.Build().Short(), obs.Build().GoVersion, len(pool), strings.Join(pool, ", "), bound)
+	if logger != nil {
+		logger.Info("boot", "service", "dssddi-router", "build", obs.Build(), "addr", bound)
+	}
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
 			log.Fatalf("dssddi-router: writing -addr-file: %v", err)
 		}
 	}
 
-	httpSrv := &http.Server{Handler: rt.Handler()}
+	handler := rt.Handler()
+	if *pprof {
+		handler = obs.WithPprof(handler)
+		fmt.Fprintln(os.Stderr, "dssddi-router: pprof enabled at /debug/pprof/")
+	}
+	httpSrv := &http.Server{Handler: handler}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)

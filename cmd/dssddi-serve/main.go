@@ -33,6 +33,7 @@ import (
 
 	"dssddi"
 	"dssddi/internal/mat"
+	"dssddi/internal/obs"
 	"dssddi/internal/serve"
 )
 
@@ -55,11 +56,22 @@ func main() {
 		ckptEvery    = flag.Int("checkpoint-every", 1024, "compact the WAL into a checkpoint after this many logged mutations (<= 0 disables)")
 		maxInflight  = flag.Int("max-inflight", 256, "admission control: concurrent requests executing per endpoint (negative = unlimited)")
 		maxQueue     = flag.Int("max-queue", 512, "admission control: requests waiting per endpoint beyond -max-inflight; anything more is shed with a fast 503 (negative = no queue)")
+
+		traceSample = flag.Float64("trace-sample", 0, "fraction of requests traced into /debug/tracez (0 = off, 1 = all)")
+		traceRing   = flag.Int("trace-ring", obs.DefaultTraceRing, "tracez ring capacity for each of recent/slowest/errored traces")
+		slowMs      = flag.Int("slow-ms", 0, "log a warning for every request slower than this many milliseconds (0 = off)")
+		pprof       = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		logFormat   = flag.String("log-format", "off", "structured log output: json, text or off")
+		logLevel    = flag.String("log-level", "info", "structured log level: debug (per-request access logs), info, warn or error")
 	)
 	flag.Parse()
 	log.SetFlags(0)
 	if *model == "" {
 		log.Fatal("dssddi-serve: -m model.snap is required (train one with 'dssddi train -o model.snap')")
+	}
+	logger, err := obs.NewLogger(*logFormat, *logLevel, os.Stderr)
+	if err != nil {
+		log.Fatalf("dssddi-serve: %v", err)
 	}
 	mat.SetWorkers(*workers)
 
@@ -89,6 +101,10 @@ func main() {
 		CheckpointEvery: *ckptEvery,
 		MaxInflight:     *maxInflight,
 		MaxQueue:        *maxQueue,
+		TraceSample:     *traceSample,
+		TraceRing:       *traceRing,
+		SlowMs:          *slowMs,
+		Logger:          logger,
 	})
 	if err != nil {
 		log.Fatalf("dssddi-serve: %v", err)
@@ -104,8 +120,11 @@ func main() {
 		log.Fatalf("dssddi-serve: %v", err)
 	}
 	bound := ln.Addr().String()
-	fmt.Fprintf(os.Stderr, "dssddi-serve: %s model (%d patients, %d drugs, dataset %s) listening on %s\n",
-		info.Backbone, info.Patients, info.Drugs, info.DatasetSHA256[:12], bound)
+	fmt.Fprintf(os.Stderr, "dssddi-serve: build %s (%s) %s model (%d patients, %d drugs, dataset %s) listening on %s\n",
+		obs.Build().Short(), obs.Build().GoVersion, info.Backbone, info.Patients, info.Drugs, info.DatasetSHA256[:12], bound)
+	if logger != nil {
+		logger.Info("boot", "service", "dssddi-serve", "build", obs.Build(), "addr", bound)
+	}
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
 			log.Fatalf("dssddi-serve: writing -addr-file: %v", err)
@@ -155,7 +174,12 @@ func main() {
 		}()
 	}
 
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprof {
+		handler = obs.WithPprof(handler)
+		fmt.Fprintln(os.Stderr, "dssddi-serve: pprof enabled at /debug/pprof/")
+	}
+	httpSrv := &http.Server{Handler: handler}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)

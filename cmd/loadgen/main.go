@@ -53,6 +53,7 @@ import (
 	"time"
 
 	"dssddi/internal/benchfmt"
+	"dssddi/internal/obs"
 )
 
 type suggestRequest struct {
@@ -73,6 +74,7 @@ type patientPutRequest struct {
 // let a zero-non-2xx assertion pass while requests were being dropped
 // on the floor.
 type opStats struct {
+	op        string // operation-class label for request-id reporting
 	mu        sync.Mutex
 	requests  int64
 	errors    int64
@@ -202,6 +204,7 @@ func main() {
 		update    opStats    // mix: registry PUTs
 		verifier  *epochVerifier
 	)
+	suggest.op, inductive.op, update.op = "suggest", "suggest-inductive", "patient-update"
 	if *verifyEpoch {
 		verifier = newEpochVerifier()
 	}
@@ -341,14 +344,20 @@ func main() {
 	// transport×3" names the behavior.
 	breakdown := failureBreakdown(&suggest, &inductive, &update)
 	if *strict && totalErrs > 0 {
+		tracker.dump()
 		log.Fatalf("loadgen: -strict: %d/%d requests failed (%d transport errors, %d non-2xx): %s",
 			totalErrs, totalReqs, totalTransport, totalErrs-totalTransport, breakdown)
 	}
+	if misses := tracker.echoMisses(); *strict && misses > 0 {
+		log.Fatalf("loadgen: -strict: %d responses missing or mismatching the X-Request-Id echo", misses)
+	}
 	if *maxErrRate >= 0 && totalReqs > 0 && float64(totalErrs) > *maxErrRate*float64(totalReqs) {
+		tracker.dump()
 		log.Fatalf("loadgen: -max-error-rate: %d/%d requests failed (%.1f%% > %.1f%% allowed): %s",
 			totalErrs, totalReqs, 100*float64(totalErrs)/float64(totalReqs), 100**maxErrRate, breakdown)
 	}
 	if *maxErrRate < 0 && totalErrs > 0 && totalErrs*10 > totalReqs {
+		tracker.dump()
 		log.Fatalf("loadgen: %d/%d requests failed: %s", totalErrs, totalReqs, breakdown)
 	}
 	if verifier != nil && !verifier.report() {
@@ -418,14 +427,23 @@ func issue(client *http.Client, req *http.Request, stats *opStats) bool {
 
 // issueVerified is issue plus an optional response check: when check
 // is non-nil the body is read in full (instead of discarded) and
-// handed to it along with the response's X-Epoch stamp.
+// handed to it along with the response's X-Epoch stamp. Every request
+// is stamped with a fresh X-Request-Id and the response's echo is
+// verified, so a failed or slow request can be looked up by id in the
+// server's /debug/tracez afterwards.
 func issueVerified(client *http.Client, req *http.Request, stats *opStats, check responseCheck) bool {
+	rid := obs.NewRequestID()
+	req.Header.Set(obs.RequestIDHeader, rid)
 	t0 := time.Now()
 	resp, err := client.Do(req)
 	lat := time.Since(t0).Nanoseconds()
 	if err != nil {
 		stats.observe(lat, 0, true)
+		tracker.noteFailed(stats.op, rid, "transport")
 		return false
+	}
+	if echo := resp.Header.Get(obs.RequestIDHeader); echo != rid {
+		tracker.noteEchoMiss()
 	}
 	ok := resp.StatusCode >= 200 && resp.StatusCode < 300
 	if check != nil && ok {
@@ -435,6 +453,7 @@ func issueVerified(client *http.Client, req *http.Request, stats *opStats, check
 			// The body died mid-read (mid-body drop): a transport error,
 			// even though a status line arrived.
 			stats.observe(lat, 0, true)
+			tracker.noteFailed(stats.op, rid, "transport")
 			return false
 		}
 		check(resp.Header.Get("X-Epoch"), body)
@@ -443,7 +462,84 @@ func issueVerified(client *http.Client, req *http.Request, stats *opStats, check
 		resp.Body.Close()
 	}
 	stats.observe(lat, resp.StatusCode, false)
+	if ok {
+		tracker.noteSlow(stats.op, rid, lat)
+	} else {
+		tracker.noteFailed(stats.op, rid, strconv.Itoa(resp.StatusCode))
+	}
 	return ok
+}
+
+// reqRecord identifies one request for post-hoc trace lookup: its id
+// can be pasted into /debug/tracez?id= on the router or backend.
+type reqRecord struct {
+	op    string
+	id    string
+	latNs int64
+	cause string // failures: status code or "transport"
+}
+
+// idTracker remembers the request ids worth naming when an assertion
+// fails: the slowest successes (sorted descending, bounded) and the
+// first few failures, plus a count of responses whose X-Request-Id
+// echo was missing or wrong.
+type idTracker struct {
+	mu       sync.Mutex
+	slowest  []reqRecord
+	failed   []reqRecord
+	echoMiss int64
+}
+
+const trackerKeep = 5
+
+var tracker idTracker
+
+func (t *idTracker) noteSlow(op, id string, latNs int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.slowest) == trackerKeep && latNs <= t.slowest[len(t.slowest)-1].latNs {
+		return
+	}
+	i := sort.Search(len(t.slowest), func(i int) bool { return t.slowest[i].latNs < latNs })
+	t.slowest = append(t.slowest, reqRecord{})
+	copy(t.slowest[i+1:], t.slowest[i:])
+	t.slowest[i] = reqRecord{op: op, id: id, latNs: latNs}
+	if len(t.slowest) > trackerKeep {
+		t.slowest = t.slowest[:trackerKeep]
+	}
+}
+
+func (t *idTracker) noteFailed(op, id, cause string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.failed) < trackerKeep {
+		t.failed = append(t.failed, reqRecord{op: op, id: id, cause: cause})
+	}
+}
+
+func (t *idTracker) noteEchoMiss() {
+	t.mu.Lock()
+	t.echoMiss++
+	t.mu.Unlock()
+}
+
+func (t *idTracker) echoMisses() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.echoMiss
+}
+
+// dump prints the remembered ids to stderr so a failing run names the
+// traces to pull, instead of just a count.
+func (t *idTracker) dump() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, r := range t.failed {
+		fmt.Fprintf(os.Stderr, "loadgen: failed request  id=%s op=%s cause=%s\n", r.id, r.op, r.cause)
+	}
+	for _, r := range t.slowest {
+		fmt.Fprintf(os.Stderr, "loadgen: slowest request id=%s op=%s lat=%.2fms\n", r.id, r.op, float64(r.latNs)/1e6)
+	}
 }
 
 // responseCheck consumes one verified response's epoch stamp and body.

@@ -1,0 +1,168 @@
+// Command obscheck validates a running dssddi tier's observability
+// surfaces from the outside; the obs-smoke script (and CI) uses it as
+// the assertion half of end-to-end trace correlation.
+//
+// Usage:
+//
+//	obscheck prom http://127.0.0.1:8080/metricsz?format=prometheus [-require name,name...]
+//	obscheck trace http://127.0.0.1:8080/debug/tracez -id <request-id> [-min-ms 5] [-spans score,encode] [-cover 0.5]
+//
+// `prom` fetches one Prometheus text exposition, parses it strictly,
+// verifies every histogram family is internally consistent (cumulative
+// buckets, _count == +Inf bucket) and that each -require'd family is
+// present. `trace` fetches /debug/tracez JSON filtered to one request
+// id and asserts the trace was retained, names every -spans stage, and
+// that the stage spans sum to at least -cover of the measured request
+// latency (and no more than the latency itself, within scheduling
+// slack) — the "spans explain the latency" end-to-end check.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"dssddi/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	if len(os.Args) < 3 {
+		log.Fatal("usage: obscheck prom|trace <url> [flags]")
+	}
+	cmd, url := os.Args[1], os.Args[2]
+	args := os.Args[3:]
+	switch cmd {
+	case "prom":
+		checkProm(url, args)
+	case "trace":
+		checkTrace(url, args)
+	default:
+		log.Fatalf("obscheck: unknown subcommand %q (want prom or trace)", cmd)
+	}
+}
+
+func checkProm(url string, args []string) {
+	fs := flag.NewFlagSet("prom", flag.ExitOnError)
+	require := fs.String("require", "", "comma-separated metric families that must be present")
+	fs.Parse(args)
+
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatalf("obscheck: GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("obscheck: GET %s: status %d", url, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		log.Fatalf("obscheck: GET %s: content-type %q, want text/plain exposition", url, ct)
+	}
+	set, err := obs.ParseProm(resp.Body)
+	if err != nil {
+		log.Fatalf("obscheck: %s: malformed exposition: %v", url, err)
+	}
+	hists, err := set.CheckHistograms()
+	if err != nil {
+		log.Fatalf("obscheck: %s: inconsistent histogram: %v", url, err)
+	}
+	if *require != "" {
+		for _, name := range strings.Split(*require, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := set.Types[name]; !ok {
+				log.Fatalf("obscheck: %s: required metric family %q missing", url, name)
+			}
+		}
+	}
+	fmt.Printf("obscheck: prom OK: %d samples, %d histogram series consistent (%s)\n",
+		len(set.Series), hists, url)
+}
+
+func checkTrace(url string, args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	id := fs.String("id", "", "request id the trace must carry (required)")
+	minMs := fs.Float64("min-ms", 0, "trace duration must be at least this many milliseconds")
+	spans := fs.String("spans", "", "comma-separated span names the trace must contain")
+	cover := fs.Float64("cover", 0.5, "stage spans must sum to at least this fraction of the trace duration")
+	fs.Parse(args)
+	if *id == "" {
+		log.Fatal("obscheck: trace: -id is required")
+	}
+
+	sep := "?"
+	if strings.Contains(url, "?") {
+		sep = "&"
+	}
+	full := url + sep + "format=json&id=" + *id
+	resp, err := http.Get(full)
+	if err != nil {
+		log.Fatalf("obscheck: GET %s: %v", full, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("obscheck: GET %s: status %d", full, resp.StatusCode)
+	}
+	var page obs.TracezPage
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		log.Fatalf("obscheck: %s: bad tracez JSON: %v", full, err)
+	}
+
+	// The id filter leaves only matching traces; one request can sit in
+	// several rings, so take the first hit.
+	views := append(append(append([]obs.TraceView(nil), page.Recent...), page.Slowest...), page.Errored...)
+	if len(views) == 0 {
+		log.Fatalf("obscheck: %s: no retained trace for id %s", full, *id)
+	}
+	v := views[0]
+	if v.ID != *id {
+		log.Fatalf("obscheck: %s: trace id %q, want %q", full, v.ID, *id)
+	}
+	if v.DurMs < *minMs {
+		log.Fatalf("obscheck: trace %s: duration %.3fms < required %.3fms", *id, v.DurMs, *minMs)
+	}
+
+	var sumMs float64
+	have := make(map[string]bool, len(v.Spans))
+	for _, sp := range v.Spans {
+		sumMs += sp.DurMs
+		// Span names may be instance-qualified ("proxy:127.0.0.1:9001");
+		// index by the bare stage name too.
+		have[sp.Name] = true
+		if i := strings.IndexByte(sp.Name, ':'); i > 0 {
+			have[sp.Name[:i]] = true
+		}
+	}
+	if *spans != "" {
+		for _, name := range strings.Split(*spans, ",") {
+			name = strings.TrimSpace(name)
+			if !have[name] {
+				log.Fatalf("obscheck: trace %s: span %q missing (spans: %v)", *id, name, spanNames(v.Spans))
+			}
+		}
+	}
+	if len(v.Spans) > 0 {
+		if sumMs < *cover*v.DurMs {
+			log.Fatalf("obscheck: trace %s: spans sum to %.3fms, less than %.0f%% of the %.3fms request (%v)",
+				*id, sumMs, 100**cover, v.DurMs, spanNames(v.Spans))
+		}
+		// Stages are sequential, so their sum cannot exceed the request
+		// latency by more than scheduling slack.
+		if slack := 1.0 + 0.1*v.DurMs; sumMs > v.DurMs+slack {
+			log.Fatalf("obscheck: trace %s: spans sum to %.3fms, exceeding the %.3fms request", *id, sumMs, v.DurMs)
+		}
+	}
+	fmt.Printf("obscheck: trace OK: id=%s service=%s route=%s %.3fms, %d spans summing %.3fms (%v)\n",
+		*id, page.Service, v.Route, v.DurMs, len(v.Spans), sumMs, spanNames(v.Spans))
+}
+
+func spanNames(spans []obs.Span) []string {
+	names := make([]string, len(spans))
+	for i, sp := range spans {
+		names[i] = sp.Name
+	}
+	return names
+}

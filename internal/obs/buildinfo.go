@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"log/slog"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// commit is stamped at link time:
+//
+//	go build -ldflags "-X dssddi/internal/obs.commit=$(git rev-parse HEAD)"
+//
+// When unset, BuildInfo falls back to the vcs.revision baked into the
+// binary by the Go toolchain (module builds inside a git checkout).
+var commit string
+
+// BuildInfo identifies the running binary: which source produced it
+// and which toolchain built it. It is exposed in /healthz on both
+// tiers, logged at boot, and rendered as a build_info gauge in the
+// Prometheus exposition — so every fleet answer is attributable to a
+// build, not just an epoch.
+type BuildInfo struct {
+	// Commit is the git revision (ldflags-stamped, else the
+	// toolchain's vcs.revision, else "unknown").
+	Commit string `json:"commit"`
+	// Dirty reports uncommitted changes at build time (vcs.modified).
+	Dirty bool `json:"dirty,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Module is the main module path.
+	Module string `json:"module,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// Build returns the binary's build identity, computed once.
+func Build() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo = BuildInfo{Commit: commit, GoVersion: runtime.Version()}
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			buildInfo.Module = bi.Main.Path
+			for _, s := range bi.Settings {
+				switch s.Key {
+				case "vcs.revision":
+					if buildInfo.Commit == "" {
+						buildInfo.Commit = s.Value
+					}
+				case "vcs.modified":
+					buildInfo.Dirty = s.Value == "true"
+				}
+			}
+		}
+		if buildInfo.Commit == "" {
+			buildInfo.Commit = "unknown"
+		}
+	})
+	return buildInfo
+}
+
+// Short renders the abbreviated commit ("3f2a1b0c" or
+// "3f2a1b0c-dirty") for log lines and banners.
+func (b BuildInfo) Short() string {
+	c := b.Commit
+	if len(c) > 8 {
+		c = c[:8]
+	}
+	if b.Dirty {
+		c += "-dirty"
+	}
+	return c
+}
+
+// LogValue renders the build identity as a slog group, so
+// logger.Info("boot", "build", obs.Build()) emits structured fields.
+func (b BuildInfo) LogValue() slog.Value {
+	return slog.GroupValue(
+		slog.String("commit", b.Short()),
+		slog.String("go", b.GoVersion),
+	)
+}

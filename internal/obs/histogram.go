@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// The bucket layout is fixed and shared by every histogram in the
+// binary (and across processes built from the same source), which is
+// what makes fleet aggregation exact: the router can add a backend's
+// bucket counters to its own position by position. Bucket i (for
+// i < NumBuckets-1) has inclusive upper bound bucketBase<<i
+// nanoseconds — 8.192µs, 16.384µs, ... doubling up to ~34.4s — and
+// the last bucket is +Inf. The range brackets everything the system
+// produces, from a ~45µs cached suggest to a multi-second chaos tail.
+const (
+	bucketShift = 13
+	bucketBase  = 1 << bucketShift // 8.192µs in ns
+	// NumBuckets is the fixed bucket count, including the +Inf bucket.
+	NumBuckets = 24
+)
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent
+// use. Observe is two atomic adds and a shift — no locks, no
+// allocation — so it can sit on the request hot path; scrapes read
+// the counters without stopping writers (unlike a ring of samples
+// that must be copied and sorted under a mutex per scrape).
+type Histogram struct {
+	buckets [NumBuckets]atomic.Int64
+	sumNs   atomic.Int64
+}
+
+// bucketFor returns the index of the smallest bucket whose upper
+// bound is >= ns.
+func bucketFor(ns int64) int {
+	if ns <= bucketBase {
+		return 0
+	}
+	idx := bits.Len64(uint64(ns-1) >> bucketShift)
+	if idx >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return idx
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketFor(ns)].Add(1)
+	h.sumNs.Add(ns)
+}
+
+// Snapshot returns a point-in-time copy of the counters. Count is
+// derived from the bucket counters themselves, so the Prometheus
+// invariant _count == cumulative(+Inf) holds exactly even while
+// writers race the read.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		s.Buckets[i] = c
+		s.Count += c
+	}
+	s.SumNs = h.sumNs.Load()
+	return s
+}
+
+// HistogramSnapshot is an immutable copy of a Histogram's counters,
+// the unit of merging and rendering.
+type HistogramSnapshot struct {
+	Buckets [NumBuckets]int64
+	Count   int64
+	SumNs   int64
+}
+
+// Add merges another snapshot into this one. Merging is exact:
+// bucket-wise integer addition, so a fleet histogram summed from N
+// backend snapshots reports precisely the union of their
+// observations.
+func (s *HistogramSnapshot) Add(o HistogramSnapshot) {
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	s.Count += o.Count
+	s.SumNs += o.SumNs
+}
+
+// BucketUpperNs is bucket i's inclusive upper bound in nanoseconds
+// (math.MaxInt64 for the +Inf bucket).
+func BucketUpperNs(i int) int64 {
+	if i >= NumBuckets-1 {
+		return math.MaxInt64
+	}
+	return bucketBase << i
+}
+
+// BucketUpperSeconds is bucket i's upper bound in seconds
+// (math.Inf(1) for the last bucket), the Prometheus `le` value.
+func BucketUpperSeconds(i int) float64 {
+	if i >= NumBuckets-1 {
+		return math.Inf(1)
+	}
+	return float64(int64(bucketBase)<<i) / 1e9
+}
+
+// QuantileNs estimates the q-quantile (q in [0,1]) in nanoseconds by
+// linear interpolation inside the bucket containing the target rank.
+// The +Inf bucket reports its lower bound (the estimate cannot exceed
+// what the layout resolves). An empty snapshot reports 0.
+func (s HistogramSnapshot) QuantileNs(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, c := range s.Buckets {
+		prev := cum
+		cum += c
+		if float64(cum) >= rank && c > 0 {
+			var lo float64
+			if i > 0 {
+				lo = float64(int64(bucketBase) << (i - 1))
+			}
+			if i == NumBuckets-1 {
+				return lo
+			}
+			hi := float64(int64(bucketBase) << i)
+			frac := (rank - float64(prev)) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+	}
+	return float64(BucketUpperNs(NumBuckets - 2))
+}
+
+// QuantileMs is QuantileNs in milliseconds — the unit the JSON
+// metrics report.
+func (s HistogramSnapshot) QuantileMs(q float64) float64 {
+	return s.QuantileNs(q) / 1e6
+}
+
+// MeanMs is the exact mean latency in milliseconds (total observed
+// time over count), 0 when empty.
+func (s HistogramSnapshot) MeanMs() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.SumNs) / float64(s.Count) / 1e6
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+)
+
+// NewLogger builds the process logger from the -log-format and
+// -log-level flag spellings. format is "json" (machine-parsable
+// access/event logs), "text" (slog key=value) or "off"/"" (no
+// logging: returns nil, and all callers treat a nil logger as
+// silence). level is "debug" (per-request access logs), "info",
+// "warn" or "error".
+func NewLogger(format, level string, w io.Writer) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info", "":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "off", "":
+		return nil, nil
+	}
+	return nil, fmt.Errorf("obs: unknown log format %q (want json, text or off)", format)
+}
+
+// WithPprof mounts the net/http/pprof handlers under /debug/pprof/ in
+// front of next. The daemons gate it behind a -pprof flag: profiling
+// endpoints expose goroutine stacks and heap contents, so they are
+// opt-in, never default.
+func WithPprof(next http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", next)
+	return mux
+}

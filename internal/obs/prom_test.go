@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPromRoundTrip writes an exposition with the same writers the
+// daemons use, then parses and validates it with the same parser the
+// smoke test uses — proving the two ends agree on the format.
+func TestPromRoundTrip(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * 100 * time.Microsecond)
+	}
+	var sb strings.Builder
+	PromHeader(&sb, "dssddi_requests_total", "counter", "Requests by endpoint.")
+	PromInt(&sb, "dssddi_requests_total", PromLabel("endpoint", "suggest"), 100)
+	PromInt(&sb, "dssddi_requests_total", PromLabel("endpoint", "scores"), 40)
+	PromHeader(&sb, "dssddi_up", "gauge", "Always 1.")
+	PromSample(&sb, "dssddi_up", "", 1)
+	PromHeader(&sb, "dssddi_request_duration_seconds", "histogram", "Latency by endpoint.")
+	PromHistogram(&sb, "dssddi_request_duration_seconds", PromLabel("endpoint", "suggest"), h.Snapshot())
+
+	set, err := ParseProm(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("own output does not parse: %v\n%s", err, sb.String())
+	}
+	if v, ok := set.Value("dssddi_requests_total", map[string]string{"endpoint": "suggest"}); !ok || v != 100 {
+		t.Fatalf("counter round-trip: got %v, %v", v, ok)
+	}
+	if v, ok := set.Value("dssddi_up", nil); !ok || v != 1 {
+		t.Fatalf("gauge round-trip: got %v, %v", v, ok)
+	}
+	n, err := set.CheckHistograms()
+	if err != nil {
+		t.Fatalf("histogram validation: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("validated %d histogram instances, want 1", n)
+	}
+	if v, ok := set.Value("dssddi_request_duration_seconds_count", nil); !ok || v != 100 {
+		t.Fatalf("_count round-trip: got %v, %v", v, ok)
+	}
+}
+
+// TestPromHistogramMergeEqualsSum is the fleet-aggregation contract:
+// the router's merged exposition must carry bucket counts exactly
+// equal to the sum of what each backend would expose.
+func TestPromHistogramMergeEqualsSum(t *testing.T) {
+	var h1, h2 Histogram
+	for i := 1; i <= 60; i++ {
+		h1.Observe(time.Duration(i) * time.Millisecond)
+	}
+	for i := 1; i <= 40; i++ {
+		h2.Observe(time.Duration(i) * 50 * time.Microsecond)
+	}
+	merged := h1.Snapshot()
+	merged.Add(h2.Snapshot())
+
+	render := func(s HistogramSnapshot) *PromSet {
+		var sb strings.Builder
+		PromHeader(&sb, "lat_seconds", "histogram", "x")
+		PromHistogram(&sb, "lat_seconds", "", s)
+		set, err := ParseProm(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("render: %v", err)
+		}
+		return set
+	}
+	m, a, b := render(merged), render(h1.Snapshot()), render(h2.Snapshot())
+	for i := 0; i < NumBuckets; i++ {
+		le := promValue(BucketUpperSeconds(i))
+		want := map[string]string{"le": le}
+		mv, _ := m.Value("lat_seconds_bucket", want)
+		av, _ := a.Value("lat_seconds_bucket", want)
+		bv, _ := b.Value("lat_seconds_bucket", want)
+		if mv != av+bv {
+			t.Fatalf("bucket le=%s: merged %v != %v + %v", le, mv, av, bv)
+		}
+	}
+	mc, _ := m.Value("lat_seconds_count", nil)
+	if mc != 100 {
+		t.Fatalf("merged count %v, want 100", mc)
+	}
+}
+
+func TestPromEscaping(t *testing.T) {
+	var sb strings.Builder
+	PromHeader(&sb, "m", "gauge", "x")
+	PromSample(&sb, "m", PromLabel("path", `C:\x"y`+"\nz"), 2)
+	set, err := ParseProm(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("escaped label does not parse: %v\n%q", err, sb.String())
+	}
+	if v, ok := set.Value("m", map[string]string{"path": `C:\x"y` + "\nz"}); !ok || v != 2 {
+		t.Fatalf("escape round-trip failed: %v %v in %+v", v, ok, set.Series)
+	}
+}
+
+func TestParsePromRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"no_type_decl 1\n",
+		"# TYPE m counter\nm{x=unquoted} 1\n",
+		"# TYPE m counter\nm{x=\"v\"} notanumber\n",
+		"# TYPE m counter\nm{x=\"unterminated 1\n",
+		"# TYPE m counter\n1leading_digit 1\n",
+	}
+	for _, in := range bad {
+		if _, err := ParseProm(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted malformed input %q", in)
+		}
+	}
+}
+
+func TestCheckHistogramsCatchesBroken(t *testing.T) {
+	in := `# TYPE h histogram
+h_bucket{le="0.1"} 5
+h_bucket{le="+Inf"} 4
+h_sum 1
+h_count 4
+`
+	set, err := ParseProm(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := set.CheckHistograms(); err == nil {
+		t.Fatal("non-cumulative buckets passed validation")
+	}
+	in2 := `# TYPE h histogram
+h_bucket{le="0.1"} 4
+h_bucket{le="+Inf"} 5
+h_sum 1
+h_count 4
+`
+	set2, _ := ParseProm(strings.NewReader(in2))
+	if _, err := set2.CheckHistograms(); err == nil {
+		t.Fatal("+Inf != _count passed validation")
+	}
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	crand "crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+)
+
+// RequestIDHeader carries the request identity across tiers: clients
+// may supply it, the router mints one when absent and propagates it
+// to the backend it proxies to, and every tier echoes it on the
+// response — so one id follows a request from loadgen through the
+// router into the owning backend's tracez ring.
+const RequestIDHeader = "X-Request-Id"
+
+// maxRequestIDLen bounds accepted client-supplied ids so a hostile
+// header cannot bloat logs or trace entries.
+const maxRequestIDLen = 96
+
+// ridPrefix is a per-process random prefix, so ids minted by
+// different processes (router vs backends, restarts) never collide
+// even though the counter restarts at zero.
+var ridPrefix = func() string {
+	var b [6]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// Last-ditch fallback: a fixed prefix still yields unique ids
+		// within the process.
+		return "dssddi"
+	}
+	return hex.EncodeToString(b[:])
+}()
+
+var ridSeq atomic.Uint64
+
+// NewRequestID mints a process-unique request id: a random
+// per-process prefix plus a monotonic counter. Two small allocations,
+// no locks — cheap enough for every request.
+func NewRequestID() string {
+	return ridPrefix + "-" + strconv.FormatUint(ridSeq.Add(1), 36)
+}
+
+// validRequestID accepts ids of reasonable length made of printable
+// ASCII (no spaces, quotes or control bytes — they go into logs and
+// headers verbatim).
+func validRequestID(id string) bool {
+	if id == "" || len(id) > maxRequestIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c <= ' ' || c > '~' || c == '"' {
+			return false
+		}
+	}
+	return true
+}
+
+// EnsureRequestID returns the request's id: the client-supplied
+// X-Request-Id when present and well-formed, otherwise a freshly
+// minted one. It does not modify the header.
+func EnsureRequestID(h http.Header) string {
+	if id := h.Get(RequestIDHeader); validRequestID(id) {
+		return id
+	}
+	return NewRequestID()
+}

@@ -1,0 +1,414 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one named stage of a request, as offsets from the trace
+// start (so a rendered timeline needs no clock arithmetic).
+type Span struct {
+	Name    string  `json:"name"`
+	StartMs float64 `json:"start_ms"`
+	DurMs   float64 `json:"duration_ms"`
+}
+
+// Event is a point annotation on a trace ("retry 1 backend=...").
+type Event struct {
+	AtMs float64 `json:"at_ms"`
+	Msg  string  `json:"msg"`
+}
+
+// Trace is one sampled request's timeline. All methods are no-ops on
+// a nil receiver: un-sampled requests carry a nil *Trace and pay
+// nothing — no allocation, no branch beyond the nil check.
+//
+// A trace is mutated by the request's handler goroutine and, for the
+// batch/score spans, by the batching collector; the mutex makes that
+// safe even when a deadline-abandoned request finishes its trace
+// while the collector is still recording the batch it was part of.
+// After Finish the trace is immutable (late span/event recordings are
+// dropped), so the tracez rings read it without locking per field.
+type Trace struct {
+	mu      sync.Mutex
+	id      string
+	route   string
+	start   time.Time
+	done    bool
+	dur     time.Duration
+	status  int
+	epoch   int64
+	backend string
+	spans   []Span
+	events  []Event
+}
+
+// ID returns the trace's request id.
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Start returns the trace's start time (zero for nil).
+func (t *Trace) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// SpanAt records a named stage spanning [from, to].
+func (t *Trace) SpanAt(name string, from, to time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if !t.done {
+		t.spans = append(t.spans, Span{
+			Name:    name,
+			StartMs: float64(from.Sub(t.start)) / 1e6,
+			DurMs:   float64(to.Sub(from)) / 1e6,
+		})
+	}
+	t.mu.Unlock()
+}
+
+// Span records a named stage from `from` until now.
+func (t *Trace) Span(name string, from time.Time) {
+	if t == nil {
+		return
+	}
+	t.SpanAt(name, from, time.Now())
+}
+
+// Eventf records a point annotation at the current offset.
+func (t *Trace) Eventf(format string, args ...any) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.mu.Lock()
+	if !t.done {
+		t.events = append(t.events, Event{
+			AtMs: float64(now.Sub(t.start)) / 1e6,
+			Msg:  fmt.Sprintf(format, args...),
+		})
+	}
+	t.mu.Unlock()
+}
+
+// SetEpoch tags the trace with the serving epoch that answered it.
+func (t *Trace) SetEpoch(epoch int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.epoch = epoch
+	t.mu.Unlock()
+}
+
+// SetBackend tags the trace with the backend that served it (router
+// side).
+func (t *Trace) SetBackend(name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.backend = name
+	t.mu.Unlock()
+}
+
+// TraceView is the JSON (and rendering) shape of a finished trace.
+type TraceView struct {
+	ID      string    `json:"id"`
+	Route   string    `json:"route"`
+	Start   time.Time `json:"start"`
+	DurMs   float64   `json:"duration_ms"`
+	Status  int       `json:"status"`
+	Epoch   int64     `json:"epoch,omitempty"`
+	Backend string    `json:"backend,omitempty"`
+	Error   bool      `json:"error,omitempty"`
+	Spans   []Span    `json:"spans,omitempty"`
+	Events  []Event   `json:"events,omitempty"`
+}
+
+func (t *Trace) view() TraceView {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TraceView{
+		ID: t.id, Route: t.route, Start: t.start,
+		DurMs: float64(t.dur) / 1e6, Status: t.status,
+		Epoch: t.epoch, Backend: t.backend, Error: t.status >= 400,
+		Spans: append([]Span(nil), t.spans...), Events: append([]Event(nil), t.events...),
+	}
+}
+
+// Tracer samples requests into three bounded rings: the most recent
+// traces, the slowest, and the errored (status >= 400). The rings are
+// fixed-size — a flood of traffic recycles entries, it never grows
+// them — and sampling is decided at Start, so an un-sampled request
+// costs one atomic increment.
+type Tracer struct {
+	every uint64 // 0 = tracing off, 1 = every request, n = every nth
+	size  int
+	seq   atomic.Uint64
+
+	started  atomic.Int64
+	finished atomic.Int64
+
+	mu      sync.Mutex
+	recent  []*Trace // ring: recentPos points at the next slot
+	pos     int
+	slowest []*Trace // kept sorted by duration, descending
+	errored []*Trace // ring
+	errPos  int
+}
+
+// DefaultTraceRing is the per-ring capacity when the caller passes 0.
+const DefaultTraceRing = 64
+
+// NewTracer builds a tracer sampling the given fraction of requests
+// (<= 0 disables tracing entirely, >= 1 traces everything, otherwise
+// every round(1/sample)-th request is traced) with ringSize entries
+// per ring (0 = DefaultTraceRing).
+func NewTracer(sample float64, ringSize int) *Tracer {
+	if ringSize <= 0 {
+		ringSize = DefaultTraceRing
+	}
+	var every uint64
+	switch {
+	case sample <= 0:
+		every = 0
+	case sample >= 1:
+		every = 1
+	default:
+		every = uint64(1/sample + 0.5)
+		if every < 1 {
+			every = 1
+		}
+	}
+	return &Tracer{every: every, size: ringSize}
+}
+
+// Enabled reports whether any request can be sampled.
+func (tc *Tracer) Enabled() bool { return tc != nil && tc.every > 0 }
+
+// Start begins a trace for one request, or returns nil when the
+// request is not sampled (or the tracer is nil/disabled) — the nil
+// trace then makes every downstream recording a no-op.
+func (tc *Tracer) Start(id, route string) *Trace {
+	if tc == nil || tc.every == 0 {
+		return nil
+	}
+	if tc.every > 1 && tc.seq.Add(1)%tc.every != 0 {
+		return nil
+	}
+	tc.started.Add(1)
+	return &Trace{id: id, route: route, start: time.Now()}
+}
+
+// Finish seals the trace with its response status and files it into
+// the rings. Safe on a nil trace.
+func (tc *Tracer) Finish(t *Trace, status int) {
+	if tc == nil || t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.done = true
+	t.dur = time.Since(t.start)
+	t.status = status
+	dur := t.dur
+	t.mu.Unlock()
+	tc.finished.Add(1)
+
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	// Recent: plain ring.
+	if len(tc.recent) < tc.size {
+		tc.recent = append(tc.recent, t)
+	} else {
+		tc.recent[tc.pos] = t
+		tc.pos = (tc.pos + 1) % tc.size
+	}
+	// Slowest: sorted insert, bounded.
+	i := sort.Search(len(tc.slowest), func(i int) bool { return tc.slowest[i].dur < dur })
+	if i < tc.size {
+		if len(tc.slowest) < tc.size {
+			tc.slowest = append(tc.slowest, nil)
+		}
+		copy(tc.slowest[i+1:], tc.slowest[i:])
+		tc.slowest[i] = t
+	}
+	// Errored: ring.
+	if status >= 400 {
+		if len(tc.errored) < tc.size {
+			tc.errored = append(tc.errored, t)
+		} else {
+			tc.errored[tc.errPos] = t
+			tc.errPos = (tc.errPos + 1) % tc.size
+		}
+	}
+}
+
+// TracezPage is the JSON payload of /debug/tracez.
+type TracezPage struct {
+	Service  string      `json:"service"`
+	Sampling string      `json:"sampling"`
+	Started  int64       `json:"traces_started"`
+	Finished int64       `json:"traces_finished"`
+	Recent   []TraceView `json:"recent"`
+	Slowest  []TraceView `json:"slowest"`
+	Errored  []TraceView `json:"errored"`
+}
+
+// snapshot renders the rings, newest first for recent/errored. With a
+// non-empty id filter only matching traces are kept.
+func (tc *Tracer) snapshot(service, id string) TracezPage {
+	page := TracezPage{
+		Service:  service,
+		Started:  tc.started.Load(),
+		Finished: tc.finished.Load(),
+		Recent:   []TraceView{},
+		Slowest:  []TraceView{},
+		Errored:  []TraceView{},
+	}
+	switch {
+	case tc.every == 0:
+		page.Sampling = "off"
+	case tc.every == 1:
+		page.Sampling = "all"
+	default:
+		page.Sampling = fmt.Sprintf("1/%d", tc.every)
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	collect := func(ring []*Trace, pos int, newestFirst bool) []TraceView {
+		out := make([]TraceView, 0, len(ring))
+		for i := range ring {
+			var t *Trace
+			if newestFirst {
+				// Walk backwards from the slot before pos.
+				t = ring[((pos-1-i)%len(ring)+len(ring))%len(ring)]
+			} else {
+				t = ring[i]
+			}
+			if t == nil || (id != "" && t.id != id) {
+				continue
+			}
+			out = append(out, t.view())
+		}
+		return out
+	}
+	if len(tc.recent) > 0 {
+		p := tc.pos
+		if len(tc.recent) < tc.size {
+			p = len(tc.recent)
+		}
+		page.Recent = collect(tc.recent, p, true)
+	}
+	page.Slowest = collect(tc.slowest, 0, false)
+	if len(tc.errored) > 0 {
+		p := tc.errPos
+		if len(tc.errored) < tc.size {
+			p = len(tc.errored)
+		}
+		page.Errored = collect(tc.errored, p, true)
+	}
+	return page
+}
+
+// Find returns every retained trace with the given request id,
+// searching all three rings (duplicates across rings are collapsed).
+func (tc *Tracer) Find(id string) []TraceView {
+	if tc == nil {
+		return nil
+	}
+	page := tc.snapshot("", id)
+	out := page.Recent
+	have := make(map[string]bool, len(out))
+	key := func(v TraceView) string { return fmt.Sprintf("%s|%d|%f", v.ID, v.Start.UnixNano(), v.DurMs) }
+	for _, v := range out {
+		have[key(v)] = true
+	}
+	for _, v := range append(page.Slowest, page.Errored...) {
+		if !have[key(v)] {
+			have[key(v)] = true
+			out = append(out, v)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Handler serves GET /debug/tracez: a text timeline by default, JSON
+// with ?format=json, optionally filtered to one request id with
+// ?id=<request-id>.
+func (tc *Tracer) Handler(service string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if tc == nil {
+			http.Error(w, "tracing not configured", http.StatusNotFound)
+			return
+		}
+		page := tc.snapshot(service, r.URL.Query().Get("id"))
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(page)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "%s /debug/tracez — sampling %s, %d started / %d finished\n",
+			page.Service, page.Sampling, page.Started, page.Finished)
+		section := func(name string, views []TraceView) {
+			fmt.Fprintf(w, "\n== %s (%d)\n", name, len(views))
+			for _, v := range views {
+				flag := ""
+				if v.Error {
+					flag = "  ERROR"
+				}
+				fmt.Fprintf(w, "%s  %-22s %8.3fms  status=%d epoch=%d%s", v.Start.Format("15:04:05.000"), v.Route, v.DurMs, v.Status, v.Epoch, flag)
+				if v.Backend != "" {
+					fmt.Fprintf(w, "  backend=%s", v.Backend)
+				}
+				fmt.Fprintf(w, "  id=%s\n", v.ID)
+				for _, sp := range v.Spans {
+					fmt.Fprintf(w, "    %10.3fms  %-12s %10.3fms\n", sp.StartMs, sp.Name, sp.DurMs)
+				}
+				for _, ev := range v.Events {
+					fmt.Fprintf(w, "    %10.3fms  * %s\n", ev.AtMs, ev.Msg)
+				}
+			}
+		}
+		section("recent", page.Recent)
+		section("slowest", page.Slowest)
+		section("errored", page.Errored)
+	})
+}
+
+// ctxKey is the context key carrying a sampled request's trace.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying tr. Callers should only attach
+// non-nil traces: un-sampled requests keep their original context and
+// allocate nothing.
+func NewContext(ctx context.Context, tr *Trace) context.Context {
+	return context.WithValue(ctx, ctxKey{}, tr)
+}
+
+// FromContext returns the trace attached to ctx, or nil — and a nil
+// trace's methods are all no-ops, so callers never branch.
+func FromContext(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(ctxKey{}).(*Trace)
+	return tr
+}

@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTraceSafe(t *testing.T) {
+	// The unsampled hot path carries a nil *Trace; every method must be
+	// a no-op, never a panic.
+	var tr *Trace
+	if tr.ID() != "" {
+		t.Fatal("nil trace ID should be empty")
+	}
+	start := tr.Start()
+	tr.SpanAt("queue", start, time.Now())
+	tr.Span("score", start)
+	tr.Eventf("retry backend=%s", "b0")
+	tr.SetEpoch(3)
+	tr.SetBackend("b0")
+	ctx := NewContext(context.Background(), tr)
+	if got := FromContext(ctx); got != nil {
+		t.Fatal("nil trace should not be stored in context")
+	}
+}
+
+func TestTracerSampling(t *testing.T) {
+	cases := []struct {
+		sample float64
+		every  uint64
+	}{
+		{0, 0},   // off
+		{1, 1},   // everything
+		{0.5, 2}, // every 2nd
+		{0.01, 100},
+	}
+	for _, c := range cases {
+		tr := NewTracer(c.sample, 8)
+		if tr.every != c.every {
+			t.Errorf("sample %v: every = %d, want %d", c.sample, tr.every, c.every)
+		}
+	}
+	off := NewTracer(0, 8)
+	if off.Enabled() {
+		t.Fatal("sample 0 tracer should be disabled")
+	}
+	for i := 0; i < 10; i++ {
+		if got := off.Start("id", "/v1/suggest"); got != nil {
+			t.Fatal("disabled tracer must return nil traces")
+		}
+	}
+	half := NewTracer(0.5, 8)
+	sampled := 0
+	for i := 0; i < 100; i++ {
+		if tr := half.Start("id", "/v1/suggest"); tr != nil {
+			sampled++
+			half.Finish(tr, 200)
+		}
+	}
+	if sampled != 50 {
+		t.Fatalf("sample 0.5: got %d of 100 sampled, want 50", sampled)
+	}
+}
+
+func TestTracerRingsBoundedUnderFlood(t *testing.T) {
+	const ring = 16
+	tc := NewTracer(1, ring)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr := tc.Start(NewRequestID(), "/v1/suggest")
+				tr.Span("score", tr.Start())
+				status := 200
+				if i%10 == 0 {
+					status = 500
+				}
+				tc.Finish(tr, status)
+			}
+		}(w)
+	}
+	wg.Wait()
+	page := tc.snapshot("test", "")
+	if len(page.Recent) > ring {
+		t.Fatalf("recent ring grew to %d, cap %d", len(page.Recent), ring)
+	}
+	if len(page.Slowest) > ring {
+		t.Fatalf("slowest ring grew to %d, cap %d", len(page.Slowest), ring)
+	}
+	if len(page.Errored) > ring {
+		t.Fatalf("errored ring grew to %d, cap %d", len(page.Errored), ring)
+	}
+	if page.Finished != 8*500 {
+		t.Fatalf("finished = %d, want %d", page.Finished, 8*500)
+	}
+	// Slowest must be sorted descending by duration.
+	for i := 1; i < len(page.Slowest); i++ {
+		if page.Slowest[i].DurMs > page.Slowest[i-1].DurMs {
+			t.Fatal("slowest ring not sorted by duration")
+		}
+	}
+	for _, v := range page.Errored {
+		if v.Status < 400 {
+			t.Fatalf("errored ring holds status %d", v.Status)
+		}
+	}
+}
+
+func TestTraceSpansAndFind(t *testing.T) {
+	tc := NewTracer(1, 8)
+	tr := tc.Start("req-42", "/v1/suggest")
+	if tr == nil {
+		t.Fatal("sample 1 must trace every request")
+	}
+	t0 := tr.Start()
+	tr.SpanAt("queue", t0, t0.Add(2*time.Millisecond))
+	tr.SpanAt("score", t0.Add(2*time.Millisecond), t0.Add(5*time.Millisecond))
+	tr.SetEpoch(7)
+	tr.SetBackend("b1")
+	tr.Eventf("cache miss")
+	tc.Finish(tr, 200)
+
+	views := tc.Find("req-42")
+	if len(views) == 0 {
+		t.Fatal("Find returned nothing for a finished trace")
+	}
+	v := views[0]
+	if v.ID != "req-42" || v.Route != "/v1/suggest" || v.Epoch != 7 || v.Backend != "b1" {
+		t.Fatalf("bad view: %+v", v)
+	}
+	if len(v.Spans) != 2 || v.Spans[0].Name != "queue" || v.Spans[1].Name != "score" {
+		t.Fatalf("bad spans: %+v", v.Spans)
+	}
+	if v.Spans[0].DurMs < 1.9 || v.Spans[0].DurMs > 2.1 {
+		t.Fatalf("queue span duration %v, want ~2ms", v.Spans[0].DurMs)
+	}
+	if len(v.Events) != 1 || v.Events[0].Msg != "cache miss" {
+		t.Fatalf("bad events: %+v", v.Events)
+	}
+
+	// A span recorded after Finish (deadline-abandoned request whose
+	// batch completes late) must be dropped, not mutate the sealed view.
+	tr.Span("late", t0)
+	if got := tc.Find("req-42")[0]; len(got.Spans) != 2 {
+		t.Fatalf("late span leaked into sealed trace: %+v", got.Spans)
+	}
+	if tc.Find("no-such-id") != nil {
+		t.Fatal("Find of unknown id should return nil")
+	}
+}
+
+func TestTracezHandler(t *testing.T) {
+	tc := NewTracer(1, 8)
+	tr := tc.Start("req-h", "/v1/scores")
+	tr.Span("encode", tr.Start())
+	tc.Finish(tr, 200)
+
+	h := tc.Handler("serve-test")
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/tracez", nil))
+	if rec.Code != 200 {
+		t.Fatalf("text status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "req-h") || !strings.Contains(body, "/v1/scores") {
+		t.Fatalf("text page missing trace: %q", body)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/tracez?format=json", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("json content-type %q", ct)
+	}
+	var page TracezPage
+	if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+		t.Fatalf("json page: %v", err)
+	}
+	if page.Service != "serve-test" || len(page.Recent) != 1 {
+		t.Fatalf("bad json page: %+v", page)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/tracez?format=json&id=req-h", nil))
+	var filtered TracezPage
+	if err := json.Unmarshal(rec.Body.Bytes(), &filtered); err != nil {
+		t.Fatalf("filtered page: %v", err)
+	}
+	if len(filtered.Recent) != 1 || filtered.Recent[0].ID != "req-h" {
+		t.Fatalf("id filter failed: %+v", filtered)
+	}
+}
+
+func TestRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if a == b {
+		t.Fatal("ids must be unique")
+	}
+	if !validRequestID(a) {
+		t.Fatalf("minted id %q fails own validation", a)
+	}
+	for _, bad := range []string{"", "has space", "quote\"", string(make([]byte, 97)), "ctl\x01"} {
+		if validRequestID(bad) {
+			t.Errorf("validRequestID(%q) = true", bad)
+		}
+	}
+	h := httptest.NewRequest("GET", "/", nil).Header
+	h.Set(RequestIDHeader, "client-supplied-1")
+	if got := EnsureRequestID(h); got != "client-supplied-1" {
+		t.Fatalf("valid client id replaced: %q", got)
+	}
+	h.Set(RequestIDHeader, "bad id with spaces")
+	if got := EnsureRequestID(h); got == "bad id with spaces" || got == "" {
+		t.Fatalf("invalid client id kept: %q", got)
+	}
+}
+
+func TestBuildInfo(t *testing.T) {
+	b := Build()
+	if b.Commit == "" {
+		t.Fatal("commit must never be empty (falls back to \"unknown\")")
+	}
+	if b.GoVersion == "" {
+		t.Fatal("go version missing")
+	}
+	if s := b.Short(); s == "" || len(s) > 8+len("-dirty") {
+		t.Fatalf("short form %q", s)
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	var sb strings.Builder
+	lg, err := NewLogger("json", "info", &sb)
+	if err != nil || lg == nil {
+		t.Fatalf("json logger: %v", err)
+	}
+	lg.Info("boot", "build", Build())
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &rec); err != nil {
+		t.Fatalf("log line not json: %v (%q)", err, sb.String())
+	}
+	if rec["msg"] != "boot" {
+		t.Fatalf("bad log record: %v", rec)
+	}
+	if lg, err := NewLogger("off", "info", &sb); err != nil || lg != nil {
+		t.Fatalf("off must yield nil logger, got %v, %v", lg, err)
+	}
+	if _, err := NewLogger("xml", "info", &sb); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if _, err := NewLogger("json", "loud", &sb); err == nil {
+		t.Fatal("unknown level accepted")
+	}
+}

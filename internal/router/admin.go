@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"time"
+
+	"dssddi/internal/obs"
 )
 
 // ReloadRequest is the router's /v1/admin/reload body. Path names a
@@ -115,7 +117,7 @@ func (rt *Router) rolloutOne(b *backend, path string, canary bool, fleetModel *j
 	body, _ := json.Marshal(ReloadRequest{Path: path})
 	resp, err := b.client.Post(b.base+"/v1/admin/reload", "application/json", bytes.NewReader(body))
 	if err != nil {
-		b.health.OnFailure(time.Now())
+		rt.noteFailure(b, "reload", err)
 		step.Error = fmt.Sprintf("reload request: %v", err)
 		return step
 	}
@@ -162,7 +164,7 @@ func (rt *Router) rolloutOne(b *backend, path string, canary bool, fleetModel *j
 	req.Header.Set("Cache-Control", "no-cache")
 	smoke, err := b.client.Do(req)
 	if err != nil {
-		b.health.OnFailure(time.Now())
+		rt.noteFailure(b, "rollout smoke", err)
 		step.Error = fmt.Sprintf("smoke suggest: %v", err)
 		return step
 	}
@@ -186,7 +188,7 @@ func (rt *Router) rolloutOne(b *backend, path string, canary bool, fleetModel *j
 func (rt *Router) backendEpoch(b *backend) (int64, error) {
 	resp, err := b.client.Get(b.base + "/healthz")
 	if err != nil {
-		b.health.OnFailure(time.Now())
+		rt.noteFailure(b, "healthz", err)
 		return 0, err
 	}
 	defer resp.Body.Close()
@@ -228,10 +230,11 @@ type HealthResponse struct {
 	Total         int             `json:"total_backends"`
 	Backends      []BackendHealth `json:"backends"`
 	Model         json.RawMessage `json:"model,omitempty"`
+	Build         obs.BuildInfo   `json:"build"`
 }
 
 func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	resp := HealthResponse{Total: len(rt.order), UptimeSeconds: time.Since(rt.start).Seconds()}
+	resp := HealthResponse{Total: len(rt.order), UptimeSeconds: time.Since(rt.start).Seconds(), Build: obs.Build()}
 	var firstHealthy *backend
 	for _, name := range rt.order {
 		b := rt.backends[name]
@@ -322,7 +325,11 @@ type Metrics struct {
 	Backends          map[string]BackendMetrics `json:"backends"`
 }
 
-func (rt *Router) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
+func (rt *Router) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		rt.writePromMetrics(w)
+		return
+	}
 	shares := rt.ring.Shares()
 	total := rt.requests.Load()
 	m := Metrics{
@@ -349,7 +356,8 @@ func (rt *Router) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
 			RoutedKeys: b.routedKeys.Load(),
 			RingShare:  shares[name],
 		}
-		bm.P50Ms, bm.P90Ms, bm.P99Ms = b.lat.quantiles()
+		lat := b.lat.Snapshot()
+		bm.P50Ms, bm.P90Ms, bm.P99Ms = lat.QuantileMs(0.50), lat.QuantileMs(0.90), lat.QuantileMs(0.99)
 		if total > 0 {
 			bm.KeyShare = float64(bm.RoutedKeys) / float64(total)
 		}

@@ -2,10 +2,11 @@ package router
 
 import (
 	"net/http"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dssddi/internal/obs"
 )
 
 // healthState is one backend's position in the ejection/recovery
@@ -145,41 +146,6 @@ func (m *healthMachine) snapshot() (state healthState, fails int, ejections int6
 	return m.state, m.fails, m.ejections
 }
 
-// latRing keeps a window of recent latency samples for quantile
-// estimates (same scheme as internal/serve's endpoint metrics).
-const latWindow = 2048
-
-type latRing struct {
-	mu   sync.Mutex
-	ring [latWindow]int64
-	len  int
-	pos  int
-}
-
-func (l *latRing) observe(ns int64) {
-	l.mu.Lock()
-	l.ring[l.pos] = ns
-	l.pos = (l.pos + 1) % latWindow
-	if l.len < latWindow {
-		l.len++
-	}
-	l.mu.Unlock()
-}
-
-func (l *latRing) quantiles() (p50, p90, p99 float64) {
-	l.mu.Lock()
-	n := l.len
-	samples := make([]int64, n)
-	copy(samples, l.ring[:n])
-	l.mu.Unlock()
-	if n == 0 {
-		return 0, 0, 0
-	}
-	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-	at := func(q float64) float64 { return float64(samples[int(q*float64(n-1))]) / 1e6 }
-	return at(0.50), at(0.90), at(0.99)
-}
-
 // backend is one pool member: its HTTP client (own transport, so
 // connection reuse is per-backend and one slow backend cannot starve
 // another's idle pool), health machine and counters.
@@ -197,7 +163,11 @@ type backend struct {
 	errors     atomic.Int64 // transport failures of proxied attempts
 	retries    atomic.Int64 // attempts that were retries of a failed one
 	routedKeys atomic.Int64 // requests whose key this backend owned
-	lat        latRing
+	// lat is the per-backend attempt latency distribution. Fixed
+	// buckets shared with the serve tier, so the router's fleet view
+	// can sum the per-backend histograms bucket-wise into an exact
+	// aggregate (no lock, no sort — two atomic adds per attempt).
+	lat obs.Histogram
 }
 
 func newBackend(name string, cfg Config) *backend {

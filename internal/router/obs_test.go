@@ -1,0 +1,250 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dssddi"
+	"dssddi/internal/obs"
+	"dssddi/internal/serve"
+)
+
+// bootTracedFleet is bootFleet with tracing sampled at 100% on the
+// router and every backend, so trace-correlation tests can look up any
+// request id on both tiers.
+func bootTracedFleet(t *testing.T, n int, snapPath string, cfg Config) *fleet {
+	t.Helper()
+	sys, _ := systems(t)
+	f := &fleet{}
+	for i := 0; i < n; i++ {
+		backendSys := sys
+		if snapPath != "" {
+			fh, err := os.Open(snapPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			backendSys, err = dssddi.Load(fh)
+			fh.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		s, err := serve.New(backendSys, serve.Config{SnapshotPath: snapPath, TraceSample: 1, TraceRing: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		f.backends = append(f.backends, s)
+		f.tss = append(f.tss, ts)
+		f.names = append(f.names, strings.TrimPrefix(ts.URL, "http://"))
+	}
+	cfg.Backends = f.names
+	cfg.TraceSample = 1
+	cfg.TraceRing = 512
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.router = rt
+	f.rts = httptest.NewServer(rt.Handler())
+	t.Cleanup(func() {
+		f.rts.Close()
+		rt.Close()
+		for i := range f.tss {
+			f.tss[i].Close()
+			f.backends[i].Close()
+		}
+	})
+	return f
+}
+
+// TestTraceIDPropagationUnderReload hammers the router with
+// id-stamped requests while a coordinated rolling reload swaps the
+// fleet's model, asserting every response echoes the exact id the
+// client sent — across retries, failovers and epoch transitions — and
+// that a request id can afterwards be correlated into a retained
+// trace on the router AND on exactly the backend that served it.
+func TestTraceIDPropagationUnderReload(t *testing.T) {
+	a, b := systems(t)
+	dir := t.TempDir()
+	pathA := saveSnapshot(t, a, dir, "a.snap")
+	pathB := saveSnapshot(t, b, dir, "b.snap")
+	f := bootTracedFleet(t, 3, pathA, fastConfig())
+
+	const workers = 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errc := make(chan error, workers)
+	for c := 0; c < workers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 10 * time.Second}
+			for it := 0; ; it++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rid := fmt.Sprintf("hammer-%d-%d", c, it)
+				buf, _ := json.Marshal(map[string]any{"patient": (c*7 + it) % 40, "k": 2})
+				req, err := http.NewRequest(http.MethodPost, f.rts.URL+"/v1/suggest", bytes.NewReader(buf))
+				if err != nil {
+					errc <- err
+					return
+				}
+				req.Header.Set("Content-Type", "application/json")
+				req.Header.Set(obs.RequestIDHeader, rid)
+				resp, err := client.Do(req)
+				if err != nil {
+					errc <- fmt.Errorf("worker %d: transport error: %v", c, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("worker %d: status %d", c, resp.StatusCode)
+					return
+				}
+				if got := resp.Header.Get(obs.RequestIDHeader); got != rid {
+					errc <- fmt.Errorf("worker %d: request id %q came back as %q", c, rid, got)
+					return
+				}
+			}
+		}(c)
+	}
+
+	time.Sleep(100 * time.Millisecond)
+	resp, body := postJSON(t, f.rts.URL+"/v1/admin/reload", ReloadRequest{Path: pathB})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mid-load rollout: status %d: %s", resp.StatusCode, body)
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	// Quiesced: send one last tagged request and correlate it end to
+	// end — router trace names the backend, that backend retains a
+	// trace with the same id, and no other backend does.
+	rid := obs.NewRequestID()
+	buf, _ := json.Marshal(map[string]any{"patient": 3, "k": 2})
+	req, err := http.NewRequest(http.MethodPost, f.rts.URL+"/v1/suggest", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.RequestIDHeader, rid)
+	r2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r2.Body)
+	r2.Body.Close()
+	served := r2.Header.Get("X-Backend")
+	if served == "" {
+		t.Fatal("response missing X-Backend")
+	}
+
+	routerTraces := f.router.Tracer().Find(rid)
+	if len(routerTraces) == 0 {
+		t.Fatalf("router retained no trace for %s", rid)
+	}
+	if got := routerTraces[0].Backend; got != served {
+		t.Fatalf("router trace names backend %q, X-Backend says %q", got, served)
+	}
+	holders := 0
+	for i, s := range f.backends {
+		views := s.Tracer().Find(rid)
+		if f.names[i] == served {
+			if len(views) == 0 {
+				t.Fatalf("serving backend %s retained no trace for %s", served, rid)
+			}
+			holders++
+			continue
+		}
+		if len(views) != 0 {
+			t.Fatalf("backend %s retained a trace for %s it never served", f.names[i], rid)
+		}
+	}
+	if holders != 1 {
+		t.Fatalf("id %s held by %d backends, want 1", rid, holders)
+	}
+}
+
+// TestRouterFleetHistogramMergeEqualsSum drives traffic through the
+// fleet, then scrapes the router's Prometheus exposition and asserts
+// the fleet-merged latency histogram is the exact bucket-wise (and
+// count-wise) sum of the per-backend histograms — the property that
+// makes fleet aggregation lossless rather than an estimate.
+func TestRouterFleetHistogramMergeEqualsSum(t *testing.T) {
+	f := bootFleet(t, 3, "", fastConfig())
+	for i := 0; i < 60; i++ {
+		resp, body := postJSON(t, f.rts.URL+"/v1/suggest", map[string]any{"patient": i % 40, "k": 2})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("suggest %d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+
+	resp, err := http.Get(f.rts.URL + "/metricsz?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	set, err := obs.ParseProm(resp.Body)
+	if err != nil {
+		t.Fatalf("router exposition failed to parse: %v", err)
+	}
+	if _, err := set.CheckHistograms(); err != nil {
+		t.Fatalf("router exposition histograms inconsistent: %v", err)
+	}
+
+	fleetCount, ok := set.Value("dssddi_router_fleet_duration_seconds_count", nil)
+	if !ok {
+		t.Fatal("fleet histogram count missing")
+	}
+	var backendSum float64
+	for _, name := range f.names {
+		c, ok := set.Value("dssddi_router_backend_duration_seconds_count", map[string]string{"backend": name})
+		if !ok {
+			t.Fatalf("backend %s histogram count missing", name)
+		}
+		backendSum += c
+	}
+	if fleetCount != backendSum || fleetCount < 60 {
+		t.Fatalf("fleet count %v != sum of backend counts %v (or < 60 requests)", fleetCount, backendSum)
+	}
+
+	// Per-bucket equality, not just totals: for every le the fleet
+	// bucket must equal the sum across backends.
+	buckets := make(map[string]float64) // le -> summed backend value
+	fleetBuckets := make(map[string]float64)
+	for _, s := range set.Series {
+		switch s.Name {
+		case "dssddi_router_backend_duration_seconds_bucket":
+			buckets[s.Labels["le"]] += s.Value
+		case "dssddi_router_fleet_duration_seconds_bucket":
+			fleetBuckets[s.Labels["le"]] = s.Value
+		}
+	}
+	if len(fleetBuckets) == 0 {
+		t.Fatal("no fleet histogram buckets in exposition")
+	}
+	for le, want := range buckets {
+		if got := fleetBuckets[le]; got != want {
+			t.Fatalf("fleet bucket le=%s = %v, sum of backends = %v", le, got, want)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package router
+
+import (
+	"bytes"
+	"net/http"
+	"time"
+
+	"dssddi/internal/obs"
+)
+
+// writePromMetrics renders /metricsz?format=prometheus for the
+// router: its own counters, per-backend attempt histograms, and a
+// fleet-aggregated latency histogram whose buckets are the exact
+// bucket-wise sum of the per-backend ones — the fixed shared bucket
+// layout makes the merge integer addition, not estimation, so the
+// fleet _count always equals the sum of the backend _counts.
+func (rt *Router) writePromMetrics(w http.ResponseWriter) {
+	var buf bytes.Buffer
+
+	b := obs.Build()
+	obs.PromHeader(&buf, "dssddi_router_build_info", "gauge", "Build identity of the running binary (value is always 1).")
+	obs.PromSample(&buf, "dssddi_router_build_info",
+		obs.PromLabel("commit", b.Short())+","+obs.PromLabel("go", b.GoVersion), 1)
+
+	obs.PromHeader(&buf, "dssddi_router_uptime_seconds", "gauge", "Seconds since the router booted.")
+	obs.PromSample(&buf, "dssddi_router_uptime_seconds", "", time.Since(rt.start).Seconds())
+	obs.PromHeader(&buf, "dssddi_router_requests_total", "counter", "Routed requests.")
+	obs.PromInt(&buf, "dssddi_router_requests_total", "", rt.requests.Load())
+	obs.PromHeader(&buf, "dssddi_router_proxy_errors_total", "counter", "Requests answered 502/503/504 by the router itself.")
+	obs.PromInt(&buf, "dssddi_router_proxy_errors_total", "", rt.proxyErrors.Load())
+	obs.PromHeader(&buf, "dssddi_router_retries_total", "counter", "Proxy attempts that were retries of a failed one.")
+	obs.PromInt(&buf, "dssddi_router_retries_total", "", rt.retriesTotal.Load())
+	obs.PromHeader(&buf, "dssddi_router_pinned_unavailable_total", "counter", "Pinned-key 503s: the owning shard was out of rotation.")
+	obs.PromInt(&buf, "dssddi_router_pinned_unavailable_total", "", rt.pinnedUnavailable.Load())
+	obs.PromHeader(&buf, "dssddi_router_deadline_exhausted_total", "counter", "504s: the request budget ran out before any backend answered.")
+	obs.PromInt(&buf, "dssddi_router_deadline_exhausted_total", "", rt.deadlineExhausted.Load())
+	obs.PromHeader(&buf, "dssddi_router_rollouts_total", "counter", "Fleet rollouts attempted.")
+	obs.PromInt(&buf, "dssddi_router_rollouts_total", "", rt.rollouts.Load())
+	obs.PromHeader(&buf, "dssddi_router_rollout_failures_total", "counter", "Fleet rollouts aborted.")
+	obs.PromInt(&buf, "dssddi_router_rollout_failures_total", "", rt.rolloutFailures.Load())
+
+	obs.PromHeader(&buf, "dssddi_router_backend_up", "gauge", "1 when the backend is in rotation.")
+	for _, name := range rt.order {
+		up := int64(0)
+		if rt.backends[name].health.Healthy() {
+			up = 1
+		}
+		obs.PromInt(&buf, "dssddi_router_backend_up", obs.PromLabel("backend", name), up)
+	}
+	obs.PromHeader(&buf, "dssddi_router_backend_epoch", "gauge", "Serving epoch last reported by the backend.")
+	for _, name := range rt.order {
+		obs.PromInt(&buf, "dssddi_router_backend_epoch", obs.PromLabel("backend", name), rt.backends[name].epoch.Load())
+	}
+	obs.PromHeader(&buf, "dssddi_router_backend_requests_total", "counter", "Proxy attempts sent to the backend.")
+	for _, name := range rt.order {
+		obs.PromInt(&buf, "dssddi_router_backend_requests_total", obs.PromLabel("backend", name), rt.backends[name].requests.Load())
+	}
+	obs.PromHeader(&buf, "dssddi_router_backend_transport_errors_total", "counter", "Transport failures of proxy attempts.")
+	for _, name := range rt.order {
+		obs.PromInt(&buf, "dssddi_router_backend_transport_errors_total", obs.PromLabel("backend", name), rt.backends[name].errors.Load())
+	}
+	obs.PromHeader(&buf, "dssddi_router_backend_ejections_total", "counter", "Times the backend was ejected from rotation.")
+	for _, name := range rt.order {
+		_, _, ejections := rt.backends[name].health.snapshot()
+		obs.PromInt(&buf, "dssddi_router_backend_ejections_total", obs.PromLabel("backend", name), ejections)
+	}
+
+	var fleet obs.HistogramSnapshot
+	obs.PromHeader(&buf, "dssddi_router_backend_duration_seconds", "histogram", "Proxy attempt latency by backend.")
+	for _, name := range rt.order {
+		snap := rt.backends[name].lat.Snapshot()
+		fleet.Add(snap)
+		obs.PromHistogram(&buf, "dssddi_router_backend_duration_seconds", obs.PromLabel("backend", name), snap)
+	}
+	obs.PromHeader(&buf, "dssddi_router_fleet_duration_seconds", "histogram", "Proxy attempt latency across the whole fleet (exact bucket-wise sum of the per-backend histograms).")
+	obs.PromHistogram(&buf, "dssddi_router_fleet_duration_seconds", "", fleet)
+
+	w.Header().Set("Content-Type", obs.PromContentType)
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -13,6 +14,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dssddi/internal/obs"
 )
 
 // Config tunes the router. Backends is required; everything else has
@@ -55,6 +58,21 @@ type Config struct {
 	// MaxBodyBytes bounds buffered request bodies (default 1<<20,
 	// matching the backends' own request cap).
 	MaxBodyBytes int64
+
+	// TraceSample is the fraction of routed requests recorded into the
+	// /debug/tracez rings (0 = off). A sampled request's trace carries
+	// one span per proxy attempt, annotated with the backend tried and
+	// every retry/failover/ejection event along the way.
+	TraceSample float64
+	// TraceRing is the capacity of each tracez ring (default
+	// obs.DefaultTraceRing).
+	TraceRing int
+	// SlowMs, when positive, logs a warning for every routed request
+	// slower than this many milliseconds (requires Logger).
+	SlowMs int
+	// Logger, when non-nil, receives structured access and fleet event
+	// logs (ejections, recoveries, rollouts).
+	Logger *slog.Logger
 }
 
 func (c *Config) fill() error {
@@ -114,6 +132,8 @@ type Router struct {
 	backends map[string]*backend
 	order    []string // sorted names: deterministic rollout order
 	start    time.Time
+	tracer   *obs.Tracer
+	logger   *slog.Logger
 
 	requests          atomic.Int64
 	proxyErrors       atomic.Int64 // requests answered 502/503/504 by the router itself
@@ -140,6 +160,8 @@ func New(cfg Config) (*Router, error) {
 		ring:      NewRing(cfg.Replicas),
 		backends:  make(map[string]*backend, len(cfg.Backends)),
 		start:     time.Now(),
+		tracer:    obs.NewTracer(cfg.TraceSample, cfg.TraceRing),
+		logger:    cfg.Logger,
 		stopProbe: make(chan struct{}),
 	}
 	for _, name := range cfg.Backends {
@@ -188,7 +210,7 @@ func (rt *Router) probeLoop() {
 func (rt *Router) probe(b *backend) {
 	resp, err := b.client.Get(b.base + "/healthz")
 	if err != nil {
-		b.health.OnFailure(time.Now())
+		rt.noteFailure(b, "probe", err)
 		return
 	}
 	var health struct {
@@ -198,11 +220,27 @@ func (rt *Router) probe(b *backend) {
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK || decErr != nil {
-		b.health.OnFailure(time.Now())
+		rt.noteFailure(b, "probe", fmt.Errorf("healthz status %d (decode: %v)", resp.StatusCode, decErr))
 		return
 	}
 	b.epoch.Store(health.Epoch)
-	b.health.OnSuccess()
+	rt.noteSuccess(b)
+}
+
+// noteFailure feeds one transport failure into the backend's health
+// machine and logs the ejection when this failure caused one.
+func (rt *Router) noteFailure(b *backend, cause string, err error) {
+	if b.health.OnFailure(time.Now()) && rt.logger != nil {
+		rt.logger.Warn("backend ejected", "backend", b.name, "cause", cause, "error", err)
+	}
+}
+
+// noteSuccess feeds one success into the health machine and logs a
+// half-open recovery when this success completed one.
+func (rt *Router) noteSuccess(b *backend) {
+	if b.health.OnSuccess() && rt.logger != nil {
+		rt.logger.Info("backend recovered", "backend", b.name)
+	}
 }
 
 // Handler returns the routed HTTP handler.
@@ -216,7 +254,74 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/admin/reload", rt.handleReload)
 	mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	mux.HandleFunc("GET /metricsz", rt.handleMetricsz)
-	return mux
+	mux.Handle("/debug/tracez", rt.tracer.Handler("dssddi-router"))
+	return rt.observe(mux)
+}
+
+// Tracer exposes the router's trace rings to tests.
+func (rt *Router) Tracer() *obs.Tracer { return rt.tracer }
+
+// statusWriter captures the response status for the access log and
+// trace without buffering the body.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// observe is the router's request middleware: it settles the request
+// identity (accepting a well-formed client X-Request-Id, minting one
+// otherwise) before any routing happens, so the same id is echoed on
+// the response, forwarded to whichever backend ends up serving the
+// request, and used for both tiers' tracez entries. Sampled requests
+// additionally carry a trace that forward annotates with per-attempt
+// spans.
+func (rt *Router) observe(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		rid := obs.EnsureRequestID(r.Header)
+		r.Header.Set(obs.RequestIDHeader, rid) // canonical form; forwarded to the backend
+		w.Header().Set(obs.RequestIDHeader, rid)
+		tr := rt.tracer.Start(rid, r.URL.Path)
+		if tr != nil {
+			r = r.WithContext(obs.NewContext(r.Context(), tr))
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		dur := time.Since(t0)
+		rt.tracer.Finish(tr, status)
+		if rt.logger == nil {
+			return
+		}
+		if rt.cfg.SlowMs > 0 && dur >= time.Duration(rt.cfg.SlowMs)*time.Millisecond {
+			rt.logger.Warn("slow request",
+				"id", rid, "method", r.Method, "path", r.URL.Path,
+				"status", status, "backend", sw.Header().Get("X-Backend"),
+				"ms", float64(dur)/1e6, "slow_ms", rt.cfg.SlowMs)
+			return
+		}
+		if rt.logger.Enabled(r.Context(), slog.LevelDebug) {
+			rt.logger.Debug("request",
+				"id", rid, "method", r.Method, "path", r.URL.Path,
+				"status", status, "backend", sw.Header().Get("X-Backend"),
+				"ms", float64(dur)/1e6)
+		}
+	})
 }
 
 type apiError struct {
@@ -378,6 +483,7 @@ const deadlineHeader = "X-Deadline-Ms"
 // is bounded by the request budget.
 func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, key string, idempotent, pinned bool) {
 	rt.requests.Add(1)
+	tr := obs.FromContext(r.Context())
 	candidates := rt.ring.Successors(key, rt.ring.Len())
 	if len(candidates) == 0 {
 		rt.proxyErrors.Add(1)
@@ -439,6 +545,7 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, k
 			if backoff >= remaining {
 				break // the budget would be spent sleeping
 			}
+			tr.Eventf("retry %d: backoff %s then backend %s", attempt, backoff, b.name)
 			time.Sleep(backoff)
 			backoff *= 2
 			b.retries.Add(1)
@@ -447,7 +554,7 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, k
 				break
 			}
 		}
-		if rt.proxyOnce(w, r, b, body, remaining) {
+		if rt.proxyOnce(w, r, tr, b, body, remaining) {
 			return
 		}
 		lastErr = fmt.Errorf("backend %s unreachable", b.name)
@@ -494,7 +601,7 @@ func retryAfterSeconds(d time.Duration) string {
 // relayed as-is. remaining is the request budget left: it caps the
 // attempt timeout and is stamped onto the backend as X-Deadline-Ms so
 // the backend stops working the moment this attempt's clock runs out.
-func (rt *Router) proxyOnce(w http.ResponseWriter, r *http.Request, b *backend, body []byte, remaining time.Duration) bool {
+func (rt *Router) proxyOnce(w http.ResponseWriter, r *http.Request, tr *obs.Trace, b *backend, body []byte, remaining time.Duration) bool {
 	b.requests.Add(1)
 	url := b.base + r.URL.Path
 	if r.URL.RawQuery != "" {
@@ -520,14 +627,19 @@ func (rt *Router) proxyOnce(w http.ResponseWriter, r *http.Request, b *backend, 
 	t0 := time.Now()
 	resp, err := b.client.Do(req)
 	lat := time.Since(t0)
+	if tr != nil {
+		tr.SpanAt("proxy:"+b.name, t0, t0.Add(lat))
+	}
 	if err != nil {
 		b.errors.Add(1)
-		b.health.OnFailure(time.Now())
+		tr.Eventf("backend %s failed: %v", b.name, err)
+		rt.noteFailure(b, "proxy", err)
 		return false
 	}
 	defer resp.Body.Close()
-	b.lat.observe(lat.Nanoseconds())
-	b.health.OnSuccess()
+	b.lat.Observe(lat)
+	rt.noteSuccess(b)
+	tr.SetBackend(b.name)
 
 	h := w.Header()
 	for k, vs := range resp.Header {
@@ -543,9 +655,11 @@ func (rt *Router) proxyOnce(w http.ResponseWriter, r *http.Request, b *backend, 
 }
 
 // copyProxyHeaders forwards the request headers the backends care
-// about (content negotiation and the Cache-Control bypass hook).
+// about: content negotiation, the Cache-Control bypass hook, and the
+// request identity (observe settled X-Request-Id before routing, so
+// the backend's trace carries the same id as the router's).
 func copyProxyHeaders(dst, src http.Header) {
-	for _, k := range []string{"Content-Type", "Accept", "Cache-Control", "Accept-Encoding"} {
+	for _, k := range []string{"Content-Type", "Accept", "Cache-Control", "Accept-Encoding", obs.RequestIDHeader} {
 		if v := src.Values(k); len(v) > 0 {
 			dst[k] = v
 		}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dssddi"
+	"dssddi/internal/obs"
 )
 
 // batcher coalesces concurrent per-patient score requests into one
@@ -40,6 +41,11 @@ type batcher struct {
 type batchReq struct {
 	patient int
 	out     chan batchResp
+	// tr/enq carry a sampled request's trace into the collector, which
+	// records the batch-wait and score-compute spans. Both are zero for
+	// un-sampled requests (the overwhelmingly common case).
+	tr  *obs.Trace
+	enq time.Time
 }
 
 type batchResp struct {
@@ -121,8 +127,12 @@ func newBatcher(sys *dssddi.System, maxBatch int, window time.Duration, drugs in
 // pool is bounded, so the leak-back is a missed recycle, not a leak.
 func (b *batcher) Score(ctx context.Context, patient int) ([]float64, error) {
 	out := make(chan batchResp, 1)
+	req := batchReq{patient: patient, out: out}
+	if tr := obs.FromContext(ctx); tr != nil {
+		req.tr, req.enq = tr, time.Now()
+	}
 	select {
-	case b.reqs <- batchReq{patient: patient, out: out}:
+	case b.reqs <- req:
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	case <-b.stop:
@@ -230,11 +240,31 @@ func (b *batcher) flush(batch []batchReq) {
 	}
 	b.patients = b.patients[:0]
 	b.rows = b.rows[:0]
+	traced := false
 	for _, r := range batch {
 		b.patients = append(b.patients, r.patient)
 		b.rows = append(b.rows, b.rowPool.get())
+		traced = traced || r.tr != nil
+	}
+	var scoreStart time.Time
+	if traced {
+		scoreStart = time.Now()
 	}
 	err := b.sys.ScoresInto(b.rows, b.patients)
+	if traced {
+		// The batch span is each request's enqueue-to-score wait; the
+		// score span is shared (one matrix call served the whole batch).
+		// The trace mutex drops these recordings if the request already
+		// Finished (deadline abandoned), so a sealed trace never mutates.
+		scoreEnd := time.Now()
+		for _, r := range batch {
+			if r.tr != nil {
+				r.tr.SpanAt("batch", r.enq, scoreStart)
+				r.tr.SpanAt("score", scoreStart, scoreEnd)
+				r.tr.Eventf("batch size %d", len(batch))
+			}
+		}
+	}
 	b.batches.Add(1)
 	b.requests.Add(int64(len(batch)))
 	for i, r := range batch {

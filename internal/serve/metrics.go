@@ -1,27 +1,23 @@
 package serve
 
 import (
-	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
+
+	"dssddi/internal/obs"
 )
 
-// latencyWindow is how many recent samples each endpoint keeps for
-// quantile estimates. A power of two keeps the ring index cheap.
-const latencyWindow = 2048
-
 // endpointStats tracks one endpoint: monotonic request/error counters
-// plus a ring of recent latencies for p50/p90/p99.
+// plus a fixed-bucket latency histogram for p50/p90/p99. The
+// histogram replaced a 2048-sample mutex-guarded ring: recording is
+// now two atomic adds (no lock the scraper can contend on), a
+// /metricsz scrape reads bucket counters instead of copying and
+// sorting the window, and the same buckets render directly as a
+// Prometheus histogram that merges exactly across backends.
 type endpointStats struct {
 	requests atomic.Int64
 	errors   atomic.Int64
-	totalNs  atomic.Int64
-
-	mu      sync.Mutex
-	ring    [latencyWindow]int64
-	ringLen int
-	ringPos int
+	lat      obs.Histogram
 }
 
 func (s *endpointStats) observe(d time.Duration, isError bool) {
@@ -29,34 +25,7 @@ func (s *endpointStats) observe(d time.Duration, isError bool) {
 	if isError {
 		s.errors.Add(1)
 	}
-	ns := d.Nanoseconds()
-	s.totalNs.Add(ns)
-	s.mu.Lock()
-	s.ring[s.ringPos] = ns
-	s.ringPos = (s.ringPos + 1) % latencyWindow
-	if s.ringLen < latencyWindow {
-		s.ringLen++
-	}
-	s.mu.Unlock()
-}
-
-// quantiles returns p50/p90/p99 over the retained window, in
-// milliseconds.
-func (s *endpointStats) quantiles() (p50, p90, p99 float64) {
-	s.mu.Lock()
-	n := s.ringLen
-	samples := make([]int64, n)
-	copy(samples, s.ring[:n])
-	s.mu.Unlock()
-	if n == 0 {
-		return 0, 0, 0
-	}
-	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-	at := func(q float64) float64 {
-		idx := int(q * float64(n-1))
-		return float64(samples[idx]) / 1e6
-	}
-	return at(0.50), at(0.90), at(0.99)
+	s.lat.Observe(d)
 }
 
 // EndpointMetrics is the JSON shape of one endpoint's counters.
@@ -154,12 +123,15 @@ func (r *registry) get(name string) *endpointStats { return r.endpoints[name] }
 func (r *registry) snapshot() map[string]EndpointMetrics {
 	out := make(map[string]EndpointMetrics, len(r.endpoints))
 	for name, s := range r.endpoints {
-		reqs := s.requests.Load()
-		m := EndpointMetrics{Requests: reqs, Errors: s.errors.Load()}
-		if reqs > 0 {
-			m.AvgMs = float64(s.totalNs.Load()) / float64(reqs) / 1e6
+		lat := s.lat.Snapshot()
+		m := EndpointMetrics{
+			Requests: s.requests.Load(),
+			Errors:   s.errors.Load(),
+			AvgMs:    lat.MeanMs(),
+			P50Ms:    lat.QuantileMs(0.50),
+			P90Ms:    lat.QuantileMs(0.90),
+			P99Ms:    lat.QuantileMs(0.99),
 		}
-		m.P50Ms, m.P90Ms, m.P99Ms = s.quantiles()
 		out[name] = m
 	}
 	return out

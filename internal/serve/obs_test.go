@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"dssddi/internal/obs"
+)
+
+// TestRequestIDEchoAndMint: every response carries X-Request-Id — the
+// client's own id echoed back verbatim when one was sent, a freshly
+// minted valid id otherwise.
+func TestRequestIDEchoAndMint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// Minted: no id on the request.
+	resp, _ := post(t, ts.URL+"/v1/suggest", SuggestRequest{Patient: 0, K: 2})
+	minted := resp.Header.Get(obs.RequestIDHeader)
+	if minted == "" {
+		t.Fatal("response missing a minted X-Request-Id")
+	}
+
+	// Echoed: the client's id comes back exactly.
+	body, _ := json.Marshal(SuggestRequest{Patient: 1, K: 2})
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/suggest", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.RequestIDHeader, "client-id-42")
+	r2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if got := r2.Header.Get(obs.RequestIDHeader); got != "client-id-42" {
+		t.Fatalf("client id not echoed: got %q", got)
+	}
+
+	// A garbage id (spaces, too long) is replaced, not echoed.
+	req2, err := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req2.Header.Set(obs.RequestIDHeader, "has spaces in it")
+	r3, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if got := r3.Header.Get(obs.RequestIDHeader); got == "has spaces in it" || got == "" {
+		t.Fatalf("invalid client id should be replaced with a minted one, got %q", got)
+	}
+}
+
+// TestTracezSpansExplainLatency: with full sampling, a scored (cache
+// bypassing) request's trace carries the full stage timeline — queue,
+// batch, score, encode — and the stages sum to no more than the
+// measured request latency.
+func TestTracezSpansExplainLatency(t *testing.T) {
+	s, ts := newTestServer(t, Config{TraceSample: 1})
+
+	rid := obs.NewRequestID()
+	body, _ := json.Marshal(SuggestRequest{Patient: 2, K: 3})
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/suggest", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Cache-Control", "no-cache")
+	req.Header.Set(obs.RequestIDHeader, rid)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+
+	views := s.Tracer().Find(rid)
+	if len(views) == 0 {
+		t.Fatalf("no retained trace for %s", rid)
+	}
+	v := views[0]
+	if v.DurMs <= 0 || v.Status != http.StatusOK || v.Epoch != 1 {
+		t.Fatalf("trace header wrong: dur=%v status=%d epoch=%d", v.DurMs, v.Status, v.Epoch)
+	}
+	have := make(map[string]bool, len(v.Spans))
+	var sumMs float64
+	for _, sp := range v.Spans {
+		have[sp.Name] = true
+		sumMs += sp.DurMs
+		if sp.DurMs < 0 || sp.StartMs < 0 {
+			t.Fatalf("span %s has negative timing: %+v", sp.Name, sp)
+		}
+	}
+	for _, want := range []string{"queue", "batch", "score", "encode"} {
+		if !have[want] {
+			t.Fatalf("span %q missing from scored request trace (have %v)", want, v.Spans)
+		}
+	}
+	// Stages are sequential; allow a little scheduling slack.
+	if sumMs > v.DurMs+1.0 {
+		t.Fatalf("spans sum to %.3fms but the request took %.3fms", sumMs, v.DurMs)
+	}
+
+	// The tracez handler serves the same trace by id, in both formats.
+	r2, body2 := get(t, ts.URL+"/debug/tracez?format=json&id="+rid)
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("tracez status %d", r2.StatusCode)
+	}
+	var page obs.TracezPage
+	if err := json.Unmarshal(body2, &page); err != nil {
+		t.Fatalf("tracez JSON: %v", err)
+	}
+	if len(page.Recent) == 0 || page.Recent[0].ID != rid {
+		t.Fatalf("tracez?id=%s did not return the trace", rid)
+	}
+	r3, body3 := get(t, ts.URL+"/debug/tracez?id="+rid)
+	if r3.StatusCode != http.StatusOK || !bytes.Contains(body3, []byte(rid)) {
+		t.Fatalf("text tracez missing the trace: status %d", r3.StatusCode)
+	}
+}
+
+// TestServePromExposition: the Prometheus view of /metricsz parses
+// strictly, its histograms are internally consistent, the core
+// families are present, and the default JSON shape is still served
+// (and still carries the same request counts).
+func TestServePromExposition(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for i := 0; i < 5; i++ {
+		resp, _ := post(t, ts.URL+"/v1/suggest", SuggestRequest{Patient: i, K: 2})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("suggest %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	resp, body := get(t, ts.URL+"/metricsz?format=prometheus")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prometheus metricsz status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PromContentType {
+		t.Fatalf("content-type %q, want %q", ct, obs.PromContentType)
+	}
+	set, err := obs.ParseProm(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("exposition failed to parse: %v\n%s", err, body)
+	}
+	if _, err := set.CheckHistograms(); err != nil {
+		t.Fatalf("inconsistent histograms: %v", err)
+	}
+	for _, fam := range []string{
+		"dssddi_build_info", "dssddi_requests_total",
+		"dssddi_request_duration_seconds", "dssddi_epoch",
+		"dssddi_cache_hits_total", "dssddi_score_batches_total",
+	} {
+		if _, ok := set.Types[fam]; !ok {
+			t.Fatalf("metric family %q missing from exposition", fam)
+		}
+	}
+	count, ok := set.Value("dssddi_requests_total", map[string]string{"endpoint": "suggest"})
+	if !ok || count < 5 {
+		t.Fatalf("dssddi_requests_total{endpoint=suggest} = %v (present=%v), want >= 5", count, ok)
+	}
+
+	// The JSON default is untouched: same URL without the format
+	// parameter still returns the structured metrics document.
+	respJSON, bodyJSON := get(t, ts.URL+"/metricsz")
+	if respJSON.StatusCode != http.StatusOK {
+		t.Fatalf("json metricsz status %d", respJSON.StatusCode)
+	}
+	var m Metrics
+	if err := json.Unmarshal(bodyJSON, &m); err != nil {
+		t.Fatalf("json metricsz no longer parses: %v", err)
+	}
+	suggestReqs := m.Endpoints["suggest"].Requests
+	if float64(suggestReqs) != count {
+		t.Fatalf("JSON reports %d suggest requests, Prometheus %v — same counters must back both", suggestReqs, count)
+	}
+
+	// Health carries the build identity.
+	respH, bodyH := get(t, ts.URL+"/healthz")
+	if respH.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", respH.StatusCode)
+	}
+	var h struct {
+		Build struct {
+			GoVersion string `json:"go_version"`
+		} `json:"build"`
+	}
+	if err := json.Unmarshal(bodyH, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Build.GoVersion == "" {
+		t.Fatalf("healthz missing build info: %s", bodyH)
+	}
+}

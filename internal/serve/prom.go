@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"sort"
+	"time"
+
+	"dssddi/internal/obs"
+)
+
+// writePromMetrics renders /metricsz?format=prometheus: the same
+// counters as the JSON payload in the text exposition format, plus
+// full latency histograms (the JSON view only carries the estimated
+// quantiles). Endpoint series are emitted in sorted order so
+// consecutive scrapes are byte-comparable.
+func (s *Server) writePromMetrics(w http.ResponseWriter, ep *servingEpoch) int {
+	var buf bytes.Buffer
+
+	b := obs.Build()
+	obs.PromHeader(&buf, "dssddi_build_info", "gauge", "Build identity of the running binary (value is always 1).")
+	obs.PromSample(&buf, "dssddi_build_info",
+		obs.PromLabel("commit", b.Short())+","+obs.PromLabel("go", b.GoVersion), 1)
+
+	obs.PromHeader(&buf, "dssddi_uptime_seconds", "gauge", "Seconds since the server booted.")
+	obs.PromSample(&buf, "dssddi_uptime_seconds", "", time.Since(s.start).Seconds())
+	obs.PromHeader(&buf, "dssddi_epoch", "gauge", "Current serving epoch.")
+	obs.PromInt(&buf, "dssddi_epoch", "", ep.id)
+	obs.PromHeader(&buf, "dssddi_reloads_total", "counter", "Hot reloads performed.")
+	obs.PromInt(&buf, "dssddi_reloads_total", "", s.reloads.Load())
+
+	names := make([]string, 0, len(s.metrics.endpoints))
+	for name := range s.metrics.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	obs.PromHeader(&buf, "dssddi_requests_total", "counter", "Requests by endpoint.")
+	for _, name := range names {
+		obs.PromInt(&buf, "dssddi_requests_total", obs.PromLabel("endpoint", name), s.metrics.get(name).requests.Load())
+	}
+	obs.PromHeader(&buf, "dssddi_request_errors_total", "counter", "Requests answered with status >= 400, by endpoint.")
+	for _, name := range names {
+		obs.PromInt(&buf, "dssddi_request_errors_total", obs.PromLabel("endpoint", name), s.metrics.get(name).errors.Load())
+	}
+	obs.PromHeader(&buf, "dssddi_sheds_total", "counter", "Requests shed by admission control, by endpoint.")
+	for _, name := range names {
+		if lim := s.limits[name]; lim != nil {
+			obs.PromInt(&buf, "dssddi_sheds_total", obs.PromLabel("endpoint", name), lim.shedCount())
+		}
+	}
+	obs.PromHeader(&buf, "dssddi_deadline_timeouts_total", "counter", "Requests answered 504 because their propagated deadline expired.")
+	obs.PromInt(&buf, "dssddi_deadline_timeouts_total", "", s.deadlineTimeouts.Load())
+
+	obs.PromHeader(&buf, "dssddi_request_duration_seconds", "histogram", "Request latency by endpoint.")
+	for _, name := range names {
+		obs.PromHistogram(&buf, "dssddi_request_duration_seconds", obs.PromLabel("endpoint", name), s.metrics.get(name).lat.Snapshot())
+	}
+
+	writeCache := func(name string, c *lruCache) {
+		hits, misses := c.Stats()
+		l := obs.PromLabel("cache", name)
+		obs.PromInt(&buf, "dssddi_cache_hits_total", l, hits)
+		obs.PromInt(&buf, "dssddi_cache_misses_total", l, misses)
+	}
+	obs.PromHeader(&buf, "dssddi_cache_hits_total", "counter", "Result-cache hits by cache.")
+	obs.PromHeader(&buf, "dssddi_cache_misses_total", "counter", "Result-cache misses by cache.")
+	writeCache("suggest", ep.suggestCache)
+	writeCache("explain", ep.explainCache)
+
+	batches, reqs := ep.batcher.Stats()
+	obs.PromHeader(&buf, "dssddi_score_batches_total", "counter", "Score-matrix calls issued by the micro-batcher (current epoch).")
+	obs.PromInt(&buf, "dssddi_score_batches_total", "", batches)
+	obs.PromHeader(&buf, "dssddi_score_batched_requests_total", "counter", "Patient requests served through batched score calls (current epoch).")
+	obs.PromInt(&buf, "dssddi_score_batched_requests_total", "", reqs)
+
+	obs.PromHeader(&buf, "dssddi_registry_patients", "gauge", "Registered patients.")
+	obs.PromInt(&buf, "dssddi_registry_patients", "", int64(s.patients.len()))
+	obs.PromHeader(&buf, "dssddi_registry_writes_total", "counter", "Accepted registry mutations.")
+	obs.PromInt(&buf, "dssddi_registry_writes_total", "", s.patients.writes.Load())
+	obs.PromHeader(&buf, "dssddi_registry_reembeds_total", "counter", "Embeddings recomputed for an epoch move.")
+	obs.PromInt(&buf, "dssddi_registry_reembeds_total", "", s.patients.reembeds.Load())
+
+	if st := s.patients.store; st != nil {
+		obs.PromHeader(&buf, "dssddi_wal_records", "gauge", "Records in the live (un-compacted) WAL.")
+		obs.PromInt(&buf, "dssddi_wal_records", "", st.log.Records())
+		obs.PromHeader(&buf, "dssddi_wal_bytes", "gauge", "Payload bytes in the live WAL.")
+		obs.PromInt(&buf, "dssddi_wal_bytes", "", st.log.Bytes())
+		obs.PromHeader(&buf, "dssddi_wal_syncs_total", "counter", "Explicit fsyncs issued by the WAL.")
+		obs.PromInt(&buf, "dssddi_wal_syncs_total", "", st.log.Syncs())
+		obs.PromHeader(&buf, "dssddi_wal_checkpoints_total", "counter", "Log compactions into the checkpoint file.")
+		obs.PromInt(&buf, "dssddi_wal_checkpoints_total", "", st.checkpoints.Load())
+		obs.PromHeader(&buf, "dssddi_wal_append_duration_seconds", "histogram", "WAL append-to-ack latency.")
+		obs.PromHistogram(&buf, "dssddi_wal_append_duration_seconds", "", st.log.AppendLatency())
+	}
+
+	w.Header().Set("Content-Type", obs.PromContentType)
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
+	return http.StatusOK
+}

@@ -5,8 +5,10 @@ import (
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dssddi"
+	"dssddi/internal/obs"
 )
 
 // patientRegistry is the server's mutable patient store: registered
@@ -96,7 +98,7 @@ func validPatientID(id string) error {
 // put creates or replaces a patient's profile, embedding it against
 // the given epoch's model. The profile is validated by the embed: an
 // invalid one is rejected and the previous state (if any) is kept.
-func (r *patientRegistry) put(ep *servingEpoch, id string, regimen []int, features []float64) (created bool, gen uint64, err error) {
+func (r *patientRegistry) put(ep *servingEpoch, tr *obs.Trace, id string, regimen []int, features []float64) (created bool, gen uint64, err error) {
 	emb, err := ep.sys.EmbedPatient(dssddi.PatientProfile{Regimen: regimen, Features: features})
 	if err != nil {
 		return false, 0, err
@@ -110,7 +112,13 @@ func (r *patientRegistry) put(ep *servingEpoch, id string, regimen []int, featur
 		// Log before install, inside the shard critical section: the
 		// WAL order matches the install order, and a failed append
 		// leaves the previous state intact and unacknowledged.
-		if err := r.store.logSet(id, regimen, features); err != nil {
+		var wStart time.Time
+		if tr != nil {
+			wStart = time.Now()
+		}
+		err := r.store.logSet(id, regimen, features)
+		tr.Span("wal-append", wStart)
+		if err != nil {
 			sh.mu.Unlock()
 			r.store.gate.RUnlock()
 			return false, 0, err
@@ -148,7 +156,7 @@ func (r *patientRegistry) put(ep *servingEpoch, id string, regimen []int, featur
 // returned regimen is the one this patch installed (read under the
 // same critical section, so a concurrent writer can never be echoed
 // back as this patch's result).
-func (r *patientRegistry) patch(ep *servingEpoch, id string, regimen *[]int, features *[]float64) (found bool, gen uint64, merged []int, err error) {
+func (r *patientRegistry) patch(ep *servingEpoch, tr *obs.Trace, id string, regimen *[]int, features *[]float64) (found bool, gen uint64, merged []int, err error) {
 	if r.store != nil {
 		r.store.gate.RLock()
 	}
@@ -183,7 +191,13 @@ func (r *patientRegistry) patch(ep *servingEpoch, id string, regimen *[]int, fea
 	if r.store != nil {
 		// The merged profile is logged absolute, so replay never
 		// depends on the pre-patch state.
-		if err := r.store.logSet(id, newRegimen, newFeatures); err != nil {
+		var wStart time.Time
+		if tr != nil {
+			wStart = time.Now()
+		}
+		err := r.store.logSet(id, newRegimen, newFeatures)
+		tr.Span("wal-append", wStart)
+		if err != nil {
 			unlock()
 			return true, 0, nil, err
 		}

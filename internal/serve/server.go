@@ -41,6 +41,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"sort"
@@ -52,6 +53,7 @@ import (
 
 	"dssddi"
 	"dssddi/internal/alerts"
+	"dssddi/internal/obs"
 )
 
 var errServerClosed = errors.New("serve: server is shutting down")
@@ -106,6 +108,22 @@ type Config struct {
 	// automatic checkpoint + log truncation (default 1024; negative
 	// disables automatic compaction).
 	CheckpointEvery int
+
+	// TraceSample is the fraction of requests recorded into the
+	// /debug/tracez rings (0 = tracing off, 1 = every request,
+	// 0 < s < 1 = every round(1/s)-th). Un-sampled requests carry a nil
+	// trace and pay nothing on the hot path.
+	TraceSample float64
+	// TraceRing is the capacity of each tracez ring — recent, slowest,
+	// errored (default obs.DefaultTraceRing).
+	TraceRing int
+	// SlowMs, when positive, logs a warning for every request slower
+	// than this many milliseconds (requires Logger).
+	SlowMs int
+	// Logger, when non-nil, receives structured access and event logs.
+	// Per-request access lines are emitted at debug level; slow
+	// requests, sheds and reloads at warn/info.
+	Logger *slog.Logger
 
 	// MaxInflight bounds concurrently executing requests per scoring
 	// endpoint (suggest, scores, explain, alerts, patients); beyond it
@@ -162,6 +180,8 @@ type Server struct {
 	metrics  *registry
 	patients *patientRegistry
 	start    time.Time
+	tracer   *obs.Tracer
+	logger   *slog.Logger
 
 	// limits holds the per-endpoint admission limiters (nil entries
 	// mean unlimited); deadlineTimeouts counts requests answered 504
@@ -188,6 +208,8 @@ func New(sys *dssddi.System, cfg Config) (*Server, error) {
 		metrics:  newRegistry("suggest", "scores", "explain", "alerts", "patients", "reload", "healthz", "metricsz"),
 		patients: newPatientRegistry(),
 		start:    time.Now(),
+		tracer:   obs.NewTracer(cfg.TraceSample, cfg.TraceRing),
+		logger:   cfg.Logger,
 	}
 	s.limits = make(map[string]*limiter, 5)
 	for _, name := range []string{"suggest", "scores", "explain", "alerts", "patients"} {
@@ -250,8 +272,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/admin/reload", s.instrument("reload", http.MethodPost, s.handleReload))
 	mux.HandleFunc("/healthz", s.instrument("healthz", http.MethodGet, s.handleHealthz))
 	mux.HandleFunc("/metricsz", s.instrument("metricsz", http.MethodGet, s.handleMetricsz))
+	mux.Handle("/debug/tracez", s.tracer.Handler("dssddi-serve"))
 	return mux
 }
+
+// Tracer exposes the server's trace rings (tests and the router's
+// in-process harness look up traces by request id through it).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // apiError is the JSON error envelope.
 type apiError struct {
@@ -271,20 +298,49 @@ func (s *Server) instrument(name, method string, h func(http.ResponseWriter, *ht
 	lim := s.limits[name] // nil for unlimited endpoints
 	return func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
+		rid := obs.EnsureRequestID(r.Header)
+		w.Header().Set(obs.RequestIDHeader, rid)
+		tr := s.tracer.Start(rid, r.URL.Path)
 		var status int
 		if r.Method != method {
 			status = http.StatusMethodNotAllowed
 			writeJSON(w, status, apiError{Error: fmt.Sprintf("method %s not allowed; use %s", r.Method, method)})
 		} else {
-			status = s.serveAdmitted(w, r, lim, h)
+			status = s.serveAdmitted(w, r, lim, tr, h)
 		}
-		stats.observe(time.Since(t0), status >= 400)
+		dur := time.Since(t0)
+		stats.observe(dur, status >= 400)
+		s.tracer.Finish(tr, status)
+		s.logRequest(r, rid, name, status, dur)
+	}
+}
+
+// logRequest emits the structured access log for one finished
+// request: every request at debug level, plus a warn line for
+// requests slower than -slow-ms. A nil logger silences both.
+func (s *Server) logRequest(r *http.Request, rid, endpoint string, status int, dur time.Duration) {
+	if s.logger == nil {
+		return
+	}
+	if s.cfg.SlowMs > 0 && dur >= time.Duration(s.cfg.SlowMs)*time.Millisecond {
+		s.logger.Warn("slow request",
+			"id", rid, "endpoint", endpoint, "method", r.Method, "path", r.URL.Path,
+			"status", status, "ms", float64(dur)/1e6, "slow_ms", s.cfg.SlowMs)
+		return
+	}
+	if s.logger.Enabled(r.Context(), slog.LevelDebug) {
+		s.logger.Debug("request",
+			"id", rid, "endpoint", endpoint, "method", r.Method, "path", r.URL.Path,
+			"status", status, "ms", float64(dur)/1e6)
 	}
 }
 
 // serveAdmitted runs the deadline + admission + epoch pipeline around
-// one handler invocation.
-func (s *Server) serveAdmitted(w http.ResponseWriter, r *http.Request, lim *limiter, h func(http.ResponseWriter, *http.Request, *servingEpoch) int) int {
+// one handler invocation. A sampled request's trace records the
+// admission-queue wait as the "queue" span, is tagged with the epoch
+// that answered, and rides the request context into the handler (and
+// from there into the batching collector).
+func (s *Server) serveAdmitted(w http.ResponseWriter, r *http.Request, lim *limiter, tr *obs.Trace, h func(http.ResponseWriter, *http.Request, *servingEpoch) int) int {
 	ctx, cancel, expired := requestContext(r)
 	if expired {
 		return s.writeDeadlineExceeded(w)
@@ -293,19 +349,30 @@ func (s *Server) serveAdmitted(w http.ResponseWriter, r *http.Request, lim *limi
 		defer cancel()
 		r = r.WithContext(ctx)
 	}
+	qStart := tr.Start() // zero-valued (and unused) when not sampled
 	release, lstatus := lim.acquire(ctx)
 	switch lstatus {
 	case http.StatusServiceUnavailable:
+		tr.Eventf("shed: inflight and queue full")
 		return writeShed(w)
 	case http.StatusGatewayTimeout:
+		tr.Eventf("deadline expired in admission queue")
 		return s.writeDeadlineExceeded(w)
 	}
 	defer release()
+	if tr != nil {
+		tr.Span("queue", qStart)
+		// context.WithValue allocates, so only sampled requests attach
+		// their trace; everyone else keeps the original context and the
+		// batcher sees a nil trace.
+		r = r.WithContext(obs.NewContext(r.Context(), tr))
+	}
 	ep := s.acquireEpoch()
 	if ep == nil {
 		return writeJSON(w, http.StatusServiceUnavailable, apiError{Error: errServerClosed.Error()})
 	}
 	defer ep.unref()
+	tr.SetEpoch(ep.id)
 	w.Header().Set("X-Epoch", strconv.FormatInt(ep.id, 10))
 	return h(w, r, ep)
 }
@@ -446,15 +513,23 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request, ep *servi
 		if req.Patient != 0 {
 			return badRequest(w, "pass either patient or patient_id, not both")
 		}
-		return s.suggestRegistered(w, ep, req.PatientID, k, screen, nocache)
+		return s.suggestRegistered(w, r, ep, req.PatientID, k, screen, nocache)
 	}
 	if status, ok := ep.checkPatient(w, req.Patient); !ok {
 		return status
 	}
 
+	tr := obs.FromContext(r.Context())
 	key := "s|" + strconv.Itoa(req.Patient) + "|" + strconv.Itoa(k) + "|" + strconv.FormatBool(screen)
 	if !nocache {
-		if body, ok := ep.suggestCache.Get(key); ok {
+		var cStart time.Time
+		if tr != nil {
+			cStart = time.Now()
+		}
+		body, ok := ep.suggestCache.Get(key)
+		tr.Span("cache", cStart)
+		if ok {
+			tr.Eventf("cache hit")
 			w.Header().Set("X-Cache", "HIT")
 			writeBody(w, http.StatusOK, body)
 			return http.StatusOK
@@ -474,16 +549,17 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request, ep *servi
 		return writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
 	}
 	resp := SuggestResponse{Patient: req.Patient, K: k, Regimen: ep.data.Medications(req.Patient)}
-	return s.finishSuggest(w, ep, resp, suggs, screen, nocache, key)
+	return s.finishSuggest(w, ep, tr, resp, suggs, screen, nocache, key)
 }
 
 // suggestRegistered serves a registered patient through the inductive
 // path: the cached (epoch-tagged) embedding scores through the tiled
 // top-k engine, never the index batcher.
-func (s *Server) suggestRegistered(w http.ResponseWriter, ep *servingEpoch, id string, k int, screen, nocache bool) int {
+func (s *Server) suggestRegistered(w http.ResponseWriter, r *http.Request, ep *servingEpoch, id string, k int, screen, nocache bool) int {
 	if err := validPatientID(id); err != nil {
 		return badRequest(w, "%v", err)
 	}
+	tr := obs.FromContext(r.Context())
 	emb, gen, regimen, found, err := s.patients.embeddingFor(ep, id)
 	if !found {
 		return notFound(w, "patient %q is not registered", id)
@@ -509,12 +585,12 @@ func (s *Server) suggestRegistered(w http.ResponseWriter, ep *servingEpoch, id s
 		return writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
 	}
 	resp := SuggestResponse{Patient: -1, PatientID: id, K: k, Regimen: regimen}
-	return s.finishSuggest(w, ep, resp, suggs, screen, nocache, key)
+	return s.finishSuggest(w, ep, tr, resp, suggs, screen, nocache, key)
 }
 
 // finishSuggest screens, encodes, caches and writes a suggest
 // response — the shared tail of the index and registry paths.
-func (s *Server) finishSuggest(w http.ResponseWriter, ep *servingEpoch, resp SuggestResponse, suggs []dssddi.Suggestion, screen, nocache bool, key string) int {
+func (s *Server) finishSuggest(w http.ResponseWriter, ep *servingEpoch, tr *obs.Trace, resp SuggestResponse, suggs []dssddi.Suggestion, screen, nocache bool, key string) int {
 	if resp.Regimen == nil {
 		resp.Regimen = []int{}
 	}
@@ -530,7 +606,12 @@ func (s *Server) finishSuggest(w http.ResponseWriter, ep *servingEpoch, resp Sug
 	if screen {
 		resp.ListAlerts = ep.checker.ScreenList(ids)
 	}
+	var eStart time.Time
+	if tr != nil {
+		eStart = time.Now()
+	}
 	buf, body, err := encodeBody(resp)
+	tr.Span("encode", eStart)
 	if err != nil {
 		return writeJSON(w, http.StatusInternalServerError, apiError{Error: "encoding response"})
 	}
@@ -785,7 +866,7 @@ func (s *Server) handlePatientPut(w http.ResponseWriter, r *http.Request, ep *se
 	if !decodeBody(w, r, &req) {
 		return http.StatusBadRequest
 	}
-	created, gen, err := s.patients.put(ep, id, req.Regimen, req.Features)
+	created, gen, err := s.patients.put(ep, obs.FromContext(r.Context()), id, req.Regimen, req.Features)
 	if err != nil {
 		if errors.Is(err, errDurability) {
 			return writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
@@ -814,7 +895,7 @@ func (s *Server) handlePatientPatch(w http.ResponseWriter, r *http.Request, ep *
 	if req.Regimen == nil && req.Features == nil {
 		return badRequest(w, "pass regimen and/or features")
 	}
-	found, gen, merged, err := s.patients.patch(ep, id, req.Regimen, req.Features)
+	found, gen, merged, err := s.patients.patch(ep, obs.FromContext(r.Context()), id, req.Regimen, req.Features)
 	if !found {
 		return notFound(w, "patient %q is not registered", id)
 	}
@@ -896,6 +977,7 @@ type HealthResponse struct {
 	Reloads       int64               `json:"reloads"`
 	Patients      int                 `json:"registered_patients"`
 	Model         dssddi.SnapshotInfo `json:"model"`
+	Build         obs.BuildInfo       `json:"build"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request, ep *servingEpoch) int {
@@ -906,10 +988,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request, ep *servi
 		Reloads:       s.reloads.Load(),
 		Patients:      s.patients.len(),
 		Model:         ep.info,
+		Build:         obs.Build(),
 	})
 }
 
-func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request, ep *servingEpoch) int {
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request, ep *servingEpoch) int {
+	if r.URL.Query().Get("format") == "prometheus" {
+		return s.writePromMetrics(w, ep)
+	}
 	batches, requests := ep.batcher.Stats()
 	m := Metrics{
 		UptimeSeconds: time.Since(s.start).Seconds(),

@@ -37,6 +37,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dssddi/internal/obs"
 )
 
 const (
@@ -115,6 +117,12 @@ type Log struct {
 	syncs    atomic.Int64 // explicit fsyncs issued
 	replayed int64        // records replayed by Open
 	torn     int64        // trailing bytes truncated by Open
+
+	// appendLat is the append-to-ack latency distribution (write(2)
+	// plus, under SyncAlways, the fsync). Registry writes acknowledge
+	// only after Append returns, so this histogram is the durability
+	// cost every PUT/PATCH/DELETE pays.
+	appendLat obs.Histogram
 }
 
 var errClosed = errors.New("wal: log is closed")
@@ -252,6 +260,8 @@ func (l *Log) Append(payload []byte) error {
 	if len(payload) > maxRecord {
 		return fmt.Errorf("wal: record of %d bytes exceeds %d limit", len(payload), maxRecord)
 	}
+	t0 := time.Now()
+	defer func() { l.appendLat.Observe(time.Since(t0)) }()
 	frame := make([]byte, 0, frameSize+len(payload))
 	frame = appendUint32(frame, uint32(len(payload)))
 	crc := crc32.NewIEEE()
@@ -388,6 +398,9 @@ func (l *Log) Replayed() int64 { return l.replayed }
 // TornBytes reports how many trailing bytes Open truncated as a torn
 // tail (zero after a clean shutdown).
 func (l *Log) TornBytes() int64 { return l.torn }
+
+// AppendLatency snapshots the append-to-ack latency distribution.
+func (l *Log) AppendLatency() obs.HistogramSnapshot { return l.appendLat.Snapshot() }
 
 func appendUint32(b []byte, v uint32) []byte {
 	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
