@@ -22,10 +22,21 @@
 // req/s of entry "suggest" — the cluster smoke's proof that fleet
 // throughput actually scales with replica count.
 //
+// A third mode gates on the replication section of ONE report:
+//
+//	benchdiff -replication-gate BENCH_chaos.json
+//
+// requires the report to carry replication stats (a chaos run with
+// -verify-registry) and fails when lost_registrations is nonzero — an
+// acknowledged registration that vanished is a hard failure, never a
+// threshold. The same gate applies automatically in two-report mode
+// when the current report carries a replication section.
+//
 // Usage:
 //
 //	benchdiff [-max-alloc-ratio 2.0] [-max-ns-ratio 2.0] [-min-rps-ratio 0] baseline.json current.json
 //	benchdiff -scale scaled:base:minratio report.json
+//	benchdiff -replication-gate report.json
 package main
 
 import (
@@ -56,7 +67,29 @@ func main() {
 	maxNsRatio := flag.Float64("max-ns-ratio", 2.0, "fail when a cold-suggest entry's ns/op exceeds baseline by this factor")
 	minRPSRatio := flag.Float64("min-rps-ratio", 0, "fail when a serving suggest entry's req/s falls below this fraction of baseline (0 = informational only)")
 	scale := flag.String("scale", "", "single-report scaling assertion: scaledEntry:baseEntry:minRatio (e.g. cluster-suggest:suggest:2.0)")
+	replGate := flag.Bool("replication-gate", false, "single-report replication gate: require a replication section and fail when lost_registrations > 0")
 	flag.Parse()
+
+	if *replGate {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: benchdiff -replication-gate report.json")
+			os.Exit(2)
+		}
+		rep, err := load(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		if rep.Replication == nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: -replication-gate: %s has no replication section (run loadgen with -verify-registry)\n", flag.Arg(0))
+			os.Exit(2)
+		}
+		if err := checkReplication(rep.Replication); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *scale != "" {
 		if flag.NArg() != 1 {
@@ -105,6 +138,15 @@ func main() {
 	if matched == 0 {
 		fmt.Fprintln(os.Stderr, "benchdiff: no overlapping entries between reports")
 		os.Exit(2)
+	}
+	// The lost-registration gate is unconditional: when the current
+	// report carries a replication section, zero lost is a hard
+	// requirement, not a ratio against the baseline.
+	if cur.Replication != nil {
+		if err := checkReplication(cur.Replication); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			failed = true
+		}
 	}
 	if failed {
 		fmt.Fprintf(os.Stderr, "benchdiff: regression beyond thresholds (allocs %.1fx, cold ns %.1fx, min rps %.2fx)\n",
@@ -184,6 +226,18 @@ func diffServing(base, cur benchfmt.Report, minRPSRatio float64) (matched int, f
 			sb.Name, b.RPS, sb.RPS, ratio, sb.P99Ms, sb.Errors, status)
 	}
 	return matched, failed
+}
+
+// checkReplication prints a report's replication section and returns
+// an error when any acknowledged registration was lost.
+func checkReplication(r *benchfmt.ReplicationStats) error {
+	fmt.Printf("replication: %d registrations verified, %d lost | replica reads %d, read repairs %d, fanouts %d, quorum failures %d, anti-entropy %d syncs / %d records, pinned 503s %d\n",
+		r.VerifiedRegistrations, r.LostRegistrations, r.ReplicaReads, r.ReadRepairs,
+		r.ReplicationFanouts, r.QuorumFailures, r.AntiEntropySyncs, r.AntiEntropyRecords, r.PinnedUnavailable)
+	if r.LostRegistrations > 0 {
+		return fmt.Errorf("replication gate: %d acknowledged registrations lost (must be 0)", r.LostRegistrations)
+	}
+	return nil
 }
 
 // assertScale enforces scaledEntry.RPS >= minRatio * baseEntry.RPS

@@ -44,7 +44,9 @@ func main() {
 		backends      = flag.String("backends", "", "comma-separated dssddi-serve addresses (host:port,host:port,...); required")
 		addr          = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 = ephemeral)")
 		addrFile      = flag.String("addr-file", "", "write the bound address to this file once listening")
-		replicas      = flag.Int("replicas", 128, "virtual nodes per backend on the hash ring")
+		vnodes        = flag.Int("vnodes", 128, "virtual nodes per backend on the hash ring")
+		replicas      = flag.Int("replicas", 1, "backends holding each registered patient's record: the ring owner plus replicas-1 successors (1 = no replication)")
+		writeQuorum   = flag.Int("write-quorum", 1, "replica-group acks a registry mutation needs before the router acknowledges it (bounded by the members in rotation)")
 		probeInterval = flag.Duration("probe-interval", time.Second, "active health-check cadence")
 		failAfter     = flag.Int("fail-after", 3, "consecutive transport failures before a backend is ejected")
 		cooldown      = flag.Duration("cooldown", 2*time.Second, "how long an ejected backend sits out before a half-open trial")
@@ -75,19 +77,21 @@ func main() {
 	}
 
 	rt, err := router.New(router.Config{
-		Backends:      pool,
-		Replicas:      *replicas,
-		ProbeInterval: *probeInterval,
-		FailAfter:     *failAfter,
-		Cooldown:      *cooldown,
-		MaxRetries:    *retries,
-		RetryBackoff:  *retryBackoff,
-		Timeout:       *timeout,
-		RequestBudget: *budget,
-		TraceSample:   *traceSample,
-		TraceRing:     *traceRing,
-		SlowMs:        *slowMs,
-		Logger:        logger,
+		Backends:          pool,
+		VNodes:            *vnodes,
+		ReplicationFactor: *replicas,
+		WriteQuorum:       *writeQuorum,
+		ProbeInterval:     *probeInterval,
+		FailAfter:         *failAfter,
+		Cooldown:          *cooldown,
+		MaxRetries:        *retries,
+		RetryBackoff:      *retryBackoff,
+		Timeout:           *timeout,
+		RequestBudget:     *budget,
+		TraceSample:       *traceSample,
+		TraceRing:         *traceRing,
+		SlowMs:            *slowMs,
+		Logger:            logger,
 	})
 	if err != nil {
 		log.Fatalf("dssddi-router: %v", err)

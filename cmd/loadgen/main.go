@@ -156,23 +156,39 @@ func main() {
 		appendJSON  = flag.Bool("append", false, "merge the measurements into an existing -json report instead of overwriting it")
 		maxErrRate  = flag.Float64("max-error-rate", -1, "exit non-zero if the overall failure rate exceeds this fraction (e.g. 0.05); negative disables — chaos runs use it to assert bounded degradation instead of -strict's zero tolerance")
 		verifyEpoch = flag.Bool("verify-epoch", false, "hash every index-suggest response keyed by (patient, k, X-Epoch) and exit non-zero on any bitwise mismatch — the correctness-under-chaos assertion")
+		verifyReg   = flag.Bool("verify-registry", false, "mix mode: after the run, re-read every registration the server acknowledged and exit non-zero if any is gone — the zero-lost-registration assertion; counts land in the report's replication section")
+		entryPrefix = flag.String("entry-prefix", "", "extra prefix for recorded entry names (e.g. permakill-), so one report can hold several scenarios of the same mode without -append overwriting the earlier one")
 	)
 	flag.Parse()
 	log.SetFlags(0)
 	if *cold && *mix {
 		log.Fatal("loadgen: -cold and -mix are mutually exclusive")
 	}
+	if *verifyReg && !*mix {
+		log.Fatal("loadgen: -verify-registry requires -mix (it audits the mix's registrations)")
+	}
 	base := "http://" + *addr
 
-	// Discover the cohort size (and prove the server is up).
+	// Discover the cohort size (and prove the server is up). Retried:
+	// a chaos-injected or mid-recovery target can drop one probe
+	// without invalidating the whole run.
 	var health struct {
 		Model struct {
 			Patients int `json:"patients"`
 			Drugs    int `json:"drugs"`
 		} `json:"model"`
 	}
-	if err := getJSON(base+"/healthz", &health); err != nil {
-		log.Fatalf("loadgen: %s unreachable: %v", base, err)
+	var discoverErr error
+	for attempt := 0; attempt < 10; attempt++ {
+		health.Model.Patients, health.Model.Drugs = 0, 0
+		discoverErr = getJSON(base+"/healthz", &health)
+		if discoverErr == nil && health.Model.Patients > 0 {
+			break
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	if discoverErr != nil {
+		log.Fatalf("loadgen: %s unreachable: %v", base, discoverErr)
 	}
 	patients, drugs := health.Model.Patients, health.Model.Drugs
 	if patients <= 0 {
@@ -215,6 +231,10 @@ func main() {
 		next++
 		return int(v)
 	}
+	// ackedIDs[c] is client c's registered patient id once at least one
+	// PUT for it was acknowledged — the set -verify-registry audits.
+	// One slot per client, so no locking.
+	ackedIDs := make([]string, *concurrency)
 	deadline := time.Now().Add(*duration)
 	start := time.Now()
 	for c := 0; c < *concurrency; c++ {
@@ -243,6 +263,9 @@ func main() {
 					req.Header.Set("Content-Type", "application/json")
 					ok := issue(client, req, &update)
 					registered = registered || ok
+					if ok {
+						ackedIDs[c] = regID
+					}
 				case *mix && it%2 == 1:
 					// Inductive suggest by registered id.
 					body, _ := json.Marshal(suggestRequest{PatientID: regID, K: *k})
@@ -290,6 +313,7 @@ func main() {
 	if *cluster {
 		prefix = "cluster-"
 	}
+	prefix = *entryPrefix + prefix
 	var benches []benchfmt.ServeBench
 	if *mix {
 		benches = append(benches,
@@ -364,6 +388,40 @@ func main() {
 		log.Fatal("loadgen: -verify-epoch: responses diverged within a single epoch")
 	}
 
+	// The replication section: loadgen's own registry audit plus the
+	// router's replication counters. Gathered before the report is
+	// written so a failing audit still leaves its evidence in the JSON.
+	var repl *benchfmt.ReplicationStats
+	var lostIDs []string
+	if *verifyReg {
+		repl = &benchfmt.ReplicationStats{}
+		repl.VerifiedRegistrations, lostIDs = auditRegistrations(base, ackedIDs)
+		repl.LostRegistrations = len(lostIDs)
+		if *cluster {
+			var rm struct {
+				ReplicaReads       int64 `json:"replica_reads"`
+				ReadRepairs        int64 `json:"read_repairs"`
+				ReplicationFanouts int64 `json:"replication_fanouts"`
+				QuorumFailures     int64 `json:"quorum_failures"`
+				AntiEntropySyncs   int64 `json:"anti_entropy_syncs"`
+				AntiEntropyRecords int64 `json:"anti_entropy_records"`
+				PinnedUnavailable  int64 `json:"pinned_unavailable"`
+			}
+			if err := getJSON(base+"/metricsz", &rm); err != nil {
+				log.Fatalf("loadgen: -verify-registry: scraping router metrics: %v", err)
+			}
+			repl.ReplicaReads = rm.ReplicaReads
+			repl.ReadRepairs = rm.ReadRepairs
+			repl.ReplicationFanouts = rm.ReplicationFanouts
+			repl.QuorumFailures = rm.QuorumFailures
+			repl.AntiEntropySyncs = rm.AntiEntropySyncs
+			repl.AntiEntropyRecords = rm.AntiEntropyRecords
+			repl.PinnedUnavailable = rm.PinnedUnavailable
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: -verify-registry: %d acknowledged registrations re-read, %d lost\n",
+			repl.VerifiedRegistrations, repl.LostRegistrations)
+	}
+
 	if *jsonPath != "" {
 		rep := benchfmt.Report{
 			Schema:       benchfmt.Schema,
@@ -371,6 +429,7 @@ func main() {
 			GoMaxProcs:   runtime.GOMAXPROCS(0),
 			Seed:         *seed,
 			Serving:      benches,
+			Replication:  repl,
 			TotalSeconds: elapsed.Seconds(),
 		}
 		if *appendJSON {
@@ -401,6 +460,9 @@ func main() {
 				}
 				old.Serving = append(merged, benches...)
 				old.TotalSeconds += elapsed.Seconds()
+				if repl != nil {
+					old.Replication = repl
+				}
 				rep = old
 			case !os.IsNotExist(err):
 				log.Fatalf("loadgen: -append: %v", err)
@@ -416,6 +478,48 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", *jsonPath)
 	}
+	// The audit failure exits AFTER the report is written: the lost
+	// count must land in the JSON so benchdiff's gate and the artifact
+	// trail both see it.
+	if len(lostIDs) > 0 {
+		if len(lostIDs) > trackerKeep {
+			lostIDs = lostIDs[:trackerKeep]
+		}
+		log.Fatalf("loadgen: -verify-registry: %d acknowledged registrations lost (first: %s)",
+			repl.LostRegistrations, strings.Join(lostIDs, ", "))
+	}
+}
+
+// auditRegistrations re-reads every acknowledged registration after
+// the run. Each id gets a patient GET with retries — the fleet may
+// still be healing from a mid-run crash — and counts as lost only if
+// it never answers 200 within the retry budget. Returns the verified
+// count and the lost ids.
+func auditRegistrations(base string, ackedIDs []string) (verified int, lost []string) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	for _, id := range ackedIDs {
+		if id == "" {
+			continue // this client never got a PUT acknowledged
+		}
+		ok := false
+		for attempt := 0; attempt < 40 && !ok; attempt++ {
+			resp, err := client.Get(base + "/v1/patients/" + id)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				ok = resp.StatusCode == http.StatusOK
+			}
+			if !ok {
+				time.Sleep(250 * time.Millisecond)
+			}
+		}
+		if ok {
+			verified++
+		} else {
+			lost = append(lost, id)
+		}
+	}
+	return verified, lost
 }
 
 // issue sends one request, draining and classifying the response;

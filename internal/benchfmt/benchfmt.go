@@ -54,15 +54,37 @@ type ServeBench struct {
 	AvgBatchSize float64 `json:"avg_batch_size"`
 }
 
+// ReplicationStats records the replication outcome of a cluster run:
+// the router's replication counters scraped after the workload, plus
+// loadgen's own post-run registry audit. LostRegistrations is the
+// hard-gated number — cmd/benchdiff fails any report where it is
+// nonzero, because a lost acknowledged registration is clinical state
+// silently gone.
+type ReplicationStats struct {
+	ReplicaReads       int64 `json:"replica_reads"`
+	ReadRepairs        int64 `json:"read_repairs"`
+	ReplicationFanouts int64 `json:"replication_fanouts"`
+	QuorumFailures     int64 `json:"quorum_failures"`
+	AntiEntropySyncs   int64 `json:"anti_entropy_syncs"`
+	AntiEntropyRecords int64 `json:"anti_entropy_records"`
+	PinnedUnavailable  int64 `json:"pinned_unavailable"`
+	// VerifiedRegistrations / LostRegistrations come from loadgen's
+	// -verify-registry pass: every id acknowledged during the run is
+	// re-read afterwards; lost = acknowledged but no longer served.
+	VerifiedRegistrations int `json:"verified_registrations"`
+	LostRegistrations     int `json:"lost_registrations"`
+}
+
 // Report is the full benchmark record CI archives per run.
 type Report struct {
-	Schema       string       `json:"schema"`
-	Profile      string       `json:"profile"`
-	Workers      int          `json:"workers"`
-	GoMaxProcs   int          `json:"go_max_procs"`
-	Seed         int64        `json:"seed"`
-	Training     []TrainBench `json:"training,omitempty"`
-	Serving      []ServeBench `json:"serving,omitempty"`
-	Sections     []Section    `json:"sections,omitempty"`
-	TotalSeconds float64      `json:"total_seconds"`
+	Schema       string            `json:"schema"`
+	Profile      string            `json:"profile"`
+	Workers      int               `json:"workers"`
+	GoMaxProcs   int               `json:"go_max_procs"`
+	Seed         int64             `json:"seed"`
+	Training     []TrainBench      `json:"training,omitempty"`
+	Serving      []ServeBench      `json:"serving,omitempty"`
+	Sections     []Section         `json:"sections,omitempty"`
+	Replication  *ReplicationStats `json:"replication,omitempty"`
+	TotalSeconds float64           `json:"total_seconds"`
 }

@@ -235,15 +235,13 @@ type HealthResponse struct {
 
 func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	resp := HealthResponse{Total: len(rt.order), UptimeSeconds: time.Since(rt.start).Seconds(), Build: obs.Build()}
-	var firstHealthy *backend
+	var healthy []*backend
 	for _, name := range rt.order {
 		b := rt.backends[name]
 		state, fails, ejections := b.health.snapshot()
 		if state == stateHealthy {
 			resp.Healthy++
-			if firstHealthy == nil {
-				firstHealthy = b
-			}
+			healthy = append(healthy, b)
 		}
 		resp.Backends = append(resp.Backends, BackendHealth{
 			Name: name, State: state.String(), Epoch: b.epoch.Load(),
@@ -260,9 +258,13 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		resp.Status = "down"
 		status = http.StatusServiceUnavailable
 	}
-	if firstHealthy != nil {
-		if model, err := rt.backendModel(firstHealthy); err == nil {
+	// Any healthy backend can vouch for the model block; a transient
+	// fetch failure on one (a fault-injected link, say) must not strip
+	// the cohort info clients discover through it.
+	for _, b := range healthy {
+		if model, err := rt.backendModel(b); err == nil {
 			resp.Model = model
+			break
 		}
 	}
 	writeJSON(w, status, resp)
@@ -318,11 +320,25 @@ type Metrics struct {
 	// shard was out of rotation (no failover possible); DeadlineExhausted
 	// counts 504s where the request budget ran out before any backend
 	// answered.
-	PinnedUnavailable int64                     `json:"pinned_unavailable"`
-	DeadlineExhausted int64                     `json:"deadline_exhausted"`
-	Rollouts          int64                     `json:"rollouts"`
-	RolloutFailures   int64                     `json:"rollout_failures"`
-	Backends          map[string]BackendMetrics `json:"backends"`
+	PinnedUnavailable int64 `json:"pinned_unavailable"`
+	DeadlineExhausted int64 `json:"deadline_exhausted"`
+	Rollouts          int64 `json:"rollouts"`
+	RolloutFailures   int64 `json:"rollout_failures"`
+	// Replication counters (all zero when ReplicationFactor is 1):
+	// ReplicaReads counts registered-patient reads served by a
+	// non-owner group member, ReadRepairs the stale replicas refreshed
+	// by failover reads, ReplicationFanouts the replica applies fanned
+	// out for acknowledged writes, QuorumFailures the mutations refused
+	// for too few acks, and AntiEntropySyncs / AntiEntropyRecords the
+	// reconciliation rounds run for recovering backends and the records
+	// they moved.
+	ReplicaReads       int64                     `json:"replica_reads"`
+	ReadRepairs        int64                     `json:"read_repairs"`
+	ReplicationFanouts int64                     `json:"replication_fanouts"`
+	QuorumFailures     int64                     `json:"quorum_failures"`
+	AntiEntropySyncs   int64                     `json:"anti_entropy_syncs"`
+	AntiEntropyRecords int64                     `json:"anti_entropy_records"`
+	Backends           map[string]BackendMetrics `json:"backends"`
 }
 
 func (rt *Router) handleMetricsz(w http.ResponseWriter, r *http.Request) {
@@ -333,15 +349,21 @@ func (rt *Router) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	shares := rt.ring.Shares()
 	total := rt.requests.Load()
 	m := Metrics{
-		UptimeSeconds:     time.Since(rt.start).Seconds(),
-		Requests:          total,
-		ProxyErrors:       rt.proxyErrors.Load(),
-		Retries:           rt.retriesTotal.Load(),
-		PinnedUnavailable: rt.pinnedUnavailable.Load(),
-		DeadlineExhausted: rt.deadlineExhausted.Load(),
-		Rollouts:          rt.rollouts.Load(),
-		RolloutFailures:   rt.rolloutFailures.Load(),
-		Backends:          make(map[string]BackendMetrics, len(rt.order)),
+		UptimeSeconds:      time.Since(rt.start).Seconds(),
+		Requests:           total,
+		ProxyErrors:        rt.proxyErrors.Load(),
+		Retries:            rt.retriesTotal.Load(),
+		PinnedUnavailable:  rt.pinnedUnavailable.Load(),
+		DeadlineExhausted:  rt.deadlineExhausted.Load(),
+		Rollouts:           rt.rollouts.Load(),
+		RolloutFailures:    rt.rolloutFailures.Load(),
+		ReplicaReads:       rt.replicaReads.Load(),
+		ReadRepairs:        rt.readRepairs.Load(),
+		ReplicationFanouts: rt.replicationFanouts.Load(),
+		QuorumFailures:     rt.quorumFailures.Load(),
+		AntiEntropySyncs:   rt.antiEntropySyncs.Load(),
+		AntiEntropyRecords: rt.antiEntropyRecords.Load(),
+		Backends:           make(map[string]BackendMetrics, len(rt.order)),
 	}
 	for _, name := range rt.order {
 		b := rt.backends[name]

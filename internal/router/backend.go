@@ -127,6 +127,14 @@ func (m *healthMachine) RetryAfter(now time.Time) time.Duration {
 	defer m.mu.Unlock()
 	if m.state == stateEjected {
 		if rem := m.cooldown - now.Sub(m.ejectedAt); rem > 0 {
+			// Near cooldown expiry the remainder can be sub-second;
+			// quoting it raw would render as Retry-After: 0 once
+			// truncated to whole seconds, telling clients to hammer a
+			// backend that is still out of rotation. Never quote less
+			// than one second.
+			if rem < time.Second {
+				rem = time.Second
+			}
 			return rem
 		}
 	}

@@ -39,6 +39,21 @@ func (rt *Router) writePromMetrics(w http.ResponseWriter) {
 	obs.PromHeader(&buf, "dssddi_router_rollout_failures_total", "counter", "Fleet rollouts aborted.")
 	obs.PromInt(&buf, "dssddi_router_rollout_failures_total", "", rt.rolloutFailures.Load())
 
+	obs.PromHeader(&buf, "dssddi_router_replica_reads_total", "counter", "Registered-patient reads served by a non-owner replica.")
+	obs.PromInt(&buf, "dssddi_router_replica_reads_total", "", rt.replicaReads.Load())
+	obs.PromHeader(&buf, "dssddi_router_read_repairs_total", "counter", "Stale replicas refreshed in the background (failover reads and failed fan-out applies).")
+	obs.PromInt(&buf, "dssddi_router_read_repairs_total", "", rt.readRepairs.Load())
+	obs.PromHeader(&buf, "dssddi_router_replication_fanouts_total", "counter", "Replica applies fanned out for acknowledged registry writes.")
+	obs.PromInt(&buf, "dssddi_router_replication_fanouts_total", "", rt.replicationFanouts.Load())
+	obs.PromHeader(&buf, "dssddi_router_quorum_failures_total", "counter", "Registry mutations refused because the write quorum was not met.")
+	obs.PromInt(&buf, "dssddi_router_quorum_failures_total", "", rt.quorumFailures.Load())
+	obs.PromHeader(&buf, "dssddi_router_anti_entropy_syncs_total", "counter", "Anti-entropy reconciliation rounds run for recovering backends.")
+	obs.PromInt(&buf, "dssddi_router_anti_entropy_syncs_total", "", rt.antiEntropySyncs.Load())
+	obs.PromHeader(&buf, "dssddi_router_anti_entropy_records_total", "counter", "Records moved by anti-entropy and read repair pushes.")
+	obs.PromInt(&buf, "dssddi_router_anti_entropy_records_total", "", rt.antiEntropyRecords.Load())
+	obs.PromHeader(&buf, "dssddi_router_replication_lag_seconds", "histogram", "Owner-ack to replica-ack fan-out latency.")
+	obs.PromHistogram(&buf, "dssddi_router_replication_lag_seconds", "", rt.replLag.Snapshot())
+
 	obs.PromHeader(&buf, "dssddi_router_backend_up", "gauge", "1 when the backend is in rotation.")
 	for _, name := range rt.order {
 		up := int64(0)

@@ -1,0 +1,759 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dssddi/internal/obs"
+	"dssddi/internal/regproto"
+)
+
+// Registry replication. With ReplicationFactor R > 1 every registered
+// patient's record lives on its ring owner plus the R-1 distinct ring
+// successors — a deterministic replica group that is a pure function
+// of the key and the member set. The router is the replication
+// coordinator:
+//
+//   - Writes go to the acting owner (first in-rotation group member)
+//     with an X-Replicate header; the backend assigns the record's
+//     monotonic version, WAL-logs it, and echoes the canonical record,
+//     which the router fans out to the remaining in-rotation group
+//     members. The write is acknowledged once the available-bounded
+//     quorum has it.
+//   - Reads fail over owner -> successors within the group; a response
+//     served by a non-owner is tagged X-Served-By-Replica, and a
+//     replica found missing the record is read-repaired in the
+//     background from the member that had it.
+//   - A recovering backend reconciles through anti-entropy (digest
+//     compare + record pull/push, last-writer-wins) before the health
+//     machine returns it to rotation, so it rejoins converged, not
+//     stale.
+
+// replicaGroup is the ring-ordered replica group for key: owner first,
+// then distinct successors.
+func (rt *Router) replicaGroup(key string) []string {
+	return rt.ring.Successors(key, rt.cfg.ReplicationFactor)
+}
+
+// capturedResponse is one fully-buffered backend response — the
+// replication paths inspect status (404-failover, quorum decisions)
+// before anything is relayed to the client.
+type capturedResponse struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// proxyCapture sends one attempt to one backend and buffers the whole
+// response. Transport failures feed the health machine and return an
+// error; any HTTP response is a successful proxy. extra headers (e.g.
+// X-Replicate) are stamped onto the backend request.
+func (rt *Router) proxyCapture(r *http.Request, tr *obs.Trace, b *backend, body []byte, remaining time.Duration, extra http.Header) (*capturedResponse, error) {
+	b.requests.Add(1)
+	url := b.base + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	var reader io.Reader
+	if body != nil {
+		reader = bytes.NewReader(body)
+	}
+	attemptTimeout := rt.cfg.Timeout
+	if remaining < attemptTimeout {
+		attemptTimeout = remaining
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), attemptTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, r.Method, url, reader)
+	if err != nil {
+		b.errors.Add(1)
+		return nil, err
+	}
+	copyProxyHeaders(req.Header, r.Header)
+	for k, vs := range extra {
+		req.Header[k] = vs
+	}
+	req.Header.Set(deadlineHeader, strconv.FormatInt(attemptTimeout.Milliseconds(), 10))
+	t0 := time.Now()
+	resp, err := b.client.Do(req)
+	lat := time.Since(t0)
+	if tr != nil {
+		tr.SpanAt("proxy:"+b.name, t0, t0.Add(lat))
+	}
+	if err != nil {
+		b.errors.Add(1)
+		tr.Eventf("backend %s failed: %v", b.name, err)
+		rt.noteFailure(b, "proxy", err)
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, rt.cfg.MaxBodyBytes+1))
+	if err == nil && resp.ContentLength >= 0 && int64(len(raw)) != resp.ContentLength {
+		err = fmt.Errorf("short body: %d of %d bytes", len(raw), resp.ContentLength)
+	}
+	if err != nil {
+		b.errors.Add(1)
+		rt.noteFailure(b, "proxy", err)
+		return nil, err
+	}
+	b.lat.Observe(lat)
+	rt.noteSuccess(b)
+	tr.SetBackend(b.name)
+	return &capturedResponse{status: resp.StatusCode, header: resp.Header, body: raw}, nil
+}
+
+// relayCaptured writes a buffered backend response to the client.
+func relayCaptured(w http.ResponseWriter, cr *capturedResponse, backendName string) {
+	h := w.Header()
+	for k, vs := range cr.header {
+		if isHopByHop(k) {
+			continue
+		}
+		h[k] = vs
+	}
+	h.Set("X-Backend", backendName)
+	w.WriteHeader(cr.status)
+	w.Write(cr.body)
+}
+
+// forwardPinnedRead serves a registered-patient read from the key's
+// replica group: the owner first, then successors. A member that is
+// out of rotation is skipped; a transport failure moves on (and feeds
+// the health machine); a 404 is remembered and the walk continues —
+// the record may live on a later member, in which case the 404-ing
+// replicas are stale and get read-repaired in the background. Only
+// when every reachable member says 404 is the patient genuinely
+// unregistered.
+func (rt *Router) forwardPinnedRead(w http.ResponseWriter, r *http.Request, tr *obs.Trace, body []byte, key string, group []string, deadline time.Time) {
+	id := strings.TrimPrefix(key, "p|")
+	backoff := rt.cfg.RetryBackoff
+	var notFound *capturedResponse
+	var notFoundFrom string
+	var stale []string // members that answered 404 before a hit
+	var lastErr error
+
+	// One pass over the group, then MaxRetries extra passes with
+	// backoff for the case where every member failed at transport
+	// level (e.g. the whole group is mid-restart).
+	for pass := 0; pass <= rt.cfg.MaxRetries; pass++ {
+		if pass > 0 {
+			remaining := time.Until(deadline)
+			if remaining <= 0 || backoff >= remaining {
+				break
+			}
+			tr.Eventf("pinned read retry pass %d after %s", pass, backoff)
+			time.Sleep(backoff)
+			backoff *= 2
+			rt.retriesTotal.Add(1)
+		}
+		tried := 0
+		for _, name := range group {
+			b := rt.backends[name]
+			if !b.health.Healthy() && pass == 0 {
+				continue // ejected members reconcile before serving reads
+			}
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				break
+			}
+			tried++
+			cr, err := rt.proxyCapture(r, tr, b, body, remaining, nil)
+			if err != nil {
+				lastErr = fmt.Errorf("backend %s unreachable", b.name)
+				if pass > 0 {
+					b.retries.Add(1)
+				}
+				continue
+			}
+			if cr.status == http.StatusNotFound {
+				if notFound == nil {
+					notFound, notFoundFrom = cr, b.name
+				}
+				stale = append(stale, b.name)
+				tr.Eventf("backend %s misses %q; walking group", b.name, id)
+				continue
+			}
+			if name != group[0] {
+				rt.replicaReads.Add(1)
+				cr.header.Set(regproto.ServedByReplicaHeader, b.name)
+				tr.Eventf("read failed over to replica %s", b.name)
+			}
+			if cr.status < 300 && len(stale) > 0 {
+				rt.scheduleReadRepair(id, b.name, stale)
+			}
+			relayCaptured(w, cr, b.name)
+			return
+		}
+		if tried == 0 {
+			break // nothing in rotation; no point backing off
+		}
+	}
+
+	if notFound != nil {
+		// Every reachable group member agrees: not registered.
+		relayCaptured(w, notFound, notFoundFrom)
+		return
+	}
+	rt.proxyErrors.Add(1)
+	if !rt.anyHealthy(group) {
+		owner := rt.backends[group[0]]
+		rt.pinnedUnavailable.Add(1)
+		w.Header().Set("Retry-After", retryAfterSeconds(owner.health.RetryAfter(time.Now())))
+		writeJSON(w, http.StatusServiceUnavailable, apiError{
+			Error: fmt.Sprintf("router: backend %s owning this patient is out of rotation", owner.name),
+		})
+		return
+	}
+	if time.Until(deadline) <= 0 {
+		rt.deadlineExhausted.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, apiError{Error: "router: request budget exhausted"})
+		return
+	}
+	msg := "router: request failed"
+	if lastErr != nil {
+		msg = "router: " + lastErr.Error()
+	}
+	writeJSON(w, http.StatusBadGateway, apiError{Error: msg})
+}
+
+// withRetry runs f up to attempts times, sleeping a doubling backoff
+// between tries. Chaotic links drop individual connections, not whole
+// backends: replication control traffic (applies, syncs, digests)
+// retries through transient failures instead of treating the first
+// reset as truth.
+func withRetry(attempts int, backoff time.Duration, f func() error) error {
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		if err = f(); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// repairAttempts bounds background repair retries. Each failed attempt
+// doubles the backoff, so the chain stays short in wall-clock terms
+// while surviving several consecutive connection-level faults.
+const repairAttempts = 6
+
+// syncRecordsRetry is syncRecords with transient-failure retries.
+func (rt *Router) syncRecordsRetry(b *backend, req regproto.SyncRequest, attempts int) ([]regproto.Record, error) {
+	var recs []regproto.Record
+	err := withRetry(attempts, rt.cfg.RetryBackoff, func() (e error) {
+		recs, e = rt.syncRecords(b, req)
+		return
+	})
+	return recs, err
+}
+
+// fetchDigestRetry is fetchDigest with transient-failure retries.
+func (rt *Router) fetchDigestRetry(b *backend, attempts int) (*regproto.DigestResponse, error) {
+	var dr *regproto.DigestResponse
+	err := withRetry(attempts, rt.cfg.RetryBackoff, func() (e error) {
+		dr, e = rt.fetchDigest(b)
+		return
+	})
+	return dr, err
+}
+
+// scheduleReadRepair refreshes replicas that missed a record, pulling
+// the canonical copy from the member that served the read and applying
+// it (version-gated, so a concurrent newer write always wins) to the
+// stale members. Runs in the background — the read that discovered the
+// staleness has already been answered.
+func (rt *Router) scheduleReadRepair(id, from string, stale []string) {
+	targets := append([]string(nil), stale...)
+	rt.repairWG.Add(1)
+	go func() {
+		defer rt.repairWG.Done()
+		recs, err := rt.syncRecordsRetry(rt.backends[from], regproto.SyncRequest{IDs: []string{id}}, repairAttempts)
+		if err != nil || len(recs) == 0 {
+			return
+		}
+		repaired := false
+		for _, name := range targets {
+			b := rt.backends[name]
+			if withRetry(repairAttempts, rt.cfg.RetryBackoff, func() error {
+				return rt.applyRecords(b, recs)
+			}) == nil {
+				repaired = true
+			}
+		}
+		if repaired {
+			rt.readRepairs.Add(1)
+			if rt.logger != nil {
+				rt.logger.Info("read repair", "patient", id, "from", from, "repaired", targets)
+			}
+		}
+	}()
+}
+
+// scheduleReplicaRepair keeps retrying a fan-out apply that failed in
+// the request path. The write was already acknowledged under the
+// available-bounded quorum; redundancy is restored in the background so
+// a healthy-but-flaky member cannot silently decay into a stale replica
+// that only the next anti-entropy round would catch.
+func (rt *Router) scheduleReplicaRepair(b *backend, rec regproto.Record) {
+	rt.repairWG.Add(1)
+	go func() {
+		defer rt.repairWG.Done()
+		err := withRetry(repairAttempts, rt.cfg.RetryBackoff, func() error {
+			return rt.applyRecords(b, []regproto.Record{rec})
+		})
+		if err != nil {
+			if rt.logger != nil {
+				rt.logger.Warn("replica repair abandoned", "backend", b.name, "patient", rec.ID, "version", rec.Version, "err", err)
+			}
+			return
+		}
+		rt.readRepairs.Add(1)
+	}()
+}
+
+// forwardReplicatedWrite routes a registry mutation under replication:
+// the acting owner (first in-rotation group member) assigns the
+// record's version and WAL-logs it, the router fans the echoed record
+// out to the rest of the group, and the client is acknowledged once
+// the available-bounded write quorum holds the record. Full-replace
+// PUT and DELETE retry across the group on transport failure —
+// replaying them is safe under last-writer-wins; PATCH stays
+// single-shot.
+func (rt *Router) forwardReplicatedWrite(w http.ResponseWriter, r *http.Request, body []byte, id string) {
+	rt.requests.Add(1)
+	tr := obs.FromContext(r.Context())
+	key := registeredKey(id)
+	group := rt.replicaGroup(key)
+	if len(group) == 0 {
+		rt.proxyErrors.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "router: no backends"})
+		return
+	}
+	rt.backends[group[0]].routedKeys.Add(1)
+	deadline, expired := rt.requestDeadline(r)
+	if expired {
+		rt.proxyErrors.Add(1)
+		rt.deadlineExhausted.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, apiError{Error: "router: request deadline already expired"})
+		return
+	}
+
+	attempts := 1
+	if r.Method != http.MethodPatch {
+		attempts += rt.cfg.MaxRetries
+	}
+	extra := http.Header{}
+	extra.Set(regproto.ReplicateHeader, "1")
+	backoff := rt.cfg.RetryBackoff
+	var resp *capturedResponse
+	var acting *backend
+	var lastErr error
+	cursor := 0
+	for attempt := 0; attempt < attempts; attempt++ {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			break
+		}
+		var b *backend
+		for n := 0; n < len(group); n++ {
+			cand := rt.backends[group[(cursor+n)%len(group)]]
+			if cand.health.Healthy() {
+				b = cand
+				cursor = (cursor + n) % len(group)
+				break
+			}
+		}
+		if b == nil {
+			b = rt.backends[group[cursor%len(group)]]
+		}
+		if attempt > 0 {
+			if backoff >= remaining {
+				break
+			}
+			tr.Eventf("write retry %d: backoff %s then backend %s", attempt, backoff, b.name)
+			time.Sleep(backoff)
+			backoff *= 2
+			b.retries.Add(1)
+			rt.retriesTotal.Add(1)
+			if remaining = time.Until(deadline); remaining <= 0 {
+				break
+			}
+		}
+		cr, err := rt.proxyCapture(r, tr, b, body, remaining, extra)
+		if err != nil {
+			lastErr = fmt.Errorf("backend %s unreachable", b.name)
+			cursor++
+			continue
+		}
+		resp, acting = cr, b
+		break
+	}
+
+	if resp == nil {
+		rt.proxyErrors.Add(1)
+		if !rt.anyHealthy(group) {
+			owner := rt.backends[group[0]]
+			rt.pinnedUnavailable.Add(1)
+			w.Header().Set("Retry-After", retryAfterSeconds(owner.health.RetryAfter(time.Now())))
+			writeJSON(w, http.StatusServiceUnavailable, apiError{
+				Error: fmt.Sprintf("router: backend %s owning this patient is out of rotation", owner.name),
+			})
+			return
+		}
+		if time.Until(deadline) <= 0 {
+			rt.deadlineExhausted.Add(1)
+			writeJSON(w, http.StatusGatewayTimeout, apiError{Error: "router: request budget exhausted"})
+			return
+		}
+		msg := "router: request failed"
+		if lastErr != nil {
+			msg = "router: " + lastErr.Error()
+		}
+		writeJSON(w, http.StatusBadGateway, apiError{Error: msg})
+		return
+	}
+	if resp.status >= 300 {
+		// The acting owner rejected the mutation (400/404/...); nothing
+		// was written, nothing fans out.
+		relayCaptured(w, resp, acting.name)
+		return
+	}
+
+	// Fan the canonical record out to the rest of the in-rotation
+	// group. Ejected members are skipped — they reconcile through
+	// anti-entropy before rejoining.
+	var echo struct {
+		Record *regproto.Record `json:"record"`
+	}
+	json.Unmarshal(resp.body, &echo)
+	var acks atomic.Int64
+	acks.Store(1) // the acting owner's WAL-backed ack
+	fanout := 0
+	if echo.Record != nil {
+		t0 := time.Now()
+		var wg sync.WaitGroup
+		for _, name := range group {
+			if name == acting.name {
+				continue
+			}
+			b := rt.backends[name]
+			if !b.health.Healthy() {
+				continue
+			}
+			fanout++
+			wg.Add(1)
+			go func(b *backend) {
+				defer wg.Done()
+				if err := rt.applyRecords(b, []regproto.Record{*echo.Record}); err != nil {
+					tr.Eventf("replica %s apply failed: %v", b.name, err)
+					// The ack already stands (available-bounded quorum);
+					// restore this member's copy off the request path.
+					rt.scheduleReplicaRepair(b, *echo.Record)
+					return
+				}
+				acks.Add(1)
+				rt.replLag.Observe(time.Since(t0))
+			}(b)
+		}
+		wg.Wait()
+		rt.replicationFanouts.Add(int64(fanout))
+		tr.Eventf("replicated %q v%d to %d/%d group members", id, echo.Record.Version, acks.Load()-1, fanout)
+	}
+
+	// The quorum is bounded by the members actually available: a
+	// permanently dead replica costs redundancy, not writability.
+	required := rt.cfg.WriteQuorum
+	if avail := 1 + fanout; avail < required {
+		required = avail
+	}
+	if int(acks.Load()) < required {
+		rt.quorumFailures.Add(1)
+		rt.proxyErrors.Add(1)
+		writeJSON(w, http.StatusBadGateway, apiError{
+			Error: fmt.Sprintf("router: write quorum not met (%d of %d required acks)", acks.Load(), required),
+		})
+		return
+	}
+	relayCaptured(w, resp, acting.name)
+}
+
+// applyRecords pushes records to one backend's replica-apply endpoint.
+// Transport failures feed the health machine; a non-200 (the backend
+// refused the batch) is an error without being a health signal.
+func (rt *Router) applyRecords(b *backend, recs []regproto.Record) error {
+	body, err := json.Marshal(regproto.ApplyRequest{Records: recs})
+	if err != nil {
+		return err
+	}
+	resp, err := b.client.Post(b.base+"/v1/admin/registry/apply", "application/json", bytes.NewReader(body))
+	if err != nil {
+		rt.noteFailure(b, "replica apply", err)
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("apply returned %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// syncRecords pulls records from one backend. An empty request pulls
+// the full registry (tombstones included).
+func (rt *Router) syncRecords(b *backend, req regproto.SyncRequest) ([]regproto.Record, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := b.client.Post(b.base+"/v1/admin/registry/sync", "application/json", bytes.NewReader(body))
+	if err != nil {
+		rt.noteFailure(b, "registry sync", err)
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		return nil, fmt.Errorf("sync returned %d", resp.StatusCode)
+	}
+	var sr regproto.SyncResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&sr); err != nil {
+		return nil, err
+	}
+	return sr.Records, nil
+}
+
+// fetchDigest reads one backend's per-shard registry digests.
+func (rt *Router) fetchDigest(b *backend) (*regproto.DigestResponse, error) {
+	resp, err := b.client.Get(b.base + "/v1/admin/registry/digest")
+	if err != nil {
+		rt.noteFailure(b, "registry digest", err)
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		return nil, fmt.Errorf("digest returned %d", resp.StatusCode)
+	}
+	var dr regproto.DigestResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&dr); err != nil {
+		return nil, err
+	}
+	return &dr, nil
+}
+
+// reconcile runs one anti-entropy round for a recovering backend and
+// verifies digest convergence; the caller returns b to rotation only
+// on nil. The merge is bidirectional last-writer-wins: writes the
+// rejoiner accepted as acting owner that never fanned out flow to
+// their current group members, and everything the rejoiner missed (or
+// lost — a wiped disk rejoins empty) flows in.
+func (rt *Router) reconcile(b *backend) error {
+	rt.antiEntropySyncs.Add(1)
+
+	// The fleet's view, merged LWW across every in-rotation peer.
+	merged := make(map[string]regproto.Record)
+	for _, name := range rt.order {
+		p := rt.backends[name]
+		if p == b || !p.health.Healthy() {
+			continue
+		}
+		recs, err := rt.syncRecordsRetry(p, regproto.SyncRequest{}, repairAttempts)
+		if err != nil {
+			return fmt.Errorf("pulling from peer %s: %w", p.name, err)
+		}
+		regproto.Merge(merged, recs)
+	}
+	own, err := rt.syncRecordsRetry(b, regproto.SyncRequest{}, repairAttempts)
+	if err != nil {
+		return fmt.Errorf("pulling from rejoiner: %w", err)
+	}
+
+	// Outward: records where the rejoiner is strictly newest.
+	var outward []regproto.Record
+	for _, rec := range own {
+		if have, ok := merged[rec.ID]; !ok || rec.Newer(have) {
+			outward = append(outward, rec)
+		}
+	}
+	regproto.Merge(merged, own)
+	pushed := 0
+	if len(outward) > 0 {
+		perPeer := make(map[string][]regproto.Record)
+		for _, rec := range outward {
+			for _, name := range rt.replicaGroup(registeredKey(rec.ID)) {
+				if name != b.name && rt.backends[name].health.Healthy() {
+					perPeer[name] = append(perPeer[name], rec)
+				}
+			}
+		}
+		for name, batch := range perPeer {
+			sort.Slice(batch, func(i, j int) bool { return batch[i].ID < batch[j].ID })
+			peer := rt.backends[name]
+			if err := withRetry(repairAttempts, rt.cfg.RetryBackoff, func() error {
+				return rt.applyRecords(peer, batch)
+			}); err != nil {
+				return fmt.Errorf("pushing %d records to %s: %w", len(batch), name, err)
+			}
+			pushed += len(batch)
+		}
+	}
+
+	// Inward: everything the rejoiner's replica groups hold that it is
+	// missing or stale on. The apply endpoint is version-gated, so
+	// shipping the full expected set is idempotent.
+	ownVersion := make(map[string]uint64, len(own))
+	for _, rec := range own {
+		ownVersion[rec.ID] = rec.Version
+	}
+	var inward []regproto.Record
+	expected := make([]regproto.Record, 0, len(merged))
+	for id, rec := range merged {
+		if !rt.groupContains(registeredKey(id), b.name) {
+			continue
+		}
+		expected = append(expected, rec)
+		if v, ok := ownVersion[id]; !ok || v < rec.Version {
+			inward = append(inward, rec)
+		}
+	}
+	if len(inward) > 0 {
+		sort.Slice(inward, func(i, j int) bool { return inward[i].ID < inward[j].ID })
+		if err := withRetry(repairAttempts, rt.cfg.RetryBackoff, func() error {
+			return rt.applyRecords(b, inward)
+		}); err != nil {
+			return fmt.Errorf("pushing %d records to rejoiner: %w", len(inward), err)
+		}
+		pushed += len(inward)
+	}
+	rt.antiEntropyRecords.Add(int64(pushed))
+
+	// Convergence gate: the rejoiner's digests must match, shard for
+	// shard, the digests of exactly the records its groups own.
+	want := regproto.DigestShards(expected)
+	got, err := rt.fetchDigestRetry(b, repairAttempts)
+	if err != nil {
+		return fmt.Errorf("verifying digest: %w", err)
+	}
+	if err := diffDigests(want, got.Shards); err != nil {
+		return fmt.Errorf("rejoiner %s not converged: %w", b.name, err)
+	}
+	if rt.logger != nil {
+		rt.logger.Info("anti-entropy reconciled", "backend", b.name, "records", len(expected), "pushed", pushed)
+	}
+	return nil
+}
+
+// groupContains reports whether name is in key's replica group.
+func (rt *Router) groupContains(key, name string) bool {
+	for _, n := range rt.replicaGroup(key) {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// diffDigests compares two per-shard digest sets (both always carry
+// every shard, in shard order).
+func diffDigests(want, got []regproto.ShardDigest) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("digest shape mismatch: %d vs %d shards", len(got), len(want))
+	}
+	for i := range want {
+		if want[i].Shard != got[i].Shard || want[i].Digest != got[i].Digest {
+			return fmt.Errorf("shard %d diverges (%d vs %d records)", want[i].Shard, got[i].Records, want[i].Records)
+		}
+	}
+	return nil
+}
+
+// VerifyBackend is one backend's slice of a fleet verification.
+type VerifyBackend struct {
+	Backend string `json:"backend"`
+	State   string `json:"state"`
+	Records int    `json:"records"`
+	OK      bool   `json:"ok"`
+	Error   string `json:"error,omitempty"`
+}
+
+// VerifyResponse is the /v1/admin/registry/verify payload: whether
+// every in-rotation backend's registry digests match the fleet-merged
+// expectation for its replica groups.
+type VerifyResponse struct {
+	OK       bool            `json:"ok"`
+	Records  int             `json:"records"` // live (non-tombstone) fleet records
+	Backends []VerifyBackend `json:"backends"`
+}
+
+// handleRegistryVerify audits replication convergence across the
+// in-rotation fleet: it merges every backend's records (LWW), then
+// checks each backend's digests against exactly the records its
+// replica groups should hold. Ejected members are reported but not
+// audited — they reconcile before rejoining.
+func (rt *Router) handleRegistryVerify(w http.ResponseWriter, _ *http.Request) {
+	merged := make(map[string]regproto.Record)
+	resp := VerifyResponse{OK: true}
+	healthy := make(map[string][]regproto.Record)
+	for _, name := range rt.order {
+		b := rt.backends[name]
+		if !b.health.Healthy() {
+			resp.Backends = append(resp.Backends, VerifyBackend{Backend: name, State: rt.stateOf(name), OK: true})
+			continue
+		}
+		recs, err := rt.syncRecordsRetry(b, regproto.SyncRequest{}, repairAttempts)
+		if err != nil {
+			resp.OK = false
+			resp.Backends = append(resp.Backends, VerifyBackend{Backend: name, State: rt.stateOf(name), Error: err.Error()})
+			continue
+		}
+		healthy[name] = recs
+		regproto.Merge(merged, recs)
+	}
+	for id, rec := range merged {
+		if !rec.Deleted {
+			resp.Records++
+		}
+		_ = id
+	}
+	for _, name := range rt.order {
+		recs, ok := healthy[name]
+		if !ok {
+			continue
+		}
+		vb := VerifyBackend{Backend: name, State: rt.stateOf(name), Records: len(recs), OK: true}
+		var expected []regproto.Record
+		for id, rec := range merged {
+			if rt.groupContains(registeredKey(id), name) {
+				expected = append(expected, rec)
+			}
+		}
+		got, err := rt.fetchDigestRetry(rt.backends[name], repairAttempts)
+		if err != nil {
+			vb.OK, vb.Error = false, err.Error()
+		} else if err := diffDigests(regproto.DigestShards(expected), got.Shards); err != nil {
+			vb.OK, vb.Error = false, err.Error()
+		}
+		if !vb.OK {
+			resp.OK = false
+		}
+		resp.Backends = append(resp.Backends, vb)
+	}
+	status := http.StatusOK
+	if !resp.OK {
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, resp)
+}

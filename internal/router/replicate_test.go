@@ -1,0 +1,479 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dssddi/internal/regproto"
+	"dssddi/internal/serve"
+)
+
+// replConfig is fastConfig with replication on: every record on its
+// owner plus one ring successor, acknowledged at quorum 2 when both
+// are in rotation.
+func replConfig() Config {
+	cfg := fastConfig()
+	cfg.ReplicationFactor = 2
+	cfg.WriteQuorum = 2
+	return cfg
+}
+
+// swapHandler lets a test replace a backend's entire serve.Server
+// behind a stable address — simulating a process that restarted with
+// an empty disk.
+type swapHandler struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := s.h
+	s.mu.Unlock()
+	h.ServeHTTP(w, r)
+}
+
+func (s *swapHandler) swap(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+// routerMetrics fetches and decodes the router's /metricsz JSON.
+func routerMetrics(t *testing.T, url string) Metrics {
+	t.Helper()
+	resp, body := doJSON(t, http.MethodGet, url+"/metricsz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metricsz: status %d", resp.StatusCode)
+	}
+	var m Metrics
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// ownerOf finds a registered-patient id owned by the named backend on
+// an identically configured ring.
+func ownerOf(t *testing.T, names []string, vnodes int, owner, prefix string) string {
+	t.Helper()
+	ring := NewRing(vnodes)
+	for _, n := range names {
+		ring.Add(n)
+	}
+	for i := 0; i < 5000; i++ {
+		id := fmt.Sprintf("%s-%d", prefix, i)
+		if ring.Lookup(registeredKey(id)) == owner {
+			return id
+		}
+	}
+	t.Fatalf("no id with owner %s found", owner)
+	return ""
+}
+
+// TestReplicatedWriteFanout: with R=2 a mutation lands on the owner
+// and exactly one ring successor; the rest of the fleet never sees it.
+func TestReplicatedWriteFanout(t *testing.T) {
+	f := bootFleet(t, 3, "", replConfig())
+	const id = "fanout-patient"
+	resp, body := doJSON(t, http.MethodPut, f.rts.URL+"/v1/patients/"+id, map[string]any{"regimen": []int{0, 1, 2}})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT: status %d: %s", resp.StatusCode, body)
+	}
+
+	group := f.router.replicaGroup(registeredKey(id))
+	if len(group) != 2 {
+		t.Fatalf("replica group = %v, want 2 members", group)
+	}
+	inGroup := map[string]bool{group[0]: true, group[1]: true}
+	for i, name := range f.names {
+		direct, _ := doJSON(t, http.MethodGet, f.tss[i].URL+"/v1/patients/"+id, nil)
+		want := http.StatusNotFound
+		if inGroup[name] {
+			want = http.StatusOK
+		}
+		if direct.StatusCode != want {
+			t.Fatalf("backend %s: GET = %d, want %d", name, direct.StatusCode, want)
+		}
+	}
+
+	// The router-echoed record never leaks to clients going through the
+	// normal write path? It does carry version — but the replication
+	// record itself is only echoed to X-Replicate callers. A direct
+	// client PUT (no header) must not see a "record" field.
+	direct, dbody := doJSON(t, http.MethodPut, f.tss[0].URL+"/v1/patients/plain-client", map[string]any{"regimen": []int{1}})
+	if direct.StatusCode != http.StatusCreated {
+		t.Fatalf("direct PUT: status %d", direct.StatusCode)
+	}
+	if strings.Contains(string(dbody), `"record"`) {
+		t.Fatalf("direct PUT response leaks the replication record: %s", dbody)
+	}
+
+	// A delete propagates as a tombstone: both group members agree the
+	// patient is gone, and a re-registration resurrects it on both.
+	resp, _ = doJSON(t, http.MethodDelete, f.rts.URL+"/v1/patients/"+id, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE: status %d", resp.StatusCode)
+	}
+	for i, name := range f.names {
+		if !inGroup[name] {
+			continue
+		}
+		direct, _ := doJSON(t, http.MethodGet, f.tss[i].URL+"/v1/patients/"+id, nil)
+		if direct.StatusCode != http.StatusNotFound {
+			t.Fatalf("backend %s still serves deleted patient (status %d)", name, direct.StatusCode)
+		}
+	}
+
+	m := routerMetrics(t, f.rts.URL)
+	if m.ReplicationFanouts < 2 {
+		t.Fatalf("ReplicationFanouts = %d, want >= 2", m.ReplicationFanouts)
+	}
+	if m.QuorumFailures != 0 {
+		t.Fatalf("QuorumFailures = %d, want 0", m.QuorumFailures)
+	}
+}
+
+// TestFailoverReadServedByReplica: when a record's owner dies, reads
+// keep working from the replica — tagged X-Served-By-Replica, counted,
+// and bitwise-identical to the owner's answers. The pinned-503 dead
+// end is gone.
+func TestFailoverReadServedByReplica(t *testing.T) {
+	sys, _ := systems(t)
+	f := &fleet{}
+	var gate *gatedHandler
+	for i := 0; i < 3; i++ {
+		s, err := serve.New(sys, serve.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handler := http.Handler(s.Handler())
+		if i == 2 {
+			gate = &gatedHandler{h: handler}
+			gate.open.Store(true)
+			handler = gate
+		}
+		ts := httptest.NewServer(handler)
+		f.backends = append(f.backends, s)
+		f.tss = append(f.tss, ts)
+		f.names = append(f.names, strings.TrimPrefix(ts.URL, "http://"))
+	}
+	cfg := replConfig()
+	cfg.Backends = f.names
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.router = rt
+	f.rts = httptest.NewServer(rt.Handler())
+	t.Cleanup(func() {
+		f.rts.Close()
+		rt.Close()
+		for i := range f.tss {
+			f.tss[i].Close()
+			f.backends[i].Close()
+		}
+	})
+	gated := f.names[2]
+	id := ownerOf(t, f.names, rt.cfg.VNodes, gated, "fr")
+
+	resp, body := doJSON(t, http.MethodPut, f.rts.URL+"/v1/patients/"+id, map[string]any{"regimen": []int{0, 1, 2}})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT: status %d: %s", resp.StatusCode, body)
+	}
+	// Baseline answers from the healthy owner.
+	resp, ownerGet := doJSON(t, http.MethodGet, f.rts.URL+"/v1/patients/"+id, nil)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Backend") != gated {
+		t.Fatalf("pre-failure GET: status %d via %s, want 200 via owner %s", resp.StatusCode, resp.Header.Get("X-Backend"), gated)
+	}
+	resp, ownerSuggest := postJSON(t, f.rts.URL+"/v1/suggest", map[string]any{"patient_id": id, "k": 3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-failure suggest: status %d", resp.StatusCode)
+	}
+
+	// Kill the owner. Reads must keep answering — from the replica.
+	gate.open.Store(false)
+	resp, replicaGet := doJSON(t, http.MethodGet, f.rts.URL+"/v1/patients/"+id, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("failover GET: status %d: %s", resp.StatusCode, replicaGet)
+	}
+	served := resp.Header.Get(regproto.ServedByReplicaHeader)
+	if served == "" || served == gated {
+		t.Fatalf("failover GET served by %q without a replica tag (X-Backend %s)", served, resp.Header.Get("X-Backend"))
+	}
+	if string(replicaGet) != string(ownerGet) {
+		t.Fatalf("replica GET diverges from owner:\n  owner:   %s\n  replica: %s", ownerGet, replicaGet)
+	}
+	resp, replicaSuggest := postJSON(t, f.rts.URL+"/v1/suggest", map[string]any{"patient_id": id, "k": 3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("failover suggest: status %d: %s", resp.StatusCode, replicaSuggest)
+	}
+	if string(replicaSuggest) != string(ownerSuggest) {
+		t.Fatalf("replica suggest diverges from owner:\n  owner:   %s\n  replica: %s", ownerSuggest, replicaSuggest)
+	}
+
+	m := routerMetrics(t, f.rts.URL)
+	if m.ReplicaReads < 2 {
+		t.Fatalf("ReplicaReads = %d, want >= 2", m.ReplicaReads)
+	}
+	if m.PinnedUnavailable != 0 {
+		t.Fatalf("PinnedUnavailable = %d, want 0 — failover reads must replace the pinned 503", m.PinnedUnavailable)
+	}
+
+	// Writes keep working too: the replica becomes acting owner and
+	// assigns the next version.
+	waitFor(t, "owner ejection", 5*time.Second, func() bool {
+		return !rt.backends[gated].health.Healthy()
+	})
+	resp, _ = doJSON(t, http.MethodPut, f.rts.URL+"/v1/patients/"+id, map[string]any{"regimen": []int{3, 4}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("write with dead owner: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestReplicaRejoinAntiEntropy: a backend that dies, loses its disk,
+// and rejoins empty must reconverge through anti-entropy — byte-equal
+// digests — before the health machine lets it take traffic again. No
+// registration is lost, tombstones included.
+func TestReplicaRejoinAntiEntropy(t *testing.T) {
+	sys, _ := systems(t)
+	f := &fleet{}
+	var gate *gatedHandler
+	var swap *swapHandler
+	for i := 0; i < 2; i++ {
+		s, err := serve.New(sys, serve.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handler := http.Handler(s.Handler())
+		if i == 1 {
+			swap = &swapHandler{h: handler}
+			gate = &gatedHandler{h: swap}
+			gate.open.Store(true)
+			handler = gate
+		}
+		ts := httptest.NewServer(handler)
+		f.backends = append(f.backends, s)
+		f.tss = append(f.tss, ts)
+		f.names = append(f.names, strings.TrimPrefix(ts.URL, "http://"))
+	}
+	cfg := replConfig()
+	cfg.Backends = f.names
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.router = rt
+	f.rts = httptest.NewServer(rt.Handler())
+	t.Cleanup(func() {
+		f.rts.Close()
+		rt.Close()
+		for i := range f.tss {
+			f.tss[i].Close()
+			f.backends[i].Close()
+		}
+	})
+
+	put := func(id string, regimen []int, wantStatus int) {
+		t.Helper()
+		resp, body := doJSON(t, http.MethodPut, f.rts.URL+"/v1/patients/"+id, map[string]any{"regimen": regimen})
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("PUT %s: status %d, want %d: %s", id, resp.StatusCode, wantStatus, body)
+		}
+	}
+
+	// Phase 1: both up; ten registrations replicate to both.
+	for i := 0; i < 10; i++ {
+		put(fmt.Sprintf("ae-%d", i), []int{0, 1, i % 5}, http.StatusCreated)
+	}
+
+	// Phase 2: kill backend 1 permanently. Writes keep flowing
+	// (available-bounded quorum), one record is deleted, one updated.
+	gate.open.Store(false)
+	waitFor(t, "ejection", 5*time.Second, func() bool {
+		return !rt.backends[f.names[1]].health.Healthy()
+	})
+	for i := 10; i < 20; i++ {
+		put(fmt.Sprintf("ae-%d", i), []int{0, 1, i % 5}, http.StatusCreated)
+	}
+	put("ae-3", []int{4, 5}, http.StatusOK) // version moves past what the dead replica holds
+	resp, _ := doJSON(t, http.MethodDelete, f.rts.URL+"/v1/patients/ae-7", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE ae-7: status %d", resp.StatusCode)
+	}
+
+	// Phase 3: the backend comes back with an empty registry (fresh
+	// process, wiped disk) behind the same address.
+	empty, err := serve.New(sys, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(empty.Close)
+	swap.swap(empty.Handler())
+	gate.open.Store(true)
+
+	// The half-open trial must reconcile it before rotation: once
+	// healthy, it already holds every record.
+	waitFor(t, "rejoin after anti-entropy", 10*time.Second, func() bool {
+		return rt.backends[f.names[1]].health.Healthy()
+	})
+
+	// Every surviving registration is on the rejoined backend...
+	for i := 0; i < 20; i++ {
+		id := fmt.Sprintf("ae-%d", i)
+		want := http.StatusOK
+		if i == 7 {
+			want = http.StatusNotFound // the tombstone must not resurrect
+		}
+		direct, body := doJSON(t, http.MethodGet, f.tss[1].URL+"/v1/patients/"+id, nil)
+		if direct.StatusCode != want {
+			t.Fatalf("rejoined backend: GET %s = %d, want %d: %s", id, direct.StatusCode, want, body)
+		}
+	}
+	// ...the updated record carries the post-outage regimen...
+	direct, body := doJSON(t, http.MethodGet, f.tss[1].URL+"/v1/patients/ae-3", nil)
+	if direct.StatusCode != http.StatusOK || !strings.Contains(string(body), "[4,5]") {
+		t.Fatalf("rejoined backend: ae-3 = %d %s, want the updated regimen [4,5]", direct.StatusCode, body)
+	}
+	// ...and the fleet audit agrees the digests are byte-identical.
+	resp, body = doJSON(t, http.MethodGet, f.rts.URL+"/v1/admin/registry/verify", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verify: status %d: %s", resp.StatusCode, body)
+	}
+	var verify VerifyResponse
+	if err := json.Unmarshal(body, &verify); err != nil {
+		t.Fatal(err)
+	}
+	if !verify.OK || verify.Records != 19 {
+		t.Fatalf("verify = %+v, want OK with 19 live records", verify)
+	}
+	m := routerMetrics(t, f.rts.URL)
+	if m.AntiEntropySyncs == 0 || m.AntiEntropyRecords < 19 {
+		t.Fatalf("anti-entropy counters = %d syncs / %d records, want >= 1 / >= 19", m.AntiEntropySyncs, m.AntiEntropyRecords)
+	}
+}
+
+// TestReplicatedWriteQuorumFailure: when a required replica is
+// reachable-in-name-only (drops every connection but is still marked
+// healthy), a quorum-2 write is refused rather than silently
+// under-replicated.
+func TestReplicatedWriteQuorumFailure(t *testing.T) {
+	sys, _ := systems(t)
+	f := &fleet{}
+	var gate *gatedHandler
+	for i := 0; i < 2; i++ {
+		s, err := serve.New(sys, serve.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handler := http.Handler(s.Handler())
+		if i == 1 {
+			gate = &gatedHandler{h: handler}
+			gate.open.Store(true)
+			handler = gate
+		}
+		ts := httptest.NewServer(handler)
+		f.backends = append(f.backends, s)
+		f.tss = append(f.tss, ts)
+		f.names = append(f.names, strings.TrimPrefix(ts.URL, "http://"))
+	}
+	cfg := replConfig()
+	cfg.ProbeInterval = time.Hour // no probes: the gated member stays nominally healthy
+	cfg.FailAfter = 100           // and passive failures do not eject it mid-test
+	cfg.Backends = f.names
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.router = rt
+	f.rts = httptest.NewServer(rt.Handler())
+	t.Cleanup(func() {
+		f.rts.Close()
+		rt.Close()
+		for i := range f.tss {
+			f.tss[i].Close()
+			f.backends[i].Close()
+		}
+	})
+
+	// An id owned by the healthy backend, so the acting owner write
+	// succeeds and only the fan-out to the gated replica can fail.
+	id := ownerOf(t, f.names, rt.cfg.VNodes, f.names[0], "qf")
+	gate.open.Store(false)
+	resp, body := doJSON(t, http.MethodPut, f.rts.URL+"/v1/patients/"+id, map[string]any{"regimen": []int{0, 1}})
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("under-quorum write: status %d, want 502: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "quorum") {
+		t.Fatalf("under-quorum write error does not name the quorum: %s", body)
+	}
+	if m := routerMetrics(t, f.rts.URL); m.QuorumFailures != 1 {
+		t.Fatalf("QuorumFailures = %d, want 1", m.QuorumFailures)
+	}
+}
+
+// TestReplicatedConvergenceHammer: concurrent writers and readers
+// through the router with R=2 — every write acknowledged at quorum,
+// every read consistent, and the fleet digest-converged when the dust
+// settles. Run with -race.
+func TestReplicatedConvergenceHammer(t *testing.T) {
+	f := bootFleet(t, 3, "", replConfig())
+	const workers, iters = 8, 25
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for c := 0; c < workers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				id := fmt.Sprintf("cv-%d", c)
+				resp, _ := doJSON(t, http.MethodPut, f.rts.URL+"/v1/patients/"+id, map[string]any{"regimen": []int{c, i % 7}})
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+					failures.Add(1)
+					continue
+				}
+				resp, _ = doJSON(t, http.MethodGet, f.rts.URL+"/v1/patients/"+id, nil)
+				if resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if n := failures.Load(); n > 0 {
+		t.Fatalf("%d write/read failures under concurrency", n)
+	}
+	resp, body := doJSON(t, http.MethodGet, f.rts.URL+"/v1/admin/registry/verify", nil)
+	var verify VerifyResponse
+	if err := json.Unmarshal(body, &verify); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !verify.OK || verify.Records != workers {
+		t.Fatalf("post-hammer verify = status %d %+v, want OK with %d records", resp.StatusCode, verify, workers)
+	}
+}
+
+// TestHealthRetryAfterClampsSubSecond: near cooldown expiry the
+// remainder must never quote below one second — a raw 800ms remainder
+// truncates to Retry-After: 0 and tells clients to hammer.
+func TestHealthRetryAfterClampsSubSecond(t *testing.T) {
+	m := newHealthMachine(1, 2*time.Second)
+	now := time.Now()
+	m.OnFailure(now) // ejects (failAfter 1)
+	if got := m.RetryAfter(now.Add(1800 * time.Millisecond)); got != time.Second {
+		t.Fatalf("RetryAfter 200ms before expiry = %v, want clamped 1s", got)
+	}
+	if got := m.RetryAfter(now.Add(500 * time.Millisecond)); got != 1500*time.Millisecond {
+		t.Fatalf("RetryAfter mid-cooldown = %v, want the real 1.5s remainder", got)
+	}
+	if s := retryAfterSeconds(m.RetryAfter(now.Add(1999 * time.Millisecond))); s != "1" {
+		t.Fatalf("rendered Retry-After = %s, want 1", s)
+	}
+}

@@ -27,8 +27,19 @@ type Config struct {
 	// ring, so its keys spill deterministically to ring successors and
 	// return when it recovers.
 	Backends []string
-	// Replicas is the virtual-node count per backend (default 128).
-	Replicas int
+	// VNodes is the virtual-node count per backend on the hash ring
+	// (default 128).
+	VNodes int
+	// ReplicationFactor is how many ring-ordered backends hold each
+	// registered patient's record: the owner plus R-1 successors
+	// (default 1 — no replication, registry state is owner-only).
+	ReplicationFactor int
+	// WriteQuorum is how many replica-group acknowledgements a registry
+	// mutation needs before the router acknowledges it (default 1: the
+	// acting owner's WAL-backed ack). The effective quorum is bounded
+	// by the members actually in rotation — a permanently dead replica
+	// degrades durability, it does not wedge writes.
+	WriteQuorum int
 	// ProbeInterval is the active health-check cadence (default 1s).
 	ProbeInterval time.Duration
 	// FailAfter ejects a backend after this many consecutive transport
@@ -89,8 +100,20 @@ func (c *Config) fill() error {
 		}
 		seen[b] = true
 	}
-	if c.Replicas <= 0 {
-		c.Replicas = 128
+	if c.VNodes <= 0 {
+		c.VNodes = 128
+	}
+	if c.ReplicationFactor <= 0 {
+		c.ReplicationFactor = 1
+	}
+	if c.ReplicationFactor > len(c.Backends) {
+		c.ReplicationFactor = len(c.Backends)
+	}
+	if c.WriteQuorum <= 0 {
+		c.WriteQuorum = 1
+	}
+	if c.WriteQuorum > c.ReplicationFactor {
+		c.WriteQuorum = c.ReplicationFactor
 	}
 	if c.ProbeInterval <= 0 {
 		c.ProbeInterval = time.Second
@@ -138,14 +161,30 @@ type Router struct {
 	requests          atomic.Int64
 	proxyErrors       atomic.Int64 // requests answered 502/503/504 by the router itself
 	retriesTotal      atomic.Int64
-	pinnedUnavailable atomic.Int64 // pinned-key 503s: the owning shard is out of rotation
+	pinnedUnavailable atomic.Int64 // pinned-key 503s: the whole replica group is out of rotation
 	deadlineExhausted atomic.Int64 // 504s: the request budget ran out before any backend answered
 	rollouts          atomic.Int64
 	rolloutFailures   atomic.Int64
 
+	// Replication counters: replicaReads counts registered-patient
+	// reads served by a non-owner group member; readRepairs counts
+	// stale replicas refreshed by a failover read; quorumFailures
+	// counts mutations refused because too few group members
+	// acknowledged; antiEntropySyncs / antiEntropyRecords count
+	// reconciliation rounds and the records they pushed. replLag is
+	// the owner-ack to replica-ack fan-out latency distribution.
+	replicaReads       atomic.Int64
+	readRepairs        atomic.Int64
+	quorumFailures     atomic.Int64
+	replicationFanouts atomic.Int64
+	antiEntropySyncs   atomic.Int64
+	antiEntropyRecords atomic.Int64
+	replLag            obs.Histogram
+
 	reloadMu  sync.Mutex // serializes rollouts
 	stopProbe chan struct{}
 	probeWG   sync.WaitGroup
+	repairWG  sync.WaitGroup // in-flight async read repairs
 }
 
 // New builds a router over the configured backend pool and starts the
@@ -157,7 +196,7 @@ func New(cfg Config) (*Router, error) {
 	}
 	rt := &Router{
 		cfg:       cfg,
-		ring:      NewRing(cfg.Replicas),
+		ring:      NewRing(cfg.VNodes),
 		backends:  make(map[string]*backend, len(cfg.Backends)),
 		start:     time.Now(),
 		tracer:    obs.NewTracer(cfg.TraceSample, cfg.TraceRing),
@@ -175,10 +214,11 @@ func New(cfg Config) (*Router, error) {
 	return rt, nil
 }
 
-// Close stops the health prober.
+// Close stops the health prober and waits out in-flight read repairs.
 func (rt *Router) Close() {
 	close(rt.stopProbe)
 	rt.probeWG.Wait()
+	rt.repairWG.Wait()
 }
 
 // probeLoop actively probes every backend's /healthz on the
@@ -196,8 +236,11 @@ func (rt *Router) probeLoop() {
 		case <-ticker.C:
 			for _, name := range rt.order {
 				b := rt.backends[name]
-				if b.health.Healthy() || b.health.ProbeDue(time.Now()) {
+				switch {
+				case b.health.Healthy():
 					rt.probe(b)
+				case b.health.ProbeDue(time.Now()):
+					rt.trial(b)
 				}
 			}
 		}
@@ -227,6 +270,38 @@ func (rt *Router) probe(b *backend) {
 	rt.noteSuccess(b)
 }
 
+// trial is the half-open recovery probe for an ejected backend. Under
+// replication, answering /healthz is not enough to rejoin: the member
+// missed every write fanned out while it was gone (or lost its disk
+// entirely), so it must reconcile via anti-entropy — and prove digest
+// convergence — before it takes traffic again. A failed trial or a
+// failed reconcile re-ejects for a fresh cooldown.
+func (rt *Router) trial(b *backend) {
+	resp, err := b.client.Get(b.base + "/healthz")
+	if err != nil {
+		rt.noteFailure(b, "trial", err)
+		return
+	}
+	var health struct {
+		Epoch int64 `json:"epoch"`
+	}
+	decErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&health)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || decErr != nil {
+		rt.noteFailure(b, "trial", fmt.Errorf("healthz status %d (decode: %v)", resp.StatusCode, decErr))
+		return
+	}
+	b.epoch.Store(health.Epoch)
+	if rt.cfg.ReplicationFactor > 1 {
+		if err := rt.reconcile(b); err != nil {
+			rt.noteFailure(b, "reconcile", err)
+			return
+		}
+	}
+	rt.noteSuccess(b)
+}
+
 // noteFailure feeds one transport failure into the backend's health
 // machine and logs the ejection when this failure caused one.
 func (rt *Router) noteFailure(b *backend, cause string, err error) {
@@ -252,6 +327,7 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/alerts", rt.handleAlerts)
 	mux.HandleFunc("/v1/patients/{id}", rt.handlePatients)
 	mux.HandleFunc("POST /v1/admin/reload", rt.handleReload)
+	mux.HandleFunc("GET /v1/admin/registry/verify", rt.handleRegistryVerify)
 	mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	mux.HandleFunc("GET /metricsz", rt.handleMetricsz)
 	mux.Handle("/debug/tracez", rt.tracer.Handler("dssddi-router"))
@@ -462,10 +538,23 @@ func (rt *Router) handlePatients(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	// GET is a safe read; PUT/PATCH/DELETE mutate the shard-local
-	// registry and must fail fast rather than blindly replay.
-	idempotent := r.Method == http.MethodGet
-	rt.forward(w, r, body, registeredKey(id), idempotent, true)
+	key := registeredKey(id)
+	if r.Method == http.MethodGet {
+		rt.forward(w, r, nil, key, true, true)
+		return
+	}
+	if rt.cfg.ReplicationFactor > 1 {
+		rt.forwardReplicatedWrite(w, r, body, id)
+		return
+	}
+	// Full-replace PUT and DELETE are idempotent by construction —
+	// replaying one after an ambiguous transport failure (connection
+	// refused or reset before the response arrived) converges to the
+	// same record — so they retry the owner under the request budget
+	// instead of surfacing a 502 for every restart race. PATCH merges
+	// and stays single-shot.
+	retryable := r.Method == http.MethodPut || r.Method == http.MethodDelete
+	rt.forward(w, r, body, key, retryable, true)
 }
 
 // deadlineHeader is the propagated request budget (mirrors the
@@ -475,12 +564,13 @@ func (rt *Router) handlePatients(w http.ResponseWriter, r *http.Request) {
 const deadlineHeader = "X-Deadline-Ms"
 
 // forward proxies one request to the backend owning key. Pinned
-// requests (registry state lives only on the owner) never fail over:
-// idempotent pinned reads retry the owner with backoff, writes get
-// one shot. Un-pinned requests walk the owner's ring successors, so
-// an ejected backend's keys are served by its deterministic neighbor
-// until it recovers. The whole dance — attempts plus backoff sleeps —
-// is bounded by the request budget.
+// requests (registry state lives on the key's replica group) stay
+// within the group: idempotent pinned reads fail over owner ->
+// successors inside the group, un-replicated writes retry the owner
+// with backoff. Un-pinned requests walk the owner's ring successors,
+// so an ejected backend's keys are served by its deterministic
+// neighbor until it recovers. The whole dance — attempts plus backoff
+// sleeps — is bounded by the request budget.
 func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, key string, idempotent, pinned bool) {
 	rt.requests.Add(1)
 	tr := obs.FromContext(r.Context())
@@ -491,23 +581,24 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, k
 		return
 	}
 	rt.backends[candidates[0]].routedKeys.Add(1)
-	if pinned {
-		candidates = candidates[:1]
+	if pinned && rt.cfg.ReplicationFactor < len(candidates) {
+		candidates = candidates[:rt.cfg.ReplicationFactor]
 	}
 
-	deadline := time.Now().Add(rt.cfg.RequestBudget)
-	if h := r.Header.Get(deadlineHeader); h != "" {
-		if ms, err := strconv.ParseInt(h, 10, 64); err == nil {
-			if ms <= 0 {
-				rt.proxyErrors.Add(1)
-				rt.deadlineExhausted.Add(1)
-				writeJSON(w, http.StatusGatewayTimeout, apiError{Error: "router: request deadline already expired"})
-				return
-			}
-			if d := time.Now().Add(time.Duration(ms) * time.Millisecond); d.Before(deadline) {
-				deadline = d
-			}
-		}
+	deadline, expired := rt.requestDeadline(r)
+	if expired {
+		rt.proxyErrors.Add(1)
+		rt.deadlineExhausted.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, apiError{Error: "router: request deadline already expired"})
+		return
+	}
+
+	if pinned && idempotent && len(candidates) > 1 {
+		// A replicated registered-patient read: every group member holds
+		// the record, so the read fails over within the group instead of
+		// dead-ending on the owner.
+		rt.forwardPinnedRead(w, r, tr, body, key, candidates, deadline)
+		return
 	}
 
 	attempts := 1
@@ -561,10 +652,11 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, k
 		cursor++ // next attempt starts at the following successor
 	}
 	rt.proxyErrors.Add(1)
-	if owner := rt.backends[candidates[0]]; pinned && !owner.health.Healthy() {
-		// The only backend that can answer is out of rotation. Tell the
+	if pinned && !rt.anyHealthy(candidates) {
+		// No group member that can answer is in rotation. Tell the
 		// client when a retry could plausibly succeed: the remainder of
 		// the owner's ejection cooldown.
+		owner := rt.backends[candidates[0]]
 		rt.pinnedUnavailable.Add(1)
 		w.Header().Set("Retry-After", retryAfterSeconds(owner.health.RetryAfter(time.Now())))
 		writeJSON(w, http.StatusServiceUnavailable, apiError{
@@ -582,6 +674,34 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, k
 		msg = "router: " + lastErr.Error()
 	}
 	writeJSON(w, http.StatusBadGateway, apiError{Error: msg})
+}
+
+// anyHealthy reports whether any named backend is in rotation.
+func (rt *Router) anyHealthy(names []string) bool {
+	for _, n := range names {
+		if rt.backends[n].health.Healthy() {
+			return true
+		}
+	}
+	return false
+}
+
+// requestDeadline settles the request budget: the router's own budget,
+// shrunk (never grown) by a client-sent X-Deadline-Ms. expired reports
+// a budget that was spent before the request arrived.
+func (rt *Router) requestDeadline(r *http.Request) (deadline time.Time, expired bool) {
+	deadline = time.Now().Add(rt.cfg.RequestBudget)
+	if h := r.Header.Get(deadlineHeader); h != "" {
+		if ms, err := strconv.ParseInt(h, 10, 64); err == nil {
+			if ms <= 0 {
+				return time.Time{}, true
+			}
+			if d := time.Now().Add(time.Duration(ms) * time.Millisecond); d.Before(deadline) {
+				deadline = d
+			}
+		}
+	}
+	return deadline, false
 }
 
 // retryAfterSeconds renders a duration as a Retry-After value: whole
@@ -637,6 +757,23 @@ func (rt *Router) proxyOnce(w http.ResponseWriter, r *http.Request, tr *obs.Trac
 		return false
 	}
 	defer resp.Body.Close()
+	// Buffer the whole response before a byte reaches the client. Once
+	// the status line is written the attempt cannot be retried, and a
+	// chunked body that dies mid-stream on the backend link would be
+	// re-terminated cleanly by our own server — the client would read a
+	// truncated 2xx as if it were complete. A mid-body failure here is
+	// a transport error like any other: it feeds the health machine and
+	// the caller retries.
+	raw, rerr := io.ReadAll(resp.Body)
+	if rerr == nil && resp.ContentLength >= 0 && int64(len(raw)) != resp.ContentLength {
+		rerr = fmt.Errorf("short body: %d of %d bytes", len(raw), resp.ContentLength)
+	}
+	if rerr != nil {
+		b.errors.Add(1)
+		tr.Eventf("backend %s body died mid-read: %v", b.name, rerr)
+		rt.noteFailure(b, "proxy", rerr)
+		return false
+	}
 	b.lat.Observe(lat)
 	rt.noteSuccess(b)
 	tr.SetBackend(b.name)
@@ -650,7 +787,7 @@ func (rt *Router) proxyOnce(w http.ResponseWriter, r *http.Request, tr *obs.Trac
 	}
 	h.Set("X-Backend", b.name)
 	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
+	w.Write(raw)
 	return true
 }
 

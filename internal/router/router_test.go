@@ -212,7 +212,7 @@ func TestRouterStickyRouting(t *testing.T) {
 
 	// The router's view of the routing must match an identically
 	// configured ring.
-	ring := NewRing(f.router.cfg.Replicas)
+	ring := NewRing(f.router.cfg.VNodes)
 	for _, n := range f.names {
 		ring.Add(n)
 	}
@@ -409,7 +409,7 @@ func TestRouterFailoverEjectionRecovery(t *testing.T) {
 	gated := f.names[2]
 
 	// Find keys the gated backend owns.
-	ring := NewRing(rt.cfg.Replicas)
+	ring := NewRing(rt.cfg.VNodes)
 	for _, n := range f.names {
 		ring.Add(n)
 	}

@@ -45,16 +45,21 @@ const (
 )
 
 // checkpointTag / checkpointVersion head the checkpoint file inside
-// the snapshot container.
+// the snapshot container. Version 2 added the per-record replication
+// version and tombstone flag.
 const (
 	checkpointTag     = "registry-checkpoint"
-	checkpointVersion = 1
+	checkpointVersion = 2
 )
 
-// storedProfile is one recovered registry entry.
+// storedProfile is one recovered registry entry. Tombstones
+// (deleted=true) are recovered too: a replica must remember deletes
+// across restarts or anti-entropy could resurrect them.
 type storedProfile struct {
 	regimen  []int
 	features []float64
+	version  uint64
+	deleted  bool
 }
 
 // durableStore owns the WAL and checkpoint machinery for one
@@ -97,17 +102,23 @@ func openDurableStore(cfg Config) (*durableStore, map[string]storedProfile, erro
 	if err := loadCheckpoint(ckptPath, profiles); err != nil {
 		return nil, nil, err
 	}
-	log, err := wal.Open(cfg.WALPath, wal.Options{Sync: pol, Interval: cfg.WALSyncInterval}, func(payload []byte) error {
-		return applyRecord(profiles, payload)
+	log, err := wal.Open(cfg.WALPath, wal.Options{Sync: pol, Interval: cfg.WALSyncInterval}, func(version uint64, payload []byte) error {
+		return applyRecord(profiles, version, payload)
 	})
 	if err != nil {
 		return nil, nil, err
+	}
+	live := 0
+	for _, p := range profiles {
+		if !p.deleted {
+			live++
+		}
 	}
 	st := &durableStore{
 		log:       log,
 		ckptPath:  ckptPath,
 		every:     int64(cfg.CheckpointEvery),
-		recovered: len(profiles),
+		recovered: live,
 	}
 	// Records already in the log count toward the next compaction,
 	// otherwise a workload of short-lived restarts never checkpoints.
@@ -115,10 +126,11 @@ func openDurableStore(cfg Config) (*durableStore, map[string]storedProfile, erro
 	return st, profiles, nil
 }
 
-// logSet appends a full-profile record; called under the owning
-// shard's lock so the log order matches the install order.
-func (st *durableStore) logSet(id string, regimen []int, features []float64) error {
-	if err := st.log.Append(encodeSetRecord(id, regimen, features)); err != nil {
+// logSet appends a full-profile record stamped with its replication
+// version; called under the owning shard's lock so the log order
+// matches the install order.
+func (st *durableStore) logSet(version uint64, id string, regimen []int, features []float64) error {
+	if err := st.log.Append(version, encodeSetRecord(id, regimen, features)); err != nil {
 		return fmt.Errorf("%w: %v", errDurability, err)
 	}
 	st.pending.Add(1)
@@ -126,8 +138,8 @@ func (st *durableStore) logSet(id string, regimen []int, features []float64) err
 }
 
 // logDelete appends a tombstone; called under the owning shard's lock.
-func (st *durableStore) logDelete(id string) error {
-	if err := st.log.Append(encodeDeleteRecord(id)); err != nil {
+func (st *durableStore) logDelete(version uint64, id string) error {
+	if err := st.log.Append(version, encodeDeleteRecord(id)); err != nil {
 		return fmt.Errorf("%w: %v", errDurability, err)
 	}
 	st.pending.Add(1)
@@ -239,7 +251,10 @@ func appendFloatSlice(buf []byte, v []float64) []byte {
 }
 
 // applyRecord applies one replayed WAL record to the recovery map.
-func applyRecord(profiles map[string]storedProfile, payload []byte) error {
+// The record's replication version rides in the WAL frame; deletes
+// become tombstones rather than map removals so the recovered replica
+// still refuses stale resurrecting writes.
+func applyRecord(profiles map[string]storedProfile, version uint64, payload []byte) error {
 	r := recordReader{buf: payload}
 	op := r.byte()
 	id := r.string()
@@ -250,12 +265,12 @@ func applyRecord(profiles map[string]storedProfile, payload []byte) error {
 		if r.err != nil {
 			return fmt.Errorf("malformed set record: %w", r.err)
 		}
-		profiles[id] = storedProfile{regimen: regimen, features: features}
+		profiles[id] = storedProfile{regimen: regimen, features: features, version: version}
 	case walOpDelete:
 		if r.err != nil {
 			return fmt.Errorf("malformed delete record: %w", r.err)
 		}
-		delete(profiles, id)
+		profiles[id] = storedProfile{version: version, deleted: true}
 	default:
 		return fmt.Errorf("unknown record op %d", op)
 	}
@@ -363,6 +378,8 @@ type checkpointEntry struct {
 	id       string
 	regimen  []int
 	features []float64
+	version  uint64
+	deleted  bool
 }
 
 // writeCheckpoint atomically replaces the checkpoint file: encode into
@@ -379,6 +396,8 @@ func writeCheckpoint(path string, entries []checkpointEntry) error {
 	e.Int(len(entries))
 	for _, ent := range entries {
 		e.String(ent.id)
+		e.Int64(int64(ent.version))
+		e.Bool(ent.deleted)
 		e.Bool(ent.regimen != nil)
 		e.Ints(ent.regimen)
 		e.Bool(ent.features != nil)
@@ -430,6 +449,8 @@ func loadCheckpoint(path string, profiles map[string]storedProfile) error {
 	n := d.Int()
 	for i := 0; i < n && d.Err() == nil; i++ {
 		id := d.String()
+		version := uint64(d.Int64())
+		deleted := d.Bool()
 		hasRegimen := d.Bool()
 		regimen := d.Ints()
 		hasFeatures := d.Bool()
@@ -440,7 +461,7 @@ func loadCheckpoint(path string, profiles map[string]storedProfile) error {
 		if !hasFeatures {
 			features = nil
 		}
-		profiles[id] = storedProfile{regimen: regimen, features: features}
+		profiles[id] = storedProfile{regimen: regimen, features: features, version: version, deleted: deleted}
 	}
 	if err := d.Verify(); err != nil {
 		return fmt.Errorf("serve: checkpoint %s: %w", path, err)
@@ -459,32 +480,41 @@ func syncDir(dir string) error {
 
 // --- registry integration --------------------------------------------
 
-// snapshotProfiles copies every live entry; callers must hold the
-// durable gate exclusively (or otherwise exclude mutations).
+// snapshotProfiles copies every entry — tombstones included, so a
+// checkpointed replica still remembers its deletes; callers must hold
+// the durable gate exclusively (or otherwise exclude mutations).
 func (r *patientRegistry) snapshotProfiles() []checkpointEntry {
 	entries := make([]checkpointEntry, 0, r.len())
 	for i := range r.shards {
 		sh := &r.shards[i]
 		sh.mu.RLock()
 		for id, p := range sh.items {
-			entries = append(entries, checkpointEntry{id: id, regimen: p.regimen, features: p.features})
+			entries = append(entries, checkpointEntry{
+				id: id, regimen: p.regimen, features: p.features,
+				version: p.version, deleted: p.deleted,
+			})
 		}
 		sh.mu.RUnlock()
 	}
 	return entries
 }
 
-// installRecovered seeds the registry with boot-recovered profiles.
-// Embeddings are left unset (embEpoch 0), so the subsequent
-// reembedAll treats recovery exactly like a hot reload: every
-// recovered patient is re-embedded against the current model before
-// the server takes traffic.
+// installRecovered seeds the registry with boot-recovered profiles
+// and tombstones. Embeddings are left unset (embEpoch 0), so the
+// subsequent reembedAll treats recovery exactly like a hot reload:
+// every recovered patient is re-embedded against the current model
+// before the server takes traffic.
 func (r *patientRegistry) installRecovered(profiles map[string]storedProfile) {
 	for id, p := range profiles {
 		sh := r.shard(id)
 		sh.mu.Lock()
-		sh.items[id] = &registeredPatient{regimen: p.regimen, features: p.features, gen: 1}
+		sh.items[id] = &registeredPatient{
+			regimen: p.regimen, features: p.features, gen: 1,
+			version: p.version, deleted: p.deleted,
+		}
 		sh.mu.Unlock()
-		r.count.Add(1)
+		if !p.deleted {
+			r.count.Add(1)
+		}
 	}
 }

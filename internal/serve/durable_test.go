@@ -353,6 +353,78 @@ func TestCrashRestartHammer(t *testing.T) {
 	}
 }
 
+// TestCloseCheckpointRace: registrations racing a graceful Close. The
+// final checkpoint snapshots the registry under the durable gate while
+// writers keep landing; a registration acknowledged after that
+// snapshot began goes to the freshly reset WAL instead. Either way,
+// every 2xx-acknowledged registration must survive the restart —
+// writes refused mid-shutdown (non-2xx) may be lost, acknowledged ones
+// never. Run with -race: the hammer overlaps the checkpoint's
+// snapshot scan with concurrent shard mutations.
+func TestCloseCheckpointRace(t *testing.T) {
+	for round := 0; round < 3; round++ {
+		cfg := durableConfig(t.TempDir())
+		a, tsA := newDurableServer(t, cfg)
+
+		ackMu := sync.Mutex{}
+		acked := map[string][]int{}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for wid := 0; wid < 6; wid++ {
+			wg.Add(1)
+			go func(wid int) {
+				defer wg.Done()
+				for it := 0; ; it++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					id := fmt.Sprintf("race-%d-%d", wid, it)
+					regimen := []int{wid % 7, it % 11}
+					resp, _ := doJSON(t, http.MethodPut, tsA.URL+"/v1/patients/"+id, PatientPutRequest{Regimen: regimen})
+					if resp.StatusCode == http.StatusCreated || resp.StatusCode == http.StatusOK {
+						ackMu.Lock()
+						acked[id] = regimen
+						ackMu.Unlock()
+					}
+				}
+			}(wid)
+		}
+		// Let the hammer build momentum, then Close concurrently with it:
+		// the final checkpoint races in-flight registrations.
+		for {
+			ackMu.Lock()
+			n := len(acked)
+			ackMu.Unlock()
+			if n >= 20 {
+				break
+			}
+		}
+		a.Close()
+		close(stop)
+		wg.Wait()
+		tsA.Close()
+
+		b, tsB := newDurableServer(t, cfg)
+		for id, regimen := range acked {
+			resp, body := get(t, tsB.URL+"/v1/patients/"+id)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("round %d: acked registration %s lost across Close+restart: GET %d %s", round, id, resp.StatusCode, body)
+			}
+			var pr PatientResponse
+			if err := json.Unmarshal(body, &pr); err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(pr.Regimen) != fmt.Sprint(regimen) {
+				t.Fatalf("round %d: %s recovered regimen %v, want acknowledged %v", round, id, pr.Regimen, regimen)
+			}
+		}
+		tsB.Close()
+		b.Close()
+	}
+}
+
 // TestWALSyncPolicyFlagged: a bad sync policy string is a boot error,
 // not a silent default.
 func TestWALSyncPolicyRejected(t *testing.T) {

@@ -62,6 +62,12 @@ type RegistryMetrics struct {
 	Patients int   `json:"patients"`
 	Writes   int64 `json:"writes"`
 	Reembeds int64 `json:"reembeds"`
+	// ReplicaApplies counts records installed through the replication
+	// apply endpoint; ReplicaStale counts apply attempts refused
+	// because the local record already carried an equal-or-newer
+	// version (last-writer-wins kept the local copy).
+	ReplicaApplies int64 `json:"replica_applies"`
+	ReplicaStale   int64 `json:"replica_stale"`
 }
 
 // WALMetrics is the JSON shape of the durable-registry counters,

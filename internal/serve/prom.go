@@ -80,6 +80,12 @@ func (s *Server) writePromMetrics(w http.ResponseWriter, ep *servingEpoch) int {
 	obs.PromInt(&buf, "dssddi_registry_writes_total", "", s.patients.writes.Load())
 	obs.PromHeader(&buf, "dssddi_registry_reembeds_total", "counter", "Embeddings recomputed for an epoch move.")
 	obs.PromInt(&buf, "dssddi_registry_reembeds_total", "", s.patients.reembeds.Load())
+	obs.PromHeader(&buf, "dssddi_replica_applies_total", "counter", "Replicated records installed via the registry apply endpoint.")
+	obs.PromInt(&buf, "dssddi_replica_applies_total", "", s.patients.replicaApplies.Load())
+	obs.PromHeader(&buf, "dssddi_replica_apply_stale_total", "counter", "Replica applies refused because the local version was equal or newer.")
+	obs.PromInt(&buf, "dssddi_replica_apply_stale_total", "", s.patients.replicaStale.Load())
+	obs.PromHeader(&buf, "dssddi_replication_apply_duration_seconds", "histogram", "Latency of replica-apply record installs.")
+	obs.PromHistogram(&buf, "dssddi_replication_apply_duration_seconds", "", s.patients.applyLat.Snapshot())
 
 	if st := s.patients.store; st != nil {
 		obs.PromHeader(&buf, "dssddi_wal_records", "gauge", "Records in the live (un-compacted) WAL.")

@@ -9,6 +9,7 @@ import (
 
 	"dssddi"
 	"dssddi/internal/obs"
+	"dssddi/internal/regproto"
 )
 
 // patientRegistry is the server's mutable patient store: registered
@@ -32,12 +33,20 @@ type patientRegistry struct {
 	// takes traffic; nil means a volatile, RAM-only registry.
 	store *durableStore
 
-	count    atomic.Int64 // live entries
+	count    atomic.Int64 // live entries (tombstones excluded)
 	writes   atomic.Int64 // PUT/PATCH mutations accepted
 	reembeds atomic.Int64 // embeddings recomputed for an epoch move
+
+	// Replication counters: records installed (or refused as stale)
+	// through applyReplica — router fan-out and anti-entropy sync.
+	replicaApplies atomic.Int64
+	replicaStale   atomic.Int64
+	applyLat       obs.Histogram
 }
 
-const registryShards = 16
+// registryShards must equal regproto.Shards so per-shard anti-entropy
+// digests computed here line up with the fleet's view.
+const registryShards = regproto.Shards
 
 type registryShard struct {
 	mu    sync.RWMutex
@@ -54,6 +63,15 @@ type registeredPatient struct {
 	// cached responses (O(1) invalidation; stale entries age out of
 	// the LRU) without touching anyone else's.
 	gen uint64
+	// version is the replication-layer last-writer-wins version:
+	// monotonically increasing per record, assigned by the acting ring
+	// owner on each mutation, WAL-logged and replicated. Unlike gen it
+	// survives restarts and is comparable across replicas.
+	version uint64
+	// deleted marks a tombstone: the delete is retained (with its
+	// version) so replication cannot resurrect the patient by applying
+	// an older set record. Tombstones are invisible to reads.
+	deleted bool
 
 	emb      *dssddi.PatientEmbedding
 	embEpoch int64
@@ -98,16 +116,24 @@ func validPatientID(id string) error {
 // put creates or replaces a patient's profile, embedding it against
 // the given epoch's model. The profile is validated by the embed: an
 // invalid one is rejected and the previous state (if any) is kept.
-func (r *patientRegistry) put(ep *servingEpoch, tr *obs.Trace, id string, regimen []int, features []float64) (created bool, gen uint64, err error) {
+// The returned version is the record's new LWW version (previous
+// version + 1, tombstones included, so a re-registration after a
+// delete still moves the version forward).
+func (r *patientRegistry) put(ep *servingEpoch, tr *obs.Trace, id string, regimen []int, features []float64) (created bool, gen, version uint64, err error) {
 	emb, err := ep.sys.EmbedPatient(dssddi.PatientProfile{Regimen: regimen, Features: features})
 	if err != nil {
-		return false, 0, err
+		return false, 0, 0, err
 	}
 	if r.store != nil {
 		r.store.gate.RLock()
 	}
 	sh := r.shard(id)
 	sh.mu.Lock()
+	p := sh.items[id]
+	version = 1
+	if p != nil {
+		version = p.version + 1
+	}
 	if r.store != nil {
 		// Log before install, inside the shard critical section: the
 		// WAL order matches the install order, and a failed append
@@ -116,18 +142,22 @@ func (r *patientRegistry) put(ep *servingEpoch, tr *obs.Trace, id string, regime
 		if tr != nil {
 			wStart = time.Now()
 		}
-		err := r.store.logSet(id, regimen, features)
+		err := r.store.logSet(version, id, regimen, features)
 		tr.Span("wal-append", wStart)
 		if err != nil {
 			sh.mu.Unlock()
 			r.store.gate.RUnlock()
-			return false, 0, err
+			return false, 0, 0, err
 		}
 	}
-	p := sh.items[id]
 	if p == nil {
 		p = &registeredPatient{}
 		sh.items[id] = p
+		r.count.Add(1)
+		created = true
+	} else if p.deleted {
+		// Re-registration over a tombstone: a creation from the
+		// client's point of view.
 		r.count.Add(1)
 		created = true
 	}
@@ -138,6 +168,8 @@ func (r *patientRegistry) put(ep *servingEpoch, tr *obs.Trace, id string, regime
 	}
 	p.gen++
 	gen = p.gen
+	p.version = version
+	p.deleted = false
 	p.emb, p.embEpoch, p.embErr = emb, ep.id, nil
 	r.writes.Add(1)
 	sh.mu.Unlock()
@@ -147,7 +179,7 @@ func (r *patientRegistry) put(ep *servingEpoch, tr *obs.Trace, id string, regime
 		r.store.gate.RUnlock()
 		r.store.maybeCheckpoint(r)
 	}
-	return created, gen, nil
+	return created, gen, version, nil
 }
 
 // patch partially updates a patient: non-nil fields replace the stored
@@ -156,7 +188,7 @@ func (r *patientRegistry) put(ep *servingEpoch, tr *obs.Trace, id string, regime
 // returned regimen is the one this patch installed (read under the
 // same critical section, so a concurrent writer can never be echoed
 // back as this patch's result).
-func (r *patientRegistry) patch(ep *servingEpoch, tr *obs.Trace, id string, regimen *[]int, features *[]float64) (found bool, gen uint64, merged []int, err error) {
+func (r *patientRegistry) patch(ep *servingEpoch, tr *obs.Trace, id string, regimen *[]int, features *[]float64) (found bool, gen, version uint64, merged []int, err error) {
 	if r.store != nil {
 		r.store.gate.RLock()
 	}
@@ -169,9 +201,9 @@ func (r *patientRegistry) patch(ep *servingEpoch, tr *obs.Trace, id string, regi
 		}
 	}
 	p := sh.items[id]
-	if p == nil {
+	if p == nil || p.deleted {
 		unlock()
-		return false, 0, nil, nil
+		return false, 0, 0, nil, nil
 	}
 	newRegimen, newFeatures := p.regimen, p.features
 	if regimen != nil {
@@ -186,8 +218,9 @@ func (r *patientRegistry) patch(ep *servingEpoch, tr *obs.Trace, id string, regi
 	emb, err := ep.sys.EmbedPatient(dssddi.PatientProfile{Regimen: newRegimen, Features: newFeatures})
 	if err != nil {
 		unlock()
-		return true, 0, nil, err
+		return true, 0, 0, nil, err
 	}
+	version = p.version + 1
 	if r.store != nil {
 		// The merged profile is logged absolute, so replay never
 		// depends on the pre-patch state.
@@ -195,16 +228,17 @@ func (r *patientRegistry) patch(ep *servingEpoch, tr *obs.Trace, id string, regi
 		if tr != nil {
 			wStart = time.Now()
 		}
-		err := r.store.logSet(id, newRegimen, newFeatures)
+		err := r.store.logSet(version, id, newRegimen, newFeatures)
 		tr.Span("wal-append", wStart)
 		if err != nil {
 			unlock()
-			return true, 0, nil, err
+			return true, 0, 0, nil, err
 		}
 	}
 	p.regimen, p.features = newRegimen, newFeatures
 	p.gen++
 	gen = p.gen
+	p.version = version
 	merged = p.regimen
 	p.emb, p.embEpoch, p.embErr = emb, ep.id, nil
 	r.writes.Add(1)
@@ -212,13 +246,16 @@ func (r *patientRegistry) patch(ep *servingEpoch, tr *obs.Trace, id string, regi
 	if r.store != nil {
 		r.store.maybeCheckpoint(r)
 	}
-	return true, gen, merged, nil
+	return true, gen, version, merged, nil
 }
 
-// delete removes a patient, reporting whether it existed. A non-nil
-// error means the tombstone could not be logged durably; the patient
-// is kept.
-func (r *patientRegistry) delete(id string) (bool, error) {
+// delete tombstones a patient, reporting whether it existed. The
+// entry is kept as a versioned tombstone (invisible to reads) so
+// replication and anti-entropy order the delete against concurrent
+// set records instead of resurrecting the patient. A non-nil error
+// means the tombstone could not be logged durably; the patient is
+// kept.
+func (r *patientRegistry) delete(id string) (bool, uint64, error) {
 	if r.store != nil {
 		r.store.gate.RLock()
 	}
@@ -230,35 +267,42 @@ func (r *patientRegistry) delete(id string) (bool, error) {
 			r.store.gate.RUnlock()
 		}
 	}
-	if _, ok := sh.items[id]; !ok {
+	p, ok := sh.items[id]
+	if !ok || p.deleted {
 		unlock()
-		return false, nil
+		return false, 0, nil
 	}
+	version := p.version + 1
 	if r.store != nil {
-		if err := r.store.logDelete(id); err != nil {
+		if err := r.store.logDelete(version, id); err != nil {
 			unlock()
-			return true, err
+			return true, 0, err
 		}
 	}
-	delete(sh.items, id)
+	p.regimen, p.features = nil, nil
+	p.emb, p.embErr = nil, nil
+	p.deleted = true
+	p.version = version
+	p.gen++
 	r.count.Add(-1)
 	unlock()
 	if r.store != nil {
 		r.store.maybeCheckpoint(r)
 	}
-	return true, nil
+	return true, version, nil
 }
 
-// get returns a snapshot of a patient's profile.
-func (r *patientRegistry) get(id string) (regimen []int, features []float64, gen uint64, embEpoch int64, found bool) {
+// get returns a snapshot of a patient's profile. Tombstones read as
+// not-found.
+func (r *patientRegistry) get(id string) (regimen []int, features []float64, gen, version uint64, embEpoch int64, found bool) {
 	sh := r.shard(id)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	p := sh.items[id]
-	if p == nil {
-		return nil, nil, 0, 0, false
+	if p == nil || p.deleted {
+		return nil, nil, 0, 0, 0, false
 	}
-	return p.regimen, p.features, p.gen, p.embEpoch, true
+	return p.regimen, p.features, p.gen, p.version, p.embEpoch, true
 }
 
 // embeddingFor returns the patient's embedding valid for the given
@@ -276,7 +320,7 @@ func (r *patientRegistry) embeddingFor(ep *servingEpoch, id string) (emb *dssddi
 	sh := r.shard(id)
 	sh.mu.RLock()
 	p := sh.items[id]
-	if p == nil {
+	if p == nil || p.deleted {
 		sh.mu.RUnlock()
 		return nil, 0, nil, false, nil
 	}
@@ -320,7 +364,7 @@ func (r *patientRegistry) reembedAll(ep *servingEpoch) {
 		sh.mu.RLock()
 		jobs := make([]job, 0, len(sh.items))
 		for id, p := range sh.items {
-			if p.embEpoch < ep.id {
+			if !p.deleted && p.embEpoch < ep.id {
 				jobs = append(jobs, job{id, p.regimen, p.features, p.gen})
 			}
 		}
@@ -338,3 +382,152 @@ func (r *patientRegistry) reembedAll(ep *servingEpoch) {
 }
 
 func (r *patientRegistry) len() int { return int(r.count.Load()) }
+
+// applyReplica installs one replicated record (router fan-out or
+// anti-entropy sync), gated on its version: the record is applied
+// only if its version is strictly newer than the locally stored one
+// (last-writer-wins; a stale or duplicate apply is an idempotent
+// no-op). The outcome reports whether it applied and the version now
+// stored locally. Applied records are WAL-logged with the incoming
+// version — a replica's acknowledged copy must survive its own crash
+// — and re-embedded against the current epoch so the replica can
+// serve failover reads immediately. An embed failure does not refuse
+// the record (state convergence outranks a scorable embedding; the
+// error is kept and surfaces on suggest), so replicas converge even
+// mid-rollout when models briefly differ.
+func (r *patientRegistry) applyReplica(ep *servingEpoch, rec regproto.Record) (applied bool, version uint64, err error) {
+	t0 := time.Now()
+	defer func() { r.applyLat.Observe(time.Since(t0)) }()
+	var emb *dssddi.PatientEmbedding
+	var embErr error
+	if !rec.Deleted {
+		emb, embErr = ep.sys.EmbedPatient(dssddi.PatientProfile{Regimen: rec.Regimen, Features: rec.Features})
+	}
+	if r.store != nil {
+		r.store.gate.RLock()
+	}
+	sh := r.shard(rec.ID)
+	sh.mu.Lock()
+	p := sh.items[rec.ID]
+	if p != nil && p.version >= rec.Version {
+		local := p.version
+		sh.mu.Unlock()
+		if r.store != nil {
+			r.store.gate.RUnlock()
+		}
+		r.replicaStale.Add(1)
+		return false, local, nil
+	}
+	if r.store != nil {
+		var lerr error
+		if rec.Deleted {
+			lerr = r.store.logDelete(rec.Version, rec.ID)
+		} else {
+			lerr = r.store.logSet(rec.Version, rec.ID, rec.Regimen, rec.Features)
+		}
+		if lerr != nil {
+			sh.mu.Unlock()
+			r.store.gate.RUnlock()
+			return false, 0, lerr
+		}
+	}
+	wasLive := p != nil && !p.deleted
+	if p == nil {
+		p = &registeredPatient{}
+		sh.items[rec.ID] = p
+	}
+	if rec.Deleted {
+		p.regimen, p.features = nil, nil
+		p.emb, p.embErr = nil, nil
+		p.deleted = true
+		if wasLive {
+			r.count.Add(-1)
+		}
+	} else {
+		p.regimen = append([]int(nil), rec.Regimen...)
+		p.features = append([]float64(nil), rec.Features...)
+		if rec.Features == nil {
+			p.features = nil
+		}
+		p.deleted = false
+		p.emb, p.embEpoch, p.embErr = emb, ep.id, embErr
+		if !wasLive {
+			r.count.Add(1)
+		}
+	}
+	p.version = rec.Version
+	p.gen++
+	sh.mu.Unlock()
+	if r.store != nil {
+		r.store.gate.RUnlock()
+		r.store.maybeCheckpoint(r)
+	}
+	r.replicaApplies.Add(1)
+	return true, rec.Version, nil
+}
+
+// records snapshots every registry record — tombstones included — as
+// canonical replication records, for the digest and sync endpoints.
+// Slices are the stored replace-only ones, safe to encode after the
+// locks drop.
+func (r *patientRegistry) records() []regproto.Record {
+	out := make([]regproto.Record, 0, r.count.Load())
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for id, p := range sh.items {
+			out = append(out, regproto.Record{
+				ID:       id,
+				Version:  p.version,
+				Deleted:  p.deleted,
+				Regimen:  p.regimen,
+				Features: p.features,
+			})
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// recordsFor snapshots records filtered by shard and/or explicit ids,
+// per one sync pull.
+func (r *patientRegistry) recordsFor(req regproto.SyncRequest) []regproto.Record {
+	if len(req.IDs) > 0 {
+		out := make([]regproto.Record, 0, len(req.IDs))
+		for _, id := range req.IDs {
+			sh := r.shard(id)
+			sh.mu.RLock()
+			if p := sh.items[id]; p != nil {
+				out = append(out, regproto.Record{
+					ID: id, Version: p.version, Deleted: p.deleted,
+					Regimen: p.regimen, Features: p.features,
+				})
+			}
+			sh.mu.RUnlock()
+		}
+		return out
+	}
+	if len(req.Shards) == 0 {
+		return r.records()
+	}
+	want := make(map[int]bool, len(req.Shards))
+	for _, s := range req.Shards {
+		want[s] = true
+	}
+	var out []regproto.Record
+	for i := range r.shards {
+		if !want[i] {
+			continue
+		}
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for id, p := range sh.items {
+			out = append(out, regproto.Record{
+				ID: id, Version: p.version, Deleted: p.deleted,
+				Regimen: p.regimen, Features: p.features,
+			})
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}

@@ -54,6 +54,7 @@ import (
 	"dssddi"
 	"dssddi/internal/alerts"
 	"dssddi/internal/obs"
+	"dssddi/internal/regproto"
 )
 
 var errServerClosed = errors.New("serve: server is shutting down")
@@ -205,7 +206,7 @@ func New(sys *dssddi.System, cfg Config) (*Server, error) {
 	cfg.fill(data.NumDrugs())
 	s := &Server{
 		cfg:      cfg,
-		metrics:  newRegistry("suggest", "scores", "explain", "alerts", "patients", "reload", "healthz", "metricsz"),
+		metrics:  newRegistry("suggest", "scores", "explain", "alerts", "patients", "registry", "reload", "healthz", "metricsz"),
 		patients: newPatientRegistry(),
 		start:    time.Now(),
 		tracer:   obs.NewTracer(cfg.TraceSample, cfg.TraceRing),
@@ -270,6 +271,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/patients/{id}", s.instrument("patients", http.MethodGet, s.handlePatientGet))
 	mux.HandleFunc("DELETE /v1/patients/{id}", s.instrument("patients", http.MethodDelete, s.handlePatientDelete))
 	mux.HandleFunc("/v1/admin/reload", s.instrument("reload", http.MethodPost, s.handleReload))
+	mux.HandleFunc("/v1/admin/registry/apply", s.instrument("registry", http.MethodPost, s.handleRegistryApply))
+	mux.HandleFunc("/v1/admin/registry/digest", s.instrument("registry", http.MethodGet, s.handleRegistryDigest))
+	mux.HandleFunc("/v1/admin/registry/sync", s.instrument("registry", http.MethodPost, s.handleRegistrySync))
 	mux.HandleFunc("/healthz", s.instrument("healthz", http.MethodGet, s.handleHealthz))
 	mux.HandleFunc("/metricsz", s.instrument("metricsz", http.MethodGet, s.handleMetricsz))
 	mux.Handle("/debug/tracez", s.tracer.Handler("dssddi-serve"))
@@ -848,6 +852,11 @@ type PatientResponse struct {
 	Created bool   `json:"created,omitempty"`
 	Deleted bool   `json:"deleted,omitempty"`
 	Gen     uint64 `json:"gen,omitempty"`
+	// Version is the record's replication (last-writer-wins) version:
+	// assigned by the acting ring owner on each mutation, durable and
+	// comparable across replicas (unlike Gen, which is a per-process
+	// cache-invalidation counter).
+	Version uint64 `json:"version,omitempty"`
 	Regimen []int  `json:"regimen,omitempty"`
 	// HasFeatures reports whether a feature vector is on file (the
 	// vector itself is not echoed back).
@@ -855,6 +864,26 @@ type PatientResponse struct {
 	// Epoch is the serving epoch the cached embedding was built
 	// against.
 	Epoch int64 `json:"epoch,omitempty"`
+	// Record is the canonical replicated record, echoed only when the
+	// mutation carried the router's X-Replicate header — the router
+	// fans exactly these bytes out to the replica group.
+	Record *regproto.Record `json:"record,omitempty"`
+}
+
+// replicateRecord loads the canonical record for id when the request
+// asked for a replication echo (X-Replicate header present). A
+// concurrent writer may already have moved the record past this
+// mutation's version; fanning the newer record out is harmless under
+// last-writer-wins.
+func (s *Server) replicateRecord(r *http.Request, id string) *regproto.Record {
+	if r.Header.Get(regproto.ReplicateHeader) == "" {
+		return nil
+	}
+	recs := s.patients.recordsFor(regproto.SyncRequest{IDs: []string{id}})
+	if len(recs) == 0 {
+		return nil
+	}
+	return &recs[0]
 }
 
 func (s *Server) handlePatientPut(w http.ResponseWriter, r *http.Request, ep *servingEpoch) int {
@@ -866,7 +895,7 @@ func (s *Server) handlePatientPut(w http.ResponseWriter, r *http.Request, ep *se
 	if !decodeBody(w, r, &req) {
 		return http.StatusBadRequest
 	}
-	created, gen, err := s.patients.put(ep, obs.FromContext(r.Context()), id, req.Regimen, req.Features)
+	created, gen, version, err := s.patients.put(ep, obs.FromContext(r.Context()), id, req.Regimen, req.Features)
 	if err != nil {
 		if errors.Is(err, errDurability) {
 			return writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
@@ -878,8 +907,9 @@ func (s *Server) handlePatientPut(w http.ResponseWriter, r *http.Request, ep *se
 		status = http.StatusCreated
 	}
 	return writeJSON(w, status, PatientResponse{
-		ID: id, Created: created, Gen: gen,
+		ID: id, Created: created, Gen: gen, Version: version,
 		Regimen: req.Regimen, HasFeatures: req.Features != nil, Epoch: ep.id,
+		Record: s.replicateRecord(r, id),
 	})
 }
 
@@ -895,7 +925,7 @@ func (s *Server) handlePatientPatch(w http.ResponseWriter, r *http.Request, ep *
 	if req.Regimen == nil && req.Features == nil {
 		return badRequest(w, "pass regimen and/or features")
 	}
-	found, gen, merged, err := s.patients.patch(ep, obs.FromContext(r.Context()), id, req.Regimen, req.Features)
+	found, gen, version, merged, err := s.patients.patch(ep, obs.FromContext(r.Context()), id, req.Regimen, req.Features)
 	if !found {
 		return notFound(w, "patient %q is not registered", id)
 	}
@@ -905,7 +935,10 @@ func (s *Server) handlePatientPatch(w http.ResponseWriter, r *http.Request, ep *
 		}
 		return badRequest(w, "invalid profile: %v", err)
 	}
-	return writeJSON(w, http.StatusOK, PatientResponse{ID: id, Gen: gen, Regimen: merged, Epoch: ep.id})
+	return writeJSON(w, http.StatusOK, PatientResponse{
+		ID: id, Gen: gen, Version: version, Regimen: merged, Epoch: ep.id,
+		Record: s.replicateRecord(r, id),
+	})
 }
 
 func (s *Server) handlePatientGet(w http.ResponseWriter, r *http.Request, _ *servingEpoch) int {
@@ -913,12 +946,12 @@ func (s *Server) handlePatientGet(w http.ResponseWriter, r *http.Request, _ *ser
 	if err := validPatientID(id); err != nil {
 		return badRequest(w, "%v", err)
 	}
-	regimen, features, gen, embEpoch, found := s.patients.get(id)
+	regimen, features, gen, version, embEpoch, found := s.patients.get(id)
 	if !found {
 		return notFound(w, "patient %q is not registered", id)
 	}
 	return writeJSON(w, http.StatusOK, PatientResponse{
-		ID: id, Gen: gen, Regimen: regimen, HasFeatures: features != nil, Epoch: embEpoch,
+		ID: id, Gen: gen, Version: version, Regimen: regimen, HasFeatures: features != nil, Epoch: embEpoch,
 	})
 }
 
@@ -927,14 +960,17 @@ func (s *Server) handlePatientDelete(w http.ResponseWriter, r *http.Request, _ *
 	if err := validPatientID(id); err != nil {
 		return badRequest(w, "%v", err)
 	}
-	found, err := s.patients.delete(id)
+	found, version, err := s.patients.delete(id)
 	if err != nil {
 		return writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
 	}
 	if !found {
 		return notFound(w, "patient %q is not registered", id)
 	}
-	return writeJSON(w, http.StatusOK, PatientResponse{ID: id, Deleted: true})
+	return writeJSON(w, http.StatusOK, PatientResponse{
+		ID: id, Deleted: true, Version: version,
+		Record: s.replicateRecord(r, id),
+	})
 }
 
 // ReloadRequest is the /v1/admin/reload body; an empty body (or empty
@@ -1006,9 +1042,11 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request, ep *serv
 		ExplainCache:  cacheMetrics(ep.explainCache),
 		Batching:      BatchMetrics{Batches: batches, Requests: requests},
 		Registry: RegistryMetrics{
-			Patients: s.patients.len(),
-			Writes:   s.patients.writes.Load(),
-			Reembeds: s.patients.reembeds.Load(),
+			Patients:       s.patients.len(),
+			Writes:         s.patients.writes.Load(),
+			Reembeds:       s.patients.reembeds.Load(),
+			ReplicaApplies: s.patients.replicaApplies.Load(),
+			ReplicaStale:   s.patients.replicaStale.Load(),
 		},
 		DeadlineTimeouts: s.deadlineTimeouts.Load(),
 	}

@@ -5,8 +5,15 @@
 // framed as
 //
 //	uint32 payload length (little-endian)
-//	uint32 CRC32-IEEE over (length bytes || payload)
+//	uint32 CRC32-IEEE over (length bytes || record version || payload)
+//	uint64 record version (little-endian)
 //	payload bytes
+//
+// The record version is the replication-layer LWW version of the
+// registry record the payload mutates; it rides in the frame (rather
+// than the payload) so replay hands the registry the exact version
+// each record was acknowledged with, and per-record versions survive
+// crashes the same way the payload does.
 //
 // Each Append writes its frame with a single write(2), so a crash
 // mid-append leaves a strict prefix of the frame on disk. Open
@@ -44,8 +51,9 @@ import (
 const (
 	// Magic identifies a registry WAL file.
 	Magic = "dssddi-wal\x00"
-	// Version is bumped on incompatible format changes.
-	Version = 1
+	// Version is bumped on incompatible format changes. Version 2
+	// added the per-record uint64 version to the frame.
+	Version = 2
 	// maxRecord bounds a single record payload (64 MiB). A length
 	// prefix beyond it cannot come from a torn write of a valid
 	// record, so it is classified as corruption, which also catches
@@ -53,7 +61,7 @@ const (
 	maxRecord = 1 << 26
 
 	headerSize = len(Magic) + 4
-	frameSize  = 8 // length + crc
+	frameSize  = 16 // length + crc + record version
 )
 
 // SyncPolicy controls when appended records are fsynced.
@@ -139,11 +147,12 @@ func (e *CorruptError) Error() string {
 }
 
 // Open opens (creating if needed) the log at path, replays every
-// intact record through replay in append order, truncates a torn tail
-// left by a crash, and returns the log positioned for appends. A
-// complete record with a bad checksum, or a malformed header, aborts
-// with a *CorruptError: interior damage must not be served.
-func Open(path string, opts Options, replay func(payload []byte) error) (*Log, error) {
+// intact record through replay in append order (handing each its
+// stored record version), truncates a torn tail left by a crash, and
+// returns the log positioned for appends. A complete record with a
+// bad checksum, or a malformed header, aborts with a *CorruptError:
+// interior damage must not be served.
+func Open(path string, opts Options, replay func(version uint64, payload []byte) error) (*Log, error) {
 	if opts.Interval <= 0 {
 		opts.Interval = 100 * time.Millisecond
 	}
@@ -166,7 +175,7 @@ func Open(path string, opts Options, replay func(payload []byte) error) (*Log, e
 
 // recover validates the header (writing one into an empty file),
 // replays records, truncates a torn tail and seeks to the end.
-func (l *Log) recover(replay func([]byte) error) error {
+func (l *Log) recover(replay func(uint64, []byte) error) error {
 	st, err := l.f.Stat()
 	if err != nil {
 		return fmt.Errorf("wal: stat %s: %w", l.path, err)
@@ -208,7 +217,8 @@ func (l *Log) recover(replay func([]byte) error) error {
 			break
 		}
 		length := readUint32(frame[:4])
-		want := readUint32(frame[4:])
+		want := readUint32(frame[4:8])
+		version := readUint64(frame[8:])
 		if length > maxRecord {
 			return &CorruptError{Path: l.path, Offset: offset, Reason: fmt.Sprintf("record length %d exceeds limit", length)}
 		}
@@ -223,6 +233,7 @@ func (l *Log) recover(replay func([]byte) error) error {
 		}
 		crc := crc32.NewIEEE()
 		crc.Write(frame[:4])
+		crc.Write(frame[8:])
 		crc.Write(body)
 		if crc.Sum32() != want {
 			// The whole frame is on disk, so this is not a torn
@@ -230,7 +241,7 @@ func (l *Log) recover(replay func([]byte) error) error {
 			return &CorruptError{Path: l.path, Offset: offset, Reason: "checksum mismatch"}
 		}
 		if replay != nil {
-			if err := replay(body); err != nil {
+			if err := replay(version, body); err != nil {
 				return fmt.Errorf("wal: %s: replay record at offset %d: %w", l.path, offset, err)
 			}
 		}
@@ -253,10 +264,11 @@ func (l *Log) recover(replay func([]byte) error) error {
 	return nil
 }
 
-// Append durably (per the sync policy) adds one record. The frame is
-// written with a single write so a crash can only leave a torn tail,
-// never a half-framed interior.
-func (l *Log) Append(payload []byte) error {
+// Append durably (per the sync policy) adds one record stamped with
+// its registry record version. The frame is written with a single
+// write so a crash can only leave a torn tail, never a half-framed
+// interior.
+func (l *Log) Append(version uint64, payload []byte) error {
 	if len(payload) > maxRecord {
 		return fmt.Errorf("wal: record of %d bytes exceeds %d limit", len(payload), maxRecord)
 	}
@@ -264,10 +276,14 @@ func (l *Log) Append(payload []byte) error {
 	defer func() { l.appendLat.Observe(time.Since(t0)) }()
 	frame := make([]byte, 0, frameSize+len(payload))
 	frame = appendUint32(frame, uint32(len(payload)))
+	var ver [8]byte
+	putUint64(ver[:], version)
 	crc := crc32.NewIEEE()
 	crc.Write(frame[:4])
+	crc.Write(ver[:])
 	crc.Write(payload)
 	frame = appendUint32(frame, crc.Sum32())
+	frame = append(frame, ver[:]...)
 	frame = append(frame, payload...)
 
 	l.mu.Lock()
@@ -408,4 +424,18 @@ func appendUint32(b []byte, v uint32) []byte {
 
 func readUint32(b []byte) uint32 {
 	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func readUint64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
 }

@@ -15,7 +15,7 @@ import (
 func openCollect(t *testing.T, path string, opts Options) (*Log, [][]byte) {
 	t.Helper()
 	var got [][]byte
-	l, err := Open(path, opts, func(p []byte) error {
+	l, err := Open(path, opts, func(_ uint64, p []byte) error {
 		got = append(got, append([]byte(nil), p...))
 		return nil
 	})
@@ -35,7 +35,7 @@ func TestRoundTrip(t *testing.T) {
 	for i := 0; i < 25; i++ {
 		rec := []byte(fmt.Sprintf("record-%d-%s", i, strings.Repeat("x", i*7)))
 		want = append(want, rec)
-		if err := l.Append(rec); err != nil {
+		if err := l.Append(uint64(i)+1, rec); err != nil {
 			t.Fatalf("Append: %v", err)
 		}
 	}
@@ -61,6 +61,48 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
+// Record versions ride in the frame, checksummed with the payload,
+// and replay hands back exactly the version each record was appended
+// with — including versions that do not fit in 32 bits.
+func TestVersionRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reg.wal")
+	l, _ := openCollect(t, path, Options{Sync: SyncAlways})
+	want := []uint64{1, 7, 7, 42, 1<<40 + 3, ^uint64(0)}
+	for i, v := range want {
+		if err := l.Append(v, []byte(fmt.Sprintf("versioned-%d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	l.Close()
+
+	var got []uint64
+	l2, err := Open(path, Options{}, func(v uint64, _ []byte) error {
+		got = append(got, v)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l2.Close()
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("replayed versions %v, want %v", got, want)
+	}
+
+	// A flipped version byte breaks the frame checksum: versions are
+	// protected by the same CRC as the payload.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[headerSize+8+2] ^= 0x01 // third byte of the first record's version field
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Options{}, nil); err == nil {
+		t.Fatal("Open accepted a log with a corrupted version field")
+	}
+}
+
 // A crash mid-append leaves a prefix of the final frame. Every cut
 // point — inside the length, inside the crc, inside the payload —
 // must recover to the last complete record and leave the log
@@ -69,11 +111,11 @@ func TestTornTailRecovered(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "reg.wal")
 	l, _ := openCollect(t, path, Options{Sync: SyncAlways})
 	for i := 0; i < 5; i++ {
-		if err := l.Append([]byte(fmt.Sprintf("intact-%d", i))); err != nil {
+		if err := l.Append(0, []byte(fmt.Sprintf("intact-%d", i))); err != nil {
 			t.Fatalf("Append: %v", err)
 		}
 	}
-	if err := l.Append([]byte("the-final-record-that-tears")); err != nil {
+	if err := l.Append(0, []byte("the-final-record-that-tears")); err != nil {
 		t.Fatalf("Append: %v", err)
 	}
 	l.Close()
@@ -96,7 +138,7 @@ func TestTornTailRecovered(t *testing.T) {
 			t.Fatalf("cut=%d: TornBytes = 0, want > 0", cut)
 		}
 		// The log must accept appends after truncating the tear...
-		if err := tl.Append([]byte("post-crash")); err != nil {
+		if err := tl.Append(0, []byte("post-crash")); err != nil {
 			t.Fatalf("cut=%d: Append after recovery: %v", cut, err)
 		}
 		tl.Close()
@@ -116,7 +158,7 @@ func TestInteriorCorruptionRejected(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "reg.wal")
 	l, _ := openCollect(t, path, Options{Sync: SyncAlways})
 	for i := 0; i < 4; i++ {
-		if err := l.Append([]byte(fmt.Sprintf("record-number-%d", i))); err != nil {
+		if err := l.Append(0, []byte(fmt.Sprintf("record-number-%d", i))); err != nil {
 			t.Fatalf("Append: %v", err)
 		}
 	}
@@ -133,7 +175,7 @@ func TestInteriorCorruptionRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	_, err = Open(path, Options{}, func([]byte) error { return nil })
+	_, err = Open(path, Options{}, func(uint64, []byte) error { return nil })
 	if err == nil {
 		t.Fatal("Open accepted a log with an interior bit flip")
 	}
@@ -162,7 +204,7 @@ func TestResetDiscardsRecords(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "reg.wal")
 	l, _ := openCollect(t, path, Options{Sync: SyncAlways})
 	for i := 0; i < 8; i++ {
-		l.Append([]byte("soon-compacted"))
+		l.Append(0, []byte("soon-compacted"))
 	}
 	if err := l.Reset(); err != nil {
 		t.Fatalf("Reset: %v", err)
@@ -170,7 +212,7 @@ func TestResetDiscardsRecords(t *testing.T) {
 	if l.Records() != 0 || l.Bytes() != 0 {
 		t.Fatalf("after Reset: Records=%d Bytes=%d, want 0,0", l.Records(), l.Bytes())
 	}
-	if err := l.Append([]byte("after-compaction")); err != nil {
+	if err := l.Append(0, []byte("after-compaction")); err != nil {
 		t.Fatalf("Append after Reset: %v", err)
 	}
 	l.Close()
@@ -188,7 +230,7 @@ func TestSyncPolicies(t *testing.T) {
 			path := filepath.Join(t.TempDir(), "reg.wal")
 			l, _ := openCollect(t, path, Options{Sync: pol, Interval: 10 * time.Millisecond})
 			for i := 0; i < 10; i++ {
-				if err := l.Append([]byte("payload")); err != nil {
+				if err := l.Append(0, []byte("payload")); err != nil {
 					t.Fatalf("Append: %v", err)
 				}
 			}
@@ -229,7 +271,7 @@ func TestConcurrentAppends(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
-				if err := l.Append([]byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+				if err := l.Append(0, []byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
 					t.Errorf("Append: %v", err)
 					return
 				}
@@ -251,7 +293,7 @@ func TestAppendAfterCloseFails(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "reg.wal")
 	l, _ := openCollect(t, path, Options{})
 	l.Close()
-	if err := l.Append([]byte("late")); err == nil {
+	if err := l.Append(0, []byte("late")); err == nil {
 		t.Fatal("Append after Close succeeded")
 	}
 	if err := l.Close(); err != nil {

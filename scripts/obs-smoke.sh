@@ -99,11 +99,11 @@ echo "   request $RID served by $OWNER"
 
 echo "== Prometheus expositions round-trip through the strict parser"
 "$WORK/obscheck" prom "http://$ROUTER/metricsz?format=prometheus" \
-    -require dssddi_router_build_info,dssddi_router_requests_total,dssddi_router_backend_duration_seconds,dssddi_router_fleet_duration_seconds
+    -require dssddi_router_build_info,dssddi_router_requests_total,dssddi_router_backend_duration_seconds,dssddi_router_fleet_duration_seconds,dssddi_router_replica_reads_total,dssddi_router_replication_lag_seconds,dssddi_router_anti_entropy_syncs_total
 "$WORK/obscheck" prom "http://$B0/metricsz?format=prometheus" \
-    -require dssddi_build_info,dssddi_requests_total,dssddi_request_duration_seconds,dssddi_cache_hits_total
+    -require dssddi_build_info,dssddi_requests_total,dssddi_request_duration_seconds,dssddi_cache_hits_total,dssddi_replica_applies_total,dssddi_replication_apply_duration_seconds
 "$WORK/obscheck" prom "http://$B1/metricsz?format=prometheus" \
-    -require dssddi_build_info,dssddi_request_duration_seconds
+    -require dssddi_build_info,dssddi_request_duration_seconds,dssddi_replica_applies_total
 
 echo "== structured log stream is well-formed JSON events"
 # Non-JSON stderr banners aside, every slog line must carry the
