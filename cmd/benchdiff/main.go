@@ -32,11 +32,23 @@
 // threshold. The same gate applies automatically in two-report mode
 // when the current report carries a replication section.
 //
+// A fourth mode gates on the precision section of ONE report:
+//
+//	benchdiff -precision-gate BENCH_serve.json
+//
+// requires the report to carry precision stats ('dssddi precision
+// -bench') and hard-fails when the f32 entry's max absolute score
+// divergence from the float64 oracle exceeds -max-abs-delta, or its
+// top-K ranking invariance drops below -min-ranking-invariance. The
+// int8-experimental entry is printed but never gated — it is the
+// proven-path experiment, not a shipped precision.
+//
 // Usage:
 //
 //	benchdiff [-max-alloc-ratio 2.0] [-max-ns-ratio 2.0] [-min-rps-ratio 0] baseline.json current.json
 //	benchdiff -scale scaled:base:minratio report.json
 //	benchdiff -replication-gate report.json
+//	benchdiff -precision-gate [-max-abs-delta 1e-4] [-min-ranking-invariance 0.95] report.json
 package main
 
 import (
@@ -68,7 +80,27 @@ func main() {
 	minRPSRatio := flag.Float64("min-rps-ratio", 0, "fail when a serving suggest entry's req/s falls below this fraction of baseline (0 = informational only)")
 	scale := flag.String("scale", "", "single-report scaling assertion: scaledEntry:baseEntry:minRatio (e.g. cluster-suggest:suggest:2.0)")
 	replGate := flag.Bool("replication-gate", false, "single-report replication gate: require a replication section and fail when lost_registrations > 0")
+	precGate := flag.Bool("precision-gate", false, "single-report precision gate: require precision stats and fail when the f32 divergence or ranking invariance breaks the thresholds")
+	maxAbsDelta := flag.Float64("max-abs-delta", 1e-4, "precision gate: max tolerated |score_f32 - score_f64|")
+	minInvariance := flag.Float64("min-ranking-invariance", 0.95, "precision gate: min fraction of sampled patients whose f32 top-K matches the f64 oracle")
 	flag.Parse()
+
+	if *precGate {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: benchdiff -precision-gate report.json")
+			os.Exit(2)
+		}
+		rep, err := load(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		if err := checkPrecision(rep, *maxAbsDelta, *minInvariance); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *replGate {
 		if flag.NArg() != 1 {
@@ -238,6 +270,35 @@ func checkReplication(r *benchfmt.ReplicationStats) error {
 		return fmt.Errorf("replication gate: %d acknowledged registrations lost (must be 0)", r.LostRegistrations)
 	}
 	return nil
+}
+
+// checkPrecision prints a report's precision characterization and
+// enforces the f32 accuracy gate: the quantized path only ships while
+// it provably tracks the float64 oracle. Missing stats are an error —
+// a pipeline that forgets the characterization step must not pass.
+func checkPrecision(rep benchfmt.Report, maxAbsDelta, minInvariance float64) error {
+	if len(rep.Precisions) == 0 {
+		return fmt.Errorf("-precision-gate: report has no precision stats (run 'dssddi precision -bench')")
+	}
+	var gated bool
+	var gateErr error
+	for _, ps := range rep.Precisions {
+		fmt.Printf("precision %-18s max|dscore| %.3e, top-%d ranking invariance %.3f over %d patients x %d drugs\n",
+			ps.Precision, ps.MaxAbsDelta, ps.K, ps.RankingInvariance, ps.Patients, ps.Drugs)
+		if ps.Precision != "f32" {
+			continue
+		}
+		gated = true
+		if ps.MaxAbsDelta > maxAbsDelta {
+			gateErr = fmt.Errorf("precision gate: f32 max|dscore| %.3e exceeds %.3e", ps.MaxAbsDelta, maxAbsDelta)
+		} else if ps.RankingInvariance < minInvariance {
+			gateErr = fmt.Errorf("precision gate: f32 ranking invariance %.3f below %.3f", ps.RankingInvariance, minInvariance)
+		}
+	}
+	if !gated {
+		return fmt.Errorf("-precision-gate: report has no f32 precision entry")
+	}
+	return gateErr
 }
 
 // assertScale enforces scaledEntry.RPS >= minRatio * baseEntry.RPS

@@ -142,6 +142,7 @@ func main() {
 		Workers:    mat.Workers(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Seed:       *seed,
+		SIMD:       mat.SIMD(),
 	}
 	start := time.Now()
 	startAllocs := mallocs()

@@ -47,6 +47,7 @@ func main() {
 		batchWindow = flag.Duration("batch-window", time.Millisecond, "how long a lone request waits to be batched (0 = never wait)")
 		cacheSize   = flag.Int("cache", 4096, "result cache entries across endpoints (negative disables)")
 		defaultK    = flag.Int("default-k", 4, "suggestion list length when a request omits k")
+		precision   = flag.String("precision", "f64", "serving precision: f64 (oracle), f32 (SIMD quantized) or int8-experimental; hot reloads keep it unless the reload request names another")
 		watch       = flag.Bool("watch", false, "watch the -m snapshot file and hot-reload it when it changes")
 		watchEvery  = flag.Duration("watch-interval", time.Second, "how often -watch polls the snapshot file")
 
@@ -94,6 +95,7 @@ func main() {
 		BatchWindow:     *batchWindow,
 		CacheSize:       *cacheSize,
 		DefaultK:        *defaultK,
+		Precision:       *precision,
 		SnapshotPath:    *model,
 		WALPath:         *walPath,
 		WALSync:         *walSync,
@@ -120,8 +122,8 @@ func main() {
 		log.Fatalf("dssddi-serve: %v", err)
 	}
 	bound := ln.Addr().String()
-	fmt.Fprintf(os.Stderr, "dssddi-serve: build %s (%s) %s model (%d patients, %d drugs, dataset %s) listening on %s\n",
-		obs.Build().Short(), obs.Build().GoVersion, info.Backbone, info.Patients, info.Drugs, info.DatasetSHA256[:12], bound)
+	fmt.Fprintf(os.Stderr, "dssddi-serve: build %s (%s) %s model (%d patients, %d drugs, dataset %s) precision %s simd %s listening on %s\n",
+		obs.Build().Short(), obs.Build().GoVersion, info.Backbone, info.Patients, info.Drugs, info.DatasetSHA256[:12], sys.Precision(), mat.SIMD(), bound)
 	if logger != nil {
 		logger.Info("boot", "service", "dssddi-serve", "build", obs.Build(), "addr", bound)
 	}

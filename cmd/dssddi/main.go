@@ -11,6 +11,7 @@
 //	dssddi suggest [-m model.snap] [-patient 12] [-k 3] [-alerts]
 //	dssddi explain [-m model.snap] -drugs 46,47
 //	dssddi info    -m model.snap
+//	dssddi precision [-m model.snap] [-k 4] [-sample 64] [-bench BENCH_serve.json]
 //
 // The legacy single-command form (dssddi -mode eval|suggest|explain)
 // is retained and trains on every run.
@@ -21,14 +22,18 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 
 	"dssddi"
 	"dssddi/internal/alerts"
+	"dssddi/internal/benchfmt"
+	"dssddi/internal/mat"
 )
 
 // options collects the flags shared by the subcommands.
@@ -38,6 +43,7 @@ type options struct {
 	seed      int64
 	ddiEpochs int
 	mdEpochs  int
+	hidden    int
 	mimic     bool
 	workers   int
 	model     string // -m: load snapshot instead of training
@@ -46,6 +52,8 @@ type options struct {
 	k         int
 	drugs     string
 	alerts    bool
+	sample    int    // precision: max test patients to score
+	bench     string // precision: merge stats into this report file
 }
 
 func commonFlags(fs *flag.FlagSet, o *options) {
@@ -54,6 +62,7 @@ func commonFlags(fs *flag.FlagSet, o *options) {
 	fs.Int64Var(&o.seed, "seed", 1, "generation and training seed")
 	fs.IntVar(&o.ddiEpochs, "ddi-epochs", 150, "DDI module training epochs (paper: 400)")
 	fs.IntVar(&o.mdEpochs, "md-epochs", 250, "MD module training epochs (paper: 1000)")
+	fs.IntVar(&o.hidden, "hidden", 0, "representation width (0 = paper default 64)")
 	fs.BoolVar(&o.mimic, "mimic", false, "use the MIMIC-like data set instead of the chronic cohort")
 	fs.IntVar(&o.workers, "workers", 0, "kernel worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 }
@@ -75,6 +84,9 @@ func trainSystem(o *options) (*dssddi.System, error) {
 	cfg.Backbone = o.backbone
 	cfg.DDIEpochs = o.ddiEpochs
 	cfg.MDEpochs = o.mdEpochs
+	if o.hidden > 0 {
+		cfg.Hidden = o.hidden
+	}
 	cfg.Seed = o.seed
 	cfg.Workers = o.workers
 	sys := dssddi.New(cfg)
@@ -286,6 +298,127 @@ func cmdInfo(args []string) error {
 	return nil
 }
 
+// cmdPrecision characterizes the quantized serving precisions against
+// the float64 accuracy oracle: it scores a sample of test patients at
+// f64, f32 and int8, and reports per-precision max absolute score
+// divergence and top-K ranking invariance. With -bench it merges the
+// stats (and the active SIMD level) into an existing benchfmt report,
+// where cmd/benchdiff -precision-gate hard-fails on regressions.
+func cmdPrecision(args []string) error {
+	var o options
+	fs := flag.NewFlagSet("precision", flag.ExitOnError)
+	commonFlags(fs, &o)
+	modelFlag(fs, &o)
+	fs.IntVar(&o.k, "k", 4, "top-K list length for ranking invariance")
+	fs.IntVar(&o.sample, "sample", 64, "max test patients to sample")
+	fs.StringVar(&o.bench, "bench", "", "merge the stats into this benchfmt report file")
+	fs.Parse(args)
+	sys, err := obtainSystem(&o)
+	if err != nil {
+		return err
+	}
+	stats, err := precisionStats(sys, o.sample, o.k)
+	if err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(stats, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(buf))
+	if o.bench == "" {
+		return nil
+	}
+	raw, err := os.ReadFile(o.bench)
+	if err != nil {
+		return err
+	}
+	var report benchfmt.Report
+	if err := json.Unmarshal(raw, &report); err != nil {
+		return fmt.Errorf("%s: %v", o.bench, err)
+	}
+	report.Precisions = stats
+	report.SIMD = mat.SIMD()
+	out, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(o.bench, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "merged %d precision entries into %s\n", len(stats), o.bench)
+	return nil
+}
+
+func precisionStats(sys *dssddi.System, sample, k int) ([]benchfmt.PrecisionStats, error) {
+	patients := sys.Data().TestPatients()
+	if len(patients) > sample {
+		patients = patients[:sample]
+	}
+	oracle, err := sys.Scores(patients)
+	if err != nil {
+		return nil, err
+	}
+	var stats []benchfmt.PrecisionStats
+	for _, prec := range []string{"f32", "int8-experimental"} {
+		if err := sys.SetPrecision(prec); err != nil {
+			return nil, err
+		}
+		rows, err := sys.Scores(patients)
+		if err != nil {
+			return nil, err
+		}
+		st := benchfmt.PrecisionStats{Precision: prec, Patients: len(patients), K: k}
+		invariant := 0
+		for i, row := range rows {
+			st.Drugs = len(row)
+			for v, sc := range row {
+				if d := math.Abs(sc - oracle[i][v]); d > st.MaxAbsDelta {
+					st.MaxAbsDelta = d
+				}
+			}
+			if sliceEq(topK(row, k), topK(oracle[i], k)) {
+				invariant++
+			}
+		}
+		if len(patients) > 0 {
+			st.RankingInvariance = float64(invariant) / float64(len(patients))
+		}
+		stats = append(stats, st)
+	}
+	if err := sys.SetPrecision("f64"); err != nil {
+		return nil, err
+	}
+	return stats, nil
+}
+
+// topK returns the indices of the k highest scores in descending score
+// order, ties broken by lower index — the same order a ranked
+// suggestion list presents.
+func topK(scores []float64, k int) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	if k < len(idx) {
+		idx = idx[:k]
+	}
+	return idx
+}
+
+func sliceEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func parseDrugs(spec string) ([]int, error) {
 	var ids []int
 	for _, part := range strings.Split(spec, ",") {
@@ -313,10 +446,12 @@ func main() {
 			err = cmdExplain(os.Args[2:])
 		case "info":
 			err = cmdInfo(os.Args[2:])
+		case "precision":
+			err = cmdPrecision(os.Args[2:])
 		case "help", "usage":
-			fmt.Fprintln(os.Stderr, "subcommands: train, eval, suggest, explain, info (or legacy -mode flags)")
+			fmt.Fprintln(os.Stderr, "subcommands: train, eval, suggest, explain, info, precision (or legacy -mode flags)")
 		default:
-			err = fmt.Errorf("unknown subcommand %q (want train, eval, suggest, explain or info)", cmd)
+			err = fmt.Errorf("unknown subcommand %q (want train, eval, suggest, explain, info or precision)", cmd)
 		}
 		if err != nil {
 			log.Fatal(err)

@@ -158,6 +158,7 @@ func main() {
 		verifyEpoch = flag.Bool("verify-epoch", false, "hash every index-suggest response keyed by (patient, k, X-Epoch) and exit non-zero on any bitwise mismatch — the correctness-under-chaos assertion")
 		verifyReg   = flag.Bool("verify-registry", false, "mix mode: after the run, re-read every registration the server acknowledged and exit non-zero if any is gone — the zero-lost-registration assertion; counts land in the report's replication section")
 		entryPrefix = flag.String("entry-prefix", "", "extra prefix for recorded entry names (e.g. permakill-), so one report can hold several scenarios of the same mode without -append overwriting the earlier one")
+		entrySuffix = flag.String("entry-suffix", "", "extra suffix for recorded entry names (e.g. -f32), so quantized passes record beside the f64 ones (suggest-cold vs suggest-cold-f32)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -317,14 +318,14 @@ func main() {
 	var benches []benchfmt.ServeBench
 	if *mix {
 		benches = append(benches,
-			inductive.bench(prefix+"suggest-inductive", *concurrency, elapsed),
-			update.bench(prefix+"patient-update", *concurrency, elapsed))
+			inductive.bench(prefix+"suggest-inductive"+*entrySuffix, *concurrency, elapsed),
+			update.bench(prefix+"patient-update"+*entrySuffix, *concurrency, elapsed))
 	} else {
 		name := "suggest"
 		if *cold {
 			name = "suggest-cold"
 		}
-		benches = append(benches, suggest.bench(prefix+name, *concurrency, elapsed))
+		benches = append(benches, suggest.bench(prefix+name+*entrySuffix, *concurrency, elapsed))
 	}
 
 	// Enrich with the server's own cache/batching counters. A router's
@@ -338,11 +339,26 @@ func main() {
 			Batching struct {
 				AvgBatchSize float64 `json:"avg_batch_size"`
 			} `json:"batching"`
+			Memory struct {
+				Precision              string `json:"precision"`
+				ModelBytes             int64  `json:"model_bytes"`
+				RegistryEmbeddingBytes int64  `json:"registry_embedding_bytes"`
+			} `json:"memory"`
 		}
 		if err := getJSON(base+"/metricsz", &metrics); err == nil {
 			for i := range benches {
 				benches[i].CacheHitRate = metrics.SuggestCache.HitRate
 				benches[i].AvgBatchSize = metrics.Batching.AvgBatchSize
+				// The memory section is the server's explicit per-precision
+				// byte accounting — the entry records what the run actually
+				// served at and what it cost resident.
+				benches[i].Precision = metrics.Memory.Precision
+				benches[i].ModelBytes = metrics.Memory.ModelBytes
+				benches[i].RegistryBytes = metrics.Memory.RegistryEmbeddingBytes
+			}
+			if metrics.Memory.Precision != "" {
+				fmt.Fprintf(os.Stderr, "loadgen: server precision %s, model %d bytes resident, registry embeddings %d bytes\n",
+					metrics.Memory.Precision, metrics.Memory.ModelBytes, metrics.Memory.RegistryEmbeddingBytes)
 			}
 		}
 	}

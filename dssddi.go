@@ -310,6 +310,53 @@ func (s *System) ensureTrained() error {
 	return nil
 }
 
+// SetPrecision switches the serving-side numeric representation of the
+// frozen MD model: "f64" (the default and the accuracy oracle), "f32"
+// (float32 copies of the frozen state on the f32 SIMD kernels, ~half
+// the resident bytes) or "int8-experimental" (additionally row-
+// quantizes the drug-representation matrix to int8). The derivation is
+// deterministic per snapshot. It must not run concurrently with
+// scoring; the serving layer applies it to a freshly loaded system
+// before the epoch is published. Embeddings built at one precision are
+// rejected at another (see EmbedPatient), so callers holding
+// PatientEmbeddings must re-embed after a switch.
+func (s *System) SetPrecision(name string) error {
+	if err := s.ensureTrained(); err != nil {
+		return err
+	}
+	p, err := md.ParsePrecision(name)
+	if err != nil {
+		return err
+	}
+	return s.mdModel.SetPrecision(p)
+}
+
+// ValidatePrecision reports whether name is a recognized precision
+// ("", "f64", "f32", "int8-experimental") without touching any system.
+func ValidatePrecision(name string) error {
+	_, err := md.ParsePrecision(name)
+	return err
+}
+
+// Precision reports the active serving precision ("f64", "f32" or
+// "int8-experimental").
+func (s *System) Precision() string {
+	if s.mdModel == nil {
+		return md.F64.String()
+	}
+	return s.mdModel.Precision().String()
+}
+
+// ResidentModelBytes returns the explicit resident byte count of the
+// active serving representation of the frozen model — measured from
+// the blobs themselves per precision, not from runtime.MemStats.
+func (s *System) ResidentModelBytes() int {
+	if s.mdModel == nil {
+		return 0
+	}
+	return s.mdModel.ResidentModelBytes()
+}
+
 // Suggest returns the top-k drug suggestions for a patient of the
 // training data (typically a test patient). It is the single-patient
 // cold fast path: scoring streams through the MD module's tiled
@@ -443,6 +490,17 @@ func (s *System) EmbedPatient(p PatientProfile) (*PatientEmbedding, error) {
 		return nil, fmt.Errorf("dssddi: %w", err)
 	}
 	return &PatientEmbedding{sys: s, emb: emb}, nil
+}
+
+// Bytes returns the resident size of the embedding's payload — the
+// per-entry term of the registry's explicit memory accounting. At
+// precision f32/int8 embeddings store only narrowed representations,
+// so this is half the f64 figure.
+func (e *PatientEmbedding) Bytes() int {
+	if e == nil || e.emb == nil {
+		return 0
+	}
+	return e.emb.Bytes()
 }
 
 // checkEmbedding rejects embeddings that did not come from this

@@ -52,6 +52,36 @@ type ServeBench struct {
 	// after the run (0 when unavailable).
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	AvgBatchSize float64 `json:"avg_batch_size"`
+	// Precision, ModelBytes and RegistryBytes are scraped from the
+	// server's /metricsz memory section after the run: the serving
+	// precision the entry ran at and the explicit resident byte
+	// accounting of the model blobs and registry embeddings (measured
+	// from the structures, not runtime.MemStats — so f64/f32/int8
+	// entries compare exactly).
+	Precision     string `json:"precision,omitempty"`
+	ModelBytes    int64  `json:"model_bytes,omitempty"`
+	RegistryBytes int64  `json:"registry_bytes,omitempty"`
+}
+
+// PrecisionStats characterizes one quantized precision against the
+// float64 accuracy oracle over a sample of patients: the worst
+// absolute score divergence across every (patient, drug) pair and the
+// fraction of patients whose top-K ranking survives quantization
+// unchanged. cmd/benchdiff -precision-gate hard-fails a report whose
+// f32 entry exceeds tolerance on either number.
+type PrecisionStats struct {
+	Precision string `json:"precision"` // "f32" or "int8-experimental"
+	Patients  int    `json:"patients"`
+	Drugs     int    `json:"drugs"`
+	K         int    `json:"k"`
+	// MaxAbsDelta is max over sampled (patient, drug) pairs of
+	// |score_quantized - score_f64|.
+	MaxAbsDelta float64 `json:"max_abs_delta"`
+	// RankingInvariance is the fraction of sampled patients whose
+	// top-K drug sets match the f64 oracle's exactly (as sets; a
+	// reordering within the set still counts as invariant only when
+	// the ordered lists match).
+	RankingInvariance float64 `json:"ranking_invariance"`
 }
 
 // ReplicationStats records the replication outcome of a cluster run:
@@ -77,14 +107,21 @@ type ReplicationStats struct {
 
 // Report is the full benchmark record CI archives per run.
 type Report struct {
-	Schema       string            `json:"schema"`
-	Profile      string            `json:"profile"`
-	Workers      int               `json:"workers"`
-	GoMaxProcs   int               `json:"go_max_procs"`
-	Seed         int64             `json:"seed"`
-	Training     []TrainBench      `json:"training,omitempty"`
-	Serving      []ServeBench      `json:"serving,omitempty"`
-	Sections     []Section         `json:"sections,omitempty"`
-	Replication  *ReplicationStats `json:"replication,omitempty"`
-	TotalSeconds float64           `json:"total_seconds"`
+	Schema     string `json:"schema"`
+	Profile    string `json:"profile"`
+	Workers    int    `json:"workers"`
+	GoMaxProcs int    `json:"go_max_procs"`
+	Seed       int64  `json:"seed"`
+	// SIMD records the kernel dispatch level active when the report
+	// was produced (avx512 / avx2 / generic) — quantized throughput
+	// numbers are meaningless to compare without it.
+	SIMD        string            `json:"simd,omitempty"`
+	Training    []TrainBench      `json:"training,omitempty"`
+	Serving     []ServeBench      `json:"serving,omitempty"`
+	Sections    []Section         `json:"sections,omitempty"`
+	Replication *ReplicationStats `json:"replication,omitempty"`
+	// Precisions carries the divergence characterization of each
+	// quantized precision vs the f64 oracle (cmd/dssddi precision).
+	Precisions   []PrecisionStats `json:"precisions,omitempty"`
+	TotalSeconds float64          `json:"total_seconds"`
 }

@@ -436,3 +436,337 @@ abl_keep:
 
 abl_done:
 	RET
+
+// ---------------------------------------------------------------------
+// float32 kernels — the serving engine's quantized twins. Same
+// discipline as the f64 set above (no FMA, lanes are independent
+// output elements or dot8's exact interleaved accumulators, scalar
+// tails replicate the vector grouping), with 8 float32 lanes per ymm
+// instead of 4 float64 lanes. Bitwise identical to the *Go32
+// references in simd32.go for every input.
+
+// func mulAddRows4AVX2F32(dst, b4 []float32, a0, a1, a2, a3 float32)
+//
+// dst[j] += (a0*b0[j] + a1*b1[j]) + (a2*b2[j] + a3*b3[j]) with the
+// four b-rows of length len(dst) stored back to back in b4.
+TEXT ·mulAddRows4AVX2F32(SB), NOSPLIT, $0-64
+	MOVQ dst_base+0(FP), SI
+	MOVQ dst_len+8(FP), CX
+	MOVQ b4_base+24(FP), DI
+	MOVQ CX, DX
+	SHLQ $2, DX              // DX = row stride in bytes
+	LEAQ (DI)(DX*2), R9      // R9 = start of row 2
+
+	VBROADCASTSS a0+48(FP), Y0
+	VBROADCASTSS a1+52(FP), Y1
+	VBROADCASTSS a2+56(FP), Y2
+	VBROADCASTSS a3+60(FP), Y3
+
+	CMPQ CX, $8
+	JL   mar4f_tail_start
+
+mar4f_loop:
+	VMOVUPS (DI), Y4
+	VMULPS  Y4, Y0, Y4       // a0*b0
+	VMOVUPS (DI)(DX*1), Y5
+	VMULPS  Y5, Y1, Y5       // a1*b1
+	VADDPS  Y5, Y4, Y4       // a0*b0 + a1*b1
+	VMOVUPS (R9), Y6
+	VMULPS  Y6, Y2, Y6       // a2*b2
+	VMOVUPS (R9)(DX*1), Y7
+	VMULPS  Y7, Y3, Y7       // a3*b3
+	VADDPS  Y7, Y6, Y6       // a2*b2 + a3*b3
+	VADDPS  Y6, Y4, Y4       // (low) + (high)
+	VMOVUPS (SI), Y8
+	VADDPS  Y4, Y8, Y8       // dst += sum
+	VMOVUPS Y8, (SI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	ADDQ    $32, R9
+	SUBQ    $8, CX
+	CMPQ    CX, $8
+	JGE     mar4f_loop
+
+mar4f_tail_start:
+	VZEROUPPER
+	TESTQ CX, CX
+	JZ    mar4f_done
+
+mar4f_tail:
+	MOVSS (DI), X4
+	MULSS X0, X4
+	MOVSS (DI)(DX*1), X5
+	MULSS X1, X5
+	ADDSS X5, X4
+	MOVSS (R9), X6
+	MULSS X2, X6
+	MOVSS (R9)(DX*1), X7
+	MULSS X3, X7
+	ADDSS X7, X6
+	ADDSS X6, X4
+	MOVSS (SI), X8
+	ADDSS X4, X8
+	MOVSS X8, (SI)
+	ADDQ  $4, SI
+	ADDQ  $4, DI
+	ADDQ  $4, R9
+	DECQ  CX
+	JNZ   mar4f_tail
+
+mar4f_done:
+	RET
+
+// func mulAddRow1AVX2F32(dst, b []float32, a float32)
+//
+// dst[j] += a*b[j].
+TEXT ·mulAddRow1AVX2F32(SB), NOSPLIT, $0-52
+	MOVQ dst_base+0(FP), SI
+	MOVQ dst_len+8(FP), CX
+	MOVQ b_base+24(FP), DI
+
+	VBROADCASTSS a+48(FP), Y0
+
+	CMPQ CX, $8
+	JL   mar1f_tail_start
+
+mar1f_loop:
+	VMOVUPS (DI), Y1
+	VMULPS  Y1, Y0, Y1
+	VMOVUPS (SI), Y2
+	VADDPS  Y1, Y2, Y2
+	VMOVUPS Y2, (SI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $8, CX
+	CMPQ    CX, $8
+	JGE     mar1f_loop
+
+mar1f_tail_start:
+	VZEROUPPER
+	TESTQ CX, CX
+	JZ    mar1f_done
+
+mar1f_tail:
+	MOVSS (DI), X1
+	MULSS X0, X1
+	MOVSS (SI), X2
+	ADDSS X1, X2
+	MOVSS X2, (SI)
+	ADDQ  $4, SI
+	ADDQ  $4, DI
+	DECQ  CX
+	JNZ   mar1f_tail
+
+mar1f_done:
+	RET
+
+// func dot8AVX2F32(a, b []float32) float32
+//
+// Eight-accumulator dot product: vector lane i accumulates exactly the
+// scalar reference's s_i; the tail adds into s0 before the final
+// ((s0+s2)+(s1+s3)) + ((s4+s6)+(s5+s7)) combine, as in dot8Go32.
+TEXT ·dot8AVX2F32(SB), NOSPLIT, $0-52
+	MOVQ a_base+0(FP), SI
+	MOVQ a_len+8(FP), CX
+	MOVQ b_base+24(FP), DI
+
+	VXORPS Y0, Y0, Y0        // [s0..s7]
+
+	CMPQ CX, $8
+	JL   dot8f_reduce
+
+dot8f_loop:
+	VMOVUPS (SI), Y1
+	VMOVUPS (DI), Y2
+	VMULPS  Y2, Y1, Y1
+	VADDPS  Y1, Y0, Y0
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $8, CX
+	CMPQ    CX, $8
+	JGE     dot8f_loop
+
+dot8f_reduce:
+	VEXTRACTF128 $1, Y0, X1  // X1 = [s4..s7]; X0 = [s0..s3]
+	VZEROUPPER
+	TESTQ        CX, CX
+	JZ           dot8f_combine
+
+dot8f_tail:
+	MOVSS (SI), X4
+	MOVSS (DI), X5
+	MULSS X5, X4
+	ADDSS X4, X0             // s0 += a[k]*b[k]
+	ADDQ  $4, SI
+	ADDQ  $4, DI
+	DECQ  CX
+	JNZ   dot8f_tail
+
+dot8f_combine:
+	MOVAPS  X0, X2
+	MOVHLPS X0, X2           // X2 = [s2, s3]
+	ADDPS   X2, X0           // X0 = [s0+s2, s1+s3, ..]
+	MOVAPS  X0, X3
+	SHUFPS  $0x55, X3, X3    // X3 lane0 = s1+s3
+	ADDSS   X3, X0           // (s0+s2) + (s1+s3)
+	MOVAPS  X1, X4
+	MOVHLPS X1, X4           // X4 = [s6, s7]
+	ADDPS   X4, X1           // X1 = [s4+s6, s5+s7, ..]
+	MOVAPS  X1, X5
+	SHUFPS  $0x55, X5, X5    // X5 lane0 = s5+s7
+	ADDSS   X5, X1           // (s4+s6) + (s5+s7)
+	ADDSS   X1, X0           // low + high
+	MOVSS   X0, ret+48(FP)
+	RET
+
+// func addBiasLeakyAVX2F32(dst, bias []float32, slope float32)
+//
+// dst[i] = v > 0 ? v : slope*v, with v = dst[i] + bias[i]. The blend
+// selects the exact scalar-formula result per lane (including signed
+// zeros and NaNs), so this matches addBiasLeakyGo32 bit for bit.
+TEXT ·addBiasLeakyAVX2F32(SB), NOSPLIT, $0-52
+	MOVQ dst_base+0(FP), SI
+	MOVQ dst_len+8(FP), CX
+	MOVQ bias_base+24(FP), DI
+
+	VBROADCASTSS slope+48(FP), Y0
+	VXORPS       Y1, Y1, Y1  // zero
+
+	CMPQ CX, $8
+	JL   ablf_tail_start
+
+ablf_loop:
+	VMOVUPS   (SI), Y2
+	VMOVUPS   (DI), Y3
+	VADDPS    Y3, Y2, Y2     // v = dst + bias
+	VMULPS    Y2, Y0, Y3     // slope*v
+	VCMPPS    $0x1E, Y1, Y2, Y4 // v > 0 (GT_OQ)
+	VBLENDVPS Y4, Y2, Y3, Y2 // v > 0 ? v : slope*v
+	VMOVUPS   Y2, (SI)
+	ADDQ      $32, SI
+	ADDQ      $32, DI
+	SUBQ      $8, CX
+	CMPQ      CX, $8
+	JGE       ablf_loop
+
+ablf_tail_start:
+	VZEROUPPER
+	TESTQ CX, CX
+	JZ    ablf_done
+
+ablf_tail:
+	MOVSS  (SI), X2
+	MOVSS  (DI), X3
+	ADDSS  X3, X2            // v
+	MOVAPS X2, X3
+	MULSS  X0, X3            // slope*v
+	XORPS  X4, X4
+	UCOMISS X4, X2           // compare v with 0
+	JA     ablf_keep
+	MOVAPS X3, X2
+ablf_keep:
+	MOVSS X2, (SI)
+	ADDQ  $4, SI
+	ADDQ  $4, DI
+	DECQ  CX
+	JNZ   ablf_tail
+
+ablf_done:
+	RET
+
+// func mulAddRows4AVX512F32(dst, b4 []float32, a0, a1, a2, a3 float32)
+//
+// The 512-bit flavor of mulAddRows4F32: 16 lanes per step, then one
+// 8-lane step, then the scalar tail — every output element sees the
+// identical multiply/add sequence regardless of which step handles
+// it, so the result matches the scalar reference bit for bit.
+TEXT ·mulAddRows4AVX512F32(SB), NOSPLIT, $0-64
+	MOVQ dst_base+0(FP), SI
+	MOVQ dst_len+8(FP), CX
+	MOVQ b4_base+24(FP), DI
+	MOVQ CX, DX
+	SHLQ $2, DX              // DX = row stride in bytes
+	LEAQ (DI)(DX*2), R9      // R9 = start of row 2
+
+	VBROADCASTSS a0+48(FP), Z0
+	VBROADCASTSS a1+52(FP), Z1
+	VBROADCASTSS a2+56(FP), Z2
+	VBROADCASTSS a3+60(FP), Z3
+
+	CMPQ CX, $16
+	JL   m512f_oct_start
+
+m512f_loop:
+	VMOVUPS (DI), Z4
+	VMULPS  Z4, Z0, Z4       // a0*b0
+	VMOVUPS (DI)(DX*1), Z5
+	VMULPS  Z5, Z1, Z5       // a1*b1
+	VADDPS  Z5, Z4, Z4       // a0*b0 + a1*b1
+	VMOVUPS (R9), Z6
+	VMULPS  Z6, Z2, Z6       // a2*b2
+	VMOVUPS (R9)(DX*1), Z7
+	VMULPS  Z7, Z3, Z7       // a3*b3
+	VADDPS  Z7, Z6, Z6       // a2*b2 + a3*b3
+	VADDPS  Z6, Z4, Z4       // (low) + (high)
+	VMOVUPS (SI), Z8
+	VADDPS  Z4, Z8, Z8       // dst += sum
+	VMOVUPS Z8, (SI)
+	ADDQ    $64, SI
+	ADDQ    $64, DI
+	ADDQ    $64, R9
+	SUBQ    $16, CX
+	CMPQ    CX, $16
+	JGE     m512f_loop
+
+m512f_oct_start:
+	CMPQ CX, $8
+	JL   m512f_tail_start
+
+	// One 8-lane step (the Y registers alias the Z broadcasts).
+	VMOVUPS (DI), Y4
+	VMULPS  Y4, Y0, Y4
+	VMOVUPS (DI)(DX*1), Y5
+	VMULPS  Y5, Y1, Y5
+	VADDPS  Y5, Y4, Y4
+	VMOVUPS (R9), Y6
+	VMULPS  Y6, Y2, Y6
+	VMOVUPS (R9)(DX*1), Y7
+	VMULPS  Y7, Y3, Y7
+	VADDPS  Y7, Y6, Y6
+	VADDPS  Y6, Y4, Y4
+	VMOVUPS (SI), Y8
+	VADDPS  Y4, Y8, Y8
+	VMOVUPS Y8, (SI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	ADDQ    $32, R9
+	SUBQ    $8, CX
+
+m512f_tail_start:
+	VZEROUPPER
+	TESTQ CX, CX
+	JZ    m512f_done
+
+m512f_tail:
+	MOVSS (DI), X4
+	MULSS X0, X4
+	MOVSS (DI)(DX*1), X5
+	MULSS X1, X5
+	ADDSS X5, X4
+	MOVSS (R9), X6
+	MULSS X2, X6
+	MOVSS (R9)(DX*1), X7
+	MULSS X3, X7
+	ADDSS X7, X6
+	ADDSS X6, X4
+	MOVSS (SI), X8
+	ADDSS X4, X8
+	MOVSS X8, (SI)
+	ADDQ  $4, SI
+	ADDQ  $4, DI
+	ADDQ  $4, R9
+	DECQ  CX
+	JNZ   m512f_tail
+
+m512f_done:
+	RET

@@ -30,12 +30,28 @@ import (
 // PatientEmbedding is the scoring-ready representation of one patient
 // profile. H is the decoder-facing hidden representation (Eq. 9 when
 // built from features, the propagated bipartite aggregation when built
-// from a bare regimen); T is the treatment row. Both slices are owned
+// from a bare regimen); T is the treatment row. All slices are owned
 // by the embedding and must be treated as read-only by the scoring
 // engine.
+//
+// On a quantized model (SetPrecision f32/int8) EmbedPatient stores the
+// narrowed H32/T32 pair instead and leaves H/T nil — a registry of
+// cached embeddings then holds half the bytes — so an embedding is
+// bound to the precision of the model that built it; checkEmbedding
+// rejects a mismatch, and the serving layer re-embeds on every epoch
+// swap.
 type PatientEmbedding struct {
 	H []float64
 	T []float64
+
+	H32 []float32
+	T32 []float32
+}
+
+// Bytes returns the resident size of the embedding's payload — the
+// per-entry term of the registry's explicit memory accounting.
+func (e *PatientEmbedding) Bytes() int {
+	return 8*(len(e.H)+len(e.T)) + 4*(len(e.H32)+len(e.T32))
 }
 
 // EmbedPatient builds the embedding for an arbitrary patient profile:
@@ -94,6 +110,13 @@ func (m *Model) EmbedPatient(regimen []int, features []float64) (*PatientEmbeddi
 		m.aggregateRegimen(e.H, reg)
 	}
 	e.T = m.Treatment.InferRowFor(reg, features)
+	if m.pd32 != nil {
+		// Quantized model: keep only the narrowed pair. The f64
+		// intermediates above stay the derivation path so the narrowing
+		// is exactly one rounding of the oracle's values.
+		e.H32, e.T32 = mat.Floats32(e.H), mat.Floats32(e.T)
+		e.H, e.T = nil, nil
+	}
 	return e, nil
 }
 
@@ -169,6 +192,19 @@ func (m *Model) checkEmbedding(e *PatientEmbedding) {
 	if e == nil {
 		panic("md: nil PatientEmbedding")
 	}
+	if m.pd32 != nil {
+		if e.H32 == nil {
+			panic("md: float64 PatientEmbedding scored on a quantized model; re-embed the profile")
+		}
+		if len(e.H32) != m.fcPat.OutDim() || len(e.T32) != m.Data.NumDrugs() {
+			panic(fmt.Sprintf("md: PatientEmbedding shape %d/%d does not match model %d/%d",
+				len(e.H32), len(e.T32), m.fcPat.OutDim(), m.Data.NumDrugs()))
+		}
+		return
+	}
+	if e.H == nil {
+		panic("md: quantized PatientEmbedding scored on a float64 model; re-embed the profile")
+	}
 	if len(e.H) != m.fcPat.OutDim() || len(e.T) != m.Data.NumDrugs() {
 		panic(fmt.Sprintf("md: PatientEmbedding shape %d/%d does not match model %d/%d",
 			len(e.H), len(e.T), m.fcPat.OutDim(), m.Data.NumDrugs()))
@@ -189,6 +225,19 @@ func (m *Model) ScoresForInto(dst []float64, e *PatientEmbedding) {
 	}
 	if m.pd == nil { // non-decomposable decoder: batched reference path
 		copy(dst, m.scoresForReference(e))
+		return
+	}
+	if m.pd32 != nil { // quantized serving representation: f32 twin
+		sc := m.getScratch()
+		copy(sc.hp32, e.H32)
+		for vLo := 0; vLo < nD; vLo += drugTile {
+			vHi := vLo + drugTile
+			if vHi > nD {
+				vHi = nD
+			}
+			m.scoreTile32(dst[vLo:vHi], sc, e.T32, vLo)
+		}
+		m.putScratch(sc)
 		return
 	}
 	hDrug := m.drugReps()
@@ -223,6 +272,13 @@ func (m *Model) TopKScoresFor(e *PatientEmbedding, k int) (ids []int, scores []f
 			ids = append(ids, v)
 			scores = append(scores, row[v])
 		}
+		return ids, scores
+	}
+	if m.pd32 != nil { // quantized serving representation: f32 twin
+		sc := m.getScratch()
+		copy(sc.hp32, e.H32)
+		ids, scores = m.topKSelect32(sc, e.T32, k)
+		m.putScratch(sc)
 		return ids, scores
 	}
 	hDrug := m.drugReps()

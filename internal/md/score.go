@@ -45,6 +45,14 @@ type scoreScratch struct {
 	hid   []float64
 	tile  []float64
 	sel   metrics.Selector
+
+	// f32 working set (score32.go): the narrowed patient hidden
+	// representation, the f32 decoder scratch and the int8 dequant
+	// buffer. Sized on demand the first time a scratch meets a
+	// quantized model.
+	hp32  []float32
+	hid32 []float32
+	deq   []float32
 }
 
 func (m *Model) getScratch() *scoreScratch {
@@ -60,6 +68,12 @@ func (m *Model) getScratch() *scoreScratch {
 			hid:   make([]float64, h),
 			tile:  make([]float64, drugTile),
 		}
+	}
+	if m.pd32 != nil && sc.hp32 == nil {
+		d, h := m.pd32.Dims()
+		sc.hp32 = make([]float32, len(sc.hp))
+		sc.hid32 = make([]float32, h)
+		sc.deq = make([]float32, d)
 	}
 	return sc
 }
@@ -85,6 +99,10 @@ var scoreTaskPool = sync.Pool{New: func() any { return new(scoreTask) }}
 
 // Chunk implements par.Worker.
 func (t *scoreTask) Chunk(lo, hi int) {
+	if t.m.pd32 != nil { // quantized serving representation: f32 twin
+		t.chunk32(lo, hi)
+		return
+	}
 	sc := t.m.getScratch()
 	nD := t.m.Data.NumDrugs()
 	cur := -1 // a patient's tiles are contiguous in u: encode once, score many
@@ -200,6 +218,9 @@ func (m *Model) TopKScores(patient, k int) (ids []int, scores []float64) {
 			scores = append(scores, row[v])
 		}
 		return ids, scores
+	}
+	if m.pd32 != nil { // quantized serving representation: f32 twin
+		return m.topKScores32(patient, k)
 	}
 	hDrug := m.drugReps()
 	sc := m.getScratch()

@@ -61,6 +61,13 @@ func NewPairDecoder(m *MLP) (*PairDecoder, bool) {
 // for Logit needs d+1 and h elements.
 func (p *PairDecoder) Dims() (d, h int) { return p.d, p.h }
 
+// Bytes returns the resident size of the referenced decoder weights —
+// the f64 term of the serving memory accounting, comparable with
+// PairDecoder32.Bytes.
+func (p *PairDecoder) Bytes() int {
+	return 8 * ((p.d+1)*p.h + len(p.b1) + p.h + len(p.b2))
+}
+
 // Logit scores one (a, b, t) pair: the decoder output for
 // concat(a⊙b, t). inter (length ≥ d+1) and hid (length ≥ h) are
 // caller-owned scratch, clobbered on every call; nothing is retained

@@ -447,6 +447,10 @@ func loadCheckpoint(path string, profiles map[string]storedProfile) error {
 		return fmt.Errorf("serve: checkpoint %s: unsupported version %d", path, v)
 	}
 	n := d.Int()
+	// The decoded feature vectors are retained in profiles, so they come
+	// from a shared arena: one block allocation serves many entries
+	// instead of one fresh slice per Floats call.
+	var arena snapshot.FloatArena
 	for i := 0; i < n && d.Err() == nil; i++ {
 		id := d.String()
 		version := uint64(d.Int64())
@@ -454,7 +458,7 @@ func loadCheckpoint(path string, profiles map[string]storedProfile) error {
 		hasRegimen := d.Bool()
 		regimen := d.Ints()
 		hasFeatures := d.Bool()
-		features := d.Floats()
+		features := d.FloatsArena(&arena)
 		if !hasRegimen {
 			regimen = nil
 		}

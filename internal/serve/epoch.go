@@ -27,6 +27,13 @@ type servingEpoch struct {
 	data    *dssddi.Data
 	checker *alerts.Checker
 	info    dssddi.SnapshotInfo
+	// precision is the serving precision this epoch's system was
+	// quantized to at build time ("f64", "f32" or "int8-experimental").
+	// It is applied to the freshly loaded system before the epoch is
+	// published, so a hot reload switches precision atomically with the
+	// model and every response's X-Precision header is consistent with
+	// its X-Epoch.
+	precision string
 
 	batcher      *batcher
 	suggestCache *lruCache
@@ -41,11 +48,16 @@ type servingEpoch struct {
 	closeOnce sync.Once
 }
 
-// newEpoch derives a serving epoch from a trained system.
-func (s *Server) newEpoch(sys *dssddi.System) (*servingEpoch, error) {
+// newEpoch derives a serving epoch from a trained system, quantizing
+// it to the given precision ("" means f64) before anything else is
+// derived from it.
+func (s *Server) newEpoch(sys *dssddi.System, precision string) (*servingEpoch, error) {
 	data := sys.Data()
 	if data == nil {
 		return nil, fmt.Errorf("serve: system is not trained")
+	}
+	if err := sys.SetPrecision(precision); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
 	}
 	info, err := sys.SnapshotInfo()
 	if err != nil {
@@ -60,12 +72,13 @@ func (s *Server) newEpoch(sys *dssddi.System) (*servingEpoch, error) {
 		names[i] = data.DrugName(i)
 	}
 	ep := &servingEpoch{
-		id:      s.epochSeq.Add(1),
-		sys:     sys,
-		data:    data,
-		checker: alerts.NewChecker(data.Dataset().DDI, emb, names),
-		info:    info,
-		batcher: newBatcher(sys, s.cfg.MaxBatch, s.cfg.BatchWindow, data.NumDrugs()),
+		id:        s.epochSeq.Add(1),
+		sys:       sys,
+		data:      data,
+		checker:   alerts.NewChecker(data.Dataset().DDI, emb, names),
+		info:      info,
+		precision: sys.Precision(),
+		batcher:   newBatcher(sys, s.cfg.MaxBatch, s.cfg.BatchWindow, data.NumDrugs()),
 	}
 	half := s.cfg.CacheSize / 2
 	ep.suggestCache = newLRUCache(s.cfg.CacheSize-half, s.cfg.CacheShards)
@@ -110,16 +123,22 @@ func (s *Server) acquireEpoch() *servingEpoch {
 // request completes. reloadMu (shared with Close) serializes swaps and
 // guarantees a swap can never republish an epoch after Close retired
 // the last one.
-func (s *Server) swap(sys *dssddi.System) (*servingEpoch, error) {
+// An empty precision keeps the server's current one; a named precision
+// becomes the server's precision for this and subsequent reloads.
+func (s *Server) swap(sys *dssddi.System, precision string) (*servingEpoch, error) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
 	if s.epoch.Load() == nil {
 		return nil, fmt.Errorf("serve: server is closed")
 	}
-	ep, err := s.newEpoch(sys)
+	if precision == "" {
+		precision = s.precision
+	}
+	ep, err := s.newEpoch(sys, precision)
 	if err != nil {
 		return nil, err
 	}
+	s.precision = precision
 	// Warm the registry against the new model before any request can
 	// reach it, so the first post-swap suggest for a registered patient
 	// does not pay the re-embed. Per-patient failures are recorded on
@@ -135,9 +154,10 @@ func (s *Server) swap(sys *dssddi.System) (*servingEpoch, error) {
 }
 
 // Swap replaces the serving model with an already-loaded system and
-// returns the new epoch id.
+// returns the new epoch id. The server's current precision is applied
+// to the incoming system before publication.
 func (s *Server) Swap(sys *dssddi.System) (int64, error) {
-	ep, err := s.swap(sys)
+	ep, err := s.swap(sys, "")
 	if err != nil {
 		return 0, err
 	}
@@ -153,7 +173,7 @@ func (s *Server) ReloadSnapshot(r io.Reader) (int64, error) {
 	return s.Swap(sys)
 }
 
-func (s *Server) reloadFromPath(path string) (*servingEpoch, error) {
+func (s *Server) reloadFromPath(path, precision string) (*servingEpoch, error) {
 	if path == "" {
 		path = s.cfg.SnapshotPath
 	}
@@ -169,14 +189,14 @@ func (s *Server) reloadFromPath(path string) (*servingEpoch, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.swap(sys)
+	return s.swap(sys, precision)
 }
 
 // ReloadFromPath loads a snapshot file and swaps it in — the body of
 // the /v1/admin/reload endpoint and the SIGHUP / -watch wiring in
-// cmd/dssddi-serve.
+// cmd/dssddi-serve. The server's current precision carries over.
 func (s *Server) ReloadFromPath(path string) (int64, error) {
-	ep, err := s.reloadFromPath(path)
+	ep, err := s.reloadFromPath(path, "")
 	if err != nil {
 		return 0, err
 	}

@@ -90,6 +90,18 @@ type WALMetrics struct {
 	PendingRecords     int64 `json:"pending_records"`
 }
 
+// MemoryMetrics is the explicit resident-byte accounting of the
+// serving representation: the frozen model blobs (drug representations,
+// treatment rows, fused decoder) plus the registry's cached patient
+// embeddings, at the epoch's precision. Measured from the structures
+// themselves — bytes per element times elements — not from
+// runtime.MemStats, so the f64/f32/int8 figures compare exactly.
+type MemoryMetrics struct {
+	Precision              string `json:"precision"`
+	ModelBytes             int64  `json:"model_bytes"`
+	RegistryEmbeddingBytes int64  `json:"registry_embedding_bytes"`
+}
+
 // Metrics is the full /metricsz payload. Cache and batching counters
 // belong to the current epoch (a hot reload starts them fresh);
 // endpoint and registry counters span the server's lifetime.
@@ -97,6 +109,7 @@ type Metrics struct {
 	UptimeSeconds float64                    `json:"uptime_seconds"`
 	Epoch         int64                      `json:"epoch"`
 	Reloads       int64                      `json:"reloads"`
+	Memory        MemoryMetrics              `json:"memory"`
 	Endpoints     map[string]EndpointMetrics `json:"endpoints"`
 	SuggestCache  CacheMetrics               `json:"suggest_cache"`
 	ExplainCache  CacheMetrics               `json:"explain_cache"`

@@ -29,6 +29,13 @@ func (s *Server) writePromMetrics(w http.ResponseWriter, ep *servingEpoch) int {
 	obs.PromHeader(&buf, "dssddi_reloads_total", "counter", "Hot reloads performed.")
 	obs.PromInt(&buf, "dssddi_reloads_total", "", s.reloads.Load())
 
+	obs.PromHeader(&buf, "dssddi_precision_info", "gauge", "Serving precision of the current epoch (value is always 1).")
+	obs.PromSample(&buf, "dssddi_precision_info", obs.PromLabel("precision", ep.precision), 1)
+	obs.PromHeader(&buf, "dssddi_model_resident_bytes", "gauge", "Explicit resident bytes of the serving model representation at the active precision.")
+	obs.PromInt(&buf, "dssddi_model_resident_bytes", "", int64(ep.sys.ResidentModelBytes()))
+	obs.PromHeader(&buf, "dssddi_registry_embedding_bytes", "gauge", "Explicit resident bytes of the registry's cached patient embeddings.")
+	obs.PromInt(&buf, "dssddi_registry_embedding_bytes", "", s.patients.embeddingBytes())
+
 	names := make([]string, 0, len(s.metrics.endpoints))
 	for name := range s.metrics.endpoints {
 		names = append(names, name)

@@ -383,6 +383,23 @@ func (r *patientRegistry) reembedAll(ep *servingEpoch) {
 
 func (r *patientRegistry) len() int { return int(r.count.Load()) }
 
+// embeddingBytes sums the resident size of every cached patient
+// embedding — the registry term of the /metricsz memory accounting.
+// At precision f32/int8 each embedding stores narrowed slices, so the
+// total is about half the f64 figure for the same registry.
+func (r *patientRegistry) embeddingBytes() int64 {
+	var total int64
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for _, p := range sh.items {
+			total += int64(p.emb.Bytes())
+		}
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
 // applyReplica installs one replicated record (router fan-out or
 // anti-entropy sync), gated on its version: the record is applied
 // only if its version is strictly newer than the locally stored one

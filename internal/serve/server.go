@@ -89,6 +89,12 @@ type Config struct {
 	// the SIGHUP / -watch wiring) reloads when a request names no
 	// path. Empty leaves path-less reloads disabled.
 	SnapshotPath string
+	// Precision is the serving precision of the scoring engine: "f64"
+	// (default, the accuracy oracle), "f32" (float32 SIMD path, ~half
+	// the resident model and registry-embedding bytes) or
+	// "int8-experimental". Applied to the booted system and to every
+	// hot-reloaded one, unless a reload request overrides it.
+	Precision string
 
 	// WALPath enables the durable patient registry: every mutation is
 	// write-ahead-logged to this file before it is acknowledged, and
@@ -194,6 +200,12 @@ type Server struct {
 	epochSeq atomic.Int64
 	reloads  atomic.Int64
 	reloadMu sync.Mutex // serializes Swap / reload
+
+	// precision is the serving precision applied to newly built epochs.
+	// Written at New and — under reloadMu — when a reload request names
+	// a different one; requests read the immutable copy on their pinned
+	// epoch, never this field.
+	precision string
 }
 
 // New builds a server over a trained system. It fails on an untrained
@@ -216,7 +228,11 @@ func New(sys *dssddi.System, cfg Config) (*Server, error) {
 	for _, name := range []string{"suggest", "scores", "explain", "alerts", "patients"} {
 		s.limits[name] = newLimiter(cfg.MaxInflight, cfg.MaxQueue)
 	}
-	ep, err := s.newEpoch(sys)
+	if err := dssddi.ValidatePrecision(cfg.Precision); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	s.precision = cfg.Precision
+	ep, err := s.newEpoch(sys, cfg.Precision)
 	if err != nil {
 		return nil, err
 	}
@@ -378,6 +394,7 @@ func (s *Server) serveAdmitted(w http.ResponseWriter, r *http.Request, lim *limi
 	defer ep.unref()
 	tr.SetEpoch(ep.id)
 	w.Header().Set("X-Epoch", strconv.FormatInt(ep.id, 10))
+	w.Header().Set("X-Precision", ep.precision)
 	return h(w, r, ep)
 }
 
@@ -974,15 +991,20 @@ func (s *Server) handlePatientDelete(w http.ResponseWriter, r *http.Request, _ *
 }
 
 // ReloadRequest is the /v1/admin/reload body; an empty body (or empty
-// path) reloads Config.SnapshotPath.
+// path) reloads Config.SnapshotPath. An empty precision keeps the
+// server's current one; a named precision ("f64", "f32",
+// "int8-experimental") quantizes the reloaded model accordingly and
+// becomes the server's precision from this epoch on.
 type ReloadRequest struct {
-	Path string `json:"path,omitempty"`
+	Path      string `json:"path,omitempty"`
+	Precision string `json:"precision,omitempty"`
 }
 
 // ReloadResponse reports the epoch the reload produced.
 type ReloadResponse struct {
-	Epoch int64               `json:"epoch"`
-	Model dssddi.SnapshotInfo `json:"model"`
+	Epoch     int64               `json:"epoch"`
+	Precision string              `json:"precision"`
+	Model     dssddi.SnapshotInfo `json:"model"`
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request, _ *servingEpoch) int {
@@ -995,14 +1017,17 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request, _ *serving
 	if req.Path == "" && s.cfg.SnapshotPath == "" {
 		return badRequest(w, "no snapshot path: pass {\"path\": ...} or configure one")
 	}
+	if err := dssddi.ValidatePrecision(req.Precision); err != nil {
+		return badRequest(w, "%v", err)
+	}
 	// Respond with the swapped-in epoch's own identity — under
 	// concurrent reloads the current pointer may already be a later
 	// epoch, which must not be misattributed to this reload's id.
-	ep, err := s.reloadFromPath(req.Path)
+	ep, err := s.reloadFromPath(req.Path, req.Precision)
 	if err != nil {
 		return writeJSON(w, http.StatusInternalServerError, apiError{Error: fmt.Sprintf("reload failed: %v", err)})
 	}
-	return writeJSON(w, http.StatusOK, ReloadResponse{Epoch: ep.id, Model: ep.info})
+	return writeJSON(w, http.StatusOK, ReloadResponse{Epoch: ep.id, Precision: ep.precision, Model: ep.info})
 }
 
 // HealthResponse is the /healthz payload.
@@ -1010,6 +1035,7 @@ type HealthResponse struct {
 	Status        string              `json:"status"`
 	UptimeSeconds float64             `json:"uptime_seconds"`
 	Epoch         int64               `json:"epoch"`
+	Precision     string              `json:"precision"`
 	Reloads       int64               `json:"reloads"`
 	Patients      int                 `json:"registered_patients"`
 	Model         dssddi.SnapshotInfo `json:"model"`
@@ -1021,6 +1047,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request, ep *servi
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Epoch:         ep.id,
+		Precision:     ep.precision,
 		Reloads:       s.reloads.Load(),
 		Patients:      s.patients.len(),
 		Model:         ep.info,
@@ -1037,10 +1064,15 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request, ep *serv
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Epoch:         ep.id,
 		Reloads:       s.reloads.Load(),
-		Endpoints:     s.metrics.snapshot(),
-		SuggestCache:  cacheMetrics(ep.suggestCache),
-		ExplainCache:  cacheMetrics(ep.explainCache),
-		Batching:      BatchMetrics{Batches: batches, Requests: requests},
+		Memory: MemoryMetrics{
+			Precision:              ep.precision,
+			ModelBytes:             int64(ep.sys.ResidentModelBytes()),
+			RegistryEmbeddingBytes: s.patients.embeddingBytes(),
+		},
+		Endpoints:    s.metrics.snapshot(),
+		SuggestCache: cacheMetrics(ep.suggestCache),
+		ExplainCache: cacheMetrics(ep.explainCache),
+		Batching:     BatchMetrics{Batches: batches, Requests: requests},
 		Registry: RegistryMetrics{
 			Patients:       s.patients.len(),
 			Writes:         s.patients.writes.Load(),

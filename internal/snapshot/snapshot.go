@@ -364,6 +364,73 @@ func (d *Decoder) Floats() []float64 {
 	return v
 }
 
+// FloatsInto reads a length-prefixed []float64 into dst's backing
+// store, growing it only when capacity runs out — the reuse-friendly
+// form of Floats for load loops that decode many slices into scratch.
+// The returned slice aliases dst's array whenever it fits.
+func (d *Decoder) FloatsInto(dst []float64) []float64 {
+	n := d.length("float slice")
+	if d.err != nil {
+		return nil
+	}
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = d.Float()
+	}
+	if d.err != nil {
+		return nil
+	}
+	return dst
+}
+
+// FloatArena hands out float64 slices carved from large shared blocks,
+// amortizing the per-slice allocation of decode loops that retain what
+// they read (a checkpoint's per-entry feature vectors, for example:
+// thousands of tiny Floats calls become a handful of block
+// allocations). Slices obtained from an arena live as long as the
+// arena's blocks; the arena never reclaims them individually.
+type FloatArena struct {
+	block []float64
+}
+
+// floatArenaBlock is the allocation granularity of a FloatArena; a
+// request larger than the block gets its own exact-sized allocation.
+const floatArenaBlock = 16384
+
+// Alloc returns a zeroed slice of n float64s carved from the arena.
+func (a *FloatArena) Alloc(n int) []float64 {
+	if n > floatArenaBlock {
+		return make([]float64, n)
+	}
+	if len(a.block) < n {
+		a.block = make([]float64, floatArenaBlock)
+	}
+	v := a.block[:n:n]
+	a.block = a.block[n:]
+	return v
+}
+
+// FloatsArena reads a length-prefixed []float64 into arena-backed
+// storage — Floats for callers that retain the decoded slice and
+// decode many of them.
+func (d *Decoder) FloatsArena(a *FloatArena) []float64 {
+	n := d.length("float slice")
+	if d.err != nil {
+		return nil
+	}
+	v := a.Alloc(n)
+	for i := range v {
+		v[i] = d.Float()
+	}
+	if d.err != nil {
+		return nil
+	}
+	return v
+}
+
 // Strings reads a length-prefixed []string.
 func (d *Decoder) Strings() []string {
 	n := d.length("string slice")

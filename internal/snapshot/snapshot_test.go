@@ -198,3 +198,88 @@ func TestGiantLengthRejectedBeforeAllocation(t *testing.T) {
 		t.Fatalf("want corrupt-length error, got %v", d.Err())
 	}
 }
+
+// TestFloatsIntoAndArena covers the allocation-reusing decode variants:
+// FloatsInto fills caller storage when it fits (allocating only on
+// growth), FloatsArena carves retained slices out of shared blocks, and
+// both read exactly the bits Floats would.
+func TestFloatsIntoAndArena(t *testing.T) {
+	vals := [][]float64{
+		{1.5, -2.25, math.Pi},
+		nil,
+		{math.Copysign(0, -1)},
+		make([]float64, 100),
+	}
+	for i := range vals[3] {
+		vals[3][i] = float64(i) * 0.75
+	}
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	for i := 0; i < 3; i++ {
+		for _, v := range vals {
+			e.Floats(v)
+		}
+	}
+	if err := e.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+
+	check := func(what string, got, want []float64) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s: length %d, want %d", what, len(got), len(want))
+		}
+		for j := range got {
+			if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+				t.Fatalf("%s: element %d: %v != %v", what, j, got[j], want[j])
+			}
+		}
+	}
+
+	d, err := NewDecoder(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("NewDecoder: %v", err)
+	}
+	for _, want := range vals {
+		check("Floats", d.Floats(), want)
+	}
+	scratch := make([]float64, 0, 128)
+	for _, want := range vals {
+		got := d.FloatsInto(scratch)
+		check("FloatsInto", got, want)
+		if len(want) > 0 && len(want) <= cap(scratch) && &got[0] != &scratch[:1][0] {
+			t.Fatal("FloatsInto allocated despite sufficient capacity")
+		}
+	}
+	var arena FloatArena
+	got := make([][]float64, len(vals))
+	for i, want := range vals {
+		got[i] = d.FloatsArena(&arena)
+		check("FloatsArena", got[i], want)
+	}
+	// Arena slices must be independent (full-capacity slices of one
+	// block): appending to one cannot clobber its neighbor.
+	got[0] = append(got[0], 99)
+	check("FloatsArena neighbor after append", got[2], vals[2])
+	if err := d.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+// TestFloatArenaAmortizes pins the arena's purpose: decoding many
+// retained slices costs a bounded number of block allocations, not one
+// per slice.
+func TestFloatArenaAmortizes(t *testing.T) {
+	var arena FloatArena
+	allocs := testing.AllocsPerRun(1, func() {
+		for i := 0; i < 1000; i++ {
+			_ = arena.Alloc(8)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("1000 arena allocs of 8 floats cost %.0f heap allocations, want <= 2", allocs)
+	}
+	if big := arena.Alloc(floatArenaBlock + 1); len(big) != floatArenaBlock+1 {
+		t.Fatalf("oversized request returned %d floats", len(big))
+	}
+}

@@ -11,8 +11,10 @@ cd "$(dirname "$0")/.."
 
 WORK=$(mktemp -d)
 SERVER_PID=""
+SERVER32_PID=""
 cleanup() {
     [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    [ -n "$SERVER32_PID" ] && kill "$SERVER32_PID" 2>/dev/null || true
     rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -21,12 +23,18 @@ echo "== build"
 go build -o "$WORK/dssddi" ./cmd/dssddi
 go build -o "$WORK/dssddi-serve" ./cmd/dssddi-serve
 go build -o "$WORK/loadgen" ./cmd/loadgen
+go build -o "$WORK/benchdiff" ./cmd/benchdiff
 
+# Width 384 (paper default is 64) so the cold path is dominated by
+# decoder arithmetic — the component the f32 SIMD path accelerates and
+# the f32-vs-f64 throughput gate below measures. At the default width
+# the per-request HTTP/JSON overhead swamps scoring and the quantized
+# speedup is real but unmeasurable end to end.
 echo "== train a tiny model and snapshot it"
-"$WORK/dssddi" train -patients 70 -ddi-epochs 5 -md-epochs 10 -o "$WORK/model.snap"
+"$WORK/dssddi" train -patients 70 -hidden 384 -ddi-epochs 5 -md-epochs 10 -o "$WORK/model.snap"
 
 echo "== train a second tiny model (same cohort size) for the hot-reload swap"
-"$WORK/dssddi" train -patients 70 -seed 2 -ddi-epochs 5 -md-epochs 10 -o "$WORK/model2.snap"
+"$WORK/dssddi" train -patients 70 -hidden 384 -seed 2 -ddi-epochs 5 -md-epochs 10 -o "$WORK/model2.snap"
 
 echo "== snapshot metadata"
 "$WORK/dssddi" info -m "$WORK/model.snap"
@@ -86,5 +94,41 @@ curl -sf -X POST "http://$ADDR/v1/admin/reload" -d "{\"path\": \"$WORK/model.sna
 wait "$LOADGEN_PID" || { echo "loadgen saw non-2xx responses during the hot reload"; exit 1; }
 epoch=$(curl -sf "http://$ADDR/healthz" | sed 's/.*"epoch":\([0-9]*\).*/\1/')
 [ "$epoch" = "3" ] || { echo "server epoch is $epoch after two reloads, want 3"; exit 1; }
+
+echo "== quantized serving: hot reload to f32, re-measure cached + cold"
+curl -sf -X POST "http://$ADDR/v1/admin/reload" -d '{"precision": "f32"}' >/dev/null
+prec=$(curl -sf "http://$ADDR/healthz" | sed 's/.*"precision":"\([^"]*\)".*/\1/')
+[ "$prec" = "f32" ] || { echo "precision after f32 reload is $prec, want f32"; exit 1; }
+"$WORK/loadgen" -addr "$ADDR" -duration 2s -concurrency 8 -entry-suffix -f32 -json BENCH_serve.json -append
+"$WORK/loadgen" -addr "$ADDR" -cold -duration 3s -concurrency 8 -entry-suffix -f32 -json BENCH_serve.json -append
+
+echo "== quantized serving: hot reload to int8-experimental, cold pass"
+curl -sf -X POST "http://$ADDR/v1/admin/reload" -d '{"precision": "int8-experimental"}' >/dev/null
+"$WORK/loadgen" -addr "$ADDR" -cold -duration 2s -concurrency 8 -entry-suffix -int8 -json BENCH_serve.json -append
+
+echo "== re-measure the f64 cold baseline (same process, same conditions as the f32 pass)"
+curl -sf -X POST "http://$ADDR/v1/admin/reload" -d '{"precision": "f64"}' >/dev/null
+"$WORK/loadgen" -addr "$ADDR" -cold -duration 3s -concurrency 8 -json BENCH_serve.json -append
+
+echo "== -precision boot flag: a fresh server comes up quantized"
+"$WORK/dssddi-serve" -m "$WORK/model.snap" -precision f32 -addr 127.0.0.1:0 -addr-file "$WORK/addr32.txt" &
+SERVER32_PID=$!
+for _ in $(seq 1 50); do
+    [ -s "$WORK/addr32.txt" ] && break
+    sleep 0.1
+done
+[ -s "$WORK/addr32.txt" ] || { echo "f32 server did not come up"; exit 1; }
+ADDR32=$(cat "$WORK/addr32.txt")
+prec=$(curl -sf "http://$ADDR32/healthz" | sed 's/.*"precision":"\([^"]*\)".*/\1/')
+[ "$prec" = "f32" ] || { echo "-precision f32 boot reports $prec"; exit 1; }
+curl -sf -X POST "http://$ADDR32/v1/suggest" -d '{"patient": 0, "k": 3}' >/dev/null
+kill "$SERVER32_PID" 2>/dev/null || true
+
+echo "== characterize f32/int8 divergence vs the f64 oracle into the report"
+"$WORK/dssddi" precision -m "$WORK/model.snap" -bench BENCH_serve.json
+
+echo "== gates: f32 cold throughput >= 1.5x f64, f32 accuracy within tolerance"
+"$WORK/benchdiff" -scale suggest-cold-f32:suggest-cold:1.5 BENCH_serve.json
+"$WORK/benchdiff" -precision-gate BENCH_serve.json
 
 echo "== OK: serve smoke passed"
